@@ -1,0 +1,364 @@
+(* The proxion command-line tool: run the paper's experiments, analyze raw
+   bytecode, or mine selector collisions. *)
+
+open Cmdliner
+
+let print_and_exit s =
+  print_string s;
+  if s <> "" && s.[String.length s - 1] <> '\n' then print_newline ()
+
+(* --- analyze: single-bytecode analysis --------------------------------- *)
+
+let analyze_bytecode hex disasm_flag =
+  match Hexutil.of_hex_opt hex with
+  | None ->
+      prerr_endline "error: invalid hex bytecode";
+      1
+  | Some code ->
+      if disasm_flag then begin
+        print_endline "-- disassembly --";
+        print_endline (Evm.Disasm.format_listing (Evm.Disasm.disassemble code))
+      end;
+      let d = Proxion.Proxy_detect.detect_code code in
+      (match d.Proxion.Proxy_detect.verdict with
+      | Proxion.Proxy_detect.Not_proxy_no_delegatecall ->
+          print_endline "verdict: NOT a proxy (no DELEGATECALL opcode)"
+      | Proxion.Proxy_detect.Not_proxy_no_forward ->
+          print_endline
+            "verdict: NOT a proxy (DELEGATECALL present but the probe call \
+             data was not forwarded)"
+      | Proxion.Proxy_detect.Emulation_error msg ->
+          Printf.printf "verdict: emulation error (%s)\n" msg
+      | Proxion.Proxy_detect.Proxy { target; source } ->
+          Printf.printf "verdict: PROXY, current logic target %s\n"
+            (Evm.Address.to_hex target);
+          (match source with
+          | Proxion.Proxy_detect.Hardcoded ->
+              print_endline "logic address: hard-coded in bytecode"
+          | Proxion.Proxy_detect.Storage_slot slot ->
+              Printf.printf "logic address: storage slot %s\n" (U256.to_hex slot)
+          | Proxion.Proxy_detect.Computed ->
+              print_endline "logic address: dynamically computed");
+          Printf.printf "standard: %s\n"
+            (Proxion.Standard_classify.to_string
+               (Proxion.Standard_classify.classify ~code source)));
+      let naive = Proxion.Selector_extract.naive_push4 code in
+      let dispatch = Proxion.Selector_extract.dispatcher_selectors code in
+      Printf.printf "PUSH4 constants (%d): %s\n" (List.length naive)
+        (String.concat " " (List.map Hexutil.to_hex naive));
+      Printf.printf "dispatcher selectors (%d): %s\n" (List.length dispatch)
+        (String.concat " " (List.map Hexutil.to_hex dispatch));
+      0
+
+let analyze_cmd =
+  let hex =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BYTECODE" ~doc:"Runtime bytecode as hex (0x-prefixed).")
+  in
+  let disasm_flag =
+    Arg.(value & flag & info [ "d"; "disasm" ] ~doc:"Print the disassembly.")
+  in
+  let doc = "Analyze raw EVM bytecode: proxy detection and selector recovery." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze_bytecode $ hex $ disasm_flag)
+
+(* --- landscape: section 7 ------------------------------------------------ *)
+
+let total_arg =
+  Arg.(
+    value & opt int 36_000
+    & info [ "n"; "total" ] ~docv:"N"
+        ~doc:"Population size (default 36000 = 1/1000 of mainnet).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let landscape_config total seed =
+  { Dataset.Generate.default_config with Dataset.Generate.total; seed }
+
+let run_landscape total seed findings =
+  let t =
+    Experiments.Landscape.prepare ~config:(landscape_config total seed) ()
+  in
+  print_string (Experiments.Landscape.summary t);
+  print_newline ();
+  print_string (Experiments.Landscape.fig2 t);
+  print_newline ();
+  print_string (Experiments.Landscape.fig4 t);
+  print_newline ();
+  print_string (Experiments.Landscape.table3 t);
+  print_newline ();
+  print_string (Experiments.Landscape.fig5 t);
+  print_newline ();
+  print_string (Experiments.Landscape.table4 t);
+  print_newline ();
+  print_string (Experiments.Landscape.fig6 t);
+  print_newline ();
+  print_string (Experiments.Landscape.upgrade_authority t);
+  (if findings > 0 then begin
+     print_newline ();
+     print_string
+       (Proxion.Findings.render ~limit:findings
+          (Proxion.Findings.of_report t.Experiments.Landscape.report))
+   end);
+  0
+
+let landscape_cmd =
+  let doc =
+    "Generate a synthetic landscape, run the full pipeline, and print the \
+     section-7 figures and tables."
+  in
+  let findings_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "findings" ] ~docv:"N"
+          ~doc:"Also print the top $(docv) security findings.")
+  in
+  Cmd.v (Cmd.info "landscape" ~doc)
+    Term.(const run_landscape $ total_arg $ seed_arg $ findings_arg)
+
+(* --- coverage / accuracy / perf / effectiveness ------------------------- *)
+
+let coverage_cmd =
+  let doc = "Regenerate Table 1 (tool coverage matrix) by measurement." in
+  Cmd.v (Cmd.info "coverage" ~doc)
+    Term.(
+      const (fun () ->
+          print_and_exit (Experiments.Table1.render (Experiments.Table1.run ()));
+          0)
+      $ const ())
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let accuracy_cmd =
+  let size =
+    Arg.(
+      value & opt int 1
+      & info [ "size-factor" ] ~docv:"K" ~doc:"Corpus scale multiplier.")
+  in
+  let doc = "Regenerate Table 2 (collision detection accuracy)." in
+  Cmd.v (Cmd.info "accuracy" ~doc)
+    Term.(
+      const (fun size_factor json ->
+          let rows = Experiments.Table2.run ~size_factor () in
+          if json then
+            print_endline (Report.Json.to_string (Experiments.Table2.to_json rows))
+          else print_and_exit (Experiments.Table2.render rows);
+          0)
+      $ size $ json_flag)
+
+let perf_cmd =
+  let doc = "Regenerate the section 6.1 performance numbers." in
+  Cmd.v (Cmd.info "perf" ~doc)
+    Term.(
+      const (fun total seed ->
+          let config = landscape_config total seed in
+          print_and_exit (Experiments.Perf.render (Experiments.Perf.run ~config ()));
+          0)
+      $ Arg.(
+          value & opt int 2_000
+          & info [ "n"; "total" ] ~docv:"N" ~doc:"Population size.")
+      $ seed_arg)
+
+let effectiveness_cmd =
+  let doc = "Regenerate the section 6.2 effectiveness comparisons." in
+  Cmd.v (Cmd.info "effectiveness" ~doc)
+    Term.(
+      const (fun total seed ->
+          let config = landscape_config total seed in
+          print_string
+            (Experiments.Effectiveness.render_sanctuary
+               (Experiments.Effectiveness.run_sanctuary ~config ()));
+          print_newline ();
+          print_string
+            (Experiments.Effectiveness.render_crush
+               (Experiments.Effectiveness.run_crush ~config ()));
+          0)
+      $ Arg.(
+          value & opt int 2_000
+          & info [ "n"; "total" ] ~docv:"N" ~doc:"Population size.")
+      $ seed_arg)
+
+(* --- source: render pattern-library contracts --------------------------- *)
+
+let pattern_table =
+  [
+    ("honeypot-proxy", fun () -> Minisol.Patterns.honeypot_proxy ());
+    ("honeypot-logic", fun () -> Minisol.Patterns.honeypot_logic ());
+    ("audius-proxy", fun () -> Minisol.Patterns.audius_proxy ());
+    ("audius-logic", fun () -> Minisol.Patterns.audius_logic ());
+    ("eip1967-proxy", fun () -> Minisol.Patterns.eip1967_proxy ());
+    ("eip1822-proxy", fun () -> Minisol.Patterns.eip1822_proxy ());
+    ("eip1822-logic", fun () -> Minisol.Patterns.eip1822_logic ());
+    ("slot-proxy", fun () -> Minisol.Patterns.slot_var_proxy ());
+    ("diamond-proxy", fun () -> Minisol.Patterns.diamond_proxy ());
+    ("counter", fun () -> Minisol.Patterns.counter_logic ());
+    ("token", fun () -> Minisol.Patterns.erc20ish_logic ());
+    ("padding-proxy", fun () -> Minisol.Patterns.padding_proxy ());
+    ("padding-logic", fun () -> Minisol.Patterns.padding_logic ());
+  ]
+
+let source_cmd =
+  let pattern_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PATTERN"
+          ~doc:"Pattern name; omit to list available patterns.")
+  in
+  let bytecode_flag =
+    Arg.(value & flag & info [ "b"; "bytecode" ] ~doc:"Also print the compiled runtime.")
+  in
+  let doc = "Render a pattern-library contract as Solidity-flavoured source." in
+  Cmd.v (Cmd.info "source" ~doc)
+    Term.(
+      const (fun pattern bytecode ->
+          match pattern with
+          | None ->
+              List.iter (fun (n, _) -> print_endline n) pattern_table;
+              0
+          | Some n -> (
+              match List.assoc_opt n pattern_table with
+              | None ->
+                  Printf.eprintf "unknown pattern %s\n" n;
+                  1
+              | Some mk ->
+                  let c = mk () in
+                  print_string (Minisol.Pretty.contract c);
+                  if bytecode then begin
+                    print_newline ();
+                    print_endline
+                      (Hexutil.to_hex (Minisol.Codegen.runtime c))
+                  end;
+                  0))
+      $ pattern_arg $ bytecode_flag)
+
+(* --- trace: run calldata against bytecode and dump the call tree -------- *)
+
+let trace_cmd =
+  let code_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BYTECODE" ~doc:"Runtime bytecode (hex).")
+  in
+  let input_arg =
+    Arg.(
+      value & opt string "0x"
+      & info [ "i"; "input" ] ~docv:"CALLDATA" ~doc:"Transaction call data (hex).")
+  in
+  let doc = "Execute bytecode in a fresh world and print the call tree." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const (fun code_hex input_hex ->
+          match (Hexutil.of_hex_opt code_hex, Hexutil.of_hex_opt input_hex) with
+          | Some code, Some input ->
+              let host = Evm.Host.in_memory () in
+              let target =
+                Evm.Address.of_hex "0x000000000000000000000000000000000000d000"
+              in
+              Evm.Host.with_code host target code;
+              let caller =
+                Evm.Address.of_hex "0x000000000000000000000000000000000000c000"
+              in
+              let result, tree = Evm.Trace.run host ~caller ~target ~input in
+              print_string (Evm.Trace.to_string tree);
+              Printf.printf "gas used: %d\n" result.Evm.Interp.gas_used;
+              0
+          | _ ->
+              prerr_endline "error: invalid hex";
+              1)
+      $ code_arg $ input_arg)
+
+(* --- multichain: the 8.2 survey ------------------------------------------ *)
+
+let multichain_cmd =
+  let doc = "Run the section-8.2 multichain survey (eight EVM chains)." in
+  Cmd.v (Cmd.info "multichain" ~doc)
+    Term.(
+      const (fun base seed json ->
+          let rows = Experiments.Multichain.run ~base_total:base ~seed () in
+          if json then
+            print_endline (Report.Json.to_string (Experiments.Multichain.to_json rows))
+          else print_and_exit (Experiments.Multichain.render rows);
+          0)
+      $ Arg.(
+          value & opt int 1_200
+          & info [ "n"; "base-total" ] ~docv:"N"
+              ~doc:"Ethereum population; other chains scale relatively.")
+      $ seed_arg $ json_flag)
+
+(* --- mine: selector collisions ------------------------------------------ *)
+
+let mine_cmd =
+  let count =
+    Arg.(
+      value & opt int 5
+      & info [ "c"; "count" ] ~docv:"N" ~doc:"Number of colliding pairs.")
+  in
+  let target =
+    Arg.(
+      value & opt (some string) None
+      & info [ "target" ] ~docv:"PROTO"
+          ~doc:
+            "Search for a prototype colliding with $(docv) (e.g. \
+             'free_ether_withdrawal()') instead of mining arbitrary pairs.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "budget" ] ~docv:"N" ~doc:"Attempt budget for --target search.")
+  in
+  let doc = "Mine 4-byte function-selector collisions (the paper's 2.3 claim)." in
+  Cmd.v (Cmd.info "mine" ~doc)
+    Term.(
+      const (fun count target budget ->
+          (match target with
+          | Some proto -> (
+              Printf.printf "searching for a collision with %s (selector %s)...\n%!"
+                proto
+                (Keccak.selector_hex proto);
+              match Dataset.Sig_mine.find_collision_for ~budget proto with
+              | Some other -> Printf.printf "found: %s\n" other
+              | None ->
+                  Printf.printf
+                    "no collision within %d attempts (the paper needed ~600M \
+                     for this shape)\n"
+                    budget)
+          | None ->
+              List.iter
+                (fun p ->
+                  Printf.printf "%s  ==  %s  -> %s\n" p.Dataset.Sig_mine.sig_a
+                    p.Dataset.Sig_mine.sig_b
+                    (Hexutil.to_hex p.Dataset.Sig_mine.selector))
+                (Dataset.Sig_mine.mine ~count ()));
+          0)
+      $ count $ target $ budget)
+
+let default_cmd =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "proxion" ~version:"1.0.0"
+      ~doc:
+        "ProxioN: uncovering hidden proxy smart contracts and their collision \
+         vulnerabilities (OCaml reproduction)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default:default_cmd info
+          [
+            analyze_cmd;
+            landscape_cmd;
+            coverage_cmd;
+            accuracy_cmd;
+            perf_cmd;
+            effectiveness_cmd;
+            mine_cmd;
+            multichain_cmd;
+            source_cmd;
+            trace_cmd;
+          ]))

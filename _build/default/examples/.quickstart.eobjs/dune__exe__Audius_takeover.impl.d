@@ -1,0 +1,1 @@
+examples/audius_takeover.ml: Chain Evm List Minisol Printf Proxion U256

@@ -1,0 +1,1 @@
+examples/audius_takeover.mli:

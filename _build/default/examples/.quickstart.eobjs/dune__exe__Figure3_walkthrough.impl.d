@@ -1,0 +1,1 @@
+examples/figure3_walkthrough.ml: Chain Evm Hexutil List Minisol Printf Proxion String U256

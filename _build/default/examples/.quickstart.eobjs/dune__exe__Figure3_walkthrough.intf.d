@@ -1,0 +1,1 @@
+examples/figure3_walkthrough.mli:

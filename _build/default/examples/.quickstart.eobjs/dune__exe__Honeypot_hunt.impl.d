@@ -1,0 +1,1 @@
+examples/honeypot_hunt.ml: Chain Evm Hexutil Keccak List Minisol Printf Proxion String U256

@@ -1,0 +1,1 @@
+examples/honeypot_hunt.mli:

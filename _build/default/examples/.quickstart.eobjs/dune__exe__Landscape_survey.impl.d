@@ -1,0 +1,1 @@
+examples/landscape_survey.ml: Array Dataset Experiments Printf Sys

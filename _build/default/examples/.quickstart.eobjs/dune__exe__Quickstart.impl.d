@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chain Evm List Minisol Printf Proxion String U256

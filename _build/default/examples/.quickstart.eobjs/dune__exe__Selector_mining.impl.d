@@ -1,0 +1,1 @@
+examples/selector_mining.ml: Dataset Hexutil Keccak List Printf Unix

@@ -1,0 +1,1 @@
+examples/selector_mining.mli:

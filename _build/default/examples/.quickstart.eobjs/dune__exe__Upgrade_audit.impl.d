@@ -1,0 +1,1 @@
+examples/upgrade_audit.ml: Array Chain Dataset Evm Hashtbl Hexutil List Minisol Option Printf Proxion Report Sys U256

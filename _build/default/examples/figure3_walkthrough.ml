@@ -1,0 +1,84 @@
+(* Figure 3 walkthrough — the two-step detection, contract by contract.
+
+   The paper's Figure 3 shows three contracts entering the pipeline:
+     (1) one with no DELEGATECALL at all        -> rejected by disassembly;
+     (2) one with DELEGATECALL that does NOT
+         forward the crafted call data          -> rejected by emulation;
+     (3) a real proxy whose fallback forwards   -> accepted, logic located.
+
+   This example builds exactly those three, prints each decision with the
+   evidence (opcode listing for step 1, probe verdict for step 2), and
+   finishes by resolving the detected proxy's logic contract.
+
+   Run with: dune exec examples/figure3_walkthrough.exe *)
+
+module Patterns = Minisol.Patterns
+module Codegen = Minisol.Codegen
+
+let alice = Evm.Address.of_hex "0x00000000000000000000000000000000000a11ce"
+
+let describe chain label addr =
+  let code = Chain.code_at chain addr in
+  Printf.printf "%s  (%d bytes of runtime)\n" label (String.length code);
+  let has_dc = Evm.Disasm.has_opcode code Evm.Opcode.DELEGATECALL in
+  Printf.printf "  step 1 (disassembly): DELEGATECALL %s\n"
+    (if has_dc then "present -> continue to emulation" else "absent -> NOT a proxy");
+  if has_dc then begin
+    let host = Chain.host_at_head chain in
+    let d = Proxion.Proxy_detect.detect ~host addr in
+    Printf.printf "  step 2 (emulation with probe %s): "
+      (Hexutil.to_hex d.Proxion.Proxy_detect.probe_selector);
+    match d.Proxion.Proxy_detect.verdict with
+    | Proxion.Proxy_detect.Proxy { target; source } ->
+        Printf.printf "call data FORWARDED -> PROXY\n";
+        Printf.printf "  logic contract: %s (%s)\n" (Evm.Address.to_hex target)
+          (match source with
+          | Proxion.Proxy_detect.Hardcoded -> "hard-coded"
+          | Proxion.Proxy_detect.Storage_slot s -> "storage slot " ^ U256.to_hex s
+          | Proxion.Proxy_detect.Computed -> "computed")
+    | Proxion.Proxy_detect.Not_proxy_no_forward ->
+        Printf.printf "probe not forwarded -> NOT a proxy\n"
+    | Proxion.Proxy_detect.Not_proxy_no_delegatecall ->
+        Printf.printf "unreachable\n"
+    | Proxion.Proxy_detect.Emulation_error e ->
+        Printf.printf "emulation error (%s)\n" e
+  end;
+  print_newline ()
+
+let () =
+  let chain = Chain.create () in
+  let deploy ast =
+    match Chain.deploy chain ~from:alice ~init_code:(Codegen.init_code ast) () with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  (* (1) A plain contract: the counter has no DELEGATECALL anywhere. *)
+  let plain = deploy (Patterns.counter_logic ()) in
+  (* (2) A library caller: DELEGATECALL exists, but only inside a function
+     body — the crafted probe falls into the reverting fallback. *)
+  let library_user = deploy (Patterns.library_caller ~lib:plain) in
+  (* (3) A genuine proxy wired to a logic contract. *)
+  let proxy = deploy (Patterns.slot_var_proxy ()) in
+  Chain.set_storage_direct chain proxy U256.one (Evm.Address.to_u256 plain);
+
+  print_endline "Figure 3: three contracts enter the two-step check\n";
+  describe chain "contract (1): plain counter" plain;
+  describe chain "contract (2): SafeMath-style library caller" library_user;
+  describe chain "contract (3): upgradeable proxy" proxy;
+
+  (* Show a snippet of contract 2's disassembly around its DELEGATECALL:
+     the opcode is real, yet the contract is not a proxy. *)
+  print_endline "-- contract (2)'s DELEGATECALL site (not in the fallback) --";
+  let code = Chain.code_at chain library_user in
+  let listing = Evm.Disasm.disassemble code in
+  let around =
+    let rec find i = function
+      | [] -> []
+      | instr :: rest ->
+          if Evm.Opcode.equal instr.Evm.Disasm.opcode Evm.Opcode.DELEGATECALL
+          then List.filteri (fun j _ -> j >= max 0 (i - 4) && j <= i + 1) listing
+          else find (i + 1) rest
+    in
+    find 0 listing
+  in
+  print_endline (Evm.Disasm.format_listing around)

@@ -1,0 +1,101 @@
+(* Honeypot hunt — the paper's Listing 1, end to end.
+
+   An attacker deploys a proxy whose hidden function impl_LUsXCWD2AKCc()
+   collides (selector 0xdf4a3106) with the logic contract's enticing
+   free_ether_withdrawal().  A victim calls the "free withdrawal" and the
+   proxy's hidden function runs instead.  ProxioN then uncovers the
+   collision from bytecode alone — neither contract publishes source.
+
+   Run with: dune exec examples/honeypot_hunt.exe *)
+
+module Patterns = Minisol.Patterns
+module Codegen = Minisol.Codegen
+
+let attacker = Evm.Address.of_hex "0x0000000000000000000000000000000000a77ac4"
+let victim = Evm.Address.of_hex "0x000000000000000000000000000000000071c717"
+
+let () =
+  let chain = Chain.create () in
+  let host = Chain.host_at_head chain in
+  (* A token standing in for USDT at the address Listing 1 hard-codes. *)
+  Evm.Host.with_code host Patterns.usdt_address
+    (Codegen.runtime (Patterns.erc20ish_logic ()));
+
+  (* The attacker deploys both halves and wires the proxy to the logic. *)
+  let deploy ast =
+    match
+      Chain.deploy chain ~from:attacker ~init_code:(Codegen.init_code ast) ()
+    with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let logic = deploy (Patterns.honeypot_logic ()) in
+  let proxy = deploy (Patterns.honeypot_proxy ()) in
+  Chain.set_storage_direct chain proxy U256.one (Evm.Address.to_u256 logic);
+  Chain.fund chain proxy (U256.of_decimal "50000000000000000000");
+  Chain.fund chain victim (U256.of_int 1_000_000);
+  Printf.printf "honeypot proxy: %s\n" (Evm.Address.to_hex proxy);
+  Printf.printf "enticing logic: %s (promises 10 ETH to any caller)\n\n"
+    (Evm.Address.to_hex logic);
+
+  (* The victim reads the logic contract, sees free_ether_withdrawal(),
+     and calls it THROUGH THE PROXY. *)
+  let before = host.Evm.Host.get_balance victim in
+  let record =
+    Chain.call chain ~from:victim ~to_:proxy
+      ~input:(Evm.Abi.encode_call ~signature:"free_ether_withdrawal()" [])
+      ()
+  in
+  let after = host.Evm.Host.get_balance victim in
+  Printf.printf "victim calls free_ether_withdrawal() via the proxy...\n";
+  Printf.printf "  tx status: %s\n"
+    (match record.Chain.tx_status with
+    | Evm.Interp.Returned -> "success (so it seemed)"
+    | Evm.Interp.Reverted -> "reverted"
+    | Evm.Interp.Failed e -> Evm.Interp.error_to_string e);
+  Printf.printf "  victim balance change: %s wei (expected +10 ETH!)\n"
+    (U256.to_decimal (U256.sub after before));
+  Printf.printf "  internal calls made: %s\n\n"
+    (String.concat ", "
+       (List.map
+          (fun ic ->
+            Printf.sprintf "%s->%s"
+              (Evm.Interp.call_kind_to_string ic.Chain.ic_kind)
+              (Evm.Address.to_hex ic.Chain.ic_to))
+          record.Chain.tx_internal_calls));
+
+  (* Now the hunt: ProxioN analyzes the pair from BYTECODE ONLY. *)
+  print_endline "-- ProxioN analysis (bytecode only, no source, pre-victim) --";
+  let detection = Proxion.Proxy_detect.detect ~host proxy in
+  Printf.printf "proxy detection: %s\n"
+    (if Proxion.Proxy_detect.is_proxy detection then "PROXY (forwarding fallback confirmed)"
+     else "not a proxy");
+  let collisions =
+    Proxion.Func_collision.detect
+      ~proxy:(Proxion.Func_collision.Bytecode (Chain.code_at chain proxy))
+      ~logic:(Proxion.Func_collision.Bytecode (Chain.code_at chain logic))
+  in
+  List.iter
+    (fun c ->
+      Printf.printf
+        "FUNCTION COLLISION on selector %s: calls intended for the logic are \
+         captured by the proxy\n"
+        (Hexutil.to_hex c.Proxion.Func_collision.selector))
+    collisions;
+  (* Honeypot classification: bait + trap on the same selector. *)
+  let verdict =
+    Proxion.Honeypot.classify
+      ~proxy:(Proxion.Func_collision.Bytecode (Chain.code_at chain proxy))
+      ~logic:(Proxion.Func_collision.Bytecode (Chain.code_at chain logic))
+  in
+  Printf.printf "honeypot classification: %s\n"
+    (if verdict.Proxion.Honeypot.is_honeypot then
+       "HONEYPOT (logic baits the caller, proxy moves assets)"
+     else "not a honeypot");
+  Printf.printf
+    "\n(the paper's example selector: free_ether_withdrawal() = %s = \
+     impl_LUsXCWD2AKCc())\n"
+    (Keccak.selector_hex "free_ether_withdrawal()");
+  print_newline ();
+  print_endline "-- what the victim would have seen on Etherscan (logic source) --";
+  print_string (Minisol.Pretty.contract (Patterns.honeypot_logic ()))

@@ -1,0 +1,94 @@
+(* Quickstart: the ProxioN public API in one tour.
+
+   We deploy an upgradeable proxy and its logic contract on the simulated
+   chain, then run every stage of the pipeline on it: prefilter + emulated
+   detection, logic resolution through history (Algorithm 1), standard
+   classification, and the collision checks.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Patterns = Minisol.Patterns
+module Codegen = Minisol.Codegen
+
+let alice = Evm.Address.of_hex "0x00000000000000000000000000000000000a11ce"
+
+let () =
+  (* 1. A chain with a logic contract and a slot-based proxy. *)
+  let chain = Chain.create () in
+  let deploy ast =
+    match Chain.deploy chain ~from:alice ~init_code:(Codegen.init_code ast) () with
+    | Ok addr -> addr
+    | Error e -> failwith e
+  in
+  let counter_v1 = deploy (Patterns.counter_logic ()) in
+  let proxy = deploy (Patterns.slot_var_proxy ()) in
+  Printf.printf "proxy deployed at  %s\n" (Evm.Address.to_hex proxy);
+  Printf.printf "logic v1 deployed  %s\n" (Evm.Address.to_hex counter_v1);
+
+  (* 2. Point the proxy at v1, use it, then upgrade to v2. *)
+  let set_logic logic =
+    ignore
+      (Chain.call chain ~from:alice ~to_:proxy
+         ~input:(Evm.Abi.encode_call ~signature:"setLogic(address)" [ Evm.Abi.Addr logic ])
+         ())
+  in
+  set_logic counter_v1;
+  Chain.advance_blocks chain 100;
+  let counter_v2 = deploy (Patterns.counter_logic ()) in
+  set_logic counter_v2;
+  Printf.printf "logic v2 deployed  %s (upgrade executed)\n\n"
+    (Evm.Address.to_hex counter_v2);
+
+  (* 3. ProxioN detection: no source, no transaction history needed. *)
+  let host = Chain.host_at_head chain in
+  let detection = Proxion.Proxy_detect.detect ~host proxy in
+  (match detection.Proxion.Proxy_detect.verdict with
+  | Proxion.Proxy_detect.Proxy { target; source } ->
+      Printf.printf "detected: proxy forwarding to %s\n" (Evm.Address.to_hex target);
+      (match source with
+      | Proxion.Proxy_detect.Storage_slot slot ->
+          Printf.printf "logic address lives in storage slot %s\n" (U256.to_hex slot)
+      | Proxion.Proxy_detect.Hardcoded -> print_endline "logic address is hard-coded"
+      | Proxion.Proxy_detect.Computed -> print_endline "logic address is computed");
+      (* 4. Recover the full logic history with Algorithm 1. *)
+      let resolution = Proxion.Logic_resolve.resolve chain proxy source in
+      Printf.printf "logic history (%d getStorageAt calls): %s\n"
+        resolution.Proxion.Logic_resolve.api_calls
+        (String.concat " -> "
+           (List.map Evm.Address.to_hex resolution.Proxion.Logic_resolve.historical));
+      Printf.printf "upgrades observed: %d\n"
+        resolution.Proxion.Logic_resolve.upgrade_count;
+      (* 5. Classify the design standard. *)
+      Printf.printf "standard: %s\n\n"
+        (Proxion.Standard_classify.to_string
+           (Proxion.Standard_classify.classify
+              ~code:(Chain.code_at chain proxy) source));
+      (* 6. Collision checks for every proxy/logic pair. *)
+      List.iter
+        (fun logic ->
+          let func =
+            Proxion.Func_collision.detect
+              ~proxy:(Proxion.Func_collision.Bytecode (Chain.code_at chain proxy))
+              ~logic:(Proxion.Func_collision.Bytecode (Chain.code_at chain logic))
+          in
+          let storage =
+            Proxion.Storage_collision.detect
+              ~proxy:(Proxion.Storage_collision.Bytecode (Chain.code_at chain proxy))
+              ~logic:(Proxion.Storage_collision.Bytecode (Chain.code_at chain logic))
+          in
+          Printf.printf "pair with %s: %d function collisions, %d storage collision candidates\n"
+            (Evm.Address.to_hex logic) (List.length func) (List.length storage))
+        resolution.Proxion.Logic_resolve.historical
+  | v ->
+      Printf.printf "unexpected verdict: %s\n"
+        (match v with
+        | Proxion.Proxy_detect.Not_proxy_no_delegatecall -> "no delegatecall"
+        | Proxion.Proxy_detect.Not_proxy_no_forward -> "no forward"
+        | Proxion.Proxy_detect.Emulation_error e -> e
+        | Proxion.Proxy_detect.Proxy _ -> assert false));
+
+  (* Note: counter_logic keeps its counter in slot 0, which overlaps the
+     proxy's own owner variable — the pipeline flags it above.  This is the
+     storage-collision hazard of 2.3, visible even in a toy setup. *)
+  print_newline ();
+  print_endline "quickstart complete."

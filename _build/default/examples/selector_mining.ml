@@ -1,0 +1,41 @@
+(* Selector mining — the paper's 2.3 observation, demonstrated.
+
+   "Creating a pair of functions that share the same 4-byte signature is
+   remarkably easy and achievable within seconds on even modest computers."
+
+   A birthday search over candidate prototypes finds colliding pairs in
+   well under a second; finding a collision against one FIXED selector
+   (like free_ether_withdrawal()) costs ~2^32 attempts — the asymmetry the
+   paper quantifies with its 600-million-attempt anecdote.
+
+   Run with: dune exec examples/selector_mining.exe *)
+
+let () =
+  Printf.printf "the paper's example pair:\n";
+  Printf.printf "  free_ether_withdrawal() -> %s\n"
+    (Keccak.selector_hex "free_ether_withdrawal()");
+  Printf.printf "  impl_LUsXCWD2AKCc()     -> %s\n\n"
+    (Keccak.selector_hex "impl_LUsXCWD2AKCc()");
+
+  let t0 = Unix.gettimeofday () in
+  let pairs = Dataset.Sig_mine.mine ~prefix:"demo" ~count:10 () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "10 fresh colliding pairs mined in %.2f s:\n" elapsed;
+  List.iter
+    (fun p ->
+      Printf.printf "  %-16s == %-16s -> %s\n" p.Dataset.Sig_mine.sig_a
+        p.Dataset.Sig_mine.sig_b
+        (Hexutil.to_hex p.Dataset.Sig_mine.selector))
+    pairs;
+
+  print_newline ();
+  let budget = 300_000 in
+  Printf.printf
+    "targeted search against free_ether_withdrawal() with a %d-attempt budget:\n"
+    budget;
+  (match Dataset.Sig_mine.find_collision_for ~budget "free_ether_withdrawal()" with
+  | Some name -> Printf.printf "  found %s (lucky!)\n" name
+  | None ->
+      Printf.printf
+        "  none found — as expected: a fixed target needs ~2^32 attempts \
+         (the paper reports ~600M attempts / 1.5 h on a laptop)\n")

@@ -1,0 +1,1 @@
+lib/baselines/crush_like.ml: Chain Evm Hashtbl List Proxion

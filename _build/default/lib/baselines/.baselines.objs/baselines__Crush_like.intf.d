@@ -1,0 +1,1 @@
+lib/baselines/crush_like.mli: Chain Evm Proxion

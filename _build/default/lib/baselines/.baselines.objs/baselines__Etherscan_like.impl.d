@@ -1,0 +1,1 @@
+lib/baselines/etherscan_like.ml: Evm

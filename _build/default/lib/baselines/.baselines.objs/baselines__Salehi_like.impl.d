@@ -1,0 +1,1 @@
+lib/baselines/salehi_like.ml: Chain Evm List

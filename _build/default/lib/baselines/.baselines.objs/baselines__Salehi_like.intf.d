@@ -1,0 +1,1 @@
+lib/baselines/salehi_like.mli: Chain Evm

@@ -1,0 +1,1 @@
+lib/baselines/uschunt_like.ml: Char Keccak List Minisol String

@@ -1,0 +1,1 @@
+lib/baselines/uschunt_like.mli: Evm Minisol

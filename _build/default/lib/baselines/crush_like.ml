@@ -1,0 +1,36 @@
+module Address = Evm.Address
+
+let proxy_pairs chain =
+  let seen = Hashtbl.create 64 in
+  let pairs = ref [] in
+  List.iter
+    (fun tx ->
+      List.iter
+        (fun ic ->
+          if ic.Chain.ic_kind = Evm.Interp.Delegatecall then begin
+            let key = (ic.Chain.ic_from, ic.Chain.ic_to) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              pairs := key :: !pairs
+            end
+          end)
+        tx.Chain.tx_internal_calls)
+    (Chain.all_transactions chain);
+  List.rev !pairs
+
+let detected_proxies chain =
+  List.sort_uniq Address.compare (List.map fst (proxy_pairs chain))
+
+let is_proxy chain address =
+  List.exists (fun (p, _) -> Address.equal p address) (proxy_pairs chain)
+
+let storage_collisions ~chain ~proxy ~logic =
+  let collisions =
+    Proxion.Storage_collision.detect
+      ~proxy:(Proxion.Storage_collision.Bytecode (Chain.code_at chain proxy))
+      ~logic:(Proxion.Storage_collision.Bytecode (Chain.code_at chain logic))
+  in
+  if collisions = [] then []
+  else
+    Proxion.Storage_collision.verify ~chain ~proxy_address:proxy
+      ~logic_address:logic collisions

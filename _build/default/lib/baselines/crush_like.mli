@@ -1,0 +1,27 @@
+(** A CRUSH-style analyzer (Ruaro et al., NDSS 2024) against the simulated
+    chain, reproducing the behaviours the paper compares against:
+
+    - {b transaction-history-gated}: proxies are found by scanning all
+      historical transactions for DELEGATECALL internal calls, so contracts
+      that never transacted (the hidden ones) are invisible;
+    - {b library-call false positives}: any delegate-calling contract
+      becomes a "proxy", including SafeMath-style library users that
+      ProxioN's forwarding check excludes (§6.2);
+    - {b storage collisions only}: no function-collision capability. *)
+
+val proxy_pairs : Chain.t -> (Evm.Address.t * Evm.Address.t) list
+(** Distinct (caller, callee) pairs of historical DELEGATECALLs — CRUSH's
+    proxy/logic pair set. *)
+
+val detected_proxies : Chain.t -> Evm.Address.t list
+(** Distinct first components of {!proxy_pairs}. *)
+
+val is_proxy : Chain.t -> Evm.Address.t -> bool
+
+val storage_collisions :
+  chain:Chain.t ->
+  proxy:Evm.Address.t ->
+  logic:Evm.Address.t ->
+  Proxion.Storage_collision.collision list
+(** CRUSH's engine is what ProxioN embeds (§5.2), so this delegates to the
+    shared bytecode-path detector and runs exploit verification. *)

@@ -1,0 +1,1 @@
+let is_proxy code = Evm.Disasm.has_opcode code Evm.Opcode.DELEGATECALL

@@ -1,0 +1,8 @@
+(** The Etherscan proxy-verification heuristic (§9.1): any contract whose
+    bytecode contains a DELEGATECALL opcode is labelled a proxy.  Cheap,
+    source-free — and, as Etherscan itself admits, prone to false positives
+    on library-calling contracts.  ProxioN uses the same check only as a
+    prefilter before emulation. *)
+
+val is_proxy : string -> bool
+(** [is_proxy code]: DELEGATECALL opcode presence. *)

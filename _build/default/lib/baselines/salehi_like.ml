@@ -1,0 +1,38 @@
+module Address = Evm.Address
+module Interp = Evm.Interp
+module Host = Evm.Host
+
+let replay_limit = 16
+
+let is_proxy chain address =
+  let txs =
+    Chain.transactions_of chain address
+    |> List.filter (fun tx -> tx.Chain.tx_to = Some address)
+  in
+  let txs = List.filteri (fun i _ -> i < replay_limit) txs in
+  let host = Chain.host_at_head chain in
+  List.exists
+    (fun tx ->
+      let forwarded = ref false in
+      let tracer =
+        {
+          Interp.no_tracer with
+          Interp.on_call =
+            (fun ev ->
+              if
+                ev.Interp.kind = Interp.Delegatecall
+                && Address.equal ev.Interp.context_address address
+                && ev.Interp.input = tx.Chain.tx_input
+                && ev.Interp.input <> ""
+              then forwarded := true);
+        }
+      in
+      let snapshot = host.Host.snapshot () in
+      let _ =
+        Interp.execute ~tracer ~step_limit:200_000 host
+          (Interp.make_call ~caller:tx.Chain.tx_from ~target:address
+             ~input:tx.Chain.tx_input ())
+      in
+      host.Host.revert_to snapshot;
+      !forwarded)
+    txs

@@ -1,0 +1,13 @@
+(** The transaction-replay analysis of Salehi et al. (WTSC 2022): replay a
+    contract's historical transactions under a tracer and call it an
+    upgradeable proxy when some replayed transaction triggered a
+    delegate call that forwarded the transaction's call data.  Dynamic and
+    source-free like ProxioN, but gated on the existence of past
+    transactions — freshly deployed or deliberately quiet contracts are
+    invisible (§9.1). *)
+
+val is_proxy : Chain.t -> Evm.Address.t -> bool
+(** Replays up to {!replay_limit} historical external transactions whose
+    target is the contract. *)
+
+val replay_limit : int

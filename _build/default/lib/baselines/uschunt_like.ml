@@ -1,0 +1,105 @@
+module Ast = Minisol.Ast
+module Layout = Minisol.Layout
+
+type analysis =
+  | Compile_error
+  | Analyzed of { is_proxy : bool }
+
+(* Any delegatecall in any statement — the Slither keyword check. *)
+let rec stmt_has_delegatecall (s : Ast.stmt) =
+  match s with
+  | Ast.Delegate_forward _ | Ast.Delegate_sig _ -> true
+  | Ast.If (_, a, b) ->
+      List.exists stmt_has_delegatecall a || List.exists stmt_has_delegatecall b
+  | Ast.While (_, body) -> List.exists stmt_has_delegatecall body
+  | Ast.Store _ | Ast.Map_store _ | Ast.Store_slot _ | Ast.Require _
+  | Ast.Return_value _ | Ast.Stop | Ast.Revert | Ast.Transfer _
+  | Ast.Call_sig _ | Ast.Emit _ | Ast.Let _ ->
+      false
+
+let name_suggests_proxy name =
+  let lower = String.lowercase_ascii name in
+  let contains sub =
+    let n = String.length lower and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub lower i m = sub || at (i + 1)) in
+    at 0
+  in
+  contains "proxy"
+
+let detect_proxy (c : Ast.contract) =
+  let fallback_dc =
+    match c.Ast.c_fallback with
+    | Some body -> List.exists stmt_has_delegatecall body
+    | None -> false
+  in
+  let any_dc =
+    fallback_dc
+    || List.exists
+         (fun f -> List.exists stmt_has_delegatecall f.Ast.f_body)
+         c.Ast.c_funcs
+  in
+  any_dc || name_suggests_proxy c.Ast.c_name
+
+(* Deterministic pseudo-random compile failure keyed on the address: the
+   rate models USCHunt halting on unknown compiler versions (§6.2). *)
+let fails_to_compile ~failure_rate address =
+  let h = Keccak.digest ("uschunt-compile" ^ address) in
+  let bucket = Char.code h.[0] lor (Char.code h.[1] lsl 8) in
+  float_of_int bucket /. 65536.0 < failure_rate
+
+let analyze ?(failure_rate = 0.30) ~address c =
+  if fails_to_compile ~failure_rate address then Compile_error
+  else Analyzed { is_proxy = detect_proxy c }
+
+let func_collisions ~proxy ~logic =
+  let logic_selectors = Ast.selectors logic in
+  List.filter (fun s -> List.mem s logic_selectors) (Ast.selectors proxy)
+
+type storage_flag = {
+  sf_slot : int;
+  sf_proxy_var : string;
+  sf_logic_var : string;
+  sf_reason : [ `Type_mismatch | `Name_mismatch ];
+}
+
+let storage_collisions ~proxy ~logic =
+  let proxy_layout = Layout.of_contract proxy in
+  let logic_layout = Layout.of_contract logic in
+  List.concat_map
+    (fun (pe : Layout.entry) ->
+      List.filter_map
+        (fun (le : Layout.entry) ->
+          if pe.Layout.e_slot <> le.Layout.e_slot then None
+          else if
+            pe.Layout.e_offset < le.Layout.e_offset + le.Layout.e_size
+            && le.Layout.e_offset < pe.Layout.e_offset + pe.Layout.e_size
+          then
+            let type_mismatch =
+              pe.Layout.e_offset <> le.Layout.e_offset
+              || pe.Layout.e_size <> le.Layout.e_size
+            in
+            let name_mismatch =
+              pe.Layout.e_var.Ast.v_name <> le.Layout.e_var.Ast.v_name
+            in
+            if type_mismatch then
+              Some
+                {
+                  sf_slot = pe.Layout.e_slot;
+                  sf_proxy_var = pe.Layout.e_var.Ast.v_name;
+                  sf_logic_var = le.Layout.e_var.Ast.v_name;
+                  sf_reason = `Type_mismatch;
+                }
+            else if name_mismatch then
+              (* Same shape but different names: USCHunt flags these even
+                 when one side is mere padding — its FP mode. *)
+              Some
+                {
+                  sf_slot = pe.Layout.e_slot;
+                  sf_proxy_var = pe.Layout.e_var.Ast.v_name;
+                  sf_logic_var = le.Layout.e_var.Ast.v_name;
+                  sf_reason = `Name_mismatch;
+                }
+            else None
+          else None)
+        logic_layout)
+    proxy_layout

@@ -1,0 +1,45 @@
+(** A USCHunt-style analyzer (Bodell et al., USENIX Security 2023) over
+    Minisol sources, reproducing the behaviours the paper measures
+    against (§6.2-§6.3):
+
+    - {b source-only}: contracts without source are invisible to it;
+    - {b compilation failures}: roughly 30% of Sanctuary contracts fail to
+      compile under default flags; modelled as a deterministic
+      pseudo-random failure keyed on the contract address (the Minisol
+      "compiler" cannot genuinely fail, so the rate is calibrated to the
+      paper's report — see DESIGN.md);
+    - {b Slither keyword detection}: a contract is called a proxy when its
+      source uses [delegatecall] anywhere or is named like a proxy, which
+      both misses some real proxies (after compile failures) and flags
+      library callers;
+    - {b layout comparison without usage analysis}: storage collisions are
+      flagged whenever same-slot variables differ in name or type, so
+      padding variables produce false positives (§6.3). *)
+
+type analysis =
+  | Compile_error  (** The modelled solc-version failure. *)
+  | Analyzed of { is_proxy : bool }
+
+val analyze :
+  ?failure_rate:float -> address:Evm.Address.t -> Minisol.Ast.contract -> analysis
+(** [failure_rate] defaults to 0.30 (the paper's observed USCHunt rate). *)
+
+val detect_proxy : Minisol.Ast.contract -> bool
+(** The Slither-like keyword/shape check, ignoring compile failures. *)
+
+val func_collisions :
+  proxy:Minisol.Ast.contract -> logic:Minisol.Ast.contract -> string list
+(** Colliding selectors (same method as ProxioN on the source path, but
+    only reachable for pairs that compile and are detected). *)
+
+type storage_flag = {
+  sf_slot : int;
+  sf_proxy_var : string;
+  sf_logic_var : string;
+  sf_reason : [ `Type_mismatch | `Name_mismatch ];
+}
+
+val storage_collisions :
+  proxy:Minisol.Ast.contract -> logic:Minisol.Ast.contract -> storage_flag list
+(** Name/type comparison per slot with {e no} usage analysis — the source
+    of its padding false positives. *)

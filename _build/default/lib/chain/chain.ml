@@ -1,0 +1,326 @@
+module Address = Evm.Address
+module Host = Evm.Host
+module Interp = Evm.Interp
+
+type internal_call = {
+  ic_kind : Interp.call_kind;
+  ic_from : Address.t;
+  ic_to : Address.t;
+}
+
+type tx_record = {
+  tx_height : int;
+  tx_gas_used : int;  (* intrinsic + execution *)
+  tx_from : Address.t;
+  tx_to : Address.t option;
+  tx_input : string;
+  tx_value : U256.t;
+  tx_status : Interp.status;
+  tx_created : Address.t option;
+  tx_internal_calls : internal_call list;
+  tx_return_data : string;
+  tx_logs : Interp.log_entry list;
+}
+
+type contract_meta = {
+  cm_address : Address.t;
+  cm_deploy_height : int;
+  cm_creator : Address.t;
+  cm_code_hash : string;
+}
+
+type slot_key = { sk_addr : Address.t; sk_slot : U256.t }
+
+type t = {
+  state : Host.t;  (* head state; block info replaced per access *)
+  mutable head : int;
+  base_block : Host.block_info;
+  (* (height, value) change lists per slot, most recent first. *)
+  history : (slot_key, (int * U256.t) list ref) Hashtbl.t;
+  contracts : (Address.t, contract_meta) Hashtbl.t;
+  mutable contract_order : contract_meta list; (* reverse deployment order *)
+  tx_index : (Address.t, tx_record list ref) Hashtbl.t;
+  mutable txs : tx_record list; (* reverse order *)
+  mutable api_calls : int;
+  mutable install_nonce : int;
+}
+
+let create ?(block = Host.default_block) () =
+  {
+    state = Host.in_memory ~block ();
+    head = 0;
+    base_block = block;
+    history = Hashtbl.create 1024;
+    contracts = Hashtbl.create 1024;
+    contract_order = [];
+    tx_index = Hashtbl.create 1024;
+    txs = [];
+    api_calls = 0;
+    install_nonce = 0;
+  }
+
+let height t = t.head
+let advance_blocks t n = if n > 0 then t.head <- t.head + n
+let fund t addr amount = t.state.Host.set_balance addr amount
+
+let host_at_head t =
+  (* One block per transaction at mainnet's 12-second cadence. *)
+  {
+    t.state with
+    Host.block =
+      {
+        t.base_block with
+        Host.number = t.head;
+        Host.timestamp = t.base_block.Host.timestamp + (12 * t.head);
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* History recording                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let last_recorded t key =
+  match Hashtbl.find_opt t.history key with
+  | None | Some { contents = [] } -> U256.zero
+  | Some { contents = (_, v) :: _ } -> v
+
+let record_slot t key value =
+  if not (U256.equal (last_recorded t key) value) then begin
+    let entries =
+      match Hashtbl.find_opt t.history key with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.replace t.history key r;
+          r
+    in
+    (* Same-height overwrite replaces the entry. *)
+    (match !entries with
+    | (h, _) :: rest when h = t.head -> entries := (t.head, value) :: rest
+    | l -> entries := (t.head, value) :: l)
+  end
+
+let register_contract t ~address ~creator =
+  if not (Hashtbl.mem t.contracts address) then begin
+    let meta =
+      {
+        cm_address = address;
+        cm_deploy_height = t.head;
+        cm_creator = creator;
+        cm_code_hash = Keccak.digest (t.state.Host.get_code address);
+      }
+    in
+    Hashtbl.replace t.contracts address meta;
+    t.contract_order <- meta :: t.contract_order
+  end
+
+let index_tx t addr record =
+  let bucket =
+    match Hashtbl.find_opt t.tx_index addr with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.tx_index addr r;
+        r
+  in
+  bucket := record :: !bucket
+
+let commit_tx t ~touched_slots ~record =
+  (* Fold final values of touched slots into history (reverted writes have
+     already been rolled back inside the interpreter, so reading the head
+     state here gives the true post-transaction values). *)
+  List.iter
+    (fun key -> record_slot t key (t.state.Host.get_storage key.sk_addr key.sk_slot))
+    touched_slots;
+  t.txs <- record :: t.txs;
+  let participants =
+    record.tx_from
+    :: (Option.to_list record.tx_to @ Option.to_list record.tx_created)
+    @ List.concat_map
+        (fun ic -> [ ic.ic_from; ic.ic_to ])
+        record.tx_internal_calls
+  in
+  List.iter
+    (fun a -> index_tx t a record)
+    (List.sort_uniq Address.compare participants);
+  t.head <- t.head + 1
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tx_gas_limit = 30_000_000
+
+(* Intrinsic transaction gas: the 21000 base plus per-byte calldata cost
+   (and the creation surcharge). *)
+let intrinsic_gas ~creation data =
+  let data_cost =
+    String.fold_left
+      (fun acc c -> acc + Evm.Gas.tx_data_byte ~zero:(c = '\000'))
+      0 data
+  in
+  Evm.Gas.tx_base + (if creation then Evm.Gas.tx_create else 0) + data_cost
+
+let observing_tracer ?(inner = Interp.no_tracer) () =
+  let touched = ref [] in
+  let calls = ref [] in
+  let created = ref [] in
+  let tracer =
+    {
+      inner with
+      Interp.on_sstore =
+        (fun addr slot v ->
+          touched := { sk_addr = addr; sk_slot = slot } :: !touched;
+          inner.Interp.on_sstore addr slot v);
+      Interp.on_call =
+        (fun ev ->
+          calls :=
+            {
+              ic_kind = ev.Interp.kind;
+              ic_from = ev.Interp.initiator;
+              ic_to = ev.Interp.code_address;
+            }
+            :: !calls;
+          inner.Interp.on_call ev);
+      Interp.on_create =
+        (fun ~creator ~created:addr ~init_code ->
+          created := (creator, addr) :: !created;
+          inner.Interp.on_create ~creator ~created:addr ~init_code);
+    }
+  in
+  (tracer, touched, calls, created)
+
+let deploy t ~from ?(value = U256.zero) ~init_code () =
+  let host = host_at_head t in
+  let tracer, touched, calls, created_acc = observing_tracer () in
+  let intrinsic = intrinsic_gas ~creation:true init_code in
+  let result =
+    Interp.create ~tracer host ~caller:from ~value ~init_code
+      ~gas:(max 0 (tx_gas_limit - intrinsic))
+  in
+  let record =
+    {
+      tx_height = t.head;
+      tx_gas_used = intrinsic + result.Interp.gas_used;
+      tx_from = from;
+      tx_to = None;
+      tx_input = init_code;
+      tx_value = value;
+      tx_status = result.Interp.status;
+      tx_created = result.Interp.created;
+      tx_internal_calls = List.rev !calls;
+      tx_return_data = result.Interp.return_data;
+      tx_logs = result.Interp.logs;
+    }
+  in
+  (* Register the top-level creation plus nested CREATEs. *)
+  (match result.Interp.created with
+  | Some addr -> register_contract t ~address:addr ~creator:from
+  | None -> ());
+  List.iter
+    (fun (creator, addr) -> register_contract t ~address:addr ~creator)
+    (List.rev !created_acc);
+  commit_tx t ~touched_slots:(List.sort_uniq compare !touched) ~record;
+  match (result.Interp.status, result.Interp.created) with
+  | Interp.Returned, Some addr -> Ok addr
+  | Interp.Returned, None -> Error "creation returned no address"
+  | Interp.Reverted, _ -> Error "creation reverted"
+  | Interp.Failed e, _ -> Error (Interp.error_to_string e)
+
+let call t ~from ~to_ ?(value = U256.zero) ?(input = "")
+    ?(tracer = Interp.no_tracer) () =
+  let host = host_at_head t in
+  let tracer, touched, calls, created_acc = observing_tracer ~inner:tracer () in
+  let intrinsic = intrinsic_gas ~creation:false input in
+  let result =
+    Interp.execute ~tracer host
+      (Interp.make_call ~caller:from ~target:to_ ~value ~input
+         ~gas:(max 0 (tx_gas_limit - intrinsic))
+         ())
+  in
+  List.iter
+    (fun (creator, addr) -> register_contract t ~address:addr ~creator)
+    (List.rev !created_acc);
+  let record =
+    {
+      tx_height = t.head;
+      tx_gas_used = intrinsic + result.Interp.gas_used;
+      tx_from = from;
+      tx_to = Some to_;
+      tx_input = input;
+      tx_value = value;
+      tx_status = result.Interp.status;
+      tx_created = None;
+      tx_internal_calls = List.rev !calls;
+      tx_return_data = result.Interp.return_data;
+      tx_logs = result.Interp.logs;
+    }
+  in
+  commit_tx t ~touched_slots:(List.sort_uniq compare !touched) ~record;
+  record
+
+(* ------------------------------------------------------------------ *)
+(* Direct installation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let installer = Address.of_hex "0x00000000000000000000000000000000deadbeef"
+
+let install_contract t ?(creator = installer) ~runtime () =
+  let address =
+    Rlp.contract_address ~sender:creator ~nonce:t.install_nonce
+  in
+  t.install_nonce <- t.install_nonce + 1;
+  t.state.Host.create_account address ~code:runtime;
+  register_contract t ~address ~creator;
+  t.head <- t.head + 1;
+  address
+
+let set_storage_direct t addr slot value =
+  t.state.Host.set_storage addr slot value;
+  record_slot t { sk_addr = addr; sk_slot = slot } value;
+  t.head <- t.head + 1
+
+(* ------------------------------------------------------------------ *)
+(* Archive queries                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let get_storage_at t addr slot ~height =
+  t.api_calls <- t.api_calls + 1;
+  match Hashtbl.find_opt t.history { sk_addr = addr; sk_slot = slot } with
+  | None -> U256.zero
+  | Some entries ->
+      let rec find = function
+        | [] -> U256.zero
+        | (h, v) :: rest -> if h <= height then v else find rest
+      in
+      find !entries
+
+let api_call_count t = t.api_calls
+let reset_api_call_count t = t.api_calls <- 0
+
+let storage_change_heights t addr slot =
+  match Hashtbl.find_opt t.history { sk_addr = addr; sk_slot = slot } with
+  | None -> []
+  | Some entries -> List.rev_map fst !entries
+
+(* ------------------------------------------------------------------ *)
+(* Indexes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let code_at t addr = t.state.Host.get_code addr
+let contract_meta t addr = Hashtbl.find_opt t.contracts addr
+let all_contracts t = List.rev t.contract_order
+
+let transactions_of t addr =
+  match Hashtbl.find_opt t.tx_index addr with
+  | None -> []
+  | Some r -> List.rev !r
+
+let has_transactions t addr =
+  List.exists
+    (fun tx ->
+      (* Deployment of the contract itself does not count as interaction. *)
+      not (tx.tx_created = Some addr && tx.tx_internal_calls = []))
+    (transactions_of t addr)
+
+let all_transactions t = List.rev t.txs

@@ -1,0 +1,123 @@
+(** A simulated Ethereum chain with archive-node semantics.
+
+    This substrate replaces the paper's locally established archive node
+    (§7.1): it executes transactions through the EVM interpreter, assigns
+    one block per transaction, and keeps the full history of every storage
+    slot so that {!get_storage_at} can answer at any past height — the API
+    Algorithm 1 binary-searches over.  It also indexes transactions and
+    their internal calls, which is what the transaction-history-based
+    baselines (CRUSH, Salehi et al.) consume. *)
+
+type t
+
+(** One internal message call observed while executing a transaction. *)
+type internal_call = {
+  ic_kind : Evm.Interp.call_kind;
+  ic_from : Evm.Address.t;
+  ic_to : Evm.Address.t;  (** Code address of the callee. *)
+}
+
+(** An executed transaction, as recorded in the chain's history. *)
+type tx_record = {
+  tx_height : int;
+  tx_gas_used : int;
+      (** Intrinsic gas (21000 base, calldata bytes, creation surcharge)
+          plus execution gas. *)
+  tx_from : Evm.Address.t;
+  tx_to : Evm.Address.t option;  (** [None] for contract creations. *)
+  tx_input : string;
+  tx_value : U256.t;
+  tx_status : Evm.Interp.status;
+  tx_created : Evm.Address.t option;
+  tx_internal_calls : internal_call list;
+  tx_return_data : string;
+  tx_logs : Evm.Interp.log_entry list;
+}
+
+(** Metadata the analysis layer reads for every known contract account. *)
+type contract_meta = {
+  cm_address : Evm.Address.t;
+  cm_deploy_height : int;
+  cm_creator : Evm.Address.t;
+  cm_code_hash : string;  (** Keccak-256 of the runtime bytecode. *)
+}
+
+val create : ?block:Evm.Host.block_info -> unit -> t
+(** A fresh chain at height 0 with no accounts. *)
+
+val height : t -> int
+val advance_blocks : t -> int -> unit
+(** Mine [n] empty blocks (moves the head height). *)
+
+val fund : t -> Evm.Address.t -> U256.t -> unit
+(** Credit an externally-owned account (faucet). *)
+
+val host_at_head : t -> Evm.Host.t
+(** Host view of the current head state with a live block header; reads are
+    cheap, writes go straight into head state {e without} history tracking —
+    use transactions or {!set_storage_direct} for recorded mutations. *)
+
+(** {1 Transactions} *)
+
+val deploy : t -> from:Evm.Address.t -> ?value:U256.t -> init_code:string ->
+  unit -> (Evm.Address.t, string) result
+(** Execute a creation transaction; mines a block.  Returns the new address
+    or a failure description. *)
+
+val call :
+  t ->
+  from:Evm.Address.t ->
+  to_:Evm.Address.t ->
+  ?value:U256.t ->
+  ?input:string ->
+  ?tracer:Evm.Interp.tracer ->
+  unit ->
+  tx_record
+(** Execute a message-call transaction; mines a block. *)
+
+(** {1 Direct state installation (dataset generation)} *)
+
+val install_contract :
+  t ->
+  ?creator:Evm.Address.t ->
+  runtime:string ->
+  unit ->
+  Evm.Address.t
+(** Install runtime bytecode at a fresh deterministic address without
+    running init code — the moral equivalent of loading a contract observed
+    on mainnet.  Mines a block and records deployment metadata. *)
+
+val set_storage_direct : t -> Evm.Address.t -> U256.t -> U256.t -> unit
+(** Write a storage slot at the head height with history recording; mines a
+    block.  Used to replay upgrade events (logic-address changes). *)
+
+(** {1 Archive queries} *)
+
+val get_storage_at : t -> Evm.Address.t -> U256.t -> height:int -> U256.t
+(** The [eth_getStorageAt]-at-height API.  Every call increments the API
+    counter that the §6.1 efficiency experiment reports. *)
+
+val api_call_count : t -> int
+val reset_api_call_count : t -> unit
+
+val storage_change_heights : t -> Evm.Address.t -> U256.t -> int list
+(** Ground truth for tests: ascending heights at which the slot changed. *)
+
+(** {1 Contract and transaction indexes} *)
+
+val code_at : t -> Evm.Address.t -> string
+val contract_meta : t -> Evm.Address.t -> contract_meta option
+val all_contracts : t -> contract_meta list
+(** In deployment order. *)
+
+val transactions_of : t -> Evm.Address.t -> tx_record list
+(** Transactions in which the address was the external target, the sender,
+    or a participant of an internal call — the notion of "has past
+    transactions" used throughout the paper. *)
+
+val has_transactions : t -> Evm.Address.t -> bool
+(** True when the contract has been involved in any transaction besides its
+    own deployment. *)
+
+val all_transactions : t -> tx_record list
+(** Every transaction ever executed, in order. *)

@@ -1,0 +1,37 @@
+(** An Ethereum JSON-RPC-flavoured facade over the simulated chain.
+
+    This is the exact method surface ProxioN consumes from a real archive
+    node (§7.1): [eth_getStorageAt] with historical block tags (what
+    Algorithm 1 binary-searches), [eth_getCode], and the block-metadata
+    calls.  Parameters and results are 0x-hex strings with Ethereum's
+    conventions ("latest" tag, quantity encoding without leading zeros),
+    so code written against this facade would port to a real node
+    unchanged. *)
+
+type error =
+  | Unknown_method of string
+  | Invalid_params of string
+
+val error_to_string : error -> string
+
+val call :
+  Chain.t -> meth:string -> params:string list -> (string, error) result
+(** Supported methods:
+    - [eth_blockNumber] () -> hex height
+    - [eth_chainId] () -> hex chain id
+    - [eth_getCode] (address, block) -> hex bytecode
+    - [eth_getStorageAt] (address, slot, block) -> 32-byte hex word
+    - [eth_getBalance] (address, block) -> hex quantity
+    - [eth_getTransactionCount] (address, block) -> hex nonce
+    - [eth_call] (to, data, block) -> hex return data (read-only execution
+      in a snapshot; reverts and failures surface as [Invalid_params])
+
+    The block tag is ["latest"] or a hex quantity.  [eth_getCode],
+    [eth_getBalance] and [eth_getTransactionCount] only serve the latest
+    state (the simulated chain snapshots storage history only, like the
+    paper's use of the node); historical block tags on them return
+    [Invalid_params]. *)
+
+val get_storage_at :
+  Chain.t -> address:string -> slot:string -> block:string -> (string, error) result
+(** Typed convenience wrapper over the eponymous method. *)

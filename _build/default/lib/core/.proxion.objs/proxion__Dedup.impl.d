@@ -1,0 +1,1 @@
+lib/core/dedup.ml: Hashtbl Keccak List

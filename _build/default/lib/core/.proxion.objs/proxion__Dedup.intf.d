@@ -1,0 +1,1 @@
+lib/core/dedup.mli: Evm

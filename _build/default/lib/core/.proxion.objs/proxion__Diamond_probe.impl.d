@@ -1,0 +1,1 @@
+lib/core/diamond_probe.ml: Chain Evm Hashtbl Keccak List Proxy_detect String U256

@@ -1,0 +1,1 @@
+lib/core/diamond_probe.mli: Chain Evm Proxy_detect

@@ -1,0 +1,1 @@
+lib/core/findings.ml: Buffer Evm Func_collision Hexutil List Pipeline Printf Report Storage_access Storage_collision String

@@ -1,0 +1,1 @@
+lib/core/findings.mli: Evm Pipeline Report

@@ -1,0 +1,1 @@
+lib/core/func_collision.ml: Hashtbl List Minisol Selector_extract

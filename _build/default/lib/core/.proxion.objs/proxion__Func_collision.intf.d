@@ -1,0 +1,1 @@
+lib/core/func_collision.mli: Minisol

@@ -1,0 +1,1 @@
+lib/core/honeypot.ml: Evm Func_collision List Minisol Selector_extract

@@ -1,0 +1,1 @@
+lib/core/honeypot.mli: Func_collision

@@ -1,0 +1,1 @@
+lib/core/logic_resolve.ml: Chain Evm Hashtbl List Minisol Option Proxy_detect U256

@@ -1,0 +1,1 @@
+lib/core/logic_resolve.mli: Chain Evm Proxy_detect U256

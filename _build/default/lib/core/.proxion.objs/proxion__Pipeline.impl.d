@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Chain Diamond_probe Evm Func_collision Hashtbl Honeypot Keccak List Logic_resolve Minisol Option Proxy_detect Standard_classify Storage_collision U256

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Chain Evm Func_collision Logic_resolve Minisol Proxy_detect Standard_classify Storage_collision

@@ -1,0 +1,1 @@
+lib/core/proxy_detect.ml: Evm Hexutil Keccak List Printf Selector_extract String U256

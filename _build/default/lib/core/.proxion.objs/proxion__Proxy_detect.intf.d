@@ -1,0 +1,1 @@
+lib/core/proxy_detect.mli: Evm U256

@@ -1,0 +1,1 @@
+lib/core/selector_extract.ml: Array Evm Hashtbl List String U256

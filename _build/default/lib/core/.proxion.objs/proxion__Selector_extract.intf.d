@@ -1,0 +1,1 @@
+lib/core/selector_extract.mli:

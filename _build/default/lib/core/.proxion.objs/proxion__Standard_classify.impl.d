@@ -1,0 +1,1 @@
+lib/core/standard_classify.ml: Minisol Proxy_detect String U256

@@ -1,0 +1,1 @@
+lib/core/standard_classify.mli: Proxy_detect

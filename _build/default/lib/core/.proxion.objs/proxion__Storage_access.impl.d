@@ -1,0 +1,1 @@
+lib/core/storage_access.ml: Array Evm Hashtbl List Option U256

@@ -1,0 +1,1 @@
+lib/core/storage_access.mli: U256

@@ -1,0 +1,1 @@
+lib/core/storage_collision.ml: Chain Evm Hashtbl List Minisol Selector_extract Storage_access String U256

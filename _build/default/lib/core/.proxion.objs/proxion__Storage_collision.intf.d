@@ -1,0 +1,1 @@
+lib/core/storage_collision.mli: Chain Evm Minisol Storage_access

@@ -1,0 +1,1 @@
+lib/core/upgrade_auth.ml: Chain Evm Hexutil List Printf Proxy_detect Selector_extract Storage_access String U256

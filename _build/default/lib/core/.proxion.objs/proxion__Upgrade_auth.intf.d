@@ -1,0 +1,1 @@
+lib/core/upgrade_auth.mli: Chain Evm Proxy_detect

@@ -1,0 +1,107 @@
+module Address = Evm.Address
+module Host = Evm.Host
+module Interp = Evm.Interp
+
+let candidate_selectors chain address =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun tx ->
+      if tx.Chain.tx_to = Some address && String.length tx.Chain.tx_input >= 4
+      then begin
+        let sel = String.sub tx.Chain.tx_input 0 4 in
+        if Hashtbl.mem seen sel then None
+        else begin
+          Hashtbl.replace seen sel ();
+          Some sel
+        end
+      end
+      else None)
+    (Chain.transactions_of chain address)
+
+let contains_substring ~haystack ~needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else at (i + 1)
+  in
+  nn > 0 && at 0
+
+let probe_with_selector ~host ~address ~code selector =
+  let arg = Keccak.digest ("diamond-arg" ^ selector) in
+  let calldata = selector ^ arg in
+  let forwarded = ref None in
+  let sloads = ref [] in
+  let tracer =
+    {
+      Interp.no_tracer with
+      Interp.on_call =
+        (fun ev ->
+          if
+            !forwarded = None
+            && ev.Interp.kind = Interp.Delegatecall
+            && Address.equal ev.Interp.context_address address
+            && ev.Interp.input = calldata
+          then forwarded := Some ev.Interp.code_address);
+      Interp.on_sload =
+        (fun a slot value ->
+          if Address.equal a address then sloads := (slot, value) :: !sloads);
+    }
+  in
+  let snapshot = host.Host.snapshot () in
+  let _ =
+    Interp.execute ~tracer ~step_limit:200_000 host
+      (Interp.make_call
+         ~caller:(Address.of_hex "0x00000000000000000000000000000000c0ffee02")
+         ~target:address ~input:calldata ())
+  in
+  host.Host.revert_to snapshot;
+  match !forwarded with
+  | None -> None
+  | Some target ->
+      (* Diamond targets come from facet mappings: the SLOAD that produced
+         the address has a keccak-derived slot, so attribution typically
+         reports Computed; slot-based or hard-coded cases still resolve. *)
+      let source =
+        match
+          List.find_map
+            (fun (slot, value) ->
+              if
+                U256.equal
+                  (U256.logand value (U256.pred (U256.shift_left U256.one 160)))
+                  (Address.to_u256 target)
+              then Some slot
+              else None)
+            !sloads
+        with
+        | Some slot -> Proxy_detect.Storage_slot slot
+        | None ->
+            if contains_substring ~haystack:code ~needle:target then
+              Proxy_detect.Hardcoded
+            else Proxy_detect.Computed
+      in
+      Some (target, source)
+
+let detect ?(seed = 1) ?(max_probes = 8) chain address =
+  let host = Chain.host_at_head chain in
+  let base = Proxy_detect.detect ~seed ~host address in
+  match base.Proxy_detect.verdict with
+  | Proxy_detect.Not_proxy_no_forward -> (
+      let code = Chain.code_at chain address in
+      let candidates =
+        List.filteri (fun i _ -> i < max_probes) (candidate_selectors chain address)
+      in
+      let rec try_all = function
+        | [] -> base
+        | sel :: rest -> (
+            match probe_with_selector ~host ~address ~code sel with
+            | Some (target, source) ->
+                {
+                  base with
+                  Proxy_detect.verdict = Proxy_detect.Proxy { target; source };
+                  probe_selector = sel;
+                }
+            | None -> try_all rest)
+      in
+      try_all candidates)
+  | _ -> base

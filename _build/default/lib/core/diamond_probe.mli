@@ -1,0 +1,21 @@
+(** The paper's proposed future-work extension (§8.2): detecting diamond
+    (EIP-2535) proxies that the random probe misses.
+
+    A diamond forwards only selectors registered in its facet table, so the
+    crafted call data of §4.2 is rejected.  The fix the paper sketches:
+    harvest candidate selectors from the contract's {e historical
+    transactions} (the CRUSH trick) and probe with those instead — a
+    registered selector passes the gate and the forwarding delegatecall
+    becomes observable.  Hidden diamonds (no transactions at all) remain
+    undetectable, which this module reports faithfully. *)
+
+val candidate_selectors : Chain.t -> Evm.Address.t -> string list
+(** Distinct 4-byte selectors from the inputs of historical external
+    transactions to the contract, in first-seen order. *)
+
+val detect :
+  ?seed:int -> ?max_probes:int -> Chain.t -> Evm.Address.t -> Proxy_detect.t
+(** Run the standard emulation probe first; when it reports
+    [Not_proxy_no_forward], re-probe with each historical selector (up to
+    [max_probes], default 8).  A forwarded historical probe yields
+    [Proxy] with the observed target and source. *)

@@ -1,0 +1,34 @@
+(** Human-readable security findings distilled from a pipeline report —
+    the audit-tool face of ProxioN.
+
+    Each finding carries the contracts involved, the evidence the analysis
+    produced (colliding selectors, slot typings, verification outcome),
+    and a severity that follows the paper's exploitability reasoning:
+    verified storage collisions and honeypots are what adversaries
+    actually exploited (§2.3), unverified candidates and benign
+    function collisions are informational. *)
+
+type severity = Critical | High | Medium | Info
+
+val severity_to_string : severity -> string
+
+type finding = {
+  f_severity : severity;
+  f_title : string;
+  f_proxy : Evm.Address.t;
+  f_logic : Evm.Address.t;
+  f_detail : string;
+}
+
+val of_report : Pipeline.report -> finding list
+(** Findings sorted most-severe first:
+    - [Critical]: storage collision with a verified exploit transaction;
+    - [High]: honeypot-shaped function collision;
+    - [Medium]: unverified storage-collision candidate on a sensitive slot;
+    - [Info]: remaining function collisions (e.g. benign clone
+      collisions) and non-sensitive storage candidates. *)
+
+val render : ?limit:int -> finding list -> string
+(** Pretty text report; [limit] truncates (default: everything). *)
+
+val to_json : finding list -> Report.Json.t

@@ -1,0 +1,43 @@
+type side =
+  | Source of Minisol.Ast.contract
+  | Bytecode of string
+
+type collision = {
+  selector : string;
+  proxy_signature : string option;
+  logic_signature : string option;
+}
+
+let selectors_of_side = function
+  | Source c -> Minisol.Ast.selectors c
+  | Bytecode code -> Selector_extract.dispatcher_selectors code
+
+let signature_for side selector =
+  match side with
+  | Bytecode _ -> None
+  | Source c ->
+      List.find_map
+        (fun f ->
+          if Minisol.Ast.selector f = selector then
+            Some (Minisol.Ast.signature f)
+          else None)
+        c.Minisol.Ast.c_funcs
+
+let detect ~proxy ~logic =
+  let proxy_selectors = selectors_of_side proxy in
+  let logic_selectors = selectors_of_side logic in
+  let logic_set = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace logic_set s ()) logic_selectors;
+  List.filter_map
+    (fun s ->
+      if Hashtbl.mem logic_set s then
+        Some
+          {
+            selector = s;
+            proxy_signature = signature_for proxy s;
+            logic_signature = signature_for logic s;
+          }
+      else None)
+    proxy_selectors
+
+let has_collision ~proxy ~logic = detect ~proxy ~logic <> []

@@ -1,0 +1,28 @@
+(** Function-collision detection between a proxy and a logic contract
+    (§5.1).
+
+    Two functions collide when their 4-byte selectors coincide: call data
+    meant for the logic function is captured by the proxy's dispatcher and
+    never reaches the fallback (Listing 1).  When source is available the
+    selector lists come straight from the contract ASTs (the Slither path);
+    when only bytecode exists they come from
+    {!Selector_extract.dispatcher_selectors} (the Panoramix path) — the
+    paper's novel contribution for hidden contracts. *)
+
+type side =
+  | Source of Minisol.Ast.contract
+  | Bytecode of string
+
+type collision = {
+  selector : string;  (** The shared 4 bytes. *)
+  proxy_signature : string option;  (** Known only on the source path. *)
+  logic_signature : string option;
+}
+
+val selectors_of_side : side -> string list
+(** The selector list the chosen method recovers for one contract. *)
+
+val detect : proxy:side -> logic:side -> collision list
+(** Pairwise cross-check of the two selector lists. *)
+
+val has_collision : proxy:side -> logic:side -> bool

@@ -1,0 +1,100 @@
+module Ast = Minisol.Ast
+module Disasm = Evm.Disasm
+module Opcode = Evm.Opcode
+
+type evidence = {
+  e_selector : string;
+  e_logic_pays_caller : bool;
+  e_proxy_moves_assets : bool;
+}
+
+type verdict = { is_honeypot : bool; evidence : evidence list }
+
+(* --- source heuristics ------------------------------------------------ *)
+
+let rec stmt_pays_caller (s : Ast.stmt) =
+  match s with
+  | Ast.Transfer (Ast.Caller, _) -> true
+  | Ast.If (_, a, b) ->
+      List.exists stmt_pays_caller a || List.exists stmt_pays_caller b
+  | Ast.While (_, body) -> List.exists stmt_pays_caller body
+  | Ast.Transfer _ | Ast.Store _ | Ast.Map_store _ | Ast.Store_slot _
+  | Ast.Require _ | Ast.Return_value _ | Ast.Stop | Ast.Revert
+  | Ast.Call_sig _ | Ast.Delegate_sig _ | Ast.Delegate_forward _ | Ast.Emit _
+  | Ast.Let _ ->
+      false
+
+let rec stmt_moves_assets (s : Ast.stmt) =
+  match s with
+  | Ast.Transfer (to_, _) -> to_ <> Ast.Caller
+  | Ast.Delegate_sig _ | Ast.Call_sig _ -> true
+  | Ast.If (_, a, b) ->
+      List.exists stmt_moves_assets a || List.exists stmt_moves_assets b
+  | Ast.While (_, body) -> List.exists stmt_moves_assets body
+  | Ast.Store _ | Ast.Map_store _ | Ast.Store_slot _ | Ast.Require _
+  | Ast.Return_value _ | Ast.Stop | Ast.Revert | Ast.Delegate_forward _
+  | Ast.Emit _ | Ast.Let _ ->
+      false
+
+let source_function_body (c : Ast.contract) selector =
+  List.find_map
+    (fun f -> if Ast.selector f = selector then Some f.Ast.f_body else None)
+    c.Ast.c_funcs
+
+(* --- bytecode heuristics ---------------------------------------------- *)
+
+(* Instructions of the function body reached from the dispatcher target,
+   following statically resolved control flow. *)
+let body_instrs code offset = Evm.Cfg.reachable_instrs (Evm.Cfg.build code) offset
+
+let block_has_op instrs op =
+  List.exists (fun i -> Opcode.equal i.Disasm.opcode op) instrs
+
+(* A value-bearing CALL: our codegen pushes the amount right before the
+   target for transfers; conservatively, any CALL counts as paying when the
+   body has no DELEGATECALL (the enticing function shape). *)
+let bytecode_pays_caller instrs =
+  block_has_op instrs Opcode.CALL && not (block_has_op instrs Opcode.DELEGATECALL)
+
+let bytecode_moves_assets instrs =
+  block_has_op instrs Opcode.DELEGATECALL
+  || block_has_op instrs Opcode.CALL
+  || block_has_op instrs Opcode.SELFDESTRUCT
+
+let side_evidence side selector ~role =
+  match (side : Func_collision.side) with
+  | Func_collision.Source c -> (
+      match source_function_body c selector with
+      | None -> false
+      | Some body -> (
+          match role with
+          | `Pays_caller -> List.exists stmt_pays_caller body
+          | `Moves_assets -> List.exists stmt_moves_assets body))
+  | Func_collision.Bytecode code -> (
+      match List.assoc_opt selector (Selector_extract.dispatcher_table code) with
+      | None -> false
+      | Some offset -> (
+          let instrs = body_instrs code offset in
+          match role with
+          | `Pays_caller -> bytecode_pays_caller instrs
+          | `Moves_assets -> bytecode_moves_assets instrs))
+
+let classify ~proxy ~logic =
+  let collisions = Func_collision.detect ~proxy ~logic in
+  let evidence =
+    List.map
+      (fun (c : Func_collision.collision) ->
+        {
+          e_selector = c.Func_collision.selector;
+          e_logic_pays_caller =
+            side_evidence logic c.Func_collision.selector ~role:`Pays_caller;
+          e_proxy_moves_assets =
+            side_evidence proxy c.Func_collision.selector ~role:`Moves_assets;
+        })
+      collisions
+  in
+  {
+    is_honeypot =
+      List.exists (fun e -> e.e_logic_pays_caller && e.e_proxy_moves_assets) evidence;
+    evidence;
+  }

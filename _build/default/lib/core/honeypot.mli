@@ -1,0 +1,29 @@
+(** Honeypot classification of function collisions (§2.3's exploit).
+
+    A function collision is a {e honeypot} when the logic contract's
+    colliding function looks enticing — it pays the caller — while the
+    proxy's hidden twin does something else entirely (typically moving the
+    victim's assets).  The victim reads the logic's source, calls through
+    the proxy, and the dispatcher captures the call.
+
+    Classification works on both representations:
+    - {b source path}: the logic function body contains a transfer to
+      [msg.sender]; the proxy function body moves value elsewhere or makes
+      hidden external/delegate calls;
+    - {b bytecode path}: the function body block reached from the
+      dispatcher (via {!Selector_extract.dispatcher_table}) contains a
+      value-bearing CALL in the logic, and a CALL/DELEGATECALL in the
+      proxy.  Names are unavailable, but the shape survives compilation. *)
+
+type evidence = {
+  e_selector : string;  (** The colliding 4-byte selector. *)
+  e_logic_pays_caller : bool;
+  e_proxy_moves_assets : bool;
+}
+
+type verdict = { is_honeypot : bool; evidence : evidence list }
+
+val classify :
+  proxy:Func_collision.side -> logic:Func_collision.side -> verdict
+(** Examine every function collision of the pair.  [is_honeypot] when at
+    least one colliding selector shows both the bait and the trap. *)

@@ -1,0 +1,98 @@
+module Address = Evm.Address
+
+type resolution = {
+  current : Address.t option;
+  historical : Address.t list;
+  api_calls : int;
+  upgrade_count : int;
+}
+
+(* Algorithm 1 (PartitionBlocks).  The memo table avoids re-querying a
+   height that serves as both an upper and a lower endpoint of adjacent
+   ranges, matching the API-call economy the paper reports. *)
+let algorithm1 chain address ~slot ~lower ~upper =
+  let memo = Hashtbl.create 64 in
+  let value_at h =
+    match Hashtbl.find_opt memo h with
+    | Some v -> v
+    | None ->
+        let v = Chain.get_storage_at chain address slot ~height:h in
+        Hashtbl.replace memo h v;
+        v
+  in
+  let rec partition lower upper =
+    let v_lower = value_at lower in
+    let v_upper = value_at upper in
+    if U256.equal v_lower v_upper then U256.Set.singleton v_lower
+    else begin
+      let mid = (lower + upper) / 2 in
+      let left = partition lower mid in
+      let right = partition (mid + 1) upper in
+      U256.Set.union left right
+    end
+  in
+  if lower > upper then U256.Set.empty else partition lower upper
+
+let resolve_slot chain address ~slot =
+  let before = Chain.api_call_count chain in
+  let upper = Chain.height chain in
+  let values = algorithm1 chain address ~slot ~lower:0 ~upper in
+  let api_calls = Chain.api_call_count chain - before in
+  let address_of v =
+    let a = Address.of_u256 v in
+    if Address.equal a Address.zero then None else Some a
+  in
+  (* Order the found values by first appearance: walk the (small) set and
+     sort by the height of first occurrence via the recorded change list. *)
+  let change_heights = Chain.storage_change_heights chain address slot in
+  let first_height v =
+    (* Find the first recorded change whose value matches; the archive
+       answers point queries, so check each change height. *)
+    let rec scan = function
+      | [] -> max_int
+      | h :: rest ->
+          if U256.equal (Chain.get_storage_at chain address slot ~height:h) v
+          then h
+          else scan rest
+    in
+    scan change_heights
+  in
+  let historical =
+    U256.Set.elements values
+    |> List.filter_map (fun v -> Option.map (fun a -> (first_height v, a)) (address_of v))
+    |> List.sort (fun (h1, _) (h2, _) -> compare h1 h2)
+    |> List.map snd
+  in
+  let current_value = Chain.get_storage_at chain address slot ~height:upper in
+  let current = address_of current_value in
+  let upgrade_count = max 0 (List.length historical - 1) in
+  { current; historical; api_calls = api_calls + 1; upgrade_count }
+
+let resolve ?probed chain address (source : Proxy_detect.target_source) =
+  match source with
+  | Proxy_detect.Hardcoded -> (
+      (* The probe already produced the target; minimal proxies keep one
+         logic contract forever. *)
+      match Minisol.Patterns.eip1167_logic_address (Chain.code_at chain address) with
+      | Some target ->
+          { current = Some target; historical = [ target ]; api_calls = 0; upgrade_count = 0 }
+      | None ->
+          (* Hard-coded but not canonical minimal bytes: still a single
+             fixed target; extract it by re-probing. *)
+          let host = Chain.host_at_head chain in
+          let d = Proxy_detect.detect ~host address in
+          (match d.Proxy_detect.verdict with
+          | Proxy_detect.Proxy { target; _ } ->
+              { current = Some target; historical = [ target ]; api_calls = 0; upgrade_count = 0 }
+          | _ -> { current = None; historical = []; api_calls = 0; upgrade_count = 0 }))
+  | Proxy_detect.Storage_slot slot -> resolve_slot chain address ~slot
+  | Proxy_detect.Computed -> (
+      match probed with
+      | Some target when not (Address.equal target Address.zero) ->
+          {
+            current = Some target;
+            historical = [ target ];
+            api_calls = 0;
+            upgrade_count = 0;
+          }
+      | _ -> { current = None; historical = []; api_calls = 0; upgrade_count = 0 })

@@ -1,0 +1,74 @@
+(** The full ProxioN pipeline over a chain: proxy detection with
+    bytecode-hash deduplication, logic resolution, standard classification,
+    and per-pair function and storage collision checks with the analysis
+    method chosen by source availability — the end-to-end system the paper
+    evaluates in §6 and §7. *)
+
+type source_lookup = Evm.Address.t -> Minisol.Ast.contract option
+(** The Etherscan stand-in: source for "verified" contracts, [None] for the
+    hidden ones. *)
+
+type analysis_method =
+  | Source_source  (** Both sides verified: the Slither path. *)
+  | Mixed  (** One side bytecode-only: the paper's novel coverage. *)
+  | Bytecode_bytecode  (** Both hidden. *)
+
+type pair_report = {
+  p_proxy : Evm.Address.t;
+  p_logic : Evm.Address.t;
+  p_method : analysis_method;
+  p_func_collisions : Func_collision.collision list;
+  p_storage_collisions : Storage_collision.collision list;
+  p_honeypot : bool;
+      (** The function collision classifies as a honeypot (§2.3): the
+          logic's colliding function baits the caller while the proxy's
+          twin moves assets. *)
+}
+
+type contract_report = {
+  r_address : Evm.Address.t;
+  r_code_hash : string;
+  r_detection : Proxy_detect.t;
+  r_standard : Standard_classify.standard option;  (** Proxies only. *)
+  r_resolution : Logic_resolve.resolution option;  (** Proxies only. *)
+  r_pairs : pair_report list;
+  r_dedup_hit : bool;  (** Detection reused from an identical bytecode. *)
+}
+
+type stats = {
+  s_analyzed : int;
+  s_proxies : int;
+  s_emulation_errors : int;
+  s_pairs : int;
+  s_func_colliding_pairs : int;
+  s_storage_colliding_pairs : int;
+  s_verified_storage_pairs : int;
+  s_honeypot_pairs : int;  (** Function-colliding pairs with honeypot shape. *)
+  s_dedup_hits : int;
+  s_unique_codes : int;
+  s_api_calls : int;  (** getStorageAt calls spent by Algorithm 1. *)
+  s_emulation_steps : int;  (** EVM instructions interpreted by probes. *)
+}
+
+type report = { contracts : contract_report list; stats : stats }
+
+val run :
+  ?verify_storage:bool ->
+  ?dedup:bool ->
+  ?diamond_extension:bool ->
+  ?addresses:Evm.Address.t list ->
+  chain:Chain.t ->
+  source:source_lookup ->
+  unit ->
+  report
+(** Analyze [addresses] (default: every contract on the chain, in
+    deployment order).  [dedup] (default true) reuses detection and
+    pair-analysis results across identical bytecodes; [verify_storage]
+    (default true) runs CRUSH-style exploit verification on storage
+    collision candidates; [diamond_extension] (default false) re-probes
+    probe-negative contracts with selectors harvested from their
+    transaction history, recovering transacted diamonds (§8.2 — disabled
+    by default to match the paper's evaluated system). *)
+
+val proxies : report -> contract_report list
+val is_proxy_report : contract_report -> bool

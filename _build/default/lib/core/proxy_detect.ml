@@ -1,0 +1,116 @@
+module Address = Evm.Address
+module Host = Evm.Host
+module Interp = Evm.Interp
+module Opcode = Evm.Opcode
+module Disasm = Evm.Disasm
+
+type target_source =
+  | Hardcoded
+  | Storage_slot of U256.t
+  | Computed
+
+type verdict =
+  | Not_proxy_no_delegatecall
+  | Not_proxy_no_forward
+  | Proxy of { target : Address.t; source : target_source }
+  | Emulation_error of string
+
+type t = {
+  address : Address.t;
+  verdict : verdict;
+  probe_selector : string;
+  steps : int;
+}
+
+let is_proxy d = match d.verdict with Proxy _ -> true | _ -> false
+
+let probe_caller = Address.of_hex "0x00000000000000000000000000000000c0ffee01"
+
+let probe_calldata ~code ~seed =
+  let avoid = Selector_extract.probe_avoid_set code in
+  let selector = Evm.Abi.random_selector ~unavailable:avoid ~seed in
+  (* One pseudo-random argument word keeps ABI-decoding fallbacks alive. *)
+  let arg = Keccak.digest (Printf.sprintf "proxion-arg-%d" seed) in
+  selector ^ arg
+
+let address_mask = U256.pred (U256.shift_left U256.one 160)
+
+(* Occurrence of the raw 20 target bytes anywhere in the code. *)
+let contains_substring ~haystack ~needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else at (i + 1)
+  in
+  nn > 0 && at 0
+
+let attribute_source ~code ~sloads target =
+  let target_word = Address.to_u256 target in
+  let from_slot =
+    List.find_map
+      (fun (slot, value) ->
+        if U256.equal (U256.logand value address_mask) target_word then
+          Some slot
+        else None)
+      sloads
+  in
+  match from_slot with
+  | Some slot -> Storage_slot slot
+  | None ->
+      if contains_substring ~haystack:code ~needle:target then Hardcoded
+      else Computed
+
+let detect ?(seed = 1) ~host address =
+  let code = host.Host.get_code address in
+  if code = "" || not (Disasm.has_opcode code Opcode.DELEGATECALL) then
+    { address; verdict = Not_proxy_no_delegatecall; probe_selector = ""; steps = 0 }
+  else begin
+    let calldata = probe_calldata ~code ~seed in
+    let forwarded = ref None in
+    let sloads = ref [] in
+    let steps = ref 0 in
+    let tracer =
+      {
+        Interp.no_tracer with
+        Interp.on_step = (fun ~depth:_ ~pc:_ _ -> incr steps);
+        Interp.on_call =
+          (fun ev ->
+            if
+              !forwarded = None
+              && ev.Interp.kind = Interp.Delegatecall
+              && Address.equal ev.Interp.context_address address
+              && ev.Interp.input = calldata
+            then forwarded := Some ev.Interp.code_address);
+        Interp.on_sload =
+          (fun a slot value ->
+            if Address.equal a address then sloads := (slot, value) :: !sloads);
+      }
+    in
+    let snapshot = host.Host.snapshot () in
+    let result =
+      Interp.execute ~tracer ~step_limit:200_000 host
+        (Interp.make_call ~caller:probe_caller ~target:address ~input:calldata ())
+    in
+    host.Host.revert_to snapshot;
+    let verdict =
+      match !forwarded with
+      | Some target ->
+          Proxy { target; source = attribute_source ~code ~sloads:!sloads target }
+      | None -> (
+          match result.Interp.status with
+          | Interp.Failed err -> Emulation_error (Interp.error_to_string err)
+          | Interp.Returned | Interp.Reverted -> Not_proxy_no_forward)
+    in
+    {
+      address;
+      verdict;
+      probe_selector = Hexutil.take 4 calldata;
+      steps = !steps;
+    }
+  end
+
+let detect_code ?seed code =
+  let host = Host.in_memory () in
+  let address = Address.of_hex "0x00000000000000000000000000000000c0ffee99" in
+  Host.with_code host address code;
+  detect ?seed ~host address

@@ -1,0 +1,52 @@
+(** Emulation-based proxy detection — the heart of ProxioN (§4.1-§4.2).
+
+    Step 1 disassembles the contract and rejects it outright when no
+    DELEGATECALL opcode exists.  Step 2 executes the contract in an
+    emulated EVM with crafted call data: a random 4-byte selector distinct
+    from every PUSH4 operand in the code (so the dispatcher cannot match)
+    followed by pseudo-random arguments.  The contract is a proxy exactly
+    when the emulation performs a DELEGATECALL that forwards the probe call
+    data to another contract.  The detector also reports where the logic
+    address came from — hard-coded bytes, a storage slot (recovered from
+    the traced SLOAD), or computed some other way — which drives both logic
+    resolution (§4.3) and standard classification (Table 4). *)
+
+type target_source =
+  | Hardcoded  (** The 20 address bytes appear verbatim in the bytecode. *)
+  | Storage_slot of U256.t  (** Loaded from this slot during emulation. *)
+  | Computed  (** Derived dynamically (e.g. mapping lookups). *)
+
+type verdict =
+  | Not_proxy_no_delegatecall  (** Rejected by the §4.1 prefilter. *)
+  | Not_proxy_no_forward
+      (** DELEGATECALL present but the probe was not forwarded (library
+          calls, reverting fallbacks, diamond gating...). *)
+  | Proxy of { target : Evm.Address.t; source : target_source }
+  | Emulation_error of string
+      (** The probe aborted with an interpreter error (§6.2 reports this
+          rate; 1.2-4.9% in the paper). *)
+
+type t = {
+  address : Evm.Address.t;
+  verdict : verdict;
+  probe_selector : string;  (** The crafted 4-byte selector used. *)
+  steps : int;  (** Instructions interpreted during the probe. *)
+}
+
+val is_proxy : t -> bool
+
+val probe_calldata : code:string -> seed:int -> string
+(** The crafted call data: a selector from {!Selector_extract.probe_avoid_set}
+    avoidance plus one pseudo-random argument word. *)
+
+val detect :
+  ?seed:int -> host:Evm.Host.t -> Evm.Address.t -> t
+(** Probe one contract.  State changes made by the emulation are rolled
+    back through the host's snapshot mechanism, so detection never mutates
+    the world it inspects. *)
+
+val detect_code : ?seed:int -> string -> t
+(** Convenience: probe bare bytecode in a fresh in-memory world (the hidden
+    contract case — no storage, no transactions).  Slot-based proxies whose
+    slot holds zero still register as proxies when the delegate call to the
+    zero/empty target forwards the call data. *)

@@ -1,0 +1,117 @@
+module Disasm = Evm.Disasm
+module Opcode = Evm.Opcode
+
+let dedup_keep_order items =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    items
+
+let naive_push4 code = dedup_keep_order (Disasm.push_operands 4 code)
+
+(* A PUSH4 participates in a dispatcher when, within a short window after
+   it, a comparison opcode consumes it and a conditional jump follows: the
+   solc shape is [DUP1; PUSH4 sel; EQ; PUSH2 dest; JUMPI], Vyper and older
+   solc variants use SUB/XOR in place of EQ.  Constants embedded for call
+   encoding (PUSH4 sel; PUSH1 0xe0; SHL) have no comparison and are
+   rejected. *)
+let dispatcher_selectors code =
+  let instrs = Array.of_list (Disasm.disassemble code) in
+  let n = Array.length instrs in
+  let window = 4 in
+  let is_compare op =
+    Opcode.equal op Opcode.EQ || Opcode.equal op Opcode.SUB
+    || Opcode.equal op Opcode.XOR
+  in
+  let is_jumpi op = Opcode.equal op Opcode.JUMPI in
+  let found = ref [] in
+  for i = 0 to n - 1 do
+    match instrs.(i).Disasm.opcode with
+    | Opcode.PUSH 4 when String.length instrs.(i).Disasm.operand = 4 ->
+        (* Find a comparison within the window, then a JUMPI within a
+           further window, without crossing a block terminator. *)
+        let rec scan_compare j =
+          if j >= n || j > i + window then None
+          else
+            let op = instrs.(j).Disasm.opcode in
+            if is_compare op then Some j
+            else if Opcode.is_terminator op || is_jumpi op then None
+            else scan_compare (j + 1)
+        in
+        let rec scan_jumpi j limit =
+          if j >= n || j > limit then false
+          else
+            let op = instrs.(j).Disasm.opcode in
+            if is_jumpi op then true
+            else if Opcode.is_terminator op then false
+            else scan_jumpi (j + 1) limit
+        in
+        (match scan_compare (i + 1) with
+        | Some cmp when scan_jumpi (cmp + 1) (cmp + window) ->
+            found := instrs.(i).Disasm.operand :: !found
+        | _ -> ())
+    | _ -> ()
+  done;
+  dedup_keep_order (List.rev !found)
+
+(* Like [dispatcher_selectors], but also recover the JUMPI destination:
+   in the solc shape [DUP1; PUSH4 sel; EQ; PUSH2 dest; JUMPI] the
+   destination is the PUSH immediately before the JUMPI. *)
+let dispatcher_table code =
+  let instrs = Array.of_list (Disasm.disassemble code) in
+  let n = Array.length instrs in
+  let window = 4 in
+  let is_compare op =
+    Opcode.equal op Opcode.EQ || Opcode.equal op Opcode.SUB
+    || Opcode.equal op Opcode.XOR
+  in
+  let entries = ref [] in
+  let seen = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    match instrs.(i).Disasm.opcode with
+    | Opcode.PUSH 4 when String.length instrs.(i).Disasm.operand = 4 ->
+        let rec scan_compare j =
+          if j >= n || j > i + window then None
+          else
+            let op = instrs.(j).Disasm.opcode in
+            if is_compare op then Some j
+            else if Opcode.is_terminator op || Opcode.equal op Opcode.JUMPI then None
+            else scan_compare (j + 1)
+        in
+        let rec scan_jumpi j limit last_push =
+          if j >= n || j > limit then None
+          else
+            let instr = instrs.(j) in
+            if Opcode.equal instr.Disasm.opcode Opcode.JUMPI then last_push
+            else if Opcode.is_terminator instr.Disasm.opcode then None
+            else
+              let last_push =
+                match instr.Disasm.opcode with
+                | Opcode.PUSH _ -> Some instr
+                | _ -> last_push
+              in
+              scan_jumpi (j + 1) limit last_push
+        in
+        (match scan_compare (i + 1) with
+        | Some cmp -> (
+            match scan_jumpi (cmp + 1) (cmp + window) None with
+            | Some push_instr ->
+                let sel = instrs.(i).Disasm.operand in
+                if not (Hashtbl.mem seen sel) then begin
+                  Hashtbl.replace seen sel ();
+                  match U256.to_int (Disasm.operand_value push_instr) with
+                  | Some dest -> entries := (sel, dest) :: !entries
+                  | None -> ()
+                end
+            | None -> ())
+        | None -> ())
+    | _ -> ()
+  done;
+  List.rev !entries
+
+let probe_avoid_set = naive_push4

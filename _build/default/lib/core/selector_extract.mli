@@ -1,0 +1,29 @@
+(** Function-selector recovery from bytecode (§4.2, §5.1).
+
+    Two extractors with very different precision:
+
+    - {!naive_push4} harvests every 4-byte PUSH4 operand.  Sound for probe
+      avoidance (crafted call data must dodge all of them) but wildly
+      imprecise as a function list, because arbitrary constants also follow
+      PUSH4 — the paper's §3.1 third challenge.
+    - {!dispatcher_selectors} recovers only selectors that take part in a
+      dispatcher comparison ([PUSH4 sel] whose value is consumed by [EQ] / [SUB]
+      / [XOR] and then steers a [JUMPI]) — the Panoramix-style recovery
+      ProxioN uses for function-collision detection on bytecode. *)
+
+val naive_push4 : string -> string list
+(** All complete 4-byte PUSH4 operands, deduplicated, in code order. *)
+
+val dispatcher_selectors : string -> string list
+(** Selectors guarded by dispatcher patterns, deduplicated, in code order. *)
+
+val dispatcher_table : string -> (string * int) list
+(** Dispatcher selectors together with the code offset their comparison
+    jumps to (the function body's entry block) — what Panoramix-style
+    decompilation recovers.  Entries without a decodable jump target are
+    omitted. *)
+
+val probe_avoid_set : string -> string list
+(** The set a crafted probe must avoid: {!naive_push4} (the paper: "while
+    not all 4-byte data following PUSH4 opcodes is a function signature,
+    ProxioN safely avoids all of them"). *)

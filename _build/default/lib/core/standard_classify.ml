@@ -1,0 +1,20 @@
+type standard = Eip1167 | Eip1822 | Eip1967 | Other
+
+let to_string = function
+  | Eip1167 -> "EIP-1167"
+  | Eip1822 -> "EIP-1822"
+  | Eip1967 -> "EIP-1967"
+  | Other -> "Others"
+
+let minimal_code_limit = 100
+
+let classify ~code (source : Proxy_detect.target_source) =
+  match source with
+  | Proxy_detect.Hardcoded ->
+      if String.length code < minimal_code_limit then Eip1167 else Other
+  | Proxy_detect.Storage_slot slot ->
+      if U256.equal slot Minisol.Patterns.eip1822_proxiable_slot then Eip1822
+      else if U256.equal slot Minisol.Patterns.eip1967_implementation_slot then
+        Eip1967
+      else Other
+  | Proxy_detect.Computed -> Other

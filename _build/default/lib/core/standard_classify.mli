@@ -1,0 +1,22 @@
+(** Proxy design-standard classification (Table 4).
+
+    ProxioN buckets each detected proxy by where its logic address lives:
+    hard-coded bytecode targets with tiny runtimes are minimal proxies
+    (EIP-1167); the [keccak256("PROXIABLE")] slot marks EIP-1822 (UUPS);
+    the [keccak256("eip1967.proxy.implementation") - 1] slot marks
+    EIP-1967; anything else storing an address in storage is non-standard
+    ("Others" in the paper's Table 4). *)
+
+type standard =
+  | Eip1167
+  | Eip1822
+  | Eip1967
+  | Other
+
+val to_string : standard -> string
+
+val classify : code:string -> Proxy_detect.target_source -> standard
+
+val minimal_code_limit : int
+(** Byte-size threshold under which a hard-coded-target proxy counts as
+    minimal — the paper uses "less than 100 bytes" (§4.3). *)

@@ -1,0 +1,349 @@
+module Ast = Minisol.Ast
+module Layout = Minisol.Layout
+module Address = Evm.Address
+module Interp = Evm.Interp
+module Host = Evm.Host
+
+type side =
+  | Source of Ast.contract
+  | Bytecode of string
+
+type region = {
+  g_offset : int;
+  g_width : int;
+  g_reads : bool;
+  g_writes : bool;
+  g_guards_caller : bool;
+}
+
+type collision = {
+  slot : Storage_access.slot_id;
+  proxy_region : region;
+  logic_region : region;
+  sensitive : bool;
+  verified : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Source-side region recovery: layout + usage scan                    *)
+(* ------------------------------------------------------------------ *)
+
+type usage = {
+  mutable u_reads : bool;
+  mutable u_writes : bool;
+  mutable u_guards : bool;
+}
+
+let fresh_usage () = { u_reads = false; u_writes = false; u_guards = false }
+
+(* Usage scan over the AST: which variables and raw slots are actually
+   accessed, and which participate in caller checks. *)
+let scan_contract (c : Ast.contract) =
+  let vars : (string, usage) Hashtbl.t = Hashtbl.create 8 in
+  let raw : (U256.t, usage * int) Hashtbl.t = Hashtbl.create 4 in
+  let var_usage name =
+    match Hashtbl.find_opt vars name with
+    | Some u -> u
+    | None ->
+        let u = fresh_usage () in
+        Hashtbl.replace vars name u;
+        u
+  in
+  let raw_usage slot width =
+    match Hashtbl.find_opt raw slot with
+    | Some (u, w) ->
+        if width > w then Hashtbl.replace raw slot (u, width);
+        u
+    | None ->
+        let u = fresh_usage () in
+        Hashtbl.replace raw slot (u, width);
+        u
+  in
+  let rec expr_width params (e : Ast.expr) =
+    match e with
+    | Ast.Caller | Ast.Self | Ast.Const_addr _ -> 20
+    | Ast.Param i -> (
+        match List.nth_opt params i with
+        | Some p -> Ast.type_size p.Ast.p_ty
+        | None -> 32)
+    | Ast.Load name -> (
+        match List.find_opt (fun v -> v.Ast.v_name = name) c.Ast.c_vars with
+        | Some v -> Ast.type_size v.Ast.v_ty
+        | None -> 32)
+    | Ast.Not e -> expr_width params e
+    | _ -> 32
+  in
+  let rec scan_expr params (e : Ast.expr) =
+    match e with
+    | Ast.Load name -> (var_usage name).u_reads <- true
+    | Ast.Map_load (name, k) ->
+        (var_usage name).u_reads <- true;
+        scan_expr params k
+    | Ast.Load_slot slot -> (raw_usage slot 20).u_reads <- true
+    | Ast.Not e -> scan_expr params e
+    | Ast.Bin (op, a, b) ->
+        (* Caller-equality guards mark the other operand. *)
+        (if op = Ast.Eq then
+           let mark = function
+             | Ast.Load name -> (var_usage name).u_guards <- true
+             | Ast.Load_slot slot -> (raw_usage slot 20).u_guards <- true
+             | _ -> ()
+           in
+           match (a, b) with
+           | Ast.Caller, other | other, Ast.Caller -> mark other
+           | _ -> ());
+        scan_expr params a;
+        scan_expr params b
+    | Ast.Const _ | Ast.Const_addr _ | Ast.Param _ | Ast.Cd_selector
+    | Ast.Caller | Ast.Callvalue | Ast.Timestamp | Ast.Blocknumber
+    | Ast.Self | Ast.Selfbalance | Ast.Local _ ->
+        ()
+  in
+  let rec scan_stmt params (s : Ast.stmt) =
+    match s with
+    | Ast.Store (name, e) ->
+        (var_usage name).u_writes <- true;
+        scan_expr params e
+    | Ast.Map_store (name, k, v) ->
+        (var_usage name).u_writes <- true;
+        scan_expr params k;
+        scan_expr params v
+    | Ast.Store_slot (slot, e) ->
+        (raw_usage slot (expr_width params e)).u_writes <- true;
+        scan_expr params e
+    | Ast.Require e | Ast.Return_value e -> scan_expr params e
+    | Ast.Stop | Ast.Revert -> ()
+    | Ast.Transfer (a, b) ->
+        scan_expr params a;
+        scan_expr params b
+    | Ast.Call_sig (t, _, args) | Ast.Delegate_sig (t, _, args) ->
+        scan_expr params t;
+        List.iter (scan_expr params) args
+    | Ast.Emit (_, args) -> List.iter (scan_expr params) args
+    | Ast.Let (_, e) -> scan_expr params e
+    | Ast.While (cond, body) ->
+        scan_expr params cond;
+        List.iter (scan_stmt params) body
+    | Ast.Delegate_forward target -> (
+        match target with
+        | Ast.To_var name -> (var_usage name).u_reads <- true
+        | Ast.To_slot slot -> (raw_usage slot 20).u_reads <- true
+        | Ast.To_fixed _ -> ()
+        | Ast.To_facet name -> (var_usage name).u_reads <- true
+        | Ast.To_beacon slot -> (raw_usage slot 20).u_reads <- true)
+    | Ast.If (cond, then_, else_) ->
+        scan_expr params cond;
+        List.iter (scan_stmt params) then_;
+        List.iter (scan_stmt params) else_
+  in
+  List.iter
+    (fun f -> List.iter (scan_stmt f.Ast.f_params) f.Ast.f_body)
+    c.Ast.c_funcs;
+  (match c.Ast.c_fallback with
+  | Some body -> List.iter (scan_stmt []) body
+  | None -> ());
+  List.iter (scan_stmt []) c.Ast.c_ctor;
+  (vars, raw)
+
+let regions_of_source (c : Ast.contract) =
+  let vars, raw = scan_contract c in
+  let layout = Layout.of_contract c in
+  let from_vars =
+    List.filter_map
+      (fun (e : Layout.entry) ->
+        match Hashtbl.find_opt vars e.Layout.e_var.Ast.v_name with
+        | None -> None (* never accessed: storage padding *)
+        | Some u ->
+            let slot_id =
+              match e.Layout.e_var.Ast.v_ty with
+              | Ast.T_mapping (_, value_ty) ->
+                  ignore value_ty;
+                  Storage_access.Mapping (U256.of_int e.Layout.e_slot)
+              | _ -> Storage_access.Fixed (U256.of_int e.Layout.e_slot)
+            in
+            let width =
+              match e.Layout.e_var.Ast.v_ty with
+              | Ast.T_mapping (_, value_ty) -> Ast.type_size value_ty
+              | _ -> e.Layout.e_size
+            in
+            Some
+              ( slot_id,
+                {
+                  g_offset = (match slot_id with Storage_access.Mapping _ -> 0 | _ -> e.Layout.e_offset);
+                  g_width = width;
+                  g_reads = u.u_reads;
+                  g_writes = u.u_writes;
+                  g_guards_caller = u.u_guards;
+                } ))
+      layout
+  in
+  let from_raw =
+    Hashtbl.fold
+      (fun slot (u, width) acc ->
+        ( Storage_access.Fixed slot,
+          {
+            g_offset = 0;
+            g_width = width;
+            g_reads = u.u_reads;
+            g_writes = u.u_writes;
+            g_guards_caller = u.u_guards;
+          } )
+        :: acc)
+      raw []
+  in
+  from_vars @ from_raw
+
+(* ------------------------------------------------------------------ *)
+(* Bytecode-side region recovery                                       *)
+(* ------------------------------------------------------------------ *)
+
+let regions_of_bytecode code =
+  let accesses = Storage_access.profile code in
+  (* Merge accesses with the same slot/offset/width into one region. *)
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Storage_access.access) ->
+      let key = (a.Storage_access.a_slot, a.Storage_access.a_offset, a.Storage_access.a_width) in
+      let r =
+        match Hashtbl.find_opt table key with
+        | Some r -> r
+        | None ->
+            let r =
+              {
+                g_offset = a.Storage_access.a_offset;
+                g_width = a.Storage_access.a_width;
+                g_reads = false;
+                g_writes = false;
+                g_guards_caller = false;
+              }
+            in
+            Hashtbl.replace table key r;
+            r
+      in
+      let r =
+        {
+          r with
+          g_reads = r.g_reads || a.Storage_access.a_kind = Storage_access.Read;
+          g_writes = r.g_writes || a.Storage_access.a_kind = Storage_access.Write;
+          g_guards_caller = r.g_guards_caller || a.Storage_access.a_guards_caller;
+        }
+      in
+      Hashtbl.replace table key r)
+    accesses;
+  Hashtbl.fold (fun (slot, _, _) r acc -> (slot, r) :: acc) table []
+
+let group_by_slot pairs =
+  let slots = ref [] in
+  List.iter
+    (fun (slot, _) ->
+      if
+        not
+          (List.exists (fun s -> Storage_access.slot_id_compare s slot = 0) !slots)
+      then slots := slot :: !slots)
+    pairs;
+  List.rev_map
+    (fun slot ->
+      ( slot,
+        List.filter_map
+          (fun (s, r) ->
+            if Storage_access.slot_id_compare s slot = 0 then Some r else None)
+          pairs ))
+    !slots
+
+let regions_of_side = function
+  | Source c -> group_by_slot (regions_of_source c)
+  | Bytecode code -> group_by_slot (regions_of_bytecode code)
+
+(* ------------------------------------------------------------------ *)
+(* Pairwise comparison                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ranges_overlap a b =
+  a.g_offset < b.g_offset + b.g_width && b.g_offset < a.g_offset + a.g_width
+
+let typing_differs a b = a.g_offset <> b.g_offset || a.g_width <> b.g_width
+
+let detect ~proxy ~logic =
+  let proxy_slots = regions_of_side proxy in
+  let logic_slots = regions_of_side logic in
+  List.concat_map
+    (fun (slot, proxy_regions) ->
+      match
+        List.find_opt
+          (fun (s, _) -> Storage_access.slot_id_compare s slot = 0)
+          logic_slots
+      with
+      | None -> []
+      | Some (_, logic_regions) ->
+          List.concat_map
+            (fun pr ->
+              List.filter_map
+                (fun lr ->
+                  let cross_write =
+                    (pr.g_writes && (lr.g_reads || lr.g_writes))
+                    || (lr.g_writes && (pr.g_reads || pr.g_writes))
+                  in
+                  if
+                    ranges_overlap pr lr && typing_differs pr lr && cross_write
+                  then
+                    Some
+                      {
+                        slot;
+                        proxy_region = pr;
+                        logic_region = lr;
+                        sensitive = pr.g_guards_caller || lr.g_guards_caller;
+                        verified = false;
+                      }
+                  else None)
+                logic_regions)
+            proxy_regions)
+    proxy_slots
+
+let has_collision ~proxy ~logic = detect ~proxy ~logic <> []
+
+(* ------------------------------------------------------------------ *)
+(* Exploit verification                                                *)
+(* ------------------------------------------------------------------ *)
+
+let attacker = Address.of_hex "0x00000000000000000000000000000000a77ac4e2"
+
+let region_bytes value r =
+  U256.logand
+    (U256.shift_right value (8 * r.g_offset))
+    (U256.pred (U256.shift_left U256.one (8 * r.g_width)))
+
+let verify ~chain ~proxy_address ~logic_address collisions =
+  let host = Chain.host_at_head chain in
+  let logic_code = Chain.code_at chain logic_address in
+  let selectors = Selector_extract.dispatcher_selectors logic_code in
+  let attacker_word = U256.to_bytes_be (Address.to_u256 attacker) in
+  let try_exploit (c : collision) =
+    match c.slot with
+    | Storage_access.Mapping _ -> c (* element slots are unenumerable *)
+    | Storage_access.Fixed slot ->
+        let changed =
+          List.exists
+            (fun sel ->
+              let snapshot = host.Host.snapshot () in
+              let before = host.Host.get_storage proxy_address slot in
+              let input = sel ^ attacker_word ^ String.make 32 '\000' in
+              let result =
+                Interp.execute ~step_limit:200_000 host
+                  (Interp.make_call ~caller:attacker ~target:proxy_address
+                     ~input ())
+              in
+              let after = host.Host.get_storage proxy_address slot in
+              let mutated =
+                Interp.succeeded result
+                && not
+                     (U256.equal
+                        (region_bytes before c.proxy_region)
+                        (region_bytes after c.proxy_region))
+              in
+              host.Host.revert_to snapshot;
+              mutated)
+            selectors
+        in
+        { c with verified = changed }
+  in
+  List.map try_exploit collisions

@@ -1,0 +1,54 @@
+(** Storage-collision detection between a proxy and a logic contract
+    (§5.2), following CRUSH's pipeline: recover each side's slot typing,
+    compare slots pairwise for type discrepancies, keep candidates where
+    one side writes what the other reads differently, and verify
+    exploitability by executing test transactions on the EVM.
+
+    On the source path the typing comes from {!Minisol.Layout} plus a usage
+    scan of the AST (variables never accessed are storage padding and are
+    excluded — the precision edge over name-based comparison the paper
+    reports in §6.3).  On the bytecode path it comes from
+    {!Storage_access.profile}. *)
+
+type side =
+  | Source of Minisol.Ast.contract
+  | Bytecode of string
+
+(** One side's view of a slot region. *)
+type region = {
+  g_offset : int;
+  g_width : int;
+  g_reads : bool;
+  g_writes : bool;
+  g_guards_caller : bool;
+}
+
+type collision = {
+  slot : Storage_access.slot_id;
+  proxy_region : region;
+  logic_region : region;
+  sensitive : bool;
+      (** The overlapping region takes part in an access-control check. *)
+  verified : bool;  (** Set by {!verify} when an exploit transaction ran. *)
+}
+
+val regions_of_side : side -> (Storage_access.slot_id * region list) list
+(** Typed regions per slot, as recovered by the chosen method. *)
+
+val detect : proxy:side -> logic:side -> collision list
+(** Collision candidates: same slot, overlapping regions, mismatched
+    typing, and a write on at least one side against an access on the
+    other. *)
+
+val verify :
+  chain:Chain.t ->
+  proxy_address:Evm.Address.t ->
+  logic_address:Evm.Address.t ->
+  collision list ->
+  collision list
+(** CRUSH-style exploit verification: fire the logic contract's functions
+    through the proxy from an attacker account inside a state snapshot and
+    mark a candidate [verified] when the colliding slot region observably
+    changes type/content.  The snapshot is rolled back afterwards. *)
+
+val has_collision : proxy:side -> logic:side -> bool

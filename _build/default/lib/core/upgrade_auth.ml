@@ -1,0 +1,62 @@
+module Address = Evm.Address
+module Host = Evm.Host
+module Interp = Evm.Interp
+
+type authority =
+  | Immutable
+  | Gated
+  | Open_to_anyone of string
+  | No_upgrade_path
+
+let to_string = function
+  | Immutable -> "immutable (hard-coded logic)"
+  | Gated -> "gated (access-controlled upgrade)"
+  | Open_to_anyone sel -> Printf.sprintf "OPEN to anyone (via %s)" (Hexutil.to_hex sel)
+  | No_upgrade_path -> "no visible upgrade path"
+
+let attacker = Address.of_hex "0x00000000000000000000000000000000a7747c4e"
+
+(* Probe one selector: selector ++ attacker-address word ++ zero word,
+   from the attacker.  Returns true when the logic slot changed. *)
+let probe_changes_slot host proxy slot selector =
+  let input =
+    selector
+    ^ U256.to_bytes_be (Address.to_u256 attacker)
+    ^ String.make 32 '\000'
+  in
+  let snapshot = host.Host.snapshot () in
+  let before = host.Host.get_storage proxy slot in
+  let result =
+    Interp.execute ~step_limit:200_000 host
+      (Interp.make_call ~caller:attacker ~target:proxy ~input ())
+  in
+  let after = host.Host.get_storage proxy slot in
+  host.Host.revert_to snapshot;
+  Interp.succeeded result && not (U256.equal before after)
+
+let analyze chain proxy (source : Proxy_detect.target_source) =
+  match source with
+  | Proxy_detect.Hardcoded -> Immutable
+  | Proxy_detect.Computed -> No_upgrade_path
+  | Proxy_detect.Storage_slot slot -> (
+      let code = Chain.code_at chain proxy in
+      let host = Chain.host_at_head chain in
+      let selectors = Selector_extract.dispatcher_selectors code in
+      match
+        List.find_opt (fun sel -> probe_changes_slot host proxy slot sel) selectors
+      with
+      | Some sel -> Open_to_anyone sel
+      | None ->
+          (* No unprivileged write worked.  Distinguish "gated" from "no
+             path" via the static profile: does any write to the slot
+             exist in the bytecode at all? *)
+          let writes_slot =
+            List.exists
+              (fun (a : Storage_access.access) ->
+                a.Storage_access.a_kind = Storage_access.Write
+                && Storage_access.slot_id_compare a.Storage_access.a_slot
+                     (Storage_access.Fixed slot)
+                   = 0)
+              (Storage_access.profile code)
+          in
+          if writes_slot then Gated else No_upgrade_path)

@@ -1,0 +1,33 @@
+(** Upgrade-authority analysis — who can repoint a proxy's logic address?
+
+    Salehi et al. (§9.1) study "the ownership of upgradability": a proxy
+    whose logic slot can be rewritten by anyone is one transaction away
+    from total takeover, while a properly gated one can only be upgraded
+    by its admin.  This module answers the question dynamically, in the
+    spirit of the emulation approach: fire every dispatcher selector at
+    the proxy from an unprivileged attacker account (with the attacker's
+    address as the argument) inside a state snapshot, and watch whether
+    the logic slot changes.  A static pass over the storage-access profile
+    supplies the gating evidence. *)
+
+type authority =
+  | Immutable
+      (** The logic address is hard-coded (minimal proxies): no upgrade
+          mechanism exists at all. *)
+  | Gated
+      (** Upgrade writes exist but are access-controlled: the attacker
+          probe could not change the slot and the slot's writes sit behind
+          caller checks. *)
+  | Open_to_anyone of string
+      (** The attacker probe changed the logic slot.  Carries the 4-byte
+          selector that did it — the smoking gun. *)
+  | No_upgrade_path
+      (** Slot-based proxy, but no reachable write to the slot was found
+          (upgrades happen through mechanisms this analysis cannot see). *)
+
+val to_string : authority -> string
+
+val analyze :
+  Chain.t -> Evm.Address.t -> Proxy_detect.target_source -> authority
+(** Analyze one detected proxy.  All probe transactions run inside a
+    snapshot and are rolled back. *)

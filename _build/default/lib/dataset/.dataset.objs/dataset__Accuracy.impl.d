@@ -1,0 +1,1 @@
+lib/dataset/accuracy.ml: Array Chain Evm Hashtbl Hexutil Keccak List Minisol Printf Prng Proxion Sig_mine String U256

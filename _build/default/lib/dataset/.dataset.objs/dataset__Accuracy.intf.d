@@ -1,0 +1,1 @@
+lib/dataset/accuracy.mli: Chain Evm Proxion

@@ -1,0 +1,1 @@
+lib/dataset/generate.ml: Array Chain Evm Float Hashtbl Hexutil Keccak Lazy List Minisol Printf Prng Proxion Sig_mine Spec String U256

@@ -1,0 +1,1 @@
+lib/dataset/generate.mli: Chain Evm Proxion

@@ -1,0 +1,1 @@
+lib/dataset/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/dataset/sig_mine.ml: Hashtbl Keccak List Printf

@@ -1,0 +1,1 @@
+lib/dataset/sig_mine.mli:

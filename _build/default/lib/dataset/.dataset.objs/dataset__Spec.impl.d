@@ -1,0 +1,1 @@
+lib/dataset/spec.ml: Float List Proxion

@@ -1,0 +1,1 @@
+lib/dataset/spec.mli: Proxion

@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64) for reproducible
+    dataset generation.  Every landscape is a pure function of its seed. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n).  Requires [n > 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice.  Requires a non-empty array. *)
+
+val pick_weighted : t -> ('a * float) list -> 'a
+(** Choice by relative weight.  Requires positive total weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

@@ -1,0 +1,35 @@
+type pair = { sig_a : string; sig_b : string; selector : string }
+
+let mine ?(prefix = "fn") ~count () =
+  if count <= 0 then []
+  else begin
+    let buckets : (string, string) Hashtbl.t = Hashtbl.create (1 lsl 17) in
+    let found = ref [] in
+    let n = ref 0 in
+    let k = ref 0 in
+    while !n < count do
+      let name = Printf.sprintf "%s_%d()" prefix !k in
+      incr k;
+      let sel = Keccak.selector name in
+      (match Hashtbl.find_opt buckets sel with
+      | Some other when other <> name ->
+          found := { sig_a = other; sig_b = name; selector = sel } :: !found;
+          incr n;
+          (* Retire the bucket so each selector yields one pair. *)
+          Hashtbl.remove buckets sel
+      | Some _ -> ()
+      | None -> Hashtbl.replace buckets sel name)
+    done;
+    List.rev !found
+  end
+
+let find_collision_for ?(prefix = "crafted") ?(budget = 5_000_000) proto =
+  let target = Keccak.selector proto in
+  let rec search k =
+    if k >= budget then None
+    else
+      let name = Printf.sprintf "%s_%d()" prefix k in
+      if Keccak.selector name = target && name <> proto then Some name
+      else search (k + 1)
+  in
+  search 0

@@ -1,0 +1,25 @@
+(** 4-byte selector collision mining.
+
+    §2.3 of the paper observes that "creating a pair of functions that
+    share the same 4-byte signature is remarkably easy and achievable
+    within seconds" — a birthday search over candidate names.  The dataset
+    generator uses this to inject fresh, distinct function collisions, and
+    an example program demonstrates the claim directly. *)
+
+type pair = {
+  sig_a : string;  (** e.g. ["fn_12345()"] *)
+  sig_b : string;
+  selector : string;  (** The shared 4 bytes. *)
+}
+
+val mine : ?prefix:string -> count:int -> unit -> pair list
+(** [mine ~count ()] finds [count] distinct colliding signature pairs by
+    hashing candidate prototypes ["<prefix>_<k>()"] until enough buckets
+    collide.  Deterministic for a given prefix. *)
+
+val find_collision_for : ?prefix:string -> ?budget:int -> string -> string option
+(** [find_collision_for proto] searches for a prototype whose selector
+    equals [Keccak.selector proto] — the paper's 600-million-attempt
+    anecdote, bounded by [budget] attempts (default 5 million; returns
+    [None] when exhausted, which is the expected outcome for small
+    budgets — the point of the anecdote is the cost asymmetry). *)

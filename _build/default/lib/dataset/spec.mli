@@ -1,0 +1,73 @@
+(** The paper's measured distributions, collected in one place so the
+    landscape generator and the experiment harness agree on targets.
+    Sources: Figure 2 (availability over years), §7.2 and Figure 4 (proxy
+    growth and source availability), Table 3 (collisions per year),
+    Table 4 (standards), Figure 5 (clone skew), Figure 6 (upgrades). *)
+
+val years : int array
+(** 2015-2023. *)
+
+val alive_cumulative_millions : (int * float) list
+(** Figure 2's cumulative alive-contract curve (approximate read-off). *)
+
+val yearly_share : (int * float) list
+(** Fraction of the population deployed in each year (derived). *)
+
+val proxy_share_total : float
+(** 54.2% of alive contracts are proxies (§7.2). *)
+
+val proxy_rate_by_year : int -> float
+(** Per-year proxy probability: low before 2018, >0.93 in 2022-23 (§7.2),
+    calibrated so the population-wide rate lands near
+    {!proxy_share_total}. *)
+
+val source_rate_proxy : float
+(** ~10% of proxies have source (§7.2: "about 90% of proxy contracts lack
+    available source codes"). *)
+
+val source_rate_non_proxy : float
+(** Calibrated so the whole population lands near 18% with source. *)
+
+val tx_rate : float
+(** ~53% of contracts have past transactions (Figure 2). *)
+
+val standard_mix : (Proxion.Standard_classify.standard * float) list
+(** Table 4: EIP-1167 89.05%, EIP-1822 0.12%, EIP-1967 1.00%,
+    Others 9.83%. *)
+
+val mega_clone_share : float
+(** 42% of proxy contracts duplicate just three popular contracts (§7.2). *)
+
+val function_collisions_by_year : (int * int) list
+(** Table 3, function column (mainnet counts). *)
+
+val storage_collisions_by_year : (int * int) list
+(** Table 3, storage column (mainnet counts). *)
+
+val duplicated_function_collision_share : float
+(** 98.7% of function-colliding proxies are OwnableDelegateProxy clones. *)
+
+val upgraded_proxy_fraction : float
+(** 0.3% of proxies ever upgraded (Figure 6: 99.7% never did). *)
+
+val upgrade_rate_slot_proxy : float
+(** The same fraction conditioned on being a slot-based (upgradeable)
+    proxy, the only kind that can upgrade (~2.5%). *)
+
+val ownable_clone_rate : int -> float
+(** Per-year share of proxies that are OwnableDelegateProxy-style clones,
+    derived from Table 3 (drives the function-collision year shape). *)
+
+val mean_logic_contracts_per_upgraded : float
+(** 1.32 associated logic contracts on average (§7.2). *)
+
+val mainnet_total_alive : int
+(** 36 million (§6.1). *)
+
+val scale_denominator : int
+(** Default landscape scale: 1/1000 of mainnet. *)
+
+val scale : int -> int -> int
+(** [scale total mainnet_count] rescales a mainnet count to a landscape of
+    [total] contracts, rounding but keeping at least 1 when the mainnet
+    count is positive. *)

@@ -1,0 +1,1 @@
+lib/evm/abi.ml: Address Buffer Hexutil Keccak List Printf String U256

@@ -1,0 +1,1 @@
+lib/evm/abi.mli: Address U256

@@ -1,0 +1,1 @@
+lib/evm/address.ml: Format Hexutil Map Set String U256

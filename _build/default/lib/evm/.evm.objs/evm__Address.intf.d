@@ -1,0 +1,1 @@
+lib/evm/address.mli: Format Map Set U256

@@ -1,0 +1,1 @@
+lib/evm/asm.ml: Buffer Char Hashtbl List Opcode Printf String U256

@@ -1,0 +1,1 @@
+lib/evm/asm.mli: Opcode U256

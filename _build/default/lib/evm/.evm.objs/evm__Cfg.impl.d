@@ -1,0 +1,1 @@
+lib/evm/cfg.ml: Disasm Hashtbl List Opcode String U256

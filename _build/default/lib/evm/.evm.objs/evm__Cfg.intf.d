@@ -1,0 +1,1 @@
+lib/evm/cfg.mli: Disasm

@@ -1,0 +1,1 @@
+lib/evm/disasm.ml: Char Hexutil List Opcode Printf String U256

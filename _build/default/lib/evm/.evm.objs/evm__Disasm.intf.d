@@ -1,0 +1,1 @@
+lib/evm/disasm.mli: Opcode U256

@@ -1,0 +1,1 @@
+lib/evm/gas.ml: Opcode

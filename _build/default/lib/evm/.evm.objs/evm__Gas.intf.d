@@ -1,0 +1,1 @@
+lib/evm/gas.mli: Opcode

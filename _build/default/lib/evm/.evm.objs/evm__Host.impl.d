@@ -1,0 +1,1 @@
+lib/evm/host.ml: Address Hashtbl Keccak Option U256

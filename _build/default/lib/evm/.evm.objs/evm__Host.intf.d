@@ -1,0 +1,1 @@
+lib/evm/host.mli: Address U256

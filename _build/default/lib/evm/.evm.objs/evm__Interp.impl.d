@@ -1,0 +1,1 @@
+lib/evm/interp.ml: Address Char Disasm Gas Hashtbl Hexutil Host Keccak List Machine Opcode Option Printf Rlp String U256

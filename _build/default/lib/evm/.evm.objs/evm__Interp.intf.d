@@ -1,0 +1,1 @@
+lib/evm/interp.mli: Address Host Opcode U256

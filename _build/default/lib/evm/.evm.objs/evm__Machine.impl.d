@@ -1,0 +1,1 @@
+lib/evm/machine.ml: Array Bytes Char List String U256

@@ -1,0 +1,1 @@
+lib/evm/machine.mli: U256

@@ -1,0 +1,1 @@
+lib/evm/opcode.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/evm/stack_check.ml: Cfg Disasm Hashtbl List Opcode Queue String

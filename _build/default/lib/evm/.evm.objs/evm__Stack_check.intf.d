@@ -1,0 +1,1 @@
+lib/evm/stack_check.mli:

@@ -1,0 +1,1 @@
+lib/evm/trace.ml: Address Format Hexutil Interp List String U256

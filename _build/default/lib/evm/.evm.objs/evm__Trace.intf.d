@@ -1,0 +1,1 @@
+lib/evm/trace.mli: Address Format Host Interp U256

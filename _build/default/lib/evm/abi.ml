@@ -1,0 +1,54 @@
+type value =
+  | Uint of U256.t
+  | Int of U256.t
+  | Addr of Address.t
+  | Bool of bool
+  | Fixed_bytes of string
+  | Bytes of string
+
+let word_of = function
+  | Uint v | Int v -> U256.to_bytes_be v
+  | Addr a -> U256.to_bytes_be (Address.to_u256 a)
+  | Bool b -> U256.to_bytes_be (if b then U256.one else U256.zero)
+  | Fixed_bytes s ->
+      if String.length s > 32 then invalid_arg "Abi: fixed bytes beyond 32";
+      Hexutil.pad_right 32 '\000' s
+  | Bytes _ -> invalid_arg "Abi.word_of: dynamic value"
+
+let is_dynamic = function Bytes _ -> true | _ -> false
+
+let pad32 s =
+  let r = String.length s mod 32 in
+  if r = 0 then s else s ^ String.make (32 - r) '\000'
+
+let encode_args values =
+  let head_size = 32 * List.length values in
+  let tail = Buffer.create 64 in
+  let head = Buffer.create 64 in
+  List.iter
+    (fun v ->
+      if is_dynamic v then begin
+        Buffer.add_string head
+          (U256.to_bytes_be (U256.of_int (head_size + Buffer.length tail)));
+        match v with
+        | Bytes b ->
+            Buffer.add_string tail (U256.to_bytes_be (U256.of_int (String.length b)));
+            Buffer.add_string tail (pad32 b)
+        | _ -> assert false
+      end
+      else Buffer.add_string head (word_of v))
+    values;
+  Buffer.contents head ^ Buffer.contents tail
+
+let selector = Keccak.selector
+let encode_call ~signature values = selector signature ^ encode_args values
+let decode_uint data = U256.of_bytes_be (Hexutil.slice data 0 32)
+let decode_address data = Address.of_u256 (decode_uint data)
+let decode_bool data = not (U256.is_zero (decode_uint data))
+
+let random_selector ~unavailable ~seed =
+  let rec try_candidate n =
+    let candidate = String.sub (Keccak.digest (Printf.sprintf "proxion-probe-%d-%d" seed n)) 0 4 in
+    if List.mem candidate unavailable then try_candidate (n + 1) else candidate
+  in
+  try_candidate 0

@@ -1,0 +1,32 @@
+(** Minimal Solidity ABI encoding: enough to build transaction call data
+    (selector + statically-encoded arguments) and decode simple returns.
+    Dynamic types are limited to [bytes], which the proxy analysis needs for
+    forwarding payloads. *)
+
+type value =
+  | Uint of U256.t
+  | Int of U256.t  (** Two's-complement encoded, like the EVM itself. *)
+  | Addr of Address.t
+  | Bool of bool
+  | Fixed_bytes of string  (** [bytesN]: right-padded to 32. *)
+  | Bytes of string  (** Dynamic [bytes]: offset + length + padded data. *)
+
+val encode_args : value list -> string
+(** Head/tail ABI encoding of an argument tuple. *)
+
+val encode_call : signature:string -> value list -> string
+(** [encode_call ~signature args] is the 4-byte selector of [signature]
+    followed by [encode_args args] — ready-to-send call data. *)
+
+val selector : string -> string
+(** Re-export of {!Keccak.selector} for convenience. *)
+
+val decode_uint : string -> U256.t
+(** First 32-byte word of return data (zero when shorter). *)
+
+val decode_address : string -> Address.t
+val decode_bool : string -> bool
+
+val random_selector : unavailable:string list -> seed:int -> string
+(** A deterministic pseudo-random 4-byte selector distinct from every entry
+    of [unavailable] — the crafted-call-data trick of §4.2. *)

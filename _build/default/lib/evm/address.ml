@@ -1,0 +1,22 @@
+type t = string
+
+let zero = String.make 20 '\000'
+
+let of_bytes s =
+  if String.length s <> 20 then
+    invalid_arg "Address.of_bytes: expected 20 bytes";
+  s
+
+let of_hex h =
+  let b = Hexutil.of_hex h in
+  of_bytes b
+
+let to_hex t = Hexutil.to_hex t
+let of_u256 v = String.sub (U256.to_bytes_be v) 12 20
+let to_u256 t = U256.of_bytes_be t
+let equal = String.equal
+let compare = String.compare
+let pp fmt t = Format.pp_print_string fmt (to_hex t)
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)

@@ -1,0 +1,30 @@
+(** 20-byte Ethereum account addresses.
+
+    Addresses are raw 20-byte strings; this module gathers the conversions
+    used across the EVM, chain, and analysis layers. *)
+
+type t = string
+(** Always exactly 20 bytes. *)
+
+val zero : t
+
+val of_hex : string -> t
+(** Raises [Invalid_argument] when the input is not 20 bytes of hex. *)
+
+val to_hex : t -> string
+(** 0x-prefixed lowercase hex. *)
+
+val of_u256 : U256.t -> t
+(** Truncates to the low 160 bits, as the EVM does for call targets. *)
+
+val to_u256 : t -> U256.t
+
+val of_bytes : string -> t
+(** Validates length; raises [Invalid_argument] otherwise. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

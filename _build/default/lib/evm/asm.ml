@@ -1,0 +1,79 @@
+type item =
+  | Op of Opcode.t
+  | Push of string
+  | Push_int of int
+  | Push_u256 of U256.t
+  | Push_label of string
+  | Label of string
+  | Jumpdest of string
+  | Raw of string
+
+let minimal_bytes_of_u256 v =
+  let full = U256.to_bytes_be v in
+  let rec first_nonzero i =
+    if i >= 31 then 31 else if full.[i] <> '\000' then i else first_nonzero (i + 1)
+  in
+  let start = first_nonzero 0 in
+  String.sub full start (32 - start)
+
+let item_size = function
+  | Op (Opcode.PUSH _) -> invalid_arg "Asm: use Push items for PUSH opcodes"
+  | Op _ -> 1
+  | Push operand ->
+      let n = String.length operand in
+      if n < 1 || n > 32 then invalid_arg "Asm: push operand must be 1-32 bytes";
+      1 + n
+  | Push_int n ->
+      if n < 0 then invalid_arg "Asm: negative push";
+      1 + String.length (minimal_bytes_of_u256 (U256.of_int n))
+  | Push_u256 v -> 1 + String.length (minimal_bytes_of_u256 v)
+  | Push_label _ -> 3
+  | Label _ -> 0
+  | Jumpdest _ -> 1
+  | Raw s -> String.length s
+
+let assemble items =
+  (* Pass 1: lay out offsets and collect label positions. *)
+  let labels = Hashtbl.create 16 in
+  let define name offset =
+    if Hashtbl.mem labels name then
+      invalid_arg (Printf.sprintf "Asm: duplicate label %s" name);
+    Hashtbl.replace labels name offset
+  in
+  let total =
+    List.fold_left
+      (fun offset item ->
+        (match item with
+        | Label name | Jumpdest name -> define name offset
+        | _ -> ());
+        offset + item_size item)
+      0 items
+  in
+  if total > 0xffff then invalid_arg "Asm: program exceeds PUSH2 addressing";
+  (* Pass 2: emit. *)
+  let buf = Buffer.create total in
+  let emit_push operand =
+    Buffer.add_char buf (Char.chr (Opcode.to_byte (Opcode.PUSH (String.length operand))));
+    Buffer.add_string buf operand
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Op op -> Buffer.add_char buf (Char.chr (Opcode.to_byte op))
+      | Push operand -> emit_push operand
+      | Push_int n -> emit_push (minimal_bytes_of_u256 (U256.of_int n))
+      | Push_u256 v -> emit_push (minimal_bytes_of_u256 v)
+      | Push_label name -> (
+          match Hashtbl.find_opt labels name with
+          | None -> invalid_arg (Printf.sprintf "Asm: undefined label %s" name)
+          | Some offset ->
+              emit_push
+                (String.init 2 (fun i ->
+                     Char.chr ((offset lsr (8 * (1 - i))) land 0xff))))
+      | Label _ -> ()
+      | Jumpdest _ -> Buffer.add_char buf (Char.chr (Opcode.to_byte Opcode.JUMPDEST))
+      | Raw s -> Buffer.add_string buf s)
+    items;
+  Buffer.contents buf
+
+let concat = List.concat

@@ -1,0 +1,23 @@
+(** A small EVM assembler with symbolic labels.
+
+    The mini-compiler and the test suite build bytecode from these items;
+    labels resolve to PUSH2 offsets in a second pass, matching solc's use of
+    2-byte jump targets. *)
+
+type item =
+  | Op of Opcode.t  (** A bare opcode ([Op (PUSH n)] is rejected: use the
+                        dedicated push items so operands stay attached). *)
+  | Push of string  (** PUSHn sized by the operand (1-32 bytes). *)
+  | Push_int of int  (** Minimal-width PUSH of a non-negative int. *)
+  | Push_u256 of U256.t  (** Minimal-width PUSH (PUSH1 0x00 for zero). *)
+  | Push_label of string  (** PUSH2 of a label's resolved offset. *)
+  | Label of string  (** Marks a position; emits nothing by itself. *)
+  | Jumpdest of string  (** JUMPDEST carrying a label. *)
+  | Raw of string  (** Verbatim bytes (data sections, embedded addresses). *)
+
+val assemble : item list -> string
+(** Two-pass assembly.  Raises [Invalid_argument] on duplicate or undefined
+    labels, oversized operands, or a direct [Op (PUSH _)]. *)
+
+val concat : item list list -> item list
+(** Flatten program fragments. *)

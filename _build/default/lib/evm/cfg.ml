@@ -1,0 +1,96 @@
+type successor =
+  | Jump_to of int
+  | Fallthrough of int
+  | Unknown
+
+type block = {
+  b_entry : int;
+  b_instrs : Disasm.instr list;
+  b_succs : successor list;
+}
+
+type t = { table : (int, block) Hashtbl.t; order : int list }
+
+let last_two instrs =
+  let rec go prev = function
+    | [ x ] -> (prev, Some x)
+    | x :: rest -> go (Some x) rest
+    | [] -> (None, None)
+  in
+  go None instrs
+
+let static_target prev =
+  match prev with
+  | Some (i : Disasm.instr) -> (
+      match i.Disasm.opcode with
+      | Opcode.PUSH _ -> U256.to_int (Disasm.operand_value i)
+      | _ -> None)
+  | None -> None
+
+let build code =
+  let raw = Disasm.basic_blocks code in
+  let jumpdest_set = Hashtbl.create 16 in
+  List.iter (fun off -> Hashtbl.replace jumpdest_set off ()) (Disasm.jumpdests code);
+  let valid_dest d = Hashtbl.mem jumpdest_set d in
+  let end_of (i : Disasm.instr) = i.Disasm.offset + 1 + String.length i.Disasm.operand in
+  let block_entries = List.map fst raw in
+  let entry_set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace entry_set e ()) block_entries;
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (entry, instrs) ->
+      let succs =
+        match last_two instrs with
+        | _, None -> []
+        | prev, Some last -> (
+            let next = end_of last in
+            let fallthrough =
+              if Hashtbl.mem entry_set next then [ Fallthrough next ] else []
+            in
+            match last.Disasm.opcode with
+            | Opcode.JUMP -> (
+                match static_target prev with
+                | Some d when valid_dest d -> [ Jump_to d ]
+                | _ -> [ Unknown ])
+            | Opcode.JUMPI -> (
+                (match static_target prev with
+                | Some d when valid_dest d -> [ Jump_to d ]
+                | _ -> [ Unknown ])
+                @ fallthrough)
+            | Opcode.STOP | Opcode.RETURN | Opcode.REVERT | Opcode.INVALID
+            | Opcode.SELFDESTRUCT | Opcode.UNKNOWN _ ->
+                []
+            | _ -> fallthrough)
+      in
+      Hashtbl.replace table entry { b_entry = entry; b_instrs = instrs; b_succs = succs })
+    raw;
+  { table; order = block_entries }
+
+let blocks t =
+  List.filter_map (fun e -> Hashtbl.find_opt t.table e) t.order
+
+let block_at t offset = Hashtbl.find_opt t.table offset
+
+let reachable_from t start =
+  let visited = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit offset =
+    if not (Hashtbl.mem visited offset) then begin
+      Hashtbl.replace visited offset ();
+      match block_at t offset with
+      | None -> ()
+      | Some b ->
+          acc := b :: !acc;
+          List.iter
+            (function
+              | Jump_to d -> visit d
+              | Fallthrough d -> visit d
+              | Unknown -> ())
+            b.b_succs
+    end
+  in
+  visit start;
+  List.rev !acc
+
+let reachable_instrs t start =
+  List.concat_map (fun b -> b.b_instrs) (reachable_from t start)

@@ -1,0 +1,33 @@
+(** Control-flow graph recovery over EVM bytecode.
+
+    Blocks come from {!Disasm.basic_blocks}; edges are resolved statically
+    where the jump target is a PUSH immediately feeding the JUMP/JUMPI —
+    the pattern every solc-style compiler emits.  Dynamically computed
+    targets are kept as {!Unknown} edges, so traversals over-approximate
+    rather than miss. *)
+
+type successor =
+  | Jump_to of int  (** Statically resolved jump target offset. *)
+  | Fallthrough of int  (** Next-instruction continuation. *)
+  | Unknown  (** Dynamic jump: target not statically visible. *)
+
+type block = {
+  b_entry : int;  (** Offset of the block's first instruction. *)
+  b_instrs : Disasm.instr list;
+  b_succs : successor list;
+}
+
+type t
+
+val build : string -> t
+val blocks : t -> block list
+val block_at : t -> int -> block option
+(** Block whose entry offset is exactly the given offset. *)
+
+val reachable_from : t -> int -> block list
+(** Blocks reachable from the given entry offset along resolved edges
+    (Unknown edges contribute nothing), in visit order.  Empty when the
+    offset is not a block entry. *)
+
+val reachable_instrs : t -> int -> Disasm.instr list
+(** Concatenated instructions of {!reachable_from}. *)

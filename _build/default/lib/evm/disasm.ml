@@ -1,0 +1,75 @@
+type instr = { offset : int; opcode : Opcode.t; operand : string }
+
+let disassemble code =
+  let len = String.length code in
+  let rec sweep pos acc =
+    if pos >= len then List.rev acc
+    else
+      let opcode = Opcode.of_byte (Char.code code.[pos]) in
+      let size = Opcode.push_size opcode in
+      let available = min size (len - pos - 1) in
+      let operand = if size = 0 then "" else String.sub code (pos + 1) available in
+      sweep (pos + 1 + available) ({ offset = pos; opcode; operand } :: acc)
+  in
+  sweep 0 []
+
+let has_opcode code op =
+  List.exists (fun i -> Opcode.equal i.opcode op) (disassemble code)
+
+let jumpdests code =
+  List.filter_map
+    (fun i -> if Opcode.equal i.opcode Opcode.JUMPDEST then Some i.offset else None)
+    (disassemble code)
+
+let push_operands n code =
+  List.filter_map
+    (fun i ->
+      match i.opcode with
+      | Opcode.PUSH k when k = n && String.length i.operand = n -> Some i.operand
+      | _ -> None)
+    (disassemble code)
+
+let operand_value i =
+  if i.operand = "" then U256.zero else U256.of_bytes_be i.operand
+
+let format_instr i =
+  if i.operand = "" then
+    Printf.sprintf "%04x %02x %s" i.offset (Opcode.to_byte i.opcode)
+      (Opcode.name i.opcode)
+  else
+    Printf.sprintf "%04x %02x %s %s" i.offset (Opcode.to_byte i.opcode)
+      (Opcode.name i.opcode)
+      (Hexutil.to_hex i.operand)
+
+let format_listing instrs =
+  String.concat "\n" (List.map format_instr instrs)
+
+let basic_blocks code =
+  let instrs = disassemble code in
+  let rec split current current_entry acc = function
+    | [] ->
+        let acc =
+          match current with
+          | [] -> acc
+          | _ -> (current_entry, List.rev current) :: acc
+        in
+        List.rev acc
+    | i :: rest ->
+        let is_entry = Opcode.equal i.opcode Opcode.JUMPDEST in
+        (* A JUMPDEST starts a new block even mid-stream. *)
+        let current, current_entry, acc =
+          if is_entry && current <> [] then
+            ([], i.offset, (current_entry, List.rev current) :: acc)
+          else if is_entry then ([], i.offset, acc)
+          else (current, current_entry, acc)
+        in
+        let current = i :: current in
+        if Opcode.is_terminator i.opcode || Opcode.equal i.opcode Opcode.JUMPI
+        then
+          let next_entry =
+            i.offset + 1 + String.length i.operand
+          in
+          split [] next_entry ((current_entry, List.rev current) :: acc) rest
+        else split current current_entry acc rest
+  in
+  split [] 0 [] instrs

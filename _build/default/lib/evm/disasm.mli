@@ -1,0 +1,41 @@
+(** Linear-sweep disassembler for EVM bytecode — the role Octopus plays in
+    the paper (§4.1).
+
+    The sweep decodes one instruction after another, consuming PUSH operands,
+    without attempting code/data separation; trailing constructor arguments
+    or metadata therefore decode as (harmless) instructions, exactly as with
+    the tools the paper builds on. *)
+
+type instr = {
+  offset : int;  (** Byte offset of the opcode within the bytecode. *)
+  opcode : Opcode.t;
+  operand : string;  (** PUSH operand bytes; empty for other opcodes. *)
+}
+
+val disassemble : string -> instr list
+(** Full linear sweep of the bytecode.  A PUSH whose operand is cut short by
+    the end of code keeps the truncated operand bytes. *)
+
+val has_opcode : string -> Opcode.t -> bool
+(** [has_opcode code op] is true when the sweep contains [op] — the paper's
+    first-phase filter ("no DELEGATECALL opcode means not a proxy"). *)
+
+val jumpdests : string -> int list
+(** Sorted offsets of JUMPDEST instructions (valid jump targets). *)
+
+val push_operands : int -> string -> string list
+(** [push_operands n code] collects the operand of every [PUSH n], in code
+    order, with duplicates preserved.  [push_operands 4] yields the
+    candidate selector set of §4.2; [push_operands 20] the candidate
+    hard-coded addresses of §4.3. *)
+
+val operand_value : instr -> U256.t
+(** PUSH operand interpreted as a big-endian word (zero for non-PUSH). *)
+
+val format_listing : instr list -> string
+(** Human-readable listing in the style of the paper's Listing 3. *)
+
+val basic_blocks : string -> (int * instr list) list
+(** Partition of the sweep into basic blocks, keyed by entry offset.  Blocks
+    end at terminators ([JUMP], [STOP], [RETURN], [REVERT], [INVALID],
+    [SELFDESTRUCT]) and at [JUMPI], and begin at [JUMPDEST] boundaries. *)

@@ -1,0 +1,44 @@
+open Opcode
+
+let base_cost = function
+  | STOP | RETURN | REVERT | INVALID | UNKNOWN _ -> 0
+  | JUMPDEST -> 1
+  | ADDRESS | ORIGIN | CALLER | CALLVALUE | CALLDATASIZE | CODESIZE
+  | GASPRICE | COINBASE | TIMESTAMP | NUMBER | PREVRANDAO | GASLIMIT
+  | CHAINID | RETURNDATASIZE | POP | PC | MSIZE | GAS | BASEFEE | PUSH0 ->
+      2
+  | ADD | SUB | NOT | LT | GT | SLT | SGT | EQ | ISZERO | AND | OR | XOR
+  | BYTE | SHL | SHR | SAR | CALLDATALOAD | MLOAD | MSTORE | MSTORE8
+  | PUSH _ | DUP _ | SWAP _ ->
+      3
+  | MUL | DIV | SDIV | MOD | SMOD | SIGNEXTEND | SELFBALANCE -> 5
+  | ADDMOD | MULMOD | JUMP -> 8
+  | EXP -> 10
+  | JUMPI -> 10
+  | BLOCKHASH -> 20
+  | KECCAK256 -> 30
+  | CALLDATACOPY | CODECOPY | RETURNDATACOPY -> 3
+  | BALANCE | EXTCODESIZE | EXTCODEHASH | SLOAD -> 100
+  | EXTCODECOPY -> 100
+  | SSTORE -> 0 (* dynamic: sstore_set / sstore_reset *)
+  | LOG _ -> 375
+  | CREATE | CREATE2 -> 32000
+  | CALL | CALLCODE | DELEGATECALL | STATICCALL -> 100
+  | SELFDESTRUCT -> 5000
+
+let copy_word = 3
+let keccak_word = 6
+let exp_byte = 50
+let log_topic = 375
+let log_byte = 8
+let call_value_surcharge = 9000
+let call_stipend = 2300
+let new_account_surcharge = 25000
+let create_base = 32000
+let code_deposit_byte = 200
+let sstore_set = 20000
+let sstore_reset = 5000
+let tx_base = 21000
+let tx_create = 32000
+let tx_data_byte ~zero = if zero then 4 else 16
+let max_code_size = 24576

@@ -1,0 +1,49 @@
+(** Static gas costs (simplified Berlin-era schedule: warm access prices,
+    no access lists, no refunds).  Dynamic components — memory expansion,
+    copy sizes, EXP byte length, call value surcharges — are charged by the
+    interpreter on top of {!base_cost}. *)
+
+val base_cost : Opcode.t -> int
+(** Constant part of an opcode's cost. *)
+
+val copy_word : int
+(** Per-word surcharge for the COPY family (3). *)
+
+val keccak_word : int
+(** Per-word surcharge for KECCAK256 (6). *)
+
+val exp_byte : int
+(** Per-byte-of-exponent surcharge for EXP (50). *)
+
+val log_topic : int
+val log_byte : int
+val call_value_surcharge : int
+(** Extra cost of a value-transferring CALL (9000). *)
+
+val call_stipend : int
+(** Gas gifted to the callee of a value transfer (2300). *)
+
+val new_account_surcharge : int
+(** Extra cost when a value CALL creates the target account (25000). *)
+
+val create_base : int
+val code_deposit_byte : int
+(** Per-byte deposit cost of deployed code (200). *)
+
+val sstore_set : int
+(** Zero to non-zero store (20000). *)
+
+val sstore_reset : int
+(** Any other store (5000). *)
+
+val tx_base : int
+(** Intrinsic cost of a transaction (21000). *)
+
+val tx_create : int
+(** Additional intrinsic cost of a contract-creating transaction (32000). *)
+
+val tx_data_byte : zero:bool -> int
+(** Intrinsic cost per calldata byte: 4 for zero bytes, 16 otherwise. *)
+
+val max_code_size : int
+(** EIP-170 deployed-code limit (24576 bytes). *)

@@ -1,0 +1,179 @@
+type block_info = {
+  number : int;
+  timestamp : int;
+  coinbase : Address.t;
+  gas_limit : int;
+  base_fee : U256.t;
+  prev_randao : U256.t;
+  chain_id : U256.t;
+  block_hash : int -> U256.t;
+}
+
+let default_block =
+  {
+    number = 18_473_542;
+    (* The paper's dataset cut-off: the last block of October 2023. *)
+    timestamp = 1_698_796_799;
+    coinbase = Address.of_hex "0x95222290dd7278aa3ddd389cc1e1d165cc4bafe5";
+    gas_limit = 30_000_000;
+    base_fee = U256.of_int 25_000_000_000;
+    prev_randao = U256.of_hex "0xd3adb33f";
+    chain_id = U256.one;
+    block_hash =
+      (fun height -> U256.of_bytes_be (Keccak.digest (string_of_int height)));
+  }
+
+type t = {
+  get_code : Address.t -> string;
+  get_storage : Address.t -> U256.t -> U256.t;
+  set_storage : Address.t -> U256.t -> U256.t -> unit;
+  get_balance : Address.t -> U256.t;
+  set_balance : Address.t -> U256.t -> unit;
+  get_nonce : Address.t -> int;
+  set_nonce : Address.t -> int -> unit;
+  account_exists : Address.t -> bool;
+  create_account : Address.t -> code:string -> unit;
+  selfdestruct : Address.t -> beneficiary:Address.t -> unit;
+  snapshot : unit -> int;
+  revert_to : int -> unit;
+  block : block_info;
+}
+
+(* In-memory world state with an undo journal for snapshots. *)
+
+type account = {
+  mutable code : string;
+  mutable balance : U256.t;
+  mutable nonce : int;
+  storage : (U256.t, U256.t) Hashtbl.t;
+  mutable alive : bool;
+}
+
+type undo =
+  | Set_storage of account * U256.t * U256.t option
+  | Set_balance of account * U256.t
+  | Set_nonce of account * int
+  | Set_code of account * string
+  | Set_alive of account * bool
+  | Added_account of Address.t
+
+let in_memory ?(block = default_block) () =
+  let accounts : (Address.t, account) Hashtbl.t = Hashtbl.create 64 in
+  let journal : undo list ref = ref [] in
+  let journal_len = ref 0 in
+  let push u =
+    journal := u :: !journal;
+    incr journal_len
+  in
+  let account addr =
+    match Hashtbl.find_opt accounts addr with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            code = "";
+            balance = U256.zero;
+            nonce = 0;
+            storage = Hashtbl.create 8;
+            alive = false;
+          }
+        in
+        Hashtbl.replace accounts addr a;
+        push (Added_account addr);
+        a
+  in
+  let get_storage addr slot =
+    match Hashtbl.find_opt accounts addr with
+    | None -> U256.zero
+    | Some a -> Option.value ~default:U256.zero (Hashtbl.find_opt a.storage slot)
+  in
+  let set_storage addr slot value =
+    let a = account addr in
+    push (Set_storage (a, slot, Hashtbl.find_opt a.storage slot));
+    if U256.is_zero value then Hashtbl.remove a.storage slot
+    else Hashtbl.replace a.storage slot value
+  in
+  let get_balance addr =
+    match Hashtbl.find_opt accounts addr with
+    | None -> U256.zero
+    | Some a -> a.balance
+  in
+  let set_balance addr v =
+    let a = account addr in
+    push (Set_balance (a, a.balance));
+    a.balance <- v
+  in
+  let get_nonce addr =
+    match Hashtbl.find_opt accounts addr with None -> 0 | Some a -> a.nonce
+  in
+  let set_nonce addr n =
+    let a = account addr in
+    push (Set_nonce (a, a.nonce));
+    a.nonce <- n
+  in
+  let get_code addr =
+    match Hashtbl.find_opt accounts addr with
+    | Some a when a.alive -> a.code
+    | _ -> ""
+  in
+  let account_exists addr =
+    match Hashtbl.find_opt accounts addr with
+    | Some a -> a.alive || a.nonce > 0 || not (U256.is_zero a.balance)
+    | None -> false
+  in
+  let create_account addr ~code =
+    let a = account addr in
+    push (Set_code (a, a.code));
+    push (Set_alive (a, a.alive));
+    a.code <- code;
+    a.alive <- true
+  in
+  let selfdestruct addr ~beneficiary =
+    let a = account addr in
+    let b = account beneficiary in
+    push (Set_balance (b, b.balance));
+    b.balance <- U256.add b.balance a.balance;
+    push (Set_balance (a, a.balance));
+    a.balance <- U256.zero;
+    push (Set_alive (a, a.alive));
+    push (Set_code (a, a.code));
+    a.alive <- false;
+    a.code <- ""
+  in
+  let snapshot () = !journal_len in
+  let revert_to mark =
+    while !journal_len > mark do
+      (match !journal with
+      | [] -> assert false
+      | u :: rest ->
+          journal := rest;
+          decr journal_len;
+          (match u with
+          | Set_storage (a, slot, prev) -> (
+              match prev with
+              | None -> Hashtbl.remove a.storage slot
+              | Some v -> Hashtbl.replace a.storage slot v)
+          | Set_balance (a, prev) -> a.balance <- prev
+          | Set_nonce (a, prev) -> a.nonce <- prev
+          | Set_code (a, prev) -> a.code <- prev
+          | Set_alive (a, prev) -> a.alive <- prev
+          | Added_account addr -> Hashtbl.remove accounts addr))
+    done
+  in
+  {
+    get_code;
+    get_storage;
+    set_storage;
+    get_balance;
+    set_balance;
+    get_nonce;
+    set_nonce;
+    account_exists;
+    create_account;
+    selfdestruct;
+    snapshot;
+    revert_to;
+    block;
+  }
+
+let with_code host addr code = host.create_account addr ~code

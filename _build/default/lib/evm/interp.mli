@@ -1,0 +1,125 @@
+(** The EVM interpreter.
+
+    Executes bytecode against a {!Host.t}, handling the full message-call
+    tree: CALL, CALLCODE, DELEGATECALL, STATICCALL, CREATE and CREATE2
+    recurse internally with proper state snapshots, value transfer, gas
+    forwarding (63/64 rule) and return-data plumbing.  A {!tracer} exposes
+    the observations the ProxioN analysis needs: call events with their
+    forwarded input, storage reads, and per-step hooks. *)
+
+type error =
+  | Stack_underflow of Opcode.t
+  | Stack_overflow of Opcode.t
+  | Invalid_jump of int
+  | Invalid_opcode of int
+  | Out_of_gas
+  | Static_write of Opcode.t
+  | Call_depth_exceeded
+  | Return_data_out_of_bounds
+  | Code_too_large of int
+  | Create_collision of Address.t
+  | Insufficient_balance
+  | Step_limit_exceeded
+
+val error_to_string : error -> string
+
+type status = Returned | Reverted | Failed of error
+
+type log_entry = { log_address : Address.t; topics : U256.t list; data : string }
+
+type result = {
+  status : status;
+  return_data : string;
+  gas_used : int;
+  logs : log_entry list;
+  created : Address.t option;
+      (** Address of the deployed contract for creation frames. *)
+}
+
+val succeeded : result -> bool
+
+(** {1 Tracing} *)
+
+type call_kind = Call | Callcode | Delegatecall | Staticcall
+
+val call_kind_to_string : call_kind -> string
+
+type call_event = {
+  kind : call_kind;
+  depth : int;
+  caller : Address.t;
+      (** The callee frame's msg.sender — for delegate calls this is the
+          {e original} sender, not the contract that executed the opcode. *)
+  initiator : Address.t;
+      (** The contract that executed the call opcode (the calling frame's
+          storage context) — what a transaction index calls the "from". *)
+  code_address : Address.t;  (** Whose code the callee frame runs. *)
+  context_address : Address.t;  (** Whose storage the callee frame uses. *)
+  input : string;
+  value : U256.t;
+  gas_limit : int;
+}
+
+type tracer = {
+  on_step : depth:int -> pc:int -> Opcode.t -> unit;
+  on_call : call_event -> unit;
+  on_call_result : call_event -> status -> unit;
+  on_sload : Address.t -> U256.t -> U256.t -> unit;
+  on_sstore : Address.t -> U256.t -> U256.t -> unit;
+  on_create : creator:Address.t -> created:Address.t -> init_code:string -> unit;
+}
+
+val no_tracer : tracer
+(** All hooks are no-ops; build custom tracers with record update syntax. *)
+
+(** {1 Execution} *)
+
+type call_params = {
+  caller : Address.t;
+  code_address : Address.t;
+  context_address : Address.t;
+  origin : Address.t;
+  gas_price : U256.t;
+  value : U256.t;
+  apparent_value : U256.t;
+      (** What CALLVALUE reports (differs from [value] in delegate calls). *)
+  input : string;
+  gas : int;
+  is_static : bool;
+  depth : int;
+}
+
+val make_call :
+  ?origin:Address.t ->
+  ?gas_price:U256.t ->
+  ?value:U256.t ->
+  ?gas:int ->
+  ?is_static:bool ->
+  caller:Address.t ->
+  target:Address.t ->
+  input:string ->
+  unit ->
+  call_params
+(** Convenience constructor for a top-level message call: code and context
+    address are both [target], apparent value equals [value]. *)
+
+val execute :
+  ?tracer:tracer -> ?step_limit:int -> Host.t -> call_params -> result
+(** Run one message call (including its subcalls).  Value transfer from
+    caller to context address happens when [value] is non-zero and the
+    frame is a plain call.  [step_limit] (default 1_000_000) bounds total
+    interpreted instructions across the call tree, guarding emulation
+    against infinite loops. *)
+
+val create :
+  ?tracer:tracer ->
+  ?step_limit:int ->
+  ?salt:U256.t option ->
+  Host.t ->
+  caller:Address.t ->
+  value:U256.t ->
+  init_code:string ->
+  gas:int ->
+  result
+(** Deploy a contract: runs [init_code]; its return data becomes the account
+    code.  [salt = Some s] selects CREATE2 address derivation. *)

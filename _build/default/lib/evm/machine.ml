@@ -1,0 +1,113 @@
+exception Stack_underflow
+exception Stack_overflow
+
+let stack_limit = 1024
+
+module Stack = struct
+  type t = { mutable items : U256.t array; mutable depth : int }
+
+  let create () = { items = Array.make 64 U256.zero; depth = 0 }
+  let depth st = st.depth
+
+  let grow st =
+    let cap = Array.length st.items in
+    if st.depth = cap then begin
+      let bigger = Array.make (min stack_limit (2 * cap)) U256.zero in
+      Array.blit st.items 0 bigger 0 cap;
+      st.items <- bigger
+    end
+
+  let push st v =
+    if st.depth >= stack_limit then raise Stack_overflow;
+    grow st;
+    st.items.(st.depth) <- v;
+    st.depth <- st.depth + 1
+
+  let pop st =
+    if st.depth = 0 then raise Stack_underflow;
+    st.depth <- st.depth - 1;
+    st.items.(st.depth)
+
+  let peek st n =
+    if n < 0 || n >= st.depth then raise Stack_underflow;
+    st.items.(st.depth - 1 - n)
+
+  let dup st n =
+    if n < 1 || n > st.depth then raise Stack_underflow;
+    push st st.items.(st.depth - n)
+
+  let swap st n =
+    if n < 1 || n >= st.depth then raise Stack_underflow;
+    let top = st.depth - 1 in
+    let other = top - n in
+    let tmp = st.items.(top) in
+    st.items.(top) <- st.items.(other);
+    st.items.(other) <- tmp
+
+  let to_list st = List.init st.depth (fun i -> st.items.(st.depth - 1 - i))
+end
+
+module Memory = struct
+  type t = { mutable data : Bytes.t; mutable words : int }
+
+  let create () = { data = Bytes.create 0; words = 0 }
+  let size_words m = m.words
+
+  (* Quadratic memory cost: c(w) = 3w + w^2/512; expansion charges the
+     difference. *)
+  let word_cost w = (3 * w) + (w * w / 512)
+
+  let words_for ~offset ~len =
+    if len = 0 then 0 else (offset + len + 31) / 32
+
+  let expansion_cost m ~offset ~len =
+    let needed = words_for ~offset ~len in
+    if needed <= m.words then 0 else word_cost needed - word_cost m.words
+
+  let ensure m ~offset ~len =
+    let needed = words_for ~offset ~len in
+    if needed > m.words then begin
+      let needed_bytes = needed * 32 in
+      if needed_bytes > Bytes.length m.data then begin
+        let cap = max needed_bytes (max 64 (2 * Bytes.length m.data)) in
+        let bigger = Bytes.make cap '\000' in
+        Bytes.blit m.data 0 bigger 0 (Bytes.length m.data);
+        m.data <- bigger
+      end;
+      m.words <- needed
+    end
+
+  let load_word m offset =
+    ensure m ~offset ~len:32;
+    U256.of_bytes_be (Bytes.sub_string m.data offset 32)
+
+  let store_word m offset v =
+    ensure m ~offset ~len:32;
+    Bytes.blit_string (U256.to_bytes_be v) 0 m.data offset 32
+
+  let store_byte m offset b =
+    ensure m ~offset ~len:1;
+    Bytes.set m.data offset (Char.chr (b land 0xff))
+
+  let load_slice m ~offset ~len =
+    if len = 0 then ""
+    else begin
+      ensure m ~offset ~len;
+      Bytes.sub_string m.data offset len
+    end
+
+  let store_slice m ~offset s =
+    let len = String.length s in
+    if len > 0 then begin
+      ensure m ~offset ~len;
+      Bytes.blit_string s 0 m.data offset len
+    end
+
+  let store_slice_padded m ~offset ~len src =
+    if len > 0 then begin
+      ensure m ~offset ~len;
+      let avail = min len (String.length src) in
+      Bytes.blit_string src 0 m.data offset avail;
+      Bytes.fill m.data (offset + avail) (len - avail) '\000'
+    end
+end

@@ -1,0 +1,52 @@
+(** Mutable per-frame machine state: the 1024-deep word stack and the
+    byte-addressed, word-expanded transient memory. *)
+
+exception Stack_underflow
+exception Stack_overflow
+
+module Stack : sig
+  type t
+
+  val create : unit -> t
+  val depth : t -> int
+  val push : t -> U256.t -> unit
+  val pop : t -> U256.t
+  val peek : t -> int -> U256.t
+  (** [peek st n] reads the item [n] positions below the top (0 = top). *)
+
+  val dup : t -> int -> unit
+  (** [dup st n] pushes a copy of the [n]-th item from the top (1-based),
+      implementing DUPn. *)
+
+  val swap : t -> int -> unit
+  (** [swap st n] exchanges the top with the item [n] below it (SWAPn). *)
+
+  val to_list : t -> U256.t list
+  (** Top-first snapshot, for tracing. *)
+end
+
+module Memory : sig
+  type t
+
+  val create : unit -> t
+
+  val size_words : t -> int
+  (** Current size in 32-byte words (what MSIZE reports / 32). *)
+
+  val expansion_cost : t -> offset:int -> len:int -> int
+  (** Additional quadratic memory gas if the access [offset, offset+len)
+      happens; 0 when it fits or [len = 0]. *)
+
+  val ensure : t -> offset:int -> len:int -> unit
+  (** Grow to cover the access (callers charge {!expansion_cost} first). *)
+
+  val load_word : t -> int -> U256.t
+  val store_word : t -> int -> U256.t -> unit
+  val store_byte : t -> int -> int -> unit
+  val load_slice : t -> offset:int -> len:int -> string
+  val store_slice : t -> offset:int -> string -> unit
+
+  val store_slice_padded : t -> offset:int -> len:int -> string -> unit
+  (** Copy [len] bytes taken from the source string, zero-padding past its
+      end — the semantics of CALLDATACOPY/CODECOPY. *)
+end

@@ -1,0 +1,373 @@
+type t =
+  | STOP
+  | ADD
+  | MUL
+  | SUB
+  | DIV
+  | SDIV
+  | MOD
+  | SMOD
+  | ADDMOD
+  | MULMOD
+  | EXP
+  | SIGNEXTEND
+  | LT
+  | GT
+  | SLT
+  | SGT
+  | EQ
+  | ISZERO
+  | AND
+  | OR
+  | XOR
+  | NOT
+  | BYTE
+  | SHL
+  | SHR
+  | SAR
+  | KECCAK256
+  | ADDRESS
+  | BALANCE
+  | ORIGIN
+  | CALLER
+  | CALLVALUE
+  | CALLDATALOAD
+  | CALLDATASIZE
+  | CALLDATACOPY
+  | CODESIZE
+  | CODECOPY
+  | GASPRICE
+  | EXTCODESIZE
+  | EXTCODECOPY
+  | RETURNDATASIZE
+  | RETURNDATACOPY
+  | EXTCODEHASH
+  | BLOCKHASH
+  | COINBASE
+  | TIMESTAMP
+  | NUMBER
+  | PREVRANDAO
+  | GASLIMIT
+  | CHAINID
+  | SELFBALANCE
+  | BASEFEE
+  | POP
+  | MLOAD
+  | MSTORE
+  | MSTORE8
+  | SLOAD
+  | SSTORE
+  | JUMP
+  | JUMPI
+  | PC
+  | MSIZE
+  | GAS
+  | JUMPDEST
+  | PUSH0
+  | PUSH of int
+  | DUP of int
+  | SWAP of int
+  | LOG of int
+  | CREATE
+  | CALL
+  | CALLCODE
+  | RETURN
+  | DELEGATECALL
+  | CREATE2
+  | STATICCALL
+  | REVERT
+  | INVALID
+  | SELFDESTRUCT
+  | UNKNOWN of int
+
+let of_byte b =
+  match b with
+  | 0x00 -> STOP
+  | 0x01 -> ADD
+  | 0x02 -> MUL
+  | 0x03 -> SUB
+  | 0x04 -> DIV
+  | 0x05 -> SDIV
+  | 0x06 -> MOD
+  | 0x07 -> SMOD
+  | 0x08 -> ADDMOD
+  | 0x09 -> MULMOD
+  | 0x0a -> EXP
+  | 0x0b -> SIGNEXTEND
+  | 0x10 -> LT
+  | 0x11 -> GT
+  | 0x12 -> SLT
+  | 0x13 -> SGT
+  | 0x14 -> EQ
+  | 0x15 -> ISZERO
+  | 0x16 -> AND
+  | 0x17 -> OR
+  | 0x18 -> XOR
+  | 0x19 -> NOT
+  | 0x1a -> BYTE
+  | 0x1b -> SHL
+  | 0x1c -> SHR
+  | 0x1d -> SAR
+  | 0x20 -> KECCAK256
+  | 0x30 -> ADDRESS
+  | 0x31 -> BALANCE
+  | 0x32 -> ORIGIN
+  | 0x33 -> CALLER
+  | 0x34 -> CALLVALUE
+  | 0x35 -> CALLDATALOAD
+  | 0x36 -> CALLDATASIZE
+  | 0x37 -> CALLDATACOPY
+  | 0x38 -> CODESIZE
+  | 0x39 -> CODECOPY
+  | 0x3a -> GASPRICE
+  | 0x3b -> EXTCODESIZE
+  | 0x3c -> EXTCODECOPY
+  | 0x3d -> RETURNDATASIZE
+  | 0x3e -> RETURNDATACOPY
+  | 0x3f -> EXTCODEHASH
+  | 0x40 -> BLOCKHASH
+  | 0x41 -> COINBASE
+  | 0x42 -> TIMESTAMP
+  | 0x43 -> NUMBER
+  | 0x44 -> PREVRANDAO
+  | 0x45 -> GASLIMIT
+  | 0x46 -> CHAINID
+  | 0x47 -> SELFBALANCE
+  | 0x48 -> BASEFEE
+  | 0x50 -> POP
+  | 0x51 -> MLOAD
+  | 0x52 -> MSTORE
+  | 0x53 -> MSTORE8
+  | 0x54 -> SLOAD
+  | 0x55 -> SSTORE
+  | 0x56 -> JUMP
+  | 0x57 -> JUMPI
+  | 0x58 -> PC
+  | 0x59 -> MSIZE
+  | 0x5a -> GAS
+  | 0x5b -> JUMPDEST
+  | 0x5f -> PUSH0
+  | b when b >= 0x60 && b <= 0x7f -> PUSH (b - 0x5f)
+  | b when b >= 0x80 && b <= 0x8f -> DUP (b - 0x7f)
+  | b when b >= 0x90 && b <= 0x9f -> SWAP (b - 0x8f)
+  | b when b >= 0xa0 && b <= 0xa4 -> LOG (b - 0xa0)
+  | 0xf0 -> CREATE
+  | 0xf1 -> CALL
+  | 0xf2 -> CALLCODE
+  | 0xf3 -> RETURN
+  | 0xf4 -> DELEGATECALL
+  | 0xf5 -> CREATE2
+  | 0xfa -> STATICCALL
+  | 0xfd -> REVERT
+  | 0xfe -> INVALID
+  | 0xff -> SELFDESTRUCT
+  | b -> UNKNOWN b
+
+let to_byte = function
+  | STOP -> 0x00
+  | ADD -> 0x01
+  | MUL -> 0x02
+  | SUB -> 0x03
+  | DIV -> 0x04
+  | SDIV -> 0x05
+  | MOD -> 0x06
+  | SMOD -> 0x07
+  | ADDMOD -> 0x08
+  | MULMOD -> 0x09
+  | EXP -> 0x0a
+  | SIGNEXTEND -> 0x0b
+  | LT -> 0x10
+  | GT -> 0x11
+  | SLT -> 0x12
+  | SGT -> 0x13
+  | EQ -> 0x14
+  | ISZERO -> 0x15
+  | AND -> 0x16
+  | OR -> 0x17
+  | XOR -> 0x18
+  | NOT -> 0x19
+  | BYTE -> 0x1a
+  | SHL -> 0x1b
+  | SHR -> 0x1c
+  | SAR -> 0x1d
+  | KECCAK256 -> 0x20
+  | ADDRESS -> 0x30
+  | BALANCE -> 0x31
+  | ORIGIN -> 0x32
+  | CALLER -> 0x33
+  | CALLVALUE -> 0x34
+  | CALLDATALOAD -> 0x35
+  | CALLDATASIZE -> 0x36
+  | CALLDATACOPY -> 0x37
+  | CODESIZE -> 0x38
+  | CODECOPY -> 0x39
+  | GASPRICE -> 0x3a
+  | EXTCODESIZE -> 0x3b
+  | EXTCODECOPY -> 0x3c
+  | RETURNDATASIZE -> 0x3d
+  | RETURNDATACOPY -> 0x3e
+  | EXTCODEHASH -> 0x3f
+  | BLOCKHASH -> 0x40
+  | COINBASE -> 0x41
+  | TIMESTAMP -> 0x42
+  | NUMBER -> 0x43
+  | PREVRANDAO -> 0x44
+  | GASLIMIT -> 0x45
+  | CHAINID -> 0x46
+  | SELFBALANCE -> 0x47
+  | BASEFEE -> 0x48
+  | POP -> 0x50
+  | MLOAD -> 0x51
+  | MSTORE -> 0x52
+  | MSTORE8 -> 0x53
+  | SLOAD -> 0x54
+  | SSTORE -> 0x55
+  | JUMP -> 0x56
+  | JUMPI -> 0x57
+  | PC -> 0x58
+  | MSIZE -> 0x59
+  | GAS -> 0x5a
+  | JUMPDEST -> 0x5b
+  | PUSH0 -> 0x5f
+  | PUSH n -> 0x5f + n
+  | DUP n -> 0x7f + n
+  | SWAP n -> 0x8f + n
+  | LOG n -> 0xa0 + n
+  | CREATE -> 0xf0
+  | CALL -> 0xf1
+  | CALLCODE -> 0xf2
+  | RETURN -> 0xf3
+  | DELEGATECALL -> 0xf4
+  | CREATE2 -> 0xf5
+  | STATICCALL -> 0xfa
+  | REVERT -> 0xfd
+  | INVALID -> 0xfe
+  | SELFDESTRUCT -> 0xff
+  | UNKNOWN b -> b
+
+let name = function
+  | STOP -> "STOP"
+  | ADD -> "ADD"
+  | MUL -> "MUL"
+  | SUB -> "SUB"
+  | DIV -> "DIV"
+  | SDIV -> "SDIV"
+  | MOD -> "MOD"
+  | SMOD -> "SMOD"
+  | ADDMOD -> "ADDMOD"
+  | MULMOD -> "MULMOD"
+  | EXP -> "EXP"
+  | SIGNEXTEND -> "SIGNEXTEND"
+  | LT -> "LT"
+  | GT -> "GT"
+  | SLT -> "SLT"
+  | SGT -> "SGT"
+  | EQ -> "EQ"
+  | ISZERO -> "ISZERO"
+  | AND -> "AND"
+  | OR -> "OR"
+  | XOR -> "XOR"
+  | NOT -> "NOT"
+  | BYTE -> "BYTE"
+  | SHL -> "SHL"
+  | SHR -> "SHR"
+  | SAR -> "SAR"
+  | KECCAK256 -> "KECCAK256"
+  | ADDRESS -> "ADDRESS"
+  | BALANCE -> "BALANCE"
+  | ORIGIN -> "ORIGIN"
+  | CALLER -> "CALLER"
+  | CALLVALUE -> "CALLVALUE"
+  | CALLDATALOAD -> "CALLDATALOAD"
+  | CALLDATASIZE -> "CALLDATASIZE"
+  | CALLDATACOPY -> "CALLDATACOPY"
+  | CODESIZE -> "CODESIZE"
+  | CODECOPY -> "CODECOPY"
+  | GASPRICE -> "GASPRICE"
+  | EXTCODESIZE -> "EXTCODESIZE"
+  | EXTCODECOPY -> "EXTCODECOPY"
+  | RETURNDATASIZE -> "RETURNDATASIZE"
+  | RETURNDATACOPY -> "RETURNDATACOPY"
+  | EXTCODEHASH -> "EXTCODEHASH"
+  | BLOCKHASH -> "BLOCKHASH"
+  | COINBASE -> "COINBASE"
+  | TIMESTAMP -> "TIMESTAMP"
+  | NUMBER -> "NUMBER"
+  | PREVRANDAO -> "PREVRANDAO"
+  | GASLIMIT -> "GASLIMIT"
+  | CHAINID -> "CHAINID"
+  | SELFBALANCE -> "SELFBALANCE"
+  | BASEFEE -> "BASEFEE"
+  | POP -> "POP"
+  | MLOAD -> "MLOAD"
+  | MSTORE -> "MSTORE"
+  | MSTORE8 -> "MSTORE8"
+  | SLOAD -> "SLOAD"
+  | SSTORE -> "SSTORE"
+  | JUMP -> "JUMP"
+  | JUMPI -> "JUMPI"
+  | PC -> "PC"
+  | MSIZE -> "MSIZE"
+  | GAS -> "GAS"
+  | JUMPDEST -> "JUMPDEST"
+  | PUSH0 -> "PUSH0"
+  | PUSH n -> Printf.sprintf "PUSH%d" n
+  | DUP n -> Printf.sprintf "DUP%d" n
+  | SWAP n -> Printf.sprintf "SWAP%d" n
+  | LOG n -> Printf.sprintf "LOG%d" n
+  | CREATE -> "CREATE"
+  | CALL -> "CALL"
+  | CALLCODE -> "CALLCODE"
+  | RETURN -> "RETURN"
+  | DELEGATECALL -> "DELEGATECALL"
+  | CREATE2 -> "CREATE2"
+  | STATICCALL -> "STATICCALL"
+  | REVERT -> "REVERT"
+  | INVALID -> "INVALID"
+  | SELFDESTRUCT -> "SELFDESTRUCT"
+  | UNKNOWN b -> Printf.sprintf "UNKNOWN_0x%02x" b
+
+let push_size = function PUSH n -> n | _ -> 0
+
+let stack_arity = function
+  | STOP -> (0, 0)
+  | ADD | MUL | SUB | DIV | SDIV | MOD | SMOD | EXP | SIGNEXTEND -> (2, 1)
+  | ADDMOD | MULMOD -> (3, 1)
+  | LT | GT | SLT | SGT | EQ -> (2, 1)
+  | ISZERO -> (1, 1)
+  | AND | OR | XOR -> (2, 1)
+  | NOT -> (1, 1)
+  | BYTE | SHL | SHR | SAR -> (2, 1)
+  | KECCAK256 -> (2, 1)
+  | ADDRESS | ORIGIN | CALLER | CALLVALUE | CALLDATASIZE | CODESIZE
+  | GASPRICE | RETURNDATASIZE | COINBASE | TIMESTAMP | NUMBER | PREVRANDAO
+  | GASLIMIT | CHAINID | SELFBALANCE | BASEFEE | PC | MSIZE | GAS ->
+      (0, 1)
+  | BALANCE | EXTCODESIZE | EXTCODEHASH | BLOCKHASH | CALLDATALOAD -> (1, 1)
+  | CALLDATACOPY | CODECOPY | RETURNDATACOPY -> (3, 0)
+  | EXTCODECOPY -> (4, 0)
+  | POP -> (1, 0)
+  | MLOAD | SLOAD -> (1, 1)
+  | MSTORE | MSTORE8 | SSTORE -> (2, 0)
+  | JUMP -> (1, 0)
+  | JUMPI -> (2, 0)
+  | JUMPDEST -> (0, 0)
+  | PUSH0 | PUSH _ -> (0, 1)
+  | DUP n -> (n, n + 1)
+  | SWAP n -> (n + 1, n + 1)
+  | LOG n -> (n + 2, 0)
+  | CREATE -> (3, 1)
+  | CREATE2 -> (4, 1)
+  | CALL | CALLCODE -> (7, 1)
+  | DELEGATECALL | STATICCALL -> (6, 1)
+  | RETURN | REVERT -> (2, 0)
+  | INVALID -> (0, 0)
+  | SELFDESTRUCT -> (1, 0)
+  | UNKNOWN _ -> (0, 0)
+
+let is_terminator = function
+  | STOP | RETURN | REVERT | INVALID | SELFDESTRUCT | JUMP | UNKNOWN _ -> true
+  | _ -> false
+
+let equal a b = to_byte a = to_byte b
+let pp fmt op = Format.pp_print_string fmt (name op)

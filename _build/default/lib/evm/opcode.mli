@@ -1,0 +1,104 @@
+(** The EVM instruction set (Shanghai era), with the byte encodings and
+    stack-arity metadata the disassembler and interpreter share. *)
+
+type t =
+  | STOP
+  | ADD
+  | MUL
+  | SUB
+  | DIV
+  | SDIV
+  | MOD
+  | SMOD
+  | ADDMOD
+  | MULMOD
+  | EXP
+  | SIGNEXTEND
+  | LT
+  | GT
+  | SLT
+  | SGT
+  | EQ
+  | ISZERO
+  | AND
+  | OR
+  | XOR
+  | NOT
+  | BYTE
+  | SHL
+  | SHR
+  | SAR
+  | KECCAK256
+  | ADDRESS
+  | BALANCE
+  | ORIGIN
+  | CALLER
+  | CALLVALUE
+  | CALLDATALOAD
+  | CALLDATASIZE
+  | CALLDATACOPY
+  | CODESIZE
+  | CODECOPY
+  | GASPRICE
+  | EXTCODESIZE
+  | EXTCODECOPY
+  | RETURNDATASIZE
+  | RETURNDATACOPY
+  | EXTCODEHASH
+  | BLOCKHASH
+  | COINBASE
+  | TIMESTAMP
+  | NUMBER
+  | PREVRANDAO  (** Formerly DIFFICULTY (byte 0x44). *)
+  | GASLIMIT
+  | CHAINID
+  | SELFBALANCE
+  | BASEFEE
+  | POP
+  | MLOAD
+  | MSTORE
+  | MSTORE8
+  | SLOAD
+  | SSTORE
+  | JUMP
+  | JUMPI
+  | PC
+  | MSIZE
+  | GAS
+  | JUMPDEST
+  | PUSH0
+  | PUSH of int  (** [PUSH n] with [1 <= n <= 32]. *)
+  | DUP of int  (** [DUP n] with [1 <= n <= 16]. *)
+  | SWAP of int  (** [SWAP n] with [1 <= n <= 16]. *)
+  | LOG of int  (** [LOG n] with [0 <= n <= 4]. *)
+  | CREATE
+  | CALL
+  | CALLCODE
+  | RETURN
+  | DELEGATECALL
+  | CREATE2
+  | STATICCALL
+  | REVERT
+  | INVALID
+  | SELFDESTRUCT
+  | UNKNOWN of int  (** Any unassigned byte. *)
+
+val of_byte : int -> t
+(** Total: unassigned bytes map to [UNKNOWN]. *)
+
+val to_byte : t -> int
+val name : t -> string
+
+val push_size : t -> int
+(** Operand length in bytes: [n] for [PUSH n], 0 otherwise. *)
+
+val stack_arity : t -> int * int
+(** [(consumed, produced)] stack items.  [UNKNOWN] reports [(0, 0)]. *)
+
+val is_terminator : t -> bool
+(** True for instructions that end a basic block: [STOP], [RETURN],
+    [REVERT], [INVALID], [SELFDESTRUCT], [JUMP] (and [UNKNOWN], which
+    aborts execution). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

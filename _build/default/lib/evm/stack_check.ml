@@ -1,0 +1,73 @@
+type verdict =
+  | Safe of { max_depth : int }
+  | Underflow of { offset : int; depth : int; needs : int }
+  | Overflow of { offset : int }
+
+let stack_limit = 1024
+
+(* Per-block summary: the minimum entry depth required (deepest reach below
+   the entry level) and the net depth change. *)
+let summarize instrs =
+  let needs = ref 0 in
+  let depth = ref 0 in
+  List.iter
+    (fun (i : Disasm.instr) ->
+      let consumed, produced = Opcode.stack_arity i.Disasm.opcode in
+      let after_pop = !depth - consumed in
+      if -after_pop > !needs then needs := -after_pop;
+      depth := after_pop + produced)
+    instrs;
+  (!needs, !depth)
+
+let analyze code =
+  if String.length code = 0 then Safe { max_depth = 0 }
+  else begin
+    let cfg = Cfg.build code in
+    let summaries = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Cfg.block) ->
+        Hashtbl.replace summaries b.Cfg.b_entry (b, summarize b.Cfg.b_instrs))
+      (Cfg.blocks cfg);
+    (* Worklist propagation of the maximum known entry depth is unsound for
+       underflow (we need the minimum) — propagate per-entry depth values
+       and bound the exploration by keeping, per block, the set of entry
+       depths already visited (bounded, as depths are bounded by 1024). *)
+    let visited = Hashtbl.create 64 in
+    let result = ref (Safe { max_depth = 0 }) in
+    let max_seen = ref 0 in
+    let queue = Queue.create () in
+    Queue.add (0, 0) queue;
+    let stop () = match !result with Safe _ -> false | _ -> true in
+    while (not (Queue.is_empty queue)) && not (stop ()) do
+      let offset, depth = Queue.pop queue in
+      if not (Hashtbl.mem visited (offset, depth)) then begin
+        Hashtbl.replace visited (offset, depth) ();
+        match Hashtbl.find_opt summaries offset with
+        | None -> ()
+        | Some (block, (needs, delta)) ->
+            if depth < needs then
+              result := Underflow { offset; depth; needs }
+            else begin
+              let exit_depth = depth + delta in
+              if exit_depth > stack_limit then result := Overflow { offset }
+              else begin
+                if exit_depth > !max_seen then max_seen := exit_depth;
+                List.iter
+                  (function
+                    | Cfg.Jump_to d | Cfg.Fallthrough d ->
+                        (* JUMP/JUMPI consumed their operands already via
+                           arity, so the successor entry depth is the exit
+                           depth. *)
+                        Queue.add (d, exit_depth) queue
+                    | Cfg.Unknown -> ())
+                  block.Cfg.b_succs
+              end
+            end
+      end
+    done;
+    match !result with
+    | Safe _ -> Safe { max_depth = !max_seen }
+    | v -> v
+  end
+
+let is_safe code = match analyze code with Safe _ -> true | _ -> false

@@ -1,0 +1,24 @@
+(** Static stack-height verification of EVM bytecode.
+
+    A worklist pass over the {!Cfg}: each basic block is summarized by the
+    stack depth it consumes and its net effect; entry depths propagate
+    along statically resolved edges from offset 0.  The verifier proves
+    the absence of stack underflow (and of overflow past the 1024 limit)
+    on every statically visible path — the property every contract a
+    correct compiler emits must have.  Dynamically computed jumps are not
+    followed, so the check is sound only for solc-style code whose jumps
+    carry immediate targets (which is what {!Minisol.Codegen} and the
+    pattern library produce). *)
+
+type verdict =
+  | Safe of { max_depth : int }
+      (** No reachable underflow/overflow; the deepest stack observed. *)
+  | Underflow of { offset : int; depth : int; needs : int }
+      (** Block at [offset] is reachable with [depth] items but pops
+          [needs]. *)
+  | Overflow of { offset : int }
+
+val analyze : string -> verdict
+(** Verify bytecode starting from offset 0 with an empty stack. *)
+
+val is_safe : string -> bool

@@ -1,0 +1,160 @@
+type node = {
+  t_kind : string;
+  t_from : Address.t;
+  t_code : Address.t;
+  t_context : Address.t;
+  t_input : string;
+  t_value : U256.t;
+  t_status : string;
+  t_sloads : (Address.t * U256.t * U256.t) list;
+  t_sstores : (Address.t * U256.t * U256.t) list;
+  t_children : node list;
+}
+
+(* A frame under construction; children/accesses accumulate in reverse. *)
+type frame = {
+  f_kind : string;
+  f_from : Address.t;
+  f_code : Address.t;
+  f_context : Address.t;
+  f_input : string;
+  f_value : U256.t;
+  mutable f_status : string;
+  mutable f_sloads : (Address.t * U256.t * U256.t) list;
+  mutable f_sstores : (Address.t * U256.t * U256.t) list;
+  mutable f_children : node list;
+}
+
+type capture = { mutable stack : frame list }
+
+let new_frame ~kind ~from ~code ~context ~input ~value =
+  {
+    f_kind = kind;
+    f_from = from;
+    f_code = code;
+    f_context = context;
+    f_input = input;
+    f_value = value;
+    f_status = "running";
+    f_sloads = [];
+    f_sstores = [];
+    f_children = [];
+  }
+
+let node_of_frame f =
+  {
+    t_kind = f.f_kind;
+    t_from = f.f_from;
+    t_code = f.f_code;
+    t_context = f.f_context;
+    t_input = f.f_input;
+    t_value = f.f_value;
+    t_status = f.f_status;
+    t_sloads = List.rev f.f_sloads;
+    t_sstores = List.rev f.f_sstores;
+    t_children = List.rev f.f_children;
+  }
+
+let make ~caller ~target ~input =
+  let root =
+    new_frame ~kind:"TX" ~from:caller ~code:target ~context:target ~input
+      ~value:U256.zero
+  in
+  { stack = [ root ] }
+
+let status_string = function
+  | Interp.Returned -> "returned"
+  | Interp.Reverted -> "reverted"
+  | Interp.Failed e -> "failed: " ^ Interp.error_to_string e
+
+let tracer capture =
+  let top () = match capture.stack with f :: _ -> Some f | [] -> None in
+  {
+    Interp.no_tracer with
+    Interp.on_call =
+      (fun ev ->
+        let frame =
+          new_frame
+            ~kind:(Interp.call_kind_to_string ev.Interp.kind)
+            ~from:ev.Interp.initiator ~code:ev.Interp.code_address
+            ~context:ev.Interp.context_address ~input:ev.Interp.input
+            ~value:ev.Interp.value
+        in
+        capture.stack <- frame :: capture.stack);
+    Interp.on_call_result =
+      (fun _ status ->
+        match capture.stack with
+        | child :: (parent :: _ as rest) ->
+            child.f_status <- status_string status;
+            parent.f_children <- node_of_frame child :: parent.f_children;
+            capture.stack <- rest
+        | _ -> ());
+    Interp.on_sload =
+      (fun addr slot value ->
+        match top () with
+        | Some f -> f.f_sloads <- (addr, slot, value) :: f.f_sloads
+        | None -> ());
+    Interp.on_sstore =
+      (fun addr slot value ->
+        match top () with
+        | Some f -> f.f_sstores <- (addr, slot, value) :: f.f_sstores
+        | None -> ());
+  }
+
+let finish capture result =
+  match capture.stack with
+  | [ root ] ->
+      root.f_status <- status_string result.Interp.status;
+      node_of_frame root
+  | _ ->
+      (* Unbalanced events (aborted frames): collapse whatever remains. *)
+      let rec collapse = function
+        | [ root ] ->
+            root.f_status <- status_string result.Interp.status;
+            node_of_frame root
+        | child :: (parent :: _ as rest) ->
+            parent.f_children <- node_of_frame child :: parent.f_children;
+            collapse rest
+        | [] -> assert false
+      in
+      collapse capture.stack
+
+let run ?(gas = 30_000_000) host ~caller ~target ~input =
+  let capture = make ~caller ~target ~input in
+  let result =
+    Interp.execute ~tracer:(tracer capture) host
+      (Interp.make_call ~caller ~target ~input ~gas ())
+  in
+  (result, finish capture result)
+
+let short_hex ?(max_bytes = 8) s =
+  if String.length s <= max_bytes then Hexutil.to_hex s
+  else Hexutil.to_hex (Hexutil.take max_bytes s) ^ "..."
+
+let pp fmt node =
+  let rec go indent n =
+    Format.fprintf fmt "%s%s %s -> code %s (ctx %s) input %s%s [%s]@."
+      (String.make indent ' ') n.t_kind (Address.to_hex n.t_from)
+      (Address.to_hex n.t_code)
+      (Address.to_hex n.t_context)
+      (short_hex n.t_input)
+      (if U256.is_zero n.t_value then ""
+       else " value " ^ U256.to_decimal n.t_value)
+      n.t_status;
+    List.iter
+      (fun (_, slot, v) ->
+        Format.fprintf fmt "%s  sload  %s = %s@."
+          (String.make indent ' ')
+          (U256.to_hex slot) (U256.to_hex v))
+      n.t_sloads;
+    List.iter
+      (fun (_, slot, v) ->
+        Format.fprintf fmt "%s  sstore %s = %s@."
+          (String.make indent ' ')
+          (U256.to_hex slot) (U256.to_hex v))
+      n.t_sstores;
+    List.iter (go (indent + 2)) n.t_children
+  in
+  go 0 node
+
+let to_string node = Format.asprintf "%a" pp node

@@ -1,0 +1,40 @@
+(** Structured execution traces: a call tree with per-frame storage
+    accesses, built from the interpreter's tracer hooks.
+
+    The analysis layer uses raw hooks directly; this module is for humans —
+    debugging contracts, inspecting what a transaction did, and the CLI's
+    trace output. *)
+
+type node = {
+  t_kind : string;  (** "CALL", "DELEGATECALL", ... or "TX" for the root. *)
+  t_from : Address.t;
+  t_code : Address.t;  (** Code executed. *)
+  t_context : Address.t;  (** Storage context. *)
+  t_input : string;
+  t_value : U256.t;
+  t_status : string;  (** Filled when the frame completes. *)
+  t_sloads : (Address.t * U256.t * U256.t) list;  (** (ctx, slot, value). *)
+  t_sstores : (Address.t * U256.t * U256.t) list;
+  t_children : node list;
+}
+
+type capture
+
+val make : caller:Address.t -> target:Address.t -> input:string -> capture
+(** Prepare a capture for a top-level call. *)
+
+val tracer : capture -> Interp.tracer
+(** The tracer to pass to {!Interp.execute}. *)
+
+val finish : capture -> Interp.result -> node
+(** Assemble the tree once execution returned. *)
+
+val run :
+  ?gas:int -> Host.t -> caller:Address.t -> target:Address.t -> input:string ->
+  Interp.result * node
+(** Convenience: execute and capture in one step. *)
+
+val pp : Format.formatter -> node -> unit
+(** Indented call-tree rendering with storage accesses. *)
+
+val to_string : node -> string

@@ -1,0 +1,1 @@
+lib/experiments/effectiveness.ml: Baselines Chain Dataset Evm Hashtbl List Proxion Report

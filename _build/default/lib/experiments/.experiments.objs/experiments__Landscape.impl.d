@@ -1,0 +1,1 @@
+lib/experiments/landscape.ml: Array Chain Dataset Evm Hashtbl List Option Printf Proxion Report

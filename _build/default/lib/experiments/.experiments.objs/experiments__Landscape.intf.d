@@ -1,0 +1,1 @@
+lib/experiments/landscape.mli: Dataset Proxion Report

@@ -1,0 +1,1 @@
+lib/experiments/multichain.ml: Dataset Hashtbl List Proxion Report

@@ -1,0 +1,1 @@
+lib/experiments/perf.ml: Chain Dataset List Minisol Printf Proxion Report Unix

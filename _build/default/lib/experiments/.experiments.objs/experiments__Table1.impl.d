@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Baselines Chain Evm Hashtbl Hexutil Keccak List Minisol Printf Proxion Report String U256

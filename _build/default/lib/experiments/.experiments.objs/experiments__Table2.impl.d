@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Baselines Chain Dataset List Proxion Report

@@ -1,0 +1,38 @@
+(** §6.2 — effectiveness against USCHunt and CRUSH on their home turf.
+
+    The Sanctuary-style comparison restricts the landscape to
+    source-available contracts and counts proxies each tool identifies
+    (the paper: 35,924 vs 29,023, with USCHunt losing ~30% to compile
+    failures) plus the function collisions only ProxioN reports.
+
+    The CRUSH-style comparison runs on the full landscape: CRUSH finds
+    pairs from transaction history (including library-call false
+    positives), ProxioN finds them by emulation (including the hidden
+    contracts CRUSH cannot see), and the storage-collision delta is
+    reported. *)
+
+type sanctuary = {
+  sa_contracts : int;  (** Source-available population. *)
+  sa_uschunt_failures : int;  (** Compile failures. *)
+  sa_uschunt_proxies : int;
+  sa_proxion_proxies : int;
+  sa_proxion_errors : int;
+  sa_collisions_proxion_only : int;
+      (** Function-colliding pairs ProxioN reports that USCHunt misses. *)
+}
+
+type crush_cmp = {
+  cr_contracts : int;
+  cr_crush_proxies : int;
+  cr_crush_library_fps : int;
+      (** CRUSH "proxies" that are library callers, not proxies. *)
+  cr_proxion_proxies : int;
+  cr_proxion_only : int;  (** Hidden proxies only ProxioN finds. *)
+  cr_crush_storage_pairs : int;
+  cr_proxion_storage_pairs : int;
+}
+
+val run_sanctuary : ?config:Dataset.Generate.config -> unit -> sanctuary
+val run_crush : ?config:Dataset.Generate.config -> unit -> crush_cmp
+val render_sanctuary : sanctuary -> string
+val render_crush : crush_cmp -> string

@@ -1,0 +1,50 @@
+(** The §7 landscape experiments: Figure 2 (availability), Figure 4
+    (proxy/logic pairs by source availability), Table 3 (collisions per
+    year), Figure 5 (clone skew), Table 4 (standards), Figure 6
+    (upgrades).  All are computed by running the full ProxioN pipeline
+    over a generated landscape and aggregating its output against the
+    deployment-year labels. *)
+
+type t = {
+  land_ : Dataset.Generate.t;
+  report : Proxion.Pipeline.report;
+}
+
+val prepare : ?config:Dataset.Generate.config -> unit -> t
+(** Generate the landscape (default {!Dataset.Generate.default_config})
+    and run the pipeline once; every figure below reads from this. *)
+
+val fig2 : t -> string
+(** Cumulative alive contracts per year split by {source?} x {tx?}. *)
+
+val fig4 : t -> string
+(** Cumulative detected proxy/logic pairs per year split by which side has
+    source available. *)
+
+val table3 : t -> string
+(** Function and storage collisions per deployment year as detected by the
+    pipeline, with the mainnet-scale estimates obtained by undoing the
+    storage-boost factor. *)
+
+val fig5 : t -> string
+(** Duplicate distribution of detected proxies and of their logic
+    contracts (clone counts, descending). *)
+
+val table4 : t -> string
+(** Detected proxies per design standard, with Table 4's percentages. *)
+
+val fig6 : t -> string
+(** Histogram of per-proxy upgrade counts from logic resolution. *)
+
+val summary : t -> string
+(** Headline §7.2 numbers: proxy share, hidden proxies, analysis success
+    rate, pair counts. *)
+
+val upgrade_authority : t -> string
+(** Who can upgrade each detected proxy (Salehi et al.'s question, §9.1),
+    answered dynamically by {!Proxion.Upgrade_auth}: immutable minimal
+    proxies, access-gated upgrades, and the dangerous open-to-anyone
+    setters the dataset injects. *)
+
+val summary_json : t -> Report.Json.t
+(** The summary headline numbers as JSON. *)

@@ -1,0 +1,28 @@
+(** The §8.2 multichain extension, in the mould of USCHunt's eight-chain
+    survey: generate an independent landscape per EVM chain (each with its
+    own chain id, seed, and population scale) and run the full ProxioN
+    pipeline on every one.  The per-chain proxy shares and collision counts
+    land in one comparison table. *)
+
+type chain_row = {
+  mc_name : string;
+  mc_chain_id : int;
+  mc_contracts : int;
+  mc_proxies : int;
+  mc_proxy_share : float;
+  mc_func_collisions : int;
+  mc_storage_collisions : int;
+  mc_hidden_detected : int;
+}
+
+val chains : (string * int * float) list
+(** (name, chain id, relative population scale) for the eight chains
+    USCHunt covers. *)
+
+val run : ?base_total:int -> ?seed:int -> unit -> chain_row list
+(** [base_total] (default 1200) is Ethereum's population; other chains
+    scale by their relative factor. *)
+
+val render : chain_row list -> string
+
+val to_json : chain_row list -> Report.Json.t

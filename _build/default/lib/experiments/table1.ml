@@ -1,0 +1,203 @@
+module Address = Evm.Address
+module Patterns = Minisol.Patterns
+module Codegen = Minisol.Codegen
+module Ast = Minisol.Ast
+
+type cell = Covered | Not_covered
+
+type row = {
+  tool : string;
+  contract_coverage : cell array;
+  collision_coverage : cell array;
+}
+
+type scenario = {
+  sc_has_source : bool;
+  sc_has_tx : bool;
+  sc_proxy : Address.t;
+  sc_logic : Address.t;
+}
+
+let eoa = Address.of_hex "0x0000000000000000000000000000000000011111"
+
+(* One scenario pair per availability quadrant.  The pair carries both a
+   function collision (honeypot selectors) and a storage collision
+   (Audius-style slot-0 clash). *)
+let build_scenarios () =
+  let chain = Chain.create () in
+  let sources = Hashtbl.create 8 in
+  let scenario i ~has_source ~has_tx =
+    let logic_ast =
+      let base = Patterns.audius_logic () in
+      {
+        base with
+        Ast.c_funcs =
+          base.Ast.c_funcs
+          @ [ Ast.func "free_ether_withdrawal" [ Ast.Stop ] ];
+      }
+    in
+    let proxy_ast =
+      let base = Patterns.audius_proxy () in
+      {
+        base with
+        Ast.c_name = Printf.sprintf "ScenarioProxy%d" i;
+        Ast.c_funcs =
+          base.Ast.c_funcs @ [ Ast.func "impl_LUsXCWD2AKCc" [ Ast.Stop ] ];
+      }
+    in
+    let logic = Chain.install_contract chain ~runtime:(Codegen.runtime logic_ast) () in
+    let proxy = Chain.install_contract chain ~runtime:(Codegen.runtime proxy_ast) () in
+    Chain.set_storage_direct chain proxy U256.zero (Address.to_u256 eoa);
+    Chain.set_storage_direct chain proxy U256.one (Address.to_u256 logic);
+    if has_source then begin
+      Hashtbl.replace sources proxy proxy_ast;
+      Hashtbl.replace sources logic logic_ast
+    end;
+    if has_tx then begin
+      let input = Hexutil.take 36 (Keccak.digest "t1-probe" ^ String.make 32 '\000') in
+      ignore (Chain.call chain ~from:eoa ~to_:proxy ~input ())
+    end;
+    { sc_has_source = has_source; sc_has_tx = has_tx; sc_proxy = proxy; sc_logic = logic }
+  in
+  let scenarios =
+    [
+      scenario 0 ~has_source:true ~has_tx:true;
+      scenario 1 ~has_source:true ~has_tx:false;
+      scenario 2 ~has_source:false ~has_tx:true;
+      scenario 3 ~has_source:false ~has_tx:false;
+    ]
+  in
+  (chain, scenarios, fun addr -> Hashtbl.find_opt sources addr)
+
+let cell_of b = if b then Covered else Not_covered
+
+let quadrant sc =
+  match (sc.sc_has_source, sc.sc_has_tx) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> 2
+  | false, false -> 3
+
+let proxion_is_proxy host addr =
+  Proxion.Proxy_detect.is_proxy (Proxion.Proxy_detect.detect ~host addr)
+
+let run () =
+  let chain, scenarios, source = build_scenarios () in
+  let host = Chain.host_at_head chain in
+  let contract_cov f =
+    let cov = Array.make 4 Not_covered in
+    List.iter (fun sc -> if f sc then cov.(quadrant sc) <- Covered) scenarios;
+    cov
+  in
+  (* Contract-identification coverage per tool. *)
+  let etherscan_cov =
+    (* The Etherscan verification tool only exists for verified contracts. *)
+    contract_cov (fun sc ->
+        sc.sc_has_source && Baselines.Etherscan_like.is_proxy (Chain.code_at chain sc.sc_proxy))
+  in
+  let uschunt_cov =
+    contract_cov (fun sc ->
+        match source sc.sc_proxy with
+        | Some ast -> Baselines.Uschunt_like.detect_proxy ast
+        | None -> false)
+  in
+  let salehi_cov = contract_cov (fun sc -> Baselines.Salehi_like.is_proxy chain sc.sc_proxy) in
+  let crush_cov = contract_cov (fun sc -> Baselines.Crush_like.is_proxy chain sc.sc_proxy) in
+  let proxion_cov = contract_cov (fun sc -> proxion_is_proxy host sc.sc_proxy) in
+  (* Collision coverage: can the tool check the pair in this availability
+     class?  Measured by actually running its detectors on a source-backed
+     pair and on a bytecode-only pair. *)
+  let with_src = List.find (fun sc -> sc.sc_has_source) scenarios in
+  let without_src = List.find (fun sc -> not sc.sc_has_source) scenarios in
+  let uschunt_func sc =
+    match (source sc.sc_proxy, source sc.sc_logic) with
+    | Some p, Some l -> Baselines.Uschunt_like.func_collisions ~proxy:p ~logic:l <> []
+    | _ -> false
+  in
+  let uschunt_storage sc =
+    match (source sc.sc_proxy, source sc.sc_logic) with
+    | Some p, Some l -> Baselines.Uschunt_like.storage_collisions ~proxy:p ~logic:l <> []
+    | _ -> false
+  in
+  let crush_storage sc =
+    Baselines.Crush_like.is_proxy chain sc.sc_proxy
+    && Baselines.Crush_like.storage_collisions ~chain ~proxy:sc.sc_proxy
+         ~logic:sc.sc_logic
+       <> []
+  in
+  let proxion_func sc =
+    let side addr =
+      match source addr with
+      | Some ast -> Proxion.Func_collision.Source ast
+      | None -> Proxion.Func_collision.Bytecode (Chain.code_at chain addr)
+    in
+    Proxion.Func_collision.has_collision ~proxy:(side sc.sc_proxy) ~logic:(side sc.sc_logic)
+  in
+  let proxion_storage sc =
+    let side addr =
+      match source addr with
+      | Some ast -> Proxion.Storage_collision.Source ast
+      | None -> Proxion.Storage_collision.Bytecode (Chain.code_at chain addr)
+    in
+    Proxion.Storage_collision.has_collision ~proxy:(side sc.sc_proxy)
+      ~logic:(side sc.sc_logic)
+  in
+  let collision_cov ~func ~storage =
+    [|
+      cell_of (func with_src);
+      cell_of (storage with_src);
+      cell_of (func without_src);
+      cell_of (storage without_src);
+    |]
+  in
+  let none4 = Array.make 4 Not_covered in
+  [
+    {
+      tool = "EtherScan";
+      contract_coverage = etherscan_cov;
+      collision_coverage = none4;
+    };
+    {
+      tool = "Slither/USCHunt";
+      contract_coverage = uschunt_cov;
+      collision_coverage = collision_cov ~func:uschunt_func ~storage:uschunt_storage;
+    };
+    {
+      tool = "Salehi et al.";
+      contract_coverage = salehi_cov;
+      collision_coverage = none4;
+    };
+    {
+      tool = "CRUSH";
+      contract_coverage = crush_cov;
+      collision_coverage =
+        collision_cov ~func:(fun _ -> false) ~storage:crush_storage;
+    };
+    {
+      tool = "ProxioN (this work)";
+      contract_coverage = proxion_cov;
+      collision_coverage = collision_cov ~func:proxion_func ~storage:proxion_storage;
+    };
+  ]
+
+let render rows =
+  let mark = function Covered -> "yes" | Not_covered -> "-" in
+  Report.table ~title:"Table 1: smart contract and collision coverage"
+    ~header:
+      [
+        "Tool";
+        "src+tx";
+        "src";
+        "tx";
+        "hidden";
+        "fn(src)";
+        "st(src)";
+        "fn(byte)";
+        "st(byte)";
+      ]
+    (List.map
+       (fun r ->
+         r.tool
+         :: (Array.to_list r.contract_coverage |> List.map mark)
+         @ (Array.to_list r.collision_coverage |> List.map mark))
+       rows)

@@ -1,0 +1,170 @@
+module Accuracy = Dataset.Accuracy
+
+type matrix = { tp : int; fp : int; tn : int; fn : int }
+
+let accuracy m =
+  let total = m.tp + m.fp + m.tn + m.fn in
+  if total = 0 then 0.0 else float_of_int (m.tp + m.tn) /. float_of_int total
+
+type row = { tool : string; kind : string; matrix : matrix }
+
+let score pairs ~ground ~predicted =
+  List.fold_left
+    (fun m pair ->
+      match (ground pair, predicted pair) with
+      | true, true -> { m with tp = m.tp + 1 }
+      | false, true -> { m with fp = m.fp + 1 }
+      | false, false -> { m with tn = m.tn + 1 }
+      | true, false -> { m with fn = m.fn + 1 })
+    { tp = 0; fp = 0; tn = 0; fn = 0 }
+    pairs
+
+let run ?(size_factor = 1) () =
+  let corpus = Accuracy.build ~size_factor () in
+  let chain = corpus.Accuracy.chain in
+  let source = corpus.Accuracy.source_of in
+  let host = Chain.host_at_head chain in
+  let pairs = corpus.Accuracy.pairs in
+
+  (* --- ProxioN -------------------------------------------------------- *)
+  let proxion_detects (p : Accuracy.pair_label) =
+    Proxion.Proxy_detect.is_proxy
+      (Proxion.Proxy_detect.detect ~host p.Accuracy.c_proxy)
+  in
+  let proxion_func p =
+    proxion_detects p
+    &&
+    let side addr =
+      match source addr with
+      | Some ast -> Proxion.Func_collision.Source ast
+      | None -> Proxion.Func_collision.Bytecode (Chain.code_at chain addr)
+    in
+    Proxion.Func_collision.has_collision
+      ~proxy:(side p.Accuracy.c_proxy)
+      ~logic:(side p.Accuracy.c_logic)
+  in
+  let proxion_storage p =
+    proxion_detects p
+    &&
+    let side addr =
+      match source addr with
+      | Some ast -> Proxion.Storage_collision.Source ast
+      | None -> Proxion.Storage_collision.Bytecode (Chain.code_at chain addr)
+    in
+    Proxion.Storage_collision.has_collision
+      ~proxy:(side p.Accuracy.c_proxy)
+      ~logic:(side p.Accuracy.c_logic)
+  in
+
+  (* --- USCHunt ---------------------------------------------------------*)
+  let uschunt_ready (p : Accuracy.pair_label) =
+    match (source p.Accuracy.c_proxy, source p.Accuracy.c_logic) with
+    | Some proxy_ast, Some logic_ast -> (
+        match
+          ( Baselines.Uschunt_like.analyze ~address:p.Accuracy.c_proxy proxy_ast,
+            Baselines.Uschunt_like.analyze ~address:p.Accuracy.c_logic logic_ast
+          )
+        with
+        | ( Baselines.Uschunt_like.Analyzed { is_proxy },
+            Baselines.Uschunt_like.Analyzed _ ) ->
+            if is_proxy then Some (proxy_ast, logic_ast) else None
+        | _ -> None)
+    | _ -> None
+  in
+  let uschunt_func p =
+    match uschunt_ready p with
+    | Some (proxy, logic) ->
+        Baselines.Uschunt_like.func_collisions ~proxy ~logic <> []
+    | None -> false
+  in
+  let uschunt_storage p =
+    match uschunt_ready p with
+    | Some (proxy, logic) ->
+        Baselines.Uschunt_like.storage_collisions ~proxy ~logic <> []
+    | None -> false
+  in
+
+  (* --- CRUSH (storage only) ------------------------------------------- *)
+  let crush_storage (p : Accuracy.pair_label) =
+    Baselines.Crush_like.is_proxy chain p.Accuracy.c_proxy
+    && Proxion.Storage_collision.has_collision
+         ~proxy:
+           (Proxion.Storage_collision.Bytecode
+              (Chain.code_at chain p.Accuracy.c_proxy))
+         ~logic:
+           (Proxion.Storage_collision.Bytecode
+              (Chain.code_at chain p.Accuracy.c_logic))
+  in
+
+  let ground_storage (p : Accuracy.pair_label) = p.Accuracy.c_gt_storage in
+  let ground_func (p : Accuracy.pair_label) = p.Accuracy.c_gt_func in
+  (* The paper scores each tool on the UNION of instances any tool
+     reported (those are the cases that get manually verified); a pair no
+     tool flags never enters the table. *)
+  let storage_instances =
+    List.filter
+      (fun p -> uschunt_storage p || crush_storage p || proxion_storage p)
+      pairs
+  in
+  let func_instances =
+    List.filter (fun p -> uschunt_func p || proxion_func p) pairs
+  in
+  [
+    {
+      tool = "USCHunt";
+      kind = "storage";
+      matrix = score storage_instances ~ground:ground_storage ~predicted:uschunt_storage;
+    };
+    {
+      tool = "CRUSH";
+      kind = "storage";
+      matrix = score storage_instances ~ground:ground_storage ~predicted:crush_storage;
+    };
+    {
+      tool = "ProxioN";
+      kind = "storage";
+      matrix = score storage_instances ~ground:ground_storage ~predicted:proxion_storage;
+    };
+    {
+      tool = "USCHunt";
+      kind = "function";
+      matrix = score func_instances ~ground:ground_func ~predicted:uschunt_func;
+    };
+    {
+      tool = "ProxioN";
+      kind = "function";
+      matrix = score func_instances ~ground:ground_func ~predicted:proxion_func;
+    };
+  ]
+
+let render rows =
+  Report.table ~title:"Table 2: collision detection accuracy"
+    ~header:[ "Collision"; "Tool"; "TP"; "FP"; "TN"; "FN"; "Accuracy" ]
+    (List.map
+       (fun r ->
+         [
+           r.kind;
+           r.tool;
+           string_of_int r.matrix.tp;
+           string_of_int r.matrix.fp;
+           string_of_int r.matrix.tn;
+           string_of_int r.matrix.fn;
+           Report.pct (accuracy r.matrix);
+         ])
+       rows)
+
+let to_json rows =
+  Report.Json.List
+    (List.map
+       (fun r ->
+         Report.Json.Obj
+           [
+             ("collision", Report.Json.String r.kind);
+             ("tool", Report.Json.String r.tool);
+             ("tp", Report.Json.Int r.matrix.tp);
+             ("fp", Report.Json.Int r.matrix.fp);
+             ("tn", Report.Json.Int r.matrix.tn);
+             ("fn", Report.Json.Int r.matrix.fn);
+             ("accuracy", Report.Json.Float (accuracy r.matrix));
+           ])
+       rows)

@@ -1,0 +1,22 @@
+(** Table 2 — collision-detection accuracy on the ground-truth corpus.
+
+    Each tool runs on every labeled pair of {!Dataset.Accuracy}; the
+    confusion matrix is scored against the ground truth.  The comparison
+    target is the ordering the paper reports: ProxioN beats USCHunt and
+    CRUSH on storage collisions (78.2% vs 54.4%) and dominates on function
+    collisions (99.5% vs 53.3%), with exactly the failure modes attributed
+    in §6.3 (USCHunt's padding false positives, CRUSH's library-pair false
+    positives and history gating, ProxioN's emulation-error misses). *)
+
+type matrix = { tp : int; fp : int; tn : int; fn : int }
+
+val accuracy : matrix -> float
+
+type row = { tool : string; kind : string; matrix : matrix }
+
+val run : ?size_factor:int -> unit -> row list
+(** Builds the corpus, runs USCHunt, CRUSH, and ProxioN, and scores. *)
+
+val render : row list -> string
+
+val to_json : row list -> Report.Json.t

@@ -1,0 +1,82 @@
+let strip_0x s =
+  if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    String.sub s 2 (String.length s - 2)
+  else s
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Hexutil: invalid hex character %C" c)
+
+let of_hex s =
+  let s = strip_0x s in
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hexutil.of_hex: odd-length hex string";
+  String.init (n / 2) (fun i ->
+      Char.chr ((hex_value s.[2 * i] lsl 4) lor hex_value s.[(2 * i) + 1]))
+
+let of_hex_opt s = match of_hex s with b -> Some b | exception _ -> None
+
+let hex_digits = "0123456789abcdef"
+
+let to_hex ?(prefix = true) bytes =
+  let n = String.length bytes in
+  let body =
+    String.init (2 * n) (fun i ->
+        let b = Char.code bytes.[i / 2] in
+        hex_digits.[if i mod 2 = 0 then b lsr 4 else b land 0xf])
+  in
+  if prefix then "0x" ^ body else body
+
+let is_hex s =
+  let s = strip_0x s in
+  String.length s mod 2 = 0
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
+
+let repeat c n = String.make n c
+
+let pad_left n c s =
+  let len = String.length s in
+  if len >= n then s else repeat c (n - len) ^ s
+
+let pad_right n c s =
+  let len = String.length s in
+  if len >= n then s else s ^ repeat c (n - len)
+
+let take n s =
+  let n = min n (String.length s) in
+  if n <= 0 then "" else String.sub s 0 n
+
+let drop n s =
+  let len = String.length s in
+  if n >= len then "" else String.sub s n (len - n)
+
+let slice s pos len =
+  if len <= 0 then ""
+  else
+    String.init len (fun i ->
+        let j = pos + i in
+        if j >= 0 && j < String.length s then s.[j] else '\000')
+
+let xor a b =
+  if String.length a <> String.length b then
+    invalid_arg "Hexutil.xor: length mismatch";
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let byte s i = Char.code s.[i]
+
+let chunks n s =
+  if n <= 0 then invalid_arg "Hexutil.chunks: non-positive chunk size";
+  let len = String.length s in
+  let rec loop pos acc =
+    if pos >= len then List.rev acc
+    else
+      let sz = min n (len - pos) in
+      loop (pos + sz) (String.sub s pos sz :: acc)
+  in
+  loop 0 []

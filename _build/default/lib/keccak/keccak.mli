@@ -1,0 +1,20 @@
+(** Keccak-256 as used by Ethereum.
+
+    This is the original Keccak submission (multi-rate padding byte [0x01]),
+    not the finalized SHA3-256 (padding byte [0x06]).  Ethereum uses it for
+    function selectors, storage-slot constants (EIP-1967, EIP-1822), contract
+    address derivation, and everywhere else a hash appears. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte Keccak-256 hash of [msg]. *)
+
+val digest_hex : string -> string
+(** [digest_hex msg] is {!digest} encoded as 0x-prefixed lowercase hex. *)
+
+val selector : string -> string
+(** [selector prototype] is the 4-byte Ethereum function selector: the first
+    four bytes of [digest prototype], e.g.
+    [selector "transfer(address,uint256)" = "\xa9\x05\x9c\xbb"]. *)
+
+val selector_hex : string -> string
+(** 0x-prefixed hex form of {!selector}. *)

@@ -1,0 +1,1 @@
+lib/minisol/ast.ml: Evm Keccak List Printf String U256

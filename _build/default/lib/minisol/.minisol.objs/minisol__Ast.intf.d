@@ -1,0 +1,1 @@
+lib/minisol/ast.mli: Evm U256

@@ -1,0 +1,1 @@
+lib/minisol/codegen.ml: Ast Evm Hashtbl Keccak Layout List Printf String U256

@@ -1,0 +1,1 @@
+lib/minisol/codegen.mli: Ast

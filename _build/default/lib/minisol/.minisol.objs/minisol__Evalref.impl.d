@@ -1,0 +1,1 @@
+lib/minisol/evalref.ml: Array Ast Evm Hashtbl Keccak Layout List U256

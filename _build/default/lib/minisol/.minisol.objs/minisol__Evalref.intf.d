@@ -1,0 +1,1 @@
+lib/minisol/evalref.mli: Ast Evm U256

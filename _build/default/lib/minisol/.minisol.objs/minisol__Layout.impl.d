@@ -1,0 +1,1 @@
+lib/minisol/layout.ml: Ast Format List

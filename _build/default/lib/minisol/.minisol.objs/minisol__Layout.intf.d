@@ -1,0 +1,1 @@
+lib/minisol/layout.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/minisol/patterns.ml: Ast Evm Hexutil Keccak String U256

@@ -1,0 +1,1 @@
+lib/minisol/patterns.mli: Ast Evm U256

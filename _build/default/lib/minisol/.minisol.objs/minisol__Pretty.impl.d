@@ -1,0 +1,1 @@
+lib/minisol/pretty.ml: Ast Buffer Evm List Printf String U256

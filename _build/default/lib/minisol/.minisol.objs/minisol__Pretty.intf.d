@@ -1,0 +1,1 @@
+lib/minisol/pretty.mli: Ast

@@ -1,0 +1,117 @@
+type ty =
+  | T_uint of int
+  | T_int of int
+  | T_bool
+  | T_address
+  | T_bytes of int
+  | T_mapping of ty * ty
+
+let type_size = function
+  | T_uint bits | T_int bits ->
+      if bits mod 8 <> 0 || bits < 8 || bits > 256 then
+        invalid_arg "Ast.type_size: invalid integer width";
+      bits / 8
+  | T_bool -> 1
+  | T_address -> 20
+  | T_bytes n ->
+      if n < 1 || n > 32 then invalid_arg "Ast.type_size: invalid bytesN";
+      n
+  | T_mapping _ -> 32
+
+let rec canonical_type = function
+  | T_uint bits -> Printf.sprintf "uint%d" bits
+  | T_int bits -> Printf.sprintf "int%d" bits
+  | T_bool -> "bool"
+  | T_address -> "address"
+  | T_bytes n -> Printf.sprintf "bytes%d" n
+  | T_mapping (k, v) ->
+      Printf.sprintf "mapping(%s=>%s)" (canonical_type k) (canonical_type v)
+
+type var = { v_name : string; v_ty : ty }
+type mutability = View | Nonpayable | Payable
+type binop = Add | Sub | Mul | Div | And | Or | Xor | Eq | Lt | Gt
+
+type expr =
+  | Const of U256.t
+  | Const_addr of Evm.Address.t
+  | Param of int
+  | Load of string
+  | Map_load of string * expr
+  | Load_slot of U256.t
+  | Cd_selector
+  | Caller
+  | Callvalue
+  | Timestamp
+  | Blocknumber
+  | Self
+  | Selfbalance
+  | Not of expr
+  | Bin of binop * expr * expr
+  | Local of string
+
+type stmt =
+  | Store of string * expr
+  | Map_store of string * expr * expr
+  | Store_slot of U256.t * expr
+  | Require of expr
+  | Return_value of expr
+  | Stop
+  | Revert
+  | Transfer of expr * expr
+  | Call_sig of expr * string * expr list
+  | Delegate_sig of expr * string * expr list
+  | Delegate_forward of forward_target
+  | Emit of string * expr list
+  | Let of string * expr
+  | While of expr * stmt list
+  | If of expr * stmt list * stmt list
+
+and forward_target =
+  | To_var of string
+  | To_slot of U256.t
+  | To_fixed of Evm.Address.t
+  | To_facet of string
+  | To_beacon of U256.t
+
+type param = { p_name : string; p_ty : ty }
+
+type func = {
+  f_name : string;
+  f_params : param list;
+  f_returns : ty option;
+  f_mutability : mutability;
+  f_body : stmt list;
+}
+
+type contract = {
+  c_name : string;
+  c_vars : var list;
+  c_funcs : func list;
+  c_fallback : stmt list option;
+  c_ctor : stmt list;
+}
+
+let signature f =
+  Printf.sprintf "%s(%s)" f.f_name
+    (String.concat "," (List.map (fun p -> canonical_type p.p_ty) f.f_params))
+
+let selector f = Keccak.selector (signature f)
+let signatures c = List.map signature c.c_funcs
+let selectors c = List.map selector c.c_funcs
+
+let find_var c name =
+  match List.find_opt (fun v -> v.v_name = name) c.c_vars with
+  | Some v -> v
+  | None -> raise Not_found
+
+let func ?(mutability = Nonpayable) ?(params = []) ?returns name body =
+  {
+    f_name = name;
+    f_params = params;
+    f_returns = returns;
+    f_mutability = mutability;
+    f_body = body;
+  }
+
+let contract ?(vars = []) ?(funcs = []) ?(fallback = None) ?(ctor = []) name =
+  { c_name = name; c_vars = vars; c_funcs = funcs; c_fallback = fallback; c_ctor = ctor }

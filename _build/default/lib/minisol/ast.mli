@@ -1,0 +1,149 @@
+(** The abstract syntax of Minisol, the miniature contract language that
+    stands in for Solidity in this reproduction.
+
+    A Minisol contract plays two roles at once: it is the "source code" the
+    source-based analyses (Slither/USCHunt substitutes) inspect, and it is
+    the input of {!Codegen}, which compiles it to EVM bytecode with the same
+    idioms solc produces (function-selector dispatcher, packed storage,
+    delegate-calling fallback).  The collision analyses of the paper are
+    therefore exercised on both representations of the same contract. *)
+
+(** Solidity elementary types plus mappings. *)
+type ty =
+  | T_uint of int  (** [T_uint bits] with bits a multiple of 8, 8-256. *)
+  | T_int of int
+  | T_bool
+  | T_address
+  | T_bytes of int  (** [bytesN], 1-32. *)
+  | T_mapping of ty * ty
+
+val type_size : ty -> int
+(** Packed byte width of a value type; 32 for mappings (their slot). *)
+
+val canonical_type : ty -> string
+(** Canonical ABI name, e.g. ["uint256"], ["bytes4"]. *)
+
+(** A storage variable declaration. *)
+type var = { v_name : string; v_ty : ty }
+
+type mutability = View | Nonpayable | Payable
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Xor
+  | Eq
+  | Lt
+  | Gt
+
+type expr =
+  | Const of U256.t
+  | Const_addr of Evm.Address.t
+  | Param of int  (** [Param i]: the [i]-th (static) function argument. *)
+  | Load of string  (** Read a storage variable by name. *)
+  | Map_load of string * expr  (** Read [mapping_var[key]]. *)
+  | Load_slot of U256.t  (** Read a raw slot (EIP-1967-style constants). *)
+  | Cd_selector
+      (** The 4-byte selector of the incoming calldata, as a word
+          ([calldataload(0) >> 224]). *)
+  | Caller
+  | Callvalue
+  | Timestamp
+  | Blocknumber
+  | Self  (** [address(this)]. *)
+  | Selfbalance
+  | Not of expr  (** Logical negation (ISZERO). *)
+  | Bin of binop * expr * expr
+  | Local of string  (** Read a local variable (see {!stmt} [Let]). *)
+
+type stmt =
+  | Store of string * expr  (** [var = expr]. *)
+  | Map_store of string * expr * expr  (** [mapping_var[key] = expr]. *)
+  | Store_slot of U256.t * expr  (** Raw-slot write. *)
+  | Require of expr  (** Revert unless the expression is non-zero. *)
+  | Return_value of expr  (** Return one ABI word. *)
+  | Stop  (** Return with no data. *)
+  | Revert
+  | Transfer of expr * expr  (** [to.transfer(amount)]: CALL with value. *)
+  | Call_sig of expr * string * expr list
+      (** [target.call(abi.encodeWithSignature(sig, args))]. *)
+  | Delegate_sig of expr * string * expr list
+      (** [target.delegatecall(abi.encodeWithSignature(sig, args))] — the
+          shape of Listing 1's malicious body. *)
+  | Delegate_forward of forward_target
+      (** The proxy-fallback idiom: forward the full calldata via
+          delegatecall and bubble the result up. *)
+  | Emit of string * expr list
+      (** [Emit (signature, args)]: a LOG1 whose first topic is the keccak
+          hash of the event signature, Solidity-style; arguments are
+          ABI-packed into the data payload. *)
+  | Let of string * expr
+      (** Declare-or-assign a function-local word variable (memory-backed
+          in compiled code). *)
+  | While of expr * stmt list
+      (** Loop while the condition is non-zero. *)
+  | If of expr * stmt list * stmt list
+
+(** Where a forwarding fallback finds its logic address. *)
+and forward_target =
+  | To_var of string  (** A named storage variable. *)
+  | To_slot of U256.t  (** A raw slot (EIP-1967 / EIP-1822). *)
+  | To_fixed of Evm.Address.t  (** Hard-coded in the bytecode (EIP-1167). *)
+  | To_facet of string
+      (** A mapping variable keyed by the calldata selector — the diamond
+          (EIP-2535) shape whose probes ProxioN cannot satisfy (§8.1). *)
+  | To_beacon of U256.t
+      (** A beacon: the slot holds a beacon contract whose
+          [implementation()] is static-called for the logic address — the
+          EIP-1967 beacon variant. *)
+
+type param = { p_name : string; p_ty : ty }
+
+type func = {
+  f_name : string;
+  f_params : param list;
+  f_returns : ty option;
+  f_mutability : mutability;
+  f_body : stmt list;
+}
+
+type contract = {
+  c_name : string;
+  c_vars : var list;  (** Storage variables in declaration order. *)
+  c_funcs : func list;
+  c_fallback : stmt list option;
+      (** Fallback body; [None] compiles to a reverting fallback. *)
+  c_ctor : stmt list;
+      (** Constructor statements (run in init code; no calldata access). *)
+}
+
+val signature : func -> string
+(** Canonical signature, e.g. ["transfer(address,uint256)"]. *)
+
+val selector : func -> string
+(** 4-byte selector of {!signature}. *)
+
+val signatures : contract -> string list
+(** All function signatures, in declaration order. *)
+
+val selectors : contract -> string list
+(** All 4-byte selectors, in declaration order. *)
+
+val find_var : contract -> string -> var
+(** Raises [Not_found]. *)
+
+val func : ?mutability:mutability -> ?params:param list -> ?returns:ty ->
+  string -> stmt list -> func
+(** Convenience constructor; default nonpayable, no params, no return. *)
+
+val contract :
+  ?vars:var list ->
+  ?funcs:func list ->
+  ?fallback:stmt list option ->
+  ?ctor:stmt list ->
+  string ->
+  contract

@@ -1,0 +1,488 @@
+module Asm = Evm.Asm
+module Op = Evm.Opcode
+
+let mask_bytes n = U256.pred (U256.shift_left U256.one (8 * n))
+
+type env = {
+  layout : Layout.entry list;
+  params : Ast.param list;
+  fresh : unit -> string;
+  locals : (string, int) Hashtbl.t;  (* name -> memory offset *)
+}
+
+let make_fresh () =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "L%d" !counter
+
+let locals_base = 0x120
+
+let make_env ?(fresh = make_fresh ()) (c : Ast.contract) (params : Ast.param list) =
+  { layout = Layout.of_contract c; params; fresh; locals = Hashtbl.create 4 }
+
+let local_offset env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some off -> off
+  | None ->
+      let off = locals_base + (32 * Hashtbl.length env.locals) in
+      Hashtbl.replace env.locals name off;
+      off
+
+(* Mask a stack-top value down to a type's width. *)
+let mask_to_type ty =
+  let size = Ast.type_size ty in
+  if size >= 32 then [] else [ Asm.Push_u256 (mask_bytes size); Asm.Op Op.AND ]
+
+(* Read a storage variable onto the stack (SLOAD + shift + mask). *)
+let load_var env name =
+  let e = Layout.find env.layout name in
+  Asm.concat
+    [
+      [ Asm.Push_int e.Layout.e_slot; Asm.Op Op.SLOAD ];
+      (if e.Layout.e_offset > 0 then
+         [ Asm.Push_int (8 * e.Layout.e_offset); Asm.Op Op.SHR ]
+       else []);
+      (if e.Layout.e_size < 32 then
+         [ Asm.Push_u256 (mask_bytes e.Layout.e_size); Asm.Op Op.AND ]
+       else []);
+    ]
+
+(* Store the stack top into a storage variable (read-modify-write for packed
+   variables, plain SSTORE for full-slot ones). *)
+let store_var env name =
+  let e = Layout.find env.layout name in
+  if e.Layout.e_size = 32 then
+    [ Asm.Push_int e.Layout.e_slot; Asm.Op Op.SSTORE ]
+  else begin
+    let mask = mask_bytes e.Layout.e_size in
+    let shifted_mask = U256.shift_left mask (8 * e.Layout.e_offset) in
+    Asm.concat
+      [
+        [ Asm.Push_u256 mask; Asm.Op Op.AND ];
+        (if e.Layout.e_offset > 0 then
+           [ Asm.Push_int (8 * e.Layout.e_offset); Asm.Op Op.SHL ]
+         else []);
+        [
+          Asm.Push_int e.Layout.e_slot;
+          Asm.Op Op.SLOAD;
+          Asm.Push_u256 (U256.lognot shifted_mask);
+          Asm.Op Op.AND;
+          Asm.Op Op.OR;
+          Asm.Push_int e.Layout.e_slot;
+          Asm.Op Op.SSTORE;
+        ];
+      ]
+  end
+
+(* Mapping slot: keccak256(key ++ declaration_slot), solc's derivation. *)
+let mapping_slot env name key_items =
+  let e = Layout.find env.layout name in
+  Asm.concat
+    [
+      key_items;
+      [ Asm.Push_int 0; Asm.Op Op.MSTORE ];
+      [ Asm.Push_int e.Layout.e_slot; Asm.Push_int 0x20; Asm.Op Op.MSTORE ];
+      [ Asm.Push_int 0x40; Asm.Push_int 0; Asm.Op Op.KECCAK256 ];
+    ]
+
+let binop_items = function
+  | Ast.Add -> [ Asm.Op Op.ADD ]
+  | Ast.Sub -> [ Asm.Op Op.SUB ]
+  | Ast.Mul -> [ Asm.Op Op.MUL ]
+  | Ast.Div -> [ Asm.Op Op.DIV ]
+  | Ast.And -> [ Asm.Op Op.AND ]
+  | Ast.Or -> [ Asm.Op Op.OR ]
+  | Ast.Xor -> [ Asm.Op Op.XOR ]
+  | Ast.Eq -> [ Asm.Op Op.EQ ]
+  | Ast.Lt -> [ Asm.Op Op.LT ]
+  | Ast.Gt -> [ Asm.Op Op.GT ]
+
+let rec compile_expr env (e : Ast.expr) =
+  match e with
+  | Ast.Const v -> [ Asm.Push_u256 v ]
+  | Ast.Const_addr a -> [ Asm.Push a ]
+  | Ast.Param i ->
+      let p =
+        try List.nth env.params i
+        with _ -> invalid_arg "Codegen: parameter index out of range"
+      in
+      Asm.concat
+        [
+          [ Asm.Push_int (4 + (32 * i)); Asm.Op Op.CALLDATALOAD ];
+          mask_to_type p.Ast.p_ty;
+        ]
+  | Ast.Load name -> load_var env name
+  | Ast.Map_load (name, key) ->
+      Asm.concat
+        [ mapping_slot env name (compile_expr env key); [ Asm.Op Op.SLOAD ] ]
+  | Ast.Load_slot slot -> [ Asm.Push_u256 slot; Asm.Op Op.SLOAD ]
+  | Ast.Cd_selector ->
+      [
+        Asm.Push_int 0;
+        Asm.Op Op.CALLDATALOAD;
+        Asm.Push_int 0xe0;
+        Asm.Op Op.SHR;
+      ]
+  | Ast.Caller -> [ Asm.Op Op.CALLER ]
+  | Ast.Callvalue -> [ Asm.Op Op.CALLVALUE ]
+  | Ast.Timestamp -> [ Asm.Op Op.TIMESTAMP ]
+  | Ast.Blocknumber -> [ Asm.Op Op.NUMBER ]
+  | Ast.Self -> [ Asm.Op Op.ADDRESS ]
+  | Ast.Selfbalance -> [ Asm.Op Op.SELFBALANCE ]
+  | Ast.Not e -> Asm.concat [ compile_expr env e; [ Asm.Op Op.ISZERO ] ]
+  | Ast.Bin (op, left, right) ->
+      (* Left operand must end on top of the stack. *)
+      Asm.concat [ compile_expr env right; compile_expr env left; binop_items op ]
+  | Ast.Local name ->
+      [ Asm.Push_int (local_offset env name); Asm.Op Op.MLOAD ]
+
+(* Build calldata [selector ++ args] in memory at 0 and leave its length.
+   The selector lands via PUSH4 + SHL, i.e. a PUSH4 outside any dispatcher
+   pattern. *)
+let build_sig_calldata env signature args =
+  let n = List.length args in
+  Asm.concat
+    [
+      [
+        Asm.Push (Keccak.selector signature);
+        Asm.Push_int 0xe0;
+        Asm.Op Op.SHL;
+        Asm.Push_int 0;
+        Asm.Op Op.MSTORE;
+      ];
+      Asm.concat
+        (List.mapi
+           (fun i arg ->
+             Asm.concat
+               [
+                 compile_expr env arg;
+                 [ Asm.Push_int (4 + (32 * i)); Asm.Op Op.MSTORE ];
+               ])
+           args);
+      [ Asm.Push_int (4 + (32 * n)) ];
+    ]
+
+let forward_target_items env = function
+  | Ast.To_var name -> load_var env name
+  | Ast.To_slot slot ->
+      [
+        Asm.Push_u256 slot;
+        Asm.Op Op.SLOAD;
+        Asm.Push_u256 (mask_bytes 20);
+        Asm.Op Op.AND;
+      ]
+  | Ast.To_fixed addr -> [ Asm.Push addr ]
+  | Ast.To_facet name ->
+      Asm.concat
+        [
+          mapping_slot env name (compile_expr env Ast.Cd_selector);
+          [ Asm.Op Op.SLOAD; Asm.Push_u256 (mask_bytes 20); Asm.Op Op.AND ];
+        ]
+  | Ast.To_beacon slot ->
+      (* staticcall(gas, beacon, 0, 4, 0, 32) with implementation()'s
+         selector in scratch memory, then read the returned address. *)
+      Asm.concat
+        [
+          [
+            Asm.Push (Keccak.selector "implementation()");
+            Asm.Push_int 0xe0;
+            Asm.Op Op.SHL;
+            Asm.Push_int 0;
+            Asm.Op Op.MSTORE;
+          ];
+          [ Asm.Push_int 0x20; Asm.Push_int 0; Asm.Push_int 4; Asm.Push_int 0 ];
+          [
+            Asm.Push_u256 slot;
+            Asm.Op Op.SLOAD;
+            Asm.Push_u256 (mask_bytes 20);
+            Asm.Op Op.AND;
+          ];
+          [ Asm.Op Op.GAS; Asm.Op Op.STATICCALL; Asm.Op Op.POP ];
+          [
+            Asm.Push_int 0;
+            Asm.Op Op.MLOAD;
+            Asm.Push_u256 (mask_bytes 20);
+            Asm.Op Op.AND;
+          ];
+        ]
+
+let rec compile_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Store (name, e) -> Asm.concat [ compile_expr env e; store_var env name ]
+  | Ast.Map_store (name, key, value) ->
+      (* Compute value, then the mapping slot, then SSTORE. *)
+      Asm.concat
+        [
+          compile_expr env value;
+          mapping_slot env name (compile_expr env key);
+          [ Asm.Op Op.SSTORE ];
+        ]
+  | Ast.Store_slot (slot, e) ->
+      Asm.concat
+        [ compile_expr env e; [ Asm.Push_u256 slot; Asm.Op Op.SSTORE ] ]
+  | Ast.Require e ->
+      let ok = env.fresh () in
+      Asm.concat
+        [
+          compile_expr env e;
+          [ Asm.Push_label ok; Asm.Op Op.JUMPI ];
+          [ Asm.Push_int 0; Asm.Push_int 0; Asm.Op Op.REVERT ];
+          [ Asm.Jumpdest ok ];
+        ]
+  | Ast.Return_value e ->
+      Asm.concat
+        [
+          compile_expr env e;
+          [
+            Asm.Push_int 0;
+            Asm.Op Op.MSTORE;
+            Asm.Push_int 0x20;
+            Asm.Push_int 0;
+            Asm.Op Op.RETURN;
+          ];
+        ]
+  | Ast.Stop -> [ Asm.Op Op.STOP ]
+  | Ast.Revert -> [ Asm.Push_int 0; Asm.Push_int 0; Asm.Op Op.REVERT ]
+  | Ast.Transfer (to_, amount) ->
+      let ok = env.fresh () in
+      Asm.concat
+        [
+          (* call(gas, to, amount, 0, 0, 0, 0) *)
+          [ Asm.Push_int 0; Asm.Push_int 0; Asm.Push_int 0; Asm.Push_int 0 ];
+          compile_expr env amount;
+          compile_expr env to_;
+          [ Asm.Op Op.GAS; Asm.Op Op.CALL ];
+          [ Asm.Push_label ok; Asm.Op Op.JUMPI ];
+          [ Asm.Push_int 0; Asm.Push_int 0; Asm.Op Op.REVERT ];
+          [ Asm.Jumpdest ok ];
+        ]
+  | Ast.Call_sig (target, signature, args) ->
+      Asm.concat
+        [
+          build_sig_calldata env signature args;
+          (* stack: [len]; call(gas, target, 0, 0, len, 0, 0) *)
+          [ Asm.Push_int 0; Asm.Push_int 0 ];
+          [ Asm.Op (Op.SWAP 2) ];
+          (* -> [len, 0, 0] with len as argsLen *)
+          [ Asm.Push_int 0 ];
+          (* argsOff *)
+          [ Asm.Push_int 0 ];
+          (* value *)
+          compile_expr env target;
+          [ Asm.Op Op.GAS; Asm.Op Op.CALL; Asm.Op Op.POP ];
+        ]
+  | Ast.Delegate_sig (target, signature, args) ->
+      Asm.concat
+        [
+          build_sig_calldata env signature args;
+          (* stack: [len]; delegatecall(gas, target, 0, len, 0, 0) *)
+          [ Asm.Push_int 0; Asm.Push_int 0 ];
+          [ Asm.Op (Op.SWAP 2) ];
+          [ Asm.Push_int 0 ];
+          compile_expr env target;
+          [ Asm.Op Op.GAS; Asm.Op Op.DELEGATECALL; Asm.Op Op.POP ];
+        ]
+  | Ast.Delegate_forward target ->
+      let ok = env.fresh () in
+      Asm.concat
+        [
+          (* calldatacopy(0x40, 0, calldatasize): the copy lives above the
+             0x00-0x3f scratch words so that slot-hash computations (facet
+             lookups) cannot clobber the forwarded payload. *)
+          [
+            Asm.Op Op.CALLDATASIZE;
+            Asm.Push_int 0;
+            Asm.Push_int 0x40;
+            Asm.Op Op.CALLDATACOPY;
+          ];
+          (* delegatecall(gas, target, 0x40, calldatasize, 0, 0) *)
+          [ Asm.Push_int 0; Asm.Push_int 0; Asm.Op Op.CALLDATASIZE; Asm.Push_int 0x40 ];
+          forward_target_items env target;
+          [ Asm.Op Op.GAS; Asm.Op Op.DELEGATECALL ];
+          (* returndatacopy(0, 0, returndatasize) *)
+          [
+            Asm.Op Op.RETURNDATASIZE;
+            Asm.Push_int 0;
+            Asm.Push_int 0;
+            Asm.Op Op.RETURNDATACOPY;
+          ];
+          [ Asm.Push_label ok; Asm.Op Op.JUMPI ];
+          [ Asm.Op Op.RETURNDATASIZE; Asm.Push_int 0; Asm.Op Op.REVERT ];
+          [ Asm.Jumpdest ok ];
+          [ Asm.Op Op.RETURNDATASIZE; Asm.Push_int 0; Asm.Op Op.RETURN ];
+        ]
+  | Ast.Emit (signature, args) ->
+      let n = List.length args in
+      Asm.concat
+        [
+          (* Pack arguments into memory at 0x00. *)
+          Asm.concat
+            (List.mapi
+               (fun i arg ->
+                 Asm.concat
+                   [
+                     compile_expr env arg;
+                     [ Asm.Push_int (32 * i); Asm.Op Op.MSTORE ];
+                   ])
+               args);
+          (* log1(offset=0, size=32n, topic=keccak(signature)) *)
+          [
+            Asm.Push (Keccak.digest signature);
+            Asm.Push_int (32 * n);
+            Asm.Push_int 0;
+            Asm.Op (Op.LOG 1);
+          ];
+        ]
+  | Ast.Let (name, e) ->
+      Asm.concat
+        [
+          compile_expr env e;
+          [ Asm.Push_int (local_offset env name); Asm.Op Op.MSTORE ];
+        ]
+  | Ast.While (cond, body) ->
+      let start = env.fresh () in
+      let stop = env.fresh () in
+      Asm.concat
+        [
+          [ Asm.Jumpdest start ];
+          compile_expr env cond;
+          [ Asm.Op Op.ISZERO; Asm.Push_label stop; Asm.Op Op.JUMPI ];
+          compile_stmts env body;
+          [ Asm.Push_label start; Asm.Op Op.JUMP ];
+          [ Asm.Jumpdest stop ];
+        ]
+  | Ast.If (cond, then_, else_) ->
+      let then_label = env.fresh () in
+      let end_label = env.fresh () in
+      Asm.concat
+        [
+          compile_expr env cond;
+          [ Asm.Push_label then_label; Asm.Op Op.JUMPI ];
+          compile_stmts env else_;
+          [ Asm.Push_label end_label; Asm.Op Op.JUMP ];
+          [ Asm.Jumpdest then_label ];
+          compile_stmts env then_;
+          [ Asm.Jumpdest end_label ];
+        ]
+
+and compile_stmts env stmts = Asm.concat (List.map (compile_stmt env) stmts)
+
+let is_terminated stmts =
+  match List.rev stmts with
+  | (Ast.Return_value _ | Ast.Stop | Ast.Revert | Ast.Delegate_forward _) :: _ ->
+      true
+  | _ -> false
+
+let compile_body env stmts =
+  Asm.concat
+    [ compile_stmts env stmts; (if is_terminated stmts then [] else [ Asm.Op Op.STOP ]) ]
+
+let nonpayable_guard env =
+  let ok = env.fresh () in
+  [
+    Asm.Op Op.CALLVALUE;
+    Asm.Op Op.ISZERO;
+    Asm.Push_label ok;
+    Asm.Op Op.JUMPI;
+    Asm.Push_int 0;
+    Asm.Push_int 0;
+    Asm.Op Op.REVERT;
+    Asm.Jumpdest ok;
+  ]
+
+let runtime_items (c : Ast.contract) =
+  let fallback_body =
+    match c.Ast.c_fallback with
+    | Some body -> body
+    | None -> [ Ast.Revert ]
+  in
+  let fresh = make_fresh () in
+  match c.Ast.c_funcs with
+  | [] ->
+      (* Function-less contract: the whole runtime is the fallback, without
+         preamble or dispatcher (the minimal-proxy shape). *)
+      let env = make_env ~fresh c [] in
+      compile_body env fallback_body
+  | funcs ->
+      let preamble =
+        [ Asm.Push_int 0x80; Asm.Push_int 0x40; Asm.Op Op.MSTORE ]
+      in
+      let guard_short_calldata =
+        [
+          Asm.Push_int 4;
+          Asm.Op Op.CALLDATASIZE;
+          Asm.Op Op.LT;
+          Asm.Push_label "fallback";
+          Asm.Op Op.JUMPI;
+        ]
+      in
+      let load_selector =
+        [
+          Asm.Push_int 0;
+          Asm.Op Op.CALLDATALOAD;
+          Asm.Push_int 0xe0;
+          Asm.Op Op.SHR;
+        ]
+      in
+      let fn_label i = Printf.sprintf "fn%d" i in
+      let dispatcher =
+        Asm.concat
+          (List.mapi
+             (fun i f ->
+               [
+                 Asm.Op (Op.DUP 1);
+                 Asm.Push (Ast.selector f);
+                 Asm.Op Op.EQ;
+                 Asm.Push_label (fn_label i);
+                 Asm.Op Op.JUMPI;
+               ])
+             funcs)
+        @ [ Asm.Push_label "fallback"; Asm.Op Op.JUMP ]
+      in
+      let bodies =
+        Asm.concat
+          (List.mapi
+             (fun i f ->
+               let env = make_env ~fresh c f.Ast.f_params in
+               Asm.concat
+                 [
+                   [ Asm.Jumpdest (fn_label i); Asm.Op Op.POP ];
+                   (match f.Ast.f_mutability with
+                   | Ast.Payable | Ast.View -> []
+                   | Ast.Nonpayable -> nonpayable_guard env);
+                   compile_body env f.Ast.f_body;
+                 ])
+             funcs)
+      in
+      let fallback =
+        let env = make_env ~fresh c [] in
+        Asm.concat
+          [ [ Asm.Jumpdest "fallback" ]; compile_body env fallback_body ]
+      in
+      Asm.concat
+        [ preamble; guard_short_calldata; load_selector; dispatcher; bodies; fallback ]
+
+let runtime c = Asm.assemble (runtime_items c)
+
+let init_code (c : Ast.contract) =
+  let runtime_bytes = runtime c in
+  let env = make_env c [] in
+  let ctor = compile_stmts env c.Ast.c_ctor in
+  Asm.assemble
+    (Asm.concat
+       [
+         ctor;
+         [
+           (* codecopy(0, runtime_start, len); return(0, len) *)
+           Asm.Push_int (String.length runtime_bytes);
+           Asm.Push_label "runtime_start";
+           Asm.Push_int 0;
+           Asm.Op Op.CODECOPY;
+           Asm.Push_int (String.length runtime_bytes);
+           Asm.Push_int 0;
+           Asm.Op Op.RETURN;
+           Asm.Label "runtime_start";
+           Asm.Raw runtime_bytes;
+         ];
+       ])

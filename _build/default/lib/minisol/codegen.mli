@@ -1,0 +1,26 @@
+(** Compilation of Minisol contracts to EVM bytecode.
+
+    The generated runtime follows solc's idioms, because ProxioN's
+    bytecode-level heuristics key on them (§3.1, §4.2, §5.1):
+
+    - free-memory-pointer preamble ([PUSH1 0x80 PUSH1 0x40 MSTORE]);
+    - a selector dispatcher of [DUP1 PUSH4 <sel> EQ PUSH2 <dest> JUMPI]
+      comparisons after [CALLDATALOAD; SHR 0xe0], falling through to the
+      fallback block;
+    - packed storage access via SLOAD / SHR / AND masks derived from
+      {!Layout};
+    - calldata-forwarding fallbacks built from CALLDATACOPY, DELEGATECALL
+      and RETURNDATACOPY, returning or reverting with the callee's data;
+    - external calls that embed selectors as [PUSH4 <sel> PUSH1 0xe0 SHL]
+      {e outside} any dispatcher comparison — the arbitrary-data-after-PUSH4
+      hazard that defeats naive selector harvesting.
+
+    Contracts with functions get the dispatcher; function-less contracts
+    with a fallback (minimal proxies) compile to just the fallback body. *)
+
+val runtime : Ast.contract -> string
+(** Runtime (deployed) bytecode. *)
+
+val init_code : Ast.contract -> string
+(** Creation bytecode: runs the constructor statements, then deploys
+    {!runtime} via CODECOPY/RETURN. *)

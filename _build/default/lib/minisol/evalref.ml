@@ -1,0 +1,192 @@
+exception Unsupported of string
+
+type state = { mutable words : U256.t U256.Map.t }
+
+let create () = { words = U256.Map.empty }
+
+let get_slot st slot =
+  match U256.Map.find_opt slot st.words with Some v -> v | None -> U256.zero
+
+let set_slot st slot value =
+  if U256.is_zero value then st.words <- U256.Map.remove slot st.words
+  else st.words <- U256.Map.add slot value st.words
+
+let slots st = U256.Map.bindings st.words
+
+type env = {
+  e_caller : Evm.Address.t;
+  e_value : U256.t;
+  e_timestamp : int;
+  e_number : int;
+  e_self : Evm.Address.t;
+}
+
+let default_env =
+  {
+    e_caller = Evm.Address.of_hex "0x00000000000000000000000000000000000a11ce";
+    e_value = U256.zero;
+    e_timestamp = Evm.Host.default_block.Evm.Host.timestamp;
+    e_number = Evm.Host.default_block.Evm.Host.number;
+    e_self = Evm.Address.of_hex "0x00000000000000000000000000000000000005e1";
+  }
+
+type outcome = Returned of U256.t | Stopped | Reverted
+
+exception Halt of outcome
+
+let mask_bytes n = U256.pred (U256.shift_left U256.one (8 * n))
+
+(* Packed variable access over the word map, mirroring Codegen's
+   SLOAD/SHR/AND and RMW write sequences. *)
+let read_entry st (e : Layout.entry) =
+  let word = get_slot st (U256.of_int e.Layout.e_slot) in
+  U256.logand
+    (U256.shift_right word (8 * e.Layout.e_offset))
+    (mask_bytes e.Layout.e_size)
+
+let write_entry st (e : Layout.entry) value =
+  let slot = U256.of_int e.Layout.e_slot in
+  if e.Layout.e_size = 32 then set_slot st slot value
+  else begin
+    let masked = U256.logand value (mask_bytes e.Layout.e_size) in
+    let shifted = U256.shift_left masked (8 * e.Layout.e_offset) in
+    let clear =
+      U256.lognot (U256.shift_left (mask_bytes e.Layout.e_size) (8 * e.Layout.e_offset))
+    in
+    set_slot st slot (U256.logor (U256.logand (get_slot st slot) clear) shifted)
+  end
+
+let mapping_slot (e : Layout.entry) key =
+  U256.of_bytes_be
+    (Keccak.digest
+       (U256.to_bytes_be key ^ U256.to_bytes_be (U256.of_int e.Layout.e_slot)))
+
+type ctx = {
+  st : state;
+  env : env;
+  layout : Layout.entry list;
+  params : U256.t array;
+  param_types : Ast.ty array;
+  selector_word : U256.t;  (* msg.sig as a right-aligned word *)
+  locals : (string, U256.t) Hashtbl.t;
+}
+
+let truthy v = not (U256.is_zero v)
+
+let rec eval_expr ctx (e : Ast.expr) =
+  match e with
+  | Ast.Const v -> v
+  | Ast.Const_addr a -> Evm.Address.to_u256 a
+  | Ast.Param i ->
+      if i >= Array.length ctx.params then
+        invalid_arg "Evalref: missing argument";
+      let v = ctx.params.(i) in
+      let size = Ast.type_size ctx.param_types.(i) in
+      if size >= 32 then v else U256.logand v (mask_bytes size)
+  | Ast.Load name -> read_entry ctx.st (Layout.find ctx.layout name)
+  | Ast.Map_load (name, key) ->
+      let entry = Layout.find ctx.layout name in
+      get_slot ctx.st (mapping_slot entry (eval_expr ctx key))
+  | Ast.Load_slot slot -> get_slot ctx.st slot
+  | Ast.Cd_selector -> ctx.selector_word
+  | Ast.Caller -> Evm.Address.to_u256 ctx.env.e_caller
+  | Ast.Callvalue -> ctx.env.e_value
+  | Ast.Timestamp -> U256.of_int ctx.env.e_timestamp
+  | Ast.Blocknumber -> U256.of_int ctx.env.e_number
+  | Ast.Self -> Evm.Address.to_u256 ctx.env.e_self
+  | Ast.Selfbalance -> U256.zero
+  | Ast.Local name -> (
+      match Hashtbl.find_opt ctx.locals name with
+      | Some v -> v
+      | None -> U256.zero)
+  | Ast.Not e -> if truthy (eval_expr ctx e) then U256.zero else U256.one
+  | Ast.Bin (op, a, b) ->
+      let va = eval_expr ctx a in
+      let vb = eval_expr ctx b in
+      let bool_word x = if x then U256.one else U256.zero in
+      (match op with
+      | Ast.Add -> U256.add va vb
+      | Ast.Sub -> U256.sub va vb
+      | Ast.Mul -> U256.mul va vb
+      | Ast.Div -> U256.div va vb
+      | Ast.And -> U256.logand va vb
+      | Ast.Or -> U256.logor va vb
+      | Ast.Xor -> U256.logxor va vb
+      | Ast.Eq -> bool_word (U256.equal va vb)
+      | Ast.Lt -> bool_word (U256.lt va vb)
+      | Ast.Gt -> bool_word (U256.gt va vb))
+
+let rec exec_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Store (name, e) ->
+      write_entry ctx.st (Layout.find ctx.layout name) (eval_expr ctx e)
+  | Ast.Map_store (name, key, value) ->
+      let entry = Layout.find ctx.layout name in
+      set_slot ctx.st (mapping_slot entry (eval_expr ctx key)) (eval_expr ctx value)
+  | Ast.Store_slot (slot, e) -> set_slot ctx.st slot (eval_expr ctx e)
+  | Ast.Require e -> if not (truthy (eval_expr ctx e)) then raise (Halt Reverted)
+  | Ast.Return_value e -> raise (Halt (Returned (eval_expr ctx e)))
+  | Ast.Stop -> raise (Halt Stopped)
+  | Ast.Revert -> raise (Halt Reverted)
+  | Ast.Transfer _ -> raise (Unsupported "transfer")
+  | Ast.Call_sig _ -> raise (Unsupported "external call")
+  | Ast.Delegate_sig _ | Ast.Delegate_forward _ ->
+      raise (Unsupported "delegatecall")
+  | Ast.Emit _ -> () (* logs have no storage effect *)
+  | Ast.Let (name, e) -> Hashtbl.replace ctx.locals name (eval_expr ctx e)
+  | Ast.While (cond, body) ->
+      let fuel = ref 100_000 in
+      while truthy (eval_expr ctx cond) do
+        decr fuel;
+        if !fuel <= 0 then raise (Unsupported "loop fuel exhausted");
+        List.iter (exec_stmt ctx) body
+      done
+  | Ast.If (cond, then_, else_) ->
+      if truthy (eval_expr ctx cond) then List.iter (exec_stmt ctx) then_
+      else List.iter (exec_stmt ctx) else_
+
+let make_ctx ?(env = default_env) st contract params param_types selector_word =
+  {
+    st;
+    env;
+    layout = Layout.of_contract contract;
+    params;
+    param_types;
+    selector_word;
+    locals = Hashtbl.create 4;
+  }
+
+let call ?(env = default_env) st (contract : Ast.contract) ~signature ~args =
+  let selector = Keccak.selector signature in
+  let selector_word = U256.of_bytes_be selector in
+  match
+    List.find_opt (fun f -> Ast.signature f = signature) contract.Ast.c_funcs
+  with
+  | Some f -> (
+      (* Nonpayable guard, as the compiled dispatcher enforces. *)
+      if f.Ast.f_mutability = Ast.Nonpayable && not (U256.is_zero env.e_value)
+      then Reverted
+      else
+        let param_types =
+          Array.of_list (List.map (fun p -> p.Ast.p_ty) f.Ast.f_params)
+        in
+        let ctx =
+          make_ctx ~env st contract (Array.of_list args) param_types selector_word
+        in
+        try
+          List.iter (exec_stmt ctx) f.Ast.f_body;
+          Stopped
+        with Halt o -> o)
+  | None -> (
+      match contract.Ast.c_fallback with
+      | None -> Reverted
+      | Some body -> (
+          let ctx = make_ctx ~env st contract [||] [||] selector_word in
+          try
+            List.iter (exec_stmt ctx) body;
+            Stopped
+          with Halt o -> o))
+
+let run_ctor ?(env = default_env) st (contract : Ast.contract) =
+  let ctx = make_ctx ~env st contract [||] [||] U256.zero in
+  try List.iter (exec_stmt ctx) contract.Ast.c_ctor with Halt _ -> ()

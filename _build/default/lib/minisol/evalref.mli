@@ -1,0 +1,53 @@
+(** A reference interpreter for Minisol contracts, independent of the
+    bytecode path.
+
+    Storage semantics (slot packing, read-modify-write, mapping-slot
+    hashing) are evaluated directly over a word map using {!Layout}, so a
+    differential test can call the same function through this evaluator
+    and through {!Codegen} + the EVM and require identical results and
+    identical final storage.  Calls that leave the contract (transfers,
+    external calls, delegatecalls) are out of scope and raise
+    {!Unsupported} — the differential harness covers the self-contained
+    semantics, which is where the compiler's packing/masking bugs would
+    hide. *)
+
+exception Unsupported of string
+
+type state
+(** Mutable storage: slot word -> value word. *)
+
+val create : unit -> state
+val get_slot : state -> U256.t -> U256.t
+val set_slot : state -> U256.t -> U256.t -> unit
+val slots : state -> (U256.t * U256.t) list
+(** Non-zero slots, unordered. *)
+
+type env = {
+  e_caller : Evm.Address.t;
+  e_value : U256.t;
+  e_timestamp : int;
+  e_number : int;
+  e_self : Evm.Address.t;
+}
+
+val default_env : env
+
+type outcome =
+  | Returned of U256.t
+  | Stopped
+  | Reverted
+
+val call :
+  ?env:env ->
+  state ->
+  Ast.contract ->
+  signature:string ->
+  args:U256.t list ->
+  outcome
+(** Execute the function with the given canonical signature.  Unknown
+    signatures evaluate the fallback ([Reverted] when there is none).
+    Raises [Unsupported] on external-call statements and [Invalid_argument]
+    on missing arguments. *)
+
+val run_ctor : ?env:env -> state -> Ast.contract -> unit
+(** Execute the constructor statements. *)

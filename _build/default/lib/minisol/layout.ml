@@ -1,0 +1,41 @@
+type entry = {
+  e_var : Ast.var;
+  e_slot : int;
+  e_offset : int;
+  e_size : int;
+}
+
+let of_contract (c : Ast.contract) =
+  let place (slot, offset, acc) (v : Ast.var) =
+    let size = Ast.type_size v.Ast.v_ty in
+    match v.Ast.v_ty with
+    | Ast.T_mapping _ ->
+        (* Mappings start and fully occupy a fresh slot. *)
+        let slot = if offset > 0 then slot + 1 else slot in
+        let entry = { e_var = v; e_slot = slot; e_offset = 0; e_size = 32 } in
+        (slot + 1, 0, entry :: acc)
+    | _ ->
+        let slot, offset =
+          if offset + size > 32 then (slot + 1, 0) else (slot, offset)
+        in
+        let entry = { e_var = v; e_slot = slot; e_offset = offset; e_size = size } in
+        let offset = offset + size in
+        if offset = 32 then (slot + 1, 0, entry :: acc)
+        else (slot, offset, entry :: acc)
+  in
+  let _, _, acc = List.fold_left place (0, 0, []) c.Ast.c_vars in
+  List.rev acc
+
+let slot_count entries =
+  List.fold_left (fun m e -> max m (e.e_slot + 1)) 0 entries
+
+let find entries name =
+  match List.find_opt (fun e -> e.e_var.Ast.v_name = name) entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let entries_at_slot entries slot = List.filter (fun e -> e.e_slot = slot) entries
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%s: slot %d, offset %d, %d bytes"
+    e.e_var.Ast.v_name e.e_slot e.e_offset e.e_size

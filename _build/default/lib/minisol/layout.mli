@@ -1,0 +1,29 @@
+(** Solidity storage-layout computation.
+
+    Variables occupy slots in declaration order; consecutive value-typed
+    variables pack into one 32-byte slot from the least-significant byte up
+    when they fit (§2.3 of the paper works an example: an [address] and two
+    [bool]s).  Mappings always claim a fresh whole slot.  Both the storage
+    collision detector and the code generator consume this layout, so the
+    bytecode and the "source" agree by construction. *)
+
+type entry = {
+  e_var : Ast.var;
+  e_slot : int;
+  e_offset : int;  (** Byte offset from the least-significant end. *)
+  e_size : int;  (** Packed width in bytes. *)
+}
+
+val of_contract : Ast.contract -> entry list
+(** Layout in declaration order. *)
+
+val slot_count : entry list -> int
+(** Number of slots used (highest slot + 1; 0 for no variables). *)
+
+val find : entry list -> string -> entry
+(** Entry for a variable name.  Raises [Not_found]. *)
+
+val entries_at_slot : entry list -> int -> entry list
+(** All variables overlapping a given slot. *)
+
+val pp_entry : Format.formatter -> entry -> unit

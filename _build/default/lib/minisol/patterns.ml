@@ -1,0 +1,338 @@
+open Ast
+
+let eip1967_implementation_slot =
+  U256.pred (U256.of_bytes_be (Keccak.digest "eip1967.proxy.implementation"))
+
+let eip1967_admin_slot =
+  U256.pred (U256.of_bytes_be (Keccak.digest "eip1967.proxy.admin"))
+
+let eip1822_proxiable_slot = U256.of_bytes_be (Keccak.digest "PROXIABLE")
+
+(* ------------------------------------------------------------------ *)
+(* EIP-1167                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let eip1167_prefix = Hexutil.of_hex "0x363d3d373d3d3d363d73"
+let eip1167_suffix = Hexutil.of_hex "0x5af43d82803e903d91602b57fd5bf3"
+
+let eip1167_runtime logic = eip1167_prefix ^ logic ^ eip1167_suffix
+
+let eip1167_logic_address code =
+  let plen = String.length eip1167_prefix in
+  let slen = String.length eip1167_suffix in
+  if
+    String.length code = plen + 20 + slen
+    && String.sub code 0 plen = eip1167_prefix
+    && String.sub code (plen + 20) slen = eip1167_suffix
+  then Some (Evm.Address.of_bytes (String.sub code plen 20))
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Standard proxies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let eip1967_proxy ?(with_admin_functions = true) () =
+  let funcs =
+    if with_admin_functions then
+      [
+        func "upgradeTo"
+          ~params:[ { p_name = "newImplementation"; p_ty = T_address } ]
+          [
+            Require (Bin (Eq, Caller, Load_slot eip1967_admin_slot));
+            Store_slot (eip1967_implementation_slot, Param 0);
+          ];
+        func "admin" ~mutability:View ~returns:T_address
+          [ Return_value (Load_slot eip1967_admin_slot) ];
+      ]
+    else []
+  in
+  contract "ERC1967Proxy" ~funcs
+    ~fallback:(Some [ Delegate_forward (To_slot eip1967_implementation_slot) ])
+
+let eip1967_beacon_slot =
+  U256.pred (U256.of_bytes_be (Keccak.digest "eip1967.proxy.beacon"))
+
+let beacon_proxy () =
+  contract "BeaconProxy"
+    ~fallback:(Some [ Delegate_forward (To_beacon eip1967_beacon_slot) ])
+
+let beacon () =
+  contract "UpgradeableBeacon"
+    ~vars:
+      [
+        { v_name = "owner"; v_ty = T_address };
+        { v_name = "impl"; v_ty = T_address };
+      ]
+    ~funcs:
+      [
+        func "implementation" ~mutability:View ~returns:T_address
+          [ Return_value (Load "impl") ];
+        func "upgradeTo"
+          ~params:[ { p_name = "newImpl"; p_ty = T_address } ]
+          [
+            Require (Bin (Eq, Caller, Load "owner"));
+            Store ("impl", Param 0);
+          ];
+      ]
+    ~ctor:[ Store ("owner", Caller) ]
+
+let eip1822_proxy () =
+  contract "UUPSProxy"
+    ~fallback:(Some [ Delegate_forward (To_slot eip1822_proxiable_slot) ])
+
+let eip1822_logic () =
+  contract "UUPSLogic"
+    ~vars:[ { v_name = "value"; v_ty = T_uint 256 } ]
+    ~funcs:
+      [
+        func "updateCodeAddress"
+          ~params:[ { p_name = "newAddress"; p_ty = T_address } ]
+          [ Store_slot (eip1822_proxiable_slot, Param 0) ];
+        func "setValue"
+          ~params:[ { p_name = "v"; p_ty = T_uint 256 } ]
+          [ Store ("value", Param 0) ];
+        func "getValue" ~mutability:View ~returns:(T_uint 256)
+          [ Return_value (Load "value") ];
+      ]
+
+let slot_var_proxy ?(extra_funcs = []) ?(owner_first = true) () =
+  let vars =
+    if owner_first then
+      [
+        { v_name = "owner"; v_ty = T_address };
+        { v_name = "logic"; v_ty = T_address };
+      ]
+    else
+      [
+        { v_name = "logic"; v_ty = T_address };
+        { v_name = "owner"; v_ty = T_address };
+      ]
+  in
+  contract "SlotVarProxy" ~vars
+    ~funcs:
+      ([
+         func "setLogic"
+           ~params:[ { p_name = "newLogic"; p_ty = T_address } ]
+           [
+             Require (Bin (Eq, Caller, Load "owner"));
+             Store ("logic", Param 0);
+           ];
+       ]
+      @ extra_funcs)
+    ~fallback:(Some [ Delegate_forward (To_var "logic") ])
+    ~ctor:[ Store ("owner", Caller) ]
+
+let diamond_proxy () =
+  contract "DiamondProxy"
+    ~vars:
+      [
+        { v_name = "owner"; v_ty = T_address };
+        { v_name = "facets"; v_ty = T_mapping (T_bytes 4, T_address) };
+      ]
+    ~funcs:
+      [
+        func "setFacet"
+          ~params:
+            [
+              { p_name = "selector"; p_ty = T_uint 256 };
+              { p_name = "facet"; p_ty = T_address };
+            ]
+          [
+            Require (Bin (Eq, Caller, Load "owner"));
+            Map_store ("facets", Param 0, Param 1);
+          ];
+      ]
+    ~fallback:
+      (Some
+         [
+           If
+             ( Not (Bin (Eq, Map_load ("facets", Cd_selector), Const U256.zero)),
+               [ Delegate_forward (To_facet "facets") ],
+               [ Revert ] );
+         ])
+    ~ctor:[ Store ("owner", Caller) ]
+
+let library_caller ~lib =
+  contract "SafeMathUser"
+    ~vars:[ { v_name = "total"; v_ty = T_uint 256 } ]
+    ~funcs:
+      [
+        func "addChecked"
+          ~params:
+            [
+              { p_name = "a"; p_ty = T_uint 256 };
+              { p_name = "b"; p_ty = T_uint 256 };
+            ]
+          [
+            (* Library call: DELEGATECALL outside the fallback. *)
+            Delegate_sig
+              (Const_addr lib, "add(uint256,uint256)", [ Param 0; Param 1 ]);
+            Store ("total", Bin (Add, Param 0, Param 1));
+          ];
+        func "total" ~mutability:View ~returns:(T_uint 256)
+          [ Return_value (Load "total") ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload logic contracts                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counter_logic () =
+  contract "Counter"
+    ~vars:[ { v_name = "count"; v_ty = T_uint 256 } ]
+    ~funcs:
+      [
+        func "increment" [ Store ("count", Bin (Add, Load "count", Const U256.one)) ];
+        func "count" ~mutability:View ~returns:(T_uint 256)
+          [ Return_value (Load "count") ];
+        func "setCount"
+          ~params:[ { p_name = "n"; p_ty = T_uint 256 } ]
+          [ Store ("count", Param 0) ];
+      ]
+
+let erc20ish_logic () =
+  contract "MiniToken"
+    ~vars:
+      [
+        { v_name = "totalSupply"; v_ty = T_uint 256 };
+        { v_name = "balances"; v_ty = T_mapping (T_address, T_uint 256) };
+      ]
+    ~funcs:
+      [
+        func "mint"
+          ~params:[ { p_name = "amount"; p_ty = T_uint 256 } ]
+          [
+            Map_store
+              ( "balances",
+                Caller,
+                Bin (Add, Map_load ("balances", Caller), Param 0) );
+            Store ("totalSupply", Bin (Add, Load "totalSupply", Param 0));
+            Emit ("Transfer(address,address,uint256)", [ Caller; Param 0 ]);
+          ];
+        func "balanceOf" ~mutability:View
+          ~params:[ { p_name = "who"; p_ty = T_address } ]
+          ~returns:(T_uint 256)
+          [ Return_value (Map_load ("balances", Param 0)) ];
+        func "totalSupply" ~mutability:View ~returns:(T_uint 256)
+          [ Return_value (Load "totalSupply") ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Listing 1: honeypot function collision                               *)
+(* ------------------------------------------------------------------ *)
+
+let usdt_address = Evm.Address.of_hex "0xdac17f958d2ee523a2206206994597c13d831ec7"
+
+let honeypot_proxy () =
+  contract "HoneypotProxy"
+    ~vars:
+      [
+        { v_name = "owner"; v_ty = T_address };
+        { v_name = "logic"; v_ty = T_address };
+      ]
+    ~funcs:
+      [
+        (* Selector 0xdf4a3106 == selector of free_ether_withdrawal(). *)
+        func "impl_LUsXCWD2AKCc"
+          [
+            Delegate_sig
+              ( Const_addr usdt_address,
+                "transfer(address,uint256)",
+                [ Load "owner"; Const (U256.of_int 1000) ] );
+          ];
+      ]
+    ~fallback:(Some [ Delegate_forward (To_var "logic") ])
+    ~ctor:[ Store ("owner", Caller) ]
+
+let ten_ether = U256.of_decimal "10000000000000000000"
+
+let honeypot_logic () =
+  contract "HoneypotLogic"
+    ~funcs:
+      [ func "free_ether_withdrawal" ~mutability:Payable [ Transfer (Caller, Const ten_ether) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Listing 2: Audius storage collision                                  *)
+(* ------------------------------------------------------------------ *)
+
+let audius_proxy () =
+  contract "AudiusProxy"
+    ~vars:
+      [
+        { v_name = "owner"; v_ty = T_address };
+        { v_name = "logic"; v_ty = T_address };
+      ]
+    ~funcs:
+      [
+        func "setOwner"
+          ~params:[ { p_name = "newOwner"; p_ty = T_address } ]
+          [
+            Require (Bin (Eq, Caller, Load "owner"));
+            Store ("owner", Param 0);
+          ];
+      ]
+    ~fallback:(Some [ Delegate_forward (To_var "logic") ])
+    ~ctor:[ Store ("owner", Caller) ]
+
+let audius_logic () =
+  contract "AudiusLogic"
+    ~vars:
+      [
+        (* Both flags pack into slot 0, colliding with the proxy's owner. *)
+        { v_name = "initialized"; v_ty = T_bool };
+        { v_name = "initializing"; v_ty = T_bool };
+      ]
+    ~funcs:
+      [
+        func "initialize"
+          [
+            Require (Bin (Or, Load "initializing", Not (Load "initialized")));
+            Store ("initialized", Const U256.one);
+            Store ("initializing", Const U256.zero);
+            (* The inherited owner assignment: in the proxy's layout the
+               owner is the full low 20 bytes of slot 0, so this write
+               immediately clobbers the two flags just set — Listing 2's
+               line 26, the heart of the Audius exploit. *)
+            Store_slot (U256.zero, Caller);
+          ];
+        func "isInitialized" ~mutability:View ~returns:T_bool
+          [ Return_value (Load "initialized") ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Padding case                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let padding_proxy () =
+  contract "PaddingProxy"
+    ~vars:
+      [
+        { v_name = "logic"; v_ty = T_address };
+        { v_name = "gap"; v_ty = T_uint 96 };
+        (* padding to 32 bytes *)
+      ]
+    ~funcs:
+      [
+        func "setLogic"
+          ~params:[ { p_name = "newLogic"; p_ty = T_address } ]
+          [ Store ("logic", Param 0) ];
+      ]
+    ~fallback:(Some [ Delegate_forward (To_var "logic") ])
+
+let padding_logic () =
+  contract "PaddingLogic"
+    ~vars:
+      [
+        { v_name = "implementation_"; v_ty = T_address };
+        (* The differently-named remainder of slot 0 is never touched. *)
+        { v_name = "reserved"; v_ty = T_uint 96 };
+        { v_name = "value"; v_ty = T_uint 256 };
+      ]
+    ~funcs:
+      [
+        func "setValue"
+          ~params:[ { p_name = "v"; p_ty = T_uint 256 } ]
+          [ Store ("value", Param 0) ];
+        func "getValue" ~mutability:View ~returns:(T_uint 256)
+          [ Return_value (Load "value") ];
+      ]

@@ -1,0 +1,104 @@
+(** A library of the contract shapes the paper analyzes: the standard proxy
+    patterns of Table 4, the library-call contracts ProxioN must exclude
+    (§2.2), the paper's running collision examples (Listings 1 and 2), and
+    the diamond pattern ProxioN misses (§8.1). *)
+
+(** {1 Well-known storage slots} *)
+
+val eip1967_implementation_slot : U256.t
+(** [keccak256("eip1967.proxy.implementation") - 1]. *)
+
+val eip1967_admin_slot : U256.t
+(** [keccak256("eip1967.proxy.admin") - 1]. *)
+
+val eip1822_proxiable_slot : U256.t
+(** [keccak256("PROXIABLE")]. *)
+
+(** {1 EIP-1167 minimal proxy} *)
+
+val eip1167_runtime : Evm.Address.t -> string
+(** The canonical 45-byte minimal-proxy runtime with the logic address
+    hard-coded — byte-for-byte the bytecode EIP-1167 standardizes. *)
+
+val eip1167_logic_address : string -> Evm.Address.t option
+(** Recognize canonical minimal-proxy bytecode and extract its target. *)
+
+(** {1 Proxy contracts (Minisol sources)} *)
+
+val eip1967_proxy : ?with_admin_functions:bool -> unit -> Ast.contract
+(** Fallback forwards via the EIP-1967 implementation slot.  With
+    [with_admin_functions] (default true), exposes [upgradeTo(address)] and
+    [admin()] gated on the EIP-1967 admin slot — the transparent-proxy
+    shape. *)
+
+val eip1967_beacon_slot : U256.t
+(** [keccak256("eip1967.proxy.beacon") - 1]. *)
+
+val beacon_proxy : unit -> Ast.contract
+(** The EIP-1967 beacon variant: the fallback static-calls the beacon's
+    [implementation()] and delegate-forwards to the returned address.  The
+    logic address is {e computed}, not read from the proxy's own storage. *)
+
+val beacon : unit -> Ast.contract
+(** The beacon contract itself: [implementation()] plus an owner-gated
+    [upgradeTo(address)]. *)
+
+val eip1822_proxy : unit -> Ast.contract
+(** UUPS-style: function-less, forwards via [keccak256("PROXIABLE")]. *)
+
+val eip1822_logic : unit -> Ast.contract
+(** Logic half of UUPS: carries [updateCodeAddress(address)] writing the
+    PROXIABLE slot, plus a workload function. *)
+
+val slot_var_proxy : ?extra_funcs:Ast.func list -> ?owner_first:bool -> unit -> Ast.contract
+(** A non-standard ("Others" in Table 4) proxy keeping the logic address in
+    an ordinary storage variable.  [owner_first] (default true) declares
+    [owner] before [logic], the layout of Listing 2's proxy. *)
+
+val diamond_proxy : unit -> Ast.contract
+(** EIP-2535-style: the fallback delegates only when the facet mapping has
+    an entry for the incoming selector — randomly probed calldata reverts,
+    so emulation-based detection misses it (§8.1). *)
+
+val library_caller : lib:Evm.Address.t -> Ast.contract
+(** A contract whose {e function body} (not fallback) delegatecalls a
+    library, SafeMath-style.  Contains DELEGATECALL yet is not a proxy under
+    the paper's definition; CRUSH-like baselines misclassify it. *)
+
+(** {1 Workload logic contracts} *)
+
+val counter_logic : unit -> Ast.contract
+(** A benign logic contract: [increment()], [count()], [setCount(uint256)]. *)
+
+val erc20ish_logic : unit -> Ast.contract
+(** A token-flavoured logic contract with a balance mapping. *)
+
+(** {1 Listing 1: the honeypot function collision} *)
+
+val usdt_address : Evm.Address.t
+
+val honeypot_proxy : unit -> Ast.contract
+(** The [Proxy] of Listing 1: [impl_LUsXCWD2AKCc()] whose selector collides
+    with the logic's [free_ether_withdrawal()] (both [0xdf4a3106]) and whose
+    body delegate-calls a token transfer to the owner. *)
+
+val honeypot_logic : unit -> Ast.contract
+(** The [Logic] of Listing 1: [free_ether_withdrawal()] transferring 10
+    ether to the caller. *)
+
+(** {1 Listing 2: the Audius storage collision} *)
+
+val audius_proxy : unit -> Ast.contract
+(** [owner] (20 bytes) at slot 0, [logic] at slot 1. *)
+
+val audius_logic : unit -> Ast.contract
+(** [initialized]/[initializing] flags sharing slot 0, plus the re-callable
+    [initialize()] that overwrites the owner through the collision. *)
+
+(** {1 Padding case (USCHunt false positive)} *)
+
+val padding_proxy : unit -> Ast.contract
+val padding_logic : unit -> Ast.contract
+(** A proxy/logic pair whose slot-0 layouts differ only by an unused padding
+    variable; USCHunt-style name comparison flags it, but it is not
+    exploitable (§6.3). *)

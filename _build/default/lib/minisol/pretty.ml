@@ -1,0 +1,148 @@
+open Ast
+
+let rec ty_str = function
+  | T_uint bits -> Printf.sprintf "uint%d" bits
+  | T_int bits -> Printf.sprintf "int%d" bits
+  | T_bool -> "bool"
+  | T_address -> "address"
+  | T_bytes n -> Printf.sprintf "bytes%d" n
+  | T_mapping (k, v) -> Printf.sprintf "mapping(%s => %s)" (ty_str k) (ty_str v)
+
+let rec expr = function
+  | Const v -> if U256.lt v (U256.of_int 100000) then U256.to_decimal v else U256.to_hex v
+  | Const_addr a -> Evm.Address.to_hex a
+  | Param i -> Printf.sprintf "arg%d" i
+  | Load name -> name
+  | Map_load (name, key) -> Printf.sprintf "%s[%s]" name (expr key)
+  | Load_slot slot -> Printf.sprintf "sload(%s)" (U256.to_hex slot)
+  | Cd_selector -> "msg.sig"
+  | Caller -> "msg.sender"
+  | Callvalue -> "msg.value"
+  | Timestamp -> "block.timestamp"
+  | Blocknumber -> "block.number"
+  | Self -> "address(this)"
+  | Selfbalance -> "address(this).balance"
+  | Local name -> name
+  | Not e -> Printf.sprintf "!(%s)" (expr e)
+  | Bin (op, a, b) ->
+      let sym =
+        match op with
+        | Add -> "+"
+        | Sub -> "-"
+        | Mul -> "*"
+        | Div -> "/"
+        | And -> "&&"
+        | Or -> "||"
+        | Xor -> "^"
+        | Eq -> "=="
+        | Lt -> "<"
+        | Gt -> ">"
+      in
+      Printf.sprintf "(%s %s %s)" (expr a) sym (expr b)
+
+let target_str = function
+  | To_var name -> name
+  | To_slot slot -> Printf.sprintf "sload(%s)" (U256.to_hex slot)
+  | To_fixed a -> Evm.Address.to_hex a
+  | To_facet name -> Printf.sprintf "%s[msg.sig]" name
+  | To_beacon slot ->
+      Printf.sprintf "IBeacon(sload(%s)).implementation()" (U256.to_hex slot)
+
+let rec stmt ?(indent = 2) s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Store (name, e) -> Printf.sprintf "%s%s = %s;" pad name (expr e)
+  | Map_store (name, k, v) ->
+      Printf.sprintf "%s%s[%s] = %s;" pad name (expr k) (expr v)
+  | Store_slot (slot, e) ->
+      Printf.sprintf "%ssstore(%s, %s);" pad (U256.to_hex slot) (expr e)
+  | Require e -> Printf.sprintf "%srequire(%s);" pad (expr e)
+  | Return_value e -> Printf.sprintf "%sreturn %s;" pad (expr e)
+  | Stop -> Printf.sprintf "%sreturn;" pad
+  | Revert -> Printf.sprintf "%srevert();" pad
+  | Transfer (to_, amount) ->
+      Printf.sprintf "%spayable(%s).transfer(%s);" pad (expr to_) (expr amount)
+  | Call_sig (target, signature, args) ->
+      Printf.sprintf "%s%s.call(abi.encodeWithSignature(\"%s\"%s));" pad
+        (expr target) signature
+        (String.concat "" (List.map (fun a -> ", " ^ expr a) args))
+  | Delegate_sig (target, signature, args) ->
+      Printf.sprintf "%s%s.delegatecall(abi.encodeWithSignature(\"%s\"%s));" pad
+        (expr target) signature
+        (String.concat "" (List.map (fun a -> ", " ^ expr a) args))
+  | Emit (signature, args) ->
+      Printf.sprintf "%semit %s(%s);" pad
+        (match String.index_opt signature '(' with
+        | Some i -> String.sub signature 0 i
+        | None -> signature)
+        (String.concat ", " (List.map expr args))
+  | Delegate_forward target ->
+      Printf.sprintf
+        "%s(bool ok, bytes memory ret) = %s.delegatecall(msg.data);\n%sif (!ok) \
+         revert(ret); return ret;"
+        pad (target_str target) pad
+  | Let (name, e) -> Printf.sprintf "%suint256 %s = %s;" pad name (expr e)
+  | While (cond, body_) ->
+      Printf.sprintf "%swhile (%s) {\n%s\n%s}" pad (expr cond)
+        (String.concat "\n" (List.map (stmt ~indent:(indent + 2)) body_))
+        pad
+  | If (cond, then_, else_) ->
+      let body b =
+        String.concat "\n" (List.map (stmt ~indent:(indent + 2)) b)
+      in
+      if else_ = [] then
+        Printf.sprintf "%sif (%s) {\n%s\n%s}" pad (expr cond) (body then_) pad
+      else
+        Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (expr cond)
+          (body then_) pad (body else_) pad
+
+let mutability_str = function
+  | View -> " view"
+  | Payable -> " payable"
+  | Nonpayable -> ""
+
+let contract (c : contract) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "contract %s {\n" c.c_name);
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s private %s;\n" (ty_str v.v_ty) v.v_name))
+    c.c_vars;
+  if c.c_vars <> [] then Buffer.add_char buf '\n';
+  if c.c_ctor <> [] then begin
+    Buffer.add_string buf "  constructor() {\n";
+    List.iter
+      (fun s -> Buffer.add_string buf (stmt ~indent:4 s ^ "\n"))
+      c.c_ctor;
+    Buffer.add_string buf "  }\n\n"
+  end;
+  List.iter
+    (fun f ->
+      let params =
+        String.concat ", "
+          (List.mapi
+             (fun i p -> Printf.sprintf "%s arg%d" (ty_str p.p_ty) i)
+             f.f_params)
+      in
+      let returns =
+        match f.f_returns with
+        | Some t -> Printf.sprintf " returns (%s)" (ty_str t)
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  function %s(%s) public%s%s {\n" f.f_name params
+           (mutability_str f.f_mutability) returns);
+      List.iter
+        (fun s -> Buffer.add_string buf (stmt ~indent:4 s ^ "\n"))
+        f.f_body;
+      Buffer.add_string buf "  }\n\n")
+    c.c_funcs;
+  (match c.c_fallback with
+  | Some body ->
+      Buffer.add_string buf "  fallback(bytes calldata) external payable {\n";
+      List.iter (fun s -> Buffer.add_string buf (stmt ~indent:4 s ^ "\n")) body;
+      Buffer.add_string buf "  }\n"
+  | None -> ());
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

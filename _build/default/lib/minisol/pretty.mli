@@ -1,0 +1,12 @@
+(** Solidity-flavoured pretty-printing of Minisol contracts.
+
+    Renders the AST as readable contract source — what "verified source on
+    Etherscan" corresponds to in this reproduction.  The output is
+    illustrative Solidity (it round-trips concepts, not the grammar): good
+    for examples, reports, and eyeballing the injected vulnerabilities. *)
+
+val expr : Ast.expr -> string
+val stmt : ?indent:int -> Ast.stmt -> string
+val contract : Ast.contract -> string
+(** Full contract rendering with storage variables, constructor, functions
+    and fallback. *)

@@ -1,0 +1,1 @@
+lib/report/report.ml: Array Buffer Json List Printf String

@@ -1,0 +1,1 @@
+lib/report/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,22 @@
+(** A minimal JSON emitter (no external dependencies) for machine-readable
+    experiment output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize.  [pretty] (default true) indents with two spaces. *)
+
+val escape : string -> string
+(** JSON string escaping (quotes, backslashes, control characters). *)
+
+val parse : string -> (t, string) result
+(** Recursive-descent JSON parsing (objects, arrays, strings with the
+    escapes {!escape} emits, integers, floats, booleans, null).  Numbers
+    without a fraction or exponent parse as [Int]. *)

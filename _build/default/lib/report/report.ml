@@ -1,0 +1,77 @@
+module Json = Json
+
+let widths header rows =
+  let n = List.length header in
+  let w = Array.make n 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < n then w.(i) <- max w.(i) (String.length cell)) row)
+    (header :: rows);
+  w
+
+let table ~title ~header rows =
+  let w = widths header rows in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  let pad_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let width = if i < Array.length w then w.(i) else String.length cell in
+           cell ^ String.make (max 0 (width - String.length cell)) ' ')
+         row)
+  in
+  Buffer.add_string buf (pad_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length (pad_row header)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (pad_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print_table ~title ~header rows = print_string (table ~title ~header rows)
+
+let series ~title ?xlabel ?ylabel points =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  (match (xlabel, ylabel) with
+  | Some x, Some y -> Buffer.add_string buf (Printf.sprintf "# %s vs %s\n" y x)
+  | Some x, None -> Buffer.add_string buf (Printf.sprintf "# x: %s\n" x)
+  | None, Some y -> Buffer.add_string buf (Printf.sprintf "# y: %s\n" y)
+  | None, None -> ());
+  let xw =
+    List.fold_left (fun acc (x, _) -> max acc (String.length x)) 1 points
+  in
+  List.iter
+    (fun (x, y) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s  %.4g\n" x
+           (String.make (xw - String.length x) ' ')
+           y))
+    points;
+  Buffer.contents buf
+
+let print_series ~title ?xlabel ?ylabel points =
+  print_string (series ~title ?xlabel ?ylabel points)
+
+let histogram ~title ?(width = 50) bins =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  let max_count = List.fold_left (fun acc (_, c) -> max acc c) 1 bins in
+  let lw = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 1 bins in
+  List.iter
+    (fun (label, count) ->
+      let bar = count * width / max_count in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s  %8d  %s\n" label
+           (String.make (lw - String.length label) ' ')
+           count (String.make bar '#')))
+    bins;
+  Buffer.contents buf
+
+let print_histogram ~title ?width bins = print_string (histogram ~title ?width bins)
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let f1 x = Printf.sprintf "%.1f" x

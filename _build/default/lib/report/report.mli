@@ -1,0 +1,33 @@
+(** Plain-text table and series rendering for experiment output.
+
+    Every table and figure the benchmark harness regenerates is printed
+    through these helpers, so outputs share one look: a title line, an
+    aligned header, aligned rows, and (for figures) a series of
+    [x value] pairs suitable for plotting. *)
+
+module Json = Json
+(** JSON emission for machine-readable output. *)
+
+val table : title:string -> header:string list -> string list list -> string
+(** Render an aligned table.  Column widths fit the widest cell. *)
+
+val print_table : title:string -> header:string list -> string list list -> unit
+
+val series : title:string -> ?xlabel:string -> ?ylabel:string ->
+  (string * float) list -> string
+(** Render a figure as aligned [x y] rows with an optional axis note. *)
+
+val print_series :
+  title:string -> ?xlabel:string -> ?ylabel:string -> (string * float) list -> unit
+
+val histogram : title:string -> ?width:int -> (string * int) list -> string
+(** Rows with proportional hash bars — a quick visual for skewed
+    distributions (Figures 5 and 6). *)
+
+val print_histogram : title:string -> ?width:int -> (string * int) list -> unit
+
+val pct : float -> string
+(** Format a ratio as a percentage with one decimal. *)
+
+val f1 : float -> string
+(** One-decimal float. *)

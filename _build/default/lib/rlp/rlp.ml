@@ -1,0 +1,99 @@
+type item = String of string | List of item list
+
+let encode_length len offset =
+  if len < 56 then String.make 1 (Char.chr (offset + len))
+  else begin
+    (* Big-endian minimal byte representation of [len]. *)
+    let rec bytes_of n acc = if n = 0 then acc else bytes_of (n lsr 8) (Char.chr (n land 0xff) :: acc) in
+    let len_bytes = bytes_of len [] in
+    let len_len = List.length len_bytes in
+    String.init (1 + len_len) (fun i ->
+        if i = 0 then Char.chr (offset + 55 + len_len)
+        else List.nth len_bytes (i - 1))
+  end
+
+let rec encode = function
+  | String s ->
+      if String.length s = 1 && Char.code s.[0] < 0x80 then s
+      else encode_length (String.length s) 0x80 ^ s
+  | List items ->
+      let body = String.concat "" (List.map encode items) in
+      encode_length (String.length body) 0xc0 ^ body
+
+let encode_int n =
+  if n < 0 then invalid_arg "Rlp.encode_int: negative";
+  let rec bytes_of n acc =
+    if n = 0 then acc else bytes_of (n lsr 8) (String.make 1 (Char.chr (n land 0xff)) :: acc)
+  in
+  String.concat "" (bytes_of n [])
+
+(* Decoding.  Returns (item, bytes consumed). *)
+let rec decode_at s pos =
+  if pos >= String.length s then invalid_arg "Rlp.decode: truncated input";
+  let b = Char.code s.[pos] in
+  let read_exact p n =
+    if p + n > String.length s then invalid_arg "Rlp.decode: truncated input";
+    String.sub s p n
+  in
+  let read_length p n_len =
+    let raw = read_exact p n_len in
+    if n_len > 0 && raw.[0] = '\000' then
+      invalid_arg "Rlp.decode: non-canonical length (leading zero)";
+    let len = String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 raw in
+    if len < 56 then invalid_arg "Rlp.decode: non-canonical long form";
+    len
+  in
+  if b < 0x80 then (String (String.make 1 (Char.chr b)), 1)
+  else if b <= 0xb7 then begin
+    let len = b - 0x80 in
+    let payload = read_exact (pos + 1) len in
+    if len = 1 && Char.code payload.[0] < 0x80 then
+      invalid_arg "Rlp.decode: non-canonical single byte";
+    (String payload, 1 + len)
+  end
+  else if b <= 0xbf then begin
+    let n_len = b - 0xb7 in
+    let len = read_length (pos + 1) n_len in
+    (String (read_exact (pos + 1 + n_len) len), 1 + n_len + len)
+  end
+  else begin
+    let n_len, len =
+      if b <= 0xf7 then (0, b - 0xc0)
+      else
+        let n_len = b - 0xf7 in
+        (n_len, read_length (pos + 1) n_len)
+    in
+    let body_start = pos + 1 + n_len in
+    if body_start + len > String.length s then
+      invalid_arg "Rlp.decode: truncated list";
+    let rec items p acc =
+      if p = body_start + len then List.rev acc
+      else if p > body_start + len then
+        invalid_arg "Rlp.decode: list item overruns list"
+      else
+        let item, used = decode_at s p in
+        items (p + used) (item :: acc)
+    in
+    (List (items body_start []), 1 + n_len + len)
+  end
+
+let decode s =
+  let item, used = decode_at s 0 in
+  if used <> String.length s then invalid_arg "Rlp.decode: trailing bytes";
+  item
+
+let decode_opt s = match decode s with item -> Some item | exception _ -> None
+
+let contract_address ~sender ~nonce =
+  if String.length sender <> 20 then
+    invalid_arg "Rlp.contract_address: sender must be 20 bytes";
+  let encoded = encode (List [ String sender; String (encode_int nonce) ]) in
+  String.sub (Keccak.digest encoded) 12 20
+
+let create2_address ~sender ~salt ~init_code =
+  if String.length sender <> 20 then
+    invalid_arg "Rlp.create2_address: sender must be 20 bytes";
+  let preimage =
+    "\xff" ^ sender ^ U256.to_bytes_be salt ^ Keccak.digest init_code
+  in
+  String.sub (Keccak.digest preimage) 12 20

@@ -1,0 +1,27 @@
+(** Recursive Length Prefix (RLP) encoding, Ethereum's canonical
+    serialization, plus the contract-address derivations built on it. *)
+
+type item = String of string | List of item list
+
+val encode : item -> string
+(** Canonical RLP encoding of [item]. *)
+
+val decode : string -> item
+(** Inverse of {!encode}.  Raises [Invalid_argument] on malformed or
+    non-canonical input, including trailing bytes. *)
+
+val decode_opt : string -> item option
+
+val encode_int : int -> string
+(** RLP string item for a non-negative integer: big-endian minimal bytes
+    (the empty string for 0). *)
+
+val contract_address : sender:string -> nonce:int -> string
+(** [contract_address ~sender ~nonce] is the 20-byte address created by a
+    CREATE from [sender] (20 bytes) with account [nonce]:
+    [keccak(rlp([sender, nonce]))[12..31]]. *)
+
+val create2_address :
+  sender:string -> salt:U256.t -> init_code:string -> string
+(** EIP-1014 CREATE2 address:
+    [keccak(0xff ++ sender ++ salt ++ keccak(init_code))[12..31]]. *)

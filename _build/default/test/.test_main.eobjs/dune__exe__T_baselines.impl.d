@@ -1,0 +1,1 @@
+test/t_baselines.ml: Alcotest Baselines Chain Evm Hexutil Keccak List Minisol Printf Proxion String U256

@@ -1,0 +1,1 @@
+test/t_chain.ml: Alcotest Chain Chain_rpc Evm Hexutil Keccak List Minisol Proxion String U256

@@ -1,0 +1,1 @@
+test/t_dataset.ml: Alcotest Chain Dataset Hashtbl Keccak Lazy List Printf Proxion

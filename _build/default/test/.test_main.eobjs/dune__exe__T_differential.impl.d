@@ -1,0 +1,1 @@
+test/t_differential.ml: Alcotest Dataset Evm Keccak List Minisol Printf U256

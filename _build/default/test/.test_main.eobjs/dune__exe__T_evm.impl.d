@@ -1,0 +1,1 @@
+test/t_evm.ml: Abi Address Alcotest Asm Cfg Disasm Evm Hexutil Host Interp Keccak List Opcode Printf Rlp Stack_check String U256

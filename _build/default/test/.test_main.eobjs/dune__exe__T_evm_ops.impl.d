@@ -1,0 +1,1 @@
+test/t_evm_ops.ml: Abi Address Alcotest Asm Evm Gas Hexutil Host Interp List Opcode Printf QCheck QCheck_alcotest String Trace U256

@@ -1,0 +1,1 @@
+test/t_experiments.ml: Alcotest Array Dataset Experiments List Printf Report String

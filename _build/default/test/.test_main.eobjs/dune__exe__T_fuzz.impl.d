@@ -1,0 +1,1 @@
+test/t_fuzz.ml: Evm Hexutil List Proxion QCheck QCheck_alcotest

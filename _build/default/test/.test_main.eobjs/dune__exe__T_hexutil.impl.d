@@ -1,0 +1,1 @@
+test/t_hexutil.ml: Alcotest Gen Hexutil QCheck QCheck_alcotest

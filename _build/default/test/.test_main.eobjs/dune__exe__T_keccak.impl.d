@@ -1,0 +1,1 @@
+test/t_keccak.ml: Alcotest Gen Keccak QCheck QCheck_alcotest String U256

@@ -1,0 +1,1 @@
+test/t_minisol.ml: Alcotest Ast Chain Codegen Evalref Evm Gen Hexutil Keccak Layout List Minisol Patterns Pretty Printf QCheck QCheck_alcotest String U256

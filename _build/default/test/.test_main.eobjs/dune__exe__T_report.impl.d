@@ -1,0 +1,1 @@
+test/t_report.ml: Alcotest List Printf QCheck QCheck_alcotest Report String

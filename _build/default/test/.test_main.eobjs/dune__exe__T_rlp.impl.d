@@ -1,0 +1,1 @@
+test/t_rlp.ml: Alcotest Hexutil List Printf QCheck QCheck_alcotest Rlp String U256

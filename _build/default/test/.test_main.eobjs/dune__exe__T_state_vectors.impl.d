@@ -1,0 +1,1 @@
+test/t_state_vectors.ml: Alcotest Array Evm Filename Hexutil List Option Printf Report Sys U256

@@ -1,0 +1,1 @@
+test/t_u256.ml: Alcotest List QCheck QCheck_alcotest String U256

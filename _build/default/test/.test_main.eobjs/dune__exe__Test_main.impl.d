@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_baselines T_chain T_dataset T_differential T_evm T_evm_ops T_experiments T_fuzz T_hexutil T_keccak T_minisol T_proxion T_report T_rlp T_state_vectors T_u256

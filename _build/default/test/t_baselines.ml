@@ -1,0 +1,156 @@
+module Patterns = Minisol.Patterns
+module Codegen = Minisol.Codegen
+module Ast = Minisol.Ast
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let alice = Evm.Address.of_hex "0x00000000000000000000000000000000000a11ce"
+
+let deploy chain ast =
+  match Chain.deploy chain ~from:alice ~init_code:(Codegen.init_code ast) () with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "deploy failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Etherscan heuristic                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_etherscan () =
+  check_b "proxy bytecode flagged" true
+    (Baselines.Etherscan_like.is_proxy
+       (Codegen.runtime (Patterns.slot_var_proxy ())));
+  check_b "counter not flagged" false
+    (Baselines.Etherscan_like.is_proxy (Codegen.runtime (Patterns.counter_logic ())));
+  (* Its known false positive: library callers. *)
+  check_b "library caller falsely flagged" true
+    (Baselines.Etherscan_like.is_proxy
+       (Codegen.runtime
+          (Patterns.library_caller
+             ~lib:(Evm.Address.of_hex "0x00000000000000000000000000000000000005af"))))
+
+(* ------------------------------------------------------------------ *)
+(* USCHunt                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_uschunt_proxy_detection () =
+  check_b "slot proxy" true (Baselines.Uschunt_like.detect_proxy (Patterns.slot_var_proxy ()));
+  check_b "counter" false (Baselines.Uschunt_like.detect_proxy (Patterns.counter_logic ()));
+  (* Keyword FP: the library caller uses delegatecall in a function body. *)
+  check_b "library caller flagged by keyword" true
+    (Baselines.Uschunt_like.detect_proxy
+       (Patterns.library_caller
+          ~lib:(Evm.Address.of_hex "0x00000000000000000000000000000000000005af")))
+
+let test_uschunt_compile_failures_deterministic () =
+  (* Roughly the configured rate, and stable per address. *)
+  let failures = ref 0 in
+  let total = 2000 in
+  for i = 0 to total - 1 do
+    let addr =
+      Evm.Address.of_u256 (U256.of_bytes_be (Keccak.digest (string_of_int i)))
+    in
+    match Baselines.Uschunt_like.analyze ~address:addr (Patterns.counter_logic ()) with
+    | Baselines.Uschunt_like.Compile_error -> incr failures
+    | Baselines.Uschunt_like.Analyzed _ -> ()
+  done;
+  let rate = float_of_int !failures /. float_of_int total in
+  check_b (Printf.sprintf "failure rate %.2f near 0.30" rate) true
+    (rate > 0.25 && rate < 0.35);
+  (* Determinism. *)
+  let addr = Evm.Address.of_hex "0x00000000000000000000000000000000000000aa" in
+  check_b "same address same outcome" true
+    (Baselines.Uschunt_like.analyze ~address:addr (Patterns.counter_logic ())
+    = Baselines.Uschunt_like.analyze ~address:addr (Patterns.counter_logic ()))
+
+let test_uschunt_padding_false_positive () =
+  (* The 6.3 FP mode: same-type different-name padding flagged. *)
+  let flags =
+    Baselines.Uschunt_like.storage_collisions
+      ~proxy:(Patterns.padding_proxy ())
+      ~logic:(Patterns.padding_logic ())
+  in
+  check_b "padding pair flagged (USCHunt FP)" true (flags <> []);
+  check_b "reason is name mismatch" true
+    (List.exists (fun f -> f.Baselines.Uschunt_like.sf_reason = `Name_mismatch) flags);
+  (* ProxioN's usage-aware detector stays clean on the same pair. *)
+  check_b "proxion clean" false
+    (Proxion.Storage_collision.has_collision
+       ~proxy:(Proxion.Storage_collision.Source (Patterns.padding_proxy ()))
+       ~logic:(Proxion.Storage_collision.Source (Patterns.padding_logic ())))
+
+let test_uschunt_func_collisions () =
+  check_i "honeypot collision found" 1
+    (List.length
+       (Baselines.Uschunt_like.func_collisions
+          ~proxy:(Patterns.honeypot_proxy ())
+          ~logic:(Patterns.honeypot_logic ())))
+
+(* ------------------------------------------------------------------ *)
+(* CRUSH                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crush_requires_history () =
+  let chain = Chain.create () in
+  let logic = deploy chain (Patterns.counter_logic ()) in
+  let proxy = deploy chain (Patterns.slot_var_proxy ()) in
+  Chain.set_storage_direct chain proxy U256.one (Evm.Address.to_u256 logic);
+  (* No transactions yet: invisible to CRUSH. *)
+  check_b "hidden proxy missed" false (Baselines.Crush_like.is_proxy chain proxy);
+  (* After one forwarding transaction it becomes visible. *)
+  let input = Hexutil.take 36 (Keccak.digest "crush-probe" ^ String.make 32 '\000') in
+  ignore (Chain.call chain ~from:alice ~to_:proxy ~input ());
+  check_b "visible after tx" true (Baselines.Crush_like.is_proxy chain proxy);
+  check_b "pair recorded" true
+    (List.exists
+       (fun (p, l) -> Evm.Address.equal p proxy && Evm.Address.equal l logic)
+       (Baselines.Crush_like.proxy_pairs chain))
+
+let test_crush_library_false_positive () =
+  let chain = Chain.create () in
+  let lib = deploy chain (Patterns.counter_logic ()) in
+  let user = deploy chain (Patterns.library_caller ~lib) in
+  let input =
+    Evm.Abi.encode_call ~signature:"addChecked(uint256,uint256)"
+      [ Evm.Abi.Uint U256.one; Evm.Abi.Uint U256.one ]
+  in
+  ignore (Chain.call chain ~from:alice ~to_:user ~input ());
+  (* CRUSH counts the library caller as a proxy; ProxioN does not. *)
+  check_b "crush flags library caller" true (Baselines.Crush_like.is_proxy chain user);
+  let host = Chain.host_at_head chain in
+  check_b "proxion excludes it" false
+    (Proxion.Proxy_detect.is_proxy (Proxion.Proxy_detect.detect ~host user))
+
+(* ------------------------------------------------------------------ *)
+(* Salehi                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_salehi_replay () =
+  let chain = Chain.create () in
+  let logic = deploy chain (Patterns.counter_logic ()) in
+  let proxy = deploy chain (Patterns.slot_var_proxy ()) in
+  Chain.set_storage_direct chain proxy U256.one (Evm.Address.to_u256 logic);
+  check_b "no txs, no detection" false (Baselines.Salehi_like.is_proxy chain proxy);
+  let input = Hexutil.take 36 (Keccak.digest "salehi" ^ String.make 32 '\000') in
+  ignore (Chain.call chain ~from:alice ~to_:proxy ~input ());
+  check_b "detected after replayable tx" true (Baselines.Salehi_like.is_proxy chain proxy);
+  (* A plain contract with txs is not flagged. *)
+  let counter = deploy chain (Patterns.counter_logic ()) in
+  ignore
+    (Chain.call chain ~from:alice ~to_:counter
+       ~input:(Evm.Abi.encode_call ~signature:"increment()" [])
+       ());
+  check_b "plain contract not flagged" false
+    (Baselines.Salehi_like.is_proxy chain counter)
+
+let suite =
+  [
+    Alcotest.test_case "etherscan heuristic" `Quick test_etherscan;
+    Alcotest.test_case "uschunt proxy detection" `Quick test_uschunt_proxy_detection;
+    Alcotest.test_case "uschunt compile failures" `Quick
+      test_uschunt_compile_failures_deterministic;
+    Alcotest.test_case "uschunt padding FP" `Quick test_uschunt_padding_false_positive;
+    Alcotest.test_case "uschunt func collisions" `Quick test_uschunt_func_collisions;
+    Alcotest.test_case "crush history gating" `Quick test_crush_requires_history;
+    Alcotest.test_case "crush library FP" `Quick test_crush_library_false_positive;
+    Alcotest.test_case "salehi replay" `Quick test_salehi_replay;
+  ]

@@ -1,0 +1,345 @@
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let u = Alcotest.testable U256.pp U256.equal
+let check_u = Alcotest.check u
+let alice = Evm.Address.of_hex "0x00000000000000000000000000000000000a11ce"
+let slot0 = U256.zero
+
+let stop_runtime = "\x00"
+
+let test_install_and_meta () =
+  let chain = Chain.create () in
+  let a = Chain.install_contract chain ~runtime:stop_runtime () in
+  let b = Chain.install_contract chain ~runtime:stop_runtime () in
+  check_b "distinct addresses" false (Evm.Address.equal a b);
+  check_i "two contracts" 2 (List.length (Chain.all_contracts chain));
+  (match Chain.contract_meta chain a with
+  | None -> Alcotest.fail "meta missing"
+  | Some m ->
+      check_i "deploy height" 0 m.Chain.cm_deploy_height;
+      check_b "code hash" true (m.Chain.cm_code_hash = Keccak.digest stop_runtime));
+  check_b "code readable" true (Chain.code_at chain a = stop_runtime)
+
+let test_storage_history () =
+  let chain = Chain.create () in
+  let a = Chain.install_contract chain ~runtime:stop_runtime () in
+  (* Heights: install mined block 0; writes at heights 1, 2, 3. *)
+  Chain.set_storage_direct chain a slot0 (U256.of_int 10);
+  Chain.advance_blocks chain 5;
+  Chain.set_storage_direct chain a slot0 (U256.of_int 20);
+  Chain.advance_blocks chain 5;
+  Chain.set_storage_direct chain a slot0 (U256.of_int 30);
+  let h = Chain.height chain in
+  check_u "latest" (U256.of_int 30) (Chain.get_storage_at chain a slot0 ~height:h);
+  check_u "genesis" U256.zero (Chain.get_storage_at chain a slot0 ~height:0);
+  check_u "mid value" (U256.of_int 10) (Chain.get_storage_at chain a slot0 ~height:2);
+  check_u "second value" (U256.of_int 20) (Chain.get_storage_at chain a slot0 ~height:8);
+  check_i "three changes" 3 (List.length (Chain.storage_change_heights chain a slot0))
+
+let test_api_counter () =
+  let chain = Chain.create () in
+  let a = Chain.install_contract chain ~runtime:stop_runtime () in
+  Chain.reset_api_call_count chain;
+  ignore (Chain.get_storage_at chain a slot0 ~height:0);
+  ignore (Chain.get_storage_at chain a slot0 ~height:0);
+  check_i "counted" 2 (Chain.api_call_count chain);
+  Chain.reset_api_call_count chain;
+  check_i "reset" 0 (Chain.api_call_count chain)
+
+let test_tx_records_and_index () =
+  let chain = Chain.create () in
+  (* Contract that stores 1 at slot 0 when called. *)
+  let code =
+    Evm.Asm.assemble
+      [
+        Evm.Asm.Push_int 1;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Op Evm.Opcode.SSTORE;
+        Evm.Asm.Op Evm.Opcode.STOP;
+      ]
+  in
+  let a = Chain.install_contract chain ~runtime:code () in
+  check_b "no txs yet" false (Chain.has_transactions chain a);
+  let r = Chain.call chain ~from:alice ~to_:a () in
+  check_b "success" true (r.Chain.tx_status = Evm.Interp.Returned);
+  check_b "indexed now" true (Chain.has_transactions chain a);
+  check_i "global record" 1 (List.length (Chain.all_transactions chain));
+  (* The storage write is visible in history at the tx height. *)
+  check_u "write recorded" U256.one
+    (Chain.get_storage_at chain a slot0 ~height:(Chain.height chain))
+
+let test_reverted_tx_leaves_no_history () =
+  let chain = Chain.create () in
+  let code =
+    Evm.Asm.assemble
+      [
+        Evm.Asm.Push_int 1;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Op Evm.Opcode.SSTORE;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Op Evm.Opcode.REVERT;
+      ]
+  in
+  let a = Chain.install_contract chain ~runtime:code () in
+  let r = Chain.call chain ~from:alice ~to_:a () in
+  check_b "reverted" true (r.Chain.tx_status = Evm.Interp.Reverted);
+  check_u "no storage change" U256.zero
+    (Chain.get_storage_at chain a slot0 ~height:(Chain.height chain));
+  check_i "no change heights" 0
+    (List.length (Chain.storage_change_heights chain a slot0))
+
+let test_deploy_via_init_code () =
+  let chain = Chain.create () in
+  let init =
+    Evm.Asm.assemble
+      [
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Op Evm.Opcode.MSTORE8;
+        Evm.Asm.Push_int 1;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Op Evm.Opcode.RETURN;
+      ]
+  in
+  match Chain.deploy chain ~from:alice ~init_code:init () with
+  | Error e -> Alcotest.failf "deploy failed: %s" e
+  | Ok addr ->
+      check_b "code installed" true (Chain.code_at chain addr = "\x00");
+      check_b "meta present" true (Chain.contract_meta chain addr <> None)
+
+let test_internal_call_indexing () =
+  let chain = Chain.create () in
+  let b = Chain.install_contract chain ~runtime:stop_runtime () in
+  (* a delegatecalls b when called. *)
+  let a_code =
+    Evm.Asm.assemble
+      [
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Push_u256 (Evm.Address.to_u256 b);
+        Evm.Asm.Op Evm.Opcode.GAS;
+        Evm.Asm.Op Evm.Opcode.DELEGATECALL;
+        Evm.Asm.Op Evm.Opcode.POP;
+        Evm.Asm.Op Evm.Opcode.STOP;
+      ]
+  in
+  let a = Chain.install_contract chain ~runtime:a_code () in
+  let r = Chain.call chain ~from:alice ~to_:a () in
+  check_i "one internal call" 1 (List.length r.Chain.tx_internal_calls);
+  (match r.Chain.tx_internal_calls with
+  | [ ic ] ->
+      check_b "kind" true (ic.Chain.ic_kind = Evm.Interp.Delegatecall);
+      check_b "to b" true (Evm.Address.equal ic.Chain.ic_to b)
+  | _ -> Alcotest.fail "internal calls");
+  (* b participated in a transaction, so it now "has transactions". *)
+  check_b "b indexed via internal call" true (Chain.has_transactions chain b)
+
+let test_block_timestamps_advance () =
+  let chain = Chain.create () in
+  let code =
+    Evm.Asm.assemble
+      [
+        Evm.Asm.Op Evm.Opcode.TIMESTAMP;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Op Evm.Opcode.MSTORE;
+        Evm.Asm.Push_int 32;
+        Evm.Asm.Push_int 0;
+        Evm.Asm.Op Evm.Opcode.RETURN;
+      ]
+  in
+  let a = Chain.install_contract chain ~runtime:code () in
+  let read () =
+    let r = Chain.call chain ~from:alice ~to_:a () in
+    Evm.Abi.decode_uint r.Chain.tx_return_data
+  in
+  let t1 = read () in
+  Chain.advance_blocks chain 100;
+  let t2 = read () in
+  (* 101 blocks elapsed between the two reads at 12 s each. *)
+  check_u "12s per block" (U256.of_int (12 * 101)) (U256.sub t2 t1)
+
+let test_height_advances () =
+  let chain = Chain.create () in
+  check_i "starts at 0" 0 (Chain.height chain);
+  let _ = Chain.install_contract chain ~runtime:stop_runtime () in
+  check_i "install mines" 1 (Chain.height chain);
+  Chain.advance_blocks chain 10;
+  check_i "advanced" 11 (Chain.height chain)
+
+(* Events emitted during a transaction are recorded on the tx record. *)
+let test_tx_logs_recorded () =
+  let chain = Chain.create () in
+  let token =
+    match
+      Chain.deploy chain ~from:alice
+        ~init_code:(Minisol.Codegen.init_code (Minisol.Patterns.erc20ish_logic ()))
+        ()
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "deploy: %s" e
+  in
+  let r =
+    Chain.call chain ~from:alice ~to_:token
+      ~input:
+        (Evm.Abi.encode_call ~signature:"mint(uint256)"
+           [ Evm.Abi.Uint (U256.of_int 5) ])
+      ()
+  in
+  check_b "mint ok" true (r.Chain.tx_status = Evm.Interp.Returned);
+  check_i "one log" 1 (List.length r.Chain.tx_logs);
+  match r.Chain.tx_logs with
+  | [ log ] ->
+      check_b "topic is the Transfer hash" true
+        (log.Evm.Interp.topics
+        = [ U256.of_bytes_be (Keccak.digest "Transfer(address,address,uint256)") ]);
+      check_b "emitted by the token" true
+        (Evm.Address.equal log.Evm.Interp.log_address token)
+  | _ -> Alcotest.fail "log missing"
+
+(* Algorithm 1 assumes logic addresses are never reused (4.3).  When a
+   proxy downgrades back to an old logic (A -> B -> A), the endpoints of
+   the whole range agree and the search can terminate early, missing B —
+   the documented limitation, pinned here as expected behaviour. *)
+let test_algorithm1_value_reuse_limitation () =
+  let chain = Chain.create () in
+  let proxy = Chain.install_contract chain ~runtime:stop_runtime () in
+  let a = U256.of_int 0xA in
+  let b = U256.of_int 0xB in
+  Chain.set_storage_direct chain proxy slot0 a;
+  Chain.advance_blocks chain 50;
+  Chain.set_storage_direct chain proxy slot0 b;
+  Chain.advance_blocks chain 50;
+  Chain.set_storage_direct chain proxy slot0 a;
+  Chain.advance_blocks chain 50;
+  let values =
+    Proxion.Logic_resolve.algorithm1 chain proxy ~slot:slot0 ~lower:2
+      ~upper:(Chain.height chain)
+  in
+  (* Both endpoints of [2, head] hold A, so the search returns {A} and
+     never sees B. *)
+  check_b "endpoint-equal range hides the middle value" true
+    (U256.Set.equal values (U256.Set.singleton a));
+  (* Starting from genesis the endpoints differ (zero vs A), so the split
+     recovers everything. *)
+  let all =
+    Proxion.Logic_resolve.algorithm1 chain proxy ~slot:slot0 ~lower:0
+      ~upper:(Chain.height chain)
+  in
+  check_b "full-range search sees B" true (U256.Set.mem b all)
+
+(* The JSON-RPC facade: hex conventions and historical storage reads. *)
+let test_rpc_facade () =
+  let chain = Chain.create () in
+  let a = Chain.install_contract chain ~runtime:"\x00\x01\x02" () in
+  Chain.set_storage_direct chain a slot0 (U256.of_int 0xbeef);
+  Chain.advance_blocks chain 10;
+  Chain.set_storage_direct chain a slot0 (U256.of_int 0xcafe);
+  let call meth params =
+    match Chain_rpc.call chain ~meth ~params with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s failed: %s" meth (Chain_rpc.error_to_string e)
+  in
+  Alcotest.(check string) "chain id" "0x1" (call "eth_chainId" []);
+  Alcotest.(check string) "block number"
+    (U256.to_hex (U256.of_int (Chain.height chain)))
+    (call "eth_blockNumber" []);
+  Alcotest.(check string) "code" "0x000102"
+    (call "eth_getCode" [ Evm.Address.to_hex a; "latest" ]);
+  (* Historical storage read: before the second write the slot held 0xbeef. *)
+  Alcotest.(check string) "storage latest"
+    ("0x" ^ String.make 60 '0' ^ "cafe")
+    (call "eth_getStorageAt" [ Evm.Address.to_hex a; "0x0"; "latest" ]);
+  Alcotest.(check string) "storage historical"
+    ("0x" ^ String.make 60 '0' ^ "beef")
+    (call "eth_getStorageAt" [ Evm.Address.to_hex a; "0x0"; "0x5" ]);
+  (* Errors. *)
+  check_b "unknown method" true
+    (match Chain_rpc.call chain ~meth:"eth_sendTransaction" ~params:[] with
+    | Error (Chain_rpc.Unknown_method _) -> true
+    | _ -> false);
+  check_b "bad arity" true
+    (match Chain_rpc.call chain ~meth:"eth_getCode" ~params:[] with
+    | Error (Chain_rpc.Invalid_params _) -> true
+    | _ -> false);
+  check_b "block beyond head" true
+    (match
+       Chain_rpc.call chain ~meth:"eth_getStorageAt"
+         ~params:[ Evm.Address.to_hex a; "0x0"; "0xffffff" ]
+     with
+    | Error (Chain_rpc.Invalid_params _) -> true
+    | _ -> false)
+
+let test_intrinsic_gas () =
+  let chain = Chain.create () in
+  let a = Chain.install_contract chain ~runtime:"\x00" () in
+  (* Empty calldata: exactly the 21000 base (the STOP contract runs free). *)
+  let r0 = Chain.call chain ~from:alice ~to_:a () in
+  check_i "base cost" 21_000 r0.Chain.tx_gas_used;
+  (* Calldata bytes are charged 16 (non-zero) / 4 (zero). *)
+  let r1 = Chain.call chain ~from:alice ~to_:a ~input:"\xff\x00" () in
+  check_i "data bytes" (21_000 + 16 + 4) r1.Chain.tx_gas_used;
+  (* Creations carry the 32000 surcharge on top. *)
+  let init =
+    Evm.Asm.assemble [ Evm.Asm.Push_int 0; Evm.Asm.Push_int 0; Evm.Asm.Op Evm.Opcode.RETURN ]
+  in
+  (match Chain.deploy chain ~from:alice ~init_code:init () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "deploy: %s" e);
+  match Chain.all_transactions chain with
+  | txs -> (
+      match List.rev txs with
+      | last :: _ ->
+          check_b "creation cost includes surcharge" true
+            (last.Chain.tx_gas_used > 21_000 + 32_000)
+      | [] -> Alcotest.fail "no txs")
+
+let test_rpc_eth_call () =
+  let chain = Chain.create () in
+  let token =
+    match
+      Chain.deploy chain ~from:alice
+        ~init_code:(Minisol.Codegen.init_code (Minisol.Patterns.counter_logic ()))
+        ()
+    with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "deploy: %s" e
+  in
+  ignore
+    (Chain.call chain ~from:alice ~to_:token
+       ~input:
+         (Evm.Abi.encode_call ~signature:"setCount(uint256)"
+            [ Evm.Abi.Uint (U256.of_int 77) ])
+       ());
+  let data = Hexutil.to_hex (Evm.Abi.encode_call ~signature:"count()" []) in
+  (match
+     Chain_rpc.call chain ~meth:"eth_call"
+       ~params:[ Evm.Address.to_hex token; data; "latest" ]
+   with
+  | Ok ret ->
+      check_u "count read via eth_call" (U256.of_int 77)
+        (U256.of_hex ret)
+  | Error e -> Alcotest.failf "eth_call: %s" (Chain_rpc.error_to_string e));
+  (* eth_call leaves no transaction behind. *)
+  check_i "no extra tx" 2 (List.length (Chain.all_transactions chain))
+
+let suite =
+  [
+    Alcotest.test_case "install and meta" `Quick test_install_and_meta;
+    Alcotest.test_case "rpc eth_call" `Quick test_rpc_eth_call;
+    Alcotest.test_case "intrinsic gas" `Quick test_intrinsic_gas;
+    Alcotest.test_case "json-rpc facade" `Quick test_rpc_facade;
+    Alcotest.test_case "tx logs recorded" `Quick test_tx_logs_recorded;
+    Alcotest.test_case "algorithm1 value-reuse limitation" `Quick
+      test_algorithm1_value_reuse_limitation;
+    Alcotest.test_case "storage history" `Quick test_storage_history;
+    Alcotest.test_case "api counter" `Quick test_api_counter;
+    Alcotest.test_case "tx records" `Quick test_tx_records_and_index;
+    Alcotest.test_case "reverted tx history" `Quick test_reverted_tx_leaves_no_history;
+    Alcotest.test_case "deploy via init" `Quick test_deploy_via_init_code;
+    Alcotest.test_case "internal call indexing" `Quick test_internal_call_indexing;
+    Alcotest.test_case "height advances" `Quick test_height_advances;
+    Alcotest.test_case "block timestamps advance" `Quick test_block_timestamps_advance;
+  ]

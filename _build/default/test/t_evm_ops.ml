@@ -1,0 +1,387 @@
+(* Differential testing of the interpreter's ALU against the U256 reference
+   implementation: for each opcode, random operands are pushed, the opcode
+   executed, and the returned word compared with the pure function.  This
+   pins the interpreter's stack order conventions (a op b with a popped
+   first) and the U256 semantics to each other. *)
+
+open Evm
+
+let u = Alcotest.testable U256.pp U256.equal
+let check_u = Alcotest.check u
+let check_b = Alcotest.(check bool)
+let target = Address.of_hex "0x00000000000000000000000000000000000000f1"
+let caller = Address.of_hex "0x00000000000000000000000000000000000000f2"
+
+(* Run [items] and return the top-of-stack word via MSTORE/RETURN. *)
+let eval_program items =
+  let code =
+    Asm.assemble
+      (items
+      @ [
+          Asm.Push_int 0;
+          Asm.Op Opcode.MSTORE;
+          Asm.Push_int 32;
+          Asm.Push_int 0;
+          Asm.Op Opcode.RETURN;
+        ])
+  in
+  let host = Host.in_memory () in
+  Host.with_code host target code;
+  let r = Interp.execute host (Interp.make_call ~caller ~target ~input:"" ()) in
+  match r.Interp.status with
+  | Interp.Returned -> Abi.decode_uint r.Interp.return_data
+  | Interp.Reverted -> Alcotest.fail "program reverted"
+  | Interp.Failed e -> Alcotest.failf "program failed: %s" (Interp.error_to_string e)
+
+(* Compute [a OP b]: EVM pops the FIRST operand from the top, so push b
+   first, then a. *)
+let eval_binop op a b =
+  eval_program [ Asm.Push_u256 b; Asm.Push_u256 a; Asm.Op op ]
+
+let eval_ternop op a b c =
+  eval_program [ Asm.Push_u256 c; Asm.Push_u256 b; Asm.Push_u256 a; Asm.Op op ]
+
+let arb_u256 =
+  let gen =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map U256.of_bytes_be
+          (QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.return 32));
+        QCheck.Gen.map U256.of_int (QCheck.Gen.int_bound 1000);
+        QCheck.Gen.return U256.zero;
+        QCheck.Gen.return U256.one;
+        QCheck.Gen.return U256.max_value;
+      ]
+  in
+  QCheck.make ~print:U256.to_hex gen
+
+let bool_word b = if b then U256.one else U256.zero
+
+let binop_cases =
+  [
+    ("ADD", Opcode.ADD, U256.add);
+    ("MUL", Opcode.MUL, U256.mul);
+    ("SUB", Opcode.SUB, U256.sub);
+    ("DIV", Opcode.DIV, U256.div);
+    ("SDIV", Opcode.SDIV, U256.sdiv);
+    ("MOD", Opcode.MOD, U256.rem);
+    ("SMOD", Opcode.SMOD, U256.smod);
+    ("EXP", Opcode.EXP, U256.exp);
+    ("AND", Opcode.AND, U256.logand);
+    ("OR", Opcode.OR, U256.logor);
+    ("XOR", Opcode.XOR, U256.logxor);
+    ("LT", Opcode.LT, fun a b -> bool_word (U256.lt a b));
+    ("GT", Opcode.GT, fun a b -> bool_word (U256.gt a b));
+    ("SLT", Opcode.SLT, fun a b -> bool_word (U256.slt a b));
+    ("SGT", Opcode.SGT, fun a b -> bool_word (U256.sgt a b));
+    ("EQ", Opcode.EQ, fun a b -> bool_word (U256.equal a b));
+  ]
+
+let differential_binop_tests =
+  List.map
+    (fun (name, op, reference) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "EVM %s == U256 reference" name)
+        ~count:60
+        (QCheck.pair arb_u256 arb_u256)
+        (fun (a, b) ->
+          (* EXP with a huge exponent is slow in the reference too; clamp. *)
+          let b =
+            if name = "EXP" then U256.logand b (U256.of_int 0xffff) else b
+          in
+          U256.equal (eval_binop op a b) (reference a b)))
+    binop_cases
+
+let differential_ternop_tests =
+  [
+    QCheck.Test.make ~name:"EVM ADDMOD == U256.addmod" ~count:60
+      (QCheck.triple arb_u256 arb_u256 arb_u256)
+      (fun (a, b, m) -> U256.equal (eval_ternop Opcode.ADDMOD a b m) (U256.addmod a b m));
+    QCheck.Test.make ~name:"EVM MULMOD == U256.mulmod" ~count:60
+      (QCheck.triple arb_u256 arb_u256 arb_u256)
+      (fun (a, b, m) -> U256.equal (eval_ternop Opcode.MULMOD a b m) (U256.mulmod a b m));
+  ]
+
+let shift_tests =
+  (* SHL/SHR/SAR pop the shift amount first. *)
+  let arb_shift = QCheck.int_bound 300 in
+  [
+    QCheck.Test.make ~name:"EVM SHL == U256.shift_left" ~count:60
+      (QCheck.pair arb_shift arb_u256)
+      (fun (n, v) ->
+        U256.equal
+          (eval_binop Opcode.SHL (U256.of_int n) v)
+          (U256.shift_left v n));
+    QCheck.Test.make ~name:"EVM SHR == U256.shift_right" ~count:60
+      (QCheck.pair arb_shift arb_u256)
+      (fun (n, v) ->
+        U256.equal
+          (eval_binop Opcode.SHR (U256.of_int n) v)
+          (U256.shift_right v n));
+    QCheck.Test.make ~name:"EVM SAR == U256.shift_right_arith" ~count:60
+      (QCheck.pair arb_shift arb_u256)
+      (fun (n, v) ->
+        U256.equal
+          (eval_binop Opcode.SAR (U256.of_int n) v)
+          (U256.shift_right_arith v n));
+    QCheck.Test.make ~name:"EVM BYTE == U256.byte_at" ~count:60
+      (QCheck.pair (QCheck.int_bound 40) arb_u256)
+      (fun (i, v) ->
+        U256.equal (eval_binop Opcode.BYTE (U256.of_int i) v) (U256.byte_at v i));
+    QCheck.Test.make ~name:"EVM SIGNEXTEND == U256.sign_extend" ~count:60
+      (QCheck.pair (QCheck.int_bound 35) arb_u256)
+      (fun (k, v) ->
+        U256.equal
+          (eval_binop Opcode.SIGNEXTEND (U256.of_int k) v)
+          (U256.sign_extend v k));
+  ]
+
+let unop_tests =
+  [
+    QCheck.Test.make ~name:"EVM NOT == U256.lognot" ~count:60 arb_u256
+      (fun v ->
+        U256.equal (eval_program [ Asm.Push_u256 v; Asm.Op Opcode.NOT ]) (U256.lognot v));
+    QCheck.Test.make ~name:"EVM ISZERO" ~count:60 arb_u256 (fun v ->
+        U256.equal
+          (eval_program [ Asm.Push_u256 v; Asm.Op Opcode.ISZERO ])
+          (bool_word (U256.is_zero v)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Edge-case semantics                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let alice = Address.of_hex "0x00000000000000000000000000000000000a11ce"
+let contract_a = Address.of_hex "0x0000000000000000000000000000000000000c0a"
+let contract_b = Address.of_hex "0x0000000000000000000000000000000000000c0b"
+
+(* CALLCODE runs callee code in CALLER's storage, but msg.sender becomes
+   the calling contract (unlike DELEGATECALL). *)
+let test_callcode_semantics () =
+  let host = Host.in_memory () in
+  (* B stores CALLER at slot 0. *)
+  let b_code =
+    Asm.assemble
+      [ Asm.Op Opcode.CALLER; Asm.Push_int 0; Asm.Op Opcode.SSTORE; Asm.Op Opcode.STOP ]
+  in
+  let a_code =
+    Asm.assemble
+      [
+        (* callcode(gas, b, 0, 0, 0, 0, 0) *)
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Push_u256 (Address.to_u256 contract_b);
+        Asm.Op Opcode.GAS;
+        Asm.Op Opcode.CALLCODE;
+        Asm.Op Opcode.POP;
+        Asm.Op Opcode.STOP;
+      ]
+  in
+  Host.with_code host contract_a a_code;
+  Host.with_code host contract_b b_code;
+  let r =
+    Interp.execute host (Interp.make_call ~caller:alice ~target:contract_a ~input:"" ())
+  in
+  check_b "success" true (Interp.succeeded r);
+  (* Storage context is A (like delegatecall)... *)
+  check_u "write lands in A's storage" (Address.to_u256 contract_a)
+    (host.Host.get_storage contract_a U256.zero);
+  (* ...but CALLER seen by B's code is A itself (unlike delegatecall). *)
+  check_u "B untouched" U256.zero (host.Host.get_storage contract_b U256.zero)
+
+let test_call_depth_limit () =
+  let host = Host.in_memory () in
+  (* A contract that calls itself until the depth limit. *)
+  let code =
+    Asm.assemble
+      [
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Op Opcode.ADDRESS;
+        Asm.Op Opcode.GAS;
+        Asm.Op Opcode.CALL;
+        Asm.Op Opcode.POP;
+        Asm.Op Opcode.STOP;
+      ]
+  in
+  Host.with_code host contract_a code;
+  let r =
+    Interp.execute ~step_limit:50_000_000 host
+      (Interp.make_call ~caller:alice ~target:contract_a ~input:""
+         ~gas:1_000_000_000 ())
+  in
+  (* The 63/64 gas rule plus the depth cap must terminate this; the outer
+     call itself still succeeds. *)
+  check_b "terminates successfully" true (Interp.succeeded r)
+
+let test_returndatacopy_out_of_bounds () =
+  let host = Host.in_memory () in
+  (* No call made: returndata is empty; copying 1 byte must abort. *)
+  let code =
+    Asm.assemble
+      [
+        Asm.Push_int 1;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Op Opcode.RETURNDATACOPY;
+        Asm.Op Opcode.STOP;
+      ]
+  in
+  Host.with_code host contract_a code;
+  let r = Interp.execute host (Interp.make_call ~caller:alice ~target:contract_a ~input:"" ()) in
+  check_b "aborts" true
+    (match r.Interp.status with
+    | Interp.Failed Interp.Return_data_out_of_bounds -> true
+    | _ -> false)
+
+let test_create_collision () =
+  let host = Host.in_memory () in
+  host.Host.set_balance alice (U256.of_int 1_000_000);
+  let init = Asm.assemble [ Asm.Push_int 0; Asm.Push_int 0; Asm.Op Opcode.RETURN ] in
+  let r1 = Interp.create host ~caller:alice ~value:U256.zero ~init_code:init ~gas:1_000_000 in
+  check_b "first create ok" true (Interp.succeeded r1);
+  (* Force the same nonce: reset it so the derived address repeats. *)
+  host.Host.set_nonce alice 0;
+  let r2 = Interp.create host ~caller:alice ~value:U256.zero ~init_code:init ~gas:1_000_000 in
+  check_b "collision rejected" true
+    (match r2.Interp.status with
+    | Interp.Failed (Interp.Create_collision _) -> true
+    | _ -> false)
+
+let test_revert_in_init_code () =
+  let host = Host.in_memory () in
+  let init = Asm.assemble [ Asm.Push_int 0; Asm.Push_int 0; Asm.Op Opcode.REVERT ] in
+  let r = Interp.create host ~caller:alice ~value:U256.zero ~init_code:init ~gas:1_000_000 in
+  check_b "reverted creation" true (r.Interp.status = Interp.Reverted);
+  check_b "no address" true (r.Interp.created = None)
+
+let test_code_size_limit () =
+  let host = Host.in_memory () in
+  (* Init code returning > 24576 bytes of runtime. *)
+  let too_big = Gas.max_code_size + 1 in
+  let init =
+    Asm.assemble
+      [ Asm.Push_int too_big; Asm.Push_int 0; Asm.Op Opcode.RETURN ]
+  in
+  let r = Interp.create host ~caller:alice ~value:U256.zero ~init_code:init ~gas:100_000_000 in
+  check_b "oversized code rejected" true
+    (match r.Interp.status with
+    | Interp.Failed (Interp.Code_too_large _) -> true
+    | _ -> false)
+
+let test_gas_decreases () =
+  let host = Host.in_memory () in
+  let code =
+    Asm.assemble
+      [
+        Asm.Op Opcode.GAS;
+        Asm.Push_int 0;
+        Asm.Op Opcode.MSTORE;
+        Asm.Op Opcode.GAS;
+        Asm.Push_int 32;
+        Asm.Op Opcode.MSTORE;
+        Asm.Push_int 64;
+        Asm.Push_int 0;
+        Asm.Op Opcode.RETURN;
+      ]
+  in
+  Host.with_code host contract_a code;
+  let r = Interp.execute host (Interp.make_call ~caller:alice ~target:contract_a ~input:"" ()) in
+  let g1 = Abi.decode_uint r.Interp.return_data in
+  let g2 = U256.of_bytes_be (Hexutil.slice r.Interp.return_data 32 32) in
+  check_b "gas monotonically decreases" true (U256.lt g2 g1);
+  check_b "gas used positive" true (r.Interp.gas_used > 0)
+
+let test_memory_expansion_charged () =
+  let host = Host.in_memory () in
+  (* Touch a high memory offset: must cost far more than base. *)
+  let code offset =
+    Asm.assemble
+      [ Asm.Push_int 1; Asm.Push_int offset; Asm.Op Opcode.MSTORE; Asm.Op Opcode.STOP ]
+  in
+  Host.with_code host contract_a (code 0);
+  let r_small =
+    Interp.execute host (Interp.make_call ~caller:alice ~target:contract_a ~input:"" ())
+  in
+  Host.with_code host contract_b (code 100_000);
+  let r_large =
+    Interp.execute host (Interp.make_call ~caller:alice ~target:contract_b ~input:"" ())
+  in
+  check_b "both succeed" true (Interp.succeeded r_small && Interp.succeeded r_large);
+  check_b "expansion costs gas" true
+    (r_large.Interp.gas_used > r_small.Interp.gas_used + 1000)
+
+let test_selfdestruct () =
+  let host = Host.in_memory () in
+  host.Host.set_balance contract_a (U256.of_int 777);
+  let code =
+    Asm.assemble
+      [ Asm.Push_u256 (Address.to_u256 alice); Asm.Op Opcode.SELFDESTRUCT ]
+  in
+  Host.with_code host contract_a code;
+  let r = Interp.execute host (Interp.make_call ~caller:alice ~target:contract_a ~input:"" ()) in
+  check_b "success" true (Interp.succeeded r);
+  check_u "balance swept" (U256.of_int 777) (host.Host.get_balance alice);
+  check_b "code gone" true (host.Host.get_code contract_a = "")
+
+(* Trace capture on a proxy forward. *)
+let test_trace_tree () =
+  let host = Host.in_memory () in
+  let logic = Asm.assemble [ Asm.Op Opcode.STOP ] in
+  Host.with_code host contract_b logic;
+  let proxy =
+    Asm.assemble
+      [
+        Asm.Op Opcode.CALLDATASIZE;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Op Opcode.CALLDATACOPY;
+        Asm.Push_int 0;
+        Asm.Push_int 0;
+        Asm.Op Opcode.CALLDATASIZE;
+        Asm.Push_int 0;
+        Asm.Push_int 1;
+        Asm.Op Opcode.SLOAD;
+        Asm.Op Opcode.GAS;
+        Asm.Op Opcode.DELEGATECALL;
+        Asm.Op Opcode.POP;
+        Asm.Op Opcode.STOP;
+      ]
+  in
+  Host.with_code host contract_a proxy;
+  host.Host.set_storage contract_a U256.one (Address.to_u256 contract_b);
+  let input = Hexutil.of_hex "0xdeadbeef" in
+  let result, tree = Trace.run host ~caller:alice ~target:contract_a ~input in
+  check_b "executed" true (Interp.succeeded result);
+  check_b "root is TX" true (tree.Trace.t_kind = "TX");
+  Alcotest.(check int) "one child call" 1 (List.length tree.Trace.t_children);
+  (match tree.Trace.t_children with
+  | [ child ] ->
+      check_b "delegatecall child" true (child.Trace.t_kind = "DELEGATECALL");
+      check_b "child code is logic" true (Address.equal child.Trace.t_code contract_b);
+      check_b "child status" true (child.Trace.t_status = "returned")
+  | _ -> ());
+  check_b "root recorded the sload" true (List.length tree.Trace.t_sloads = 1);
+  check_b "rendering non-empty" true (String.length (Trace.to_string tree) > 50)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    (differential_binop_tests @ differential_ternop_tests @ shift_tests @ unop_tests)
+  @ [
+      Alcotest.test_case "callcode semantics" `Quick test_callcode_semantics;
+      Alcotest.test_case "call depth limit" `Quick test_call_depth_limit;
+      Alcotest.test_case "returndatacopy OOB" `Quick test_returndatacopy_out_of_bounds;
+      Alcotest.test_case "create collision" `Quick test_create_collision;
+      Alcotest.test_case "revert in init" `Quick test_revert_in_init_code;
+      Alcotest.test_case "code size limit" `Quick test_code_size_limit;
+      Alcotest.test_case "gas decreases" `Quick test_gas_decreases;
+      Alcotest.test_case "memory expansion gas" `Quick test_memory_expansion_charged;
+      Alcotest.test_case "selfdestruct" `Quick test_selfdestruct;
+      Alcotest.test_case "trace tree" `Quick test_trace_tree;
+    ]

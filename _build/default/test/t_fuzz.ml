@@ -1,0 +1,62 @@
+(* Robustness fuzzing: every analysis entry point must return a value —
+   never raise — on arbitrary bytecode.  Mainnet-scale scans meet byte
+   soup (constructor arguments, metadata, hand-written assembly), so total
+   robustness of the analyzers is a correctness property of its own. *)
+
+let arb_bytecode =
+  let open QCheck.Gen in
+  let gen =
+    oneof
+      [
+        (* Pure random bytes. *)
+        string_size ~gen:char (int_bound 300);
+        (* Random bytes guaranteed to contain DELEGATECALL so the
+           emulation path actually runs. *)
+        map (fun s -> s ^ "\xf4" ^ s) (string_size ~gen:char (int_bound 120));
+        (* Valid-ish prefix grafted onto junk. *)
+        map
+          (fun s -> Hexutil.of_hex "0x6080604052" ^ s)
+          (string_size ~gen:char (int_bound 200));
+      ]
+  in
+  QCheck.make ~print:Hexutil.to_hex gen
+
+let total name f =
+  QCheck.Test.make ~name ~count:150 arb_bytecode (fun code ->
+      match f code with _ -> true | exception _ -> false)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      total "disassembler total" Evm.Disasm.disassemble;
+      total "basic blocks total" Evm.Disasm.basic_blocks;
+      total "cfg build total" (fun c -> Evm.Cfg.build c);
+      total "stack check total" Evm.Stack_check.analyze;
+      total "proxy detection total" (fun c -> Proxion.Proxy_detect.detect_code c);
+      total "naive push4 total" Proxion.Selector_extract.naive_push4;
+      total "dispatcher extraction total" Proxion.Selector_extract.dispatcher_selectors;
+      total "dispatcher table total" Proxion.Selector_extract.dispatcher_table;
+      total "storage profile total" Proxion.Storage_access.profile;
+      total "standard classification total" (fun c ->
+          Proxion.Standard_classify.classify ~code:c Proxion.Proxy_detect.Hardcoded);
+      total "func collision total" (fun c ->
+          Proxion.Func_collision.detect
+            ~proxy:(Proxion.Func_collision.Bytecode c)
+            ~logic:(Proxion.Func_collision.Bytecode c));
+      total "storage collision total" (fun c ->
+          Proxion.Storage_collision.detect
+            ~proxy:(Proxion.Storage_collision.Bytecode c)
+            ~logic:(Proxion.Storage_collision.Bytecode c));
+      total "honeypot classifier total" (fun c ->
+          Proxion.Honeypot.classify
+            ~proxy:(Proxion.Func_collision.Bytecode c)
+            ~logic:(Proxion.Func_collision.Bytecode c));
+      total "raw interpretation total" (fun c ->
+          let host = Evm.Host.in_memory () in
+          let addr = Evm.Address.of_hex "0x00000000000000000000000000000000000fe221" in
+          Evm.Host.with_code host addr c;
+          Evm.Interp.execute ~step_limit:20_000 host
+            (Evm.Interp.make_call
+               ~caller:(Evm.Address.of_hex "0x00000000000000000000000000000000000fe222")
+               ~target:addr ~input:"\x01\x02\x03" ()));
+    ]

@@ -1,0 +1,63 @@
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+
+let test_roundtrip () =
+  check_s "decode" "\x01\x02\xff" (Hexutil.of_hex "0x0102ff");
+  check_s "decode no prefix" "\x01\x02\xff" (Hexutil.of_hex "0102ff");
+  check_s "encode" "0x0102ff" (Hexutil.to_hex "\x01\x02\xff");
+  check_s "encode bare" "0102ff" (Hexutil.to_hex ~prefix:false "\x01\x02\xff");
+  check_s "empty" "" (Hexutil.of_hex "0x");
+  check_s "empty enc" "0x" (Hexutil.to_hex "")
+
+let test_uppercase () =
+  check_s "uppercase accepted" "\xab\xcd" (Hexutil.of_hex "0xABCD")
+
+let test_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hexutil.of_hex: odd-length hex string")
+    (fun () -> ignore (Hexutil.of_hex "0x123"));
+  check_b "of_hex_opt none" true (Hexutil.of_hex_opt "0xzz" = None);
+  check_b "is_hex yes" true (Hexutil.is_hex "0xdeadbeef");
+  check_b "is_hex odd" false (Hexutil.is_hex "abc");
+  check_b "is_hex bad char" false (Hexutil.is_hex "0xgg")
+
+let test_padding () =
+  check_s "pad_left" "00ab" (Hexutil.pad_left 4 '0' "ab");
+  check_s "pad_left noop" "abcdef" (Hexutil.pad_left 3 '0' "abcdef");
+  check_s "pad_right" "ab00" (Hexutil.pad_right 4 '0' "ab");
+  check_s "take" "ab" (Hexutil.take 2 "abcd");
+  check_s "take beyond" "abcd" (Hexutil.take 9 "abcd");
+  check_s "drop" "cd" (Hexutil.drop 2 "abcd");
+  check_s "drop beyond" "" (Hexutil.drop 9 "abcd")
+
+let test_slice () =
+  check_s "inside" "bc" (Hexutil.slice "abcd" 1 2);
+  check_s "zero pad past end" "d\000\000" (Hexutil.slice "abcd" 3 3);
+  check_s "fully past end" "\000\000" (Hexutil.slice "abcd" 10 2);
+  check_s "zero length" "" (Hexutil.slice "abcd" 1 0)
+
+let test_xor () =
+  check_s "xor" "\x03\x00" (Hexutil.xor "\x01\x02" "\x02\x02");
+  Alcotest.check_raises "mismatch" (Invalid_argument "Hexutil.xor: length mismatch")
+    (fun () -> ignore (Hexutil.xor "a" "ab"))
+
+let test_chunks () =
+  Alcotest.(check (list string)) "even" [ "ab"; "cd" ] (Hexutil.chunks 2 "abcd");
+  Alcotest.(check (list string)) "ragged" [ "abc"; "d" ] (Hexutil.chunks 3 "abcd");
+  Alcotest.(check (list string)) "empty" [] (Hexutil.chunks 4 "")
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"hex round-trip" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 64))
+    (fun s -> Hexutil.of_hex (Hexutil.to_hex s) = s)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "uppercase" `Quick test_uppercase;
+    Alcotest.test_case "invalid" `Quick test_invalid;
+    Alcotest.test_case "padding" `Quick test_padding;
+    Alcotest.test_case "slice" `Quick test_slice;
+    Alcotest.test_case "xor" `Quick test_xor;
+    Alcotest.test_case "chunks" `Quick test_chunks;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

@@ -1,0 +1,564 @@
+open Minisol
+
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let u = Alcotest.testable U256.pp U256.equal
+let check_u = Alcotest.check u
+let alice = Evm.Address.of_hex "0x00000000000000000000000000000000000a11ce"
+let mallory = Evm.Address.of_hex "0x0000000000000000000000000000000000ba0bab"
+
+(* ------------------------------------------------------------------ *)
+(* Signatures and layout                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_signatures () =
+  let c = Patterns.counter_logic () in
+  Alcotest.(check (list string)) "sigs"
+    [ "increment()"; "count()"; "setCount(uint256)" ]
+    (Ast.signatures c);
+  check_s "selector of transfer" "0xa9059cbb"
+    (Hexutil.to_hex
+       (Ast.selector
+          (Ast.func "transfer"
+             ~params:
+               [
+                 { Ast.p_name = "to"; p_ty = Ast.T_address };
+                 { Ast.p_name = "amount"; p_ty = Ast.T_uint 256 };
+               ]
+             [])))
+
+let test_honeypot_collision_by_construction () =
+  let proxy = Patterns.honeypot_proxy () in
+  let logic = Patterns.honeypot_logic () in
+  check_s "paper's colliding selector" "0xdf4a3106"
+    (Hexutil.to_hex (List.hd (Ast.selectors proxy)));
+  check_s "logic selector equal" "0xdf4a3106"
+    (Hexutil.to_hex (List.hd (Ast.selectors logic)))
+
+let test_layout_packing () =
+  (* bool, bool, address pack into slot 0 (22 bytes); uint256 claims slot 1. *)
+  let c =
+    Ast.contract "L"
+      ~vars:
+        [
+          { Ast.v_name = "a"; v_ty = Ast.T_bool };
+          { Ast.v_name = "b"; v_ty = Ast.T_bool };
+          { Ast.v_name = "c"; v_ty = Ast.T_address };
+          { Ast.v_name = "d"; v_ty = Ast.T_uint 256 };
+        ]
+  in
+  let l = Layout.of_contract c in
+  let e name = Layout.find l name in
+  check_i "a slot" 0 (e "a").Layout.e_slot;
+  check_i "a offset" 0 (e "a").Layout.e_offset;
+  check_i "b offset" 1 (e "b").Layout.e_offset;
+  check_i "c slot" 0 (e "c").Layout.e_slot;
+  check_i "c offset" 2 (e "c").Layout.e_offset;
+  check_i "d slot" 1 (e "d").Layout.e_slot;
+  check_i "slot count" 2 (Layout.slot_count l)
+
+let test_layout_overflow_to_next_slot () =
+  (* address (20) + uint128 (16) cannot share a slot. *)
+  let c =
+    Ast.contract "L"
+      ~vars:
+        [
+          { Ast.v_name = "a"; v_ty = Ast.T_address };
+          { Ast.v_name = "b"; v_ty = Ast.T_uint 128 };
+        ]
+  in
+  let l = Layout.of_contract c in
+  check_i "b pushed to slot 1" 1 (Layout.find l "b").Layout.e_slot
+
+let test_layout_mapping_own_slot () =
+  let c =
+    Ast.contract "L"
+      ~vars:
+        [
+          { Ast.v_name = "flag"; v_ty = Ast.T_bool };
+          { Ast.v_name = "m"; v_ty = Ast.T_mapping (Ast.T_address, Ast.T_uint 256) };
+          { Ast.v_name = "after_"; v_ty = Ast.T_bool };
+        ]
+  in
+  let l = Layout.of_contract c in
+  check_i "mapping gets fresh slot" 1 (Layout.find l "m").Layout.e_slot;
+  check_i "next var continues after" 2 (Layout.find l "after_").Layout.e_slot
+
+(* ------------------------------------------------------------------ *)
+(* Compiled behaviour                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let deploy chain ?(from = alice) c =
+  match Chain.deploy chain ~from ~init_code:(Codegen.init_code c) () with
+  | Ok addr -> addr
+  | Error e -> Alcotest.failf "deploy %s failed: %s" c.Ast.c_name e
+
+let call_fn chain ~from ~to_ ?(args = []) signature =
+  Chain.call chain ~from ~to_
+    ~input:(Evm.Abi.encode_call ~signature args)
+    ()
+
+let test_counter_behaviour () =
+  let chain = Chain.create () in
+  let counter = deploy chain (Patterns.counter_logic ()) in
+  let r = call_fn chain ~from:alice ~to_:counter "increment()" in
+  check_b "increment ok" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let r = call_fn chain ~from:alice ~to_:counter "increment()" in
+  check_b "increment ok" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let r = call_fn chain ~from:alice ~to_:counter "count()" in
+  check_u "count is 2" (U256.of_int 2) (Evm.Abi.decode_uint r.Chain.tx_return_data);
+  let r =
+    call_fn chain ~from:alice ~to_:counter "setCount(uint256)"
+      ~args:[ Evm.Abi.Uint (U256.of_int 55) ]
+  in
+  check_b "setCount ok" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let r = call_fn chain ~from:alice ~to_:counter "count()" in
+  check_u "count is 55" (U256.of_int 55) (Evm.Abi.decode_uint r.Chain.tx_return_data)
+
+let test_unknown_selector_hits_fallback_revert () =
+  let chain = Chain.create () in
+  let counter = deploy chain (Patterns.counter_logic ()) in
+  let r = call_fn chain ~from:alice ~to_:counter "nonexistent()" in
+  check_b "reverts" true (r.Chain.tx_status = Evm.Interp.Reverted)
+
+let test_nonpayable_guard () =
+  let chain = Chain.create () in
+  Chain.fund chain alice (U256.of_int 1_000_000);
+  let counter = deploy chain (Patterns.counter_logic ()) in
+  let r =
+    Chain.call chain ~from:alice ~to_:counter
+      ~input:(Evm.Abi.encode_call ~signature:"increment()" [])
+      ~value:(U256.of_int 5) ()
+  in
+  check_b "value rejected" true (r.Chain.tx_status = Evm.Interp.Reverted)
+
+(* A counter whose state lives at slot 2, clear of the proxy's own
+   variables (slots 0 and 1) — collision-free forwarding. *)
+let offset_counter () =
+  Ast.contract "OffsetCounter"
+    ~vars:
+      [
+        { Ast.v_name = "reserved0"; v_ty = Ast.T_uint 256 };
+        { Ast.v_name = "reserved1"; v_ty = Ast.T_uint 256 };
+        { Ast.v_name = "count"; v_ty = Ast.T_uint 256 };
+      ]
+    ~funcs:
+      [
+        Ast.func "increment"
+          [ Ast.Store ("count", Ast.Bin (Ast.Add, Ast.Load "count", Ast.Const U256.one)) ];
+        Ast.func "count" ~mutability:Ast.View ~returns:(Ast.T_uint 256)
+          [ Ast.Return_value (Ast.Load "count") ];
+      ]
+
+let test_proxy_forwarding_storage_context () =
+  let chain = Chain.create () in
+  let logic = deploy chain (offset_counter ()) in
+  let proxy_contract = Patterns.slot_var_proxy () in
+  let proxy = deploy chain proxy_contract in
+  (* ctor stored owner = alice in slot 0; install logic address via setLogic. *)
+  let r =
+    call_fn chain ~from:alice ~to_:proxy "setLogic(address)"
+      ~args:[ Evm.Abi.Addr logic ]
+  in
+  check_b "setLogic ok" true (r.Chain.tx_status = Evm.Interp.Returned);
+  (* Unknown selector falls through to delegate-forward. *)
+  let r = call_fn chain ~from:alice ~to_:proxy "increment()" in
+  check_b "forwarded" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let r = call_fn chain ~from:alice ~to_:proxy "count()" in
+  check_u "count read through proxy" U256.one
+    (Evm.Abi.decode_uint r.Chain.tx_return_data);
+  (* The count lives in the PROXY's storage (slot 2 of the logic layout),
+     not in the logic contract's. *)
+  let host = Chain.host_at_head chain in
+  check_u "logic storage untouched" U256.zero
+    (host.Evm.Host.get_storage logic (U256.of_int 2));
+  check_u "proxy slot 2 holds the count" U256.one
+    (host.Evm.Host.get_storage proxy (U256.of_int 2))
+
+let test_proxy_owner_gate () =
+  let chain = Chain.create () in
+  let logic = deploy chain (Patterns.counter_logic ()) in
+  let proxy = deploy chain (Patterns.slot_var_proxy ()) in
+  let r =
+    call_fn chain ~from:mallory ~to_:proxy "setLogic(address)"
+      ~args:[ Evm.Abi.Addr logic ]
+  in
+  check_b "non-owner rejected" true (r.Chain.tx_status = Evm.Interp.Reverted)
+
+let test_eip1967_proxy_behaviour () =
+  let chain = Chain.create () in
+  let logic = deploy chain (Patterns.counter_logic ()) in
+  let proxy = deploy chain (Patterns.eip1967_proxy ()) in
+  (* Install admin directly (constructor-equivalent), then upgrade. *)
+  Chain.set_storage_direct chain proxy Patterns.eip1967_admin_slot
+    (Evm.Address.to_u256 alice);
+  let r =
+    call_fn chain ~from:alice ~to_:proxy "upgradeTo(address)"
+      ~args:[ Evm.Abi.Addr logic ]
+  in
+  check_b "upgrade ok" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let r = call_fn chain ~from:mallory ~to_:proxy "increment()" in
+  check_b "forwarded" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let r = call_fn chain ~from:mallory ~to_:proxy "count()" in
+  check_u "count through 1967 proxy" U256.one
+    (Evm.Abi.decode_uint r.Chain.tx_return_data);
+  (* Non-admin cannot upgrade. *)
+  let r =
+    call_fn chain ~from:mallory ~to_:proxy "upgradeTo(address)"
+      ~args:[ Evm.Abi.Addr mallory ]
+  in
+  check_b "non-admin upgrade rejected" true (r.Chain.tx_status = Evm.Interp.Reverted)
+
+let test_eip1167_canonical_recognizer () =
+  let logic = Evm.Address.of_hex "0x1234567890123456789012345678901234567890" in
+  let code = Patterns.eip1167_runtime logic in
+  check_i "45 bytes" 45 (String.length code);
+  (match Patterns.eip1167_logic_address code with
+  | Some a -> check_s "extracted" (Evm.Address.to_hex logic) (Evm.Address.to_hex a)
+  | None -> Alcotest.fail "canonical bytes not recognized");
+  check_b "non-minimal rejected" true
+    (Patterns.eip1167_logic_address (code ^ "\x00") = None)
+
+let test_honeypot_collision_behaviour () =
+  let chain = Chain.create () in
+  (* A token standing in for USDT at the hard-coded address. *)
+  let host = Chain.host_at_head chain in
+  host.Evm.Host.create_account Patterns.usdt_address
+    ~code:(Codegen.runtime (Patterns.erc20ish_logic ()));
+  let logic = deploy chain (Patterns.honeypot_logic ()) in
+  let proxy = deploy chain ~from:mallory (Patterns.honeypot_proxy ()) in
+  Chain.set_storage_direct chain proxy U256.one (Evm.Address.to_u256 logic);
+  Chain.fund chain proxy (U256.of_decimal "100000000000000000000");
+  Chain.fund chain alice (U256.of_int 1_000_000);
+  let balance_before = host.Evm.Host.get_balance alice in
+  (* Alice calls the enticing free_ether_withdrawal(); because of the
+     selector collision the PROXY's hidden function runs instead and no
+     ether is paid out. *)
+  let r = call_fn chain ~from:alice ~to_:proxy "free_ether_withdrawal()" in
+  check_b "tx completes" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let balance_after = host.Evm.Host.get_balance alice in
+  check_u "no 10-ether payout" balance_before balance_after;
+  (* The internal call went to the USDT address via delegatecall, not to the
+     logic contract. *)
+  check_b "delegate went to USDT" true
+    (List.exists
+       (fun ic -> Evm.Address.equal ic.Chain.ic_to Patterns.usdt_address)
+       r.Chain.tx_internal_calls);
+  check_b "logic never executed" true
+    (not
+       (List.exists
+          (fun ic -> Evm.Address.equal ic.Chain.ic_to logic)
+          r.Chain.tx_internal_calls))
+
+let test_audius_storage_collision_behaviour () =
+  let chain = Chain.create () in
+  let logic = deploy chain (Patterns.audius_logic ()) in
+  let proxy = deploy chain ~from:alice (Patterns.audius_proxy ()) in
+  Chain.set_storage_direct chain proxy U256.one (Evm.Address.to_u256 logic);
+  let host = Chain.host_at_head chain in
+  let owner_word () =
+    U256.logand
+      (host.Evm.Host.get_storage proxy U256.zero)
+      (U256.pred (U256.shift_left U256.one 160))
+  in
+  check_u "owner initially alice" (Evm.Address.to_u256 alice) (owner_word ());
+  (* Mallory calls initialize() through the proxy: the require passes even
+     though the contract was "initialized", because the flags share slot 0
+     with the owner address. *)
+  let r = call_fn chain ~from:mallory ~to_:proxy "initialize()" in
+  check_b "first takeover succeeds" true (r.Chain.tx_status = Evm.Interp.Returned);
+  check_u "owner clobbered to mallory" (Evm.Address.to_u256 mallory) (owner_word ());
+  (* And it remains callable again — the re-initialization bug: the owner
+     write wiped the flags, so the require keeps passing. *)
+  let r = call_fn chain ~from:mallory ~to_:proxy "initialize()" in
+  check_b "re-initialization still possible" true
+    (r.Chain.tx_status = Evm.Interp.Returned)
+
+let test_diamond_gating () =
+  let chain = Chain.create () in
+  let facet = deploy chain (Patterns.counter_logic ()) in
+  let proxy = deploy chain ~from:alice (Patterns.diamond_proxy ()) in
+  (* Unregistered selector reverts. *)
+  let r = call_fn chain ~from:alice ~to_:proxy "increment()" in
+  check_b "unregistered selector reverts" true
+    (r.Chain.tx_status = Evm.Interp.Reverted);
+  (* Register increment()'s selector, then it forwards. *)
+  let sel_word =
+    U256.shift_left (U256.of_bytes_be (Keccak.selector "increment()")) 224
+  in
+  ignore sel_word;
+  let sel_as_word =
+    U256.of_bytes_be (Keccak.selector "increment()")
+  in
+  let r =
+    call_fn chain ~from:alice ~to_:proxy "setFacet(uint256,address)"
+      ~args:[ Evm.Abi.Uint sel_as_word; Evm.Abi.Addr facet ]
+  in
+  check_b "setFacet ok" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let r = call_fn chain ~from:alice ~to_:proxy "increment()" in
+  check_b "registered selector forwards" true
+    (r.Chain.tx_status = Evm.Interp.Returned)
+
+let test_library_caller_delegatecall_outside_fallback () =
+  let chain = Chain.create () in
+  let lib = deploy chain (Patterns.counter_logic ()) in
+  let user = deploy chain (Patterns.library_caller ~lib) in
+  let r =
+    call_fn chain ~from:alice ~to_:user "addChecked(uint256,uint256)"
+      ~args:[ Evm.Abi.Uint (U256.of_int 2); Evm.Abi.Uint (U256.of_int 40) ]
+  in
+  check_b "runs" true (r.Chain.tx_status = Evm.Interp.Returned);
+  check_b "made a delegatecall" true
+    (List.exists
+       (fun ic -> ic.Chain.ic_kind = Evm.Interp.Delegatecall)
+       r.Chain.tx_internal_calls);
+  let r = call_fn chain ~from:alice ~to_:user "total()" in
+  check_u "sum stored" (U256.of_int 42) (Evm.Abi.decode_uint r.Chain.tx_return_data)
+
+let test_mapping_behaviour () =
+  let chain = Chain.create () in
+  let token = deploy chain (Patterns.erc20ish_logic ()) in
+  let r =
+    call_fn chain ~from:alice ~to_:token "mint(uint256)"
+      ~args:[ Evm.Abi.Uint (U256.of_int 500) ]
+  in
+  check_b "mint ok" true (r.Chain.tx_status = Evm.Interp.Returned);
+  let r =
+    call_fn chain ~from:alice ~to_:token "balanceOf(address)"
+      ~args:[ Evm.Abi.Addr alice ]
+  in
+  check_u "balance" (U256.of_int 500) (Evm.Abi.decode_uint r.Chain.tx_return_data);
+  let r =
+    call_fn chain ~from:alice ~to_:token "balanceOf(address)"
+      ~args:[ Evm.Abi.Addr mallory ]
+  in
+  check_u "other balance zero" U256.zero (Evm.Abi.decode_uint r.Chain.tx_return_data)
+
+let test_packed_var_read_write () =
+  (* Writing a packed bool must not clobber its slot neighbours. *)
+  let c =
+    Ast.contract "Packed"
+      ~vars:
+        [
+          { Ast.v_name = "flag1"; v_ty = Ast.T_bool };
+          { Ast.v_name = "flag2"; v_ty = Ast.T_bool };
+          { Ast.v_name = "who"; v_ty = Ast.T_address };
+        ]
+      ~funcs:
+        [
+          Ast.func "setFlag2" [ Ast.Store ("flag2", Ast.Const U256.one) ];
+          Ast.func "setWho" [ Ast.Store ("who", Ast.Caller) ];
+          Ast.func "getFlag2" ~mutability:Ast.View ~returns:Ast.T_bool
+            [ Ast.Return_value (Ast.Load "flag2") ];
+          Ast.func "getWho" ~mutability:Ast.View ~returns:Ast.T_address
+            [ Ast.Return_value (Ast.Load "who") ];
+        ]
+  in
+  let chain = Chain.create () in
+  let addr = deploy chain c in
+  ignore (call_fn chain ~from:alice ~to_:addr "setWho()");
+  ignore (call_fn chain ~from:alice ~to_:addr "setFlag2()");
+  let r = call_fn chain ~from:alice ~to_:addr "getWho()" in
+  check_u "address survives flag write" (Evm.Address.to_u256 alice)
+    (Evm.Abi.decode_uint r.Chain.tx_return_data);
+  let r = call_fn chain ~from:alice ~to_:addr "getFlag2()" in
+  check_u "flag set" U256.one (Evm.Abi.decode_uint r.Chain.tx_return_data)
+
+(* ------------------------------------------------------------------ *)
+(* Layout invariants (property tests)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let arb_var_list =
+  let open QCheck in
+  let ty_gen =
+    Gen.oneof
+      [
+        Gen.return Ast.T_bool;
+        Gen.return Ast.T_address;
+        Gen.map (fun n -> Ast.T_uint (8 * (1 + n))) (Gen.int_bound 31);
+        Gen.map (fun n -> Ast.T_bytes (1 + n)) (Gen.int_bound 31);
+        Gen.return (Ast.T_mapping (Ast.T_address, Ast.T_uint 256));
+      ]
+  in
+  let gen =
+    Gen.map
+      (fun tys ->
+        List.mapi (fun i ty -> { Ast.v_name = Printf.sprintf "x%d" i; v_ty = ty }) tys)
+      (Gen.list_size (Gen.int_range 1 12) ty_gen)
+  in
+  make
+    ~print:(fun vars ->
+      String.concat ";" (List.map (fun v -> Ast.canonical_type v.Ast.v_ty) vars))
+    gen
+
+let layout_of vars = Layout.of_contract (Ast.contract "P" ~vars)
+
+let prop_layout name f = QCheck.Test.make ~name ~count:300 arb_var_list f
+
+let layout_properties =
+  [
+    prop_layout "entries in declaration order with non-decreasing slots"
+      (fun vars ->
+        let l = layout_of vars in
+        List.length l = List.length vars
+        && fst
+             (List.fold_left
+                (fun (ok, prev) e -> (ok && e.Layout.e_slot >= prev, e.Layout.e_slot))
+                (true, 0) l));
+    prop_layout "every entry fits its slot" (fun vars ->
+        List.for_all
+          (fun e -> e.Layout.e_offset >= 0 && e.Layout.e_offset + e.Layout.e_size <= 32)
+          (layout_of vars));
+    prop_layout "no two entries overlap" (fun vars ->
+        let l = layout_of vars in
+        List.for_all
+          (fun (a : Layout.entry) ->
+            List.for_all
+              (fun (b : Layout.entry) ->
+                a.Layout.e_var.Ast.v_name = b.Layout.e_var.Ast.v_name
+                || a.Layout.e_slot <> b.Layout.e_slot
+                || a.Layout.e_offset + a.Layout.e_size <= b.Layout.e_offset
+                || b.Layout.e_offset + b.Layout.e_size <= a.Layout.e_offset)
+              l)
+          l);
+    prop_layout "mappings own a whole slot" (fun vars ->
+        let l = layout_of vars in
+        List.for_all
+          (fun (e : Layout.entry) ->
+            match e.Layout.e_var.Ast.v_ty with
+            | Ast.T_mapping _ ->
+                e.Layout.e_offset = 0 && e.Layout.e_size = 32
+                && List.for_all
+                     (fun (o : Layout.entry) ->
+                       o.Layout.e_var.Ast.v_name = e.Layout.e_var.Ast.v_name
+                       || o.Layout.e_slot <> e.Layout.e_slot)
+                     l
+            | _ -> true)
+          l);
+    prop_layout "compiled contracts pass static stack verification" (fun vars ->
+        let funcs =
+          List.filter_map
+            (fun v ->
+              match v.Ast.v_ty with
+              | Ast.T_mapping _ -> None
+              | _ ->
+                  Some
+                    (Ast.func ("s_" ^ v.Ast.v_name)
+                       ~params:[ { Ast.p_name = "x"; p_ty = Ast.T_uint 256 } ]
+                       [ Ast.Store (v.Ast.v_name, Ast.Param 0) ]))
+            vars
+        in
+        Evm.Stack_check.is_safe (Codegen.runtime (Ast.contract "P" ~vars ~funcs)));
+    prop_layout "compiled contracts assemble" (fun vars ->
+        (* Every random layout must survive code generation. *)
+        let funcs =
+          List.filter_map
+            (fun v ->
+              match v.Ast.v_ty with
+              | Ast.T_mapping _ -> None
+              | _ ->
+                  Some
+                    (Ast.func ("get_" ^ v.Ast.v_name) ~mutability:Ast.View
+                       ~returns:v.Ast.v_ty
+                       [ Ast.Return_value (Ast.Load v.Ast.v_name) ]))
+            vars
+        in
+        String.length (Codegen.runtime (Ast.contract "P" ~vars ~funcs)) > 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pretty_rendering () =
+  let src = Pretty.contract (Patterns.honeypot_proxy ()) in
+  let contains needle =
+    let n = String.length needle and h = String.length src in
+    let rec at i = i + n <= h && (String.sub src i n = needle || at (i + 1)) in
+    at 0
+  in
+  check_b "has contract header" true (contains "contract HoneypotProxy");
+  check_b "declares owner" true (contains "address private owner;");
+  check_b "has the malicious function" true (contains "function impl_LUsXCWD2AKCc()");
+  check_b "shows the delegatecall" true (contains "delegatecall");
+  check_b "has fallback" true (contains "fallback(bytes calldata)");
+  (* Every pattern renders without exceptions. *)
+  List.iter
+    (fun c -> check_b "renders" true (String.length (Pretty.contract c) > 20))
+    [
+      Patterns.audius_proxy ();
+      Patterns.audius_logic ();
+      Patterns.eip1967_proxy ();
+      Patterns.diamond_proxy ();
+      Patterns.erc20ish_logic ();
+    ]
+
+let test_codegen_errors () =
+  (* Referencing a missing parameter fails at compile time. *)
+  let bad_param =
+    Ast.contract "Bad"
+      ~funcs:[ Ast.func "f" [ Ast.Return_value (Ast.Param 3) ] ]
+  in
+  check_b "param out of range" true
+    (match Codegen.runtime bad_param with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Referencing a missing storage variable fails too. *)
+  let bad_var =
+    Ast.contract "Bad2" ~funcs:[ Ast.func "f" [ Ast.Return_value (Ast.Load "nope") ] ]
+  in
+  check_b "unknown variable" true
+    (match Codegen.runtime bad_var with exception Not_found -> true | _ -> false)
+
+let test_evalref_boundaries () =
+  let st = Evalref.create () in
+  (* Unsupported statements raise, as documented. *)
+  let with_transfer =
+    Ast.contract "T"
+      ~funcs:
+        [ Ast.func "pay" [ Ast.Transfer (Ast.Caller, Ast.Const U256.one) ] ]
+  in
+  check_b "transfer unsupported" true
+    (match Evalref.call st with_transfer ~signature:"pay()" ~args:[] with
+    | exception Evalref.Unsupported _ -> true
+    | _ -> false);
+  (* Unknown signature without a fallback reverts. *)
+  let plain = Patterns.counter_logic () in
+  check_b "unknown selector reverts" true
+    (Evalref.call st plain ~signature:"nope()" ~args:[] = Evalref.Reverted);
+  (* Nonpayable guard applies. *)
+  let env = { Evalref.default_env with Evalref.e_value = U256.one } in
+  check_b "nonpayable rejects value" true
+    (Evalref.call ~env st plain ~signature:"increment()" ~args:[] = Evalref.Reverted)
+
+let suite =
+  [
+    Alcotest.test_case "signatures" `Quick test_signatures;
+    Alcotest.test_case "codegen errors" `Quick test_codegen_errors;
+    Alcotest.test_case "evalref boundaries" `Quick test_evalref_boundaries;
+    Alcotest.test_case "pretty rendering" `Quick test_pretty_rendering;
+    Alcotest.test_case "honeypot collision by construction" `Quick
+      test_honeypot_collision_by_construction;
+    Alcotest.test_case "layout packing" `Quick test_layout_packing;
+    Alcotest.test_case "layout overflow" `Quick test_layout_overflow_to_next_slot;
+    Alcotest.test_case "layout mapping slots" `Quick test_layout_mapping_own_slot;
+    Alcotest.test_case "counter behaviour" `Quick test_counter_behaviour;
+    Alcotest.test_case "fallback revert" `Quick test_unknown_selector_hits_fallback_revert;
+    Alcotest.test_case "nonpayable guard" `Quick test_nonpayable_guard;
+    Alcotest.test_case "proxy forwarding context" `Quick
+      test_proxy_forwarding_storage_context;
+    Alcotest.test_case "proxy owner gate" `Quick test_proxy_owner_gate;
+    Alcotest.test_case "eip1967 proxy" `Quick test_eip1967_proxy_behaviour;
+    Alcotest.test_case "eip1167 recognizer" `Quick test_eip1167_canonical_recognizer;
+    Alcotest.test_case "honeypot collision behaviour" `Quick
+      test_honeypot_collision_behaviour;
+    Alcotest.test_case "audius collision behaviour" `Quick
+      test_audius_storage_collision_behaviour;
+    Alcotest.test_case "diamond gating" `Quick test_diamond_gating;
+    Alcotest.test_case "library caller" `Quick
+      test_library_caller_delegatecall_outside_fallback;
+    Alcotest.test_case "mapping behaviour" `Quick test_mapping_behaviour;
+    Alcotest.test_case "packed read/write" `Quick test_packed_var_read_write;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest layout_properties

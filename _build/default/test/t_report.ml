@@ -1,0 +1,125 @@
+module Json = Report.Json
+
+let check_b = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+let test_table_alignment () =
+  let out =
+    Report.table ~title:"T" ~header:[ "a"; "bbbb" ]
+      [ [ "xx"; "y" ]; [ "1"; "22222" ] ]
+  in
+  check_b "title line" true (String.length out > 0 && String.sub out 0 4 = "== T");
+  (* All data lines align to the same width grid: the separator is as long
+     as the padded header. *)
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | _title :: header :: sep :: _ ->
+      check_b "separator matches header width" true
+        (String.length sep = String.length header)
+  | _ -> Alcotest.fail "table shape")
+
+let test_histogram_scaling () =
+  let out = Report.histogram ~width:10 ~title:"H" [ ("a", 100); ("b", 50); ("c", 0) ] in
+  let count_hashes line =
+    String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 line
+  in
+  match String.split_on_char '\n' out with
+  | _ :: la :: lb :: lc :: _ ->
+      check_b "max bar" true (count_hashes la = 10);
+      check_b "half bar" true (count_hashes lb = 5);
+      check_b "zero bar" true (count_hashes lc = 0)
+  | _ -> Alcotest.fail "histogram shape"
+
+let test_series_rendering () =
+  let out =
+    Report.series ~title:"S" ~xlabel:"year" ~ylabel:"count"
+      [ ("2021", 1.5); ("2022", 20.0) ]
+  in
+  check_b "has axis note" true
+    (let rec has i =
+       i + 13 <= String.length out
+       && (String.sub out i 13 = "count vs year" || has (i + 1))
+     in
+     has 0);
+  check_b "rows present" true (String.length out > 30)
+
+let test_json_parse_basics () =
+  let ok s v =
+    match Json.parse s with
+    | Ok got -> check_b ("parse " ^ s) true (got = v)
+    | Error e -> Alcotest.failf "parse %s failed: %s" s e
+  in
+  ok "42" (Json.Int 42);
+  ok "-7" (Json.Int (-7));
+  ok "3.5" (Json.Float 3.5);
+  ok "true" (Json.Bool true);
+  ok "null" Json.Null;
+  ok "\"a\\nb\"" (Json.String "a\nb");
+  ok "[]" (Json.List []);
+  ok "{}" (Json.Obj []);
+  ok "[1, 2]" (Json.List [ Json.Int 1; Json.Int 2 ]);
+  ok "{\"k\": [true]}" (Json.Obj [ ("k", Json.List [ Json.Bool true ]) ]);
+  (* Errors. *)
+  List.iter
+    (fun bad ->
+      check_b ("reject " ^ bad) true
+        (match Json.parse bad with Error _ -> true | Ok _ -> false))
+    [ "{"; "[1,]"; "\"open"; "tru"; "1 2"; "" ]
+
+let test_json_unicode_escape () =
+  match Json.parse "\"\\u0041\\u00e9\"" with
+  | Ok (Json.String s) -> check_s "A + e-acute utf8" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode escape"
+
+(* Round trip: everything the emitter produces must parse back to itself. *)
+let arb_json =
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun n -> Json.Int n) (int_range (-1000) 1000);
+          map (fun b -> Json.Bool b) bool;
+          return Json.Null;
+          map (fun s -> Json.String s) (string_size ~gen:printable (int_bound 20));
+        ]
+    else
+      frequency
+        [
+          (2, gen 0);
+          ( 1,
+            map (fun l -> Json.List l) (list_size (int_bound 4) (gen (depth - 1)))
+          );
+          ( 1,
+            map
+              (fun kvs ->
+                Json.Obj (List.mapi (fun i v -> (Printf.sprintf "k%d" i, v)) kvs))
+              (list_size (int_bound 4) (gen (depth - 1))) );
+        ]
+  in
+  QCheck.make ~print:(Json.to_string ~pretty:false) (gen 3)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"json print/parse round-trip" ~count:300 arb_json
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok got -> got = v
+      | Error _ -> false)
+
+let qcheck_roundtrip_compact =
+  QCheck.Test.make ~name:"compact json round-trip" ~count:300 arb_json
+    (fun v ->
+      match Json.parse (Json.to_string ~pretty:false v) with
+      | Ok got -> got = v
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "histogram scaling" `Quick test_histogram_scaling;
+    Alcotest.test_case "series rendering" `Quick test_series_rendering;
+    Alcotest.test_case "json parse basics" `Quick test_json_parse_basics;
+    Alcotest.test_case "json unicode escape" `Quick test_json_unicode_escape;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_compact;
+  ]

@@ -1,0 +1,98 @@
+let check_s = Alcotest.(check string)
+let check_b = Alcotest.(check bool)
+let enc item = Hexutil.to_hex (Rlp.encode item)
+
+(* Vectors from the Ethereum wiki RLP specification. *)
+let test_strings () =
+  check_s "dog" "0x83646f67" (enc (Rlp.String "dog"));
+  check_s "empty string" "0x80" (enc (Rlp.String ""));
+  check_s "single low byte" "0x0f" (enc (Rlp.String "\x0f"));
+  check_s "single byte 0x80 gets prefix" "0x8180" (enc (Rlp.String "\x80"));
+  check_s "55 bytes stays short form"
+    ("0xb7" ^ String.concat "" (List.init 55 (fun _ -> "61")))
+    (enc (Rlp.String (String.make 55 'a')));
+  check_s "56 bytes switches to long form"
+    ("0xb838" ^ String.concat "" (List.init 56 (fun _ -> "61")))
+    (enc (Rlp.String (String.make 56 'a')))
+
+let test_lists () =
+  check_s "cat dog list" "0xc88363617483646f67"
+    (enc (Rlp.List [ Rlp.String "cat"; Rlp.String "dog" ]));
+  check_s "empty list" "0xc0" (enc (Rlp.List []));
+  check_s "nested set-theoretic three"
+    "0xc7c0c1c0c3c0c1c0"
+    (enc
+       Rlp.(
+         List
+           [
+             List [];
+             List [ List [] ];
+             List [ List []; List [ List [] ] ];
+           ]))
+
+let test_encode_int () =
+  check_s "zero is empty" "" (Rlp.encode_int 0);
+  check_s "one byte" "\x7f" (Rlp.encode_int 0x7f);
+  check_s "two bytes" "\x04\x00" (Rlp.encode_int 1024)
+
+let test_decode () =
+  let roundtrip item = Rlp.decode (Rlp.encode item) = item in
+  check_b "string" true (roundtrip (Rlp.String "hello rlp"));
+  check_b "long string" true (roundtrip (Rlp.String (String.make 300 'x')));
+  check_b "list" true
+    (roundtrip (Rlp.List [ Rlp.String "a"; Rlp.List [ Rlp.String "b" ] ]));
+  check_b "trailing bytes rejected" true
+    (Rlp.decode_opt (Rlp.encode (Rlp.String "dog") ^ "\x00") = None);
+  check_b "non-canonical single byte rejected" true
+    (Rlp.decode_opt "\x81\x05" = None);
+  check_b "truncated rejected" true (Rlp.decode_opt "\x83do" = None)
+
+(* Well-known vector: the first contract created by
+   0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0 (nonce 0). *)
+let test_contract_address () =
+  let sender = Hexutil.of_hex "0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0" in
+  check_s "nonce 0" "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d"
+    (Hexutil.to_hex (Rlp.contract_address ~sender ~nonce:0));
+  check_s "nonce 1" "0x343c43a37d37dff08ae8c4a11544c718abb4fcf8"
+    (Hexutil.to_hex (Rlp.contract_address ~sender ~nonce:1));
+  check_b "different nonce, different address" true
+    (Rlp.contract_address ~sender ~nonce:2
+    <> Rlp.contract_address ~sender ~nonce:3)
+
+(* EIP-1014 example 0: sender 0x0000...00, salt 0, init code 0x00. *)
+let test_create2_address () =
+  let sender = String.make 20 '\000' in
+  check_s "eip-1014 example"
+    "0x4d1a2e2bb4f88f0250f26ffff098b0b30b26bf38"
+    (Hexutil.to_hex
+       (Rlp.create2_address ~sender ~salt:U256.zero ~init_code:"\x00"))
+
+let qcheck_roundtrip =
+  let rec gen_item depth =
+    let open QCheck.Gen in
+    if depth = 0 then map (fun s -> Rlp.String s) (string_size (int_bound 80))
+    else
+      frequency
+        [
+          (3, map (fun s -> Rlp.String s) (string_size (int_bound 80)));
+          (1, map (fun l -> Rlp.List l) (list_size (int_bound 4) (gen_item (depth - 1))));
+        ]
+  in
+  let rec print_item = function
+    | Rlp.String s -> Printf.sprintf "S(%s)" (Hexutil.to_hex s)
+    | Rlp.List l -> "L[" ^ String.concat ";" (List.map print_item l) ^ "]"
+  in
+  QCheck.Test.make ~name:"rlp round-trip" ~count:500
+    (QCheck.make ~print:print_item (gen_item 3))
+    (fun item -> Rlp.decode (Rlp.encode item) = item)
+
+let suite =
+  [
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "lists" `Quick test_lists;
+    Alcotest.test_case "encode_int" `Quick test_encode_int;
+    Alcotest.test_case "decode" `Quick test_decode;
+    Alcotest.test_case "contract_address" `Quick test_contract_address;
+    Alcotest.test_case "create2_address" `Quick test_create2_address;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

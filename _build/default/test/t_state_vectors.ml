@@ -1,0 +1,154 @@
+(* Data-driven EVM state tests, in the spirit of ethereum/tests.
+
+   Each vector file under test/vectors/ describes a pre-state, one
+   transaction, and expectations on status, return data, deployed code and
+   post-state.  The runner builds a fresh in-memory world per vector and
+   checks everything the file asserts.  Adding coverage means adding a
+   JSON file, not OCaml code. *)
+
+module Json = Report.Json
+
+let check_b = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+let field obj key =
+  match obj with
+  | Json.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let expect_string name = function
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "vector: missing string field %s" name
+
+let as_word = function
+  | Json.String s -> U256.of_hex s
+  | Json.Int n -> U256.of_int n
+  | _ -> Alcotest.fail "vector: expected a hex word"
+
+let load_pre host pre =
+  match pre with
+  | Json.Obj accounts ->
+      List.iter
+        (fun (addr_hex, spec) ->
+          let addr = Evm.Address.of_hex addr_hex in
+          (match field spec "code" with
+          | Some (Json.String code_hex) ->
+              Evm.Host.with_code host addr (Hexutil.of_hex code_hex)
+          | _ -> ());
+          (match field spec "balance" with
+          | Some v -> host.Evm.Host.set_balance addr (as_word v)
+          | None -> ());
+          match field spec "storage" with
+          | Some (Json.Obj slots) ->
+              List.iter
+                (fun (slot_hex, value) ->
+                  host.Evm.Host.set_storage addr (U256.of_hex slot_hex)
+                    (as_word value))
+                slots
+          | _ -> ())
+        accounts
+  | _ -> Alcotest.fail "vector: pre must be an object"
+
+let check_post host post =
+  match post with
+  | Json.Obj accounts ->
+      List.iter
+        (fun (addr_hex, spec) ->
+          let addr = Evm.Address.of_hex addr_hex in
+          (match field spec "storage" with
+          | Some (Json.Obj slots) ->
+              List.iter
+                (fun (slot_hex, value) ->
+                  Alcotest.check
+                    (Alcotest.testable U256.pp U256.equal)
+                    (Printf.sprintf "post storage %s[%s]" addr_hex slot_hex)
+                    (as_word value)
+                    (host.Evm.Host.get_storage addr (U256.of_hex slot_hex)))
+                slots
+          | _ -> ());
+          match field spec "balance" with
+          | Some v ->
+              Alcotest.check
+                (Alcotest.testable U256.pp U256.equal)
+                (Printf.sprintf "post balance %s" addr_hex)
+                (as_word v)
+                (host.Evm.Host.get_balance addr)
+          | None -> ())
+        accounts
+  | _ -> Alcotest.fail "vector: post must be an object"
+
+let run_vector path () =
+  let content =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let vector =
+    match Json.parse content with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "vector %s: %s" path e
+  in
+  let host = Evm.Host.in_memory () in
+  (match field vector "pre" with
+  | Some pre -> load_pre host pre
+  | None -> ());
+  let tx = Option.get (field vector "tx") in
+  let from = Evm.Address.of_hex (expect_string "from" (field tx "from")) in
+  let value = match field tx "value" with Some v -> as_word v | None -> U256.zero in
+  let gas =
+    match field tx "gas" with Some (Json.Int n) -> n | _ -> 30_000_000
+  in
+  let input =
+    match field tx "input" with
+    | Some (Json.String s) -> Hexutil.of_hex s
+    | _ -> ""
+  in
+  let result =
+    match (field tx "to", field tx "init") with
+    | Some (Json.String to_hex), _ ->
+        Evm.Interp.execute host
+          (Evm.Interp.make_call ~caller:from
+             ~target:(Evm.Address.of_hex to_hex) ~input ~value ~gas ())
+    | None, Some (Json.String init_hex) ->
+        Evm.Interp.create host ~caller:from ~value
+          ~init_code:(Hexutil.of_hex init_hex) ~gas
+    | _ -> Alcotest.fail "vector: tx needs either to or init"
+  in
+  let expect = Option.get (field vector "expect") in
+  (match field expect "status" with
+  | Some (Json.String expected) ->
+      let actual =
+        match result.Evm.Interp.status with
+        | Evm.Interp.Returned -> "returned"
+        | Evm.Interp.Reverted -> "reverted"
+        | Evm.Interp.Failed _ -> "failed"
+      in
+      check_s "status" expected actual
+  | _ -> ());
+  (match field expect "return_data" with
+  | Some (Json.String expected) ->
+      check_s "return data" expected (Hexutil.to_hex result.Evm.Interp.return_data)
+  | _ -> ());
+  (match field expect "created_code" with
+  | Some (Json.String expected) -> (
+      match result.Evm.Interp.created with
+      | Some addr -> check_s "created code" expected (Hexutil.to_hex (host.Evm.Host.get_code addr))
+      | None -> Alcotest.fail "expected a created contract")
+  | _ -> ());
+  (match field expect "post" with
+  | Some post -> check_post host post
+  | None -> ());
+  check_b "consumed vector" true true
+
+let suite =
+  let dir = "vectors" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  List.map
+    (fun f -> Alcotest.test_case ("vector " ^ f) `Quick (run_vector (Filename.concat dir f)))
+    files
