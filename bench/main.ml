@@ -15,7 +15,7 @@
      dune exec bench/main.exe -- micro        # only micro-benchmarks
      dune exec bench/main.exe -- table1|table2|table3|table4
      dune exec bench/main.exe -- fig2|fig4|fig5|fig6
-     dune exec bench/main.exe -- perf|effectiveness|ablation
+     dune exec bench/main.exe -- perf|effectiveness|ablation|engine
      dune exec bench/main.exe -- landscape    # all landscape outputs *)
 
 module Patterns = Minisol.Patterns
@@ -44,7 +44,7 @@ let build_fixtures () =
   let land_ = Dataset.Generate.generate bench_config in
   let chain = land_.Dataset.Generate.chain in
   let report =
-    Proxion.Pipeline.run ~chain ~source:land_.Dataset.Generate.source_of ()
+    Proxion.Pipeline.analyze ~chain ~source:land_.Dataset.Generate.source_of ()
   in
   let host = Chain.host_at_head chain in
   let slot_proxy =
@@ -232,9 +232,15 @@ let run_ablation fx =
     Unix.gettimeofday () -. t0
   in
   let source = fx.fx_land.Dataset.Generate.source_of in
-  let with_dedup = time (fun () -> Proxion.Pipeline.run ~chain ~source ()) in
+  let with_dedup =
+    time (fun () -> Proxion.Pipeline.analyze ~chain ~source ())
+  in
+  let no_dedup =
+    Proxion.Pipeline.Config.with_dedup false Proxion.Pipeline.Config.default
+  in
   let without_dedup =
-    time (fun () -> Proxion.Pipeline.run ~dedup:false ~chain ~source ())
+    time (fun () ->
+        Proxion.Pipeline.analyze ~config:no_dedup ~chain ~source ())
   in
   (* 4. Crafted vs random probe calldata: detection when the random
      selector happens to hit a real function.  We simulate by probing the
@@ -325,6 +331,80 @@ let run_ablation fx =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Engine benchmarks: scheduler overhead, batch-size sweep, checkpoint  *)
+(* ------------------------------------------------------------------ *)
+
+let run_engine fx =
+  let chain = fx.fx_land.Dataset.Generate.chain in
+  let source = fx.fx_land.Dataset.Generate.source_of in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let result = f () in
+    (result, Unix.gettimeofday () -. t0)
+  in
+  let analyze_with batch_size =
+    Chain.reset_api_call_count chain;
+    let config =
+      Proxion.Pipeline.Config.with_batch_size batch_size
+        Proxion.Pipeline.Config.default
+    in
+    let t = Proxion.Analyzer.create ~config ~chain ~source () in
+    Proxion.Analyzer.submit_all t;
+    Proxion.Analyzer.run t;
+    t
+  in
+  let sweep =
+    List.map
+      (fun b ->
+        let t, elapsed = time (fun () -> analyze_with b) in
+        Printf.sprintf "%d: %.3fs (%d batches)" b elapsed
+          (Engine.batches_done (Proxion.Analyzer.engine t)))
+      [ 8; 32; 128 ]
+  in
+  (* Event-delivery overhead: same run with a counting subscriber. *)
+  let events = ref 0 in
+  let _, with_events =
+    time (fun () ->
+        Chain.reset_api_call_count chain;
+        let t = Proxion.Analyzer.create ~chain ~source () in
+        Proxion.Analyzer.subscribe t (fun _ -> incr events);
+        Proxion.Analyzer.submit_all t;
+        Proxion.Analyzer.run t)
+  in
+  (* Checkpoint round-trip on a half-finished run. *)
+  let half = Proxion.Analyzer.create ~chain ~source () in
+  Proxion.Analyzer.submit_all half;
+  Proxion.Analyzer.run ~max_batches:(Proxion.Analyzer.pending half / 64) half;
+  let json, ck_elapsed = time (fun () -> Proxion.Analyzer.checkpoint half) in
+  let text = Report.Json.to_string json in
+  let restored, restore_elapsed =
+    time (fun () -> Proxion.Analyzer.restore ~chain ~source json)
+  in
+  let t = analyze_with 32 in
+  Report.print_table ~title:"Engine: staged scheduler characteristics"
+    ~header:[ "Metric"; "Value" ]
+    [
+      [ "full run by batch size"; String.concat "; " sweep ];
+      [
+        "run with event subscriber";
+        Printf.sprintf "%.3fs (%d events delivered)" with_events !events;
+      ];
+      [
+        "checkpoint (half-finished run)";
+        Printf.sprintf "%.1f KiB in %.4fs" (float_of_int (String.length text) /. 1024.0)
+          ck_elapsed;
+      ];
+      [
+        "restore from checkpoint";
+        Printf.sprintf "%s in %.4fs"
+          (match restored with Ok _ -> "ok" | Error e -> "FAILED: " ^ e)
+          restore_elapsed;
+      ];
+      [ "per-stage totals"; "" ];
+    ];
+  print_string (Proxion.Analyzer.stage_totals_table t)
+
+(* ------------------------------------------------------------------ *)
 (* Regeneration driver                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -385,6 +465,9 @@ let () =
   | "ablation" ->
       let fx = build_fixtures () in
       run_ablation fx
+  | "engine" ->
+      let fx = build_fixtures () in
+      run_engine fx
   | "table1" -> run_table1 ()
   | "table2" -> run_table2 ()
   | "table3" -> run_table3 ()
@@ -403,6 +486,7 @@ let () =
       let fx = build_fixtures () in
       section "micro" (fun () -> run_micro fx);
       section "ablation" (fun () -> run_ablation fx);
+      section "engine" (fun () -> run_engine fx);
       section "table1" run_table1;
       section "table2" run_table2;
       section "perf" run_perf;
@@ -411,7 +495,8 @@ let () =
       section "landscape" run_all_landscape
   | other ->
       Printf.eprintf
-        "unknown section %s (try: micro ablation table1 table2 table3 table4 \
-         fig2 fig4 fig5 fig6 perf effectiveness multichain landscape all)\n"
+        "unknown section %s (try: micro ablation engine table1 table2 table3 \
+         table4 fig2 fig4 fig5 fig6 perf effectiveness multichain landscape \
+         all)\n"
         other;
       exit 1

@@ -77,10 +77,37 @@ let seed_arg =
 let landscape_config total seed =
   { Dataset.Generate.default_config with Dataset.Generate.total; seed }
 
-let run_landscape total seed findings =
-  let t =
-    Experiments.Landscape.prepare ~config:(landscape_config total seed) ()
-  in
+(* Progress reporting on stderr, leaving stdout to the figures. *)
+let progress_subscriber ev =
+  let open Engine in
+  match ev with
+  | Run_started { pending; batch_size } ->
+      Printf.eprintf "run: %d contracts queued (batches of %d)\n%!" pending
+        batch_size
+  | Batch_finished { index; size; elapsed } ->
+      Printf.eprintf "batch %d: %d contracts in %.2fs\n%!" (index + 1) size
+        elapsed
+  | Stage_errored { stage; subject; message } ->
+      Printf.eprintf "  %s: stage %s errored: %s\n%!" subject
+        (stage_name stage) message
+  | Item_skipped { subject; message } ->
+      Printf.eprintf "  skipped %s: %s\n%!" subject message
+  | Run_finished { processed; skipped; elapsed } ->
+      Printf.eprintf "run: %d processed, %d skipped in %.2fs\n%!" processed
+        skipped elapsed
+  | Batch_started _ | Stage_started _ | Stage_finished _ -> ()
+
+let write_checkpoint path json =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Report.Json.to_string ~pretty:true json);
+      Out_channel.output_char oc '\n')
+
+let read_checkpoint path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | data -> Report.Json.parse data
+  | exception Sys_error msg -> Error msg
+
+let print_landscape t findings =
   print_string (Experiments.Landscape.summary t);
   print_newline ();
   print_string (Experiments.Landscape.fig2 t);
@@ -104,10 +131,70 @@ let run_landscape total seed findings =
    end);
   0
 
+let run_landscape total seed findings batch_size progress checkpoint_path
+    resume_path max_batches =
+  match batch_size with
+  | Some b when b <= 0 ->
+      prerr_endline "error: --batch-size must be positive";
+      1
+  | _ ->
+  let land_ = Dataset.Generate.generate (landscape_config total seed) in
+  let chain = land_.Dataset.Generate.chain in
+  let source = land_.Dataset.Generate.source_of in
+  Chain.reset_api_call_count chain;
+  let analyzer =
+    match resume_path with
+    | Some path -> (
+        match
+          Result.bind (read_checkpoint path)
+            (Proxion.Analyzer.restore ?batch_size ~chain ~source)
+        with
+        | Ok t -> Ok t
+        | Error e -> Error (Printf.sprintf "cannot resume from %s: %s" path e))
+    | None ->
+        let config =
+          match batch_size with
+          | Some b ->
+              Proxion.Pipeline.Config.(default |> with_batch_size b)
+          | None -> Proxion.Pipeline.Config.default
+        in
+        let t = Proxion.Analyzer.create ~config ~chain ~source () in
+        Proxion.Analyzer.submit_all t;
+        Ok t
+  in
+  match analyzer with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok analyzer ->
+      if progress then Proxion.Analyzer.subscribe analyzer progress_subscriber;
+      Proxion.Analyzer.run ?max_batches analyzer;
+      Option.iter
+        (fun path -> write_checkpoint path (Proxion.Analyzer.checkpoint analyzer))
+        checkpoint_path;
+      if Proxion.Analyzer.pending analyzer > 0 then begin
+        Printf.eprintf
+          "stopped with %d contracts pending%s\n%!"
+          (Proxion.Analyzer.pending analyzer)
+          (match checkpoint_path with
+          | Some p -> Printf.sprintf "; resume with --resume %s" p
+          | None -> " (pass --checkpoint to make this resumable)");
+        0
+      end
+      else begin
+        if progress then
+          prerr_string (Proxion.Analyzer.stage_totals_table analyzer);
+        let t =
+          Experiments.Landscape.of_parts land_
+            (Proxion.Analyzer.report analyzer)
+        in
+        print_landscape t findings
+      end
+
 let landscape_cmd =
   let doc =
-    "Generate a synthetic landscape, run the full pipeline, and print the \
-     section-7 figures and tables."
+    "Generate a synthetic landscape, run the full pipeline through the \
+     staged engine, and print the section-7 figures and tables."
   in
   let findings_arg =
     Arg.(
@@ -115,8 +202,51 @@ let landscape_cmd =
       & info [ "findings" ] ~docv:"N"
           ~doc:"Also print the top $(docv) security findings.")
   in
+  let batch_size_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch-size" ] ~docv:"N"
+          ~doc:
+            "Contracts per scheduler batch (default 32; on --resume, \
+             overrides the checkpointed value).")
+  in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Print per-batch progress and stage totals on stderr.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Write the engine state to $(docv) when this run stops.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint written by --checkpoint (same \
+             --total and --seed so the landscape regenerates identically).")
+  in
+  let max_batches_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-batches" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) batches, leaving the rest queued (pair \
+             with --checkpoint).")
+  in
   Cmd.v (Cmd.info "landscape" ~doc)
-    Term.(const run_landscape $ total_arg $ seed_arg $ findings_arg)
+    Term.(
+      const run_landscape $ total_arg $ seed_arg $ findings_arg
+      $ batch_size_arg $ progress_arg $ checkpoint_arg $ resume_arg
+      $ max_batches_arg)
 
 (* --- coverage / accuracy / perf / effectiveness ------------------------- *)
 

@@ -91,5 +91,8 @@ let call chain ~meth ~params =
       Error (Invalid_params (Printf.sprintf "wrong arity for %s" meth))
   | _ -> Error (Unknown_method meth)
 
+let call_batch chain requests =
+  List.map (fun (meth, params) -> call chain ~meth ~params) requests
+
 let get_storage_at chain ~address ~slot ~block =
   call chain ~meth:"eth_getStorageAt" ~params:[ address; slot; block ]

@@ -32,6 +32,16 @@ val call :
     paper's use of the node); historical block tags on them return
     [Invalid_params]. *)
 
+val call_batch :
+  Chain.t -> (string * string list) list -> (string, error) result list
+(** JSON-RPC batch semantics: one [(method, params)] request per entry,
+    one response per request in the same order.  A failing request yields
+    its own [Error] without affecting its neighbours — exactly how a
+    batched archive-node round-trip degrades.  Against a real node this
+    is where ProxioN amortizes HTTP round-trips; the simulated chain
+    serves the batch sequentially, so per-call accounting (the §6.1 API
+    counter) is identical to issuing the calls one by one. *)
+
 val get_storage_at :
   Chain.t -> address:string -> slot:string -> block:string -> (string, error) result
 (** Typed convenience wrapper over the eponymous method. *)

@@ -1,0 +1,137 @@
+type source_lookup = Evm.Address.t -> Minisol.Ast.contract option
+
+type analysis_method =
+  | Source_source
+  | Mixed
+  | Bytecode_bytecode
+
+type pair_report = {
+  p_proxy : Evm.Address.t;
+  p_logic : Evm.Address.t;
+  p_method : analysis_method;
+  p_func_collisions : Func_collision.collision list;
+  p_storage_collisions : Storage_collision.collision list;
+  p_honeypot : bool;
+}
+
+type contract_report = {
+  r_address : Evm.Address.t;
+  r_code_hash : string;
+  r_detection : Proxy_detect.t;
+  r_standard : Standard_classify.standard option;
+  r_resolution : Logic_resolve.resolution option;
+  r_pairs : pair_report list;
+  r_dedup_hit : bool;
+}
+
+type stats = {
+  s_analyzed : int;
+  s_proxies : int;
+  s_emulation_errors : int;
+  s_pairs : int;
+  s_func_colliding_pairs : int;
+  s_storage_colliding_pairs : int;
+  s_verified_storage_pairs : int;
+  s_honeypot_pairs : int;
+  s_dedup_hits : int;
+  s_unique_codes : int;
+  s_api_calls : int;
+  s_emulation_steps : int;
+}
+
+type report = { contracts : contract_report list; stats : stats }
+
+let is_proxy_report r = Proxy_detect.is_proxy r.r_detection
+let proxies report = List.filter is_proxy_report report.contracts
+
+let compute_stats ~dedup_hits ~unique_codes ~api_calls ~emulation_steps
+    contracts =
+  let all_pairs = List.concat_map (fun r -> r.r_pairs) contracts in
+  let count f l = List.length (List.filter f l) in
+  {
+    s_analyzed = List.length contracts;
+    s_proxies = count is_proxy_report contracts;
+    s_emulation_errors =
+      count
+        (fun r ->
+          match r.r_detection.Proxy_detect.verdict with
+          | Proxy_detect.Emulation_error _ -> true
+          | _ -> false)
+        contracts;
+    s_pairs = List.length all_pairs;
+    s_func_colliding_pairs =
+      count (fun p -> p.p_func_collisions <> []) all_pairs;
+    s_storage_colliding_pairs =
+      count (fun p -> p.p_storage_collisions <> []) all_pairs;
+    s_verified_storage_pairs =
+      count
+        (fun p ->
+          List.exists
+            (fun (c : Storage_collision.collision) ->
+              c.Storage_collision.verified)
+            p.p_storage_collisions)
+        all_pairs;
+    s_honeypot_pairs = count (fun p -> p.p_honeypot) all_pairs;
+    s_dedup_hits = dedup_hits;
+    s_unique_codes = unique_codes;
+    s_api_calls = api_calls;
+    s_emulation_steps = emulation_steps;
+  }
+
+module Config = struct
+  type t = {
+    verify_storage : bool;
+    dedup : bool;
+    diamond_extension : bool;
+    batch_size : int;
+  }
+
+  let default =
+    {
+      verify_storage = true;
+      dedup = true;
+      diamond_extension = false;
+      batch_size = 32;
+    }
+
+  let with_verify_storage verify_storage t = { t with verify_storage }
+  let with_dedup dedup t = { t with dedup }
+  let with_diamond_extension diamond_extension t = { t with diamond_extension }
+  let with_batch_size batch_size t = { t with batch_size }
+
+  module Json = Report.Json
+
+  let to_json t =
+    Json.Obj
+      [
+        ("verify_storage", Json.Bool t.verify_storage);
+        ("dedup", Json.Bool t.dedup);
+        ("diamond_extension", Json.Bool t.diamond_extension);
+        ("batch_size", Json.Int t.batch_size);
+      ]
+
+  let of_json = function
+    | Json.Obj kvs ->
+        let bool_field name fallback =
+          match List.assoc_opt name kvs with
+          | Some (Json.Bool b) -> Ok b
+          | None -> Ok fallback
+          | Some _ -> Error (Printf.sprintf "config: %S must be a bool" name)
+        in
+        let ( let* ) = Result.bind in
+        let* verify_storage =
+          bool_field "verify_storage" default.verify_storage
+        in
+        let* dedup = bool_field "dedup" default.dedup in
+        let* diamond_extension =
+          bool_field "diamond_extension" default.diamond_extension
+        in
+        let* batch_size =
+          match List.assoc_opt "batch_size" kvs with
+          | Some (Json.Int n) when n > 0 -> Ok n
+          | None -> Ok default.batch_size
+          | Some _ -> Error "config: batch_size must be a positive int"
+        in
+        Ok { verify_storage; dedup; diamond_extension; batch_size }
+    | _ -> Error "config: expected an object"
+end

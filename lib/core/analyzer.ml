@@ -1,0 +1,463 @@
+module Address = Evm.Address
+module Config = Analysis.Config
+module Json = Report.Json
+
+(* Detection results cached per code hash.  A cached slot-based proxy needs
+   only a storage read for the new address; everything else transfers
+   as-is. *)
+type cached_detection =
+  | C_verdict of Proxy_detect.verdict
+  | C_slot_proxy of U256.t
+
+type t = {
+  engine : (Address.t, Analysis.contract_report) Engine.t;
+  chain : Chain.t;
+  source : Analysis.source_lookup;
+  cfg : Config.t;
+  host : Evm.Host.t;
+  detection_cache : (string, cached_detection) Hashtbl.t;
+  pair_cache :
+    ( string * string,
+      Func_collision.collision list * Storage_collision.collision list )
+    Hashtbl.t;
+  mutable dedup_hits : int;
+  mutable steps_total : int;
+  mutable api_calls : int;
+}
+
+let config t = t.cfg
+let engine t = t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Stage bodies                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let side_for t addr =
+  match t.source addr with
+  | Some ast -> Storage_collision.Source ast
+  | None -> Storage_collision.Bytecode (Chain.code_at t.chain addr)
+
+let func_side_for t addr =
+  match t.source addr with
+  | Some ast -> Func_collision.Source ast
+  | None -> Func_collision.Bytecode (Chain.code_at t.chain addr)
+
+let method_for t proxy logic =
+  match (t.source proxy, t.source logic) with
+  | Some _, Some _ -> Analysis.Source_source
+  | None, None -> Analysis.Bytecode_bytecode
+  | _ -> Analysis.Mixed
+
+let api_reader t () = Chain.api_call_count t.chain
+let steps_reader t () = t.steps_total
+
+let fresh_probe t addr code_hash =
+  let d =
+    if t.cfg.Config.diamond_extension then Diamond_probe.detect t.chain addr
+    else Proxy_detect.detect ~host:t.host addr
+  in
+  t.steps_total <- t.steps_total + d.Proxy_detect.steps;
+  (if t.cfg.Config.dedup then
+     match d.Proxy_detect.verdict with
+     | Proxy_detect.Proxy { source = Proxy_detect.Storage_slot slot; _ } ->
+         Hashtbl.replace t.detection_cache code_hash (C_slot_proxy slot)
+     | Proxy_detect.Proxy { source = Proxy_detect.Computed; _ }
+       when t.cfg.Config.diamond_extension ->
+         (* Extension verdicts depend on per-address history, not just
+            code: unsafe to share across clones. *)
+         ()
+     | v -> Hashtbl.replace t.detection_cache code_hash (C_verdict v));
+  d
+
+let cached_detection t addr cached =
+  t.dedup_hits <- t.dedup_hits + 1;
+  let verdict =
+    match cached with
+    | C_verdict v -> v
+    | C_slot_proxy slot ->
+        let value = t.host.Evm.Host.get_storage addr slot in
+        Proxy_detect.Proxy
+          {
+            target = Address.of_u256 value;
+            source = Proxy_detect.Storage_slot slot;
+          }
+  in
+  { Proxy_detect.address = addr; verdict; probe_selector = ""; steps = 0 }
+
+let analyze_pair t ~proxy_addr ~logic_addr =
+  let subject =
+    Printf.sprintf "%s->%s" (Address.to_hex proxy_addr)
+      (Address.to_hex logic_addr)
+  in
+  let key =
+    ( Keccak.digest (Chain.code_at t.chain proxy_addr),
+      Keccak.digest (Chain.code_at t.chain logic_addr) )
+  in
+  let cached =
+    if t.cfg.Config.dedup then Hashtbl.find_opt t.pair_cache key else None
+  in
+  let func_collisions, honeypot =
+    Engine.timed_stage t.engine ~stage:Engine.Func_collision ~subject
+      ~api_calls:(api_reader t) ~steps:(steps_reader t) (fun () ->
+        let fc =
+          match cached with
+          | Some (fc, _) -> fc
+          | None ->
+              Func_collision.detect
+                ~proxy:(func_side_for t proxy_addr)
+                ~logic:(func_side_for t logic_addr)
+        in
+        let honeypot =
+          fc <> []
+          && (Honeypot.classify
+                ~proxy:(func_side_for t proxy_addr)
+                ~logic:(func_side_for t logic_addr))
+               .Honeypot.is_honeypot
+        in
+        (fc, honeypot))
+  in
+  let storage_collisions =
+    Engine.timed_stage t.engine ~stage:Engine.Storage_collision ~subject
+      ~api_calls:(api_reader t) ~steps:(steps_reader t) (fun () ->
+        let sc =
+          match cached with
+          | Some (_, sc) -> sc
+          | None ->
+              let sc =
+                Storage_collision.detect
+                  ~proxy:(side_for t proxy_addr)
+                  ~logic:(side_for t logic_addr)
+              in
+              if t.cfg.Config.dedup then
+                Hashtbl.replace t.pair_cache key (func_collisions, sc);
+              sc
+        in
+        if t.cfg.Config.verify_storage && sc <> [] then
+          Storage_collision.verify ~chain:t.chain ~proxy_address:proxy_addr
+            ~logic_address:logic_addr sc
+        else sc)
+  in
+  {
+    Analysis.p_proxy = proxy_addr;
+    p_logic = logic_addr;
+    p_method = method_for t proxy_addr logic_addr;
+    p_func_collisions = func_collisions;
+    p_storage_collisions = storage_collisions;
+    p_honeypot = honeypot;
+  }
+
+let analyze_contract t addr =
+  let subject = Address.to_hex addr in
+  let stage s f =
+    Engine.timed_stage t.engine ~stage:s ~subject ~api_calls:(api_reader t)
+      ~steps:(steps_reader t) f
+  in
+  let api0 = Chain.api_call_count t.chain in
+  let code = Chain.code_at t.chain addr in
+  let code_hash = Keccak.digest code in
+  (* Stage 1: bytecode-hash dedup lookup. *)
+  let hit =
+    stage Engine.Dedup_check (fun () ->
+        if not t.cfg.Config.dedup then None
+        else
+          Option.map
+            (cached_detection t addr)
+            (Hashtbl.find_opt t.detection_cache code_hash))
+  in
+  (* Stage 2: emulation probe (fresh bytecodes only). *)
+  let detection, dedup_hit =
+    match hit with
+    | Some d -> (d, true)
+    | None ->
+        (stage Engine.Proxy_probe (fun () -> fresh_probe t addr code_hash), false)
+  in
+  let report =
+    match detection.Proxy_detect.verdict with
+    | Proxy_detect.Proxy { source = target_source; target } ->
+        (* Stage 3: Algorithm 1 logic resolution. *)
+        let resolution =
+          stage Engine.Logic_resolve (fun () ->
+              Logic_resolve.resolve ~probed:target t.chain addr target_source)
+        in
+        (* Stage 4: design-standard classification. *)
+        let standard =
+          stage Engine.Classify (fun () ->
+              Standard_classify.classify ~code target_source)
+        in
+        let logic_addresses =
+          let all =
+            resolution.Logic_resolve.historical
+            @ Option.to_list resolution.Logic_resolve.current
+          in
+          List.sort_uniq Address.compare all
+          |> List.filter (fun a -> Chain.code_at t.chain a <> "")
+        in
+        (* Stages 5-6: per-pair collision checks. *)
+        let pairs =
+          List.map
+            (fun logic_addr -> analyze_pair t ~proxy_addr:addr ~logic_addr)
+            logic_addresses
+        in
+        {
+          Analysis.r_address = addr;
+          r_code_hash = code_hash;
+          r_detection = detection;
+          r_standard = Some standard;
+          r_resolution = Some resolution;
+          r_pairs = pairs;
+          r_dedup_hit = dedup_hit;
+        }
+    | _ ->
+        {
+          Analysis.r_address = addr;
+          r_code_hash = code_hash;
+          r_detection = detection;
+          r_standard = None;
+          r_resolution = None;
+          r_pairs = [];
+          r_dedup_hit = dedup_hit;
+        }
+  in
+  t.api_calls <- t.api_calls + (Chain.api_call_count t.chain - api0);
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_with_engine ~config ~chain ~source build_engine =
+  let self = ref None in
+  let process _eng addr =
+    match !self with
+    | None -> Error "analyzer not initialized"
+    | Some t -> Ok (analyze_contract t addr)
+  in
+  let engine = build_engine ~process in
+  let t =
+    {
+      engine;
+      chain;
+      source;
+      cfg = config;
+      host = Chain.host_at_head chain;
+      detection_cache = Hashtbl.create 256;
+      pair_cache = Hashtbl.create 256;
+      dedup_hits = 0;
+      steps_total = 0;
+      api_calls = 0;
+    }
+  in
+  self := Some t;
+  t
+
+let create ?(config = Config.default) ~chain ~source () =
+  make_with_engine ~config ~chain ~source (fun ~process ->
+      Engine.create ~batch_size:config.Config.batch_size
+        ~subject:Address.to_hex ~process ())
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling and results                                              *)
+(* ------------------------------------------------------------------ *)
+
+let submit t addresses = Engine.submit t.engine addresses
+
+let submit_all t =
+  submit t (List.map (fun m -> m.Chain.cm_address) (Chain.all_contracts t.chain))
+
+let run ?max_batches t = Engine.run ?max_batches t.engine
+let pending t = Engine.pending t.engine
+let subscribe t f = Engine.subscribe t.engine f
+let stage_totals_table t = Engine.stage_totals_table t.engine
+let skipped t = Engine.skipped t.engine
+
+let report t =
+  let contracts = Engine.results t.engine in
+  let stats =
+    Analysis.compute_stats ~dedup_hits:t.dedup_hits
+      ~unique_codes:(Hashtbl.length t.detection_cache) ~api_calls:t.api_calls
+      ~emulation_steps:t.steps_total contracts
+  in
+  { Analysis.contracts; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cached_detection_to_json code_hash = function
+  | C_slot_proxy slot ->
+      Json.Obj
+        [
+          ("code_hash", Json.String (Hexutil.to_hex code_hash));
+          ("slot", Json.String (U256.to_hex slot));
+        ]
+  | C_verdict v ->
+      Json.Obj
+        [
+          ("code_hash", Json.String (Hexutil.to_hex code_hash));
+          ("verdict", Serialize.verdict_to_json v);
+        ]
+
+let pair_cache_entry_to_json (proxy_hash, logic_hash) (fc, sc) =
+  Json.Obj
+    [
+      ("proxy_hash", Json.String (Hexutil.to_hex proxy_hash));
+      ("logic_hash", Json.String (Hexutil.to_hex logic_hash));
+      ("func", Json.List (List.map Serialize.func_collision_to_json fc));
+      ("storage", Json.List (List.map Serialize.storage_collision_to_json sc));
+    ]
+
+let sorted_entries tbl =
+  (* Hash tables have no stable iteration order; sort by key so the
+     checkpoint bytes are deterministic. *)
+  List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let checkpoint t =
+  let extra =
+    Json.Obj
+      [
+        ("config", Config.to_json t.cfg);
+        ("dedup_hits", Json.Int t.dedup_hits);
+        ("steps", Json.Int t.steps_total);
+        ("api_calls", Json.Int t.api_calls);
+        ( "detection_cache",
+          Json.List
+            (List.map
+               (fun (k, v) -> cached_detection_to_json k v)
+               (sorted_entries t.detection_cache)) );
+        ( "pair_cache",
+          Json.List
+            (List.map
+               (fun (k, v) -> pair_cache_entry_to_json k v)
+               (sorted_entries t.pair_cache)) );
+      ]
+  in
+  Engine.checkpoint
+    ~item_to_json:(fun a -> Json.String (Address.to_hex a))
+    ~res_to_json:Serialize.contract_report_to_json ~extra t.engine
+
+let ( let* ) = Result.bind
+
+let field name = function
+  | Json.Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "checkpoint: missing field %S" name))
+  | _ -> Error "checkpoint: expected an object"
+
+let dec_int name = function
+  | Json.Int n -> Ok n
+  | _ -> Error (Printf.sprintf "checkpoint: field %S must be an int" name)
+
+let dec_list name = function
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "checkpoint: field %S must be a list" name)
+
+let dec_hex name = function
+  | Json.String s -> (
+      match Hexutil.of_hex_opt s with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "checkpoint: field %S: bad hex" name))
+  | _ -> Error (Printf.sprintf "checkpoint: field %S must be a string" name)
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+        let* y = f x in
+        go (y :: acc) rest
+  in
+  go [] l
+
+let detection_cache_entry_of_json json =
+  let* code_hash = Result.bind (field "code_hash" json) (dec_hex "code_hash") in
+  match field "slot" json with
+  | Ok (Json.String s) -> (
+      match U256.of_hex s with
+      | slot -> Ok (code_hash, C_slot_proxy slot)
+      | exception _ -> Error "checkpoint: bad slot")
+  | _ ->
+      let* v = Result.bind (field "verdict" json) Serialize.verdict_of_json in
+      Ok (code_hash, C_verdict v)
+
+let pair_cache_entry_of_json json =
+  let* proxy_hash = Result.bind (field "proxy_hash" json) (dec_hex "proxy_hash") in
+  let* logic_hash = Result.bind (field "logic_hash" json) (dec_hex "logic_hash") in
+  let* fc =
+    Result.bind
+      (Result.bind (field "func" json) (dec_list "func"))
+      (map_result Serialize.func_collision_of_json)
+  in
+  let* sc =
+    Result.bind
+      (Result.bind (field "storage" json) (dec_list "storage"))
+      (map_result Serialize.storage_collision_of_json)
+  in
+  Ok ((proxy_hash, logic_hash), (fc, sc))
+
+let address_of_json = function
+  | Json.String s -> (
+      match Hexutil.of_hex_opt s with
+      | Some b when String.length b = 20 -> Ok b
+      | _ -> Error ("checkpoint: bad queued address " ^ s))
+  | _ -> Error "checkpoint: queue entries must be strings"
+
+let restore ?batch_size ~chain ~source json =
+  (* The config governs resume semantics, so it comes from the checkpoint
+     (batch_size optionally overridden), not from the caller. *)
+  let* extra_peek =
+    match json with
+    | Json.Obj kvs -> (
+        match List.assoc_opt "extra" kvs with
+        | Some e -> Ok e
+        | None -> Error "checkpoint: missing extra payload")
+    | _ -> Error "checkpoint: expected an object"
+  in
+  let* config = Result.bind (field "config" extra_peek) Config.of_json in
+  let config =
+    match batch_size with
+    | Some b -> Config.with_batch_size b config
+    | None -> config
+  in
+  let self = ref None in
+  let process _eng addr =
+    match !self with
+    | None -> Error "analyzer not initialized"
+    | Some t -> Ok (analyze_contract t addr)
+  in
+  let* engine, extra =
+    Engine.restore ?batch_size ~subject:Address.to_hex ~process
+      ~item_of_json:address_of_json
+      ~res_of_json:Serialize.contract_report_of_json json
+  in
+  let* dedup_hits = Result.bind (field "dedup_hits" extra) (dec_int "dedup_hits") in
+  let* steps = Result.bind (field "steps" extra) (dec_int "steps") in
+  let* api_calls = Result.bind (field "api_calls" extra) (dec_int "api_calls") in
+  let* detection_entries =
+    Result.bind
+      (Result.bind (field "detection_cache" extra) (dec_list "detection_cache"))
+      (map_result detection_cache_entry_of_json)
+  in
+  let* pair_entries =
+    Result.bind
+      (Result.bind (field "pair_cache" extra) (dec_list "pair_cache"))
+      (map_result pair_cache_entry_of_json)
+  in
+  let t =
+    {
+      engine;
+      chain;
+      source;
+      cfg = config;
+      host = Chain.host_at_head chain;
+      detection_cache = Hashtbl.create 256;
+      pair_cache = Hashtbl.create 256;
+      dedup_hits;
+      steps_total = steps;
+      api_calls;
+    }
+  in
+  List.iter (fun (k, v) -> Hashtbl.replace t.detection_cache k v) detection_entries;
+  List.iter (fun (k, v) -> Hashtbl.replace t.pair_cache k v) pair_entries;
+  self := Some t;
+  Ok t

@@ -1,0 +1,74 @@
+(** The staged, resumable ProxioN analyzer — the engine-backed
+    replacement for the monolithic [Pipeline.run].
+
+    An analyzer owns a batch-scheduled work queue of contract addresses
+    plus two cross-run dedup caches (detection results per bytecode hash,
+    collision results per bytecode-hash pair).  Each contract flows
+    through the six stages — dedup-check, proxy-probe, logic-resolve,
+    classify, func-collision, storage-collision — with a structured event
+    emitted per stage (wall-clock timing, API-call and emulation-step
+    deltas) through the {!Engine} subscriber interface.
+
+    Failure degrades gracefully: a per-contract emulation error is
+    recorded in the report as before, and an exception escaping a stage
+    skips that contract (with [Stage_errored]/[Item_skipped] events)
+    instead of aborting the run.
+
+    Runs are interruptible and resumable: {!checkpoint} serializes the
+    pending queue, completed reports, both dedup caches and the partial
+    counters; {!restore} rebuilds the analyzer so the finished report is
+    byte-identical to an uninterrupted run over the same chain. *)
+
+type t
+
+val create :
+  ?config:Analysis.Config.t ->
+  chain:Chain.t ->
+  source:Analysis.source_lookup ->
+  unit ->
+  t
+(** A fresh analyzer with an empty queue and empty caches. *)
+
+val config : t -> Analysis.Config.t
+val engine : t -> (Evm.Address.t, Analysis.contract_report) Engine.t
+(** The underlying engine, for direct access to scheduling state. *)
+
+(** {1 Scheduling} *)
+
+val submit : t -> Evm.Address.t list -> unit
+(** Enqueue an address batch (FIFO; duplicates are analyzed again but
+    hit the dedup cache). *)
+
+val submit_all : t -> unit
+(** Enqueue every contract on the chain, in deployment order — the
+    default population [Pipeline.run] analyzed. *)
+
+val run : ?max_batches:int -> t -> unit
+(** Process queued batches; [max_batches] bounds this call, leaving the
+    rest of the queue for a later [run] or a {!checkpoint}. *)
+
+val pending : t -> int
+val subscribe : t -> (Engine.event -> unit) -> unit
+val stage_totals_table : t -> string
+val skipped : t -> (string * string) list
+
+(** {1 Results} *)
+
+val report : t -> Analysis.report
+(** The report over everything completed so far.  After the queue
+    drains, this equals what [Pipeline.run] returns for the same
+    addresses and configuration. *)
+
+(** {1 Checkpointing} *)
+
+val checkpoint : t -> Report.Json.t
+(** Serialize queue + dedup caches + completed reports + counters. *)
+
+val restore :
+  ?batch_size:int ->
+  chain:Chain.t ->
+  source:Analysis.source_lookup ->
+  Report.Json.t ->
+  (t, string) result
+(** Rebuild from a {!checkpoint} against the same chain and source
+    oracle.  [batch_size] overrides the checkpointed configuration. *)

@@ -1,23 +1,28 @@
-module Address = Evm.Address
+(* The historical entry point of the ProxioN system, now a thin
+   compatibility facade over the staged {!Analyzer} engine.  All types are
+   re-exported from {!Analysis} so existing consumers keep compiling and
+   producing identical reports. *)
 
-type source_lookup = Address.t -> Minisol.Ast.contract option
+module Config = Analysis.Config
 
-type analysis_method =
+type source_lookup = Analysis.source_lookup
+
+type analysis_method = Analysis.analysis_method =
   | Source_source
   | Mixed
   | Bytecode_bytecode
 
-type pair_report = {
-  p_proxy : Address.t;
-  p_logic : Address.t;
+type pair_report = Analysis.pair_report = {
+  p_proxy : Evm.Address.t;
+  p_logic : Evm.Address.t;
   p_method : analysis_method;
   p_func_collisions : Func_collision.collision list;
   p_storage_collisions : Storage_collision.collision list;
   p_honeypot : bool;
 }
 
-type contract_report = {
-  r_address : Address.t;
+type contract_report = Analysis.contract_report = {
+  r_address : Evm.Address.t;
   r_code_hash : string;
   r_detection : Proxy_detect.t;
   r_standard : Standard_classify.standard option;
@@ -26,7 +31,7 @@ type contract_report = {
   r_dedup_hit : bool;
 }
 
-type stats = {
+type stats = Analysis.stats = {
   s_analyzed : int;
   s_proxies : int;
   s_emulation_errors : int;
@@ -41,215 +46,28 @@ type stats = {
   s_emulation_steps : int;
 }
 
-type report = { contracts : contract_report list; stats : stats }
+type report = Analysis.report = {
+  contracts : contract_report list;
+  stats : stats;
+}
 
-let is_proxy_report r = Proxy_detect.is_proxy r.r_detection
-let proxies report = List.filter is_proxy_report report.contracts
+let is_proxy_report = Analysis.is_proxy_report
+let proxies = Analysis.proxies
 
-(* Detection results cached per code hash.  A cached slot-based proxy needs
-   only a storage read for the new address; everything else transfers
-   as-is. *)
-type cached_detection =
-  | C_verdict of Proxy_detect.verdict
-  | C_slot_proxy of U256.t
-
-let side_for ~source ~chain addr =
-  match source addr with
-  | Some ast -> Storage_collision.Source ast
-  | None -> Storage_collision.Bytecode (Chain.code_at chain addr)
-
-let func_side_for ~source ~chain addr =
-  match source addr with
-  | Some ast -> Func_collision.Source ast
-  | None -> Func_collision.Bytecode (Chain.code_at chain addr)
-
-let method_for ~source proxy logic =
-  match (source proxy, source logic) with
-  | Some _, Some _ -> Source_source
-  | None, None -> Bytecode_bytecode
-  | _ -> Mixed
+let analyze ?(config = Config.default) ?addresses ~chain ~source () =
+  (* Preserve the historical side effect: the chain's API counter starts
+     from zero for each full-pipeline invocation. *)
+  Chain.reset_api_call_count chain;
+  let t = Analyzer.create ~config ~chain ~source () in
+  (match addresses with
+  | Some l -> Analyzer.submit t l
+  | None -> Analyzer.submit_all t);
+  Analyzer.run t;
+  Analyzer.report t
 
 let run ?(verify_storage = true) ?(dedup = true) ?(diamond_extension = false)
     ?addresses ~chain ~source () =
-  let addresses =
-    match addresses with
-    | Some l -> l
-    | None -> List.map (fun m -> m.Chain.cm_address) (Chain.all_contracts chain)
+  let config =
+    { Config.default with verify_storage; dedup; diamond_extension }
   in
-  let host = Chain.host_at_head chain in
-  let detection_cache : (string, cached_detection) Hashtbl.t =
-    Hashtbl.create 256
-  in
-  let pair_cache : (string * string, Func_collision.collision list * Storage_collision.collision list) Hashtbl.t =
-    Hashtbl.create 256
-  in
-  let dedup_hits = ref 0 in
-  let steps_total = ref 0 in
-  Chain.reset_api_call_count chain;
-  let detect_with_cache addr code_hash =
-    let fresh () =
-      let d =
-        if diamond_extension then Diamond_probe.detect chain addr
-        else Proxy_detect.detect ~host addr
-      in
-      steps_total := !steps_total + d.Proxy_detect.steps;
-      (if dedup then
-         match d.Proxy_detect.verdict with
-         | Proxy_detect.Proxy { source = Proxy_detect.Storage_slot slot; _ } ->
-             Hashtbl.replace detection_cache code_hash (C_slot_proxy slot)
-         | Proxy_detect.Proxy { source = Proxy_detect.Computed; _ }
-           when diamond_extension ->
-             (* Extension verdicts depend on per-address history, not just
-                code: unsafe to share across clones. *)
-             ()
-         | v -> Hashtbl.replace detection_cache code_hash (C_verdict v));
-      (d, false)
-    in
-    if not dedup then fresh ()
-    else
-      match Hashtbl.find_opt detection_cache code_hash with
-      | None -> fresh ()
-      | Some cached ->
-          incr dedup_hits;
-          let verdict =
-            match cached with
-            | C_verdict v -> v
-            | C_slot_proxy slot ->
-                let value = host.Evm.Host.get_storage addr slot in
-                Proxy_detect.Proxy
-                  {
-                    target = Address.of_u256 value;
-                    source = Proxy_detect.Storage_slot slot;
-                  }
-          in
-          ( {
-              Proxy_detect.address = addr;
-              verdict;
-              probe_selector = "";
-              steps = 0;
-            },
-            true )
-  in
-  let analyze_pair ~proxy_addr ~logic_addr =
-    let key =
-      ( Keccak.digest (Chain.code_at chain proxy_addr),
-        Keccak.digest (Chain.code_at chain logic_addr) )
-    in
-    let func_collisions, storage_collisions =
-      match (if dedup then Hashtbl.find_opt pair_cache key else None) with
-      | Some cached -> cached
-      | None ->
-          let fc =
-            Func_collision.detect
-              ~proxy:(func_side_for ~source ~chain proxy_addr)
-              ~logic:(func_side_for ~source ~chain logic_addr)
-          in
-          let sc =
-            Storage_collision.detect
-              ~proxy:(side_for ~source ~chain proxy_addr)
-              ~logic:(side_for ~source ~chain logic_addr)
-          in
-          if dedup then Hashtbl.replace pair_cache key (fc, sc);
-          (fc, sc)
-    in
-    let storage_collisions =
-      if verify_storage && storage_collisions <> [] then
-        Storage_collision.verify ~chain ~proxy_address:proxy_addr
-          ~logic_address:logic_addr storage_collisions
-      else storage_collisions
-    in
-    let honeypot =
-      func_collisions <> []
-      && (Honeypot.classify
-            ~proxy:(func_side_for ~source ~chain proxy_addr)
-            ~logic:(func_side_for ~source ~chain logic_addr))
-           .Honeypot.is_honeypot
-    in
-    {
-      p_proxy = proxy_addr;
-      p_logic = logic_addr;
-      p_method = method_for ~source proxy_addr logic_addr;
-      p_func_collisions = func_collisions;
-      p_storage_collisions = storage_collisions;
-      p_honeypot = honeypot;
-    }
-  in
-  let analyze_contract addr =
-    let code = Chain.code_at chain addr in
-    let code_hash = Keccak.digest code in
-    let detection, dedup_hit = detect_with_cache addr code_hash in
-    match detection.Proxy_detect.verdict with
-    | Proxy_detect.Proxy { source = target_source; target } ->
-        let standard = Standard_classify.classify ~code target_source in
-        let resolution =
-          Logic_resolve.resolve ~probed:target chain addr target_source
-        in
-        let logic_addresses =
-          let all =
-            resolution.Logic_resolve.historical
-            @ Option.to_list resolution.Logic_resolve.current
-          in
-          List.sort_uniq Address.compare all
-          |> List.filter (fun a -> Chain.code_at chain a <> "")
-        in
-        let pairs =
-          List.map
-            (fun logic_addr -> analyze_pair ~proxy_addr:addr ~logic_addr)
-            logic_addresses
-        in
-        {
-          r_address = addr;
-          r_code_hash = code_hash;
-          r_detection = detection;
-          r_standard = Some standard;
-          r_resolution = Some resolution;
-          r_pairs = pairs;
-          r_dedup_hit = dedup_hit;
-        }
-    | _ ->
-        {
-          r_address = addr;
-          r_code_hash = code_hash;
-          r_detection = detection;
-          r_standard = None;
-          r_resolution = None;
-          r_pairs = [];
-          r_dedup_hit = dedup_hit;
-        }
-  in
-  let contracts = List.map analyze_contract addresses in
-  let all_pairs = List.concat_map (fun r -> r.r_pairs) contracts in
-  let stats =
-    {
-      s_analyzed = List.length contracts;
-      s_proxies = List.length (List.filter is_proxy_report contracts);
-      s_emulation_errors =
-        List.length
-          (List.filter
-             (fun r ->
-               match r.r_detection.Proxy_detect.verdict with
-               | Proxy_detect.Emulation_error _ -> true
-               | _ -> false)
-             contracts);
-      s_pairs = List.length all_pairs;
-      s_func_colliding_pairs =
-        List.length (List.filter (fun p -> p.p_func_collisions <> []) all_pairs);
-      s_storage_colliding_pairs =
-        List.length
-          (List.filter (fun p -> p.p_storage_collisions <> []) all_pairs);
-      s_verified_storage_pairs =
-        List.length
-          (List.filter
-             (fun p ->
-               List.exists
-                 (fun (c : Storage_collision.collision) -> c.Storage_collision.verified)
-                 p.p_storage_collisions)
-             all_pairs);
-      s_honeypot_pairs = List.length (List.filter (fun p -> p.p_honeypot) all_pairs);
-      s_dedup_hits = !dedup_hits;
-      s_unique_codes = Hashtbl.length detection_cache;
-      s_api_calls = Chain.api_call_count chain;
-      s_emulation_steps = !steps_total;
-    }
-  in
-  { contracts; stats }
+  analyze ~config ?addresses ~chain ~source ()

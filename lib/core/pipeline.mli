@@ -2,18 +2,28 @@
     bytecode-hash deduplication, logic resolution, standard classification,
     and per-pair function and storage collision checks with the analysis
     method chosen by source availability — the end-to-end system the paper
-    evaluates in §6 and §7. *)
+    evaluates in §6 and §7.
 
-type source_lookup = Evm.Address.t -> Minisol.Ast.contract option
+    This module is a thin compatibility facade over the staged
+    {!Analyzer} engine: {!analyze} is the configured entry point, {!run}
+    keeps the historical optional-argument signature, and all result
+    types are re-exported from {!Analysis}.  Callers that need batching,
+    progress events, interruption or checkpoint/resume should use
+    {!Analyzer} directly. *)
+
+module Config = Analysis.Config
+(** Run configuration; see {!Analysis.Config}. *)
+
+type source_lookup = Analysis.source_lookup
 (** The Etherscan stand-in: source for "verified" contracts, [None] for the
     hidden ones. *)
 
-type analysis_method =
+type analysis_method = Analysis.analysis_method =
   | Source_source  (** Both sides verified: the Slither path. *)
   | Mixed  (** One side bytecode-only: the paper's novel coverage. *)
   | Bytecode_bytecode  (** Both hidden. *)
 
-type pair_report = {
+type pair_report = Analysis.pair_report = {
   p_proxy : Evm.Address.t;
   p_logic : Evm.Address.t;
   p_method : analysis_method;
@@ -25,7 +35,7 @@ type pair_report = {
           twin moves assets. *)
 }
 
-type contract_report = {
+type contract_report = Analysis.contract_report = {
   r_address : Evm.Address.t;
   r_code_hash : string;
   r_detection : Proxy_detect.t;
@@ -35,7 +45,7 @@ type contract_report = {
   r_dedup_hit : bool;  (** Detection reused from an identical bytecode. *)
 }
 
-type stats = {
+type stats = Analysis.stats = {
   s_analyzed : int;
   s_proxies : int;
   s_emulation_errors : int;
@@ -50,7 +60,22 @@ type stats = {
   s_emulation_steps : int;  (** EVM instructions interpreted by probes. *)
 }
 
-type report = { contracts : contract_report list; stats : stats }
+type report = Analysis.report = {
+  contracts : contract_report list;
+  stats : stats;
+}
+
+val analyze :
+  ?config:Config.t ->
+  ?addresses:Evm.Address.t list ->
+  chain:Chain.t ->
+  source:source_lookup ->
+  unit ->
+  report
+(** Analyze [addresses] (default: every contract on the chain, in
+    deployment order) under [config] (default {!Config.default}) by
+    driving the staged engine to completion.  Equivalent to building an
+    {!Analyzer}, submitting the addresses and draining the queue. *)
 
 val run :
   ?verify_storage:bool ->
@@ -61,14 +86,16 @@ val run :
   source:source_lookup ->
   unit ->
   report
-(** Analyze [addresses] (default: every contract on the chain, in
-    deployment order).  [dedup] (default true) reuses detection and
-    pair-analysis results across identical bytecodes; [verify_storage]
-    (default true) runs CRUSH-style exploit verification on storage
-    collision candidates; [diamond_extension] (default false) re-probes
-    probe-negative contracts with selectors harvested from their
-    transaction history, recovering transacted diamonds (§8.2 — disabled
-    by default to match the paper's evaluated system). *)
+(** The historical entry point, kept for compatibility.
+    [dedup] (default true) reuses detection and pair-analysis results
+    across identical bytecodes; [verify_storage] (default true) runs
+    CRUSH-style exploit verification on storage collision candidates;
+    [diamond_extension] (default false) re-probes probe-negative
+    contracts with selectors harvested from their transaction history
+    (§8.2).
+
+    @deprecated Use {!analyze} with a {!Config.t} — this wrapper exists
+    so pre-engine callers keep producing unchanged output. *)
 
 val proxies : report -> contract_report list
 val is_proxy_report : contract_report -> bool

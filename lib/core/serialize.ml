@@ -1,0 +1,392 @@
+module Json = Report.Json
+module Address = Evm.Address
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Decoding helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let field name = function
+  | Json.Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing field %S" name))
+  | _ -> Error (Printf.sprintf "expected an object with field %S" name)
+
+let dec_string name = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let dec_int name = function
+  | Json.Int n -> Ok n
+  | _ -> Error (Printf.sprintf "field %S: expected an int" name)
+
+let dec_bool name = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S: expected a bool" name)
+
+let dec_list name = function
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "field %S: expected a list" name)
+
+let get_string json name = Result.bind (field name json) (dec_string name)
+let get_int json name = Result.bind (field name json) (dec_int name)
+let get_bool json name = Result.bind (field name json) (dec_bool name)
+let get_list json name = Result.bind (field name json) (dec_list name)
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+        let* y = f x in
+        go (y :: acc) rest
+  in
+  go [] l
+
+let dec_address name s =
+  match Hexutil.of_hex_opt s with
+  | Some b when String.length b = 20 -> Ok b
+  | _ -> Error (Printf.sprintf "field %S: bad address %s" name s)
+
+let get_address json name = Result.bind (get_string json name) (dec_address name)
+
+let dec_bytes name s =
+  match Hexutil.of_hex_opt s with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "field %S: bad hex" name)
+
+let get_bytes json name = Result.bind (get_string json name) (dec_bytes name)
+
+let dec_u256 name s =
+  match U256.of_hex s with
+  | v -> Ok v
+  | exception _ -> Error (Printf.sprintf "field %S: bad word %s" name s)
+
+let get_u256 json name = Result.bind (get_string json name) (dec_u256 name)
+
+let opt to_json = function None -> Json.Null | Some v -> to_json v
+
+let get_opt json name of_json =
+  match field name json with
+  | Error _ | Ok Json.Null -> Ok None
+  | Ok v ->
+      let* d = of_json v in
+      Ok (Some d)
+
+(* ------------------------------------------------------------------ *)
+(* Proxy detection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let target_source_to_json = function
+  | Proxy_detect.Hardcoded -> Json.Obj [ ("kind", Json.String "hardcoded") ]
+  | Proxy_detect.Storage_slot slot ->
+      Json.Obj
+        [
+          ("kind", Json.String "storage_slot");
+          ("slot", Json.String (U256.to_hex slot));
+        ]
+  | Proxy_detect.Computed -> Json.Obj [ ("kind", Json.String "computed") ]
+
+let target_source_of_json json =
+  let* kind = get_string json "kind" in
+  match kind with
+  | "hardcoded" -> Ok Proxy_detect.Hardcoded
+  | "storage_slot" ->
+      let* slot = get_u256 json "slot" in
+      Ok (Proxy_detect.Storage_slot slot)
+  | "computed" -> Ok Proxy_detect.Computed
+  | other -> Error ("unknown target source " ^ other)
+
+let verdict_to_json = function
+  | Proxy_detect.Not_proxy_no_delegatecall ->
+      Json.Obj [ ("kind", Json.String "not_proxy_no_delegatecall") ]
+  | Proxy_detect.Not_proxy_no_forward ->
+      Json.Obj [ ("kind", Json.String "not_proxy_no_forward") ]
+  | Proxy_detect.Emulation_error msg ->
+      Json.Obj
+        [
+          ("kind", Json.String "emulation_error");
+          ("message", Json.String msg);
+        ]
+  | Proxy_detect.Proxy { target; source } ->
+      Json.Obj
+        [
+          ("kind", Json.String "proxy");
+          ("target", Json.String (Address.to_hex target));
+          ("source", target_source_to_json source);
+        ]
+
+let verdict_of_json json =
+  let* kind = get_string json "kind" in
+  match kind with
+  | "not_proxy_no_delegatecall" -> Ok Proxy_detect.Not_proxy_no_delegatecall
+  | "not_proxy_no_forward" -> Ok Proxy_detect.Not_proxy_no_forward
+  | "emulation_error" ->
+      let* msg = get_string json "message" in
+      Ok (Proxy_detect.Emulation_error msg)
+  | "proxy" ->
+      let* target = get_address json "target" in
+      let* source = Result.bind (field "source" json) target_source_of_json in
+      Ok (Proxy_detect.Proxy { target; source })
+  | other -> Error ("unknown verdict " ^ other)
+
+let detection_to_json (d : Proxy_detect.t) =
+  Json.Obj
+    [
+      ("address", Json.String (Address.to_hex d.Proxy_detect.address));
+      ("verdict", verdict_to_json d.Proxy_detect.verdict);
+      ( "probe_selector",
+        Json.String (Hexutil.to_hex d.Proxy_detect.probe_selector) );
+      ("steps", Json.Int d.Proxy_detect.steps);
+    ]
+
+let detection_of_json json =
+  let* address = get_address json "address" in
+  let* verdict = Result.bind (field "verdict" json) verdict_of_json in
+  let* probe_selector = get_bytes json "probe_selector" in
+  let* steps = get_int json "steps" in
+  Ok { Proxy_detect.address; verdict; probe_selector; steps }
+
+(* ------------------------------------------------------------------ *)
+(* Logic resolution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let resolution_to_json (r : Logic_resolve.resolution) =
+  Json.Obj
+    [
+      ( "current",
+        opt (fun a -> Json.String (Address.to_hex a)) r.Logic_resolve.current
+      );
+      ( "historical",
+        Json.List
+          (List.map
+             (fun a -> Json.String (Address.to_hex a))
+             r.Logic_resolve.historical) );
+      ("api_calls", Json.Int r.Logic_resolve.api_calls);
+      ("upgrade_count", Json.Int r.Logic_resolve.upgrade_count);
+    ]
+
+let resolution_of_json json =
+  let* current =
+    get_opt json "current" (function
+      | Json.String s -> dec_address "current" s
+      | _ -> Error "field \"current\": expected a string")
+  in
+  let* historical =
+    Result.bind (get_list json "historical")
+      (map_result (function
+        | Json.String s -> dec_address "historical" s
+        | _ -> Error "field \"historical\": expected strings"))
+  in
+  let* api_calls = get_int json "api_calls" in
+  let* upgrade_count = get_int json "upgrade_count" in
+  Ok { Logic_resolve.current; historical; api_calls; upgrade_count }
+
+(* ------------------------------------------------------------------ *)
+(* Collisions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let func_collision_to_json (c : Func_collision.collision) =
+  Json.Obj
+    [
+      ("selector", Json.String (Hexutil.to_hex c.Func_collision.selector));
+      ( "proxy_signature",
+        opt (fun s -> Json.String s) c.Func_collision.proxy_signature );
+      ( "logic_signature",
+        opt (fun s -> Json.String s) c.Func_collision.logic_signature );
+    ]
+
+let func_collision_of_json json =
+  let* selector = get_bytes json "selector" in
+  let dec_sig name = function
+    | Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "field %S: expected a string" name)
+  in
+  let* proxy_signature = get_opt json "proxy_signature" (dec_sig "proxy_signature") in
+  let* logic_signature = get_opt json "logic_signature" (dec_sig "logic_signature") in
+  Ok { Func_collision.selector; proxy_signature; logic_signature }
+
+let slot_id_to_json = function
+  | Storage_access.Fixed slot ->
+      Json.Obj
+        [
+          ("kind", Json.String "fixed");
+          ("slot", Json.String (U256.to_hex slot));
+        ]
+  | Storage_access.Mapping base ->
+      Json.Obj
+        [
+          ("kind", Json.String "mapping");
+          ("slot", Json.String (U256.to_hex base));
+        ]
+
+let slot_id_of_json json =
+  let* kind = get_string json "kind" in
+  let* slot = get_u256 json "slot" in
+  match kind with
+  | "fixed" -> Ok (Storage_access.Fixed slot)
+  | "mapping" -> Ok (Storage_access.Mapping slot)
+  | other -> Error ("unknown slot kind " ^ other)
+
+let region_to_json (r : Storage_collision.region) =
+  Json.Obj
+    [
+      ("offset", Json.Int r.Storage_collision.g_offset);
+      ("width", Json.Int r.Storage_collision.g_width);
+      ("reads", Json.Bool r.Storage_collision.g_reads);
+      ("writes", Json.Bool r.Storage_collision.g_writes);
+      ("guards_caller", Json.Bool r.Storage_collision.g_guards_caller);
+    ]
+
+let region_of_json json =
+  let* g_offset = get_int json "offset" in
+  let* g_width = get_int json "width" in
+  let* g_reads = get_bool json "reads" in
+  let* g_writes = get_bool json "writes" in
+  let* g_guards_caller = get_bool json "guards_caller" in
+  Ok { Storage_collision.g_offset; g_width; g_reads; g_writes; g_guards_caller }
+
+let storage_collision_to_json (c : Storage_collision.collision) =
+  Json.Obj
+    [
+      ("slot", slot_id_to_json c.Storage_collision.slot);
+      ("proxy_region", region_to_json c.Storage_collision.proxy_region);
+      ("logic_region", region_to_json c.Storage_collision.logic_region);
+      ("sensitive", Json.Bool c.Storage_collision.sensitive);
+      ("verified", Json.Bool c.Storage_collision.verified);
+    ]
+
+let storage_collision_of_json json =
+  let* slot = Result.bind (field "slot" json) slot_id_of_json in
+  let* proxy_region = Result.bind (field "proxy_region" json) region_of_json in
+  let* logic_region = Result.bind (field "logic_region" json) region_of_json in
+  let* sensitive = get_bool json "sensitive" in
+  let* verified = get_bool json "verified" in
+  Ok { Storage_collision.slot; proxy_region; logic_region; sensitive; verified }
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let method_to_json = function
+  | Analysis.Source_source -> Json.String "source_source"
+  | Analysis.Mixed -> Json.String "mixed"
+  | Analysis.Bytecode_bytecode -> Json.String "bytecode_bytecode"
+
+let method_of_json = function
+  | Json.String "source_source" -> Ok Analysis.Source_source
+  | Json.String "mixed" -> Ok Analysis.Mixed
+  | Json.String "bytecode_bytecode" -> Ok Analysis.Bytecode_bytecode
+  | _ -> Error "unknown analysis method"
+
+let standard_to_json = function
+  | Standard_classify.Eip1167 -> Json.String "eip1167"
+  | Standard_classify.Eip1822 -> Json.String "eip1822"
+  | Standard_classify.Eip1967 -> Json.String "eip1967"
+  | Standard_classify.Other -> Json.String "other"
+
+let standard_of_json = function
+  | Json.String "eip1167" -> Ok Standard_classify.Eip1167
+  | Json.String "eip1822" -> Ok Standard_classify.Eip1822
+  | Json.String "eip1967" -> Ok Standard_classify.Eip1967
+  | Json.String "other" -> Ok Standard_classify.Other
+  | _ -> Error "unknown standard"
+
+let pair_report_to_json (p : Analysis.pair_report) =
+  Json.Obj
+    [
+      ("proxy", Json.String (Address.to_hex p.Analysis.p_proxy));
+      ("logic", Json.String (Address.to_hex p.Analysis.p_logic));
+      ("method", method_to_json p.Analysis.p_method);
+      ( "func_collisions",
+        Json.List (List.map func_collision_to_json p.Analysis.p_func_collisions)
+      );
+      ( "storage_collisions",
+        Json.List
+          (List.map storage_collision_to_json p.Analysis.p_storage_collisions)
+      );
+      ("honeypot", Json.Bool p.Analysis.p_honeypot);
+    ]
+
+let pair_report_of_json json =
+  let* p_proxy = get_address json "proxy" in
+  let* p_logic = get_address json "logic" in
+  let* p_method = Result.bind (field "method" json) method_of_json in
+  let* p_func_collisions =
+    Result.bind (get_list json "func_collisions")
+      (map_result func_collision_of_json)
+  in
+  let* p_storage_collisions =
+    Result.bind
+      (get_list json "storage_collisions")
+      (map_result storage_collision_of_json)
+  in
+  let* p_honeypot = get_bool json "honeypot" in
+  Ok
+    {
+      Analysis.p_proxy;
+      p_logic;
+      p_method;
+      p_func_collisions;
+      p_storage_collisions;
+      p_honeypot;
+    }
+
+let contract_report_to_json (r : Analysis.contract_report) =
+  Json.Obj
+    [
+      ("address", Json.String (Address.to_hex r.Analysis.r_address));
+      ("code_hash", Json.String (Hexutil.to_hex r.Analysis.r_code_hash));
+      ("detection", detection_to_json r.Analysis.r_detection);
+      ("standard", opt standard_to_json r.Analysis.r_standard);
+      ("resolution", opt resolution_to_json r.Analysis.r_resolution);
+      ("pairs", Json.List (List.map pair_report_to_json r.Analysis.r_pairs));
+      ("dedup_hit", Json.Bool r.Analysis.r_dedup_hit);
+    ]
+
+let contract_report_of_json json =
+  let* r_address = get_address json "address" in
+  let* r_code_hash = get_bytes json "code_hash" in
+  let* r_detection = Result.bind (field "detection" json) detection_of_json in
+  let* r_standard = get_opt json "standard" standard_of_json in
+  let* r_resolution = get_opt json "resolution" resolution_of_json in
+  let* r_pairs =
+    Result.bind (get_list json "pairs") (map_result pair_report_of_json)
+  in
+  let* r_dedup_hit = get_bool json "dedup_hit" in
+  Ok
+    {
+      Analysis.r_address;
+      r_code_hash;
+      r_detection;
+      r_standard;
+      r_resolution;
+      r_pairs;
+      r_dedup_hit;
+    }
+
+let stats_to_json (s : Analysis.stats) =
+  Json.Obj
+    [
+      ("analyzed", Json.Int s.Analysis.s_analyzed);
+      ("proxies", Json.Int s.Analysis.s_proxies);
+      ("emulation_errors", Json.Int s.Analysis.s_emulation_errors);
+      ("pairs", Json.Int s.Analysis.s_pairs);
+      ("func_colliding_pairs", Json.Int s.Analysis.s_func_colliding_pairs);
+      ("storage_colliding_pairs", Json.Int s.Analysis.s_storage_colliding_pairs);
+      ("verified_storage_pairs", Json.Int s.Analysis.s_verified_storage_pairs);
+      ("honeypot_pairs", Json.Int s.Analysis.s_honeypot_pairs);
+      ("dedup_hits", Json.Int s.Analysis.s_dedup_hits);
+      ("unique_codes", Json.Int s.Analysis.s_unique_codes);
+      ("api_calls", Json.Int s.Analysis.s_api_calls);
+      ("emulation_steps", Json.Int s.Analysis.s_emulation_steps);
+    ]
+
+let report_to_json (r : Analysis.report) =
+  Json.Obj
+    [
+      ( "contracts",
+        Json.List (List.map contract_report_to_json r.Analysis.contracts) );
+      ("stats", stats_to_json r.Analysis.stats);
+    ]

@@ -1,0 +1,290 @@
+module Json = Report.Json
+
+type stage =
+  | Dedup_check
+  | Proxy_probe
+  | Logic_resolve
+  | Classify
+  | Func_collision
+  | Storage_collision
+
+let all_stages =
+  [
+    Dedup_check;
+    Proxy_probe;
+    Logic_resolve;
+    Classify;
+    Func_collision;
+    Storage_collision;
+  ]
+
+let stage_name = function
+  | Dedup_check -> "dedup-check"
+  | Proxy_probe -> "proxy-probe"
+  | Logic_resolve -> "logic-resolve"
+  | Classify -> "classify"
+  | Func_collision -> "func-collision"
+  | Storage_collision -> "storage-collision"
+
+let stage_of_name s =
+  List.find_opt (fun st -> stage_name st = s) all_stages
+
+type timing = { t_elapsed : float; t_api_calls : int; t_steps : int }
+
+type event =
+  | Run_started of { pending : int; batch_size : int }
+  | Batch_started of { index : int; size : int }
+  | Batch_finished of { index : int; size : int; elapsed : float }
+  | Stage_started of { stage : stage; subject : string }
+  | Stage_finished of { stage : stage; subject : string; timing : timing }
+  | Stage_errored of { stage : stage; subject : string; message : string }
+  | Item_skipped of { subject : string; message : string }
+  | Run_finished of { processed : int; skipped : int; elapsed : float }
+
+(* Mutable per-stage aggregate. *)
+type agg = {
+  mutable a_count : int;
+  mutable a_elapsed : float;
+  mutable a_api_calls : int;
+  mutable a_steps : int;
+}
+
+type ('item, 'res) t = {
+  queue : 'item Queue.t;
+  mutable results_rev : 'res list;
+  mutable processed : int;
+  mutable skipped_rev : (string * string) list;
+  mutable subscribers : (event -> unit) list;
+  mutable batches : int;
+  bsize : int;
+  subject_of : 'item -> string;
+  process : ('item, 'res) t -> 'item -> ('res, string) result;
+  totals : (stage, agg) Hashtbl.t;
+}
+
+let create ?(batch_size = 32) ~subject ~process () =
+  if batch_size <= 0 then invalid_arg "Engine.create: batch_size must be > 0";
+  {
+    queue = Queue.create ();
+    results_rev = [];
+    processed = 0;
+    skipped_rev = [];
+    subscribers = [];
+    batches = 0;
+    bsize = batch_size;
+    subject_of = subject;
+    process;
+    totals = Hashtbl.create 8;
+  }
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let emit t ev = List.iter (fun f -> f ev) t.subscribers
+
+let agg_of t stage =
+  match Hashtbl.find_opt t.totals stage with
+  | Some a -> a
+  | None ->
+      let a = { a_count = 0; a_elapsed = 0.0; a_api_calls = 0; a_steps = 0 } in
+      Hashtbl.replace t.totals stage a;
+      a
+
+let timed_stage t ~stage ~subject ?api_calls ?steps f =
+  let sample = function Some reader -> reader () | None -> 0 in
+  emit t (Stage_started { stage; subject });
+  let api0 = sample api_calls and steps0 = sample steps in
+  let t0 = Unix.gettimeofday () in
+  match f () with
+  | v ->
+      let timing =
+        {
+          t_elapsed = Unix.gettimeofday () -. t0;
+          t_api_calls = sample api_calls - api0;
+          t_steps = sample steps - steps0;
+        }
+      in
+      let a = agg_of t stage in
+      a.a_count <- a.a_count + 1;
+      a.a_elapsed <- a.a_elapsed +. timing.t_elapsed;
+      a.a_api_calls <- a.a_api_calls + timing.t_api_calls;
+      a.a_steps <- a.a_steps + timing.t_steps;
+      emit t (Stage_finished { stage; subject; timing });
+      v
+  | exception e ->
+      emit t (Stage_errored { stage; subject; message = Printexc.to_string e });
+      raise e
+
+let submit t items = List.iter (fun i -> Queue.add i t.queue) items
+let pending t = Queue.length t.queue
+let batch_size t = t.bsize
+let batches_done t = t.batches
+let results t = List.rev t.results_rev
+let processed_count t = t.processed
+let skipped t = List.rev t.skipped_rev
+
+let step_batch t =
+  if Queue.is_empty t.queue then false
+  else begin
+    let n = min t.bsize (Queue.length t.queue) in
+    let index = t.batches in
+    emit t (Batch_started { index; size = n });
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      let item = Queue.pop t.queue in
+      let subject = t.subject_of item in
+      let skip message =
+        t.skipped_rev <- (subject, message) :: t.skipped_rev;
+        emit t (Item_skipped { subject; message })
+      in
+      match t.process t item with
+      | Ok res ->
+          t.results_rev <- res :: t.results_rev;
+          t.processed <- t.processed + 1
+      | Error message -> skip message
+      | exception e -> skip (Printexc.to_string e)
+    done;
+    t.batches <- t.batches + 1;
+    emit t
+      (Batch_finished { index; size = n; elapsed = Unix.gettimeofday () -. t0 });
+    true
+  end
+
+let run ?max_batches t =
+  emit t (Run_started { pending = pending t; batch_size = t.bsize });
+  let t0 = Unix.gettimeofday () in
+  let continue = function None -> true | Some n -> n > 0 in
+  let rec loop budget =
+    if continue budget && step_batch t then
+      loop (Option.map (fun n -> n - 1) budget)
+  in
+  loop max_batches;
+  emit t
+    (Run_finished
+       {
+         processed = t.processed;
+         skipped = List.length t.skipped_rev;
+         elapsed = Unix.gettimeofday () -. t0;
+       })
+
+let stage_totals t =
+  List.filter_map
+    (fun stage ->
+      match Hashtbl.find_opt t.totals stage with
+      | None -> None
+      | Some a ->
+          Some
+            ( stage,
+              a.a_count,
+              {
+                t_elapsed = a.a_elapsed;
+                t_api_calls = a.a_api_calls;
+                t_steps = a.a_steps;
+              } ))
+    all_stages
+
+let stage_totals_table t =
+  Report.table ~title:"Engine: per-stage totals"
+    ~header:[ "stage"; "runs"; "wall-clock"; "API calls"; "EVM steps" ]
+    (List.map
+       (fun (stage, count, tm) ->
+         [
+           stage_name stage;
+           string_of_int count;
+           Printf.sprintf "%.3f s" tm.t_elapsed;
+           string_of_int tm.t_api_calls;
+           string_of_int tm.t_steps;
+         ])
+       (stage_totals t))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint_version = 1
+
+let checkpoint ~item_to_json ~res_to_json ?(extra = Json.Null) t =
+  Json.Obj
+    [
+      ("version", Json.Int checkpoint_version);
+      ("batch_size", Json.Int t.bsize);
+      ("batches_done", Json.Int t.batches);
+      ( "queue",
+        Json.List
+          (Queue.fold (fun acc i -> item_to_json i :: acc) [] t.queue
+          |> List.rev) );
+      ("results", Json.List (List.rev_map res_to_json t.results_rev));
+      ( "skipped",
+        Json.List
+          (List.rev_map
+             (fun (subject, message) ->
+               Json.Obj
+                 [
+                   ("subject", Json.String subject);
+                   ("message", Json.String message);
+                 ])
+             t.skipped_rev) );
+      ("extra", extra);
+    ]
+
+let ( let* ) = Result.bind
+
+let field name = function
+  | Json.Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "checkpoint: missing field %S" name))
+  | _ -> Error "checkpoint: expected an object"
+
+let as_int name = function
+  | Json.Int n -> Ok n
+  | _ -> Error (Printf.sprintf "checkpoint: field %S must be an int" name)
+
+let as_list name = function
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "checkpoint: field %S must be a list" name)
+
+let as_string name = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "checkpoint: field %S must be a string" name)
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+        let* y = f x in
+        go (y :: acc) rest
+  in
+  go [] l
+
+let restore ?batch_size ~subject ~process ~item_of_json ~res_of_json json =
+  let* version = Result.bind (field "version" json) (as_int "version") in
+  if version <> checkpoint_version then
+    Error (Printf.sprintf "checkpoint: unsupported version %d" version)
+  else
+    let* saved_bsize =
+      Result.bind (field "batch_size" json) (as_int "batch_size")
+    in
+    let* batches = Result.bind (field "batches_done" json) (as_int "batches_done") in
+    let* queue_json = Result.bind (field "queue" json) (as_list "queue") in
+    let* items = map_result item_of_json queue_json in
+    let* results_json = Result.bind (field "results" json) (as_list "results") in
+    let* results = map_result res_of_json results_json in
+    let* skipped_json = Result.bind (field "skipped" json) (as_list "skipped") in
+    let* skipped =
+      map_result
+        (fun entry ->
+          let* s = Result.bind (field "subject" entry) (as_string "subject") in
+          let* m = Result.bind (field "message" entry) (as_string "message") in
+          Ok (s, m))
+        skipped_json
+    in
+    let extra =
+      match field "extra" json with Ok v -> v | Error _ -> Json.Null
+    in
+    let bsize = match batch_size with Some b -> b | None -> saved_bsize in
+    let t = create ~batch_size:bsize ~subject ~process () in
+    submit t items;
+    t.results_rev <- List.rev results;
+    t.processed <- List.length results;
+    t.skipped_rev <- List.rev skipped;
+    t.batches <- batches;
+    Ok (t, extra)

@@ -1,0 +1,148 @@
+(** A staged, batched analysis engine.
+
+    The engine is the generic half of ProxioN's production pipeline: it
+    owns a persistent work queue, schedules items in fixed-size batches,
+    and emits structured per-stage events (start/finish/error with
+    wall-clock timing and counter deltas) to any number of subscribers.
+    The domain half — what the six stages actually do — is supplied as a
+    [process] callback, so this library depends on nothing but the report
+    substrate and can drive any per-item analysis.
+
+    Runs are resumable: {!checkpoint} serializes the pending queue, the
+    completed results and the skipped list through caller-supplied JSON
+    converters, and {!restore} rebuilds an engine that continues exactly
+    where the serialized one stopped.  Failures are isolated: an exception
+    or [Error] from [process] records the item as skipped and the batch
+    carries on. *)
+
+(** The six analysis stages of the ProxioN pipeline, in execution order
+    (§4–§5 of the paper): bytecode-hash dedup lookup, emulation probe,
+    Algorithm-1 logic resolution, standard classification, and the two
+    per-pair collision checks. *)
+type stage =
+  | Dedup_check
+  | Proxy_probe
+  | Logic_resolve
+  | Classify
+  | Func_collision
+  | Storage_collision
+
+val stage_name : stage -> string
+val stage_of_name : string -> stage option
+val all_stages : stage list
+
+(** Wall-clock and counter deltas measured across one stage execution. *)
+type timing = {
+  t_elapsed : float;  (** Seconds. *)
+  t_api_calls : int;  (** getStorageAt-style API calls spent. *)
+  t_steps : int;  (** EVM instructions interpreted. *)
+}
+
+type event =
+  | Run_started of { pending : int; batch_size : int }
+  | Batch_started of { index : int; size : int }
+  | Batch_finished of { index : int; size : int; elapsed : float }
+  | Stage_started of { stage : stage; subject : string }
+  | Stage_finished of { stage : stage; subject : string; timing : timing }
+  | Stage_errored of { stage : stage; subject : string; message : string }
+      (** The stage raised; the item is about to be skipped. *)
+  | Item_skipped of { subject : string; message : string }
+      (** Error isolation: the item is dropped, the batch continues. *)
+  | Run_finished of { processed : int; skipped : int; elapsed : float }
+
+type ('item, 'res) t
+
+val create :
+  ?batch_size:int ->
+  subject:('item -> string) ->
+  process:(('item, 'res) t -> 'item -> ('res, string) result) ->
+  unit ->
+  ('item, 'res) t
+(** A fresh engine with an empty queue.  [batch_size] defaults to 32;
+    [subject] renders an item for event reporting; [process] analyzes one
+    item (typically calling {!timed_stage} for each stage it runs). *)
+
+(** {1 Events} *)
+
+val subscribe : ('item, 'res) t -> (event -> unit) -> unit
+(** Register a subscriber.  Subscribers are invoked synchronously, in
+    registration order, for every subsequent event. *)
+
+val emit : ('item, 'res) t -> event -> unit
+(** Deliver an event to every subscriber (used by [process] callbacks for
+    domain-specific events; the engine emits the scheduling ones). *)
+
+val timed_stage :
+  ('item, 'res) t ->
+  stage:stage ->
+  subject:string ->
+  ?api_calls:(unit -> int) ->
+  ?steps:(unit -> int) ->
+  (unit -> 'a) ->
+  'a
+(** [timed_stage t ~stage ~subject f] runs [f] bracketed by
+    [Stage_started]/[Stage_finished] events.  [api_calls] and [steps] are
+    monotonic counter readers sampled before and after [f]; their deltas
+    land in the event's {!timing} and in the per-stage aggregates.  When
+    [f] raises, a [Stage_errored] event is emitted and the exception is
+    re-raised (the scheduler then skips the item). *)
+
+(** {1 Scheduling} *)
+
+val submit : ('item, 'res) t -> 'item list -> unit
+(** Append items to the work queue (FIFO). *)
+
+val pending : ('item, 'res) t -> int
+val batch_size : ('item, 'res) t -> int
+val batches_done : ('item, 'res) t -> int
+
+val step_batch : ('item, 'res) t -> bool
+(** Process one batch from the queue head.  [false] when the queue was
+    empty.  Items whose [process] raises or returns [Error] are recorded
+    as skipped — with [Stage_errored]/[Item_skipped] events — instead of
+    aborting the batch. *)
+
+val run : ?max_batches:int -> ('item, 'res) t -> unit
+(** Drain the queue ([max_batches] bounds how many batches this call may
+    process — the interruption point a checkpoint naturally follows). *)
+
+val results : ('item, 'res) t -> 'res list
+(** Completed results in completion order (= submission order). *)
+
+val processed_count : ('item, 'res) t -> int
+
+val skipped : ('item, 'res) t -> (string * string) list
+(** [(subject, message)] for every item dropped by error isolation, in
+    occurrence order. *)
+
+(** {1 Per-stage aggregates} *)
+
+val stage_totals : ('item, 'res) t -> (stage * int * timing) list
+(** [(stage, invocations, summed timing)] for every stage observed so
+    far, in {!all_stages} order. *)
+
+val stage_totals_table : ('item, 'res) t -> string
+(** The aggregates as an aligned report table. *)
+
+(** {1 Checkpointing} *)
+
+val checkpoint :
+  item_to_json:('item -> Report.Json.t) ->
+  res_to_json:('res -> Report.Json.t) ->
+  ?extra:Report.Json.t ->
+  ('item, 'res) t ->
+  Report.Json.t
+(** Serialize queue, results, skip list, batch counter and [extra] (an
+    opaque client payload: dedup caches, stat counters...). *)
+
+val restore :
+  ?batch_size:int ->
+  subject:('item -> string) ->
+  process:(('item, 'res) t -> 'item -> ('res, string) result) ->
+  item_of_json:(Report.Json.t -> ('item, string) result) ->
+  res_of_json:(Report.Json.t -> ('res, string) result) ->
+  Report.Json.t ->
+  (('item, 'res) t * Report.Json.t, string) result
+(** Rebuild an engine from a {!checkpoint} value; returns it together
+    with the [extra] payload ([Report.Json.Null] when absent).
+    [batch_size] overrides the checkpointed one when given. *)

@@ -44,7 +44,7 @@ let run_sanctuary ?(config = Generate.quick_config) () =
               if is_proxy then incr uschunt_proxies))
     verified;
   let addresses = List.map (fun l -> l.Generate.l_address) verified in
-  let report = Pipeline.run ~addresses ~chain ~source () in
+  let report = Pipeline.analyze ~addresses ~chain ~source () in
   (* Function collisions USCHunt misses: pairs whose proxy failed to
      compile or was not detected. *)
   let uschunt_sees addr =
@@ -79,7 +79,7 @@ let run_sanctuary ?(config = Generate.quick_config) () =
 let run_crush ?(config = Generate.quick_config) () =
   let land_ = Generate.generate config in
   let chain = land_.Generate.chain in
-  let report = Pipeline.run ~chain ~source:land_.Generate.source_of () in
+  let report = Pipeline.analyze ~chain ~source:land_.Generate.source_of () in
   let crush_proxies = Baselines.Crush_like.detected_proxies chain in
   let label_of =
     let table = Hashtbl.create 1024 in

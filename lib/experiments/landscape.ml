@@ -8,12 +8,16 @@ type t = {
   report : Pipeline.report;
 }
 
-let prepare ?(config = Generate.default_config) () =
+let of_parts land_ report = { land_; report }
+
+let prepare ?(config = Generate.default_config)
+    ?(pipeline = Pipeline.Config.default) () =
   let land_ = Generate.generate config in
   let report =
-    Pipeline.run ~chain:land_.Generate.chain ~source:land_.Generate.source_of ()
+    Pipeline.analyze ~config:pipeline ~chain:land_.Generate.chain
+      ~source:land_.Generate.source_of ()
   in
-  { land_; report }
+  of_parts land_ report
 
 let label_index t =
   let table = Hashtbl.create 1024 in

@@ -10,9 +10,20 @@ type t = {
   report : Proxion.Pipeline.report;
 }
 
-val prepare : ?config:Dataset.Generate.config -> unit -> t
+val of_parts : Dataset.Generate.t -> Proxion.Pipeline.report -> t
+(** Pair a generated landscape with a pipeline report produced
+    separately — e.g. by a checkpointed {!Proxion.Analyzer} run driven
+    from the CLI — so every figure below can read from it. *)
+
+val prepare :
+  ?config:Dataset.Generate.config ->
+  ?pipeline:Proxion.Pipeline.Config.t ->
+  unit ->
+  t
 (** Generate the landscape (default {!Dataset.Generate.default_config})
-    and run the pipeline once; every figure below reads from this. *)
+    and run the pipeline once under [pipeline] (default
+    {!Proxion.Pipeline.Config.default}); every figure below reads from
+    this. *)
 
 val fig2 : t -> string
 (** Cumulative alive contracts per year split by {source?} x {tx?}. *)

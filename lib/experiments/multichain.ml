@@ -39,7 +39,8 @@ let run ?(base_total = 1_200) ?(seed = 42) () =
       in
       let land_ = Generate.generate config in
       let report =
-        Pipeline.run ~chain:land_.Generate.chain ~source:land_.Generate.source_of ()
+        Pipeline.analyze ~chain:land_.Generate.chain
+          ~source:land_.Generate.source_of ()
       in
       let stats = report.Pipeline.stats in
       let hidden_detected =

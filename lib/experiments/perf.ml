@@ -92,12 +92,14 @@ let run ?(config = Generate.quick_config) () =
   (* Full pipeline, with and without dedup (the §6.1 bottleneck fix). *)
   let _, with_dedup =
     time (fun () ->
-        ignore (Pipeline.run ~chain ~source:land_.Generate.source_of ()))
+        ignore (Pipeline.analyze ~chain ~source:land_.Generate.source_of ()))
   in
+  let no_dedup = Pipeline.Config.(default |> with_dedup false) in
   let _, without_dedup =
     time (fun () ->
         ignore
-          (Pipeline.run ~dedup:false ~chain ~source:land_.Generate.source_of ()))
+          (Pipeline.analyze ~config:no_dedup ~chain
+             ~source:land_.Generate.source_of ()))
   in
   {
     contracts_checked = n;

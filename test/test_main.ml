@@ -17,4 +17,5 @@ let () =
       ("baselines", T_baselines.suite);
       ("dataset", T_dataset.suite);
       ("experiments", T_experiments.suite);
+      ("engine", T_engine.suite);
     ]
