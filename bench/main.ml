@@ -334,6 +334,24 @@ let run_ablation fx =
 (* Engine benchmarks: scheduler overhead, batch-size sweep, checkpoint  *)
 (* ------------------------------------------------------------------ *)
 
+(* Current git revision, read straight from .git (no subprocess). *)
+let git_rev () =
+  let read_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | s -> Some (String.trim s)
+    | exception Sys_error _ -> None
+  in
+  match read_file ".git/HEAD" with
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " -> (
+      let ref_path = String.sub head 5 (String.length head - 5) in
+      match read_file (Filename.concat ".git" ref_path) with
+      | Some rev -> rev
+      | None -> "unknown")
+  | Some rev -> rev
+  | None -> "unknown"
+
+let bench_engine_json_path = "BENCH_engine.json"
+
 let run_engine fx =
   let chain = fx.fx_land.Dataset.Generate.chain in
   let source = fx.fx_land.Dataset.Generate.source_of in
@@ -342,11 +360,11 @@ let run_engine fx =
     let result = f () in
     (result, Unix.gettimeofday () -. t0)
   in
-  let analyze_with batch_size =
+  let analyze_with ?(domains = 1) batch_size =
     Chain.reset_api_call_count chain;
     let config =
-      Proxion.Pipeline.Config.with_batch_size batch_size
-        Proxion.Pipeline.Config.default
+      Proxion.Pipeline.Config.(
+        default |> with_batch_size batch_size |> with_domains domains)
     in
     let t = Proxion.Analyzer.create ~config ~chain ~source () in
     Proxion.Analyzer.submit_all t;
@@ -380,11 +398,125 @@ let run_engine fx =
   let restored, restore_elapsed =
     time (fun () -> Proxion.Analyzer.restore ~chain ~source json)
   in
+  (* Domain-parallel sweep: same landscape fanned across 1/2/4/8 worker
+     domains; the report must stay byte-identical to the sequential run.
+     The keccak selector memo is reset before the reference run so its
+     hit rate covers exactly one full landscape analysis. *)
+  let report_string t =
+    Report.Json.to_string
+      (Proxion.Serialize.report_to_json (Proxion.Analyzer.report t))
+  in
+  Keccak.Memo.reset ();
+  let domain_runs =
+    List.map
+      (fun d ->
+        let t, elapsed = time (fun () -> analyze_with ~domains:d 32) in
+        (d, t, elapsed))
+      [ 1; 2; 4; 8 ]
+  in
+  let memo = Keccak.Memo.stats () in
+  let base_elapsed, base_report =
+    match domain_runs with
+    | (1, t, elapsed) :: _ -> (elapsed, report_string t)
+    | _ -> assert false
+  in
+  let processed =
+    match domain_runs with
+    | (_, t, _) :: _ ->
+        List.length (Proxion.Analyzer.report t).Proxion.Pipeline.contracts
+    | [] -> 0
+  in
+  let domain_rows =
+    List.map
+      (fun (d, t, elapsed) ->
+        let identical = d = 1 || String.equal (report_string t) base_report in
+        let cps = float_of_int processed /. Float.max 1e-9 elapsed in
+        let speedup = base_elapsed /. Float.max 1e-9 elapsed in
+        (d, t, elapsed, cps, speedup, identical))
+      domain_runs
+  in
+  let domain_summary =
+    String.concat "; "
+      (List.map
+         (fun (d, _, elapsed, cps, speedup, identical) ->
+           Printf.sprintf "%d: %.3fs (%.0f c/s, %.2fx%s)" d elapsed cps speedup
+             (if identical then "" else ", REPORT DIFFERS"))
+         domain_rows)
+  in
+  let memo_total = memo.Keccak.Memo.hits + memo.Keccak.Memo.misses in
+  let memo_rate =
+    if memo_total = 0 then 0.0
+    else float_of_int memo.Keccak.Memo.hits /. float_of_int memo_total
+  in
+  (* Machine-readable trajectory artifact. *)
+  let stage_json t =
+    Report.Json.List
+      (List.map
+         (fun (stage, runs, tm) ->
+           Report.Json.Obj
+             [
+               ("stage", Report.Json.String (Engine.stage_name stage));
+               ("runs", Report.Json.Int runs);
+               ("elapsed_s", Report.Json.Float tm.Engine.t_elapsed);
+               ("api_calls", Report.Json.Int tm.Engine.t_api_calls);
+               ("steps", Report.Json.Int tm.Engine.t_steps);
+             ])
+         (Engine.stage_totals (Proxion.Analyzer.engine t)))
+  in
+  let bench_json =
+    Report.Json.Obj
+      [
+        ("schema_version", Report.Json.Int 1);
+        ("git_rev", Report.Json.String (git_rev ()));
+        ( "cores",
+          Report.Json.Int (Domain.recommended_domain_count ()) );
+        ( "config",
+          Report.Json.Obj
+            [
+              ( "total",
+                Report.Json.Int bench_config.Dataset.Generate.total );
+              ("seed", Report.Json.Int bench_config.Dataset.Generate.seed);
+              ("batch_size", Report.Json.Int 32);
+            ] );
+        ("contracts_processed", Report.Json.Int processed);
+        ( "sweep",
+          Report.Json.List
+            (List.map
+               (fun (d, t, elapsed, cps, speedup, identical) ->
+                 Report.Json.Obj
+                   [
+                     ("domains", Report.Json.Int d);
+                     ("elapsed_s", Report.Json.Float elapsed);
+                     ("contracts_per_sec", Report.Json.Float cps);
+                     ("speedup_vs_1", Report.Json.Float speedup);
+                     ("identical_report", Report.Json.Bool identical);
+                     ("stages", stage_json t);
+                   ])
+               domain_rows) );
+        ( "keccak_memo",
+          Report.Json.Obj
+            [
+              ("hits", Report.Json.Int memo.Keccak.Memo.hits);
+              ("misses", Report.Json.Int memo.Keccak.Memo.misses);
+              ("hit_rate", Report.Json.Float memo_rate);
+            ] );
+      ]
+  in
+  Out_channel.with_open_text bench_engine_json_path (fun oc ->
+      Out_channel.output_string oc
+        (Report.Json.to_string ~pretty:true bench_json);
+      Out_channel.output_char oc '\n');
   let t = analyze_with 32 in
   Report.print_table ~title:"Engine: staged scheduler characteristics"
     ~header:[ "Metric"; "Value" ]
     [
       [ "full run by batch size"; String.concat "; " sweep ];
+      [ "full run by domains"; domain_summary ];
+      [
+        "keccak selector memo";
+        Printf.sprintf "%d hits / %d misses (%.1f%% hit rate)"
+          memo.Keccak.Memo.hits memo.Keccak.Memo.misses (100.0 *. memo_rate);
+      ];
       [
         "run with event subscriber";
         Printf.sprintf "%.3fs (%d events delivered)" with_events !events;
@@ -400,6 +532,7 @@ let run_engine fx =
           (match restored with Ok _ -> "ok" | Error e -> "FAILED: " ^ e)
           restore_elapsed;
       ];
+      [ "machine-readable artifact"; bench_engine_json_path ];
       [ "per-stage totals"; "" ];
     ];
   print_string (Proxion.Analyzer.stage_totals_table t)

@@ -81,16 +81,17 @@ let landscape_config total seed =
 let progress_subscriber ev =
   let open Engine in
   match ev with
-  | Run_started { pending; batch_size } ->
-      Printf.eprintf "run: %d contracts queued (batches of %d)\n%!" pending
-        batch_size
+  | Run_started { pending; batch_size; domains } ->
+      Printf.eprintf "run: %d contracts queued (batches of %d, %d domain%s)\n%!"
+        pending batch_size domains
+        (if domains = 1 then "" else "s")
   | Batch_finished { index; size; elapsed } ->
       Printf.eprintf "batch %d: %d contracts in %.2fs\n%!" (index + 1) size
         elapsed
-  | Stage_errored { stage; subject; message } ->
-      Printf.eprintf "  %s: stage %s errored: %s\n%!" subject
-        (stage_name stage) message
-  | Item_skipped { subject; message } ->
+  | Stage_errored { stage; subject; message; worker } ->
+      Printf.eprintf "  %s: stage %s errored on worker %d: %s\n%!" subject
+        (stage_name stage) worker message
+  | Item_skipped { subject; message; _ } ->
       Printf.eprintf "  skipped %s: %s\n%!" subject message
   | Run_finished { processed; skipped; elapsed } ->
       Printf.eprintf "run: %d processed, %d skipped in %.2fs\n%!" processed
@@ -131,11 +132,14 @@ let print_landscape t findings =
    end);
   0
 
-let run_landscape total seed findings batch_size progress checkpoint_path
-    resume_path max_batches =
-  match batch_size with
-  | Some b when b <= 0 ->
+let run_landscape total seed findings batch_size domains progress
+    checkpoint_path resume_path max_batches =
+  match (batch_size, domains) with
+  | Some b, _ when b <= 0 ->
       prerr_endline "error: --batch-size must be positive";
+      1
+  | _, Some d when d <= 0 ->
+      prerr_endline "error: --domains must be positive";
       1
   | _ ->
   let land_ = Dataset.Generate.generate (landscape_config total seed) in
@@ -147,16 +151,19 @@ let run_landscape total seed findings batch_size progress checkpoint_path
     | Some path -> (
         match
           Result.bind (read_checkpoint path)
-            (Proxion.Analyzer.restore ?batch_size ~chain ~source)
+            (Proxion.Analyzer.restore ?batch_size ?domains ~chain ~source)
         with
         | Ok t -> Ok t
         | Error e -> Error (Printf.sprintf "cannot resume from %s: %s" path e))
     | None ->
         let config =
-          match batch_size with
-          | Some b ->
-              Proxion.Pipeline.Config.(default |> with_batch_size b)
-          | None -> Proxion.Pipeline.Config.default
+          Proxion.Pipeline.Config.default
+          |> (match batch_size with
+             | Some b -> Proxion.Pipeline.Config.with_batch_size b
+             | None -> Fun.id)
+          |> (match domains with
+             | Some d -> Proxion.Pipeline.Config.with_domains d
+             | None -> Fun.id)
         in
         let t = Proxion.Analyzer.create ~config ~chain ~source () in
         Proxion.Analyzer.submit_all t;
@@ -211,6 +218,16 @@ let landscape_cmd =
             "Contracts per scheduler batch (default 32; on --resume, \
              overrides the checkpointed value).")
   in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains per batch (default 1 = sequential; on \
+             --resume, overrides the checkpointed value).  Output is \
+             byte-identical for every value.")
+  in
   let progress_arg =
     Arg.(
       value & flag
@@ -245,8 +262,8 @@ let landscape_cmd =
   Cmd.v (Cmd.info "landscape" ~doc)
     Term.(
       const run_landscape $ total_arg $ seed_arg $ findings_arg
-      $ batch_size_arg $ progress_arg $ checkpoint_arg $ resume_arg
-      $ max_batches_arg)
+      $ batch_size_arg $ domains_arg $ progress_arg $ checkpoint_arg
+      $ resume_arg $ max_batches_arg)
 
 (* --- coverage / accuracy / perf / effectiveness ------------------------- *)
 

@@ -31,12 +31,28 @@ type contract_meta = {
 
 type slot_key = { sk_addr : Address.t; sk_slot : U256.t }
 
+let slot_key_compare a b =
+  let c = Address.compare a.sk_addr b.sk_addr in
+  if c <> 0 then c else U256.compare a.sk_slot b.sk_slot
+
+(* Keyed structurally but hashed/compared with the dedicated word
+   primitives — the history table sits on the Algorithm 1 hot path, and
+   the polymorphic hash would traverse the 16-limb array every probe. *)
+module Slot_tbl = Hashtbl.Make (struct
+  type t = slot_key
+
+  let equal a b =
+    Address.equal a.sk_addr b.sk_addr && U256.equal a.sk_slot b.sk_slot
+
+  let hash k = (Hashtbl.hash k.sk_addr * 65599) lxor U256.hash k.sk_slot
+end)
+
 type t = {
   state : Host.t;  (* head state; block info replaced per access *)
   mutable head : int;
   base_block : Host.block_info;
   (* (height, value) change lists per slot, most recent first. *)
-  history : (slot_key, (int * U256.t) list ref) Hashtbl.t;
+  history : (int * U256.t) list ref Slot_tbl.t;
   contracts : (Address.t, contract_meta) Hashtbl.t;
   mutable contract_order : contract_meta list; (* reverse deployment order *)
   tx_index : (Address.t, tx_record list ref) Hashtbl.t;
@@ -50,7 +66,7 @@ let create ?(block = Host.default_block) () =
     state = Host.in_memory ~block ();
     head = 0;
     base_block = block;
-    history = Hashtbl.create 1024;
+    history = Slot_tbl.create 1024;
     contracts = Hashtbl.create 1024;
     contract_order = [];
     tx_index = Hashtbl.create 1024;
@@ -62,6 +78,13 @@ let create ?(block = Host.default_block) () =
 let height t = t.head
 let advance_blocks t n = if n > 0 then t.head <- t.head + n
 let fund t addr amount = t.state.Host.set_balance addr amount
+
+let worker_view t =
+  (* Shallow copy sharing the (read-only during analysis) history, contract
+     and transaction indexes, with a private copy-on-write host and a
+     private API-call counter.  The emulation stages write only through the
+     overlay, so concurrent views never race on the base state. *)
+  { t with state = Host.overlay t.state; api_calls = 0 }
 
 let host_at_head t =
   (* One block per transaction at mainnet's 12-second cadence. *)
@@ -80,18 +103,18 @@ let host_at_head t =
 (* ------------------------------------------------------------------ *)
 
 let last_recorded t key =
-  match Hashtbl.find_opt t.history key with
+  match Slot_tbl.find_opt t.history key with
   | None | Some { contents = [] } -> U256.zero
   | Some { contents = (_, v) :: _ } -> v
 
 let record_slot t key value =
   if not (U256.equal (last_recorded t key) value) then begin
     let entries =
-      match Hashtbl.find_opt t.history key with
+      match Slot_tbl.find_opt t.history key with
       | Some r -> r
       | None ->
           let r = ref [] in
-          Hashtbl.replace t.history key r;
+          Slot_tbl.replace t.history key r;
           r
     in
     (* Same-height overwrite replaces the entry. *)
@@ -220,7 +243,7 @@ let deploy t ~from ?(value = U256.zero) ~init_code () =
   List.iter
     (fun (creator, addr) -> register_contract t ~address:addr ~creator)
     (List.rev !created_acc);
-  commit_tx t ~touched_slots:(List.sort_uniq compare !touched) ~record;
+  commit_tx t ~touched_slots:(List.sort_uniq slot_key_compare !touched) ~record;
   match (result.Interp.status, result.Interp.created) with
   | Interp.Returned, Some addr -> Ok addr
   | Interp.Returned, None -> Error "creation returned no address"
@@ -256,7 +279,7 @@ let call t ~from ~to_ ?(value = U256.zero) ?(input = "")
       tx_logs = result.Interp.logs;
     }
   in
-  commit_tx t ~touched_slots:(List.sort_uniq compare !touched) ~record;
+  commit_tx t ~touched_slots:(List.sort_uniq slot_key_compare !touched) ~record;
   record
 
 (* ------------------------------------------------------------------ *)
@@ -286,7 +309,7 @@ let set_storage_direct t addr slot value =
 
 let get_storage_at t addr slot ~height =
   t.api_calls <- t.api_calls + 1;
-  match Hashtbl.find_opt t.history { sk_addr = addr; sk_slot = slot } with
+  match Slot_tbl.find_opt t.history { sk_addr = addr; sk_slot = slot } with
   | None -> U256.zero
   | Some entries ->
       let rec find = function
@@ -299,7 +322,7 @@ let api_call_count t = t.api_calls
 let reset_api_call_count t = t.api_calls <- 0
 
 let storage_change_heights t addr slot =
-  match Hashtbl.find_opt t.history { sk_addr = addr; sk_slot = slot } with
+  match Slot_tbl.find_opt t.history { sk_addr = addr; sk_slot = slot } with
   | None -> []
   | Some entries -> List.rev_map fst !entries
 

@@ -52,6 +52,16 @@ val advance_blocks : t -> int -> unit
 val fund : t -> Evm.Address.t -> U256.t -> unit
 (** Credit an externally-owned account (faucet). *)
 
+val worker_view : t -> t
+(** A share-safe view for one analysis worker: the history, contract and
+    transaction indexes are shared with the original (they must not be
+    mutated while views are live), state writes go into a private
+    {!Evm.Host.overlay}, and the view carries its own API-call counter
+    starting at zero.  {!get_storage_at} / {!host_at_head} /
+    {!transactions_of} behave identically to the original chain; the
+    per-view {!api_call_count} lets parallel runs reproduce sequential
+    accounting exactly. *)
+
 val host_at_head : t -> Evm.Host.t
 (** Host view of the current head state with a live block header; reads are
     cheap, writes go straight into head state {e without} history tracking —

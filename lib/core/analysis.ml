@@ -84,6 +84,7 @@ module Config = struct
     dedup : bool;
     diamond_extension : bool;
     batch_size : int;
+    domains : int;
   }
 
   let default =
@@ -92,12 +93,14 @@ module Config = struct
       dedup = true;
       diamond_extension = false;
       batch_size = 32;
+      domains = 1;
     }
 
   let with_verify_storage verify_storage t = { t with verify_storage }
   let with_dedup dedup t = { t with dedup }
   let with_diamond_extension diamond_extension t = { t with diamond_extension }
   let with_batch_size batch_size t = { t with batch_size }
+  let with_domains domains t = { t with domains }
 
   module Json = Report.Json
 
@@ -108,6 +111,7 @@ module Config = struct
         ("dedup", Json.Bool t.dedup);
         ("diamond_extension", Json.Bool t.diamond_extension);
         ("batch_size", Json.Int t.batch_size);
+        ("domains", Json.Int t.domains);
       ]
 
   let of_json = function
@@ -132,6 +136,12 @@ module Config = struct
           | None -> Ok default.batch_size
           | Some _ -> Error "config: batch_size must be a positive int"
         in
-        Ok { verify_storage; dedup; diamond_extension; batch_size }
+        let* domains =
+          match List.assoc_opt "domains" kvs with
+          | Some (Json.Int n) when n > 0 -> Ok n
+          | None -> Ok default.domains
+          | Some _ -> Error "config: domains must be a positive int"
+        in
+        Ok { verify_storage; dedup; diamond_extension; batch_size; domains }
     | _ -> Error "config: expected an object"
 end

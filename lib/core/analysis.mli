@@ -82,6 +82,10 @@ module Config : sig
             matching the paper's evaluated system). *)
     batch_size : int;
         (** Contracts per scheduler batch (default 32). *)
+    domains : int;
+        (** Worker domains per batch (default 1 = sequential).  Any value
+            produces byte-identical reports and checkpoints; larger values
+            only change wall-clock time on multicore hosts. *)
   }
 
   val default : t
@@ -89,6 +93,7 @@ module Config : sig
   val with_dedup : bool -> t -> t
   val with_diamond_extension : bool -> t -> t
   val with_batch_size : int -> t -> t
+  val with_domains : int -> t -> t
 
   val to_json : t -> Report.Json.t
   val of_json : Report.Json.t -> (t, string) result

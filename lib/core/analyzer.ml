@@ -15,32 +15,59 @@ type t = {
   source : Analysis.source_lookup;
   cfg : Config.t;
   host : Evm.Host.t;
+  par : bool; (* domains > 1: shared state needs locking *)
+  cache_lock : Mutex.t;
+  merge_lock : Mutex.t;
   detection_cache : (string, cached_detection) Hashtbl.t;
   pair_cache :
     ( string * string,
       Func_collision.collision list * Storage_collision.collision list )
     Hashtbl.t;
-  mutable dedup_hits : int;
-  mutable steps_total : int;
-  mutable api_calls : int;
+  dedup_hits : int ref;
+  steps_total : int ref;
+  api_calls : int ref;
+}
+
+(* Per-item execution environment.  Sequentially it aliases the analyzer's
+   chain, head host and counters — the exact pre-parallel code path.  On a
+   worker domain it holds a private {!Chain.worker_view} (own API-call
+   counter, copy-on-write host) and fresh counters that are folded into
+   the analyzer's totals when the item completes; int sums commute, so the
+   totals at every batch barrier match a sequential run exactly. *)
+type env = {
+  e_chain : Chain.t;
+  e_host : Evm.Host.t;
+  e_steps : int ref;
+  e_dedup : int ref;
 }
 
 let config t = t.cfg
 let engine t = t.engine
 
+(* The dedup caches are shared across workers; chains grouped by bytecode
+   hash (see [group_key]) guarantee all accesses to any given key happen
+   in input order, and this lock makes the table mutations themselves
+   safe.  Sequential runs skip the lock entirely. *)
+let with_caches t f =
+  if not t.par then f ()
+  else begin
+    Mutex.lock t.cache_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.cache_lock) f
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Stage bodies                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let side_for t addr =
+let side_for t env addr =
   match t.source addr with
   | Some ast -> Storage_collision.Source ast
-  | None -> Storage_collision.Bytecode (Chain.code_at t.chain addr)
+  | None -> Storage_collision.Bytecode (Chain.code_at env.e_chain addr)
 
-let func_side_for t addr =
+let func_side_for t env addr =
   match t.source addr with
   | Some ast -> Func_collision.Source ast
-  | None -> Func_collision.Bytecode (Chain.code_at t.chain addr)
+  | None -> Func_collision.Bytecode (Chain.code_at env.e_chain addr)
 
 let method_for t proxy logic =
   match (t.source proxy, t.source logic) with
@@ -48,34 +75,38 @@ let method_for t proxy logic =
   | None, None -> Analysis.Bytecode_bytecode
   | _ -> Analysis.Mixed
 
-let api_reader t () = Chain.api_call_count t.chain
-let steps_reader t () = t.steps_total
+let api_reader env () = Chain.api_call_count env.e_chain
+let steps_reader env () = !(env.e_steps)
 
-let fresh_probe t addr code_hash =
+let fresh_probe t env addr code_hash =
   let d =
-    if t.cfg.Config.diamond_extension then Diamond_probe.detect t.chain addr
-    else Proxy_detect.detect ~host:t.host addr
+    if t.cfg.Config.diamond_extension then Diamond_probe.detect env.e_chain addr
+    else Proxy_detect.detect ~host:env.e_host addr
   in
-  t.steps_total <- t.steps_total + d.Proxy_detect.steps;
+  env.e_steps := !(env.e_steps) + d.Proxy_detect.steps;
   (if t.cfg.Config.dedup then
      match d.Proxy_detect.verdict with
      | Proxy_detect.Proxy { source = Proxy_detect.Storage_slot slot; _ } ->
-         Hashtbl.replace t.detection_cache code_hash (C_slot_proxy slot)
+         with_caches t (fun () ->
+             Hashtbl.replace t.detection_cache code_hash (C_slot_proxy slot))
      | Proxy_detect.Proxy { source = Proxy_detect.Computed; _ }
        when t.cfg.Config.diamond_extension ->
          (* Extension verdicts depend on per-address history, not just
             code: unsafe to share across clones. *)
          ()
-     | v -> Hashtbl.replace t.detection_cache code_hash (C_verdict v));
+     | v ->
+         with_caches t (fun () ->
+             Hashtbl.replace t.detection_cache code_hash (C_verdict v)));
   d
 
-let cached_detection t addr cached =
-  t.dedup_hits <- t.dedup_hits + 1;
+let cached_detection t env addr cached =
+  ignore t;
+  env.e_dedup := !(env.e_dedup) + 1;
   let verdict =
     match cached with
     | C_verdict v -> v
     | C_slot_proxy slot ->
-        let value = t.host.Evm.Host.get_storage addr slot in
+        let value = env.e_host.Evm.Host.get_storage addr slot in
         Proxy_detect.Proxy
           {
             target = Address.of_u256 value;
@@ -84,56 +115,59 @@ let cached_detection t addr cached =
   in
   { Proxy_detect.address = addr; verdict; probe_selector = ""; steps = 0 }
 
-let analyze_pair t ~proxy_addr ~logic_addr =
+let analyze_pair t env ctx ~proxy_addr ~logic_addr =
   let subject =
     Printf.sprintf "%s->%s" (Address.to_hex proxy_addr)
       (Address.to_hex logic_addr)
   in
   let key =
-    ( Keccak.digest (Chain.code_at t.chain proxy_addr),
-      Keccak.digest (Chain.code_at t.chain logic_addr) )
+    ( Keccak.digest (Chain.code_at env.e_chain proxy_addr),
+      Keccak.digest (Chain.code_at env.e_chain logic_addr) )
   in
   let cached =
-    if t.cfg.Config.dedup then Hashtbl.find_opt t.pair_cache key else None
+    if t.cfg.Config.dedup then
+      with_caches t (fun () -> Hashtbl.find_opt t.pair_cache key)
+    else None
   in
   let func_collisions, honeypot =
-    Engine.timed_stage t.engine ~stage:Engine.Func_collision ~subject
-      ~api_calls:(api_reader t) ~steps:(steps_reader t) (fun () ->
+    Engine.timed_stage ctx ~stage:Engine.Func_collision ~subject
+      ~api_calls:(api_reader env) ~steps:(steps_reader env) (fun () ->
         let fc =
           match cached with
           | Some (fc, _) -> fc
           | None ->
               Func_collision.detect
-                ~proxy:(func_side_for t proxy_addr)
-                ~logic:(func_side_for t logic_addr)
+                ~proxy:(func_side_for t env proxy_addr)
+                ~logic:(func_side_for t env logic_addr)
         in
         let honeypot =
           fc <> []
           && (Honeypot.classify
-                ~proxy:(func_side_for t proxy_addr)
-                ~logic:(func_side_for t logic_addr))
+                ~proxy:(func_side_for t env proxy_addr)
+                ~logic:(func_side_for t env logic_addr))
                .Honeypot.is_honeypot
         in
         (fc, honeypot))
   in
   let storage_collisions =
-    Engine.timed_stage t.engine ~stage:Engine.Storage_collision ~subject
-      ~api_calls:(api_reader t) ~steps:(steps_reader t) (fun () ->
+    Engine.timed_stage ctx ~stage:Engine.Storage_collision ~subject
+      ~api_calls:(api_reader env) ~steps:(steps_reader env) (fun () ->
         let sc =
           match cached with
           | Some (_, sc) -> sc
           | None ->
               let sc =
                 Storage_collision.detect
-                  ~proxy:(side_for t proxy_addr)
-                  ~logic:(side_for t logic_addr)
+                  ~proxy:(side_for t env proxy_addr)
+                  ~logic:(side_for t env logic_addr)
               in
               if t.cfg.Config.dedup then
-                Hashtbl.replace t.pair_cache key (func_collisions, sc);
+                with_caches t (fun () ->
+                    Hashtbl.replace t.pair_cache key (func_collisions, sc));
               sc
         in
         if t.cfg.Config.verify_storage && sc <> [] then
-          Storage_collision.verify ~chain:t.chain ~proxy_address:proxy_addr
+          Storage_collision.verify ~chain:env.e_chain ~proxy_address:proxy_addr
             ~logic_address:logic_addr sc
         else sc)
   in
@@ -146,14 +180,13 @@ let analyze_pair t ~proxy_addr ~logic_addr =
     p_honeypot = honeypot;
   }
 
-let analyze_contract t addr =
+let analyze_contract t env ctx addr =
   let subject = Address.to_hex addr in
   let stage s f =
-    Engine.timed_stage t.engine ~stage:s ~subject ~api_calls:(api_reader t)
-      ~steps:(steps_reader t) f
+    Engine.timed_stage ctx ~stage:s ~subject ~api_calls:(api_reader env)
+      ~steps:(steps_reader env) f
   in
-  let api0 = Chain.api_call_count t.chain in
-  let code = Chain.code_at t.chain addr in
+  let code = Chain.code_at env.e_chain addr in
   let code_hash = Keccak.digest code in
   (* Stage 1: bytecode-hash dedup lookup. *)
   let hit =
@@ -161,76 +194,118 @@ let analyze_contract t addr =
         if not t.cfg.Config.dedup then None
         else
           Option.map
-            (cached_detection t addr)
-            (Hashtbl.find_opt t.detection_cache code_hash))
+            (cached_detection t env addr)
+            (with_caches t (fun () ->
+                 Hashtbl.find_opt t.detection_cache code_hash)))
   in
   (* Stage 2: emulation probe (fresh bytecodes only). *)
   let detection, dedup_hit =
     match hit with
     | Some d -> (d, true)
     | None ->
-        (stage Engine.Proxy_probe (fun () -> fresh_probe t addr code_hash), false)
+        ( stage Engine.Proxy_probe (fun () -> fresh_probe t env addr code_hash),
+          false )
   in
-  let report =
-    match detection.Proxy_detect.verdict with
-    | Proxy_detect.Proxy { source = target_source; target } ->
-        (* Stage 3: Algorithm 1 logic resolution. *)
-        let resolution =
-          stage Engine.Logic_resolve (fun () ->
-              Logic_resolve.resolve ~probed:target t.chain addr target_source)
+  match detection.Proxy_detect.verdict with
+  | Proxy_detect.Proxy { source = target_source; target } ->
+      (* Stage 3: Algorithm 1 logic resolution. *)
+      let resolution =
+        stage Engine.Logic_resolve (fun () ->
+            Logic_resolve.resolve ~probed:target env.e_chain addr target_source)
+      in
+      (* Stage 4: design-standard classification. *)
+      let standard =
+        stage Engine.Classify (fun () ->
+            Standard_classify.classify ~code target_source)
+      in
+      let logic_addresses =
+        let all =
+          resolution.Logic_resolve.historical
+          @ Option.to_list resolution.Logic_resolve.current
         in
-        (* Stage 4: design-standard classification. *)
-        let standard =
-          stage Engine.Classify (fun () ->
-              Standard_classify.classify ~code target_source)
-        in
-        let logic_addresses =
-          let all =
-            resolution.Logic_resolve.historical
-            @ Option.to_list resolution.Logic_resolve.current
-          in
-          List.sort_uniq Address.compare all
-          |> List.filter (fun a -> Chain.code_at t.chain a <> "")
-        in
-        (* Stages 5-6: per-pair collision checks. *)
-        let pairs =
-          List.map
-            (fun logic_addr -> analyze_pair t ~proxy_addr:addr ~logic_addr)
-            logic_addresses
-        in
-        {
-          Analysis.r_address = addr;
-          r_code_hash = code_hash;
-          r_detection = detection;
-          r_standard = Some standard;
-          r_resolution = Some resolution;
-          r_pairs = pairs;
-          r_dedup_hit = dedup_hit;
-        }
-    | _ ->
-        {
-          Analysis.r_address = addr;
-          r_code_hash = code_hash;
-          r_detection = detection;
-          r_standard = None;
-          r_resolution = None;
-          r_pairs = [];
-          r_dedup_hit = dedup_hit;
-        }
-  in
-  t.api_calls <- t.api_calls + (Chain.api_call_count t.chain - api0);
-  report
+        List.sort_uniq Address.compare all
+        |> List.filter (fun a -> Chain.code_at env.e_chain a <> "")
+      in
+      (* Stages 5-6: per-pair collision checks. *)
+      let pairs =
+        List.map
+          (fun logic_addr -> analyze_pair t env ctx ~proxy_addr:addr ~logic_addr)
+          logic_addresses
+      in
+      {
+        Analysis.r_address = addr;
+        r_code_hash = code_hash;
+        r_detection = detection;
+        r_standard = Some standard;
+        r_resolution = Some resolution;
+        r_pairs = pairs;
+        r_dedup_hit = dedup_hit;
+      }
+  | _ ->
+      {
+        Analysis.r_address = addr;
+        r_code_hash = code_hash;
+        r_detection = detection;
+        r_standard = None;
+        r_resolution = None;
+        r_pairs = [];
+        r_dedup_hit = dedup_hit;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Chains of same-bytecode items run sequentially on one worker; this is
+   the key that makes shared-cache hits replay in input order (the dedup
+   and pair caches are keyed by exactly this hash). *)
+let group_key chain addr = Keccak.digest (Chain.code_at chain addr)
+
+let process_item t ctx addr =
+  if not t.par then begin
+    (* Sequential: alias the analyzer's own chain, host and counters —
+       byte-for-byte the domains:1 reference path. *)
+    let api0 = Chain.api_call_count t.chain in
+    let env =
+      {
+        e_chain = t.chain;
+        e_host = t.host;
+        e_steps = t.steps_total;
+        e_dedup = t.dedup_hits;
+      }
+    in
+    let report = analyze_contract t env ctx addr in
+    t.api_calls := !(t.api_calls) + (Chain.api_call_count t.chain - api0);
+    report
+  end
+  else begin
+    (* Parallel: a private chain view whose API-call counter starts at
+       zero, so stage deltas and the Algorithm 1 accounting serialized
+       into the report are identical to the sequential run. *)
+    let view = Chain.worker_view t.chain in
+    let env =
+      {
+        e_chain = view;
+        e_host = Chain.host_at_head view;
+        e_steps = ref 0;
+        e_dedup = ref 0;
+      }
+    in
+    let report = analyze_contract t env ctx addr in
+    Mutex.lock t.merge_lock;
+    t.api_calls := !(t.api_calls) + Chain.api_call_count view;
+    t.steps_total := !(t.steps_total) + !(env.e_steps);
+    t.dedup_hits := !(t.dedup_hits) + !(env.e_dedup);
+    Mutex.unlock t.merge_lock;
+    report
+  end
+
 let make_with_engine ~config ~chain ~source build_engine =
   let self = ref None in
-  let process _eng addr =
+  let process ctx addr =
     match !self with
     | None -> Error "analyzer not initialized"
-    | Some t -> Ok (analyze_contract t addr)
+    | Some t -> Ok (process_item t ctx addr)
   in
   let engine = build_engine ~process in
   let t =
@@ -240,11 +315,14 @@ let make_with_engine ~config ~chain ~source build_engine =
       source;
       cfg = config;
       host = Chain.host_at_head chain;
+      par = config.Config.domains > 1;
+      cache_lock = Mutex.create ();
+      merge_lock = Mutex.create ();
       detection_cache = Hashtbl.create 256;
       pair_cache = Hashtbl.create 256;
-      dedup_hits = 0;
-      steps_total = 0;
-      api_calls = 0;
+      dedup_hits = ref 0;
+      steps_total = ref 0;
+      api_calls = ref 0;
     }
   in
   self := Some t;
@@ -253,6 +331,7 @@ let make_with_engine ~config ~chain ~source build_engine =
 let create ?(config = Config.default) ~chain ~source () =
   make_with_engine ~config ~chain ~source (fun ~process ->
       Engine.create ~batch_size:config.Config.batch_size
+        ~domains:config.Config.domains ~key:(group_key chain)
         ~subject:Address.to_hex ~process ())
 
 (* ------------------------------------------------------------------ *)
@@ -273,9 +352,9 @@ let skipped t = Engine.skipped t.engine
 let report t =
   let contracts = Engine.results t.engine in
   let stats =
-    Analysis.compute_stats ~dedup_hits:t.dedup_hits
-      ~unique_codes:(Hashtbl.length t.detection_cache) ~api_calls:t.api_calls
-      ~emulation_steps:t.steps_total contracts
+    Analysis.compute_stats ~dedup_hits:!(t.dedup_hits)
+      ~unique_codes:(Hashtbl.length t.detection_cache)
+      ~api_calls:!(t.api_calls) ~emulation_steps:!(t.steps_total) contracts
   in
   { Analysis.contracts; stats }
 
@@ -317,9 +396,9 @@ let checkpoint t =
     Json.Obj
       [
         ("config", Config.to_json t.cfg);
-        ("dedup_hits", Json.Int t.dedup_hits);
-        ("steps", Json.Int t.steps_total);
-        ("api_calls", Json.Int t.api_calls);
+        ("dedup_hits", Json.Int !(t.dedup_hits));
+        ("steps", Json.Int !(t.steps_total));
+        ("api_calls", Json.Int !(t.api_calls));
         ( "detection_cache",
           Json.List
             (List.map
@@ -402,9 +481,11 @@ let address_of_json = function
       | _ -> Error ("checkpoint: bad queued address " ^ s))
   | _ -> Error "checkpoint: queue entries must be strings"
 
-let restore ?batch_size ~chain ~source json =
+let restore ?batch_size ?domains ~chain ~source json =
   (* The config governs resume semantics, so it comes from the checkpoint
-     (batch_size optionally overridden), not from the caller. *)
+     (batch_size and domains optionally overridden — the worker count is
+     an execution parameter, not analysis state, and any value resumes to
+     the same bytes), not from the caller. *)
   let* extra_peek =
     match json with
     | Json.Obj kvs -> (
@@ -419,14 +500,20 @@ let restore ?batch_size ~chain ~source json =
     | Some b -> Config.with_batch_size b config
     | None -> config
   in
+  let config =
+    match domains with
+    | Some d -> Config.with_domains d config
+    | None -> config
+  in
   let self = ref None in
-  let process _eng addr =
+  let process ctx addr =
     match !self with
     | None -> Error "analyzer not initialized"
-    | Some t -> Ok (analyze_contract t addr)
+    | Some t -> Ok (process_item t ctx addr)
   in
   let* engine, extra =
-    Engine.restore ?batch_size ~subject:Address.to_hex ~process
+    Engine.restore ?batch_size ~domains:config.Config.domains
+      ~key:(group_key chain) ~subject:Address.to_hex ~process
       ~item_of_json:address_of_json
       ~res_of_json:Serialize.contract_report_of_json json
   in
@@ -450,11 +537,14 @@ let restore ?batch_size ~chain ~source json =
       source;
       cfg = config;
       host = Chain.host_at_head chain;
+      par = config.Config.domains > 1;
+      cache_lock = Mutex.create ();
+      merge_lock = Mutex.create ();
       detection_cache = Hashtbl.create 256;
       pair_cache = Hashtbl.create 256;
-      dedup_hits;
-      steps_total = steps;
-      api_calls;
+      dedup_hits = ref dedup_hits;
+      steps_total = ref steps;
+      api_calls = ref api_calls;
     }
   in
   List.iter (fun (k, v) -> Hashtbl.replace t.detection_cache k v) detection_entries;

@@ -66,9 +66,12 @@ val checkpoint : t -> Report.Json.t
 
 val restore :
   ?batch_size:int ->
+  ?domains:int ->
   chain:Chain.t ->
   source:Analysis.source_lookup ->
   Report.Json.t ->
   (t, string) result
 (** Rebuild from a {!checkpoint} against the same chain and source
-    oracle.  [batch_size] overrides the checkpointed configuration. *)
+    oracle.  [batch_size] and [domains] override the checkpointed
+    configuration; changing [domains] never changes the resumed run's
+    output, only its wall-clock time. *)

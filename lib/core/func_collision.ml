@@ -18,8 +18,9 @@ let signature_for side selector =
   | Source c ->
       List.find_map
         (fun f ->
-          if Minisol.Ast.selector f = selector then
-            Some (Minisol.Ast.signature f)
+          let signature = Minisol.Ast.signature f in
+          if Selector_extract.selector_of_signature signature = selector then
+            Some signature
           else None)
         c.Minisol.Ast.c_funcs
 

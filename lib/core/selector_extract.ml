@@ -115,3 +115,4 @@ let dispatcher_table code =
   List.rev !entries
 
 let probe_avoid_set = naive_push4
+let selector_of_signature = Keccak.Memo.selector

@@ -27,3 +27,8 @@ val probe_avoid_set : string -> string list
 (** The set a crafted probe must avoid: {!naive_push4} (the paper: "while
     not all 4-byte data following PUSH4 opcodes is a function signature,
     ProxioN safely avoids all of them"). *)
+
+val selector_of_signature : string -> string
+(** Memoized signature-to-selector hashing ({!Keccak.Memo.selector});
+    shared with {!Func_collision} so repeat prototypes across pairs hash
+    once per domain. *)

@@ -32,13 +32,23 @@ let stage_of_name s =
 type timing = { t_elapsed : float; t_api_calls : int; t_steps : int }
 
 type event =
-  | Run_started of { pending : int; batch_size : int }
+  | Run_started of { pending : int; batch_size : int; domains : int }
   | Batch_started of { index : int; size : int }
   | Batch_finished of { index : int; size : int; elapsed : float }
-  | Stage_started of { stage : stage; subject : string }
-  | Stage_finished of { stage : stage; subject : string; timing : timing }
-  | Stage_errored of { stage : stage; subject : string; message : string }
-  | Item_skipped of { subject : string; message : string }
+  | Stage_started of { stage : stage; subject : string; worker : int }
+  | Stage_finished of {
+      stage : stage;
+      subject : string;
+      timing : timing;
+      worker : int;
+    }
+  | Stage_errored of {
+      stage : stage;
+      subject : string;
+      message : string;
+      worker : int;
+    }
+  | Item_skipped of { subject : string; message : string; worker : int }
   | Run_finished of { processed : int; skipped : int; elapsed : float }
 
 (* Mutable per-stage aggregate. *)
@@ -49,6 +59,17 @@ type agg = {
   mutable a_steps : int;
 }
 
+(* Per-item buffer a worker fills while processing off the coordinator
+   thread: stage events and aggregate contributions are recorded here and
+   replayed by the coordinator in input order at the batch barrier, so
+   subscribers and totals observe exactly the sequential interleaving. *)
+type 'res cell = {
+  mutable c_events : event list; (* reverse order *)
+  mutable c_aggs : (stage * timing) list; (* reverse order *)
+  mutable c_outcome : ('res, string) result option;
+  mutable c_worker : int;
+}
+
 type ('item, 'res) t = {
   queue : 'item Queue.t;
   mutable results_rev : 'res list;
@@ -57,13 +78,25 @@ type ('item, 'res) t = {
   mutable subscribers : (event -> unit) list;
   mutable batches : int;
   bsize : int;
+  n_domains : int;
+  group_key : ('item -> string) option;
   subject_of : 'item -> string;
-  process : ('item, 'res) t -> 'item -> ('res, string) result;
+  process : ('item, 'res) ctx -> 'item -> ('res, string) result;
   totals : (stage, agg) Hashtbl.t;
 }
 
-let create ?(batch_size = 32) ~subject ~process () =
+(* What [process] sees: the engine, the id of the worker running the item
+   (0 = the coordinator, also the sequential path), and — when running on a
+   worker — the buffer standing in for direct event/aggregate delivery. *)
+and ('item, 'res) ctx = {
+  eng : ('item, 'res) t;
+  worker : int;
+  sink : 'res cell option; (* [None]: deliver directly (sequential path) *)
+}
+
+let create ?(batch_size = 32) ?(domains = 1) ?key ~subject ~process () =
   if batch_size <= 0 then invalid_arg "Engine.create: batch_size must be > 0";
+  if domains <= 0 then invalid_arg "Engine.create: domains must be > 0";
   {
     queue = Queue.create ();
     results_rev = [];
@@ -72,6 +105,8 @@ let create ?(batch_size = 32) ~subject ~process () =
     subscribers = [];
     batches = 0;
     bsize = batch_size;
+    n_domains = domains;
+    group_key = key;
     subject_of = subject;
     process;
     totals = Hashtbl.create 8;
@@ -79,6 +114,8 @@ let create ?(batch_size = 32) ~subject ~process () =
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 let emit t ev = List.iter (fun f -> f ev) t.subscribers
+let engine ctx = ctx.eng
+let worker_id ctx = ctx.worker
 
 let agg_of t stage =
   match Hashtbl.find_opt t.totals stage with
@@ -88,9 +125,22 @@ let agg_of t stage =
       Hashtbl.replace t.totals stage a;
       a
 
-let timed_stage t ~stage ~subject ?api_calls ?steps f =
+let apply_agg t stage timing =
+  let a = agg_of t stage in
+  a.a_count <- a.a_count + 1;
+  a.a_elapsed <- a.a_elapsed +. timing.t_elapsed;
+  a.a_api_calls <- a.a_api_calls + timing.t_api_calls;
+  a.a_steps <- a.a_steps + timing.t_steps
+
+let timed_stage ctx ~stage ~subject ?api_calls ?steps f =
   let sample = function Some reader -> reader () | None -> 0 in
-  emit t (Stage_started { stage; subject });
+  let worker = ctx.worker in
+  let deliver ev =
+    match ctx.sink with
+    | None -> emit ctx.eng ev
+    | Some cell -> cell.c_events <- ev :: cell.c_events
+  in
+  deliver (Stage_started { stage; subject; worker });
   let api0 = sample api_calls and steps0 = sample steps in
   let t0 = Unix.gettimeofday () in
   match f () with
@@ -102,24 +152,178 @@ let timed_stage t ~stage ~subject ?api_calls ?steps f =
           t_steps = sample steps - steps0;
         }
       in
-      let a = agg_of t stage in
-      a.a_count <- a.a_count + 1;
-      a.a_elapsed <- a.a_elapsed +. timing.t_elapsed;
-      a.a_api_calls <- a.a_api_calls + timing.t_api_calls;
-      a.a_steps <- a.a_steps + timing.t_steps;
-      emit t (Stage_finished { stage; subject; timing });
+      (match ctx.sink with
+      | None -> apply_agg ctx.eng stage timing
+      | Some cell -> cell.c_aggs <- (stage, timing) :: cell.c_aggs);
+      deliver (Stage_finished { stage; subject; timing; worker });
       v
   | exception e ->
-      emit t (Stage_errored { stage; subject; message = Printexc.to_string e });
+      deliver
+        (Stage_errored { stage; subject; message = Printexc.to_string e; worker });
       raise e
 
 let submit t items = List.iter (fun i -> Queue.add i t.queue) items
 let pending t = Queue.length t.queue
 let batch_size t = t.bsize
+let domains t = t.n_domains
 let batches_done t = t.batches
 let results t = List.rev t.results_rev
 let processed_count t = t.processed
 let skipped t = List.rev t.skipped_rev
+
+(* ------------------------------------------------------------------ *)
+(* Sequential batch (domains = 1): the reference code path              *)
+(* ------------------------------------------------------------------ *)
+
+let sequential_batch t n =
+  let ctx = { eng = t; worker = 0; sink = None } in
+  for _ = 1 to n do
+    let item = Queue.pop t.queue in
+    let subject = t.subject_of item in
+    let skip message =
+      t.skipped_rev <- (subject, message) :: t.skipped_rev;
+      emit t (Item_skipped { subject; message; worker = 0 })
+    in
+    match t.process ctx item with
+    | Ok res ->
+        t.results_rev <- res :: t.results_rev;
+        t.processed <- t.processed + 1
+    | Error message -> skip message
+    | exception e -> skip (Printexc.to_string e)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parallel batch: closeable task channel + per-batch domain pool       *)
+(* ------------------------------------------------------------------ *)
+
+(* A multi-producer/multi-consumer closeable channel.  [pop] blocks until
+   an element is available or the channel is closed and drained. *)
+module Chan = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    q : 'a Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      closed = false;
+    }
+
+  let push t x =
+    Mutex.lock t.mutex;
+    Queue.add x t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex
+
+  let pop t =
+    Mutex.lock t.mutex;
+    let rec await () =
+      if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+      else if t.closed then None
+      else begin
+        Condition.wait t.nonempty t.mutex;
+        await ()
+      end
+    in
+    let r = await () in
+    Mutex.unlock t.mutex;
+    r
+end
+
+(* Partition the batch's item indices into ordered chains.  Items sharing a
+   group key form one chain, processed sequentially by a single worker in
+   input order; distinct chains run in parallel.  The analyzer keys on the
+   bytecode hash, which is exactly the granularity of its dedup and pair
+   caches — so cache hits and misses replay in the sequential order and the
+   merged output is byte-identical. *)
+let group_indices t items n =
+  match t.group_key with
+  | None -> List.init n (fun i -> [ i ])
+  | Some key ->
+      let order = ref [] in
+      let buckets : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+      for i = 0 to n - 1 do
+        let k = key items.(i) in
+        match Hashtbl.find_opt buckets k with
+        | Some r -> r := i :: !r
+        | None ->
+            let r = ref [ i ] in
+            Hashtbl.replace buckets k r;
+            order := r :: !order
+      done;
+      List.rev_map (fun r -> List.rev !r) !order
+
+let run_item t wid item cell =
+  cell.c_worker <- wid;
+  let ctx = { eng = t; worker = wid; sink = Some cell } in
+  let outcome =
+    match t.process ctx item with
+    | r -> r
+    | exception e -> Error (Printexc.to_string e)
+  in
+  cell.c_outcome <- Some outcome
+
+let parallel_batch t n =
+  let items = Array.init n (fun _ -> Queue.pop t.queue) in
+  let cells =
+    Array.init n (fun _ ->
+        { c_events = []; c_aggs = []; c_outcome = None; c_worker = 0 })
+  in
+  let chains = group_indices t items n in
+  let chan = Chan.create () in
+  let worker_loop wid =
+    let rec drain () =
+      match Chan.pop chan with
+      | None -> ()
+      | Some idxs ->
+          List.iter (fun i -> run_item t wid items.(i) cells.(i)) idxs;
+          drain ()
+    in
+    drain ()
+  in
+  (* The coordinator is worker 0 and drains alongside the helpers, so a
+     pool of N domains needs only N-1 spawns; never spawn more helpers
+     than there are chains beyond the coordinator's first. *)
+  let helper_count = min (t.n_domains - 1) (max 0 (List.length chains - 1)) in
+  let helpers =
+    List.init helper_count (fun k ->
+        Domain.spawn (fun () -> worker_loop (k + 1)))
+  in
+  List.iter (fun chain -> Chan.push chan chain) chains;
+  Chan.close chan;
+  worker_loop 0;
+  List.iter Domain.join helpers;
+  (* Deterministic merge: replay every item's buffered events and
+     aggregate contributions in input order, then apply its outcome —
+     byte-for-byte the order the sequential path would have produced. *)
+  Array.iteri
+    (fun i cell ->
+      List.iter (emit t) (List.rev cell.c_events);
+      List.iter (fun (stage, tm) -> apply_agg t stage tm) (List.rev cell.c_aggs);
+      match cell.c_outcome with
+      | Some (Ok res) ->
+          t.results_rev <- res :: t.results_rev;
+          t.processed <- t.processed + 1
+      | Some (Error message) ->
+          let subject = t.subject_of items.(i) in
+          t.skipped_rev <- (subject, message) :: t.skipped_rev;
+          emit t (Item_skipped { subject; message; worker = cell.c_worker })
+      | None ->
+          (* Unreachable: every chain was pushed before [close] and every
+             popped chain fills its cells. *)
+          assert false)
+    cells
 
 let step_batch t =
   if Queue.is_empty t.queue then false
@@ -128,20 +332,7 @@ let step_batch t =
     let index = t.batches in
     emit t (Batch_started { index; size = n });
     let t0 = Unix.gettimeofday () in
-    for _ = 1 to n do
-      let item = Queue.pop t.queue in
-      let subject = t.subject_of item in
-      let skip message =
-        t.skipped_rev <- (subject, message) :: t.skipped_rev;
-        emit t (Item_skipped { subject; message })
-      in
-      match t.process t item with
-      | Ok res ->
-          t.results_rev <- res :: t.results_rev;
-          t.processed <- t.processed + 1
-      | Error message -> skip message
-      | exception e -> skip (Printexc.to_string e)
-    done;
+    if t.n_domains <= 1 then sequential_batch t n else parallel_batch t n;
     t.batches <- t.batches + 1;
     emit t
       (Batch_finished { index; size = n; elapsed = Unix.gettimeofday () -. t0 });
@@ -149,7 +340,9 @@ let step_batch t =
   end
 
 let run ?max_batches t =
-  emit t (Run_started { pending = pending t; batch_size = t.bsize });
+  emit t
+    (Run_started
+       { pending = pending t; batch_size = t.bsize; domains = t.n_domains });
   let t0 = Unix.gettimeofday () in
   let continue = function None -> true | Some n -> n > 0 in
   let rec loop budget =
@@ -255,7 +448,8 @@ let map_result f l =
   in
   go [] l
 
-let restore ?batch_size ~subject ~process ~item_of_json ~res_of_json json =
+let restore ?batch_size ?domains ?key ~subject ~process ~item_of_json
+    ~res_of_json json =
   let* version = Result.bind (field "version" json) (as_int "version") in
   if version <> checkpoint_version then
     Error (Printf.sprintf "checkpoint: unsupported version %d" version)
@@ -281,7 +475,7 @@ let restore ?batch_size ~subject ~process ~item_of_json ~res_of_json json =
       match field "extra" json with Ok v -> v | Error _ -> Json.Null
     in
     let bsize = match batch_size with Some b -> b | None -> saved_bsize in
-    let t = create ~batch_size:bsize ~subject ~process () in
+    let t = create ~batch_size:bsize ?domains ?key ~subject ~process () in
     submit t items;
     t.results_rev <- List.rev results;
     t.processed <- List.length results;

@@ -1,4 +1,4 @@
-(** A staged, batched analysis engine.
+(** A staged, batched analysis engine with optional domain parallelism.
 
     The engine is the generic half of ProxioN's production pipeline: it
     owns a persistent work queue, schedules items in fixed-size batches,
@@ -8,12 +8,25 @@
     [process] callback, so this library depends on nothing but the report
     substrate and can drive any per-item analysis.
 
+    With [~domains:n] (n > 1) each batch is fanned out across a pool of
+    OCaml domains (a from-scratch [Mutex]/[Condition] task channel — no
+    dependency on domainslib) and merged back {e in input order}: results,
+    skip records, per-stage aggregates, and every subscriber-visible event
+    reproduce the sequential interleaving exactly, so reports and
+    checkpoints are byte-identical whatever the worker count.
+    [~domains:1] (the default) takes the plain sequential code path with
+    no domain machinery at all.  An optional [~key] groups items of a
+    batch into chains that are processed sequentially on one worker —
+    callers whose [process] shares caches keyed by that value (the
+    analyzer's bytecode-hash dedup) use this to keep cache effects
+    deterministic.
+
     Runs are resumable: {!checkpoint} serializes the pending queue, the
     completed results and the skipped list through caller-supplied JSON
     converters, and {!restore} rebuilds an engine that continues exactly
     where the serialized one stopped.  Failures are isolated: an exception
     or [Error] from [process] records the item as skipped and the batch
-    carries on. *)
+    carries on — including when the item ran on a worker domain. *)
 
 (** The six analysis stages of the ProxioN pipeline, in execution order
     (§4–§5 of the paper): bytecode-hash dedup lookup, emulation probe,
@@ -38,54 +51,94 @@ type timing = {
   t_steps : int;  (** EVM instructions interpreted. *)
 }
 
+(** Events carry the id of the worker that ran the work: 0 is the
+    coordinator (and the only id seen with [domains:1]); helper domains
+    are 1..domains-1.  Worker-side events are buffered and delivered from
+    the coordinator at the batch barrier, in input order — subscribers
+    never run concurrently. *)
 type event =
-  | Run_started of { pending : int; batch_size : int }
+  | Run_started of { pending : int; batch_size : int; domains : int }
   | Batch_started of { index : int; size : int }
   | Batch_finished of { index : int; size : int; elapsed : float }
-  | Stage_started of { stage : stage; subject : string }
-  | Stage_finished of { stage : stage; subject : string; timing : timing }
-  | Stage_errored of { stage : stage; subject : string; message : string }
+  | Stage_started of { stage : stage; subject : string; worker : int }
+  | Stage_finished of {
+      stage : stage;
+      subject : string;
+      timing : timing;
+      worker : int;
+    }
+  | Stage_errored of {
+      stage : stage;
+      subject : string;
+      message : string;
+      worker : int;
+    }
       (** The stage raised; the item is about to be skipped. *)
-  | Item_skipped of { subject : string; message : string }
+  | Item_skipped of { subject : string; message : string; worker : int }
       (** Error isolation: the item is dropped, the batch continues. *)
   | Run_finished of { processed : int; skipped : int; elapsed : float }
 
 type ('item, 'res) t
 
+type ('item, 'res) ctx
+(** What a [process] callback receives: a handle identifying the engine
+    and the worker executing the item.  Stage timing and custom events
+    routed through the ctx are delivered directly on the sequential path
+    and buffered for the deterministic merge on worker domains. *)
+
 val create :
   ?batch_size:int ->
+  ?domains:int ->
+  ?key:('item -> string) ->
   subject:('item -> string) ->
-  process:(('item, 'res) t -> 'item -> ('res, string) result) ->
+  process:(('item, 'res) ctx -> 'item -> ('res, string) result) ->
   unit ->
   ('item, 'res) t
 (** A fresh engine with an empty queue.  [batch_size] defaults to 32;
-    [subject] renders an item for event reporting; [process] analyzes one
-    item (typically calling {!timed_stage} for each stage it runs). *)
+    [domains] (default 1) sizes the per-batch worker pool; [key] groups
+    same-key items of a batch into one sequential chain (see the module
+    docs); [subject] renders an item for event reporting; [process]
+    analyzes one item (typically calling {!timed_stage} for each stage it
+    runs).  [process] must touch shared mutable state only in ways that
+    are safe under the declared [domains] count. *)
 
 (** {1 Events} *)
 
 val subscribe : ('item, 'res) t -> (event -> unit) -> unit
 (** Register a subscriber.  Subscribers are invoked synchronously, in
-    registration order, for every subsequent event. *)
+    registration order, for every subsequent event, always from the
+    coordinator thread. *)
 
 val emit : ('item, 'res) t -> event -> unit
 (** Deliver an event to every subscriber (used by [process] callbacks for
-    domain-specific events; the engine emits the scheduling ones). *)
+    domain-specific events; the engine emits the scheduling ones).  Only
+    safe from the coordinator; worker-side [process] code should confine
+    itself to {!timed_stage}. *)
+
+val engine : ('item, 'res) ctx -> ('item, 'res) t
+(** The engine the ctx belongs to. *)
+
+val worker_id : ('item, 'res) ctx -> int
+(** Id of the worker running this item: 0 on the sequential path and the
+    coordinator, 1..domains-1 on helper domains. *)
 
 val timed_stage :
-  ('item, 'res) t ->
+  ('item, 'res) ctx ->
   stage:stage ->
   subject:string ->
   ?api_calls:(unit -> int) ->
   ?steps:(unit -> int) ->
   (unit -> 'a) ->
   'a
-(** [timed_stage t ~stage ~subject f] runs [f] bracketed by
+(** [timed_stage ctx ~stage ~subject f] runs [f] bracketed by
     [Stage_started]/[Stage_finished] events.  [api_calls] and [steps] are
     monotonic counter readers sampled before and after [f]; their deltas
     land in the event's {!timing} and in the per-stage aggregates.  When
     [f] raises, a [Stage_errored] event is emitted and the exception is
-    re-raised (the scheduler then skips the item). *)
+    re-raised (the scheduler then skips the item).  Under parallel
+    execution the readers must observe worker-local counters (the
+    analyzer passes each worker's private chain-view counters), and the
+    events/aggregates are buffered for the ordered merge. *)
 
 (** {1 Scheduling} *)
 
@@ -94,13 +147,17 @@ val submit : ('item, 'res) t -> 'item list -> unit
 
 val pending : ('item, 'res) t -> int
 val batch_size : ('item, 'res) t -> int
+val domains : ('item, 'res) t -> int
 val batches_done : ('item, 'res) t -> int
 
 val step_batch : ('item, 'res) t -> bool
 (** Process one batch from the queue head.  [false] when the queue was
     empty.  Items whose [process] raises or returns [Error] are recorded
     as skipped — with [Stage_errored]/[Item_skipped] events — instead of
-    aborting the batch. *)
+    aborting the batch.  With [domains > 1] the batch is fanned across
+    the worker pool and merged in input order before this returns; the
+    batch boundary is therefore also the parallel barrier, and
+    checkpoints taken between batches are identical to sequential ones. *)
 
 val run : ?max_batches:int -> ('item, 'res) t -> unit
 (** Drain the queue ([max_batches] bounds how many batches this call may
@@ -133,16 +190,22 @@ val checkpoint :
   ('item, 'res) t ->
   Report.Json.t
 (** Serialize queue, results, skip list, batch counter and [extra] (an
-    opaque client payload: dedup caches, stat counters...). *)
+    opaque client payload: dedup caches, stat counters...).  The worker
+    count is deliberately not serialized — it is an execution parameter,
+    not state, and a checkpoint written with any [domains] restores and
+    resumes identically under any other. *)
 
 val restore :
   ?batch_size:int ->
+  ?domains:int ->
+  ?key:('item -> string) ->
   subject:('item -> string) ->
-  process:(('item, 'res) t -> 'item -> ('res, string) result) ->
+  process:(('item, 'res) ctx -> 'item -> ('res, string) result) ->
   item_of_json:(Report.Json.t -> ('item, string) result) ->
   res_of_json:(Report.Json.t -> ('res, string) result) ->
   Report.Json.t ->
   (('item, 'res) t * Report.Json.t, string) result
 (** Rebuild an engine from a {!checkpoint} value; returns it together
     with the [extra] payload ([Report.Json.Null] when absent).
-    [batch_size] overrides the checkpointed one when given. *)
+    [batch_size] overrides the checkpointed one when given; [domains] and
+    [key] configure the resumed engine exactly as in {!create}. *)

@@ -45,7 +45,7 @@ type account = {
   mutable code : string;
   mutable balance : U256.t;
   mutable nonce : int;
-  storage : (U256.t, U256.t) Hashtbl.t;
+  storage : U256.t U256.Tbl.t;
   mutable alive : bool;
 }
 
@@ -74,7 +74,7 @@ let in_memory ?(block = default_block) () =
             code = "";
             balance = U256.zero;
             nonce = 0;
-            storage = Hashtbl.create 8;
+            storage = U256.Tbl.create 8;
             alive = false;
           }
         in
@@ -85,13 +85,14 @@ let in_memory ?(block = default_block) () =
   let get_storage addr slot =
     match Hashtbl.find_opt accounts addr with
     | None -> U256.zero
-    | Some a -> Option.value ~default:U256.zero (Hashtbl.find_opt a.storage slot)
+    | Some a ->
+        Option.value ~default:U256.zero (U256.Tbl.find_opt a.storage slot)
   in
   let set_storage addr slot value =
     let a = account addr in
-    push (Set_storage (a, slot, Hashtbl.find_opt a.storage slot));
-    if U256.is_zero value then Hashtbl.remove a.storage slot
-    else Hashtbl.replace a.storage slot value
+    push (Set_storage (a, slot, U256.Tbl.find_opt a.storage slot));
+    if U256.is_zero value then U256.Tbl.remove a.storage slot
+    else U256.Tbl.replace a.storage slot value
   in
   let get_balance addr =
     match Hashtbl.find_opt accounts addr with
@@ -151,8 +152,8 @@ let in_memory ?(block = default_block) () =
           (match u with
           | Set_storage (a, slot, prev) -> (
               match prev with
-              | None -> Hashtbl.remove a.storage slot
-              | Some v -> Hashtbl.replace a.storage slot v)
+              | None -> U256.Tbl.remove a.storage slot
+              | Some v -> U256.Tbl.replace a.storage slot v)
           | Set_balance (a, prev) -> a.balance <- prev
           | Set_nonce (a, prev) -> a.nonce <- prev
           | Set_code (a, prev) -> a.code <- prev
@@ -177,3 +178,134 @@ let in_memory ?(block = default_block) () =
   }
 
 let with_code host addr code = host.create_account addr ~code
+
+(* Copy-on-write view: reads fall through to [base], writes land in private
+   override tables with their own undo journal.  The base host is never
+   mutated, so any number of overlays can share one base concurrently as
+   long as the base itself is no longer written. *)
+
+module Slot_tbl = Hashtbl.Make (struct
+  type t = Address.t * U256.t
+
+  let equal (a1, s1) (a2, s2) = Address.equal a1 a2 && U256.equal s1 s2
+  let hash (a, s) = (Hashtbl.hash a * 65599) lxor U256.hash s
+end)
+
+type ov_undo =
+  | Ov_storage of (Address.t * U256.t) * U256.t option
+  | Ov_code of Address.t * (string * bool) option
+  | Ov_balance of Address.t * U256.t option
+  | Ov_nonce of Address.t * int option
+
+let overlay base =
+  (* Code override: [(code, alive)].  Storage overrides store the effective
+     value — including zero — so a written-then-cleared slot shadows the
+     base value instead of exposing it again. *)
+  let code_ov : (Address.t, string * bool) Hashtbl.t = Hashtbl.create 16 in
+  let storage_ov : U256.t Slot_tbl.t = Slot_tbl.create 64 in
+  let balance_ov : (Address.t, U256.t) Hashtbl.t = Hashtbl.create 16 in
+  let nonce_ov : (Address.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let journal : ov_undo list ref = ref [] in
+  let journal_len = ref 0 in
+  let push u =
+    journal := u :: !journal;
+    incr journal_len
+  in
+  let get_code addr =
+    match Hashtbl.find_opt code_ov addr with
+    | Some (code, alive) -> if alive then code else ""
+    | None -> base.get_code addr
+  in
+  let eff_alive addr =
+    match Hashtbl.find_opt code_ov addr with
+    | Some (_, alive) -> alive
+    | None ->
+        (* Approximation: a base account that is alive with empty code is
+           treated as absent.  The analysis datasets never create such
+           accounts, and the interpreter only uses existence for EXTCODE*
+           and CALL gas decisions that do not affect collision verdicts. *)
+        base.get_code addr <> ""
+  in
+  let get_storage addr slot =
+    match Slot_tbl.find_opt storage_ov (addr, slot) with
+    | Some v -> v
+    | None -> base.get_storage addr slot
+  in
+  let set_storage addr slot value =
+    let key = (addr, slot) in
+    push (Ov_storage (key, Slot_tbl.find_opt storage_ov key));
+    Slot_tbl.replace storage_ov key value
+  in
+  let get_balance addr =
+    match Hashtbl.find_opt balance_ov addr with
+    | Some v -> v
+    | None -> base.get_balance addr
+  in
+  let set_balance addr v =
+    push (Ov_balance (addr, Hashtbl.find_opt balance_ov addr));
+    Hashtbl.replace balance_ov addr v
+  in
+  let get_nonce addr =
+    match Hashtbl.find_opt nonce_ov addr with
+    | Some n -> n
+    | None -> base.get_nonce addr
+  in
+  let set_nonce addr n =
+    push (Ov_nonce (addr, Hashtbl.find_opt nonce_ov addr));
+    Hashtbl.replace nonce_ov addr n
+  in
+  let account_exists addr =
+    eff_alive addr || get_nonce addr > 0 || not (U256.is_zero (get_balance addr))
+  in
+  let set_code addr code alive =
+    push (Ov_code (addr, Hashtbl.find_opt code_ov addr));
+    Hashtbl.replace code_ov addr (code, alive)
+  in
+  let create_account addr ~code = set_code addr code true in
+  let selfdestruct addr ~beneficiary =
+    set_balance beneficiary (U256.add (get_balance beneficiary) (get_balance addr));
+    set_balance addr U256.zero;
+    set_code addr "" false
+  in
+  let snapshot () = !journal_len in
+  let revert_to mark =
+    while !journal_len > mark do
+      match !journal with
+      | [] -> assert false
+      | u :: rest -> (
+          journal := rest;
+          decr journal_len;
+          match u with
+          | Ov_storage (key, prev) -> (
+              match prev with
+              | None -> Slot_tbl.remove storage_ov key
+              | Some v -> Slot_tbl.replace storage_ov key v)
+          | Ov_code (addr, prev) -> (
+              match prev with
+              | None -> Hashtbl.remove code_ov addr
+              | Some v -> Hashtbl.replace code_ov addr v)
+          | Ov_balance (addr, prev) -> (
+              match prev with
+              | None -> Hashtbl.remove balance_ov addr
+              | Some v -> Hashtbl.replace balance_ov addr v)
+          | Ov_nonce (addr, prev) -> (
+              match prev with
+              | None -> Hashtbl.remove nonce_ov addr
+              | Some v -> Hashtbl.replace nonce_ov addr v))
+    done
+  in
+  {
+    get_code;
+    get_storage;
+    set_storage;
+    get_balance;
+    set_balance;
+    get_nonce;
+    set_nonce;
+    account_exists;
+    create_account;
+    selfdestruct;
+    snapshot;
+    revert_to;
+    block = base.block;
+  }

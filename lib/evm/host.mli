@@ -47,3 +47,16 @@ val in_memory : ?block:block_info -> unit -> t
 val with_code : t -> Address.t -> string -> unit
 (** [with_code host addr code] installs [code] at [addr] (convenience over
     [create_account]; overwrites any existing code). *)
+
+val overlay : t -> t
+(** [overlay base] is a copy-on-write view over [base]: reads fall through
+    to [base], writes land in private override tables with their own undo
+    journal, and [base] is never mutated.  Many overlays can share one base
+    concurrently provided the base itself is no longer written — this is
+    how each analysis worker domain gets a private writable host over the
+    shared immutable chain snapshot.
+
+    One documented approximation: [account_exists] reports a base account
+    that is alive with {e empty} code as absent (the overlay cannot observe
+    the base's liveness flag, only its code).  No dataset in this
+    repository creates such accounts. *)

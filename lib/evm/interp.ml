@@ -40,6 +40,10 @@ type result = {
 
 let succeeded r = r.status = Returned
 
+(* Hoisted out of the MSTORE8 case: [U256.of_int] allocates a fresh 16-limb
+   array per call, and MSTORE8 sits on the memcpy-style loops solc emits. *)
+let byte_mask = U256.of_int 0xff
+
 type call_kind = Call | Callcode | Delegatecall | Staticcall
 
 let call_kind_to_string = function
@@ -348,7 +352,7 @@ let rec exec_frame ctx (params : call_params) : result =
              let v = pop () in
              charge_memory ~offset:off ~len:1;
              Machine.Memory.store_byte memory off
-               (Option.value ~default:0 (U256.to_int (U256.logand v (U256.of_int 0xff))))
+               (Option.value ~default:0 (U256.to_int (U256.logand v byte_mask)))
          | SLOAD ->
              let slot = pop () in
              let v = host.Host.get_storage params.context_address slot in

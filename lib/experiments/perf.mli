@@ -16,7 +16,11 @@ type numbers = {
   storage_check_ms : float;
   pipeline_s_with_dedup : float;
   pipeline_s_without_dedup : float;
+  parallel_domains : int;  (** Worker count used for the parallel row. *)
+  pipeline_s_parallel : float;
+      (** Dedup pipeline fanned across [parallel_domains] domains;
+          identical output, different wall-clock. *)
 }
 
-val run : ?config:Dataset.Generate.config -> unit -> numbers
+val run : ?config:Dataset.Generate.config -> ?domains:int -> unit -> numbers
 val render : numbers -> string

@@ -162,3 +162,37 @@ let digest msg =
 let digest_hex msg = Hexutil.to_hex (digest msg)
 let selector prototype = String.sub (digest prototype) 0 4
 let selector_hex prototype = Hexutil.to_hex (selector prototype)
+
+module Memo = struct
+  type stats = { hits : int; misses : int }
+
+  (* One memo table per domain (Domain.DLS): lookups are lock-free and
+     never contend, at the cost of each worker warming its own table.
+     Signature populations are small (a few hundred distinct prototypes
+     per landscape), so the duplication is bytes, not megabytes. *)
+  let slot =
+    Domain.DLS.new_key (fun () ->
+        ((Hashtbl.create 256 : (string, string) Hashtbl.t), ref 0, ref 0))
+
+  let selector prototype =
+    let tbl, hits, misses = Domain.DLS.get slot in
+    match Hashtbl.find_opt tbl prototype with
+    | Some s ->
+        incr hits;
+        s
+    | None ->
+        incr misses;
+        let s = selector prototype in
+        Hashtbl.replace tbl prototype s;
+        s
+
+  let stats () =
+    let _, hits, misses = Domain.DLS.get slot in
+    { hits = !hits; misses = !misses }
+
+  let reset () =
+    let tbl, hits, misses = Domain.DLS.get slot in
+    Hashtbl.reset tbl;
+    hits := 0;
+    misses := 0
+end

@@ -18,3 +18,23 @@ val selector : string -> string
 
 val selector_hex : string -> string
 (** 0x-prefixed hex form of {!selector}. *)
+
+(** Memoized selector hashing for the analysis hot path.
+
+    The collision stages hash the same few hundred function prototypes over
+    and over (once per proxy/logic pair); a memo table turns those repeat
+    hashes into a string lookup.  The table lives in domain-local storage
+    ([Domain.DLS]), so each worker domain has its own — lookups are
+    lock-free and safe under domain parallelism by construction. *)
+module Memo : sig
+  type stats = { hits : int; misses : int }
+
+  val selector : string -> string
+  (** Same result as {!Keccak.selector}, memoized per domain. *)
+
+  val stats : unit -> stats
+  (** Hit/miss counters of {e this} domain's table. *)
+
+  val reset : unit -> unit
+  (** Clear this domain's table and counters (bench harness use). *)
+end

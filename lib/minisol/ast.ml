@@ -95,7 +95,7 @@ let signature f =
   Printf.sprintf "%s(%s)" f.f_name
     (String.concat "," (List.map (fun p -> canonical_type p.p_ty) f.f_params))
 
-let selector f = Keccak.selector (signature f)
+let selector f = Keccak.Memo.selector (signature f)
 let signatures c = List.map signature c.c_funcs
 let selectors c = List.map selector c.c_funcs
 

@@ -139,3 +139,7 @@ val hash : t -> int
 
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by words, using {!equal}/{!hash} instead of the
+    polymorphic hash, so lookups never allocate or traverse structurally. *)

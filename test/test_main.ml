@@ -18,4 +18,5 @@ let () =
       ("dataset", T_dataset.suite);
       ("experiments", T_experiments.suite);
       ("engine", T_engine.suite);
+      ("parallel", T_parallel.suite);
     ]
