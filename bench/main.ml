@@ -448,6 +448,54 @@ let run_engine fx =
     if memo_total = 0 then 0.0
     else float_of_int memo.Keccak.Memo.hits /. float_of_int memo_total
   in
+  (* Resilience sweep: the same landscape under seeded fault injection.
+     Every run must stay report-identical to the fault-free baseline
+     (transients are retried on the virtual clock), so what this measures
+     is the pure scheduling overhead of the retry/breaker machinery plus
+     how the retry volume scales with the fault rate. *)
+  let resilience_runs =
+    List.map
+      (fun fault_rate ->
+        let retries = ref 0 and opens = ref 0 and closes = ref 0 in
+        let resilience =
+          Resilience.Transport.config
+            ~plan:(Resilience.Fault_plan.spec ~seed:1 ~fault_rate ())
+            ()
+        in
+        let t, elapsed =
+          time (fun () ->
+              Chain.reset_api_call_count chain;
+              let config =
+                Proxion.Pipeline.Config.(default |> with_batch_size 32)
+              in
+              let t =
+                Proxion.Analyzer.create ~config ~resilience ~chain ~source ()
+              in
+              Proxion.Analyzer.subscribe t (fun ev ->
+                  match ev with
+                  | Engine.Retry_attempted _ -> incr retries
+                  | Engine.Circuit_opened _ -> incr opens
+                  | Engine.Circuit_closed _ -> incr closes
+                  | _ -> ());
+              Proxion.Analyzer.submit_all t;
+              Proxion.Analyzer.run t;
+              t)
+        in
+        let identical = String.equal (report_string t) base_report in
+        let dead = List.length (Proxion.Analyzer.skipped t) in
+        (fault_rate, elapsed, !retries, !opens, !closes, dead, identical))
+      [ 0.0; 0.02; 0.08 ]
+  in
+  let resilience_summary =
+    String.concat "; "
+      (List.map
+         (fun (rate, elapsed, retries, opens, _, dead, identical) ->
+           Printf.sprintf "%.0f%%: %.3fs, %d retries, %d trips%s%s"
+             (100.0 *. rate) elapsed retries opens
+             (if dead > 0 then Printf.sprintf ", %d dead" dead else "")
+             (if identical then "" else ", REPORT DIFFERS"))
+         resilience_runs)
+  in
   (* Machine-readable trajectory artifact. *)
   let stage_json t =
     Report.Json.List
@@ -460,13 +508,14 @@ let run_engine fx =
                ("elapsed_s", Report.Json.Float tm.Engine.t_elapsed);
                ("api_calls", Report.Json.Int tm.Engine.t_api_calls);
                ("steps", Report.Json.Int tm.Engine.t_steps);
+               ("retries", Report.Json.Int tm.Engine.t_retries);
              ])
          (Engine.stage_totals (Proxion.Analyzer.engine t)))
   in
   let bench_json =
     Report.Json.Obj
       [
-        ("schema_version", Report.Json.Int 1);
+        ("schema_version", Report.Json.Int 2);
         ("git_rev", Report.Json.String (git_rev ()));
         ( "cores",
           Report.Json.Int (Domain.recommended_domain_count ()) );
@@ -500,6 +549,24 @@ let run_engine fx =
               ("misses", Report.Json.Int memo.Keccak.Memo.misses);
               ("hit_rate", Report.Json.Float memo_rate);
             ] );
+        ( "resilience",
+          Report.Json.List
+            (List.map
+               (fun (rate, elapsed, retries, opens, closes, dead, identical) ->
+                 Report.Json.Obj
+                   [
+                     ("fault_rate", Report.Json.Float rate);
+                     ("elapsed_s", Report.Json.Float elapsed);
+                     ( "overhead_vs_baseline",
+                       Report.Json.Float (elapsed /. Float.max 1e-9 base_elapsed)
+                     );
+                     ("retries", Report.Json.Int retries);
+                     ("breaker_opens", Report.Json.Int opens);
+                     ("breaker_closes", Report.Json.Int closes);
+                     ("dead_letters", Report.Json.Int dead);
+                     ("identical_report", Report.Json.Bool identical);
+                   ])
+               resilience_runs) );
       ]
   in
   Out_channel.with_open_text bench_engine_json_path (fun oc ->
@@ -512,6 +579,7 @@ let run_engine fx =
     [
       [ "full run by batch size"; String.concat "; " sweep ];
       [ "full run by domains"; domain_summary ];
+      [ "fault-injection sweep"; resilience_summary ];
       [
         "keccak selector memo";
         Printf.sprintf "%d hits / %d misses (%.1f%% hit rate)"

@@ -91,8 +91,20 @@ let progress_subscriber ev =
   | Stage_errored { stage; subject; message; worker } ->
       Printf.eprintf "  %s: stage %s errored on worker %d: %s\n%!" subject
         (stage_name stage) worker message
-  | Item_skipped { subject; message; _ } ->
-      Printf.eprintf "  skipped %s: %s\n%!" subject message
+  | Retry_attempted { subject; attempt; reason; delay; _ } ->
+      Printf.eprintf "  retry %s: attempt %d, %.3fs virtual backoff (%s)\n%!"
+        subject attempt delay reason
+  | Circuit_opened { endpoint; subject; failures; _ } ->
+      Printf.eprintf "  circuit open: %s endpoint for %s after %d failures\n%!"
+        endpoint subject failures
+  | Circuit_closed { endpoint; subject; _ } ->
+      Printf.eprintf "  circuit closed: %s endpoint for %s\n%!" endpoint subject
+  | Item_skipped { subject; message; fault_class; attempts; _ } ->
+      Printf.eprintf "  skipped %s (%s, %d attempt%s): %s\n%!" subject
+        (Engine.skip_class_name fault_class)
+        attempts
+        (if attempts = 1 then "" else "s")
+        message
   | Run_finished { processed; skipped; elapsed } ->
       Printf.eprintf "run: %d processed, %d skipped in %.2fs\n%!" processed
         skipped elapsed
@@ -133,7 +145,8 @@ let print_landscape t findings =
   0
 
 let run_landscape total seed findings batch_size domains progress
-    checkpoint_path resume_path max_batches =
+    checkpoint_path resume_path max_batches fault_rate fault_seed fault_latency
+    retry_skipped =
   match (batch_size, domains) with
   | Some b, _ when b <= 0 ->
       prerr_endline "error: --batch-size must be positive";
@@ -141,17 +154,33 @@ let run_landscape total seed findings batch_size domains progress
   | _, Some d when d <= 0 ->
       prerr_endline "error: --domains must be positive";
       1
+  | _ when fault_rate < 0.0 || fault_rate >= 1.0 ->
+      prerr_endline "error: --fault-rate must be in [0, 1)";
+      1
   | _ ->
   let land_ = Dataset.Generate.generate (landscape_config total seed) in
   let chain = land_.Dataset.Generate.chain in
   let source = land_.Dataset.Generate.source_of in
   Chain.reset_api_call_count chain;
+  (* Like --domains, the fault plan is an execution parameter: any
+     combination of knobs produces the same figures, faults only exercise
+     the retry path. *)
+  let resilience =
+    if fault_rate > 0.0 || fault_latency > 0.0 then
+      Resilience.Transport.config
+        ~plan:
+          (Resilience.Fault_plan.spec ~seed:fault_seed ~fault_rate
+             ~mean_latency:fault_latency ())
+        ()
+    else Resilience.Transport.default_config
+  in
   let analyzer =
     match resume_path with
     | Some path -> (
         match
           Result.bind (read_checkpoint path)
-            (Proxion.Analyzer.restore ?batch_size ?domains ~chain ~source)
+            (Proxion.Analyzer.restore ?batch_size ?domains ~resilience ~chain
+               ~source)
         with
         | Ok t -> Ok t
         | Error e -> Error (Printf.sprintf "cannot resume from %s: %s" path e))
@@ -165,7 +194,7 @@ let run_landscape total seed findings batch_size domains progress
              | Some d -> Proxion.Pipeline.Config.with_domains d
              | None -> Fun.id)
         in
-        let t = Proxion.Analyzer.create ~config ~chain ~source () in
+        let t = Proxion.Analyzer.create ~config ~resilience ~chain ~source () in
         Proxion.Analyzer.submit_all t;
         Ok t
   in
@@ -176,6 +205,19 @@ let run_landscape total seed findings batch_size domains progress
   | Ok analyzer ->
       if progress then Proxion.Analyzer.subscribe analyzer progress_subscriber;
       Proxion.Analyzer.run ?max_batches analyzer;
+      (if retry_skipped then
+         let n =
+           Proxion.Analyzer.requeue
+             ~classes:
+               [ Engine.Transient; Engine.Budget_exhausted; Engine.Permanent ]
+             analyzer
+         in
+         if n > 0 then begin
+           Printf.eprintf "retry-skipped: requeued %d dead-letter contract%s\n%!"
+             n
+             (if n = 1 then "" else "s");
+           Proxion.Analyzer.run analyzer
+         end);
       Option.iter
         (fun path -> write_checkpoint path (Proxion.Analyzer.checkpoint analyzer))
         checkpoint_path;
@@ -259,11 +301,44 @@ let landscape_cmd =
             "Stop after $(docv) batches, leaving the rest queued (pair \
              with --checkpoint).")
   in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Inject transient archive faults (rate limits, timeouts, node \
+             errors) on fraction $(docv) of RPC attempts.  Deterministic: \
+             the figures are identical to a fault-free run, faults only \
+             exercise the retry/breaker path.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the injected fault plan (with --fault-rate).")
+  in
+  let fault_latency_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-latency" ] ~docv:"S"
+          ~doc:
+            "Mean injected per-call latency in virtual seconds (never \
+             sleeps the wall clock).")
+  in
+  let retry_skipped_arg =
+    Arg.(
+      value & flag
+      & info [ "retry-skipped" ]
+          ~doc:
+            "After the run, requeue every dead-letter contract (all fault \
+             classes) and run once more.")
+  in
   Cmd.v (Cmd.info "landscape" ~doc)
     Term.(
       const run_landscape $ total_arg $ seed_arg $ findings_arg
       $ batch_size_arg $ domains_arg $ progress_arg $ checkpoint_arg
-      $ resume_arg $ max_batches_arg)
+      $ resume_arg $ max_batches_arg $ fault_rate_arg $ fault_seed_arg
+      $ fault_latency_arg $ retry_skipped_arg)
 
 (* --- coverage / accuracy / perf / effectiveness ------------------------- *)
 

@@ -48,7 +48,7 @@ let () =
   Chain.set_storage_direct chain planted U256.one
     (Evm.Address.to_u256 planted_logic);
   let report =
-    Proxion.Pipeline.run ~chain ~source:land_.Dataset.Generate.source_of ()
+    Proxion.Pipeline.analyze ~chain ~source:land_.Dataset.Generate.source_of ()
   in
   Printf.printf "detected %d proxies; auditing upgrade authority...\n\n%!"
     report.Proxion.Pipeline.stats.Proxion.Pipeline.s_proxies;

@@ -1,10 +1,28 @@
+type transient_kind = Rate_limited | Timeout | Node_error
+
+let transient_kind_name = function
+  | Rate_limited -> "rate-limited"
+  | Timeout -> "timeout"
+  | Node_error -> "node-error"
+
 type error =
   | Unknown_method of string
   | Invalid_params of string
+  | Unsupported_height of string
+  | Transient of transient_kind * string
 
 let error_to_string = function
   | Unknown_method m -> "unknown method " ^ m
   | Invalid_params m -> "invalid params: " ^ m
+  | Unsupported_height meth ->
+      Printf.sprintf
+        "unsupported height: %s only serves the latest state on this node" meth
+  | Transient (kind, detail) ->
+      Printf.sprintf "transient %s: %s" (transient_kind_name kind) detail
+
+let is_transient = function
+  | Transient _ -> true
+  | Unknown_method _ | Invalid_params _ | Unsupported_height _ -> false
 
 let ( let* ) = Result.bind
 
@@ -34,10 +52,13 @@ let parse_block chain s =
           | None -> Error (Invalid_params ("bad block " ^ s)))
       | exception _ -> Error (Invalid_params ("bad block " ^ s)))
 
-let latest_only chain s =
+(* A well-formed historical height on a latest-only method is a
+   capability gap of the node, not a malformed request: report it as
+   [Unsupported_height] (never retryable, names the method) so resilience
+   layers can tell it apart from both transport faults and caller bugs. *)
+let latest_only chain ~meth s =
   let* h = parse_block chain s in
-  if h = Chain.height chain then Ok ()
-  else Error (Invalid_params "only the latest state is served for this method")
+  if h = Chain.height chain then Ok () else Error (Unsupported_height meth)
 
 let call chain ~meth ~params =
   match (meth, params) with
@@ -47,7 +68,7 @@ let call chain ~meth ~params =
       Ok (U256.to_hex host.Evm.Host.block.Evm.Host.chain_id)
   | "eth_getCode", [ addr; block ] ->
       let* a = parse_address addr in
-      let* () = latest_only chain block in
+      let* () = latest_only chain ~meth block in
       Ok (Hexutil.to_hex (Chain.code_at chain a))
   | "eth_getStorageAt", [ addr; slot; block ] ->
       let* a = parse_address addr in
@@ -56,7 +77,7 @@ let call chain ~meth ~params =
       Ok (U256.to_hex_padded (Chain.get_storage_at chain a s ~height))
   | "eth_getBalance", [ addr; block ] ->
       let* a = parse_address addr in
-      let* () = latest_only chain block in
+      let* () = latest_only chain ~meth block in
       let host = Chain.host_at_head chain in
       Ok (U256.to_hex (host.Evm.Host.get_balance a))
   | "eth_call", [ to_; data; block ] ->
@@ -66,7 +87,7 @@ let call chain ~meth ~params =
         | Some d -> Ok d
         | None -> Error (Invalid_params "bad call data")
       in
-      let* () = latest_only chain block in
+      let* () = latest_only chain ~meth block in
       let host = Chain.host_at_head chain in
       let caller = Evm.Address.of_hex "0x000000000000000000000000000000000000ca11" in
       let snapshot = host.Evm.Host.snapshot () in
@@ -82,7 +103,7 @@ let call chain ~meth ~params =
           Error (Invalid_params (Evm.Interp.error_to_string e)))
   | "eth_getTransactionCount", [ addr; block ] ->
       let* a = parse_address addr in
-      let* () = latest_only chain block in
+      let* () = latest_only chain ~meth block in
       let host = Chain.host_at_head chain in
       Ok (quantity (host.Evm.Host.get_nonce a))
   | ( ("eth_blockNumber" | "eth_chainId" | "eth_getCode" | "eth_getStorageAt"

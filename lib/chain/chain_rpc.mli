@@ -8,11 +8,35 @@
     so code written against this facade would port to a real node
     unchanged. *)
 
+(** The retryable failure modes of a real provider.  The simulated node
+    never produces them on its own; the resilient transport
+    ({!Resilience.Transport}) injects them from a seeded fault plan and
+    real deployments map provider responses (HTTP 429, deadline
+    exceeded, -32000 family) onto them. *)
+type transient_kind =
+  | Rate_limited  (** Provider throttling (HTTP 429 / -32005). *)
+  | Timeout  (** The response never arrived. *)
+  | Node_error  (** Internal node failure or dropped connection. *)
+
+val transient_kind_name : transient_kind -> string
+
 type error =
   | Unknown_method of string
-  | Invalid_params of string
+  | Invalid_params of string  (** Malformed request: a caller bug. *)
+  | Unsupported_height of string
+      (** A well-formed historical block tag on a method this node only
+          serves at the latest state; carries the method name.  Never
+          retryable — the node will answer the same way forever. *)
+  | Transient of transient_kind * string
+      (** Retryable provider failure with a human-readable detail. *)
 
 val error_to_string : error -> string
+
+val is_transient : error -> bool
+(** Whether a retry could ever change the answer.  [Transient] only:
+    [Unsupported_height] in particular looks like a provider hiccup but
+    is a permanent capability statement, which is exactly why it is a
+    distinct constructor. *)
 
 val call :
   Chain.t -> meth:string -> params:string list -> (string, error) result
@@ -29,8 +53,9 @@ val call :
     The block tag is ["latest"] or a hex quantity.  [eth_getCode],
     [eth_getBalance] and [eth_getTransactionCount] only serve the latest
     state (the simulated chain snapshots storage history only, like the
-    paper's use of the node); historical block tags on them return
-    [Invalid_params]. *)
+    paper's use of the node); a valid historical block tag on them
+    returns [Unsupported_height] with the method name, while a malformed
+    or beyond-head tag stays [Invalid_params]. *)
 
 val call_batch :
   Chain.t -> (string * string list) list -> (string, error) result list

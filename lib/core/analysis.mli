@@ -1,8 +1,8 @@
 (** Shared vocabulary of the analysis layer: the per-contract and
     per-pair report types every consumer reads, the aggregate statistics,
-    and the {!Config} record that replaced [Pipeline.run]'s optional
-    arguments.  {!Pipeline} re-exports everything here under its
-    historical names; {!Analyzer} produces the values. *)
+    and the {!Config} record that replaced the retired [Pipeline.run]
+    entry point's optional arguments.  {!Pipeline} re-exports everything
+    here under its historical names; {!Analyzer} produces the values. *)
 
 type source_lookup = Evm.Address.t -> Minisol.Ast.contract option
 (** The Etherscan stand-in: source for "verified" contracts, [None] for
@@ -67,7 +67,7 @@ val compute_stats :
 
 (** Run configuration — one value threaded through the engine, the CLI,
     the benchmark harness and the experiments, replacing the optional
-    argument soup of the original [Pipeline.run]. *)
+    argument soup of the retired [Pipeline.run] entry point. *)
 module Config : sig
   type t = {
     verify_storage : bool;

@@ -14,6 +14,7 @@ type t = {
   chain : Chain.t;
   source : Analysis.source_lookup;
   cfg : Config.t;
+  resilience : Resilience.Transport.config;
   host : Evm.Host.t;
   par : bool; (* domains > 1: shared state needs locking *)
   cache_lock : Mutex.t;
@@ -39,6 +40,11 @@ type env = {
   e_host : Evm.Host.t;
   e_steps : int ref;
   e_dedup : int ref;
+  e_transport : Resilience.Transport.t;
+      (* One logical connection per item, salted by the subject address:
+         fault injection and jitter depend only on (plan seed, subject,
+         per-connection attempt index), never on scheduling. *)
+  e_steps0 : int; (* step-counter baseline at item start (step budget) *)
 }
 
 let config t = t.cfg
@@ -77,6 +83,19 @@ let method_for t proxy logic =
 
 let api_reader env () = Chain.api_call_count env.e_chain
 let steps_reader env () = !(env.e_steps)
+let retries_reader env () = Resilience.Transport.retries env.e_transport
+
+(* Every stage is bracketed by the engine timers and followed by a step
+   budget check against the item's baseline — exceeding it raises
+   [Transport.Budget_exhausted], which dead-letters the item as
+   [Budget_exhausted] (recoverable by requeue with a larger budget). *)
+let timed ctx env ~stage ~subject f =
+  Engine.timed_stage ctx ~stage ~subject ~api_calls:(api_reader env)
+    ~steps:(steps_reader env) ~retries:(retries_reader env) (fun () ->
+      let v = f () in
+      Resilience.Transport.check_step_budget env.e_transport
+        ~steps:(!(env.e_steps) - env.e_steps0);
+      v)
 
 let fresh_probe t env addr code_hash =
   let d =
@@ -130,8 +149,7 @@ let analyze_pair t env ctx ~proxy_addr ~logic_addr =
     else None
   in
   let func_collisions, honeypot =
-    Engine.timed_stage ctx ~stage:Engine.Func_collision ~subject
-      ~api_calls:(api_reader env) ~steps:(steps_reader env) (fun () ->
+    timed ctx env ~stage:Engine.Func_collision ~subject (fun () ->
         let fc =
           match cached with
           | Some (fc, _) -> fc
@@ -150,8 +168,7 @@ let analyze_pair t env ctx ~proxy_addr ~logic_addr =
         (fc, honeypot))
   in
   let storage_collisions =
-    Engine.timed_stage ctx ~stage:Engine.Storage_collision ~subject
-      ~api_calls:(api_reader env) ~steps:(steps_reader env) (fun () ->
+    timed ctx env ~stage:Engine.Storage_collision ~subject (fun () ->
         let sc =
           match cached with
           | Some (_, sc) -> sc
@@ -182,10 +199,7 @@ let analyze_pair t env ctx ~proxy_addr ~logic_addr =
 
 let analyze_contract t env ctx addr =
   let subject = Address.to_hex addr in
-  let stage s f =
-    Engine.timed_stage ctx ~stage:s ~subject ~api_calls:(api_reader env)
-      ~steps:(steps_reader env) f
-  in
+  let stage s f = timed ctx env ~stage:s ~subject f in
   let code = Chain.code_at env.e_chain addr in
   let code_hash = Keccak.digest code in
   (* Stage 1: bytecode-hash dedup lookup. *)
@@ -211,7 +225,8 @@ let analyze_contract t env ctx addr =
       (* Stage 3: Algorithm 1 logic resolution. *)
       let resolution =
         stage Engine.Logic_resolve (fun () ->
-            Logic_resolve.resolve ~probed:target env.e_chain addr target_source)
+            Logic_resolve.resolve ~transport:env.e_transport ~probed:target
+              env.e_chain addr target_source)
       in
       (* Stage 4: design-standard classification. *)
       let standard =
@@ -261,22 +276,71 @@ let analyze_contract t env ctx addr =
    and pair caches are keyed by exactly this hash). *)
 let group_key chain addr = Keccak.digest (Chain.code_at chain addr)
 
+(* One logical archive connection per item.  The salt derives from the
+   subject address alone, so the fault/jitter stream a contract sees is a
+   pure function of (plan seed, address, attempt index) — independent of
+   batch composition, worker count and scheduling order.  Transport
+   events replay through [Engine.emit_from], which buffers them for the
+   input-order merge on worker domains. *)
+let make_transport t ctx addr chain =
+  let subject = Address.to_hex addr in
+  let worker = Engine.worker_id ctx in
+  let on_event = function
+    | Resilience.Transport.Retry { attempt; reason; delay } ->
+        Engine.emit_from ctx
+          (Engine.Retry_attempted { subject; attempt; reason; delay; worker })
+    | Resilience.Transport.Circuit_opened { endpoint; failures } ->
+        Engine.emit_from ctx
+          (Engine.Circuit_opened { endpoint; subject; failures; worker })
+    | Resilience.Transport.Circuit_closed { endpoint } ->
+        Engine.emit_from ctx (Engine.Circuit_closed { endpoint; subject; worker })
+  in
+  Resilience.Transport.create ~config:t.resilience ~salt:(Hashtbl.hash subject)
+    ~on_event ~chain ()
+
+(* Transport failures carry their own classification (class, stage,
+   attempts); anything else propagates and the engine dead-letters it as
+   [Permanent] on its own. *)
+let skip_of_exn ctx env e =
+  let stage = Engine.current_stage ctx in
+  let attempts = max 1 (Resilience.Transport.last_attempts env.e_transport) in
+  match e with
+  | Resilience.Transport.Rpc_error err ->
+      let message = "rpc error: " ^ Chain_rpc.error_to_string err in
+      if Chain_rpc.is_transient err then
+        Engine.transient ?stage ~attempts message
+      else Engine.permanent ?stage ~attempts message
+  | Resilience.Transport.Budget_exhausted { scope; budget; spent } ->
+      Engine.budget_exhausted ?stage ~attempts
+        (Printf.sprintf "budget exhausted: %d %s spent (budget %d)" spent scope
+           budget)
+  | e -> raise e
+
 let process_item t ctx addr =
   if not t.par then begin
-    (* Sequential: alias the analyzer's own chain, host and counters —
-       byte-for-byte the domains:1 reference path. *)
+    (* Sequential: the analyzer's own chain and head host, but per-item
+       counters folded into the totals only on success — a dead-lettered
+       item contributes nothing, so the processed-state counters are the
+       same whether it failed here or on a worker domain, and a later
+       requeue brings the totals to exactly the fault-free figures. *)
     let api0 = Chain.api_call_count t.chain in
     let env =
       {
         e_chain = t.chain;
         e_host = t.host;
-        e_steps = t.steps_total;
-        e_dedup = t.dedup_hits;
+        e_steps = ref 0;
+        e_dedup = ref 0;
+        e_transport = make_transport t ctx addr t.chain;
+        e_steps0 = 0;
       }
     in
-    let report = analyze_contract t env ctx addr in
-    t.api_calls := !(t.api_calls) + (Chain.api_call_count t.chain - api0);
-    report
+    match analyze_contract t env ctx addr with
+    | report ->
+        t.api_calls := !(t.api_calls) + (Chain.api_call_count t.chain - api0);
+        t.steps_total := !(t.steps_total) + !(env.e_steps);
+        t.dedup_hits := !(t.dedup_hits) + !(env.e_dedup);
+        Ok report
+    | exception e -> Error (skip_of_exn ctx env e)
   end
   else begin
     (* Parallel: a private chain view whose API-call counter starts at
@@ -289,23 +353,27 @@ let process_item t ctx addr =
         e_host = Chain.host_at_head view;
         e_steps = ref 0;
         e_dedup = ref 0;
+        e_transport = make_transport t ctx addr view;
+        e_steps0 = 0;
       }
     in
-    let report = analyze_contract t env ctx addr in
-    Mutex.lock t.merge_lock;
-    t.api_calls := !(t.api_calls) + Chain.api_call_count view;
-    t.steps_total := !(t.steps_total) + !(env.e_steps);
-    t.dedup_hits := !(t.dedup_hits) + !(env.e_dedup);
-    Mutex.unlock t.merge_lock;
-    report
+    match analyze_contract t env ctx addr with
+    | report ->
+        Mutex.lock t.merge_lock;
+        t.api_calls := !(t.api_calls) + Chain.api_call_count view;
+        t.steps_total := !(t.steps_total) + !(env.e_steps);
+        t.dedup_hits := !(t.dedup_hits) + !(env.e_dedup);
+        Mutex.unlock t.merge_lock;
+        Ok report
+    | exception e -> Error (skip_of_exn ctx env e)
   end
 
-let make_with_engine ~config ~chain ~source build_engine =
+let make_with_engine ~config ~resilience ~chain ~source build_engine =
   let self = ref None in
   let process ctx addr =
     match !self with
-    | None -> Error "analyzer not initialized"
-    | Some t -> Ok (process_item t ctx addr)
+    | None -> Error (Engine.permanent "analyzer not initialized")
+    | Some t -> process_item t ctx addr
   in
   let engine = build_engine ~process in
   let t =
@@ -314,6 +382,7 @@ let make_with_engine ~config ~chain ~source build_engine =
       chain;
       source;
       cfg = config;
+      resilience;
       host = Chain.host_at_head chain;
       par = config.Config.domains > 1;
       cache_lock = Mutex.create ();
@@ -328,8 +397,9 @@ let make_with_engine ~config ~chain ~source build_engine =
   self := Some t;
   t
 
-let create ?(config = Config.default) ~chain ~source () =
-  make_with_engine ~config ~chain ~source (fun ~process ->
+let create ?(config = Config.default)
+    ?(resilience = Resilience.Transport.default_config) ~chain ~source () =
+  make_with_engine ~config ~resilience ~chain ~source (fun ~process ->
       Engine.create ~batch_size:config.Config.batch_size
         ~domains:config.Config.domains ~key:(group_key chain)
         ~subject:Address.to_hex ~process ())
@@ -348,6 +418,9 @@ let pending t = Engine.pending t.engine
 let subscribe t f = Engine.subscribe t.engine f
 let stage_totals_table t = Engine.stage_totals_table t.engine
 let skipped t = Engine.skipped t.engine
+let skipped_pairs t = Engine.skipped_pairs t.engine
+let requeue ?classes t = Engine.requeue ?classes t.engine
+let requeue_transients t = Engine.requeue_transients t.engine
 
 let report t =
   let contracts = Engine.results t.engine in
@@ -481,7 +554,8 @@ let address_of_json = function
       | _ -> Error ("checkpoint: bad queued address " ^ s))
   | _ -> Error "checkpoint: queue entries must be strings"
 
-let restore ?batch_size ?domains ~chain ~source json =
+let restore ?batch_size ?domains
+    ?(resilience = Resilience.Transport.default_config) ~chain ~source json =
   (* The config governs resume semantics, so it comes from the checkpoint
      (batch_size and domains optionally overridden — the worker count is
      an execution parameter, not analysis state, and any value resumes to
@@ -508,8 +582,8 @@ let restore ?batch_size ?domains ~chain ~source json =
   let self = ref None in
   let process ctx addr =
     match !self with
-    | None -> Error "analyzer not initialized"
-    | Some t -> Ok (process_item t ctx addr)
+    | None -> Error (Engine.permanent "analyzer not initialized")
+    | Some t -> process_item t ctx addr
   in
   let* engine, extra =
     Engine.restore ?batch_size ~domains:config.Config.domains
@@ -536,6 +610,7 @@ let restore ?batch_size ?domains ~chain ~source json =
       chain;
       source;
       cfg = config;
+      resilience;
       host = Chain.host_at_head chain;
       par = config.Config.domains > 1;
       cache_lock = Mutex.create ();

@@ -1,5 +1,5 @@
 (** The staged, resumable ProxioN analyzer — the engine-backed
-    replacement for the monolithic [Pipeline.run].
+    replacement for the retired monolithic pipeline entry point.
 
     An analyzer owns a batch-scheduled work queue of contract addresses
     plus two cross-run dedup caches (detection results per bytecode hash,
@@ -9,25 +9,37 @@
     emitted per stage (wall-clock timing, API-call and emulation-step
     deltas) through the {!Engine} subscriber interface.
 
-    Failure degrades gracefully: a per-contract emulation error is
-    recorded in the report as before, and an exception escaping a stage
-    skips that contract (with [Stage_errored]/[Item_skipped] events)
-    instead of aborting the run.
+    Archive probes run through a {!Resilience.Transport} — one logical
+    connection per contract, salted by the subject address, so seeded
+    fault injection and retry jitter are independent of batch composition
+    and worker count.  Failure degrades gracefully and {e classified}: an
+    exception escaping a stage dead-letters that contract with its fault
+    class ([Transient] / [Permanent] / [Budget_exhausted]), stage and
+    attempt count (with [Stage_errored]/[Item_skipped] events) instead of
+    aborting the run; {!requeue_transients} sends the recoverable ones
+    around again.
 
     Runs are interruptible and resumable: {!checkpoint} serializes the
-    pending queue, completed reports, both dedup caches and the partial
-    counters; {!restore} rebuilds the analyzer so the finished report is
-    byte-identical to an uninterrupted run over the same chain. *)
+    pending queue, completed reports, the dead-letter list, both dedup
+    caches and the partial counters; {!restore} rebuilds the analyzer so
+    the finished report is byte-identical to an uninterrupted run over
+    the same chain.  The resilience configuration — like the worker count
+    — is an execution parameter, not analysis state: it is never
+    serialized, and a checkpoint written under any fault plan restores
+    under any other. *)
 
 type t
 
 val create :
   ?config:Analysis.Config.t ->
+  ?resilience:Resilience.Transport.config ->
   chain:Chain.t ->
   source:Analysis.source_lookup ->
   unit ->
   t
-(** A fresh analyzer with an empty queue and empty caches. *)
+(** A fresh analyzer with an empty queue and empty caches.  [resilience]
+    (default {!Resilience.Transport.default_config}: no injection, no
+    budgets) configures every per-contract archive connection. *)
 
 val config : t -> Analysis.Config.t
 val engine : t -> (Evm.Address.t, Analysis.contract_report) Engine.t
@@ -41,7 +53,7 @@ val submit : t -> Evm.Address.t list -> unit
 
 val submit_all : t -> unit
 (** Enqueue every contract on the chain, in deployment order — the
-    default population [Pipeline.run] analyzed. *)
+    default population a whole-chain scan analyzes. *)
 
 val run : ?max_batches:int -> t -> unit
 (** Process queued batches; [max_batches] bounds this call, leaving the
@@ -50,13 +62,28 @@ val run : ?max_batches:int -> t -> unit
 val pending : t -> int
 val subscribe : t -> (Engine.event -> unit) -> unit
 val stage_totals_table : t -> string
-val skipped : t -> (string * string) list
+
+val skipped : t -> Evm.Address.t Engine.skip_record list
+(** The dead-letter list: every contract dropped by error isolation with
+    its classification, failing stage and attempt count. *)
+
+val skipped_pairs : t -> (string * string) list
+(** [(subject, message)] projection of {!skipped}. *)
+
+val requeue : ?classes:Engine.skip_class list -> t -> int
+(** Push dead-letter entries of the given classes (default: the
+    recoverable [Transient] and [Budget_exhausted]) back onto the work
+    queue; returns how many moved.  Run the analyzer again to retry
+    them. *)
+
+val requeue_transients : t -> int
+(** {!requeue} with the default classes. *)
 
 (** {1 Results} *)
 
 val report : t -> Analysis.report
 (** The report over everything completed so far.  After the queue
-    drains, this equals what [Pipeline.run] returns for the same
+    drains, this equals what {!Pipeline.analyze} returns for the same
     addresses and configuration. *)
 
 (** {1 Checkpointing} *)
@@ -67,6 +94,7 @@ val checkpoint : t -> Report.Json.t
 val restore :
   ?batch_size:int ->
   ?domains:int ->
+  ?resilience:Resilience.Transport.config ->
   chain:Chain.t ->
   source:Analysis.source_lookup ->
   Report.Json.t ->
@@ -74,4 +102,5 @@ val restore :
 (** Rebuild from a {!checkpoint} against the same chain and source
     oracle.  [batch_size] and [domains] override the checkpointed
     configuration; changing [domains] never changes the resumed run's
-    output, only its wall-clock time. *)
+    output, only its wall-clock time.  [resilience] applies to the
+    resumed run only — it is never part of the checkpoint. *)

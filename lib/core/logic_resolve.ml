@@ -9,16 +9,24 @@ type resolution = {
 
 (* Algorithm 1 (PartitionBlocks), phrased as a level-synchronous breadth
    first search so every level of the divide-and-conquer tree issues its
-   storage probes in one {!Chain_rpc.call_batch} round-trip — the shape a
-   real archive node is queried in.  The memo table avoids re-querying a
-   height that serves as both an upper and a lower endpoint of adjacent
-   ranges, so the set of heights fetched (and hence the API-call count
-   the paper reports in §6.1) is identical to the sequential recursion:
-   every endpoint of every range in the recursion tree, each exactly
-   once. *)
-let algorithm1 chain address ~slot ~lower ~upper =
+   storage probes in one batched round-trip — the shape a real archive
+   node is queried in.  The probes go through the resilient transport
+   ([Transport.direct] when the caller passes none), which retries
+   transient faults per batch entry and raises [Transport.Rpc_error] when
+   an entry is exhausted or permanently rejected.  The memo table avoids
+   re-querying a height that serves as both an upper and a lower endpoint
+   of adjacent ranges, so the set of heights fetched (and hence the
+   API-call count the paper reports in §6.1) is identical to the
+   sequential recursion: every endpoint of every range in the recursion
+   tree, each exactly once. *)
+let algorithm1 ?transport chain address ~slot ~lower ~upper =
   if lower > upper then U256.Set.empty
   else begin
+    let transport =
+      match transport with
+      | Some tr -> tr
+      | None -> Resilience.Transport.direct chain
+    in
     let memo = Hashtbl.create 64 in
     let addr_hex = Address.to_hex address in
     let slot_hex = U256.to_hex slot in
@@ -36,13 +44,9 @@ let algorithm1 chain address ~slot ~lower ~upper =
             missing
         in
         List.iter2
-          (fun h response ->
-            match response with
-            | Ok hex -> Hashtbl.replace memo h (U256.of_hex hex)
-            | Error e ->
-                failwith ("algorithm1: " ^ Chain_rpc.error_to_string e))
+          (fun h hex -> Hashtbl.replace memo h (U256.of_hex hex))
           missing
-          (Chain_rpc.call_batch chain requests)
+          (Resilience.Transport.call_batch_exn transport requests)
       end
     in
     let rec loop ranges acc =
@@ -66,10 +70,10 @@ let algorithm1 chain address ~slot ~lower ~upper =
     loop [ (lower, upper) ] U256.Set.empty
   end
 
-let resolve_slot chain address ~slot =
+let resolve_slot ?transport chain address ~slot =
   let before = Chain.api_call_count chain in
   let upper = Chain.height chain in
-  let values = algorithm1 chain address ~slot ~lower:0 ~upper in
+  let values = algorithm1 ?transport chain address ~slot ~lower:0 ~upper in
   let api_calls = Chain.api_call_count chain - before in
   let address_of v =
     let a = Address.of_u256 v in
@@ -101,7 +105,8 @@ let resolve_slot chain address ~slot =
   let upgrade_count = max 0 (List.length historical - 1) in
   { current; historical; api_calls = api_calls + 1; upgrade_count }
 
-let resolve ?probed chain address (source : Proxy_detect.target_source) =
+let resolve ?transport ?probed chain address
+    (source : Proxy_detect.target_source) =
   match source with
   | Proxy_detect.Hardcoded -> (
       (* The probe already produced the target; minimal proxies keep one
@@ -118,7 +123,7 @@ let resolve ?probed chain address (source : Proxy_detect.target_source) =
           | Proxy_detect.Proxy { target; _ } ->
               { current = Some target; historical = [ target ]; api_calls = 0; upgrade_count = 0 }
           | _ -> { current = None; historical = []; api_calls = 0; upgrade_count = 0 }))
-  | Proxy_detect.Storage_slot slot -> resolve_slot chain address ~slot
+  | Proxy_detect.Storage_slot slot -> resolve_slot ?transport chain address ~slot
   | Proxy_detect.Computed -> (
       match probed with
       | Some target when not (Address.equal target Address.zero) ->

@@ -19,19 +19,27 @@ type resolution = {
 }
 
 val algorithm1 :
+  ?transport:Resilience.Transport.t ->
   Chain.t -> Evm.Address.t -> slot:U256.t -> lower:int -> upper:int -> U256.Set.t
 (** The paper's Algorithm 1 verbatim: the set of values the slot held at any
-    height in [lower, upper], assuming values are not reused (§4.3). *)
+    height in [lower, upper], assuming values are not reused (§4.3).  The
+    storage probes go through [transport] (default: a pass-through
+    {!Resilience.Transport.direct} over [chain]), so transient archive
+    faults are retried per batch entry; an exhausted or permanently
+    rejected probe raises {!Resilience.Transport.Rpc_error}. *)
 
-val resolve_slot : Chain.t -> Evm.Address.t -> slot:U256.t -> resolution
+val resolve_slot :
+  ?transport:Resilience.Transport.t ->
+  Chain.t -> Evm.Address.t -> slot:U256.t -> resolution
 (** Run Algorithm 1 over the whole chain and order the found addresses by
     their first appearance. *)
 
 val resolve :
+  ?transport:Resilience.Transport.t ->
   ?probed:Evm.Address.t ->
   Chain.t -> Evm.Address.t -> Proxy_detect.target_source -> resolution
 (** Dispatch on how the proxy finds its logic: hard-coded targets resolve to
-    themselves with zero API calls; slot-based targets run Algorithm 1;
-    computed targets (beacons, facets) resolve to the [probed] target the
-    emulation observed, when given — history is invisible to the slot
-    search for them. *)
+    themselves with zero API calls; slot-based targets run Algorithm 1
+    through [transport]; computed targets (beacons, facets) resolve to the
+    [probed] target the emulation observed, when given — history is
+    invisible to the slot search for them. *)

@@ -64,10 +64,3 @@ let analyze ?(config = Config.default) ?addresses ~chain ~source () =
   | None -> Analyzer.submit_all t);
   Analyzer.run t;
   Analyzer.report t
-
-let run ?(verify_storage = true) ?(dedup = true) ?(diamond_extension = false)
-    ?addresses ~chain ~source () =
-  let config =
-    { Config.default with verify_storage; dedup; diamond_extension }
-  in
-  analyze ~config ?addresses ~chain ~source ()

@@ -4,12 +4,11 @@
     method chosen by source availability — the end-to-end system the paper
     evaluates in §6 and §7.
 
-    This module is a thin compatibility facade over the staged
-    {!Analyzer} engine: {!analyze} is the configured entry point, {!run}
-    keeps the historical optional-argument signature, and all result
-    types are re-exported from {!Analysis}.  Callers that need batching,
-    progress events, interruption or checkpoint/resume should use
-    {!Analyzer} directly. *)
+    This module is a thin facade over the staged {!Analyzer} engine:
+    {!analyze} is the one-shot entry point, and all result types are
+    re-exported from {!Analysis}.  Callers that need batching, progress
+    events, interruption, dead-letter requeue or checkpoint/resume
+    should use {!Analyzer} directly. *)
 
 module Config = Analysis.Config
 (** Run configuration; see {!Analysis.Config}. *)
@@ -76,26 +75,6 @@ val analyze :
     deployment order) under [config] (default {!Config.default}) by
     driving the staged engine to completion.  Equivalent to building an
     {!Analyzer}, submitting the addresses and draining the queue. *)
-
-val run :
-  ?verify_storage:bool ->
-  ?dedup:bool ->
-  ?diamond_extension:bool ->
-  ?addresses:Evm.Address.t list ->
-  chain:Chain.t ->
-  source:source_lookup ->
-  unit ->
-  report
-(** The historical entry point, kept for compatibility.
-    [dedup] (default true) reuses detection and pair-analysis results
-    across identical bytecodes; [verify_storage] (default true) runs
-    CRUSH-style exploit verification on storage collision candidates;
-    [diamond_extension] (default false) re-probes probe-negative
-    contracts with selectors harvested from their transaction history
-    (§8.2).
-
-    @deprecated Use {!analyze} with a {!Config.t} — this wrapper exists
-    so pre-engine callers keep producing unchanged output. *)
 
 val proxies : report -> contract_report list
 val is_proxy_report : contract_report -> bool

@@ -29,7 +29,58 @@ let stage_name = function
 let stage_of_name s =
   List.find_opt (fun st -> stage_name st = s) all_stages
 
-type timing = { t_elapsed : float; t_api_calls : int; t_steps : int }
+type timing = {
+  t_elapsed : float;
+  t_api_calls : int;
+  t_steps : int;
+  t_retries : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Skip classification and dead-letter records                         *)
+(* ------------------------------------------------------------------ *)
+
+type skip_class = Transient | Permanent | Budget_exhausted
+
+let skip_class_name = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+  | Budget_exhausted -> "budget-exhausted"
+
+let skip_class_of_name = function
+  | "transient" -> Some Transient
+  | "permanent" -> Some Permanent
+  | "budget-exhausted" -> Some Budget_exhausted
+  | _ -> None
+
+type skip_reason = {
+  sr_message : string;
+  sr_stage : stage option;
+  sr_attempts : int;
+  sr_class : skip_class;
+}
+
+let skip_reason ?stage ?(attempts = 1) cls message =
+  { sr_message = message; sr_stage = stage; sr_attempts = attempts;
+    sr_class = cls }
+
+let permanent ?stage ?attempts message =
+  skip_reason ?stage ?attempts Permanent message
+
+let transient ?stage ?attempts message =
+  skip_reason ?stage ?attempts Transient message
+
+let budget_exhausted ?stage ?attempts message =
+  skip_reason ?stage ?attempts Budget_exhausted message
+
+type 'item skip_record = {
+  sk_item : 'item;
+  sk_subject : string;
+  sk_message : string;
+  sk_stage : stage option;
+  sk_attempts : int;
+  sk_class : skip_class;
+}
 
 type event =
   | Run_started of { pending : int; batch_size : int; domains : int }
@@ -48,7 +99,27 @@ type event =
       message : string;
       worker : int;
     }
-  | Item_skipped of { subject : string; message : string; worker : int }
+  | Retry_attempted of {
+      subject : string;
+      attempt : int;
+      reason : string;
+      delay : float;
+      worker : int;
+    }
+  | Circuit_opened of {
+      endpoint : string;
+      subject : string;
+      failures : int;
+      worker : int;
+    }
+  | Circuit_closed of { endpoint : string; subject : string; worker : int }
+  | Item_skipped of {
+      subject : string;
+      message : string;
+      fault_class : skip_class;
+      attempts : int;
+      worker : int;
+    }
   | Run_finished of { processed : int; skipped : int; elapsed : float }
 
 (* Mutable per-stage aggregate. *)
@@ -57,6 +128,7 @@ type agg = {
   mutable a_elapsed : float;
   mutable a_api_calls : int;
   mutable a_steps : int;
+  mutable a_retries : int;
 }
 
 (* Per-item buffer a worker fills while processing off the coordinator
@@ -66,7 +138,7 @@ type agg = {
 type 'res cell = {
   mutable c_events : event list; (* reverse order *)
   mutable c_aggs : (stage * timing) list; (* reverse order *)
-  mutable c_outcome : ('res, string) result option;
+  mutable c_outcome : ('res, skip_reason) result option;
   mutable c_worker : int;
 }
 
@@ -74,24 +146,27 @@ type ('item, 'res) t = {
   queue : 'item Queue.t;
   mutable results_rev : 'res list;
   mutable processed : int;
-  mutable skipped_rev : (string * string) list;
+  mutable skipped_rev : 'item skip_record list;
   mutable subscribers : (event -> unit) list;
   mutable batches : int;
   bsize : int;
   n_domains : int;
   group_key : ('item -> string) option;
   subject_of : 'item -> string;
-  process : ('item, 'res) ctx -> 'item -> ('res, string) result;
+  process : ('item, 'res) ctx -> 'item -> ('res, skip_reason) result;
   totals : (stage, agg) Hashtbl.t;
 }
 
 (* What [process] sees: the engine, the id of the worker running the item
-   (0 = the coordinator, also the sequential path), and — when running on a
-   worker — the buffer standing in for direct event/aggregate delivery. *)
+   (0 = the coordinator, also the sequential path), the buffer standing in
+   for direct event/aggregate delivery when running on a worker, and the
+   last stage entered — the attribution default for exceptions that escape
+   [process]. *)
 and ('item, 'res) ctx = {
   eng : ('item, 'res) t;
   worker : int;
   sink : 'res cell option; (* [None]: deliver directly (sequential path) *)
+  mutable last_stage : stage option;
 }
 
 let create ?(batch_size = 32) ?(domains = 1) ?key ~subject ~process () =
@@ -116,12 +191,26 @@ let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 let emit t ev = List.iter (fun f -> f ev) t.subscribers
 let engine ctx = ctx.eng
 let worker_id ctx = ctx.worker
+let current_stage ctx = ctx.last_stage
+
+let emit_from ctx ev =
+  match ctx.sink with
+  | None -> emit ctx.eng ev
+  | Some cell -> cell.c_events <- ev :: cell.c_events
 
 let agg_of t stage =
   match Hashtbl.find_opt t.totals stage with
   | Some a -> a
   | None ->
-      let a = { a_count = 0; a_elapsed = 0.0; a_api_calls = 0; a_steps = 0 } in
+      let a =
+        {
+          a_count = 0;
+          a_elapsed = 0.0;
+          a_api_calls = 0;
+          a_steps = 0;
+          a_retries = 0;
+        }
+      in
       Hashtbl.replace t.totals stage a;
       a
 
@@ -130,18 +219,17 @@ let apply_agg t stage timing =
   a.a_count <- a.a_count + 1;
   a.a_elapsed <- a.a_elapsed +. timing.t_elapsed;
   a.a_api_calls <- a.a_api_calls + timing.t_api_calls;
-  a.a_steps <- a.a_steps + timing.t_steps
+  a.a_steps <- a.a_steps + timing.t_steps;
+  a.a_retries <- a.a_retries + timing.t_retries
 
-let timed_stage ctx ~stage ~subject ?api_calls ?steps f =
+let timed_stage ctx ~stage ~subject ?api_calls ?steps ?retries f =
   let sample = function Some reader -> reader () | None -> 0 in
   let worker = ctx.worker in
-  let deliver ev =
-    match ctx.sink with
-    | None -> emit ctx.eng ev
-    | Some cell -> cell.c_events <- ev :: cell.c_events
-  in
-  deliver (Stage_started { stage; subject; worker });
-  let api0 = sample api_calls and steps0 = sample steps in
+  ctx.last_stage <- Some stage;
+  emit_from ctx (Stage_started { stage; subject; worker });
+  let api0 = sample api_calls
+  and steps0 = sample steps
+  and retries0 = sample retries in
   let t0 = Unix.gettimeofday () in
   match f () with
   | v ->
@@ -150,15 +238,17 @@ let timed_stage ctx ~stage ~subject ?api_calls ?steps f =
           t_elapsed = Unix.gettimeofday () -. t0;
           t_api_calls = sample api_calls - api0;
           t_steps = sample steps - steps0;
+          t_retries = sample retries - retries0;
         }
       in
       (match ctx.sink with
       | None -> apply_agg ctx.eng stage timing
       | Some cell -> cell.c_aggs <- (stage, timing) :: cell.c_aggs);
-      deliver (Stage_finished { stage; subject; timing; worker });
+      emit_from ctx (Stage_finished { stage; subject; timing; worker });
+      ctx.last_stage <- None;
       v
   | exception e ->
-      deliver
+      emit_from ctx
         (Stage_errored { stage; subject; message = Printexc.to_string e; worker });
       raise e
 
@@ -171,25 +261,73 @@ let results t = List.rev t.results_rev
 let processed_count t = t.processed
 let skipped t = List.rev t.skipped_rev
 
+let skipped_pairs t =
+  List.rev_map (fun r -> (r.sk_subject, r.sk_message)) t.skipped_rev
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Dead-letter requeue                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let requeue ?(classes = [ Transient; Budget_exhausted ]) t =
+  let take, keep =
+    List.partition
+      (fun r -> List.mem r.sk_class classes)
+      (List.rev t.skipped_rev)
+  in
+  t.skipped_rev <- List.rev keep;
+  List.iter (fun r -> Queue.add r.sk_item t.queue) take;
+  List.length take
+
+let requeue_transients t = requeue t
+
+(* An exception that escapes [process] without its own classification is a
+   permanent failure of whatever stage the item last entered. *)
+let reason_of_exn ctx e =
+  {
+    sr_message = Printexc.to_string e;
+    sr_stage = ctx.last_stage;
+    sr_attempts = 1;
+    sr_class = Permanent;
+  }
+
+let record_of ~subject reason item =
+  {
+    sk_item = item;
+    sk_subject = subject;
+    sk_message = reason.sr_message;
+    sk_stage = reason.sr_stage;
+    sk_attempts = reason.sr_attempts;
+    sk_class = reason.sr_class;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Sequential batch (domains = 1): the reference code path              *)
 (* ------------------------------------------------------------------ *)
 
 let sequential_batch t n =
-  let ctx = { eng = t; worker = 0; sink = None } in
   for _ = 1 to n do
     let item = Queue.pop t.queue in
     let subject = t.subject_of item in
-    let skip message =
-      t.skipped_rev <- (subject, message) :: t.skipped_rev;
-      emit t (Item_skipped { subject; message; worker = 0 })
+    let ctx = { eng = t; worker = 0; sink = None; last_stage = None } in
+    let skip reason =
+      t.skipped_rev <- record_of ~subject reason item :: t.skipped_rev;
+      emit t
+        (Item_skipped
+           {
+             subject;
+             message = reason.sr_message;
+             fault_class = reason.sr_class;
+             attempts = reason.sr_attempts;
+             worker = 0;
+           })
     in
     match t.process ctx item with
     | Ok res ->
         t.results_rev <- res :: t.results_rev;
         t.processed <- t.processed + 1
-    | Error message -> skip message
-    | exception e -> skip (Printexc.to_string e)
+    | Error reason -> skip reason
+    | exception e -> skip (reason_of_exn ctx e)
   done
 
 (* ------------------------------------------------------------------ *)
@@ -266,11 +404,11 @@ let group_indices t items n =
 
 let run_item t wid item cell =
   cell.c_worker <- wid;
-  let ctx = { eng = t; worker = wid; sink = Some cell } in
+  let ctx = { eng = t; worker = wid; sink = Some cell; last_stage = None } in
   let outcome =
     match t.process ctx item with
     | r -> r
-    | exception e -> Error (Printexc.to_string e)
+    | exception e -> Error (reason_of_exn ctx e)
   in
   cell.c_outcome <- Some outcome
 
@@ -315,10 +453,19 @@ let parallel_batch t n =
       | Some (Ok res) ->
           t.results_rev <- res :: t.results_rev;
           t.processed <- t.processed + 1
-      | Some (Error message) ->
+      | Some (Error reason) ->
           let subject = t.subject_of items.(i) in
-          t.skipped_rev <- (subject, message) :: t.skipped_rev;
-          emit t (Item_skipped { subject; message; worker = cell.c_worker })
+          t.skipped_rev <-
+            record_of ~subject reason items.(i) :: t.skipped_rev;
+          emit t
+            (Item_skipped
+               {
+                 subject;
+                 message = reason.sr_message;
+                 fault_class = reason.sr_class;
+                 attempts = reason.sr_attempts;
+                 worker = cell.c_worker;
+               })
       | None ->
           (* Unreachable: every chain was pushed before [close] and every
              popped chain fills its cells. *)
@@ -371,12 +518,13 @@ let stage_totals t =
                 t_elapsed = a.a_elapsed;
                 t_api_calls = a.a_api_calls;
                 t_steps = a.a_steps;
+                t_retries = a.a_retries;
               } ))
     all_stages
 
 let stage_totals_table t =
   Report.table ~title:"Engine: per-stage totals"
-    ~header:[ "stage"; "runs"; "wall-clock"; "API calls"; "EVM steps" ]
+    ~header:[ "stage"; "runs"; "wall-clock"; "API calls"; "EVM steps"; "retries" ]
     (List.map
        (fun (stage, count, tm) ->
          [
@@ -385,6 +533,7 @@ let stage_totals_table t =
            Printf.sprintf "%.3f s" tm.t_elapsed;
            string_of_int tm.t_api_calls;
            string_of_int tm.t_steps;
+           string_of_int tm.t_retries;
          ])
        (stage_totals t))
 
@@ -392,7 +541,7 @@ let stage_totals_table t =
 (* Checkpointing                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let checkpoint_version = 1
+let checkpoint_version = 2
 
 let checkpoint ~item_to_json ~res_to_json ?(extra = Json.Null) t =
   Json.Obj
@@ -408,11 +557,18 @@ let checkpoint ~item_to_json ~res_to_json ?(extra = Json.Null) t =
       ( "skipped",
         Json.List
           (List.rev_map
-             (fun (subject, message) ->
+             (fun r ->
                Json.Obj
                  [
-                   ("subject", Json.String subject);
-                   ("message", Json.String message);
+                   ("item", item_to_json r.sk_item);
+                   ("subject", Json.String r.sk_subject);
+                   ("message", Json.String r.sk_message);
+                   ( "stage",
+                     match r.sk_stage with
+                     | Some s -> Json.String (stage_name s)
+                     | None -> Json.Null );
+                   ("attempts", Json.Int r.sk_attempts);
+                   ("class", Json.String (skip_class_name r.sk_class));
                  ])
              t.skipped_rev) );
       ("extra", extra);
@@ -448,6 +604,37 @@ let map_result f l =
   in
   go [] l
 
+let skip_record_of_json ~item_of_json entry =
+  let* item_json = field "item" entry in
+  let* item = item_of_json item_json in
+  let* subject = Result.bind (field "subject" entry) (as_string "subject") in
+  let* message = Result.bind (field "message" entry) (as_string "message") in
+  let* stage =
+    match field "stage" entry with
+    | Ok Json.Null | Error _ -> Ok None
+    | Ok (Json.String s) -> (
+        match stage_of_name s with
+        | Some st -> Ok (Some st)
+        | None -> Error (Printf.sprintf "checkpoint: unknown stage %S" s))
+    | Ok _ -> Error "checkpoint: field \"stage\" must be a string or null"
+  in
+  let* attempts = Result.bind (field "attempts" entry) (as_int "attempts") in
+  let* cls =
+    let* s = Result.bind (field "class" entry) (as_string "class") in
+    match skip_class_of_name s with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "checkpoint: unknown skip class %S" s)
+  in
+  Ok
+    {
+      sk_item = item;
+      sk_subject = subject;
+      sk_message = message;
+      sk_stage = stage;
+      sk_attempts = attempts;
+      sk_class = cls;
+    }
+
 let restore ?batch_size ?domains ?key ~subject ~process ~item_of_json
     ~res_of_json json =
   let* version = Result.bind (field "version" json) (as_int "version") in
@@ -463,14 +650,7 @@ let restore ?batch_size ?domains ?key ~subject ~process ~item_of_json
     let* results_json = Result.bind (field "results" json) (as_list "results") in
     let* results = map_result res_of_json results_json in
     let* skipped_json = Result.bind (field "skipped" json) (as_list "skipped") in
-    let* skipped =
-      map_result
-        (fun entry ->
-          let* s = Result.bind (field "subject" entry) (as_string "subject") in
-          let* m = Result.bind (field "message" entry) (as_string "message") in
-          Ok (s, m))
-        skipped_json
-    in
+    let* skipped = map_result (skip_record_of_json ~item_of_json) skipped_json in
     let extra =
       match field "extra" json with Ok v -> v | Error _ -> Json.Null
     in

@@ -21,12 +21,18 @@
     analyzer's bytecode-hash dedup) use this to keep cache effects
     deterministic.
 
+    Failures are isolated and {e classified}: an [Error] or exception
+    from [process] records the item in a dead-letter list with its
+    failure class ([Transient], [Permanent] or [Budget_exhausted]), the
+    stage it died in and the attempts consumed, and the batch carries on.
+    Because the record keeps the original item, {!requeue} can push
+    recoverable entries back onto the queue — the retry-skipped loop a
+    long crawl runs between sessions.
+
     Runs are resumable: {!checkpoint} serializes the pending queue, the
-    completed results and the skipped list through caller-supplied JSON
-    converters, and {!restore} rebuilds an engine that continues exactly
-    where the serialized one stopped.  Failures are isolated: an exception
-    or [Error] from [process] records the item as skipped and the batch
-    carries on — including when the item ran on a worker domain. *)
+    completed results and the dead-letter list (items included) through
+    caller-supplied JSON converters, and {!restore} rebuilds an engine
+    that continues exactly where the serialized one stopped. *)
 
 (** The six analysis stages of the ProxioN pipeline, in execution order
     (§4–§5 of the paper): bytecode-hash dedup lookup, emulation probe,
@@ -49,6 +55,46 @@ type timing = {
   t_elapsed : float;  (** Seconds. *)
   t_api_calls : int;  (** getStorageAt-style API calls spent. *)
   t_steps : int;  (** EVM instructions interpreted. *)
+  t_retries : int;  (** Transport retries taken during the stage. *)
+}
+
+(** {1 Skip classification}
+
+    Why an item failed decides what happens to it next: [Transient]
+    failures (rate limits, timeouts, node errors that outlived the retry
+    budget) and [Budget_exhausted] ones (a per-item call/step budget ran
+    out) are recoverable — {!requeue_transients} sends them around again;
+    [Permanent] failures (malformed input, logic errors) are not. *)
+type skip_class = Transient | Permanent | Budget_exhausted
+
+val skip_class_name : skip_class -> string
+(** ["transient"], ["permanent"], ["budget-exhausted"] — the checkpoint
+    encoding. *)
+
+val skip_class_of_name : string -> skip_class option
+
+(** What a [process] callback returns in its [Error] case. *)
+type skip_reason = {
+  sr_message : string;
+  sr_stage : stage option;  (** Stage the failure is attributed to. *)
+  sr_attempts : int;  (** Transport attempts consumed (>= 1). *)
+  sr_class : skip_class;
+}
+
+val permanent : ?stage:stage -> ?attempts:int -> string -> skip_reason
+val transient : ?stage:stage -> ?attempts:int -> string -> skip_reason
+val budget_exhausted : ?stage:stage -> ?attempts:int -> string -> skip_reason
+(** Constructors; [attempts] defaults to 1. *)
+
+(** A dead-letter entry: the skip reason plus the original item, so the
+    entry can be requeued and survives a checkpoint round-trip. *)
+type 'item skip_record = {
+  sk_item : 'item;
+  sk_subject : string;
+  sk_message : string;
+  sk_stage : stage option;
+  sk_attempts : int;
+  sk_class : skip_class;
 }
 
 (** Events carry the id of the worker that ran the work: 0 is the
@@ -74,8 +120,32 @@ type event =
       worker : int;
     }
       (** The stage raised; the item is about to be skipped. *)
-  | Item_skipped of { subject : string; message : string; worker : int }
-      (** Error isolation: the item is dropped, the batch continues. *)
+  | Retry_attempted of {
+      subject : string;
+      attempt : int;
+      reason : string;
+      delay : float;  (** Virtual seconds of backoff. *)
+      worker : int;
+    }
+      (** The resilient transport is retrying a transient failure. *)
+  | Circuit_opened of {
+      endpoint : string;
+      subject : string;
+      failures : int;
+      worker : int;
+    }
+      (** A connection's circuit breaker tripped. *)
+  | Circuit_closed of { endpoint : string; subject : string; worker : int }
+      (** A half-open probe succeeded; the circuit recovered. *)
+  | Item_skipped of {
+      subject : string;
+      message : string;
+      fault_class : skip_class;
+      attempts : int;
+      worker : int;
+    }
+      (** Error isolation: the item moved to the dead-letter list, the
+          batch continues. *)
   | Run_finished of { processed : int; skipped : int; elapsed : float }
 
 type ('item, 'res) t
@@ -91,7 +161,7 @@ val create :
   ?domains:int ->
   ?key:('item -> string) ->
   subject:('item -> string) ->
-  process:(('item, 'res) ctx -> 'item -> ('res, string) result) ->
+  process:(('item, 'res) ctx -> 'item -> ('res, skip_reason) result) ->
   unit ->
   ('item, 'res) t
 (** A fresh engine with an empty queue.  [batch_size] defaults to 32;
@@ -112,8 +182,15 @@ val subscribe : ('item, 'res) t -> (event -> unit) -> unit
 val emit : ('item, 'res) t -> event -> unit
 (** Deliver an event to every subscriber (used by [process] callbacks for
     domain-specific events; the engine emits the scheduling ones).  Only
-    safe from the coordinator; worker-side [process] code should confine
-    itself to {!timed_stage}. *)
+    safe from the coordinator; worker-side [process] code must use
+    {!emit_from}. *)
+
+val emit_from : ('item, 'res) ctx -> event -> unit
+(** Deliver an event through the ctx: directly on the sequential path,
+    buffered for the input-order merge when running on a worker domain.
+    This is how the analyzer surfaces transport events
+    ([Retry_attempted], [Circuit_opened]...) without breaking the
+    determinism of the merged stream. *)
 
 val engine : ('item, 'res) ctx -> ('item, 'res) t
 (** The engine the ctx belongs to. *)
@@ -122,23 +199,30 @@ val worker_id : ('item, 'res) ctx -> int
 (** Id of the worker running this item: 0 on the sequential path and the
     coordinator, 1..domains-1 on helper domains. *)
 
+val current_stage : ('item, 'res) ctx -> stage option
+(** The stage the item is currently inside (set by {!timed_stage} on
+    entry, cleared on success) — what exception-path skip records are
+    attributed to. *)
+
 val timed_stage :
   ('item, 'res) ctx ->
   stage:stage ->
   subject:string ->
   ?api_calls:(unit -> int) ->
   ?steps:(unit -> int) ->
+  ?retries:(unit -> int) ->
   (unit -> 'a) ->
   'a
 (** [timed_stage ctx ~stage ~subject f] runs [f] bracketed by
-    [Stage_started]/[Stage_finished] events.  [api_calls] and [steps] are
-    monotonic counter readers sampled before and after [f]; their deltas
-    land in the event's {!timing} and in the per-stage aggregates.  When
-    [f] raises, a [Stage_errored] event is emitted and the exception is
-    re-raised (the scheduler then skips the item).  Under parallel
-    execution the readers must observe worker-local counters (the
-    analyzer passes each worker's private chain-view counters), and the
-    events/aggregates are buffered for the ordered merge. *)
+    [Stage_started]/[Stage_finished] events.  [api_calls], [steps] and
+    [retries] are monotonic counter readers sampled before and after [f];
+    their deltas land in the event's {!timing} and in the per-stage
+    aggregates.  When [f] raises, a [Stage_errored] event is emitted and
+    the exception is re-raised (the scheduler then dead-letters the
+    item).  Under parallel execution the readers must observe
+    worker-local counters (the analyzer passes each worker's private
+    chain-view and transport counters), and the events/aggregates are
+    buffered for the ordered merge. *)
 
 (** {1 Scheduling} *)
 
@@ -153,11 +237,12 @@ val batches_done : ('item, 'res) t -> int
 val step_batch : ('item, 'res) t -> bool
 (** Process one batch from the queue head.  [false] when the queue was
     empty.  Items whose [process] raises or returns [Error] are recorded
-    as skipped — with [Stage_errored]/[Item_skipped] events — instead of
-    aborting the batch.  With [domains > 1] the batch is fanned across
-    the worker pool and merged in input order before this returns; the
-    batch boundary is therefore also the parallel barrier, and
-    checkpoints taken between batches are identical to sequential ones. *)
+    in the dead-letter list — with [Stage_errored]/[Item_skipped] events
+    — instead of aborting the batch.  With [domains > 1] the batch is
+    fanned across the worker pool and merged in input order before this
+    returns; the batch boundary is therefore also the parallel barrier,
+    and checkpoints taken between batches are identical to sequential
+    ones. *)
 
 val run : ?max_batches:int -> ('item, 'res) t -> unit
 (** Drain the queue ([max_batches] bounds how many batches this call may
@@ -168,9 +253,25 @@ val results : ('item, 'res) t -> 'res list
 
 val processed_count : ('item, 'res) t -> int
 
-val skipped : ('item, 'res) t -> (string * string) list
-(** [(subject, message)] for every item dropped by error isolation, in
-    occurrence order. *)
+(** {1 Dead letters} *)
+
+val skipped : ('item, 'res) t -> 'item skip_record list
+(** Every item dropped by error isolation, in occurrence order, with its
+    classification and the original item. *)
+
+val skipped_pairs : ('item, 'res) t -> (string * string) list
+(** [(subject, message)] projection of {!skipped} — the compact form
+    reports print. *)
+
+val requeue : ?classes:skip_class list -> ('item, 'res) t -> int
+(** Move dead-letter entries whose class is in [classes] (default
+    [[Transient; Budget_exhausted]] — the recoverable ones) back onto the
+    work queue, preserving their original relative order, and return how
+    many moved.  A subsequent {!run} retries them; entries that fail
+    again are re-recorded (with fresh attempt counts). *)
+
+val requeue_transients : ('item, 'res) t -> int
+(** [requeue t] with the default classes. *)
 
 (** {1 Per-stage aggregates} *)
 
@@ -183,24 +284,31 @@ val stage_totals_table : ('item, 'res) t -> string
 
 (** {1 Checkpointing} *)
 
+val checkpoint_version : int
+(** Current checkpoint format version (2: classified dead-letter records
+    with embedded items). *)
+
 val checkpoint :
   item_to_json:('item -> Report.Json.t) ->
   res_to_json:('res -> Report.Json.t) ->
   ?extra:Report.Json.t ->
   ('item, 'res) t ->
   Report.Json.t
-(** Serialize queue, results, skip list, batch counter and [extra] (an
-    opaque client payload: dedup caches, stat counters...).  The worker
-    count is deliberately not serialized — it is an execution parameter,
-    not state, and a checkpoint written with any [domains] restores and
-    resumes identically under any other. *)
+(** Serialize queue, results, dead-letter list, batch counter and [extra]
+    (an opaque client payload: dedup caches, stat counters...).  Each
+    dead-letter entry embeds its item (via [item_to_json]), so a restored
+    engine can still {!requeue} it.  The worker count and any resilience
+    configuration are deliberately not serialized — they are execution
+    parameters, not state, and a checkpoint written under any
+    [domains]/fault plan restores and resumes identically under any
+    other. *)
 
 val restore :
   ?batch_size:int ->
   ?domains:int ->
   ?key:('item -> string) ->
   subject:('item -> string) ->
-  process:(('item, 'res) ctx -> 'item -> ('res, string) result) ->
+  process:(('item, 'res) ctx -> 'item -> ('res, skip_reason) result) ->
   item_of_json:(Report.Json.t -> ('item, string) result) ->
   res_of_json:(Report.Json.t -> ('res, string) result) ->
   Report.Json.t ->

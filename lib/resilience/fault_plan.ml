@@ -1,0 +1,83 @@
+type spec = {
+  seed : int;
+  fault_rate : float;
+  mean_latency : float;
+  drop_windows : (int * int) list;
+}
+
+let none = { seed = 0; fault_rate = 0.0; mean_latency = 0.0; drop_windows = [] }
+
+let spec ?(seed = 0) ?(fault_rate = 0.0) ?(mean_latency = 0.0)
+    ?(drop_windows = []) () =
+  { seed; fault_rate; mean_latency; drop_windows }
+
+type fault = { f_kind : Chain_rpc.transient_kind; f_detail : string }
+type decision = { d_latency : float; d_fault : fault option }
+
+type t = { plan_spec : spec; mutable state : int64; mutable index : int }
+
+(* Splitmix64: a tiny, well-mixed, splittable PRNG.  The whole layer
+   hangs determinism off this — no [Random], no wall clock. *)
+let mix state =
+  let open Int64 in
+  let z = add state 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (z, logxor z (shift_right_logical z 31))
+
+let next_u01 t =
+  let state, out = mix t.state in
+  t.state <- state;
+  (* 53 high bits -> [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical out 11) /. 9007199254740992.0
+
+let instantiate ?(salt = 0) spec =
+  {
+    plan_spec = spec;
+    state = Int64.logxor (Int64.of_int spec.seed)
+        (Int64.mul (Int64.of_int salt) 0x2545F4914F6CDD1DL);
+    index = 0;
+  }
+
+let in_drop_window spec i =
+  List.exists (fun (start, len) -> i >= start && i < start + len)
+    spec.drop_windows
+
+let kind_of_draw u =
+  if u < 0.34 then Chain_rpc.Rate_limited
+  else if u < 0.67 then Chain_rpc.Timeout
+  else Chain_rpc.Node_error
+
+let next t =
+  let spec = t.plan_spec in
+  let i = t.index in
+  t.index <- i + 1;
+  (* Fixed draw schedule per attempt (latency, fault?, kind) keeps the
+     stream aligned whatever the outcomes, so a decision depends only on
+     (seed, salt, attempt index). *)
+  let u_latency = next_u01 t in
+  let u_fault = next_u01 t in
+  let u_kind = next_u01 t in
+  let d_latency = spec.mean_latency *. (0.5 +. u_latency) in
+  let d_fault =
+    if in_drop_window spec i then
+      Some
+        {
+          f_kind = Chain_rpc.Node_error;
+          f_detail = Printf.sprintf "connection dropped (call %d)" i;
+        }
+    else if spec.fault_rate > 0.0 && u_fault < spec.fault_rate then
+      let kind = kind_of_draw u_kind in
+      Some
+        {
+          f_kind = kind;
+          f_detail =
+            Printf.sprintf "injected %s (call %d)"
+              (Chain_rpc.transient_kind_name kind)
+              i;
+        }
+    else None
+  in
+  { d_latency; d_fault }
+
+let calls_decided t = t.index

@@ -1,0 +1,41 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default =
+  {
+    max_attempts = 5;
+    base_delay = 0.05;
+    multiplier = 2.0;
+    max_delay = 2.0;
+    jitter = 0.25;
+  }
+
+let policy ?(max_attempts = default.max_attempts)
+    ?(base_delay = default.base_delay) ?(multiplier = default.multiplier)
+    ?(max_delay = default.max_delay) ?(jitter = default.jitter) () =
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts must be >= 1";
+  { max_attempts; base_delay; multiplier; max_delay; jitter }
+
+(* Deterministic jitter: a hash of (seed, attempt) folded into [-1, 1].
+   Equal-spread jitter without [Random] keeps retried runs replayable —
+   the delay is a pure function of the policy, the connection seed and
+   the attempt number. *)
+let jitter_unit ~seed ~attempt =
+  let h = Hashtbl.hash (seed, attempt, 0x5eed) land 0xFFFF in
+  (float_of_int h /. 32767.5) -. 1.0
+
+let delay policy ~seed ~attempt =
+  let attempt = max 1 attempt in
+  let exp =
+    policy.base_delay *. (policy.multiplier ** float_of_int (attempt - 1))
+  in
+  let capped = Float.min policy.max_delay exp in
+  let jittered =
+    capped *. (1.0 +. (policy.jitter *. jitter_unit ~seed ~attempt))
+  in
+  Float.max 0.0 jittered

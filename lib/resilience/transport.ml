@@ -1,0 +1,213 @@
+type config = {
+  plan : Fault_plan.spec option;
+  policy : Retry.policy;
+  breaker : Breaker.config;
+  call_budget : int option;
+  step_budget : int option;
+}
+
+let default_config =
+  {
+    plan = None;
+    policy = Retry.default;
+    breaker = Breaker.default_config;
+    call_budget = None;
+    step_budget = None;
+  }
+
+let config ?plan ?(policy = Retry.default) ?(breaker = Breaker.default_config)
+    ?call_budget ?step_budget () =
+  { plan; policy; breaker; call_budget; step_budget }
+
+type event =
+  | Retry of { attempt : int; reason : string; delay : float }
+  | Circuit_opened of { endpoint : string; failures : int }
+  | Circuit_closed of { endpoint : string }
+
+type stats = {
+  dispatched : int;
+  faults_seen : int;
+  retries : int;
+  gave_up : int;
+  breaker_opens : int;
+  virtual_elapsed : float;
+}
+
+exception Rpc_error of Chain_rpc.error
+exception Budget_exhausted of { scope : string; budget : int; spent : int }
+
+let () =
+  Printexc.register_printer (function
+    | Rpc_error e -> Some ("rpc error: " ^ Chain_rpc.error_to_string e)
+    | Budget_exhausted { scope; budget; spent } ->
+        Some
+          (Printf.sprintf "budget exhausted: %d %s spent (budget %d)" spent
+             scope budget)
+    | _ -> None)
+
+type t = {
+  chain : Chain.t;
+  cfg : config;
+  clock : Vclock.t;
+  plan : Fault_plan.t option;
+  breaker : Breaker.t;
+  seed : int;
+  on_event : event -> unit;
+  mutable dispatched : int;
+  mutable faults_seen : int;
+  mutable retries : int;
+  mutable gave_up : int;
+  mutable last_attempts : int;
+}
+
+let endpoint_name = "archive"
+
+let create ?(config = default_config) ?(salt = 0) ?(on_event = fun _ -> ())
+    ~chain () =
+  let clock = Vclock.create () in
+  let breaker = Breaker.create ~config:config.breaker ~clock
+      ~endpoint:endpoint_name ()
+  in
+  let seed =
+    match config.plan with Some s -> s.Fault_plan.seed lxor salt | None -> salt
+  in
+  let t =
+    {
+      chain;
+      cfg = config;
+      clock;
+      plan = Option.map (Fault_plan.instantiate ~salt) config.plan;
+      breaker;
+      seed;
+      on_event;
+      dispatched = 0;
+      faults_seen = 0;
+      retries = 0;
+      gave_up = 0;
+      last_attempts = 0;
+    }
+  in
+  Breaker.on_transition breaker (function
+    | Breaker.Opened { failures } ->
+        on_event (Circuit_opened { endpoint = endpoint_name; failures })
+    | Breaker.Recovered -> on_event (Circuit_closed { endpoint = endpoint_name })
+    | Breaker.Probing -> ());
+  t
+
+let direct chain = create ~chain ()
+
+let clock t = t.clock
+let retries t = t.retries
+let last_attempts t = t.last_attempts
+
+let stats t =
+  {
+    dispatched = t.dispatched;
+    faults_seen = t.faults_seen;
+    retries = t.retries;
+    gave_up = t.gave_up;
+    breaker_opens = Breaker.open_count t.breaker;
+    virtual_elapsed = Vclock.now t.clock;
+  }
+
+let no_fault = { Fault_plan.d_latency = 0.0; d_fault = None }
+
+let decide t =
+  match t.plan with Some p -> Fault_plan.next p | None -> no_fault
+
+let check_call_budget t =
+  match t.cfg.call_budget with
+  | Some budget when t.dispatched >= budget ->
+      raise (Budget_exhausted { scope = "api-calls"; budget; spent = t.dispatched })
+  | _ -> ()
+
+let check_step_budget t ~steps =
+  match t.cfg.step_budget with
+  | Some budget when steps > budget ->
+      raise (Budget_exhausted { scope = "evm-steps"; budget; spent = steps })
+  | _ -> ()
+
+(* One node round-trip for one request: fault-or-dispatch.  Faults are
+   decided {e before} touching the node, so an injected failure never
+   consumes an API call — retried runs keep the exact per-call accounting
+   of a fault-free run (the §6.1 counter identity the chaos harness
+   asserts). *)
+let attempt_one t (meth, params) =
+  let decision = decide t in
+  Vclock.sleep t.clock decision.Fault_plan.d_latency;
+  match decision.Fault_plan.d_fault with
+  | Some f ->
+      t.faults_seen <- t.faults_seen + 1;
+      Breaker.record_failure t.breaker;
+      Error (Chain_rpc.Transient (f.Fault_plan.f_kind, f.Fault_plan.f_detail))
+  | None ->
+      check_call_budget t;
+      let r = Chain_rpc.call t.chain ~meth ~params in
+      t.dispatched <- t.dispatched + 1;
+      (* Any answer — including a permanent error — is a completed
+         round-trip: only transport-level faults count against the
+         breaker. *)
+      Breaker.record_success t.breaker;
+      r
+
+let backoff t ~attempt ~reason =
+  let delay = Retry.delay t.cfg.policy ~seed:t.seed ~attempt in
+  t.retries <- t.retries + 1;
+  t.on_event (Retry { attempt; reason; delay });
+  Vclock.sleep t.clock delay
+
+let call t ~meth ~params =
+  let rec go attempt =
+    Breaker.await_ready t.breaker;
+    match attempt_one t (meth, params) with
+    | Error (Chain_rpc.Transient _ as e)
+      when attempt < t.cfg.policy.Retry.max_attempts ->
+        backoff t ~attempt ~reason:(Chain_rpc.error_to_string e);
+        go (attempt + 1)
+    | Error (Chain_rpc.Transient _) as r ->
+        t.gave_up <- t.gave_up + 1;
+        t.last_attempts <- attempt;
+        r
+    | r ->
+        t.last_attempts <- attempt;
+        r
+  in
+  go 1
+
+let call_batch t requests =
+  let reqs = Array.of_list requests in
+  let n = Array.length reqs in
+  let responses = Array.make n (Error (Chain_rpc.Invalid_params "unserved")) in
+  (* Retry only the failed subset of each round, preserving response
+     order by index — the JSON-RPC partial-batch-failure contract. *)
+  let rec round attempt pending =
+    Breaker.await_ready t.breaker;
+    let failed =
+      List.filter
+        (fun i ->
+          match attempt_one t reqs.(i) with
+          | Error (Chain_rpc.Transient _ as e) ->
+              responses.(i) <- Error e;
+              true
+          | r ->
+              responses.(i) <- r;
+              false)
+        pending
+    in
+    t.last_attempts <- attempt;
+    if failed <> [] then
+      if attempt < t.cfg.policy.Retry.max_attempts then begin
+        backoff t ~attempt
+          ~reason:
+            (Printf.sprintf "%d/%d batch entries failed" (List.length failed) n);
+        round (attempt + 1) failed
+      end
+      else t.gave_up <- t.gave_up + List.length failed
+  in
+  if n > 0 then round 1 (List.init n Fun.id);
+  Array.to_list responses
+
+let call_batch_exn t requests =
+  List.map
+    (function Ok v -> v | Error e -> raise (Rpc_error e))
+    (call_batch t requests)

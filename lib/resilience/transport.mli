@@ -1,0 +1,116 @@
+(** The resilient (and deterministically unreliable) RPC transport.
+
+    Wraps {!Chain_rpc.call}/[call_batch] with the full production client
+    stack ProxioN needs against a real archive node: seeded fault
+    injection ({!Fault_plan}), capped exponential backoff with
+    deterministic jitter ({!Retry}), a per-endpoint circuit breaker
+    ({!Breaker}), and per-connection call/step budgets.  All waiting
+    happens on a {!Vclock}, so fault-injected runs are replayable and
+    cost no wall-clock time.
+
+    Accounting identity: faults are injected {e before} dispatching to
+    the node, so an injected failure never consumes an API call and a
+    retried transient costs exactly one dispatch — the per-call counters
+    (the paper's §6.1 metric) of a fault-injected run equal the
+    fault-free run's once every transient is retried to success.
+
+    A transport instance models one logical connection; callers that
+    analyze many subjects open one per subject (salted), which keeps
+    injection independent of scheduling interleavings. *)
+
+type config = {
+  plan : Fault_plan.spec option;  (** [None]: nothing injected. *)
+  policy : Retry.policy;
+  breaker : Breaker.config;
+  call_budget : int option;
+      (** Max node dispatches per connection; exceeding raises
+          {!Budget_exhausted}. *)
+  step_budget : int option;
+      (** Max EVM steps per connection, enforced by the caller through
+          {!check_step_budget}. *)
+}
+
+val default_config : config
+(** No plan, {!Retry.default}, {!Breaker.default_config}, no budgets. *)
+
+val config :
+  ?plan:Fault_plan.spec ->
+  ?policy:Retry.policy ->
+  ?breaker:Breaker.config ->
+  ?call_budget:int ->
+  ?step_budget:int ->
+  unit ->
+  config
+
+(** Observability events, delivered synchronously to [on_event]. *)
+type event =
+  | Retry of { attempt : int; reason : string; delay : float }
+  | Circuit_opened of { endpoint : string; failures : int }
+  | Circuit_closed of { endpoint : string }
+
+type stats = {
+  dispatched : int;  (** Requests actually served by the node. *)
+  faults_seen : int;  (** Injected faults observed. *)
+  retries : int;  (** Backoff waits taken. *)
+  gave_up : int;  (** Requests whose retry budget ran out. *)
+  breaker_opens : int;
+  virtual_elapsed : float;  (** Total virtual seconds on the clock. *)
+}
+
+exception Rpc_error of Chain_rpc.error
+(** Raised by {!call_batch_exn} on the first failed entry. *)
+
+exception Budget_exhausted of { scope : string; budget : int; spent : int }
+(** A per-connection budget ran out; the engine classifies this as a
+    [Budget_exhausted] dead-letter, distinct from transient faults. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?salt:int ->
+  ?on_event:(event -> unit) ->
+  chain:Chain.t ->
+  unit ->
+  t
+(** A fresh connection.  [salt] diversifies the fault stream and jitter
+    across connections sharing one plan (the analyzer salts with the
+    subject address). *)
+
+val direct : Chain.t -> t
+(** A pass-through connection: no faults, no budgets — behaviourally
+    identical to calling {!Chain_rpc} directly. *)
+
+val call :
+  t -> meth:string -> params:string list -> (string, Chain_rpc.error) result
+(** One request with retry/breaker handling.  Transient failures are
+    retried up to [policy.max_attempts] with backoff; permanent errors
+    ([Invalid_params], [Unsupported_height], [Unknown_method]) return
+    immediately — they are completed round-trips, not connection
+    failures, so they also close the breaker's failure streak. *)
+
+val call_batch :
+  t -> (string * string list) list -> (string, Chain_rpc.error) result list
+(** Batch semantics with partial-failure recovery: each round retries
+    only the entries that failed transiently, and responses always come
+    back in request order.  Entries still failing when attempts run out
+    surface their last [Transient] error in place. *)
+
+val call_batch_exn : t -> (string * string list) list -> string list
+(** Like {!call_batch} but raises {!Rpc_error} on the first failed entry
+    — the convenient form for callers that treat any exhausted or
+    permanent error as fatal for the operation (Algorithm 1). *)
+
+val retries : t -> int
+(** Monotonic retry counter — the reader stage timings sample. *)
+
+val last_attempts : t -> int
+(** Attempts consumed by the most recent operation (>= 1), for
+    dead-letter records. *)
+
+val check_step_budget : t -> steps:int -> unit
+(** Raise {!Budget_exhausted} when [steps] exceeds the configured step
+    budget (no-op otherwise). *)
+
+val stats : t -> stats
+val clock : t -> Vclock.t

@@ -1,0 +1,6 @@
+type t = { mutable now : float }
+
+let create ?(now = 0.0) () = { now }
+let now t = t.now
+let sleep t dt = if dt > 0.0 then t.now <- t.now +. dt
+let advance_to t deadline = if deadline > t.now then t.now <- deadline

@@ -1,0 +1,22 @@
+(** A virtual clock for the resilience layer.
+
+    Retry backoff, injected latency and circuit-breaker cooldowns all
+    "wait" by advancing this counter instead of sleeping on the wall
+    clock, so a fault-injected run is exactly as fast as a fault-free one
+    and — more importantly — fully deterministic: tests, checkpoints and
+    the chaos harness replay identically on any machine at any load.
+    Times are in virtual seconds; only differences are meaningful. *)
+
+type t
+
+val create : ?now:float -> unit -> t
+(** A clock starting at [now] (default 0). *)
+
+val now : t -> float
+
+val sleep : t -> float -> unit
+(** Advance the clock by a non-negative duration (negative values are
+    ignored).  This is the only "sleep" the resilience layer performs. *)
+
+val advance_to : t -> float -> unit
+(** Jump forward to a deadline; no-op when the deadline already passed. *)

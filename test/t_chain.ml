@@ -270,7 +270,43 @@ let test_rpc_facade () =
          ~params:[ Evm.Address.to_hex a; "0x0"; "0xffffff" ]
      with
     | Error (Chain_rpc.Invalid_params _) -> true
-    | _ -> false)
+    | _ -> false);
+  (* Historical tags on latest-only methods: a valid past height is a
+     distinct, named, non-retryable error — not Invalid_params, and never
+     classified transient (the resilient transport must not retry it). *)
+  List.iter
+    (fun (meth, params) ->
+      match Chain_rpc.call chain ~meth ~params with
+      | Error (Chain_rpc.Unsupported_height m) ->
+          Alcotest.(check string)
+            (meth ^ " unsupported-height names the method")
+            meth m;
+          check_b (meth ^ " unsupported-height is permanent") false
+            (Chain_rpc.is_transient (Chain_rpc.Unsupported_height m));
+          check_b (meth ^ " message names the method") true
+            (let s =
+               Chain_rpc.error_to_string (Chain_rpc.Unsupported_height m)
+             in
+             let rec contains i =
+               i + String.length meth <= String.length s
+               && (String.sub s i (String.length meth) = meth
+                  || contains (i + 1))
+             in
+             contains 0)
+      | Ok _ -> Alcotest.failf "%s served a historical height" meth
+      | Error e ->
+          Alcotest.failf "%s: expected Unsupported_height, got %s" meth
+            (Chain_rpc.error_to_string e))
+    [
+      ("eth_getCode", [ Evm.Address.to_hex a; "0x5" ]);
+      ("eth_getBalance", [ Evm.Address.to_hex a; "0x5" ]);
+      ("eth_getTransactionCount", [ Evm.Address.to_hex a; "0x5" ]);
+    ];
+  (* The same height tag on the history-capable method still works. *)
+  check_b "getStorageAt keeps serving history" true
+    (Result.is_ok
+       (Chain_rpc.call chain ~meth:"eth_getStorageAt"
+          ~params:[ Evm.Address.to_hex a; "0x0"; "0x5" ]))
 
 let test_intrinsic_gas () =
   let chain = Chain.create () in

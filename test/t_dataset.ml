@@ -143,7 +143,8 @@ let test_injected_collisions_have_ground_truth () =
 let test_pipeline_recovers_ground_truth () =
   let l = Lazy.force land_ in
   let report =
-    Proxion.Pipeline.run ~chain:l.Generate.chain ~source:l.Generate.source_of ()
+    Proxion.Pipeline.analyze ~chain:l.Generate.chain ~source:l.Generate.source_of
+      ()
   in
   let by_addr = Hashtbl.create 512 in
   List.iter
@@ -188,8 +189,10 @@ let test_pipeline_recovers_ground_truth () =
 let test_emulation_error_rate () =
   let l = Lazy.force land_ in
   let report =
-    Proxion.Pipeline.run ~verify_storage:false ~chain:l.Generate.chain
-      ~source:l.Generate.source_of ()
+    Proxion.Pipeline.analyze
+      ~config:
+        { Proxion.Pipeline.Config.default with verify_storage = false }
+      ~chain:l.Generate.chain ~source:l.Generate.source_of ()
   in
   let n = report.Proxion.Pipeline.stats.Proxion.Pipeline.s_analyzed in
   let errors = report.Proxion.Pipeline.stats.Proxion.Pipeline.s_emulation_errors in

@@ -230,10 +230,14 @@ let test_error_isolation () =
   check_s "healthy contract is the logic" (Evm.Address.to_hex logic)
     (Evm.Address.to_hex
        (List.hd report.Proxion.Pipeline.contracts).Proxion.Pipeline.r_address);
-  check_b "failure recorded in the skip list" true
-    (List.exists
-       (fun (subject, _) -> subject = Evm.Address.to_hex bad)
-       (Proxion.Analyzer.skipped t));
+  (match Proxion.Analyzer.skipped t with
+  | [ r ] ->
+      check_s "dead letter names the bad contract" (Evm.Address.to_hex bad)
+        r.Engine.sk_subject;
+      check_b "classified permanent" true (r.Engine.sk_class = Engine.Permanent);
+      check_b "attributed to the collision stage" true
+        (r.Engine.sk_stage = Some Engine.Func_collision)
+  | l -> Alcotest.failf "expected one dead letter, got %d" (List.length l));
   check_b "Stage_errored names the collision stage" true
     (List.mem Engine.Func_collision !errored);
   check_sl "Item_skipped event for the bad contract"

@@ -52,6 +52,12 @@ let event_skeleton = function
       Some (Printf.sprintf "finish %s %s" (Engine.stage_name stage) subject)
   | Engine.Stage_errored { stage; subject; _ } ->
       Some (Printf.sprintf "error %s %s" (Engine.stage_name stage) subject)
+  | Engine.Retry_attempted { subject; attempt; _ } ->
+      Some (Printf.sprintf "retry %s %d" subject attempt)
+  | Engine.Circuit_opened { endpoint; subject; _ } ->
+      Some (Printf.sprintf "circuit-opened %s %s" endpoint subject)
+  | Engine.Circuit_closed { endpoint; subject; _ } ->
+      Some (Printf.sprintf "circuit-closed %s %s" endpoint subject)
   | Engine.Item_skipped { subject; _ } -> Some ("skip " ^ subject)
   | Engine.Run_finished { processed; skipped; _ } ->
       Some (Printf.sprintf "run-finished %d %d" processed skipped)
@@ -148,8 +154,11 @@ let test_worker_failure_isolation () =
     [ 10; 20; 30; 40; 60; 70; 80 ]
     (Engine.results t);
   check_i "exactly one item skipped" 1 (List.length (Engine.skipped t));
-  let subject, message = List.hd (Engine.skipped t) in
+  let r = List.hd (Engine.skipped t) in
+  let subject = r.Engine.sk_subject and message = r.Engine.sk_message in
   check_s "the failing item is the one skipped" "5" subject;
+  check_b "worker crash classified permanent" true
+    (r.Engine.sk_class = Engine.Permanent);
   check_b "exception text preserved" true
     (let needle = "synthetic worker crash" in
      let rec contains i =

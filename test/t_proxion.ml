@@ -172,7 +172,7 @@ let test_detect_beacon_proxy () =
     (List.map Evm.Address.to_hex res.Logic_resolve.historical);
   (* And the pipeline produces a pair for it. *)
   let report =
-    Pipeline.run ~chain ~source:(fun _ -> None)
+    Pipeline.analyze ~chain ~source:(fun _ -> None)
       ~addresses:[ proxy; logic; beacon ] ()
   in
   let pr =
@@ -238,8 +238,12 @@ let test_pipeline_diamond_extension () =
     (call_fn chain ~from:alice ~to_:proxy "setFacet(uint256,address)"
        ~args:[ Evm.Abi.Uint sel_word; Evm.Abi.Addr facet ]);
   ignore (call_fn chain ~from:mallory ~to_:proxy "increment()");
-  let base = Pipeline.run ~chain ~source:(fun _ -> None) () in
-  let ext = Pipeline.run ~diamond_extension:true ~chain ~source:(fun _ -> None) () in
+  let base = Pipeline.analyze ~chain ~source:(fun _ -> None) () in
+  let ext =
+    Pipeline.analyze
+      ~config:{ Pipeline.Config.default with diamond_extension = true }
+      ~chain ~source:(fun _ -> None) ()
+  in
   let is_proxy report =
     List.exists
       (fun r ->
@@ -621,7 +625,7 @@ let test_findings_report () =
   let au_logic = deploy chain (Patterns.audius_logic ()) in
   let au_proxy = deploy chain ~from:alice (Patterns.audius_proxy ()) in
   Chain.set_storage_direct chain au_proxy U256.one (Evm.Address.to_u256 au_logic);
-  let report = Pipeline.run ~chain ~source:(fun _ -> None) () in
+  let report = Pipeline.analyze ~chain ~source:(fun _ -> None) () in
   let findings = Findings.of_report report in
   check_b "nonempty" true (findings <> []);
   (* Verified Audius exploit is critical; honeypot is high; sorted order. *)
@@ -728,7 +732,7 @@ let test_pipeline_end_to_end () =
       (fun (a, c) -> if Evm.Address.equal a addr then Some c else None)
       sources
   in
-  let report = Pipeline.run ~chain ~source () in
+  let report = Pipeline.analyze ~chain ~source () in
   let stats = report.Pipeline.stats in
   check_i "analyzed all" 9 stats.Pipeline.s_analyzed;
   (* Proxies: honeypot, audius, minimal. Library caller and plain ones no. *)

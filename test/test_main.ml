@@ -19,4 +19,5 @@ let () =
       ("experiments", T_experiments.suite);
       ("engine", T_engine.suite);
       ("parallel", T_parallel.suite);
+      ("chaos", T_chaos.suite);
     ]
