@@ -398,6 +398,62 @@ let run_engine fx =
   let restored, restore_elapsed =
     time (fun () -> Proxion.Analyzer.restore ~chain ~source json)
   in
+  (* Journaled recovery replay: the crash-safety path end to end.  Commit
+     a checkpoint per batch the way the CLI does, tear the tail the way a
+     kill mid-write would, then measure recovery (journal scan +
+     truncation) and replay (parse + restore) separately. *)
+  let journal_path = Filename.temp_file "proxion_bench" ".jrnl" in
+  Sys.remove journal_path;
+  let journal_stats =
+    let open Resilience in
+    match Journal.open_journal ~fsync:false journal_path with
+    | Error e -> Error e
+    | Ok (j, _) -> (
+        Chain.reset_api_call_count chain;
+        let t = Proxion.Analyzer.create ~chain ~source () in
+        Proxion.Analyzer.subscribe t (function
+          | Engine.Batch_finished _ ->
+              ignore
+                (Journal.checkpoint j
+                   (Report.Json.to_string (Proxion.Analyzer.checkpoint t)))
+          | _ -> ());
+        Proxion.Analyzer.submit_all t;
+        Proxion.Analyzer.run ~max_batches:8 t;
+        Journal.close j;
+        Out_channel.with_open_gen
+          [ Open_append; Open_binary ]
+          0o644 journal_path
+          (fun oc -> Out_channel.output_string oc "R\xff\xff\xff\xfftorn");
+        let journal_bytes = (Unix.stat journal_path).Unix.st_size in
+        let recovered, open_elapsed =
+          time (fun () -> Journal.open_journal ~fsync:false journal_path)
+        in
+        match recovered with
+        | Error e -> Error e
+        | Ok (j2, r) -> (
+            Journal.close j2;
+            let replay, replay_elapsed =
+              time (fun () ->
+                  match r.Journal.rec_state with
+                  | None -> Error "empty journal"
+                  | Some s -> (
+                      match Report.Json.parse s with
+                      | Error e -> Error e
+                      | Ok ck ->
+                          Result.map ignore
+                            (Proxion.Analyzer.restore ~chain ~source ck)))
+            in
+            match replay with
+            | Error e -> Error e
+            | Ok () ->
+                Ok
+                  ( journal_bytes,
+                    r.Journal.rec_committed,
+                    r.Journal.rec_dropped_bytes,
+                    open_elapsed,
+                    replay_elapsed )))
+  in
+  (try Sys.remove journal_path with Sys_error _ -> ());
   (* Domain-parallel sweep: same landscape fanned across 1/2/4/8 worker
      domains; the report must stay byte-identical to the sequential run.
      The keccak selector memo is reset before the reference run so its
@@ -515,7 +571,7 @@ let run_engine fx =
   let bench_json =
     Report.Json.Obj
       [
-        ("schema_version", Report.Json.Int 2);
+        ("schema_version", Report.Json.Int 3);
         ("git_rev", Report.Json.String (git_rev ()));
         ( "cores",
           Report.Json.Int (Domain.recommended_domain_count ()) );
@@ -567,6 +623,18 @@ let run_engine fx =
                      ("identical_report", Report.Json.Bool identical);
                    ])
                resilience_runs) );
+        ( "recovery",
+          match journal_stats with
+          | Error e -> Report.Json.Obj [ ("error", Report.Json.String e) ]
+          | Ok (bytes, committed, dropped, open_s, replay_s) ->
+              Report.Json.Obj
+                [
+                  ("journal_bytes", Report.Json.Int bytes);
+                  ("committed_frames", Report.Json.Int committed);
+                  ("torn_bytes_dropped", Report.Json.Int dropped);
+                  ("recovery_open_s", Report.Json.Float open_s);
+                  ("replay_restore_s", Report.Json.Float replay_s);
+                ] );
       ]
   in
   Out_channel.with_open_text bench_engine_json_path (fun oc ->
@@ -599,6 +667,17 @@ let run_engine fx =
         Printf.sprintf "%s in %.4fs"
           (match restored with Ok _ -> "ok" | Error e -> "FAILED: " ^ e)
           restore_elapsed;
+      ];
+      [
+        "journal recovery replay";
+        (match journal_stats with
+        | Error e -> "FAILED: " ^ e
+        | Ok (bytes, committed, dropped, open_s, replay_s) ->
+            Printf.sprintf
+              "%.1f KiB journal, %d commits, %d torn B dropped; recover \
+               %.4fs + replay %.4fs"
+              (float_of_int bytes /. 1024.0)
+              committed dropped open_s replay_s);
       ];
       [ "machine-readable artifact"; bench_engine_json_path ];
       [ "per-stage totals"; "" ];

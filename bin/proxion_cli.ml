@@ -77,17 +77,36 @@ let seed_arg =
 let landscape_config total seed =
   { Dataset.Generate.default_config with Dataset.Generate.total; seed }
 
-(* Progress reporting on stderr, leaving stdout to the figures. *)
-let progress_subscriber ev =
+(* Progress reporting on stderr, leaving stdout to the figures.  The
+   subscriber is stateful: it keeps running dead-letter counts per fault
+   class so every batch line shows degradation as it happens, not only in
+   the final report. *)
+let progress_subscriber () =
+  let dead : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let note cls =
+    let name = Engine.skip_class_name cls in
+    Hashtbl.replace dead name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt dead name))
+  in
+  let dead_summary () =
+    match
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) dead [] |> List.sort compare
+    with
+    | [] -> ""
+    | entries ->
+        Printf.sprintf " (dead letters: %s)"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) entries))
+  in
   let open Engine in
-  match ev with
+  function
   | Run_started { pending; batch_size; domains } ->
       Printf.eprintf "run: %d contracts queued (batches of %d, %d domain%s)\n%!"
         pending batch_size domains
         (if domains = 1 then "" else "s")
   | Batch_finished { index; size; elapsed } ->
-      Printf.eprintf "batch %d: %d contracts in %.2fs\n%!" (index + 1) size
-        elapsed
+      Printf.eprintf "batch %d: %d contracts in %.2fs%s\n%!" (index + 1) size
+        elapsed (dead_summary ())
   | Stage_errored { stage; subject; message; worker } ->
       Printf.eprintf "  %s: stage %s errored on worker %d: %s\n%!" subject
         (stage_name stage) worker message
@@ -100,6 +119,7 @@ let progress_subscriber ev =
   | Circuit_closed { endpoint; subject; _ } ->
       Printf.eprintf "  circuit closed: %s endpoint for %s\n%!" endpoint subject
   | Item_skipped { subject; message; fault_class; attempts; _ } ->
+      note fault_class;
       Printf.eprintf "  skipped %s (%s, %d attempt%s): %s\n%!" subject
         (Engine.skip_class_name fault_class)
         attempts
@@ -110,10 +130,20 @@ let progress_subscriber ev =
         skipped elapsed
   | Batch_started _ | Stage_started _ | Stage_finished _ -> ()
 
+(* Durable plain-file checkpoint: write the whole payload under a
+   temporary name, then rename into place — a crash mid-write can never
+   leave a half-written checkpoint behind, and I/O failures come back as
+   a clean [Error] instead of an uncaught exception. *)
 let write_checkpoint path json =
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (Report.Json.to_string ~pretty:true json);
-      Out_channel.output_char oc '\n')
+  let tmp = path ^ ".tmp" in
+  match
+    Out_channel.with_open_text tmp (fun oc ->
+        Out_channel.output_string oc (Report.Json.to_string ~pretty:true json);
+        Out_channel.output_char oc '\n');
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
 
 let read_checkpoint path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -144,9 +174,11 @@ let print_landscape t findings =
    end);
   0
 
+exception Journal_write_error of string
+
 let run_landscape total seed findings batch_size domains progress
     checkpoint_path resume_path max_batches fault_rate fault_seed fault_latency
-    retry_skipped =
+    retry_skipped journal_path watchdog_steps =
   match (batch_size, domains) with
   | Some b, _ when b <= 0 ->
       prerr_endline "error: --batch-size must be positive";
@@ -157,88 +189,178 @@ let run_landscape total seed findings batch_size domains progress
   | _ when fault_rate < 0.0 || fault_rate >= 1.0 ->
       prerr_endline "error: --fault-rate must be in [0, 1)";
       1
+  | _ when (match watchdog_steps with Some w -> w <= 0 | None -> false) ->
+      prerr_endline "error: --watchdog-steps must be positive";
+      1
+  | _ when journal_path <> None && resume_path <> None ->
+      prerr_endline
+        "error: --journal recovers its own state; pass either --journal or \
+         --resume, not both";
+      1
   | _ ->
   let land_ = Dataset.Generate.generate (landscape_config total seed) in
   let chain = land_.Dataset.Generate.chain in
   let source = land_.Dataset.Generate.source_of in
   Chain.reset_api_call_count chain;
-  (* Like --domains, the fault plan is an execution parameter: any
-     combination of knobs produces the same figures, faults only exercise
-     the retry path. *)
+  (* Like --domains, the fault plan and the watchdog budget are execution
+     parameters: any combination of knobs produces the same figures,
+     faults only exercise the retry path and the watchdog only decides
+     how fast a pathological item dies. *)
   let resilience =
-    if fault_rate > 0.0 || fault_latency > 0.0 then
-      Resilience.Transport.config
-        ~plan:
+    let plan =
+      if fault_rate > 0.0 || fault_latency > 0.0 then
+        Some
           (Resilience.Fault_plan.spec ~seed:fault_seed ~fault_rate
              ~mean_latency:fault_latency ())
-        ()
-    else Resilience.Transport.default_config
+      else None
+    in
+    Resilience.Transport.config ?plan ?step_budget:watchdog_steps ()
   in
-  let analyzer =
-    match resume_path with
+  let journal =
+    match journal_path with
+    | None -> Ok None
     | Some path -> (
-        match
-          Result.bind (read_checkpoint path)
-            (Proxion.Analyzer.restore ?batch_size ?domains ~resilience ~chain
-               ~source)
-        with
-        | Ok t -> Ok t
-        | Error e -> Error (Printf.sprintf "cannot resume from %s: %s" path e))
-    | None ->
-        let config =
-          Proxion.Pipeline.Config.default
-          |> (match batch_size with
-             | Some b -> Proxion.Pipeline.Config.with_batch_size b
-             | None -> Fun.id)
-          |> (match domains with
-             | Some d -> Proxion.Pipeline.Config.with_domains d
-             | None -> Fun.id)
-        in
-        let t = Proxion.Analyzer.create ~config ~resilience ~chain ~source () in
-        Proxion.Analyzer.submit_all t;
-        Ok t
+        match Resilience.Journal.open_journal path with
+        | Ok (j, recovery) -> Ok (Some (j, recovery))
+        | Error e -> Error e)
   in
-  match analyzer with
+  match journal with
   | Error e ->
       prerr_endline ("error: " ^ e);
       1
-  | Ok analyzer ->
-      if progress then Proxion.Analyzer.subscribe analyzer progress_subscriber;
-      Proxion.Analyzer.run ?max_batches analyzer;
-      (if retry_skipped then
-         let n =
-           Proxion.Analyzer.requeue
-             ~classes:
-               [ Engine.Transient; Engine.Budget_exhausted; Engine.Permanent ]
-             analyzer
-         in
-         if n > 0 then begin
-           Printf.eprintf "retry-skipped: requeued %d dead-letter contract%s\n%!"
-             n
-             (if n = 1 then "" else "s");
-           Proxion.Analyzer.run analyzer
-         end);
+  | Ok journal ->
+  let restore_from what text =
+    match
+      Result.bind (Report.Json.parse text)
+        (Proxion.Analyzer.restore ?batch_size ?domains ~resilience ~chain
+           ~source)
+    with
+    | Ok t -> Ok t
+    | Error e -> Error (Printf.sprintf "cannot resume from %s: %s" what e)
+  in
+  let fresh () =
+    let config =
+      Proxion.Pipeline.Config.default
+      |> (match batch_size with
+         | Some b -> Proxion.Pipeline.Config.with_batch_size b
+         | None -> Fun.id)
+      |> (match domains with
+         | Some d -> Proxion.Pipeline.Config.with_domains d
+         | None -> Fun.id)
+    in
+    let t = Proxion.Analyzer.create ~config ~resilience ~chain ~source () in
+    Proxion.Analyzer.submit_all t;
+    Ok t
+  in
+  let analyzer =
+    match (journal, resume_path) with
+    | Some (j, recovery), _ -> (
+        match recovery.Resilience.Journal.rec_state with
+        | Some text ->
+            Printf.eprintf
+              "journal: recovered %s (%d committed frame%s, %d torn byte%s \
+               dropped)\n\
+               %!"
+              (Resilience.Journal.path j)
+              recovery.Resilience.Journal.rec_committed
+              (if recovery.Resilience.Journal.rec_committed = 1 then "" else "s")
+              recovery.Resilience.Journal.rec_dropped_bytes
+              (if recovery.Resilience.Journal.rec_dropped_bytes = 1 then ""
+               else "s");
+            restore_from (Resilience.Journal.path j) text
+        | None -> fresh ())
+    | None, Some path ->
+        Result.bind (read_checkpoint path) (fun json ->
+            match
+              Proxion.Analyzer.restore ?batch_size ?domains ~resilience ~chain
+                ~source json
+            with
+            | Ok t -> Ok t
+            | Error e ->
+                Error (Printf.sprintf "cannot resume from %s: %s" path e))
+    | None, None -> fresh ()
+  in
+  match analyzer with
+  | Error e ->
+      Option.iter (fun (j, _) -> Resilience.Journal.close j) journal;
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok analyzer -> (
+      if progress then
+        Proxion.Analyzer.subscribe analyzer (progress_subscriber ());
+      (* One journal record + commit per batch barrier: a kill at any
+         instant re-executes at most the batch in flight. *)
       Option.iter
-        (fun path -> write_checkpoint path (Proxion.Analyzer.checkpoint analyzer))
-        checkpoint_path;
-      if Proxion.Analyzer.pending analyzer > 0 then begin
-        Printf.eprintf
-          "stopped with %d contracts pending%s\n%!"
-          (Proxion.Analyzer.pending analyzer)
-          (match checkpoint_path with
-          | Some p -> Printf.sprintf "; resume with --resume %s" p
-          | None -> " (pass --checkpoint to make this resumable)");
-        0
-      end
-      else begin
-        if progress then
-          prerr_string (Proxion.Analyzer.stage_totals_table analyzer);
-        let t =
-          Experiments.Landscape.of_parts land_
-            (Proxion.Analyzer.report analyzer)
-        in
-        print_landscape t findings
-      end
+        (fun (j, _) ->
+          Proxion.Analyzer.subscribe analyzer (function
+            | Engine.Batch_finished _ -> (
+                let text =
+                  Report.Json.to_string (Proxion.Analyzer.checkpoint analyzer)
+                in
+                match Resilience.Journal.checkpoint j text with
+                | Ok () -> ()
+                | Error e -> raise (Journal_write_error e))
+            | _ -> ()))
+        journal;
+      match
+        Proxion.Analyzer.run ?max_batches analyzer;
+        if retry_skipped then
+          let n =
+            Proxion.Analyzer.requeue
+              ~classes:
+                [
+                  Engine.Transient;
+                  Engine.Budget_exhausted;
+                  Engine.Worker_crashed;
+                  Engine.Permanent;
+                ]
+              analyzer
+          in
+          if n > 0 then begin
+            Printf.eprintf
+              "retry-skipped: requeued %d dead-letter contract%s\n%!" n
+              (if n = 1 then "" else "s");
+            Proxion.Analyzer.run analyzer
+          end
+      with
+      | exception Journal_write_error e ->
+          Option.iter (fun (j, _) -> Resilience.Journal.close j) journal;
+          prerr_endline ("error: journal write failed: " ^ e);
+          1
+      | () ->
+          Option.iter (fun (j, _) -> Resilience.Journal.close j) journal;
+          let checkpoint_failed =
+            match checkpoint_path with
+            | None -> false
+            | Some path -> (
+                match
+                  write_checkpoint path (Proxion.Analyzer.checkpoint analyzer)
+                with
+                | Ok () -> false
+                | Error e ->
+                    prerr_endline ("error: cannot write checkpoint: " ^ e);
+                    true)
+          in
+          if checkpoint_failed then 1
+          else if Proxion.Analyzer.pending analyzer > 0 then begin
+            Printf.eprintf "stopped with %d contracts pending%s\n%!"
+              (Proxion.Analyzer.pending analyzer)
+              (match (checkpoint_path, journal_path) with
+              | Some p, _ -> Printf.sprintf "; resume with --resume %s" p
+              | None, Some p -> Printf.sprintf "; resume with --journal %s" p
+              | None, None ->
+                  " (pass --checkpoint or --journal to make this resumable)");
+            0
+          end
+          else begin
+            if progress then
+              prerr_string (Proxion.Analyzer.stage_totals_table analyzer);
+            let t =
+              Experiments.Landscape.of_parts land_
+                (Proxion.Analyzer.report analyzer)
+            in
+            print_landscape t findings
+          end)
 
 let landscape_cmd =
   let doc =
@@ -333,12 +455,36 @@ let landscape_cmd =
             "After the run, requeue every dead-letter contract (all fault \
              classes) and run once more.")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Keep a durable CRC-framed checkpoint journal at $(docv), \
+             committed at every batch boundary.  If $(docv) already holds \
+             committed state (e.g. after a kill -9), the run recovers it — \
+             truncating any torn tail — and resumes; at most one batch is \
+             re-executed.  Use the same --total and --seed so the landscape \
+             regenerates identically.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog-steps" ] ~docv:"N"
+          ~doc:
+            "Per-contract EVM-step budget, enforced live inside emulation: \
+             a contract looping in the probe is dead-lettered as \
+             budget-exhausted after $(docv) steps instead of stalling its \
+             worker.")
+  in
   Cmd.v (Cmd.info "landscape" ~doc)
     Term.(
       const run_landscape $ total_arg $ seed_arg $ findings_arg
       $ batch_size_arg $ domains_arg $ progress_arg $ checkpoint_arg
       $ resume_arg $ max_batches_arg $ fault_rate_arg $ fault_seed_arg
-      $ fault_latency_arg $ retry_skipped_arg)
+      $ fault_latency_arg $ retry_skipped_arg $ journal_arg $ watchdog_arg)
 
 (* --- coverage / accuracy / perf / effectiveness ------------------------- *)
 

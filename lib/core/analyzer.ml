@@ -45,6 +45,11 @@ type env = {
          fault injection and jitter depend only on (plan seed, subject,
          per-connection attempt index), never on scheduling. *)
   e_steps0 : int; (* step-counter baseline at item start (step budget) *)
+  e_fuel : Evm.Interp.fuel option;
+      (* Live watchdog allowance shared by every probe emulation of the
+         item; sized by the transport step budget.  The post-stage budget
+         check still runs — fuel is the in-flight enforcement that stops
+         a looping bytecode from ever reaching that check. *)
 }
 
 let config t = t.cfg
@@ -99,8 +104,9 @@ let timed ctx env ~stage ~subject f =
 
 let fresh_probe t env addr code_hash =
   let d =
-    if t.cfg.Config.diamond_extension then Diamond_probe.detect env.e_chain addr
-    else Proxy_detect.detect ~host:env.e_host addr
+    if t.cfg.Config.diamond_extension then
+      Diamond_probe.detect ?fuel:env.e_fuel env.e_chain addr
+    else Proxy_detect.detect ?fuel:env.e_fuel ~host:env.e_host addr
   in
   env.e_steps := !(env.e_steps) + d.Proxy_detect.steps;
   (if t.cfg.Config.dedup then
@@ -314,6 +320,12 @@ let skip_of_exn ctx env e =
       Engine.budget_exhausted ?stage ~attempts
         (Printf.sprintf "budget exhausted: %d %s spent (budget %d)" spent scope
            budget)
+  | Evm.Interp.Fuel_exhausted { budget } ->
+      (* The live watchdog fired mid-emulation: same class, message and
+         stage attribution as the post-stage evm-steps check would have
+         produced, just without letting the loop run to completion. *)
+      Engine.budget_exhausted ?stage ~attempts
+        (Printf.sprintf "watchdog: evm-steps fuel exhausted (budget %d)" budget)
   | e -> raise e
 
 let process_item t ctx addr =
@@ -332,6 +344,9 @@ let process_item t ctx addr =
         e_dedup = ref 0;
         e_transport = make_transport t ctx addr t.chain;
         e_steps0 = 0;
+        e_fuel =
+          Option.map Evm.Interp.fuel
+            t.resilience.Resilience.Transport.step_budget;
       }
     in
     match analyze_contract t env ctx addr with
@@ -355,6 +370,9 @@ let process_item t ctx addr =
         e_dedup = ref 0;
         e_transport = make_transport t ctx addr view;
         e_steps0 = 0;
+        e_fuel =
+          Option.map Evm.Interp.fuel
+            t.resilience.Resilience.Transport.step_budget;
       }
     in
     match analyze_contract t env ctx addr with
@@ -398,11 +416,12 @@ let make_with_engine ~config ~resilience ~chain ~source build_engine =
   t
 
 let create ?(config = Config.default)
-    ?(resilience = Resilience.Transport.default_config) ~chain ~source () =
+    ?(resilience = Resilience.Transport.default_config) ?crash_plan
+    ?attempt_ceiling ~chain ~source () =
   make_with_engine ~config ~resilience ~chain ~source (fun ~process ->
       Engine.create ~batch_size:config.Config.batch_size
-        ~domains:config.Config.domains ~key:(group_key chain)
-        ~subject:Address.to_hex ~process ())
+        ~domains:config.Config.domains ~key:(group_key chain) ?crash_plan
+        ?attempt_ceiling ~subject:Address.to_hex ~process ())
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling and results                                              *)
@@ -555,7 +574,8 @@ let address_of_json = function
   | _ -> Error "checkpoint: queue entries must be strings"
 
 let restore ?batch_size ?domains
-    ?(resilience = Resilience.Transport.default_config) ~chain ~source json =
+    ?(resilience = Resilience.Transport.default_config) ?crash_plan
+    ?attempt_ceiling ~chain ~source json =
   (* The config governs resume semantics, so it comes from the checkpoint
      (batch_size and domains optionally overridden — the worker count is
      an execution parameter, not analysis state, and any value resumes to
@@ -587,8 +607,8 @@ let restore ?batch_size ?domains
   in
   let* engine, extra =
     Engine.restore ?batch_size ~domains:config.Config.domains
-      ~key:(group_key chain) ~subject:Address.to_hex ~process
-      ~item_of_json:address_of_json
+      ~key:(group_key chain) ?crash_plan ?attempt_ceiling
+      ~subject:Address.to_hex ~process ~item_of_json:address_of_json
       ~res_of_json:Serialize.contract_report_of_json json
   in
   let* dedup_hits = Result.bind (field "dedup_hits" extra) (dec_int "dedup_hits") in

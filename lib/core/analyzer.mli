@@ -33,13 +33,19 @@ type t
 val create :
   ?config:Analysis.Config.t ->
   ?resilience:Resilience.Transport.config ->
+  ?crash_plan:Engine.crash_plan ->
+  ?attempt_ceiling:int ->
   chain:Chain.t ->
   source:Analysis.source_lookup ->
   unit ->
   t
 (** A fresh analyzer with an empty queue and empty caches.  [resilience]
     (default {!Resilience.Transport.default_config}: no injection, no
-    budgets) configures every per-contract archive connection. *)
+    budgets) configures every per-contract archive connection; its
+    [step_budget] additionally arms a live per-item fuel watchdog inside
+    the emulation probes (see {!Evm.Interp.guard_fuel}).  [crash_plan]
+    and [attempt_ceiling] are handed to the engine (see
+    {!Engine.create}). *)
 
 val config : t -> Analysis.Config.t
 val engine : t -> (Evm.Address.t, Analysis.contract_report) Engine.t
@@ -72,9 +78,9 @@ val skipped_pairs : t -> (string * string) list
 
 val requeue : ?classes:Engine.skip_class list -> t -> int
 (** Push dead-letter entries of the given classes (default: the
-    recoverable [Transient] and [Budget_exhausted]) back onto the work
-    queue; returns how many moved.  Run the analyzer again to retry
-    them. *)
+    recoverable [Transient], [Budget_exhausted] and [Worker_crashed])
+    back onto the work queue; returns how many moved, honoring the
+    engine's attempt ceiling.  Run the analyzer again to retry them. *)
 
 val requeue_transients : t -> int
 (** {!requeue} with the default classes. *)
@@ -95,6 +101,8 @@ val restore :
   ?batch_size:int ->
   ?domains:int ->
   ?resilience:Resilience.Transport.config ->
+  ?crash_plan:Engine.crash_plan ->
+  ?attempt_ceiling:int ->
   chain:Chain.t ->
   source:Analysis.source_lookup ->
   Report.Json.t ->
@@ -102,5 +110,6 @@ val restore :
 (** Rebuild from a {!checkpoint} against the same chain and source
     oracle.  [batch_size] and [domains] override the checkpointed
     configuration; changing [domains] never changes the resumed run's
-    output, only its wall-clock time.  [resilience] applies to the
-    resumed run only — it is never part of the checkpoint. *)
+    output, only its wall-clock time.  [resilience], [crash_plan] and
+    [attempt_ceiling] apply to the resumed run only — they are execution
+    parameters, never part of the checkpoint. *)

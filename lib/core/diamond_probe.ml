@@ -27,7 +27,7 @@ let contains_substring ~haystack ~needle =
   in
   nn > 0 && at 0
 
-let probe_with_selector ~host ~address ~code selector =
+let probe_with_selector ?fuel ~host ~address ~code selector =
   let arg = Keccak.digest ("diamond-arg" ^ selector) in
   let calldata = selector ^ arg in
   let forwarded = ref None in
@@ -48,14 +48,18 @@ let probe_with_selector ~host ~address ~code selector =
           if Address.equal a address then sloads := (slot, value) :: !sloads);
     }
   in
-  let snapshot = host.Host.snapshot () in
-  let _ =
-    Interp.execute ~tracer ~step_limit:200_000 host
-      (Interp.make_call
-         ~caller:(Address.of_hex "0x00000000000000000000000000000000c0ffee02")
-         ~target:address ~input:calldata ())
+  let tracer =
+    match fuel with None -> tracer | Some f -> Interp.guard_fuel f tracer
   in
-  host.Host.revert_to snapshot;
+  let snapshot = host.Host.snapshot () in
+  Fun.protect
+    ~finally:(fun () -> host.Host.revert_to snapshot)
+    (fun () ->
+      ignore
+        (Interp.execute ~tracer ~step_limit:200_000 host
+           (Interp.make_call
+              ~caller:(Address.of_hex "0x00000000000000000000000000000000c0ffee02")
+              ~target:address ~input:calldata ())));
   match !forwarded with
   | None -> None
   | Some target ->
@@ -82,9 +86,9 @@ let probe_with_selector ~host ~address ~code selector =
       in
       Some (target, source)
 
-let detect ?(seed = 1) ?(max_probes = 8) chain address =
+let detect ?(seed = 1) ?(max_probes = 8) ?fuel chain address =
   let host = Chain.host_at_head chain in
-  let base = Proxy_detect.detect ~seed ~host address in
+  let base = Proxy_detect.detect ~seed ?fuel ~host address in
   match base.Proxy_detect.verdict with
   | Proxy_detect.Not_proxy_no_forward -> (
       let code = Chain.code_at chain address in
@@ -94,7 +98,7 @@ let detect ?(seed = 1) ?(max_probes = 8) chain address =
       let rec try_all = function
         | [] -> base
         | sel :: rest -> (
-            match probe_with_selector ~host ~address ~code sel with
+            match probe_with_selector ?fuel ~host ~address ~code sel with
             | Some (target, source) ->
                 {
                   base with

@@ -14,8 +14,16 @@ val candidate_selectors : Chain.t -> Evm.Address.t -> string list
     transactions to the contract, in first-seen order. *)
 
 val detect :
-  ?seed:int -> ?max_probes:int -> Chain.t -> Evm.Address.t -> Proxy_detect.t
+  ?seed:int ->
+  ?max_probes:int ->
+  ?fuel:Evm.Interp.fuel ->
+  Chain.t ->
+  Evm.Address.t ->
+  Proxy_detect.t
 (** Run the standard emulation probe first; when it reports
     [Not_proxy_no_forward], re-probe with each historical selector (up to
     [max_probes], default 8).  A forwarded historical probe yields
-    [Proxy] with the observed target and source. *)
+    [Proxy] with the observed target and source.  [fuel] is the shared
+    per-item watchdog allowance charged by every probe emulation (see
+    {!Evm.Interp.guard_fuel}); snapshots are reverted before a watchdog
+    abort propagates. *)

@@ -60,7 +60,7 @@ let attribute_source ~code ~sloads target =
       if contains_substring ~haystack:code ~needle:target then Hardcoded
       else Computed
 
-let detect ?(seed = 1) ~host address =
+let detect ?(seed = 1) ?fuel ~host address =
   let code = host.Host.get_code address in
   if code = "" || not (Disasm.has_opcode code Opcode.DELEGATECALL) then
     { address; verdict = Not_proxy_no_delegatecall; probe_selector = ""; steps = 0 }
@@ -86,12 +86,20 @@ let detect ?(seed = 1) ~host address =
             if Address.equal a address then sloads := (slot, value) :: !sloads);
       }
     in
-    let snapshot = host.Host.snapshot () in
-    let result =
-      Interp.execute ~tracer ~step_limit:200_000 host
-        (Interp.make_call ~caller:probe_caller ~target:address ~input:calldata ())
+    let tracer =
+      match fuel with None -> tracer | Some f -> Interp.guard_fuel f tracer
     in
-    host.Host.revert_to snapshot;
+    let snapshot = host.Host.snapshot () in
+    (* A watchdog abort escapes [execute] by exception; the probe must
+       still leave the world untouched. *)
+    let result =
+      Fun.protect
+        ~finally:(fun () -> host.Host.revert_to snapshot)
+        (fun () ->
+          Interp.execute ~tracer ~step_limit:200_000 host
+            (Interp.make_call ~caller:probe_caller ~target:address
+               ~input:calldata ()))
+    in
     let verdict =
       match !forwarded with
       | Some target ->

@@ -40,17 +40,19 @@ type timing = {
 (* Skip classification and dead-letter records                         *)
 (* ------------------------------------------------------------------ *)
 
-type skip_class = Transient | Permanent | Budget_exhausted
+type skip_class = Transient | Permanent | Budget_exhausted | Worker_crashed
 
 let skip_class_name = function
   | Transient -> "transient"
   | Permanent -> "permanent"
   | Budget_exhausted -> "budget-exhausted"
+  | Worker_crashed -> "worker-crashed"
 
 let skip_class_of_name = function
   | "transient" -> Some Transient
   | "permanent" -> Some Permanent
   | "budget-exhausted" -> Some Budget_exhausted
+  | "worker-crashed" -> Some Worker_crashed
   | _ -> None
 
 type skip_reason = {
@@ -72,6 +74,62 @@ let transient ?stage ?attempts message =
 
 let budget_exhausted ?stage ?attempts message =
   skip_reason ?stage ?attempts Budget_exhausted message
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection and fatal-exception classification                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Crash_injected of string
+
+(* A seeded kill plan: decides, per subject, whether the worker holding
+   that item dies the instant it picks the item up.  Decisions are a pure
+   function of (seed, subject) — independent of scheduling, worker count
+   and batch boundaries — and each subject is killed at most once, so a
+   [requeue] after the run converges to the fault-free figures.  The
+   killed-set is shared across domains behind a mutex. *)
+type crash_plan = {
+  cp_seed : int;
+  cp_rate : float;
+  cp_subjects : string list;
+  cp_killed : (string, unit) Hashtbl.t;
+  cp_lock : Mutex.t;
+}
+
+let crash_plan ?(seed = 1) ?(rate = 0.0) ?(subjects = []) () =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Engine.crash_plan: rate must be within [0, 1]";
+  {
+    cp_seed = seed;
+    cp_rate = rate;
+    cp_subjects = subjects;
+    cp_killed = Hashtbl.create 16;
+    cp_lock = Mutex.create ();
+  }
+
+let crash_decision plan subject =
+  List.mem subject plan.cp_subjects
+  || plan.cp_rate > 0.0
+     && float_of_int (Hashtbl.hash (plan.cp_seed, subject) land 0xFFFFFF)
+        /. 16777216.0
+        < plan.cp_rate
+
+(* True exactly once per doomed subject. *)
+let crash_armed plan subject =
+  crash_decision plan subject
+  && begin
+       Mutex.lock plan.cp_lock;
+       let fresh = not (Hashtbl.mem plan.cp_killed subject) in
+       if fresh then Hashtbl.replace plan.cp_killed subject ();
+       Mutex.unlock plan.cp_lock;
+       fresh
+     end
+
+(* Exceptions a worker cannot be expected to survive: the supervisor
+   treats these as the death of the worker itself, not a failure [process]
+   chose to report.  [Crash_injected] is the test harness's stand-in. *)
+let is_fatal = function
+  | Crash_injected _ | Stack_overflow | Out_of_memory -> true
+  | _ -> false
 
 type 'item skip_record = {
   sk_item : 'item;
@@ -155,6 +213,13 @@ type ('item, 'res) t = {
   subject_of : 'item -> string;
   process : ('item, 'res) ctx -> 'item -> ('res, skip_reason) result;
   totals : (stage, agg) Hashtbl.t;
+  plan : crash_plan option;
+  ceiling : int option;
+  (* Cumulative dead-letter count per subject, across requeues; the
+     attempt ceiling consults it so a repeatedly dying item is eventually
+     left in the dead-letter list instead of being requeued forever. *)
+  fail_counts : (string, int) Hashtbl.t;
+  mutable crashes : int;
 }
 
 (* What [process] sees: the engine, the id of the worker running the item
@@ -169,9 +234,14 @@ and ('item, 'res) ctx = {
   mutable last_stage : stage option;
 }
 
-let create ?(batch_size = 32) ?(domains = 1) ?key ~subject ~process () =
+let create ?(batch_size = 32) ?(domains = 1) ?key ?crash_plan ?attempt_ceiling
+    ~subject ~process () =
   if batch_size <= 0 then invalid_arg "Engine.create: batch_size must be > 0";
   if domains <= 0 then invalid_arg "Engine.create: domains must be > 0";
+  (match attempt_ceiling with
+  | Some c when c <= 0 ->
+      invalid_arg "Engine.create: attempt_ceiling must be > 0"
+  | _ -> ());
   {
     queue = Queue.create ();
     results_rev = [];
@@ -185,6 +255,10 @@ let create ?(batch_size = 32) ?(domains = 1) ?key ~subject ~process () =
     subject_of = subject;
     process;
     totals = Hashtbl.create 8;
+    plan = crash_plan;
+    ceiling = attempt_ceiling;
+    fail_counts = Hashtbl.create 16;
+    crashes = 0;
   }
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
@@ -265,14 +339,36 @@ let skipped_pairs t =
   List.rev_map (fun r -> (r.sk_subject, r.sk_message)) t.skipped_rev
   |> List.rev
 
+let crashes t = t.crashes
+
+let failure_count t subject =
+  Option.value ~default:0 (Hashtbl.find_opt t.fail_counts subject)
+
+let note_failure t subject =
+  Hashtbl.replace t.fail_counts subject (failure_count t subject + 1)
+
+let skipped_by_class t =
+  let count cls =
+    List.length (List.filter (fun r -> r.sk_class = cls) t.skipped_rev)
+  in
+  List.filter_map
+    (fun cls ->
+      match count cls with 0 -> None | n -> Some (cls, n))
+    [ Transient; Permanent; Budget_exhausted; Worker_crashed ]
+
 (* ------------------------------------------------------------------ *)
 (* Dead-letter requeue                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let requeue ?(classes = [ Transient; Budget_exhausted ]) t =
+let requeue ?(classes = [ Transient; Budget_exhausted; Worker_crashed ]) t =
+  let under_ceiling r =
+    match t.ceiling with
+    | None -> true
+    | Some c -> failure_count t r.sk_subject < c
+  in
   let take, keep =
     List.partition
-      (fun r -> List.mem r.sk_class classes)
+      (fun r -> List.mem r.sk_class classes && under_ceiling r)
       (List.rev t.skipped_rev)
   in
   t.skipped_rev <- List.rev keep;
@@ -290,6 +386,22 @@ let reason_of_exn ctx e =
     sr_attempts = 1;
     sr_class = Permanent;
   }
+
+(* A fatal exception is attributed to the worker, not the item's logic:
+   the in-flight item becomes a [Worker_crashed] dead letter pinned to the
+   stage it last entered. *)
+let crash_reason ctx e =
+  {
+    sr_message = "worker crashed: " ^ Printexc.to_string e;
+    sr_stage = ctx.last_stage;
+    sr_attempts = 1;
+    sr_class = Worker_crashed;
+  }
+
+let maybe_kill t subject =
+  match t.plan with
+  | Some plan when crash_armed plan subject -> raise (Crash_injected subject)
+  | _ -> ()
 
 let record_of ~subject reason item =
   {
@@ -312,6 +424,7 @@ let sequential_batch t n =
     let ctx = { eng = t; worker = 0; sink = None; last_stage = None } in
     let skip reason =
       t.skipped_rev <- record_of ~subject reason item :: t.skipped_rev;
+      note_failure t subject;
       emit t
         (Item_skipped
            {
@@ -322,11 +435,21 @@ let sequential_batch t n =
              worker = 0;
            })
     in
-    match t.process ctx item with
+    match
+      maybe_kill t subject;
+      t.process ctx item
+    with
     | Ok res ->
         t.results_rev <- res :: t.results_rev;
         t.processed <- t.processed + 1
     | Error reason -> skip reason
+    | exception e when is_fatal e ->
+        (* The sequential path is its own supervisor: the "worker" is the
+           coordinator, so the crash demotes to a dead letter in place and
+           the loop moves on — the same observable outcome the parallel
+           supervisor produces. *)
+        t.crashes <- t.crashes + 1;
+        skip (crash_reason ctx e)
     | exception e -> skip (reason_of_exn ctx e)
   done
 
@@ -405,12 +528,19 @@ let group_indices t items n =
 let run_item t wid item cell =
   cell.c_worker <- wid;
   let ctx = { eng = t; worker = wid; sink = Some cell; last_stage = None } in
-  let outcome =
-    match t.process ctx item with
-    | r -> r
-    | exception e -> Error (reason_of_exn ctx e)
-  in
-  cell.c_outcome <- Some outcome
+  match
+    maybe_kill t (t.subject_of item);
+    t.process ctx item
+  with
+  | r -> cell.c_outcome <- Some r
+  | exception e when is_fatal e ->
+      (* The dying worker files its own death certificate: outcome and
+         stage attribution land in the cell before the exception tears the
+         domain down, so the supervisor only has to respawn a domain and
+         reschedule the rest of the chain. *)
+      cell.c_outcome <- Some (Error (crash_reason ctx e));
+      raise e
+  | exception e -> cell.c_outcome <- Some (Error (reason_of_exn ctx e))
 
 let parallel_batch t n =
   let items = Array.init n (fun _ -> Queue.pop t.queue) in
@@ -420,28 +550,80 @@ let parallel_batch t n =
   in
   let chains = group_indices t items n in
   let chan = Chan.create () in
+  (* [inflight.(w)] is the suffix of the chain worker [w] is currently
+     running, crashed/current item at the head.  Only worker [w] writes its
+     own slot; the supervisor reads it after [Domain.join], which provides
+     the happens-before edge. *)
+  let inflight = Array.make t.n_domains [] in
+  let run_chain wid idxs =
+    let rec go = function
+      | [] -> inflight.(wid) <- []
+      | i :: rest ->
+          inflight.(wid) <- i :: rest;
+          run_item t wid items.(i) cells.(i);
+          go rest
+    in
+    go idxs
+  in
   let worker_loop wid =
     let rec drain () =
       match Chan.pop chan with
       | None -> ()
       | Some idxs ->
-          List.iter (fun i -> run_item t wid items.(i) cells.(i)) idxs;
+          run_chain wid idxs;
           drain ()
     in
     drain ()
   in
   (* The coordinator is worker 0 and drains alongside the helpers, so a
      pool of N domains needs only N-1 spawns; never spawn more helpers
-     than there are chains beyond the coordinator's first. *)
+     than there are chains beyond the coordinator's first.  A respawned
+     helper first finishes the orphaned chain suffix, then falls back to
+     draining the (by then closed) channel. *)
   let helper_count = min (t.n_domains - 1) (max 0 (List.length chains - 1)) in
-  let helpers =
-    List.init helper_count (fun k ->
-        Domain.spawn (fun () -> worker_loop (k + 1)))
+  let spawn wid first =
+    (wid, Domain.spawn (fun () -> run_chain wid first; worker_loop wid))
   in
+  let helpers = List.init helper_count (fun k -> spawn (k + 1) []) in
   List.iter (fun chain -> Chan.push chan chain) chains;
   Chan.close chan;
-  worker_loop 0;
-  List.iter Domain.join helpers;
+  (* The coordinator supervises itself: a fatal exception has already been
+     recorded in the crashed item's cell by [run_item], so resume with the
+     rest of the chain in place. *)
+  let rec coordinator_drain () =
+    match Chan.pop chan with
+    | None -> ()
+    | Some idxs ->
+        coordinator_chain idxs;
+        coordinator_drain ()
+  and coordinator_chain idxs =
+    match run_chain 0 idxs with
+    | () -> ()
+    | exception e when is_fatal e -> (
+        t.crashes <- t.crashes + 1;
+        match inflight.(0) with
+        | _crashed :: rest -> coordinator_chain rest
+        | [] -> ())
+  in
+  coordinator_drain ();
+  (* Supervision barrier: join every helper.  A helper that died to a
+     fatal exception already dead-lettered its in-flight item, so respawn
+     a fresh domain on the orphaned chain suffix and join that instead;
+     loop until every slot joined cleanly. *)
+  let rec join_all = function
+    | [] -> ()
+    | (wid, d) :: rest -> (
+        match Domain.join d with
+        | () -> join_all rest
+        | exception e when is_fatal e ->
+            t.crashes <- t.crashes + 1;
+            let suffix =
+              match inflight.(wid) with [] -> [] | _crashed :: s -> s
+            in
+            inflight.(wid) <- [];
+            join_all (spawn wid suffix :: rest))
+  in
+  join_all helpers;
   (* Deterministic merge: replay every item's buffered events and
      aggregate contributions in input order, then apply its outcome —
      byte-for-byte the order the sequential path would have produced. *)
@@ -457,6 +639,7 @@ let parallel_batch t n =
           let subject = t.subject_of items.(i) in
           t.skipped_rev <-
             record_of ~subject reason items.(i) :: t.skipped_rev;
+          note_failure t subject;
           emit t
             (Item_skipped
                {
@@ -541,14 +724,21 @@ let stage_totals_table t =
 (* Checkpointing                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let checkpoint_version = 2
+let checkpoint_version = 3
 
 let checkpoint ~item_to_json ~res_to_json ?(extra = Json.Null) t =
+  let failures =
+    Hashtbl.fold (fun subject n acc -> (subject, n) :: acc) t.fail_counts []
+    |> List.sort compare
+    |> List.map (fun (subject, n) ->
+           Json.Obj [ ("subject", Json.String subject); ("count", Json.Int n) ])
+  in
   Json.Obj
     [
       ("version", Json.Int checkpoint_version);
       ("batch_size", Json.Int t.bsize);
       ("batches_done", Json.Int t.batches);
+      ("failures", Json.List failures);
       ( "queue",
         Json.List
           (Queue.fold (fun acc i -> item_to_json i :: acc) [] t.queue
@@ -635,10 +825,36 @@ let skip_record_of_json ~item_of_json entry =
       sk_class = cls;
     }
 
-let restore ?batch_size ?domains ?key ~subject ~process ~item_of_json
-    ~res_of_json json =
+(* A version-2 checkpoint (no "failures" table) reconstructs the failure
+   counters from the dead-letter list itself: every record represents at
+   least one failed attempt of its subject. *)
+let failures_of_json ~skipped json =
+  match field "failures" json with
+  | Error _ ->
+      Ok
+        (List.map (fun r -> (r.sk_subject, r.sk_attempts)) skipped
+        |> List.fold_left
+             (fun acc (s, n) ->
+               let prev =
+                 Option.value ~default:0 (List.assoc_opt s acc)
+               in
+               (s, prev + max 1 n) :: List.remove_assoc s acc)
+             [])
+  | Ok v ->
+      let* entries = as_list "failures" v in
+      map_result
+        (fun entry ->
+          let* subject =
+            Result.bind (field "subject" entry) (as_string "subject")
+          in
+          let* count = Result.bind (field "count" entry) (as_int "count") in
+          Ok (subject, count))
+        entries
+
+let restore ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ~subject
+    ~process ~item_of_json ~res_of_json json =
   let* version = Result.bind (field "version" json) (as_int "version") in
-  if version <> checkpoint_version then
+  if version <> checkpoint_version && version <> 2 then
     Error (Printf.sprintf "checkpoint: unsupported version %d" version)
   else
     let* saved_bsize =
@@ -651,14 +867,26 @@ let restore ?batch_size ?domains ?key ~subject ~process ~item_of_json
     let* results = map_result res_of_json results_json in
     let* skipped_json = Result.bind (field "skipped" json) (as_list "skipped") in
     let* skipped = map_result (skip_record_of_json ~item_of_json) skipped_json in
+    let* failures = failures_of_json ~skipped json in
     let extra =
       match field "extra" json with Ok v -> v | Error _ -> Json.Null
     in
     let bsize = match batch_size with Some b -> b | None -> saved_bsize in
-    let t = create ~batch_size:bsize ?domains ?key ~subject ~process () in
+    let t =
+      create ~batch_size:bsize ?domains ?key ?crash_plan ?attempt_ceiling
+        ~subject ~process ()
+    in
     submit t items;
     t.results_rev <- List.rev results;
     t.processed <- List.length results;
     t.skipped_rev <- List.rev skipped;
     t.batches <- batches;
+    List.iter (fun (s, n) -> Hashtbl.replace t.fail_counts s n) failures;
     Ok (t, extra)
+
+(* [restore] under its hardening-contract name: total over arbitrary JSON,
+   every malformed shape comes back as [Error _], never an exception. *)
+let of_json ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ~subject
+    ~process ~item_of_json ~res_of_json json =
+  restore ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ~subject
+    ~process ~item_of_json ~res_of_json json

@@ -23,11 +23,23 @@
 
     Failures are isolated and {e classified}: an [Error] or exception
     from [process] records the item in a dead-letter list with its
-    failure class ([Transient], [Permanent] or [Budget_exhausted]), the
-    stage it died in and the attempts consumed, and the batch carries on.
-    Because the record keeps the original item, {!requeue} can push
-    recoverable entries back onto the queue — the retry-skipped loop a
-    long crawl runs between sessions.
+    failure class ([Transient], [Permanent], [Budget_exhausted] or
+    [Worker_crashed]), the stage it died in and the attempts consumed,
+    and the batch carries on.  Because the record keeps the original
+    item, {!requeue} can push recoverable entries back onto the queue —
+    the retry-skipped loop a long crawl runs between sessions.
+
+    Workers are {e supervised}: an exception no [process] should be
+    expected to survive ([Stack_overflow], [Out_of_memory], or an
+    injected {!Crash_injected}) kills only the domain it escaped on.  The
+    dying worker records its in-flight item as a [Worker_crashed] dead
+    letter first, the supervisor respawns a fresh domain on the rest of
+    the crashed worker's chain, and the input-order merge is preserved —
+    a run with crashes still reports byte-identically to the sequential
+    engine given the same kill decisions.  A per-subject failure counter
+    (persisted in checkpoints) backs an optional {e attempt ceiling} so a
+    deterministically-crashing item is eventually left dead-lettered
+    instead of being requeued forever.
 
     Runs are resumable: {!checkpoint} serializes the pending queue, the
     completed results and the dead-letter list (items included) through
@@ -64,14 +76,43 @@ type timing = {
     failures (rate limits, timeouts, node errors that outlived the retry
     budget) and [Budget_exhausted] ones (a per-item call/step budget ran
     out) are recoverable — {!requeue_transients} sends them around again;
-    [Permanent] failures (malformed input, logic errors) are not. *)
-type skip_class = Transient | Permanent | Budget_exhausted
+    [Permanent] failures (malformed input, logic errors) are not.
+    [Worker_crashed] marks an item whose worker domain died under it
+    (fatal exception or injected kill); it is recoverable — the crash is
+    attributed to the worker, not the item — but counts toward the
+    attempt ceiling. *)
+type skip_class = Transient | Permanent | Budget_exhausted | Worker_crashed
 
 val skip_class_name : skip_class -> string
-(** ["transient"], ["permanent"], ["budget-exhausted"] — the checkpoint
-    encoding. *)
+(** ["transient"], ["permanent"], ["budget-exhausted"],
+    ["worker-crashed"] — the checkpoint encoding. *)
 
 val skip_class_of_name : string -> skip_class option
+
+(** {1 Crash injection}
+
+    The deterministic stand-in for a worker death, used by the crash
+    harness: a plan decides — as a pure function of (seed, subject) —
+    which items' workers die the instant the item is picked up, raising
+    {!Crash_injected} from inside the worker.  Each subject is killed at
+    most once per plan, so a {!requeue} after the run re-processes every
+    casualty successfully and the final figures converge to the
+    fault-free run's.  Because decisions depend only on the subject, the
+    same plan produces the same casualties at every [domains] count. *)
+
+type crash_plan
+
+exception Crash_injected of string
+(** Raised inside a worker by an armed {!crash_plan}; carries the
+    subject.  Treated exactly like [Stack_overflow]/[Out_of_memory] by
+    the supervisor. *)
+
+val crash_plan :
+  ?seed:int -> ?rate:float -> ?subjects:string list -> unit -> crash_plan
+(** [crash_plan ~seed ~rate ~subjects ()] kills the worker holding any
+    subject listed in [subjects], plus a pseudo-random [rate] fraction of
+    all other subjects (seeded by [seed], default 1; [rate] defaults to
+    0).  Raises [Invalid_argument] if [rate] is outside [0, 1]. *)
 
 (** What a [process] callback returns in its [Error] case. *)
 type skip_reason = {
@@ -160,6 +201,8 @@ val create :
   ?batch_size:int ->
   ?domains:int ->
   ?key:('item -> string) ->
+  ?crash_plan:crash_plan ->
+  ?attempt_ceiling:int ->
   subject:('item -> string) ->
   process:(('item, 'res) ctx -> 'item -> ('res, skip_reason) result) ->
   unit ->
@@ -167,10 +210,14 @@ val create :
 (** A fresh engine with an empty queue.  [batch_size] defaults to 32;
     [domains] (default 1) sizes the per-batch worker pool; [key] groups
     same-key items of a batch into one sequential chain (see the module
-    docs); [subject] renders an item for event reporting; [process]
-    analyzes one item (typically calling {!timed_stage} for each stage it
-    runs).  [process] must touch shared mutable state only in ways that
-    are safe under the declared [domains] count. *)
+    docs); [crash_plan] arms seeded worker kills (tests only);
+    [attempt_ceiling] caps how many dead-letter entries a single subject
+    may accumulate before {!requeue} refuses to recycle it (default:
+    unlimited; raises [Invalid_argument] when <= 0); [subject] renders an
+    item for event reporting; [process] analyzes one item (typically
+    calling {!timed_stage} for each stage it runs).  [process] must touch
+    shared mutable state only in ways that are safe under the declared
+    [domains] count. *)
 
 (** {1 Events} *)
 
@@ -263,12 +310,27 @@ val skipped_pairs : ('item, 'res) t -> (string * string) list
 (** [(subject, message)] projection of {!skipped} — the compact form
     reports print. *)
 
+val skipped_by_class : ('item, 'res) t -> (skip_class * int) list
+(** Dead-letter counts per class, omitting empty classes, in declaration
+    order — what a live progress display prints. *)
+
+val crashes : ('item, 'res) t -> int
+(** How many worker deaths the supervisor has absorbed (injected kills,
+    stack overflows...) since this engine was created.  Not serialized. *)
+
+val failure_count : ('item, 'res) t -> string -> int
+(** Cumulative dead-letter entries recorded for a subject, across
+    requeues — the counter the attempt ceiling consults. *)
+
 val requeue : ?classes:skip_class list -> ('item, 'res) t -> int
 (** Move dead-letter entries whose class is in [classes] (default
-    [[Transient; Budget_exhausted]] — the recoverable ones) back onto the
-    work queue, preserving their original relative order, and return how
-    many moved.  A subsequent {!run} retries them; entries that fail
-    again are re-recorded (with fresh attempt counts). *)
+    [[Transient; Budget_exhausted; Worker_crashed]] — the recoverable
+    ones) back onto the work queue, preserving their original relative
+    order, and return how many moved.  Entries whose subject has reached
+    the engine's attempt ceiling are left in the dead-letter list
+    regardless of class.  A subsequent {!run} retries the moved ones;
+    entries that fail again are re-recorded (with fresh attempt
+    counts). *)
 
 val requeue_transients : ('item, 'res) t -> int
 (** [requeue t] with the default classes. *)
@@ -285,8 +347,10 @@ val stage_totals_table : ('item, 'res) t -> string
 (** {1 Checkpointing} *)
 
 val checkpoint_version : int
-(** Current checkpoint format version (2: classified dead-letter records
-    with embedded items). *)
+(** Current checkpoint format version (3: version 2's classified
+    dead-letter records plus the per-subject failure counters backing the
+    attempt ceiling).  {!restore} also accepts version 2, reconstructing
+    the counters from the dead-letter list. *)
 
 val checkpoint :
   item_to_json:('item -> Report.Json.t) ->
@@ -307,13 +371,35 @@ val restore :
   ?batch_size:int ->
   ?domains:int ->
   ?key:('item -> string) ->
+  ?crash_plan:crash_plan ->
+  ?attempt_ceiling:int ->
   subject:('item -> string) ->
   process:(('item, 'res) ctx -> 'item -> ('res, skip_reason) result) ->
   item_of_json:(Report.Json.t -> ('item, string) result) ->
   res_of_json:(Report.Json.t -> ('res, string) result) ->
   Report.Json.t ->
   (('item, 'res) t * Report.Json.t, string) result
-(** Rebuild an engine from a {!checkpoint} value; returns it together
-    with the [extra] payload ([Report.Json.Null] when absent).
-    [batch_size] overrides the checkpointed one when given; [domains] and
-    [key] configure the resumed engine exactly as in {!create}. *)
+(** Rebuild an engine from a {!checkpoint} value (version 2 or 3);
+    returns it together with the [extra] payload ([Report.Json.Null] when
+    absent).  [batch_size] overrides the checkpointed one when given;
+    [domains], [key], [crash_plan] and [attempt_ceiling] configure the
+    resumed engine exactly as in {!create}. *)
+
+val of_json :
+  ?batch_size:int ->
+  ?domains:int ->
+  ?key:('item -> string) ->
+  ?crash_plan:crash_plan ->
+  ?attempt_ceiling:int ->
+  subject:('item -> string) ->
+  process:(('item, 'res) ctx -> 'item -> ('res, skip_reason) result) ->
+  item_of_json:(Report.Json.t -> ('item, string) result) ->
+  res_of_json:(Report.Json.t -> ('res, string) result) ->
+  Report.Json.t ->
+  (('item, 'res) t * Report.Json.t, string) result
+(** {!restore} under its hardening-contract name: total over arbitrary
+    JSON input.  Every truncation or corruption of a checkpoint —
+    missing fields, wrong types, unknown stage/class names, unsupported
+    versions — comes back as [Error _]; no input makes it raise.
+    (Caller-supplied [item_of_json]/[res_of_json] must uphold the same
+    contract for their fragments.) *)

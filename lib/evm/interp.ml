@@ -83,6 +83,31 @@ let no_tracer =
     on_create = (fun ~creator:_ ~created:_ ~init_code:_ -> ());
   }
 
+(* The fuel watchdog.  Unlike [step_limit] — which bounds one [execute]
+   and fails the frame from inside the interpreter — fuel is shared by
+   every emulation of an analysis item and aborts by exception, escaping
+   [execute] entirely (the step loop only intercepts its own control
+   exceptions, so anything a tracer raises propagates to the caller). *)
+type fuel = { f_budget : int; mutable f_remaining : int }
+
+exception Fuel_exhausted of { budget : int }
+
+let fuel n =
+  if n <= 0 then invalid_arg "Interp.fuel: budget must be > 0";
+  { f_budget = n; f_remaining = n }
+
+let fuel_remaining f = f.f_remaining
+
+let guard_fuel f tracer =
+  {
+    tracer with
+    on_step =
+      (fun ~depth ~pc op ->
+        if f.f_remaining <= 0 then raise (Fuel_exhausted { budget = f.f_budget });
+        f.f_remaining <- f.f_remaining - 1;
+        tracer.on_step ~depth ~pc op);
+  }
+
 type call_params = {
   caller : Address.t;
   code_address : Address.t;

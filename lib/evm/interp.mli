@@ -72,6 +72,37 @@ type tracer = {
 val no_tracer : tracer
 (** All hooks are no-ops; build custom tracers with record update syntax. *)
 
+(** {1 Fuel watchdog}
+
+    A cooperative per-item step budget, enforced live from inside the
+    interpreter loop.  [step_limit] bounds one [execute] call and fails
+    the frame with [Step_limit_exceeded]; a {!fuel} is shared across
+    {e every} emulation an analysis item performs and aborts the whole
+    item by exception, so a hostile or malformed bytecode that loops in
+    emulation is demoted to a dead letter instead of pinning its worker.
+    The exception deliberately escapes {!execute} — callers own the
+    cleanup (snapshot reverts) and classification. *)
+
+type fuel
+(** A mutable step allowance, charged one unit per interpreted
+    instruction by tracers wrapped with {!guard_fuel}. *)
+
+exception Fuel_exhausted of { budget : int }
+(** Raised from the step hook when a {!guard_fuel}-wrapped tracer runs
+    out; [budget] is the allowance the fuel started with. *)
+
+val fuel : int -> fuel
+(** A fresh allowance of [n] steps.  Raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val fuel_remaining : fuel -> int
+
+val guard_fuel : fuel -> tracer -> tracer
+(** [guard_fuel f tracer] charges [f] one unit before delegating each
+    [on_step] to [tracer], raising {!Fuel_exhausted} when the allowance
+    is spent.  Wrap every tracer of an item with the same [fuel] to give
+    the item one shared budget. *)
+
 (** {1 Execution} *)
 
 type call_params = {

@@ -1,0 +1,69 @@
+(** A durable, append-only checkpoint journal.
+
+    The store behind crash-tolerant scans: checkpoints are appended as
+    CRC32-framed, length-prefixed records and made visible by an explicit
+    {e commit} marker written at batch boundaries.  A process killed at
+    any instant — mid-frame, mid-commit, mid-compaction — loses at most
+    the work since the last commit: {!open_journal} scans the file,
+    truncates the torn or uncommitted tail, and hands back the last
+    payload a commit covered.
+
+    On-disk layout: an 8-byte magic header, then frames.  Each frame is a
+    1-byte kind (['R'] record, ['C'] commit), a 4-byte big-endian payload
+    length, a 4-byte big-endian CRC32 (IEEE 802.3 polynomial) of the
+    payload, and the payload bytes; commit frames have an empty payload.
+    Recovery accepts a frame only if its header is complete, its payload
+    fits inside the file and its CRC matches — the first violation ends
+    the trusted region, and the file is truncated back to the end of the
+    last {e committed} frame inside it.
+
+    Appends go through a single [write] on an open descriptor and are
+    optionally [fsync]ed at commit; {!compact} rewrites the journal as
+    one record + commit under a temporary name and atomically
+    [Sys.rename]s it into place, so the journal never grows without
+    bound and is never observable in a half-rewritten state.
+
+    All failures (I/O errors, foreign files, corrupt magic) are returned
+    as [Error message]; nothing in this module raises on bad input. *)
+
+type t
+
+(** What {!open_journal} found in an existing file. *)
+type recovery = {
+  rec_state : string option;
+      (** The last committed payload, [None] for a fresh/empty journal. *)
+  rec_committed : int;  (** Committed record frames retained. *)
+  rec_dropped_bytes : int;
+      (** Torn or uncommitted tail bytes truncated away — the work the
+          crash cost, bounded by one batch when commits follow batches. *)
+}
+
+val open_journal :
+  ?fsync:bool -> ?compact_bytes:int -> string -> (t * recovery, string) result
+(** Open (creating if absent) the journal at a path, running recovery
+    first.  [fsync] (default [true]) forces commits to stable storage —
+    turn it off only for tests.  [compact_bytes] (default 64 MiB) is the
+    size past which a {!commit} triggers automatic {!compact}ion. *)
+
+val append : t -> string -> (unit, string) result
+(** Append one record frame.  Invisible to recovery until {!commit}. *)
+
+val commit : t -> (unit, string) result
+(** Write a commit marker ([fsync]ing when enabled): every record
+    appended so far becomes the recovery state.  May auto-compact. *)
+
+val checkpoint : t -> string -> (unit, string) result
+(** [append] + [commit] — the once-per-batch call sites use. *)
+
+val last_committed : t -> string option
+(** The payload recovery would currently return. *)
+
+val path : t -> string
+
+val compact : t -> (unit, string) result
+(** Rewrite the journal as magic + one record holding {!last_committed}
+    (+ commit) via a temporary file and an atomic rename.  A crash
+    during compaction leaves either the old or the new journal intact,
+    never a mix. *)
+
+val close : t -> unit

@@ -1,0 +1,863 @@
+(* The crash-tolerance harness: worker supervision, item watchdogs and
+   the durable checkpoint journal.
+
+   Journal level — creation, commit visibility, torn-tail truncation
+   (swept over every prefix of a valid journal), single-byte corruption
+   (swept over every offset), and manual + automatic compaction are each
+   pinned to the recovery contract: open never raises, and always lands
+   on a committed prefix.  Engine level — seeded worker kills must be
+   schedule-independent (DOMAINS 1 and N byte-identical), survivable
+   (the supervisor respawns and the batch completes), recoverable
+   (requeue converges to the fault-free figures) and bounded (the
+   attempt ceiling stops a poisoned subject).  Pipeline level — a
+   journaled run killed between batches must resume to a byte-identical
+   report with at most one batch re-executed.
+
+   Knobs mirror the CI matrix: CHAOS_SEED seeds the crash plans
+   (default 1) and DOMAINS the parallel worker count (default 4). *)
+
+module Generate = Dataset.Generate
+module Journal = Resilience.Journal
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+let check_sl = Alcotest.(check (list string))
+
+let chaos_seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 1)
+  | None -> 1
+
+let domains_under_test =
+  match Sys.getenv_opt "DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 4)
+  | None -> 4
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected Error: %s" e
+
+let invalid f = try ignore (f ()) ; false with Invalid_argument _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Scratch files                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "proxion_t_crash_%d_%d.jrnl" (Unix.getpid ()) !n)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let append_raw path s =
+  Out_channel.with_open_gen
+    [ Open_append; Open_binary ]
+    0o644 path
+    (fun oc -> Out_channel.output_string oc s)
+
+let remove path = try Sys.remove path with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Journal: creation, commit visibility, recovery                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_create_and_reopen () =
+  let path = fresh_path () in
+  let j, r = ok (Journal.open_journal ~fsync:false path) in
+  check_b "fresh journal has no state" true (r.Journal.rec_state = None);
+  check_i "fresh journal has no commits" 0 r.Journal.rec_committed;
+  check_i "fresh journal dropped nothing" 0 r.Journal.rec_dropped_bytes;
+  ok (Journal.checkpoint j "alpha");
+  ok (Journal.checkpoint j "beta");
+  check_b "last_committed tracks the newest checkpoint" true
+    (Journal.last_committed j = Some "beta");
+  check_s "path accessor" path (Journal.path j);
+  Journal.close j;
+  let j2, r2 = ok (Journal.open_journal ~fsync:false path) in
+  Journal.close j2;
+  check_b "reopen recovers the newest checkpoint" true
+    (r2.Journal.rec_state = Some "beta");
+  check_i "both commits retained" 2 r2.Journal.rec_committed;
+  check_i "clean file drops nothing" 0 r2.Journal.rec_dropped_bytes;
+  remove path
+
+let test_journal_uncommitted_tail_dropped () =
+  let path = fresh_path () in
+  let j, _ = ok (Journal.open_journal ~fsync:false path) in
+  ok (Journal.checkpoint j "committed");
+  ok (Journal.append j "appended-but-never-committed");
+  check_b "append alone does not move the committed state" true
+    (Journal.last_committed j = Some "committed");
+  Journal.close j;
+  append_raw path "GARBAGE-TORN-WRITE";
+  let j2, r = ok (Journal.open_journal ~fsync:false path) in
+  Journal.close j2;
+  check_b "recovery lands on the last commit" true
+    (r.Journal.rec_state = Some "committed");
+  check_i "only the committed record is retained" 1 r.Journal.rec_committed;
+  check_b "the uncommitted record and garbage are both dropped" true
+    (r.Journal.rec_dropped_bytes
+    > String.length "appended-but-never-committed");
+  (* the truncation is physical: a second recovery drops nothing *)
+  let j3, r3 = ok (Journal.open_journal ~fsync:false path) in
+  Journal.close j3;
+  check_i "second recovery is clean" 0 r3.Journal.rec_dropped_bytes;
+  remove path
+
+(* Sweep every prefix of a valid journal, as a kill at any byte would
+   leave it: open must never raise, sub-magic prefixes are the only
+   errors, and every other prefix recovers exactly the last checkpoint
+   whose commit frame survived whole — and stays appendable. *)
+let test_journal_torn_tail_sweep () =
+  let path = fresh_path () in
+  let payloads = [ "s1"; "s2-longer-payload"; "s3" ] in
+  let j, _ = ok (Journal.open_journal ~fsync:false path) in
+  List.iter (fun p -> ok (Journal.checkpoint j p)) payloads;
+  Journal.close j;
+  let data = read_file path in
+  (* magic is 8 bytes; each frame is a 9-byte header + payload; a
+     checkpoint is one record frame plus one empty commit frame *)
+  let commit_ends =
+    let off = ref 8 in
+    List.map
+      (fun p ->
+        off := !off + 9 + String.length p + 9;
+        (!off, p))
+      payloads
+  in
+  let expected len =
+    List.fold_left
+      (fun acc (e, p) -> if e <= len then Some p else acc)
+      None commit_ends
+  in
+  let scratch = fresh_path () in
+  for len = 0 to String.length data do
+    write_file scratch (String.sub data 0 len);
+    (match Journal.open_journal ~fsync:false scratch with
+    | exception e ->
+        Alcotest.failf "open raised at prefix %d: %s" len (Printexc.to_string e)
+    | Error _ ->
+        check_b
+          (Printf.sprintf "prefix %d: only sub-magic prefixes error" len)
+          true (len < 8)
+    | Ok (j2, r) ->
+        check_b
+          (Printf.sprintf "prefix %d: recovers the last whole commit" len)
+          true
+          (r.Journal.rec_state = expected len);
+        let valid_end =
+          List.fold_left
+            (fun acc (e, _) -> if e <= len then e else acc)
+            8 commit_ends
+        in
+        check_i
+          (Printf.sprintf "prefix %d: file truncated back to the commit" len)
+          valid_end
+          (Unix.stat scratch).Unix.st_size;
+        (* the recovered journal accepts new work *)
+        ok (Journal.checkpoint j2 "post-recovery");
+        Journal.close j2;
+        let j3, r3 = ok (Journal.open_journal ~fsync:false scratch) in
+        Journal.close j3;
+        check_b
+          (Printf.sprintf "prefix %d: appendable after recovery" len)
+          true
+          (r3.Journal.rec_state = Some "post-recovery"))
+  done;
+  remove scratch;
+  remove path
+
+(* Flip one byte at every offset of a valid journal: recovery must never
+   raise, never error once the magic is intact, and always land on one
+   of the states a commit actually covered (the CRC walls off anything
+   else). *)
+let test_journal_corruption_sweep () =
+  let path = fresh_path () in
+  let payloads = [ "s1"; "s2-longer-payload"; "s3" ] in
+  let j, _ = ok (Journal.open_journal ~fsync:false path) in
+  List.iter (fun p -> ok (Journal.checkpoint j p)) payloads;
+  Journal.close j;
+  let data = read_file path in
+  let allowed = None :: List.map (fun p -> Some p) payloads in
+  let scratch = fresh_path () in
+  for i = 0 to String.length data - 1 do
+    let b = Bytes.of_string data in
+    Bytes.set b i (Char.chr (Char.code data.[i] lxor 0x5A));
+    write_file scratch (Bytes.to_string b);
+    match Journal.open_journal ~fsync:false scratch with
+    | exception e ->
+        Alcotest.failf "open raised on flip at %d: %s" i (Printexc.to_string e)
+    | Error _ ->
+        check_b
+          (Printf.sprintf "flip at %d: only magic corruption errors" i)
+          true (i < 8)
+    | Ok (j2, r) ->
+        Journal.close j2;
+        check_b (Printf.sprintf "flip at %d: magic intact opens" i) true (i >= 8);
+        check_b
+          (Printf.sprintf "flip at %d: lands on a committed state" i)
+          true
+          (List.mem r.Journal.rec_state allowed)
+  done;
+  remove scratch;
+  remove path
+
+let test_journal_compaction () =
+  let path = fresh_path () in
+  let j, _ = ok (Journal.open_journal ~fsync:false path) in
+  for i = 1 to 10 do
+    ok (Journal.checkpoint j (Printf.sprintf "state-%d" i))
+  done;
+  let big = (Unix.stat path).Unix.st_size in
+  ok (Journal.compact j);
+  let small = (Unix.stat path).Unix.st_size in
+  check_b "compaction shrinks the file" true (small < big);
+  check_b "compaction preserves the committed state" true
+    (Journal.last_committed j = Some "state-10");
+  (* the compacted journal is still live *)
+  ok (Journal.checkpoint j "state-11");
+  Journal.close j;
+  let j2, r = ok (Journal.open_journal ~fsync:false path) in
+  Journal.close j2;
+  check_b "compacted state survives reopen" true
+    (r.Journal.rec_state = Some "state-11");
+  check_i "one compacted record plus one appended" 2 r.Journal.rec_committed;
+  remove path
+
+let test_journal_auto_compaction () =
+  let path = fresh_path () in
+  let j, _ = ok (Journal.open_journal ~fsync:false ~compact_bytes:64 path) in
+  for i = 1 to 50 do
+    ok (Journal.checkpoint j (Printf.sprintf "auto-%d" i))
+  done;
+  let size = (Unix.stat path).Unix.st_size in
+  check_b "auto-compaction bounds the file" true (size < 200);
+  Journal.close j;
+  let j2, r = ok (Journal.open_journal ~fsync:false path) in
+  Journal.close j2;
+  check_b "latest state survives auto-compaction" true
+    (r.Journal.rec_state = Some "auto-50");
+  remove path
+
+let test_journal_rejects_foreign_files () =
+  let path = fresh_path () in
+  write_file path "definitely not a journal";
+  (match Journal.open_journal ~fsync:false path with
+  | Ok _ -> Alcotest.fail "foreign file accepted"
+  | Error e -> check_b "bad magic named" true (contains ~needle:"magic" e));
+  remove path;
+  check_b "compact_bytes must be positive" true
+    (invalid (fun () -> Journal.open_journal ~compact_bytes:0 path))
+
+(* ------------------------------------------------------------------ *)
+(* Fuel watchdog                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_watchdog_fuel_exhaustion () =
+  let open Evm in
+  check_b "fuel budget must be positive" true
+    (invalid (fun () -> Interp.fuel 0));
+  let target = Address.of_u256 (U256.of_int 0xc0a) in
+  let caller = Address.of_u256 (U256.of_int 0xa11ce) in
+  let host = Host.in_memory () in
+  let looping =
+    Asm.assemble
+      [ Asm.Jumpdest "top"; Asm.Push_label "top"; Asm.Op Opcode.JUMP ]
+  in
+  Host.with_code host target looping;
+  let f = Interp.fuel 100 in
+  (match
+     Interp.execute
+       ~tracer:(Interp.guard_fuel f Interp.no_tracer)
+       host
+       (Interp.make_call ~caller ~target ~input:"" ())
+   with
+  | _ -> Alcotest.fail "runaway execution outlived its fuel"
+  | exception Interp.Fuel_exhausted { budget } ->
+      check_i "the exception names the budget" 100 budget);
+  check_i "fuel fully consumed" 0 (Interp.fuel_remaining f);
+  (* a budget big enough for the program never fires *)
+  let halting =
+    Asm.assemble [ Asm.Push_int 0; Asm.Push_int 0; Asm.Op Opcode.RETURN ]
+  in
+  Host.with_code host target halting;
+  let f2 = Interp.fuel 10_000 in
+  let r =
+    Interp.execute
+      ~tracer:(Interp.guard_fuel f2 Interp.no_tracer)
+      host
+      (Interp.make_call ~caller ~target ~input:"" ())
+  in
+  check_b "guarded execution succeeds under budget" true (Interp.succeeded r);
+  check_b "steps were metered" true (Interp.fuel_remaining f2 < 10_000);
+  check_b "metering is bounded by the program" true
+    (Interp.fuel_remaining f2 > 9_000)
+
+(* ------------------------------------------------------------------ *)
+(* Engine supervision                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let engine_checkpoint_string t =
+  Report.Json.to_string
+    (Engine.checkpoint
+       ~item_to_json:(fun n -> Report.Json.Int n)
+       ~res_to_json:(fun s -> Report.Json.String s)
+       t)
+
+let crashy_engine ~domains () =
+  Engine.create ~batch_size:4 ~domains
+    ~crash_plan:(Engine.crash_plan ~subjects:[ "3"; "7" ] ())
+    ~subject:string_of_int
+    ~process:(fun _ n -> Ok (string_of_int (n * 2)))
+    ()
+
+let run_crashy ~domains () =
+  let t = crashy_engine ~domains () in
+  Engine.submit t [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  Engine.run t;
+  t
+
+let test_engine_worker_crash_supervision () =
+  let t = run_crashy ~domains:1 () in
+  check_sl "survivors complete in submission order"
+    [ "2"; "4"; "8"; "10"; "12"; "16"; "18"; "20" ]
+    (Engine.results t);
+  check_i "both kills counted" 2 (Engine.crashes t);
+  let dead = Engine.skipped t in
+  check_i "both kills dead-lettered" 2 (List.length dead);
+  List.iter
+    (fun r ->
+      check_b "classified worker-crashed" true
+        (r.Engine.sk_class = Engine.Worker_crashed);
+      check_b "the crash is named in the message" true
+        (contains ~needle:"worker crashed" r.Engine.sk_message))
+    dead;
+  check_b "class tallies agree" true
+    (List.mem (Engine.Worker_crashed, 2) (Engine.skipped_by_class t));
+  (* the plan kills each subject once: requeue converges *)
+  check_i "default requeue recycles worker-crashed entries" 2
+    (Engine.requeue_transients t);
+  Engine.run t;
+  check_i "no dead letters after the retry" 0 (List.length (Engine.skipped t));
+  check_sl "every item eventually completed"
+    [ "2"; "4"; "8"; "10"; "12"; "16"; "18"; "20"; "6"; "14" ]
+    (Engine.results t)
+
+let test_engine_crash_schedule_independence () =
+  let seq = run_crashy ~domains:1 () in
+  let par = run_crashy ~domains:domains_under_test () in
+  check_sl "results identical across worker counts" (Engine.results seq)
+    (Engine.results par);
+  check_i "crash count identical" (Engine.crashes seq) (Engine.crashes par);
+  check_sl "dead letters identical"
+    (List.map (fun r -> r.Engine.sk_subject ^ ":" ^ r.Engine.sk_message)
+       (Engine.skipped seq))
+    (List.map (fun r -> r.Engine.sk_subject ^ ":" ^ r.Engine.sk_message)
+       (Engine.skipped par));
+  check_s "checkpoint byte-identical across worker counts"
+    (engine_checkpoint_string seq)
+    (engine_checkpoint_string par);
+  ignore (Engine.requeue_transients seq);
+  ignore (Engine.requeue_transients par);
+  Engine.run seq;
+  Engine.run par;
+  check_s "still byte-identical after requeue and completion"
+    (engine_checkpoint_string seq)
+    (engine_checkpoint_string par)
+
+(* A worker dying of a real runtime fatal (deep non-tail recursion blowing
+   the stack) must be supervised exactly like an injected kill. *)
+let rec boom n = 1 + boom (n + 1)
+
+let test_engine_stack_overflow_supervision () =
+  List.iter
+    (fun domains ->
+      let t =
+        Engine.create ~batch_size:4 ~domains ~subject:string_of_int
+          ~process:(fun _ n ->
+            if n = 13 then Ok (string_of_int (boom 1)) else Ok (string_of_int n))
+          ()
+      in
+      Engine.submit t [ 11; 12; 13; 14; 15 ];
+      Engine.run t;
+      let label = Printf.sprintf "domains %d" domains in
+      check_sl (label ^ ": survivors complete")
+        [ "11"; "12"; "14"; "15" ]
+        (Engine.results t);
+      check_i (label ^ ": one crash") 1 (Engine.crashes t);
+      match Engine.skipped t with
+      | [ r ] ->
+          check_s (label ^ ": the in-flight item is the casualty") "13"
+            r.Engine.sk_subject;
+          check_b (label ^ ": classified worker-crashed") true
+            (r.Engine.sk_class = Engine.Worker_crashed);
+          check_b (label ^ ": overflow named") true
+            (contains ~needle:"Stack overflow" r.Engine.sk_message)
+      | l -> Alcotest.failf "%s: expected 1 dead letter, got %d" label
+               (List.length l))
+    [ 1; domains_under_test ]
+
+let test_engine_attempt_ceiling () =
+  check_b "ceiling must be positive" true
+    (invalid (fun () ->
+         Engine.create ~attempt_ceiling:0 ~subject:string_of_int
+           ~process:(fun _ n -> Ok n)
+           ()));
+  check_b "crash rate must be a probability" true
+    (invalid (fun () -> Engine.crash_plan ~rate:1.5 ()));
+  let t =
+    Engine.create ~batch_size:4 ~attempt_ceiling:2 ~subject:string_of_int
+      ~process:(fun _ n ->
+        if n = 5 then Error (Engine.transient "always flaky")
+        else Ok (string_of_int n))
+      ()
+  in
+  Engine.submit t [ 1; 2; 3; 4; 5; 6 ];
+  Engine.run t;
+  check_i "first failure recorded" 1 (Engine.failure_count t "5");
+  check_i "under the ceiling: requeued" 1 (Engine.requeue_transients t);
+  Engine.run t;
+  check_i "second failure recorded" 2 (Engine.failure_count t "5");
+  check_i "at the ceiling: refused" 0 (Engine.requeue_transients t);
+  check_i "the poisoned subject stays dead-lettered" 1
+    (List.length (Engine.skipped t));
+  check_i "healthy subjects unaffected" 5 (List.length (Engine.results t));
+  (* the ceiling survives a checkpoint round-trip (version 3 counters) *)
+  let json =
+    Engine.checkpoint
+      ~item_to_json:(fun n -> Report.Json.Int n)
+      ~res_to_json:(fun s -> Report.Json.String s)
+      t
+  in
+  let restored =
+    match
+      Engine.restore ~attempt_ceiling:2 ~subject:string_of_int
+        ~process:(fun _ n -> Ok (string_of_int n))
+        ~item_of_json:(function
+          | Report.Json.Int n -> Ok n
+          | _ -> Error "not an int")
+        ~res_of_json:(function
+          | Report.Json.String s -> Ok s
+          | _ -> Error "not a string")
+        json
+    with
+    | Ok (t', _) -> t'
+    | Error e -> Alcotest.failf "restore failed: %s" e
+  in
+  check_i "failure counters survive the round-trip" 2
+    (Engine.failure_count restored "5");
+  check_i "the restored ceiling still refuses" 0
+    (Engine.requeue_transients restored)
+
+(* ------------------------------------------------------------------ *)
+(* Engine.of_json hardening                                            *)
+(* ------------------------------------------------------------------ *)
+
+let hardening_subject = string_of_int
+let hardening_process _ n = Ok (string_of_int n)
+
+let hardening_item_of_json = function
+  | Report.Json.Int n -> Ok n
+  | _ -> Error "not an int"
+
+let hardening_res_of_json = function
+  | Report.Json.String s -> Ok s
+  | _ -> Error "not a string"
+
+let hardening_of_json json =
+  Engine.of_json ~subject:hardening_subject ~process:hardening_process
+    ~item_of_json:hardening_item_of_json ~res_of_json:hardening_res_of_json
+    json
+
+(* A checkpoint exercising every field: pending queue, results, a
+   classified dead letter, failure counters and an extra payload. *)
+let hardening_checkpoint () =
+  let t =
+    Engine.create ~batch_size:3 ~subject:string_of_int
+      ~process:(fun _ n ->
+        if n = 2 then Error (Engine.transient ~stage:Engine.Logic_resolve "boom")
+        else Ok (string_of_int n))
+      ()
+  in
+  Engine.submit t [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Engine.run ~max_batches:2 t;
+  Engine.checkpoint
+    ~item_to_json:(fun n -> Report.Json.Int n)
+    ~res_to_json:(fun s -> Report.Json.String s)
+    ~extra:(Report.Json.String "opaque")
+    t
+
+let test_of_json_truncation_sweep () =
+  let ck = hardening_checkpoint () in
+  let text = Report.Json.to_string ck in
+  check_b "the sweep has material to chew on" true (String.length text > 100);
+  (* byte-level truncations: the parser rejects them, nothing raises *)
+  for len = 0 to String.length text - 1 do
+    match Report.Json.parse (String.sub text 0 len) with
+    | Error _ -> ()
+    | Ok json -> (
+        match hardening_of_json json with
+        | Ok _ | Error _ -> ()
+        | exception e ->
+            Alcotest.failf "of_json raised at truncation %d: %s" len
+              (Printexc.to_string e))
+  done;
+  (* structural truncations: drop each top-level field, then null each
+     one — every mutilation must come back as [Error], never a raise *)
+  let kvs =
+    match ck with
+    | Report.Json.Obj kvs -> kvs
+    | _ -> Alcotest.fail "checkpoint is not an object"
+  in
+  List.iter
+    (fun (victim, _) ->
+      let dropped =
+        Report.Json.Obj (List.filter (fun (k, _) -> k <> victim) kvs)
+      in
+      let nulled =
+        Report.Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = victim then (k, Report.Json.Null) else (k, v))
+             kvs)
+      in
+      List.iter
+        (fun (label, json) ->
+          match hardening_of_json json with
+          | Ok _ when victim = "extra" || victim = "failures" ->
+              () (* the only optional fields *)
+          | Ok _ -> Alcotest.failf "checkpoint without %S accepted (%s)" victim label
+          | Error _ -> ()
+          | exception e ->
+              Alcotest.failf "of_json raised on %s %S: %s" label victim
+                (Printexc.to_string e))
+        [ ("dropped", dropped); ("nulled", nulled) ])
+    kvs;
+  (* the full text still round-trips *)
+  (match Report.Json.parse text with
+  | Error e -> Alcotest.failf "valid checkpoint failed to parse: %s" e
+  | Ok json -> (
+      match hardening_of_json json with
+      | Ok (t, extra) ->
+          check_s "extra payload survives" "opaque"
+            (match extra with Report.Json.String s -> s | _ -> "?");
+          check_i "pending restored" 2 (Engine.pending t);
+          check_i "failure counter restored" 1 (Engine.failure_count t "2")
+      | Error e -> Alcotest.failf "valid checkpoint rejected: %s" e))
+
+let test_of_json_corruption_sweep () =
+  let text = Report.Json.to_string (hardening_checkpoint ()) in
+  let sweep replacement =
+    for i = 0 to String.length text - 1 do
+      if text.[i] <> replacement then begin
+        let b = Bytes.of_string text in
+        Bytes.set b i replacement;
+        match Report.Json.parse (Bytes.to_string b) with
+        | Error _ -> ()
+        | Ok json -> (
+            match hardening_of_json json with
+            | Ok _ | Error _ -> ()
+            | exception e ->
+                Alcotest.failf "of_json raised on '%c' at %d: %s" replacement i
+                  (Printexc.to_string e))
+      end
+    done
+  in
+  (* a digit swap keeps most numeric fields parseable (type-level damage);
+     'X' breaks structure (parser-level damage) *)
+  sweep '7';
+  sweep 'X';
+  (* structurally valid garbage is rejected, never thrown *)
+  List.iter
+    (fun json ->
+      match hardening_of_json json with
+      | Ok _ -> Alcotest.fail "garbage checkpoint accepted"
+      | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "of_json raised on garbage: %s" (Printexc.to_string e))
+    [
+      Report.Json.Null;
+      Report.Json.Int 3;
+      Report.Json.Obj [];
+      Report.Json.Obj [ ("version", Report.Json.Int 99) ];
+      Report.Json.Obj [ ("version", Report.Json.String "3") ];
+      Report.Json.List [ Report.Json.Int 1 ];
+    ]
+
+let test_of_json_accepts_version_2 () =
+  let v3 = hardening_checkpoint () in
+  let v2 =
+    match v3 with
+    | Report.Json.Obj kvs ->
+        Report.Json.Obj
+          (List.filter_map
+             (fun (k, v) ->
+               if k = "failures" then None
+               else if k = "version" then Some (k, Report.Json.Int 2)
+               else Some (k, v))
+             kvs)
+    | _ -> Alcotest.fail "checkpoint is not an object"
+  in
+  match hardening_of_json v2 with
+  | Error e -> Alcotest.failf "version 2 rejected: %s" e
+  | Ok (t, _) ->
+      check_i "v2 failure counters rebuilt from the dead-letter list" 1
+        (Engine.failure_count t "2");
+      check_i "v2 dead letter retained" 1 (List.length (Engine.skipped t));
+      Engine.run t;
+      check_i "v2 checkpoint resumes" 0 (Engine.pending t)
+
+(* ------------------------------------------------------------------ *)
+(* Full-pipeline crash determinism                                     *)
+(* ------------------------------------------------------------------ *)
+
+let crash_gen = { Generate.quick_config with Generate.total = 240; seed = 31 }
+
+let report_string r =
+  Report.Json.to_string (Proxion.Serialize.report_to_json r)
+
+let skeleton = function
+  | Engine.Stage_started { stage; subject; _ } ->
+      Some (Printf.sprintf "start %s %s" (Engine.stage_name stage) subject)
+  | Engine.Stage_finished { stage; subject; _ } ->
+      Some (Printf.sprintf "finish %s %s" (Engine.stage_name stage) subject)
+  | Engine.Stage_errored { stage; subject; _ } ->
+      Some (Printf.sprintf "error %s %s" (Engine.stage_name stage) subject)
+  | Engine.Item_skipped { subject; _ } -> Some ("skip " ^ subject)
+  | _ -> None
+
+let run_landscape ?(gen = crash_gen)
+    ?(config = Proxion.Pipeline.Config.default) ?crash_plan ~domains () =
+  let land_ = Generate.generate gen in
+  let config =
+    Proxion.Pipeline.Config.(
+      config |> with_batch_size 16 |> with_domains domains)
+  in
+  let t =
+    Proxion.Analyzer.create ~config ?crash_plan ~chain:land_.Generate.chain
+      ~source:land_.Generate.source_of ()
+  in
+  let events = ref [] in
+  Proxion.Analyzer.subscribe t (fun ev ->
+      match skeleton ev with Some s -> events := s :: !events | None -> ());
+  Proxion.Analyzer.submit_all t;
+  Proxion.Analyzer.run t;
+  (t, List.rev !events)
+
+let rec null_key key = function
+  | Report.Json.Obj kvs ->
+      Report.Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = key then (k, Report.Json.Null) else (k, null_key key v))
+           kvs)
+  | Report.Json.List l -> Report.Json.List (List.map (null_key key) l)
+  | j -> j
+
+let checkpoint_state t =
+  Report.Json.to_string (null_key "config" (Proxion.Analyzer.checkpoint t))
+
+(* Seeded worker kills are a pure function of (seed, subject): the run's
+   report, dead-letter list, checkpoint state and event skeleton must be
+   identical at any worker count. *)
+let test_pipeline_crash_determinism () =
+  (* a fresh plan per run: the kill-once set is per-plan state *)
+  let plan () = Engine.crash_plan ~seed:chaos_seed ~rate:0.08 () in
+  let seq, ev_seq = run_landscape ~crash_plan:(plan ()) ~domains:1 () in
+  let par, ev_par =
+    run_landscape ~crash_plan:(plan ()) ~domains:domains_under_test ()
+  in
+  let dead = Proxion.Analyzer.skipped seq in
+  check_b "the plan killed workers" true (dead <> []);
+  List.iter
+    (fun r ->
+      check_b "every casualty is worker-crashed" true
+        (r.Engine.sk_class = Engine.Worker_crashed))
+    dead;
+  check_b "crash counter advanced" true
+    (Engine.crashes (Proxion.Analyzer.engine seq) > 0);
+  check_i "crash count identical across worker counts"
+    (Engine.crashes (Proxion.Analyzer.engine seq))
+    (Engine.crashes (Proxion.Analyzer.engine par));
+  check_s "report byte-identical across worker counts"
+    (report_string (Proxion.Analyzer.report seq))
+    (report_string (Proxion.Analyzer.report par));
+  check_s "checkpoint state byte-identical across worker counts"
+    (checkpoint_state seq) (checkpoint_state par);
+  check_sl
+    (Printf.sprintf "event order identical at %d domains" domains_under_test)
+    ev_seq ev_par
+
+(* Each subject is killed at most once, so requeueing the casualties must
+   complete the run to the fault-free figures.  Dedup is off: a requeued
+   contract completes after its clones, which would flip the dedup-hit
+   flags relative to the fault-free ordering. *)
+let test_pipeline_crash_requeue_to_fault_free () =
+  let no_dedup = Proxion.Pipeline.Config.(default |> with_dedup false) in
+  let reference, _ = run_landscape ~config:no_dedup ~domains:1 () in
+  let ref_report = Proxion.Analyzer.report reference in
+  let plan = Engine.crash_plan ~seed:chaos_seed ~rate:0.08 () in
+  let crashed, _ =
+    run_landscape ~config:no_dedup ~crash_plan:plan ~domains:1 ()
+  in
+  let dead = Proxion.Analyzer.skipped crashed in
+  check_b "the plan produced casualties" true (dead <> []);
+  check_i "every casualty requeued" (List.length dead)
+    (Proxion.Analyzer.requeue_transients crashed);
+  Proxion.Analyzer.run crashed;
+  check_i "kill-once: no dead letters after the retry" 0
+    (List.length (Proxion.Analyzer.skipped crashed));
+  let final = Proxion.Analyzer.report crashed in
+  check_s "stats recover to the fault-free figures"
+    (Report.Json.to_string
+       (Proxion.Serialize.stats_to_json ref_report.Proxion.Pipeline.stats))
+    (Report.Json.to_string
+       (Proxion.Serialize.stats_to_json final.Proxion.Pipeline.stats));
+  let sorted_contracts r =
+    List.sort compare
+      (List.map
+         (fun c ->
+           Report.Json.to_string (Proxion.Serialize.contract_report_to_json c))
+         r.Proxion.Pipeline.contracts)
+  in
+  check_sl "per-contract reports recover to the fault-free figures"
+    (sorted_contracts ref_report) (sorted_contracts final)
+
+(* ------------------------------------------------------------------ *)
+(* Journaled kill-and-resume                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The CLI's crash-safety story, end to end: journal a checkpoint at
+   every batch boundary, "die" after [k] commits with a torn write on
+   the tail, recover the journal, restore, and finish — the report must
+   be byte-identical to the uninterrupted run, with no committed batch
+   re-executed. *)
+let kill_and_resume ~domains () =
+  let reference, _ = run_landscape ~domains:1 () in
+  let ref_report = report_string (Proxion.Analyzer.report reference) in
+  let total_batches =
+    Engine.batches_done (Proxion.Analyzer.engine reference)
+  in
+  let label = Printf.sprintf "domains %d" domains in
+  let land_ = Generate.generate crash_gen in
+  let config =
+    Proxion.Pipeline.Config.(
+      default |> with_batch_size 16 |> with_domains domains)
+  in
+  let t =
+    Proxion.Analyzer.create ~config ~chain:land_.Generate.chain
+      ~source:land_.Generate.source_of ()
+  in
+  let path = fresh_path () in
+  let j, _ = ok (Journal.open_journal ~fsync:false path) in
+  Proxion.Analyzer.subscribe t (function
+    | Engine.Batch_finished _ ->
+        ok
+          (Journal.checkpoint j
+             (Report.Json.to_string (Proxion.Analyzer.checkpoint t)))
+    | _ -> ());
+  Proxion.Analyzer.submit_all t;
+  let k = 3 in
+  Proxion.Analyzer.run ~max_batches:k t;
+  let interrupted_pending = Proxion.Analyzer.pending t in
+  Journal.close j;
+  (* the kill lands mid-write: garbage after the last commit *)
+  append_raw path "R\xff\xff\xff\xfftorn";
+  let j2, recovery = ok (Journal.open_journal ~fsync:false path) in
+  Journal.close j2;
+  check_b (label ^ ": the torn tail was dropped") true
+    (recovery.Journal.rec_dropped_bytes > 0);
+  check_i (label ^ ": every committed batch retained") k
+    recovery.Journal.rec_committed;
+  let state =
+    match recovery.Journal.rec_state with
+    | Some s -> s
+    | None -> Alcotest.fail (label ^ ": no recovered state")
+  in
+  let ck =
+    match Report.Json.parse state with
+    | Ok json -> json
+    | Error e -> Alcotest.failf "%s: recovered state unparseable: %s" label e
+  in
+  let land2 = Generate.generate crash_gen in
+  let resumed =
+    match
+      Proxion.Analyzer.restore ~chain:land2.Generate.chain
+        ~source:land2.Generate.source_of ck
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "%s: restore failed: %s" label e
+  in
+  check_i (label ^ ": resume starts after the last committed batch") k
+    (Engine.batches_done (Proxion.Analyzer.engine resumed));
+  check_i (label ^ ": pending picks up exactly where the kill landed")
+    interrupted_pending
+    (Proxion.Analyzer.pending resumed);
+  Proxion.Analyzer.run resumed;
+  check_i (label ^ ": total batches match the uninterrupted run")
+    total_batches
+    (Engine.batches_done (Proxion.Analyzer.engine resumed));
+  check_s (label ^ ": resumed report byte-identical to uninterrupted")
+    ref_report
+    (report_string (Proxion.Analyzer.report resumed));
+  remove path
+
+let test_journal_kill_and_resume_sequential () = kill_and_resume ~domains:1 ()
+
+let test_journal_kill_and_resume_parallel () =
+  kill_and_resume ~domains:domains_under_test ()
+
+let suite =
+  [
+    Alcotest.test_case "journal creates, commits and reopens" `Quick
+      test_journal_create_and_reopen;
+    Alcotest.test_case "journal drops uncommitted and torn tails" `Quick
+      test_journal_uncommitted_tail_dropped;
+    Alcotest.test_case "journal recovers every torn prefix to a commit" `Quick
+      test_journal_torn_tail_sweep;
+    Alcotest.test_case "journal survives single-byte corruption anywhere"
+      `Quick test_journal_corruption_sweep;
+    Alcotest.test_case "journal compaction preserves state atomically" `Quick
+      test_journal_compaction;
+    Alcotest.test_case "journal auto-compacts past the size threshold" `Quick
+      test_journal_auto_compaction;
+    Alcotest.test_case "journal rejects foreign files cleanly" `Quick
+      test_journal_rejects_foreign_files;
+    Alcotest.test_case "fuel watchdog halts runaway emulation" `Quick
+      test_watchdog_fuel_exhaustion;
+    Alcotest.test_case "supervisor demotes injected kills to dead letters"
+      `Quick test_engine_worker_crash_supervision;
+    Alcotest.test_case "worker kills are schedule-independent" `Quick
+      test_engine_crash_schedule_independence;
+    Alcotest.test_case "supervisor survives a real stack overflow" `Quick
+      test_engine_stack_overflow_supervision;
+    Alcotest.test_case "attempt ceiling stops poisoned subjects" `Quick
+      test_engine_attempt_ceiling;
+    Alcotest.test_case "of_json never raises on truncated checkpoints" `Quick
+      test_of_json_truncation_sweep;
+    Alcotest.test_case "of_json never raises on corrupted checkpoints" `Quick
+      test_of_json_corruption_sweep;
+    Alcotest.test_case "of_json still accepts version-2 checkpoints" `Quick
+      test_of_json_accepts_version_2;
+    Alcotest.test_case "pipeline crash runs are worker-count independent"
+      `Quick test_pipeline_crash_determinism;
+    Alcotest.test_case "pipeline crash requeue recovers fault-free figures"
+      `Quick test_pipeline_crash_requeue_to_fault_free;
+    Alcotest.test_case "journaled kill-and-resume is byte-identical (seq)"
+      `Quick test_journal_kill_and_resume_sequential;
+    Alcotest.test_case "journaled kill-and-resume is byte-identical (par)"
+      `Quick test_journal_kill_and_resume_parallel;
+  ]

@@ -20,4 +20,5 @@ let () =
       ("engine", T_engine.suite);
       ("parallel", T_parallel.suite);
       ("chaos", T_chaos.suite);
+      ("crash", T_crash.suite);
     ]
