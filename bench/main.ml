@@ -21,6 +21,15 @@
 module Patterns = Minisol.Patterns
 module Codegen = Minisol.Codegen
 
+(* Every wall-clock figure below reads this clock; swapping in a virtual
+   clock makes the whole harness time-deterministic. *)
+let clock = Obs.Clock.real
+
+let time f =
+  let t0 = Obs.Clock.now clock in
+  let result = f () in
+  (result, Obs.Clock.now clock -. t0)
+
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -226,14 +235,10 @@ let run_ablation fx =
   let naive = Proxion.Selector_extract.naive_push4 hp_proxy in
   let dispatch = Proxion.Selector_extract.dispatcher_selectors hp_proxy in
   (* 3. Dedup on/off wall-clock. *)
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    ignore (f ());
-    Unix.gettimeofday () -. t0
-  in
+  let time f = snd (time f) in
   let source = fx.fx_land.Dataset.Generate.source_of in
   let with_dedup =
-    time (fun () -> Proxion.Pipeline.analyze ~chain ~source ())
+    time (fun () -> ignore (Proxion.Pipeline.analyze ~chain ~source ()))
   in
   let no_dedup =
     Proxion.Pipeline.Config.with_dedup false Proxion.Pipeline.Config.default
@@ -355,11 +360,6 @@ let bench_engine_json_path = "BENCH_engine.json"
 let run_engine fx =
   let chain = fx.fx_land.Dataset.Generate.chain in
   let source = fx.fx_land.Dataset.Generate.source_of in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let result = f () in
-    (result, Unix.gettimeofday () -. t0)
-  in
   let analyze_with ?(domains = 1) batch_size =
     Chain.reset_api_call_count chain;
     let config =
@@ -552,6 +552,57 @@ let run_engine fx =
              (if identical then "" else ", REPORT DIFFERS"))
          resilience_runs)
   in
+  (* Telemetry overhead + per-stage latency percentiles (schema 4): the
+     same landscape bare, with the always-on metrics registry, and with
+     the full span trace on top (worker-lane shards and all); then the
+     stage-latency distributions read back out of the registry
+     histograms.  Best-of-7 per interleaved configuration — single runs of a
+     workload carry several percent of scheduler noise. *)
+  let instrumented_run ~with_trace () =
+    Chain.reset_api_call_count chain;
+    let registry = Obs.Metrics.create () in
+    let trace = if with_trace then Some (Obs.Trace.create ~clock ()) else None in
+    let config = Proxion.Pipeline.Config.(default |> with_batch_size 32) in
+    let t = Proxion.Analyzer.create ~config ~chain ~source () in
+    Proxion.Analyzer.instrument ?trace registry t;
+    Proxion.Analyzer.submit_all t;
+    Proxion.Analyzer.run t;
+    (t, registry, trace)
+  in
+  (* Interleave the three configurations within each rep so machine
+     drift (frequency scaling, background load) biases them equally. *)
+  let plain_best = ref infinity
+  and metrics_best = ref infinity
+  and inst_best = ref infinity
+  and last_inst = ref None in
+  for _ = 1 to 7 do
+    let _, dt = time (fun () -> analyze_with 32) in
+    if dt < !plain_best then plain_best := dt;
+    let _, dt = time (instrumented_run ~with_trace:false) in
+    if dt < !metrics_best then metrics_best := dt;
+    let v, dt = time (instrumented_run ~with_trace:true) in
+    if dt < !inst_best then inst_best := dt;
+    last_inst := Some v
+  done;
+  let plain_elapsed = !plain_best
+  and metrics_elapsed = !metrics_best
+  and inst_elapsed = !inst_best in
+  let inst_t, registry, trace = Option.get !last_inst in
+  let trace = Option.get trace in
+  let metrics_overhead = metrics_elapsed /. Float.max 1e-9 plain_elapsed in
+  let telemetry_overhead = inst_elapsed /. Float.max 1e-9 plain_elapsed in
+  let stage_latency =
+    match Obs.Metrics.find registry "proxion_stage_seconds" with
+    | None -> []
+    | Some fam ->
+        List.filter_map
+          (fun (stage, _, _) ->
+            let name = Engine.stage_name stage in
+            Option.map
+              (fun s -> (name, s))
+              (Obs.Metrics.summarize ~labels:[ ("stage", name) ] registry fam))
+          (Engine.stage_totals (Proxion.Analyzer.engine inst_t))
+  in
   (* Machine-readable trajectory artifact. *)
   let stage_json t =
     Report.Json.List
@@ -571,7 +622,7 @@ let run_engine fx =
   let bench_json =
     Report.Json.Obj
       [
-        ("schema_version", Report.Json.Int 3);
+        ("schema_version", Report.Json.Int 4);
         ("git_rev", Report.Json.String (git_rev ()));
         ( "cores",
           Report.Json.Int (Domain.recommended_domain_count ()) );
@@ -623,6 +674,29 @@ let run_engine fx =
                      ("identical_report", Report.Json.Bool identical);
                    ])
                resilience_runs) );
+        ( "telemetry",
+          Report.Json.Obj
+            [
+              ("uninstrumented_s", Report.Json.Float plain_elapsed);
+              ("metrics_s", Report.Json.Float metrics_elapsed);
+              ("instrumented_s", Report.Json.Float inst_elapsed);
+              ("metrics_overhead_ratio", Report.Json.Float metrics_overhead);
+              ("overhead_ratio", Report.Json.Float telemetry_overhead);
+              ("trace_events", Report.Json.Int (Obs.Trace.count trace));
+              ( "stage_latency",
+                Report.Json.List
+                  (List.map
+                     (fun (name, s) ->
+                       Report.Json.Obj
+                         [
+                           ("stage", Report.Json.String name);
+                           ("count", Report.Json.Int s.Obs.Metrics.s_count);
+                           ("p50_s", Report.Json.Float s.Obs.Metrics.s_p50);
+                           ("p90_s", Report.Json.Float s.Obs.Metrics.s_p90);
+                           ("p99_s", Report.Json.Float s.Obs.Metrics.s_p99);
+                         ])
+                     stage_latency) );
+            ] );
         ( "recovery",
           match journal_stats with
           | Error e -> Report.Json.Obj [ ("error", Report.Json.String e) ]
@@ -652,6 +726,30 @@ let run_engine fx =
         "keccak selector memo";
         Printf.sprintf "%d hits / %d misses (%.1f%% hit rate)"
           memo.Keccak.Memo.hits memo.Keccak.Memo.misses (100.0 *. memo_rate);
+      ];
+      [
+        "telemetry overhead (metrics)";
+        Printf.sprintf "%.3fs vs %.3fs bare (%+.1f%%)" metrics_elapsed
+          plain_elapsed
+          ((metrics_overhead -. 1.0) *. 100.0);
+      ];
+      [
+        "trace overhead (diagnostics)";
+        Printf.sprintf "%.3fs vs %.3fs bare (%+.1f%%, %d trace events)"
+          inst_elapsed plain_elapsed
+          ((telemetry_overhead -. 1.0) *. 100.0)
+          (Obs.Trace.count trace);
+      ];
+      [
+        "stage latency p50/p90/p99 (us)";
+        String.concat "; "
+          (List.map
+             (fun (name, s) ->
+               Printf.sprintf "%s: %.0f/%.0f/%.0f" name
+                 (1e6 *. s.Obs.Metrics.s_p50)
+                 (1e6 *. s.Obs.Metrics.s_p90)
+                 (1e6 *. s.Obs.Metrics.s_p99))
+             stage_latency);
       ];
       [
         "run with event subscriber";

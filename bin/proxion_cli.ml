@@ -77,58 +77,11 @@ let seed_arg =
 let landscape_config total seed =
   { Dataset.Generate.default_config with Dataset.Generate.total; seed }
 
-(* Progress reporting on stderr, leaving stdout to the figures.  The
-   subscriber is stateful: it keeps running dead-letter counts per fault
-   class so every batch line shows degradation as it happens, not only in
-   the final report. *)
-let progress_subscriber () =
-  let dead : (string, int) Hashtbl.t = Hashtbl.create 4 in
-  let note cls =
-    let name = Engine.skip_class_name cls in
-    Hashtbl.replace dead name
-      (1 + Option.value ~default:0 (Hashtbl.find_opt dead name))
-  in
-  let dead_summary () =
-    match
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) dead [] |> List.sort compare
-    with
-    | [] -> ""
-    | entries ->
-        Printf.sprintf " (dead letters: %s)"
-          (String.concat ", "
-             (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) entries))
-  in
-  let open Engine in
-  function
-  | Run_started { pending; batch_size; domains } ->
-      Printf.eprintf "run: %d contracts queued (batches of %d, %d domain%s)\n%!"
-        pending batch_size domains
-        (if domains = 1 then "" else "s")
-  | Batch_finished { index; size; elapsed } ->
-      Printf.eprintf "batch %d: %d contracts in %.2fs%s\n%!" (index + 1) size
-        elapsed (dead_summary ())
-  | Stage_errored { stage; subject; message; worker } ->
-      Printf.eprintf "  %s: stage %s errored on worker %d: %s\n%!" subject
-        (stage_name stage) worker message
-  | Retry_attempted { subject; attempt; reason; delay; _ } ->
-      Printf.eprintf "  retry %s: attempt %d, %.3fs virtual backoff (%s)\n%!"
-        subject attempt delay reason
-  | Circuit_opened { endpoint; subject; failures; _ } ->
-      Printf.eprintf "  circuit open: %s endpoint for %s after %d failures\n%!"
-        endpoint subject failures
-  | Circuit_closed { endpoint; subject; _ } ->
-      Printf.eprintf "  circuit closed: %s endpoint for %s\n%!" endpoint subject
-  | Item_skipped { subject; message; fault_class; attempts; _ } ->
-      note fault_class;
-      Printf.eprintf "  skipped %s (%s, %d attempt%s): %s\n%!" subject
-        (Engine.skip_class_name fault_class)
-        attempts
-        (if attempts = 1 then "" else "s")
-        message
-  | Run_finished { processed; skipped; elapsed } ->
-      Printf.eprintf "run: %d processed, %d skipped in %.2fs\n%!" processed
-        skipped elapsed
-  | Batch_started _ | Stage_started _ | Stage_finished _ -> ()
+(* Progress reporting goes through the structured log sink
+   (Engine.Telemetry.attach_log): per-batch summary lines with retry and
+   breaker counts folded in, per-item detail at warn/debug — on stderr,
+   leaving stdout to the figures.  [--log-json] switches the same stream
+   to JSONL. *)
 
 (* Durable plain-file checkpoint: write the whole payload under a
    temporary name, then rename into place — a crash mid-write can never
@@ -178,7 +131,8 @@ exception Journal_write_error of string
 
 let run_landscape total seed findings batch_size domains progress
     checkpoint_path resume_path max_batches fault_rate fault_seed fault_latency
-    retry_skipped journal_path watchdog_steps =
+    retry_skipped journal_path watchdog_steps metrics_out metrics_det trace_out
+    log_json log_level =
   match (batch_size, domains) with
   | Some b, _ when b <= 0 ->
       prerr_endline "error: --batch-size must be positive";
@@ -202,6 +156,21 @@ let run_landscape total seed findings batch_size domains progress
   let chain = land_.Dataset.Generate.chain in
   let source = land_.Dataset.Generate.source_of in
   Chain.reset_api_call_count chain;
+  (* Telemetry: the registry always exists (recording into it is cheap
+     and instrument wires the engine recorders); the trace collector and
+     log sink only when requested. *)
+  let registry = Obs.Metrics.create () in
+  let journal_commits =
+    Obs.Metrics.counter registry
+      ~help:"Checkpoint frames committed to the durable journal"
+      "proxion_journal_commits_total"
+  in
+  let trace = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+  let log =
+    if progress || log_json then
+      Some (Obs.Log.create ~level:log_level ~json:log_json stderr)
+    else None
+  in
   (* Like --domains, the fault plan and the watchdog budget are execution
      parameters: any combination of knobs produces the same figures,
      faults only exercise the retry path and the watchdog only decides
@@ -257,16 +226,41 @@ let run_landscape total seed findings batch_size domains progress
     | Some (j, recovery), _ -> (
         match recovery.Resilience.Journal.rec_state with
         | Some text ->
-            Printf.eprintf
-              "journal: recovered %s (%d committed frame%s, %d torn byte%s \
-               dropped)\n\
-               %!"
-              (Resilience.Journal.path j)
-              recovery.Resilience.Journal.rec_committed
-              (if recovery.Resilience.Journal.rec_committed = 1 then "" else "s")
-              recovery.Resilience.Journal.rec_dropped_bytes
-              (if recovery.Resilience.Journal.rec_dropped_bytes = 1 then ""
-               else "s");
+            let committed = recovery.Resilience.Journal.rec_committed in
+            let dropped = recovery.Resilience.Journal.rec_dropped_bytes in
+            Obs.Metrics.inc registry
+              (Obs.Metrics.counter registry
+                 ~help:"Journal recoveries performed at startup"
+                 "proxion_journal_recoveries_total");
+            Obs.Metrics.set registry
+              (Obs.Metrics.gauge registry
+                 ~help:"Committed frames found by the last journal recovery"
+                 "proxion_journal_recovered_frames")
+              (float_of_int committed);
+            Obs.Metrics.set registry
+              (Obs.Metrics.gauge registry
+                 ~help:"Torn bytes truncated by the last journal recovery"
+                 "proxion_journal_torn_bytes_dropped")
+              (float_of_int dropped);
+            (match log with
+            | Some l ->
+                Obs.Log.log l ~component:"journal"
+                  ~fields:
+                    [
+                      ("path", Report.Json.String (Resilience.Journal.path j));
+                      ("committed_frames", Report.Json.Int committed);
+                      ("torn_bytes_dropped", Report.Json.Int dropped);
+                    ]
+                  Obs.Log.Info "recovered committed journal state"
+            | None ->
+                Printf.eprintf
+                  "journal: recovered %s (%d committed frame%s, %d torn \
+                   byte%s dropped)\n\
+                   %!"
+                  (Resilience.Journal.path j) committed
+                  (if committed = 1 then "" else "s")
+                  dropped
+                  (if dropped = 1 then "" else "s"));
             restore_from (Resilience.Journal.path j) text
         | None -> fresh ())
     | None, Some path ->
@@ -286,8 +280,7 @@ let run_landscape total seed findings batch_size domains progress
       prerr_endline ("error: " ^ e);
       1
   | Ok analyzer -> (
-      if progress then
-        Proxion.Analyzer.subscribe analyzer (progress_subscriber ());
+      Proxion.Analyzer.instrument ?trace ?log registry analyzer;
       (* One journal record + commit per batch barrier: a kill at any
          instant re-executes at most the batch in flight. *)
       Option.iter
@@ -298,7 +291,8 @@ let run_landscape total seed findings batch_size domains progress
                   Report.Json.to_string (Proxion.Analyzer.checkpoint analyzer)
                 in
                 match Resilience.Journal.checkpoint j text with
-                | Ok () -> ()
+                | Ok () ->
+                    Obs.Metrics.inc registry journal_commits
                 | Error e -> raise (Journal_write_error e))
             | _ -> ()))
         journal;
@@ -329,6 +323,44 @@ let run_landscape total seed findings batch_size domains progress
           1
       | () ->
           Option.iter (fun (j, _) -> Resilience.Journal.close j) journal;
+          let write_file path f =
+            match Out_channel.with_open_text path f with
+            | () -> true
+            | exception Sys_error e ->
+                Printf.eprintf "error: cannot write %s: %s\n%!" path e;
+                false
+          in
+          (* [--metrics-out foo.json] snapshots as JSON, anything else as
+             Prometheus text exposition.  [--metrics-deterministic] drops
+             the timestamp and the volatile (wall-clock-derived) families
+             so snapshots diff byte-identically across --domains. *)
+          let metrics_ok =
+            match metrics_out with
+            | None -> true
+            | Some path ->
+                write_file path (fun oc ->
+                    if Filename.check_suffix path ".json" then begin
+                      Out_channel.output_string oc
+                        (Report.Json.to_string ~pretty:true
+                           (Obs.Metrics.to_json ~suppress_volatile:metrics_det
+                              ?timestamp:
+                                (if metrics_det then None
+                                 else Some (Obs.Clock.now Obs.Clock.real))
+                              registry));
+                      Out_channel.output_char oc '\n'
+                    end
+                    else
+                      Out_channel.output_string oc
+                        (Obs.Metrics.to_prometheus
+                           ~suppress_volatile:metrics_det registry))
+          in
+          let trace_ok =
+            match (trace_out, trace) with
+            | Some path, Some tr ->
+                write_file path (fun oc -> Obs.Trace.write tr oc)
+            | _ -> true
+          in
+          let outputs_failed = not (metrics_ok && trace_ok) in
           let checkpoint_failed =
             match checkpoint_path with
             | None -> false
@@ -341,7 +373,7 @@ let run_landscape total seed findings batch_size domains progress
                     prerr_endline ("error: cannot write checkpoint: " ^ e);
                     true)
           in
-          if checkpoint_failed then 1
+          if checkpoint_failed || outputs_failed then 1
           else if Proxion.Analyzer.pending analyzer > 0 then begin
             Printf.eprintf "stopped with %d contracts pending%s\n%!"
               (Proxion.Analyzer.pending analyzer)
@@ -479,12 +511,70 @@ let landscape_cmd =
              budget-exhausted after $(docv) steps instead of stalling its \
              worker.")
   in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the telemetry registry to $(docv) when the run stops: \
+             Prometheus text exposition, or a JSON snapshot when $(docv) \
+             ends in .json.")
+  in
+  let metrics_det_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics-deterministic" ]
+          ~doc:
+            "Suppress wall-clock-derived (volatile) metric families and \
+             the snapshot timestamp, making --metrics-out byte-identical \
+             across --domains values.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON span timeline (run > batch > \
+             item > stage, plus sampled RPC/EVM worker lanes) to $(docv) — \
+             loadable at ui.perfetto.dev.")
+  in
+  let log_json_arg =
+    Arg.(
+      value & flag
+      & info [ "log-json" ]
+          ~doc:
+            "Emit progress as JSONL structured-log records on stderr \
+             (implies --progress).")
+  in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("debug", Obs.Log.Debug);
+               ("info", Obs.Log.Info);
+               ("warn", Obs.Log.Warn);
+               ("warning", Obs.Log.Warn);
+               ("error", Obs.Log.Error);
+             ])
+          Obs.Log.Info
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Minimum progress-log level (debug|info|warn|error).  Debug \
+             adds per-attempt retry and breaker detail that info \
+             summarizes per batch.")
+  in
   Cmd.v (Cmd.info "landscape" ~doc)
     Term.(
       const run_landscape $ total_arg $ seed_arg $ findings_arg
       $ batch_size_arg $ domains_arg $ progress_arg $ checkpoint_arg
       $ resume_arg $ max_batches_arg $ fault_rate_arg $ fault_seed_arg
-      $ fault_latency_arg $ retry_skipped_arg $ journal_arg $ watchdog_arg)
+      $ fault_latency_arg $ retry_skipped_arg $ journal_arg $ watchdog_arg
+      $ metrics_out_arg $ metrics_det_arg $ trace_out_arg $ log_json_arg
+      $ log_level_arg)
 
 (* --- coverage / accuracy / perf / effectiveness ------------------------- *)
 

@@ -58,6 +58,7 @@ type t = {
   tx_index : (Address.t, tx_record list ref) Hashtbl.t;
   mutable txs : tx_record list; (* reverse order *)
   mutable api_calls : int;
+  method_calls : (string, int) Hashtbl.t;
   mutable install_nonce : int;
 }
 
@@ -72,6 +73,7 @@ let create ?(block = Host.default_block) () =
     tx_index = Hashtbl.create 1024;
     txs = [];
     api_calls = 0;
+    method_calls = Hashtbl.create 8;
     install_nonce = 0;
   }
 
@@ -81,10 +83,17 @@ let fund t addr amount = t.state.Host.set_balance addr amount
 
 let worker_view t =
   (* Shallow copy sharing the (read-only during analysis) history, contract
-     and transaction indexes, with a private copy-on-write host and a
-     private API-call counter.  The emulation stages write only through the
-     overlay, so concurrent views never race on the base state. *)
-  { t with state = Host.overlay t.state; api_calls = 0 }
+     and transaction indexes, with a private copy-on-write host and private
+     API-call counters (total and per-method — a record copy would alias the
+     per-method table, so it is allocated fresh).  The emulation stages
+     write only through the overlay, so concurrent views never race on the
+     base state. *)
+  {
+    t with
+    state = Host.overlay t.state;
+    api_calls = 0;
+    method_calls = Hashtbl.create 8;
+  }
 
 let host_at_head t =
   (* One block per transaction at mainnet's 12-second cadence. *)
@@ -320,6 +329,14 @@ let get_storage_at t addr slot ~height =
 
 let api_call_count t = t.api_calls
 let reset_api_call_count t = t.api_calls <- 0
+
+let record_method_call t meth =
+  Hashtbl.replace t.method_calls meth
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.method_calls meth))
+
+let method_call_counts t =
+  Hashtbl.fold (fun meth n acc -> (meth, n) :: acc) t.method_calls []
+  |> List.sort compare
 
 let storage_change_heights t addr slot =
   match Slot_tbl.find_opt t.history { sk_addr = addr; sk_slot = slot } with

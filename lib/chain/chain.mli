@@ -110,6 +110,17 @@ val get_storage_at : t -> Evm.Address.t -> U256.t -> height:int -> U256.t
 val api_call_count : t -> int
 val reset_api_call_count : t -> unit
 
+val record_method_call : t -> string -> unit
+(** Count one RPC method invocation against this chain (or view) —
+    called by the RPC front end for every request it serves, whatever
+    the method.  Distinct from {!api_call_count}, which counts only the
+    paper's §6.1 storage probes. *)
+
+val method_call_counts : t -> (string * int) list
+(** Per-method RPC invocation counts, sorted by method name.  A
+    {!worker_view} carries its own table starting empty, so parallel
+    runs can merge per-item counts deterministically. *)
+
 val storage_change_heights : t -> Evm.Address.t -> U256.t -> int list
 (** Ground truth for tests: ascending heights at which the slot changed. *)
 

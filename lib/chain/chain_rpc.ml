@@ -61,6 +61,7 @@ let latest_only chain ~meth s =
   if h = Chain.height chain then Ok () else Error (Unsupported_height meth)
 
 let call chain ~meth ~params =
+  Chain.record_method_call chain meth;
   match (meth, params) with
   | "eth_blockNumber", [] -> Ok (quantity (Chain.height chain))
   | "eth_chainId", [] ->

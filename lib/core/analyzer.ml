@@ -9,6 +9,66 @@ type cached_detection =
   | C_verdict of Proxy_detect.verdict
   | C_slot_proxy of U256.t
 
+(* Telemetry wiring: the shared registry, the metric families the
+   analyzer records per item (through input-order-merged shards), and the
+   optional span collector with its 1-in-N item sampling factor for
+   worker-lane RPC/EVM-frame detail. *)
+type telemetry = {
+  tm_registry : Obs.Metrics.t;
+  tm_trace : Obs.Trace.t option;
+  tm_sample : int;
+  tm_rpc_attempts : Obs.Metrics.family;
+  tm_api_methods : Obs.Metrics.family;
+  tm_item_steps : Obs.Metrics.family;
+  tm_fuel_used : Obs.Metrics.family;
+  tm_evm_frames : Obs.Metrics.family;
+  tm_dedup_hits : Obs.Metrics.family;
+  (* Pre-resolved handles for the hottest labeled series, keyed by label
+     values.  Only used on the sequential (coordinator) path, where
+     observations go straight into the root registry — worker shards are
+     short-lived, so handles into them would be orphaned by [absorb]. *)
+  tm_attempt_handles : (string * string, Obs.Metrics.handle) Hashtbl.t;
+  tm_method_handles : (string, Obs.Metrics.handle) Hashtbl.t;
+  tm_item_steps_h : Obs.Metrics.handle;
+  tm_fuel_used_h : Obs.Metrics.handle;
+  tm_evm_frames_h : Obs.Metrics.handle;
+  tm_dedup_hits_h : Obs.Metrics.handle;
+}
+
+let attempt_handle tm ~meth ~outcome =
+  match Hashtbl.find_opt tm.tm_attempt_handles (meth, outcome) with
+  | Some h -> h
+  | None ->
+      let h =
+        Obs.Metrics.handle
+          ~labels:[ ("method", meth); ("outcome", outcome) ]
+          tm.tm_registry tm.tm_rpc_attempts
+      in
+      Hashtbl.replace tm.tm_attempt_handles (meth, outcome) h;
+      h
+
+let method_handle tm meth =
+  match Hashtbl.find_opt tm.tm_method_handles meth with
+  | Some h -> h
+  | None ->
+      let h =
+        Obs.Metrics.handle
+          ~labels:[ ("method", meth) ]
+          tm.tm_registry tm.tm_api_methods
+      in
+      Hashtbl.replace tm.tm_method_handles meth h;
+      h
+
+(* Per-item observation state: a private registry shard (absorbed at the
+   item's merge point) plus the sampling decision — a pure function of
+   the subject address, so worker count and scheduling never change which
+   items carry trace detail. *)
+type item_obs = {
+  io_shard : Obs.Metrics.t;
+  io_sampled : bool;
+  io_frames : int ref;
+}
+
 type t = {
   engine : (Address.t, Analysis.contract_report) Engine.t;
   chain : Chain.t;
@@ -27,6 +87,7 @@ type t = {
   dedup_hits : int ref;
   steps_total : int ref;
   api_calls : int ref;
+  mutable telemetry : telemetry option;
 }
 
 (* Per-item execution environment.  Sequentially it aliases the analyzer's
@@ -50,6 +111,10 @@ type env = {
          item; sized by the transport step budget.  The post-stage budget
          check still runs — fuel is the in-flight enforcement that stops
          a looping bytecode from ever reaching that check. *)
+  e_tracer : Evm.Interp.tracer;
+      (* Telemetry observer composed under the probe's own tracer:
+         counts call frames, and records frame spans for sampled
+         items.  [Interp.no_tracer] when telemetry is off. *)
 }
 
 let config t = t.cfg
@@ -106,7 +171,9 @@ let fresh_probe t env addr code_hash =
   let d =
     if t.cfg.Config.diamond_extension then
       Diamond_probe.detect ?fuel:env.e_fuel env.e_chain addr
-    else Proxy_detect.detect ?fuel:env.e_fuel ~host:env.e_host addr
+    else
+      Proxy_detect.detect ?fuel:env.e_fuel ~tracer:env.e_tracer
+        ~host:env.e_host addr
   in
   env.e_steps := !(env.e_steps) + d.Proxy_detect.steps;
   (if t.cfg.Config.dedup then
@@ -288,7 +355,7 @@ let group_key chain addr = Keccak.digest (Chain.code_at chain addr)
    batch composition, worker count and scheduling order.  Transport
    events replay through [Engine.emit_from], which buffers them for the
    input-order merge on worker domains. *)
-let make_transport t ctx addr chain =
+let make_transport t ctx addr chain obs =
   let subject = Address.to_hex addr in
   let worker = Engine.worker_id ctx in
   let on_event = function
@@ -300,9 +367,136 @@ let make_transport t ctx addr chain =
           (Engine.Circuit_opened { endpoint; subject; failures; worker })
     | Resilience.Transport.Circuit_closed { endpoint } ->
         Engine.emit_from ctx (Engine.Circuit_closed { endpoint; subject; worker })
+    | Resilience.Transport.Dispatched { meth; fault; latency } -> (
+        match (t.telemetry, obs) with
+        | Some tm, Some io -> (
+            let outcome = Option.value ~default:"ok" fault in
+            (if io.io_shard == tm.tm_registry then
+               Obs.Metrics.hinc (attempt_handle tm ~meth ~outcome)
+             else
+               Obs.Metrics.inc
+                 ~labels:[ ("method", meth); ("outcome", outcome) ]
+                 io.io_shard tm.tm_rpc_attempts);
+            match tm.tm_trace with
+            | Some tr when io.io_sampled ->
+                (* Worker-lane RPC detail on track worker+1, real-time
+                   stamped: the merged coordinator stream has no
+                   per-attempt timing left. *)
+                Obs.Trace.complete tr ~tid:(worker + 1) ~cat:"rpc" ~name:meth
+                  ~ts:(Obs.Trace.now tr) ~dur:latency
+                  ~args:
+                    [
+                      ("subject", Json.String subject);
+                      ("outcome", Json.String outcome);
+                    ]
+            | _ -> ())
+        | _ -> ())
   in
   Resilience.Transport.create ~config:t.resilience ~salt:(Hashtbl.hash subject)
     ~on_event ~chain ()
+
+(* The sampling decision is a pure function of the address, never of
+   scheduling: the same items carry trace detail at every worker count. *)
+let item_obs_for t addr =
+  match t.telemetry with
+  | None -> None
+  | Some tm ->
+      Some
+        {
+          (* Workers get a private shard absorbed at the merge point; the
+             sequential path IS the merge order, so it records straight
+             into the root registry and skips the shard round-trip. *)
+          io_shard =
+            (if t.par then Obs.Metrics.shard tm.tm_registry
+             else tm.tm_registry);
+          io_sampled =
+            (tm.tm_sample > 0
+            && Hashtbl.hash (Address.to_hex addr) mod tm.tm_sample = 0);
+          io_frames = ref 0;
+        }
+
+let item_tracer t ctx obs =
+  match (t.telemetry, obs) with
+  | Some tm, Some io ->
+      let stack = ref [] in
+      {
+        Evm.Interp.no_tracer with
+        Evm.Interp.on_call =
+          (fun ev ->
+            incr io.io_frames;
+            match tm.tm_trace with
+            | Some tr when io.io_sampled ->
+                stack := (ev.Evm.Interp.kind, Obs.Trace.now tr) :: !stack
+            | _ -> ());
+        Evm.Interp.on_call_result =
+          (fun _ev _status ->
+            match (tm.tm_trace, !stack) with
+            | Some tr, (kind, ts) :: rest when io.io_sampled ->
+                stack := rest;
+                Obs.Trace.complete tr
+                  ~tid:(Engine.worker_id ctx + 1)
+                  ~cat:"evm"
+                  ~name:(Evm.Interp.call_kind_to_string kind)
+                  ~ts
+                  ~dur:(Obs.Trace.now tr -. ts)
+            | _ -> ());
+      }
+  | _ -> Evm.Interp.no_tracer
+
+(* Fold the item's observations into its shard and schedule the shard's
+   absorption at the merge point.  Deterministic families (steps, fuel,
+   frames, dedup hits, per-method counts) are recorded only for completed
+   items — mirroring the analyzer's own counters, so a dead-lettered item
+   contributes nothing and a later requeue converges to the fault-free
+   figures.  RPC-attempt counts (recorded live by the transport hook)
+   absorb either way. *)
+let finish_item_obs t ctx env ~meth0 ~ok obs =
+  match (t.telemetry, obs) with
+  | Some tm, Some io ->
+      if ok then begin
+        let direct = io.io_shard == tm.tm_registry in
+        (if direct then
+           Obs.Metrics.hobserve tm.tm_item_steps_h (float_of_int !(env.e_steps))
+         else
+           Obs.Metrics.observe io.io_shard tm.tm_item_steps
+             (float_of_int !(env.e_steps)));
+        if !(env.e_dedup) > 0 then begin
+          let by = float_of_int !(env.e_dedup) in
+          if direct then Obs.Metrics.hinc ~by tm.tm_dedup_hits_h
+          else Obs.Metrics.inc ~by io.io_shard tm.tm_dedup_hits
+        end;
+        if !(io.io_frames) > 0 then begin
+          let by = float_of_int !(io.io_frames) in
+          if direct then Obs.Metrics.hinc ~by tm.tm_evm_frames_h
+          else Obs.Metrics.inc ~by io.io_shard tm.tm_evm_frames
+        end;
+        (match (env.e_fuel, t.resilience.Resilience.Transport.step_budget) with
+        | Some f, Some budget ->
+            let used = float_of_int (budget - Evm.Interp.fuel_remaining f) in
+            if direct then Obs.Metrics.hobserve tm.tm_fuel_used_h used
+            else Obs.Metrics.observe io.io_shard tm.tm_fuel_used used
+        | _ -> ());
+        List.iter
+          (fun (meth, n) ->
+            let base =
+              Option.value ~default:0 (List.assoc_opt meth meth0)
+            in
+            if n > base then
+              if io.io_shard == tm.tm_registry then
+                Obs.Metrics.hinc
+                  ~by:(float_of_int (n - base))
+                  (method_handle tm meth)
+              else
+                Obs.Metrics.inc
+                  ~labels:[ ("method", meth) ]
+                  ~by:(float_of_int (n - base))
+                  io.io_shard tm.tm_api_methods)
+          (Chain.method_call_counts env.e_chain)
+      end;
+      if io.io_shard != tm.tm_registry then
+        Engine.on_merged ctx (fun () ->
+            Obs.Metrics.absorb ~into:tm.tm_registry io.io_shard)
+  | _ -> ()
 
 (* Transport failures carry their own classification (class, stage,
    attempts); anything else propagates and the engine dead-letters it as
@@ -329,6 +523,7 @@ let skip_of_exn ctx env e =
   | e -> raise e
 
 let process_item t ctx addr =
+  let obs = item_obs_for t addr in
   if not t.par then begin
     (* Sequential: the analyzer's own chain and head host, but per-item
        counters folded into the totals only on success — a dead-lettered
@@ -336,17 +531,21 @@ let process_item t ctx addr =
        same whether it failed here or on a worker domain, and a later
        requeue brings the totals to exactly the fault-free figures. *)
     let api0 = Chain.api_call_count t.chain in
+    let meth0 =
+      if obs = None then [] else Chain.method_call_counts t.chain
+    in
     let env =
       {
         e_chain = t.chain;
         e_host = t.host;
         e_steps = ref 0;
         e_dedup = ref 0;
-        e_transport = make_transport t ctx addr t.chain;
+        e_transport = make_transport t ctx addr t.chain obs;
         e_steps0 = 0;
         e_fuel =
           Option.map Evm.Interp.fuel
             t.resilience.Resilience.Transport.step_budget;
+        e_tracer = item_tracer t ctx obs;
       }
     in
     match analyze_contract t env ctx addr with
@@ -354,8 +553,11 @@ let process_item t ctx addr =
         t.api_calls := !(t.api_calls) + (Chain.api_call_count t.chain - api0);
         t.steps_total := !(t.steps_total) + !(env.e_steps);
         t.dedup_hits := !(t.dedup_hits) + !(env.e_dedup);
+        finish_item_obs t ctx env ~meth0 ~ok:true obs;
         Ok report
-    | exception e -> Error (skip_of_exn ctx env e)
+    | exception e ->
+        finish_item_obs t ctx env ~meth0 ~ok:false obs;
+        Error (skip_of_exn ctx env e)
   end
   else begin
     (* Parallel: a private chain view whose API-call counter starts at
@@ -368,11 +570,12 @@ let process_item t ctx addr =
         e_host = Chain.host_at_head view;
         e_steps = ref 0;
         e_dedup = ref 0;
-        e_transport = make_transport t ctx addr view;
+        e_transport = make_transport t ctx addr view obs;
         e_steps0 = 0;
         e_fuel =
           Option.map Evm.Interp.fuel
             t.resilience.Resilience.Transport.step_budget;
+        e_tracer = item_tracer t ctx obs;
       }
     in
     match analyze_contract t env ctx addr with
@@ -382,8 +585,11 @@ let process_item t ctx addr =
         t.steps_total := !(t.steps_total) + !(env.e_steps);
         t.dedup_hits := !(t.dedup_hits) + !(env.e_dedup);
         Mutex.unlock t.merge_lock;
+        finish_item_obs t ctx env ~meth0:[] ~ok:true obs;
         Ok report
-    | exception e -> Error (skip_of_exn ctx env e)
+    | exception e ->
+        finish_item_obs t ctx env ~meth0:[] ~ok:false obs;
+        Error (skip_of_exn ctx env e)
   end
 
 let make_with_engine ~config ~resilience ~chain ~source build_engine =
@@ -410,6 +616,7 @@ let make_with_engine ~config ~resilience ~chain ~source build_engine =
       dedup_hits = ref 0;
       steps_total = ref 0;
       api_calls = ref 0;
+      telemetry = None;
     }
   in
   self := Some t;
@@ -431,6 +638,78 @@ let submit t addresses = Engine.submit t.engine addresses
 
 let submit_all t =
   submit t (List.map (fun m -> m.Chain.cm_address) (Chain.all_contracts t.chain))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let step_b = [ 10.; 100.; 1000.; 1e4; 1e5; 1e6; 1e7 ]
+
+let instrument ?trace ?log ?(trace_sample = 16) registry t =
+  Engine.Telemetry.instrument registry t.engine;
+  Option.iter (fun tr -> Engine.Telemetry.attach_trace tr t.engine) trace;
+  Option.iter (fun lg -> Engine.Telemetry.attach_log lg t.engine) log;
+  let rpc_attempts =
+    Obs.Metrics.counter registry
+      ~help:"RPC round-trip attempts per method and outcome"
+      "proxion_rpc_attempts_total"
+  and api_methods =
+    Obs.Metrics.counter registry
+      ~help:"RPC requests served by the node per method"
+      "proxion_api_method_calls_total"
+  and item_steps =
+    Obs.Metrics.histogram registry ~buckets:step_b
+      ~help:"EVM steps interpreted per analyzed contract" "proxion_item_steps"
+  and fuel_used =
+    Obs.Metrics.histogram registry ~buckets:step_b
+      ~help:"Watchdog fuel consumed per contract (step-budget runs)"
+      "proxion_item_fuel_used"
+  and evm_frames =
+    Obs.Metrics.counter registry
+      ~help:"EVM call frames observed by probe emulations"
+      "proxion_evm_frames_total"
+  and dedup_hits =
+    Obs.Metrics.counter registry ~help:"Bytecode-dedup cache hits"
+      "proxion_dedup_hits_total"
+  in
+  let tm =
+    {
+      tm_registry = registry;
+      tm_trace = trace;
+      tm_sample = trace_sample;
+      tm_rpc_attempts = rpc_attempts;
+      tm_api_methods = api_methods;
+      tm_item_steps = item_steps;
+      tm_fuel_used = fuel_used;
+      tm_evm_frames = evm_frames;
+      tm_dedup_hits = dedup_hits;
+      tm_attempt_handles = Hashtbl.create 16;
+      tm_method_handles = Hashtbl.create 8;
+      tm_item_steps_h = Obs.Metrics.handle registry item_steps;
+      tm_fuel_used_h = Obs.Metrics.handle registry fuel_used;
+      tm_evm_frames_h = Obs.Metrics.handle registry evm_frames;
+      tm_dedup_hits_h = Obs.Metrics.handle registry dedup_hits;
+    }
+  in
+  (* The Keccak selector memo lives in Domain.DLS — per-domain tables
+     whose hit/miss split depends on how items landed on workers, so the
+     coordinator-side reading is inherently volatile. *)
+  let memo_hits =
+    Obs.Metrics.gauge registry ~volatile:true
+      ~help:"Keccak memo hits (coordinator domain)" "proxion_keccak_memo_hits"
+  and memo_misses =
+    Obs.Metrics.gauge registry ~volatile:true
+      ~help:"Keccak memo misses (coordinator domain)"
+      "proxion_keccak_memo_misses"
+  in
+  Engine.subscribe t.engine (function
+    | Engine.Run_finished _ ->
+        let s = Keccak.Memo.stats () in
+        Obs.Metrics.set registry memo_hits (float_of_int s.Keccak.Memo.hits);
+        Obs.Metrics.set registry memo_misses
+          (float_of_int s.Keccak.Memo.misses)
+    | _ -> ());
+  t.telemetry <- Some tm
 
 let run ?max_batches t = Engine.run ?max_batches t.engine
 let pending t = Engine.pending t.engine
@@ -640,6 +919,7 @@ let restore ?batch_size ?domains
       dedup_hits = ref dedup_hits;
       steps_total = ref steps;
       api_calls = ref api_calls;
+      telemetry = None;
     }
   in
   List.iter (fun (k, v) -> Hashtbl.replace t.detection_cache k v) detection_entries;

@@ -51,6 +51,27 @@ val config : t -> Analysis.Config.t
 val engine : t -> (Evm.Address.t, Analysis.contract_report) Engine.t
 (** The underlying engine, for direct access to scheduling state. *)
 
+val instrument :
+  ?trace:Obs.Trace.t ->
+  ?log:Obs.Log.t ->
+  ?trace_sample:int ->
+  Obs.Metrics.t ->
+  t ->
+  unit
+(** Wire full telemetry into this analyzer: the engine-event recorders
+    ({!Engine.Telemetry}) plus the analyzer's own families — RPC attempts
+    per method/outcome, node requests per method, per-item EVM
+    step/fuel histograms, probe call-frame counts, dedup hits, and
+    (volatile) Keccak-memo statistics.  Per-item observations are
+    recorded into registry shards absorbed in input order at the
+    engine's merge barrier, so a snapshot with volatile families
+    suppressed is byte-identical at every worker count.  [trace] adds
+    span collection: the deterministic coordinator timeline plus
+    worker-lane RPC/EVM-frame detail for a 1-in-[trace_sample] (default
+    16; 0 disables) subset of items chosen by address hash.  [log]
+    attaches the structured progress backend.  Call once, before
+    {!run}. *)
+
 (** {1 Scheduling} *)
 
 val submit : t -> Evm.Address.t list -> unit

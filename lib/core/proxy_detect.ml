@@ -60,7 +60,7 @@ let attribute_source ~code ~sloads target =
       if contains_substring ~haystack:code ~needle:target then Hardcoded
       else Computed
 
-let detect ?(seed = 1) ?fuel ~host address =
+let detect ?(seed = 1) ?fuel ?(tracer = Interp.no_tracer) ~host address =
   let code = host.Host.get_code address in
   if code = "" || not (Disasm.has_opcode code Opcode.DELEGATECALL) then
     { address; verdict = Not_proxy_no_delegatecall; probe_selector = ""; steps = 0 }
@@ -69,10 +69,14 @@ let detect ?(seed = 1) ?fuel ~host address =
     let forwarded = ref None in
     let sloads = ref [] in
     let steps = ref 0 in
+    let inner = tracer in
     let tracer =
       {
-        Interp.no_tracer with
-        Interp.on_step = (fun ~depth:_ ~pc:_ _ -> incr steps);
+        inner with
+        Interp.on_step =
+          (fun ~depth ~pc op ->
+            incr steps;
+            inner.Interp.on_step ~depth ~pc op);
         Interp.on_call =
           (fun ev ->
             if
@@ -80,10 +84,12 @@ let detect ?(seed = 1) ?fuel ~host address =
               && ev.Interp.kind = Interp.Delegatecall
               && Address.equal ev.Interp.context_address address
               && ev.Interp.input = calldata
-            then forwarded := Some ev.Interp.code_address);
+            then forwarded := Some ev.Interp.code_address;
+            inner.Interp.on_call ev);
         Interp.on_sload =
           (fun a slot value ->
-            if Address.equal a address then sloads := (slot, value) :: !sloads);
+            if Address.equal a address then sloads := (slot, value) :: !sloads;
+            inner.Interp.on_sload a slot value);
       }
     in
     let tracer =

@@ -40,12 +40,20 @@ val probe_calldata : code:string -> seed:int -> string
     avoidance plus one pseudo-random argument word. *)
 
 val detect :
-  ?seed:int -> ?fuel:Evm.Interp.fuel -> host:Evm.Host.t -> Evm.Address.t -> t
+  ?seed:int ->
+  ?fuel:Evm.Interp.fuel ->
+  ?tracer:Evm.Interp.tracer ->
+  host:Evm.Host.t ->
+  Evm.Address.t ->
+  t
 (** Probe one contract.  State changes made by the emulation are rolled
     back through the host's snapshot mechanism, so detection never mutates
     the world it inspects — including when a [fuel] watchdog aborts the
     probe mid-emulation with {!Evm.Interp.Fuel_exhausted} (the snapshot is
-    reverted before the exception propagates to the caller). *)
+    reverted before the exception propagates to the caller).  [tracer] is
+    an observer composed {e under} the detection tracer — every hook the
+    probe sees is forwarded to it (telemetry uses this to sample emulation
+    frames); it cannot alter the verdict. *)
 
 val detect_code : ?seed:int -> string -> t
 (** Convenience: probe bare bytecode in a fresh in-memory world (the hidden

@@ -196,6 +196,7 @@ type agg = {
 type 'res cell = {
   mutable c_events : event list; (* reverse order *)
   mutable c_aggs : (stage * timing) list; (* reverse order *)
+  mutable c_thunks : (unit -> unit) list; (* reverse order *)
   mutable c_outcome : ('res, skip_reason) result option;
   mutable c_worker : int;
 }
@@ -220,6 +221,7 @@ type ('item, 'res) t = {
      left in the dead-letter list instead of being requeued forever. *)
   fail_counts : (string, int) Hashtbl.t;
   mutable crashes : int;
+  clk : Obs.Clock.t;
 }
 
 (* What [process] sees: the engine, the id of the worker running the item
@@ -235,7 +237,7 @@ and ('item, 'res) ctx = {
 }
 
 let create ?(batch_size = 32) ?(domains = 1) ?key ?crash_plan ?attempt_ceiling
-    ~subject ~process () =
+    ?(clock = Obs.Clock.real) ~subject ~process () =
   if batch_size <= 0 then invalid_arg "Engine.create: batch_size must be > 0";
   if domains <= 0 then invalid_arg "Engine.create: domains must be > 0";
   (match attempt_ceiling with
@@ -259,6 +261,7 @@ let create ?(batch_size = 32) ?(domains = 1) ?key ?crash_plan ?attempt_ceiling
     ceiling = attempt_ceiling;
     fail_counts = Hashtbl.create 16;
     crashes = 0;
+    clk = clock;
   }
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
@@ -266,6 +269,17 @@ let emit t ev = List.iter (fun f -> f ev) t.subscribers
 let engine ctx = ctx.eng
 let worker_id ctx = ctx.worker
 let current_stage ctx = ctx.last_stage
+let clock t = t.clk
+
+(* Run [f] at the deterministic-merge point for this item: immediately on
+   the sequential path, buffered in the item's cell — and replayed in
+   input order at the batch barrier — on a worker domain.  This is how
+   per-item telemetry shards are absorbed into the root registry in the
+   same order a sequential run would have produced. *)
+let on_merged ctx f =
+  match ctx.sink with
+  | None -> f ()
+  | Some cell -> cell.c_thunks <- f :: cell.c_thunks
 
 let emit_from ctx ev =
   match ctx.sink with
@@ -304,12 +318,12 @@ let timed_stage ctx ~stage ~subject ?api_calls ?steps ?retries f =
   let api0 = sample api_calls
   and steps0 = sample steps
   and retries0 = sample retries in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now ctx.eng.clk in
   match f () with
   | v ->
       let timing =
         {
-          t_elapsed = Unix.gettimeofday () -. t0;
+          t_elapsed = Obs.Clock.now ctx.eng.clk -. t0;
           t_api_calls = sample api_calls - api0;
           t_steps = sample steps - steps0;
           t_retries = sample retries - retries0;
@@ -546,7 +560,13 @@ let parallel_batch t n =
   let items = Array.init n (fun _ -> Queue.pop t.queue) in
   let cells =
     Array.init n (fun _ ->
-        { c_events = []; c_aggs = []; c_outcome = None; c_worker = 0 })
+        {
+          c_events = [];
+          c_aggs = [];
+          c_thunks = [];
+          c_outcome = None;
+          c_worker = 0;
+        })
   in
   let chains = group_indices t items n in
   let chan = Chan.create () in
@@ -631,6 +651,7 @@ let parallel_batch t n =
     (fun i cell ->
       List.iter (emit t) (List.rev cell.c_events);
       List.iter (fun (stage, tm) -> apply_agg t stage tm) (List.rev cell.c_aggs);
+      List.iter (fun f -> f ()) (List.rev cell.c_thunks);
       match cell.c_outcome with
       | Some (Ok res) ->
           t.results_rev <- res :: t.results_rev;
@@ -661,11 +682,11 @@ let step_batch t =
     let n = min t.bsize (Queue.length t.queue) in
     let index = t.batches in
     emit t (Batch_started { index; size = n });
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now t.clk in
     if t.n_domains <= 1 then sequential_batch t n else parallel_batch t n;
     t.batches <- t.batches + 1;
     emit t
-      (Batch_finished { index; size = n; elapsed = Unix.gettimeofday () -. t0 });
+      (Batch_finished { index; size = n; elapsed = Obs.Clock.now t.clk -. t0 });
     true
   end
 
@@ -673,7 +694,7 @@ let run ?max_batches t =
   emit t
     (Run_started
        { pending = pending t; batch_size = t.bsize; domains = t.n_domains });
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now t.clk in
   let continue = function None -> true | Some n -> n > 0 in
   let rec loop budget =
     if continue budget && step_batch t then
@@ -685,7 +706,7 @@ let run ?max_batches t =
        {
          processed = t.processed;
          skipped = List.length t.skipped_rev;
-         elapsed = Unix.gettimeofday () -. t0;
+         elapsed = Obs.Clock.now t.clk -. t0;
        })
 
 let stage_totals t =
@@ -851,8 +872,8 @@ let failures_of_json ~skipped json =
           Ok (subject, count))
         entries
 
-let restore ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ~subject
-    ~process ~item_of_json ~res_of_json json =
+let restore ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ?clock
+    ~subject ~process ~item_of_json ~res_of_json json =
   let* version = Result.bind (field "version" json) (as_int "version") in
   if version <> checkpoint_version && version <> 2 then
     Error (Printf.sprintf "checkpoint: unsupported version %d" version)
@@ -874,7 +895,7 @@ let restore ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ~subject
     let bsize = match batch_size with Some b -> b | None -> saved_bsize in
     let t =
       create ~batch_size:bsize ?domains ?key ?crash_plan ?attempt_ceiling
-        ~subject ~process ()
+        ?clock ~subject ~process ()
     in
     submit t items;
     t.results_rev <- List.rev results;
@@ -886,7 +907,346 @@ let restore ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ~subject
 
 (* [restore] under its hardening-contract name: total over arbitrary JSON,
    every malformed shape comes back as [Error _], never an exception. *)
-let of_json ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ~subject
-    ~process ~item_of_json ~res_of_json json =
-  restore ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ~subject
-    ~process ~item_of_json ~res_of_json json
+let of_json ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ?clock
+    ~subject ~process ~item_of_json ~res_of_json json =
+  restore ?batch_size ?domains ?key ?crash_plan ?attempt_ceiling ?clock
+    ~subject ~process ~item_of_json ~res_of_json json
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: event-stream adapters for the obs layer                   *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = struct
+  (* Since every event is delivered from the coordinator in input order
+     (the deterministic merge replays worker-side buffers), these
+     subscribers can record straight into the root registry: counter
+     and float additions happen in the same order a sequential run
+     would produce. *)
+
+  let seconds_buckets =
+    [ 1e-6; 1e-5; 1e-4; 1e-3; 0.01; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 ]
+
+  let api_buckets = [ 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. ]
+  let step_buckets = [ 10.; 100.; 1000.; 1e4; 1e5; 1e6; 1e7 ]
+
+  let instrument registry t =
+    let m = registry in
+    let stage_runs =
+      Obs.Metrics.counter m ~help:"Stage executions" "proxion_stage_runs_total"
+    and stage_seconds =
+      Obs.Metrics.histogram m ~volatile:true ~buckets:seconds_buckets
+        ~help:"Wall-clock seconds per stage execution" "proxion_stage_seconds"
+    and stage_api_calls =
+      Obs.Metrics.histogram m ~buckets:api_buckets
+        ~help:"Chain API calls per stage execution" "proxion_stage_api_calls"
+    and stage_steps =
+      Obs.Metrics.histogram m ~buckets:step_buckets
+        ~help:"EVM steps interpreted per stage execution" "proxion_stage_steps"
+    and stage_errors =
+      Obs.Metrics.counter m ~help:"Stages that raised"
+        "proxion_stage_errors_total"
+    and retries =
+      Obs.Metrics.counter m ~help:"Transport retry attempts"
+        "proxion_retries_total"
+    and backoff =
+      Obs.Metrics.counter m ~help:"Summed virtual backoff seconds"
+        "proxion_backoff_seconds_total"
+    and circuit =
+      Obs.Metrics.counter m ~help:"Circuit breaker state transitions"
+        "proxion_circuit_transitions_total"
+    and skipped =
+      Obs.Metrics.counter m ~help:"Items moved to the dead-letter list"
+        "proxion_items_skipped_total"
+    and processed =
+      Obs.Metrics.gauge m ~help:"Items completed successfully"
+        "proxion_items_processed"
+    and crashes_g =
+      Obs.Metrics.gauge m ~help:"Worker deaths absorbed by the supervisor"
+        "proxion_worker_crashes"
+    and batches =
+      Obs.Metrics.counter m ~help:"Batches completed" "proxion_batches_total"
+    and batch_seconds =
+      Obs.Metrics.histogram m ~volatile:true ~buckets:seconds_buckets
+        ~help:"Wall-clock seconds per batch" "proxion_batch_seconds"
+    and run_seconds =
+      Obs.Metrics.gauge m ~volatile:true ~help:"Wall-clock seconds of the run"
+        "proxion_run_seconds"
+    in
+    (* Stage_finished fires once per stage execution — the hottest event
+       stream — so its four series are resolved once per stage through
+       pre-bound handles instead of a label lookup per observation. *)
+    let h ?labels fam = Obs.Metrics.handle ?labels m fam in
+    let batches_h = h batches
+    and batch_seconds_h = h batch_seconds
+    and retries_h = h retries
+    and backoff_h = h backoff
+    and circuit_open_h = h ~labels:[ ("state", "open") ] circuit
+    and circuit_closed_h = h ~labels:[ ("state", "closed") ] circuit
+    and processed_h = h processed
+    and crashes_h = h crashes_g
+    and run_seconds_h = h run_seconds in
+    let stage_handles = Hashtbl.create 8 in
+    let handles_for stage =
+      match Hashtbl.find_opt stage_handles stage with
+      | Some hs -> hs
+      | None ->
+          let labels = [ ("stage", stage_name stage) ] in
+          let hs =
+            ( h ~labels stage_runs,
+              h ~labels stage_seconds,
+              h ~labels stage_api_calls,
+              h ~labels stage_steps )
+          in
+          Hashtbl.replace stage_handles stage hs;
+          hs
+    in
+    subscribe t (function
+      | Run_started _ -> ()
+      | Batch_started _ -> ()
+      | Batch_finished { elapsed; _ } ->
+          Obs.Metrics.hinc batches_h;
+          Obs.Metrics.hobserve batch_seconds_h elapsed;
+          Obs.Metrics.hset crashes_h (float_of_int (crashes t));
+          Obs.Metrics.hset processed_h (float_of_int (processed_count t))
+      | Stage_started _ -> ()
+      | Stage_finished { stage; timing; _ } ->
+          let runs_h, seconds_h, api_h, steps_h = handles_for stage in
+          Obs.Metrics.hinc runs_h;
+          Obs.Metrics.hobserve seconds_h timing.t_elapsed;
+          Obs.Metrics.hobserve api_h (float_of_int timing.t_api_calls);
+          Obs.Metrics.hobserve steps_h (float_of_int timing.t_steps)
+      | Stage_errored { stage; _ } ->
+          Obs.Metrics.inc ~labels:[ ("stage", stage_name stage) ] m stage_errors
+      | Retry_attempted { delay; _ } ->
+          Obs.Metrics.hinc retries_h;
+          Obs.Metrics.hinc ~by:delay backoff_h
+      | Circuit_opened _ -> Obs.Metrics.hinc circuit_open_h
+      | Circuit_closed _ -> Obs.Metrics.hinc circuit_closed_h
+      | Item_skipped { fault_class; _ } ->
+          Obs.Metrics.inc
+            ~labels:[ ("class", skip_class_name fault_class) ]
+            m skipped
+      | Run_finished { elapsed; processed = p; _ } ->
+          Obs.Metrics.hset run_seconds_h elapsed;
+          Obs.Metrics.hset crashes_h (float_of_int (crashes t));
+          Obs.Metrics.hset processed_h (float_of_int p))
+
+  (* Coordinator-lane span tree on tid 0, driven by a synthetic cursor
+     advanced by event-payload durations: run > batch > item > stage.
+     The tree's *shape* is deterministic across DOMAINS (events arrive in
+     input order); only the durations carry wall-clock noise.  Worker ids
+     surface as span args, not separate tracks, precisely because the
+     merged stream no longer reflects real concurrency. *)
+  let attach_trace tr t =
+    let cursor = ref 0.0 in
+    let run_start = ref 0.0 in
+    let batch_start = ref 0.0 in
+    let item_start = ref 0.0 in
+    let current_item = ref None in
+    let flush_item () =
+      match !current_item with
+      | None -> ()
+      | Some subject ->
+          Obs.Trace.complete tr ~cat:"item" ~name:subject ~ts:!item_start
+            ~dur:(!cursor -. !item_start);
+          current_item := None
+    in
+    let open_item subject =
+      match !current_item with
+      | Some s when s = subject -> ()
+      | _ ->
+          flush_item ();
+          current_item := Some subject;
+          item_start := !cursor
+    in
+    subscribe t (function
+      | Run_started { pending; batch_size; domains } ->
+          run_start := !cursor;
+          Obs.Trace.instant tr ~cat:"run" ~name:"run-started" ~ts:!cursor
+            ~args:
+              [
+                ("pending", Json.Int pending);
+                ("batch_size", Json.Int batch_size);
+                ("domains", Json.Int domains);
+              ]
+      | Batch_started _ -> batch_start := !cursor
+      | Batch_finished { index; size; elapsed } ->
+          flush_item ();
+          Obs.Trace.complete tr ~cat:"batch"
+            ~name:(Printf.sprintf "batch-%d" index)
+            ~ts:!batch_start
+            ~dur:(!cursor -. !batch_start)
+            ~args:
+              [ ("size", Json.Int size); ("wall_elapsed", Json.Float elapsed) ]
+      | Stage_started { subject; _ } -> open_item subject
+      | Stage_finished { stage; subject; timing; worker } ->
+          open_item subject;
+          Obs.Trace.complete tr ~cat:"stage" ~name:(stage_name stage)
+            ~ts:!cursor ~dur:timing.t_elapsed
+            ~args:
+              [
+                ("subject", Json.String subject);
+                ("worker", Json.Int worker);
+                ("api_calls", Json.Int timing.t_api_calls);
+                ("steps", Json.Int timing.t_steps);
+                ("retries", Json.Int timing.t_retries);
+              ];
+          cursor := !cursor +. timing.t_elapsed
+      | Stage_errored { stage; subject; message; _ } ->
+          Obs.Trace.instant tr ~cat:"stage" ~name:(stage_name stage ^ "-error")
+            ~ts:!cursor
+            ~args:
+              [
+                ("subject", Json.String subject);
+                ("message", Json.String message);
+              ]
+      | Retry_attempted { subject; attempt; reason; delay; _ } ->
+          Obs.Trace.instant tr ~cat:"rpc" ~name:"retry" ~ts:!cursor
+            ~args:
+              [
+                ("subject", Json.String subject);
+                ("attempt", Json.Int attempt);
+                ("reason", Json.String reason);
+                ("delay", Json.Float delay);
+              ]
+      | Circuit_opened { endpoint; failures; _ } ->
+          Obs.Trace.instant tr ~cat:"rpc" ~name:"circuit-opened" ~ts:!cursor
+            ~args:
+              [
+                ("endpoint", Json.String endpoint);
+                ("failures", Json.Int failures);
+              ]
+      | Circuit_closed { endpoint; _ } ->
+          Obs.Trace.instant tr ~cat:"rpc" ~name:"circuit-closed" ~ts:!cursor
+            ~args:[ ("endpoint", Json.String endpoint) ]
+      | Item_skipped { subject; fault_class; attempts; _ } ->
+          flush_item ();
+          Obs.Trace.instant tr ~cat:"item" ~name:"skipped" ~ts:!cursor
+            ~args:
+              [
+                ("subject", Json.String subject);
+                ("class", Json.String (skip_class_name fault_class));
+                ("attempts", Json.Int attempts);
+              ]
+      | Run_finished { processed; skipped; elapsed } ->
+          flush_item ();
+          Obs.Trace.complete tr ~cat:"run" ~name:"run" ~ts:!run_start
+            ~dur:(!cursor -. !run_start)
+            ~args:
+              [
+                ("processed", Json.Int processed);
+                ("skipped", Json.Int skipped);
+                ("wall_elapsed", Json.Float elapsed);
+              ])
+
+  (* Structured progress backend.  Retry and breaker events are counted
+     and summarized once per batch — one stderr line per attempt floods
+     the output under a high fault rate — with the per-attempt detail
+     still available at [Debug]. *)
+  let attach_log log t =
+    let retries = ref 0 in
+    let backoff = ref 0.0 in
+    let opened = ref 0 in
+    let closed = ref 0 in
+    let lg ?subject ?fields level msg =
+      Obs.Log.log log ~component:"engine" ?subject ?fields level msg
+    in
+    subscribe t (function
+      | Run_started { pending; batch_size; domains } ->
+          lg Obs.Log.Info "run started"
+            ~fields:
+              [
+                ("pending", Json.Int pending);
+                ("batch_size", Json.Int batch_size);
+                ("domains", Json.Int domains);
+              ]
+      | Batch_started { index; size } ->
+          lg Obs.Log.Debug "batch started"
+            ~fields:[ ("index", Json.Int index); ("size", Json.Int size) ]
+      | Batch_finished { index; size; elapsed } ->
+          let fields =
+            [
+              ("index", Json.Int index);
+              ("size", Json.Int size);
+              ("elapsed_s", Json.Float elapsed);
+            ]
+            @ (if !retries > 0 then
+                 [
+                   ("retries", Json.Int !retries);
+                   ("backoff_s", Json.Float !backoff);
+                 ]
+               else [])
+            @
+            if !opened > 0 || !closed > 0 then
+              [
+                ("circuit_opened", Json.Int !opened);
+                ("circuit_closed", Json.Int !closed);
+              ]
+            else []
+          in
+          retries := 0;
+          backoff := 0.0;
+          opened := 0;
+          closed := 0;
+          lg Obs.Log.Info "batch finished" ~fields
+      | Stage_started _ -> ()
+      | Stage_finished { stage; subject; timing; worker } ->
+          if Obs.Log.enabled log Obs.Log.Debug then
+            lg Obs.Log.Debug "stage finished" ~subject
+              ~fields:
+                [
+                  ("stage", Json.String (stage_name stage));
+                  ("worker", Json.Int worker);
+                  ("elapsed_s", Json.Float timing.t_elapsed);
+                  ("api_calls", Json.Int timing.t_api_calls);
+                  ("steps", Json.Int timing.t_steps);
+                ]
+      | Stage_errored { stage; subject; message; _ } ->
+          lg Obs.Log.Warn "stage errored" ~subject
+            ~fields:
+              [
+                ("stage", Json.String (stage_name stage));
+                ("message", Json.String message);
+              ]
+      | Retry_attempted { subject; attempt; reason; delay; _ } ->
+          incr retries;
+          backoff := !backoff +. delay;
+          if Obs.Log.enabled log Obs.Log.Debug then
+            lg Obs.Log.Debug "retry" ~subject
+              ~fields:
+                [
+                  ("attempt", Json.Int attempt);
+                  ("reason", Json.String reason);
+                  ("delay_s", Json.Float delay);
+                ]
+      | Circuit_opened { endpoint; subject; failures; _ } ->
+          incr opened;
+          if Obs.Log.enabled log Obs.Log.Debug then
+            lg Obs.Log.Debug "circuit opened" ~subject
+              ~fields:
+                [
+                  ("endpoint", Json.String endpoint);
+                  ("failures", Json.Int failures);
+                ]
+      | Circuit_closed { endpoint; subject; _ } ->
+          incr closed;
+          if Obs.Log.enabled log Obs.Log.Debug then
+            lg Obs.Log.Debug "circuit closed" ~subject
+              ~fields:[ ("endpoint", Json.String endpoint) ]
+      | Item_skipped { subject; message; fault_class; attempts; _ } ->
+          lg Obs.Log.Warn "item skipped" ~subject
+            ~fields:
+              [
+                ("class", Json.String (skip_class_name fault_class));
+                ("attempts", Json.Int attempts);
+                ("message", Json.String message);
+              ]
+      | Run_finished { processed; skipped; elapsed } ->
+          lg Obs.Log.Info "run finished"
+            ~fields:
+              [
+                ("processed", Json.Int processed);
+                ("skipped", Json.Int skipped);
+                ("elapsed_s", Json.Float elapsed);
+              ])
+end

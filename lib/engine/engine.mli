@@ -203,6 +203,7 @@ val create :
   ?key:('item -> string) ->
   ?crash_plan:crash_plan ->
   ?attempt_ceiling:int ->
+  ?clock:Obs.Clock.t ->
   subject:('item -> string) ->
   process:(('item, 'res) ctx -> 'item -> ('res, skip_reason) result) ->
   unit ->
@@ -213,11 +214,16 @@ val create :
     docs); [crash_plan] arms seeded worker kills (tests only);
     [attempt_ceiling] caps how many dead-letter entries a single subject
     may accumulate before {!requeue} refuses to recycle it (default:
-    unlimited; raises [Invalid_argument] when <= 0); [subject] renders an
-    item for event reporting; [process] analyzes one item (typically
-    calling {!timed_stage} for each stage it runs).  [process] must touch
-    shared mutable state only in ways that are safe under the declared
-    [domains] count. *)
+    unlimited; raises [Invalid_argument] when <= 0); [clock] (default
+    {!Obs.Clock.real}) is the source of every stage/batch/run timing —
+    tests pass a virtual clock to pin timings; [subject] renders an item
+    for event reporting; [process] analyzes one item (typically calling
+    {!timed_stage} for each stage it runs).  [process] must touch shared
+    mutable state only in ways that are safe under the declared [domains]
+    count. *)
+
+val clock : ('item, 'res) t -> Obs.Clock.t
+(** The clock timings are taken from. *)
 
 (** {1 Events} *)
 
@@ -241,6 +247,14 @@ val emit_from : ('item, 'res) ctx -> event -> unit
 
 val engine : ('item, 'res) ctx -> ('item, 'res) t
 (** The engine the ctx belongs to. *)
+
+val on_merged : ('item, 'res) ctx -> (unit -> unit) -> unit
+(** Run a thunk at this item's deterministic-merge point: immediately on
+    the sequential path, buffered — and replayed in input order at the
+    batch barrier, after the item's events — on a worker domain.  The
+    telemetry layer uses this to absorb per-item metric shards into the
+    root registry in sequential order, which keeps even float sums
+    byte-identical across [domains] counts. *)
 
 val worker_id : ('item, 'res) ctx -> int
 (** Id of the worker running this item: 0 on the sequential path and the
@@ -373,6 +387,7 @@ val restore :
   ?key:('item -> string) ->
   ?crash_plan:crash_plan ->
   ?attempt_ceiling:int ->
+  ?clock:Obs.Clock.t ->
   subject:('item -> string) ->
   process:(('item, 'res) ctx -> 'item -> ('res, skip_reason) result) ->
   item_of_json:(Report.Json.t -> ('item, string) result) ->
@@ -391,6 +406,7 @@ val of_json :
   ?key:('item -> string) ->
   ?crash_plan:crash_plan ->
   ?attempt_ceiling:int ->
+  ?clock:Obs.Clock.t ->
   subject:('item -> string) ->
   process:(('item, 'res) ctx -> 'item -> ('res, skip_reason) result) ->
   item_of_json:(Report.Json.t -> ('item, string) result) ->
@@ -403,3 +419,35 @@ val of_json :
     versions — comes back as [Error _]; no input makes it raise.
     (Caller-supplied [item_of_json]/[res_of_json] must uphold the same
     contract for their fragments.) *)
+
+(** {1 Telemetry}
+
+    Adapters from the engine {!event} stream to the obs layer.  All three
+    subscribe on the coordinator, where the deterministic merge has
+    already serialized worker-side events into input order — so metric
+    updates (including float backoff sums) happen in the exact order a
+    sequential run would produce, and registry snapshots are
+    byte-identical across [domains] counts once volatile (wall-clock)
+    families are suppressed. *)
+module Telemetry : sig
+  val instrument : Obs.Metrics.t -> ('item, 'res) t -> unit
+  (** Register the [proxion_*] metric families (stage runs/latency/API
+      calls/steps, retries, backoff, breaker transitions, dead-letter
+      classes, batch/run timings, worker crashes) in [registry] and
+      subscribe a recorder for them.  Wall-clock-derived families are
+      registered volatile. *)
+
+  val attach_trace : Obs.Trace.t -> ('item, 'res) t -> unit
+  (** Subscribe a span builder: a run > batch > item > stage tree on
+      track 0, timestamped by a synthetic cursor advanced with
+      event-payload durations (worker ids appear as span args — the
+      merged stream no longer reflects real concurrency), plus instant
+      events for retries, breaker flips, stage errors and skips. *)
+
+  val attach_log : Obs.Log.t -> ('item, 'res) t -> unit
+  (** Subscribe the structured progress backend: run/batch lines at
+      [Info], item skips and stage errors at [Warn], per-stage and
+      per-retry detail at [Debug].  Retry and breaker events are
+      summarized once per batch (count + total backoff) instead of one
+      line per attempt, so a high fault rate cannot flood the sink. *)
+end

@@ -16,12 +16,14 @@ type numbers = {
   pipeline_s_parallel : float;
 }
 
-let time f =
-  let t0 = Unix.gettimeofday () in
+let time clk f =
+  let t0 = Obs.Clock.now clk in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, Obs.Clock.now clk -. t0)
 
-let run ?(config = Generate.quick_config) ?(domains = 4) () =
+let run ?(config = Generate.quick_config) ?(domains = 4)
+    ?(clock = Obs.Clock.real) () =
+  let time f = time clock f in
   let land_ = Generate.generate config in
   let chain = land_.Generate.chain in
   let host = Chain.host_at_head chain in

@@ -22,5 +22,14 @@ type numbers = {
           identical output, different wall-clock. *)
 }
 
-val run : ?config:Dataset.Generate.config -> ?domains:int -> unit -> numbers
+val run :
+  ?config:Dataset.Generate.config ->
+  ?domains:int ->
+  ?clock:Obs.Clock.t ->
+  unit ->
+  numbers
+(** [clock] (default {!Obs.Clock.real}) is the timing source for every
+    wall-clock figure — a {!Obs.Clock.virtual_} clock makes the numbers
+    deterministic for tests. *)
+
 val render : numbers -> string

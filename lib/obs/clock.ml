@@ -1,0 +1,33 @@
+type virtual_state = {
+  mutable v_now : float;
+  v_step : float;
+  v_lock : Mutex.t;
+}
+
+type t = Real | Virtual of virtual_state
+
+let real = Real
+
+let virtual_ ?(start = 0.0) ?(auto_step = 0.0) () =
+  Virtual { v_now = start; v_step = auto_step; v_lock = Mutex.create () }
+
+let now = function
+  | Real -> Unix.gettimeofday ()
+  | Virtual v ->
+      Mutex.lock v.v_lock;
+      let t = v.v_now in
+      v.v_now <- v.v_now +. v.v_step;
+      Mutex.unlock v.v_lock;
+      t
+
+let advance t delta =
+  match t with
+  | Real -> ()
+  | Virtual v ->
+      if delta > 0.0 then begin
+        Mutex.lock v.v_lock;
+        v.v_now <- v.v_now +. delta;
+        Mutex.unlock v.v_lock
+      end
+
+let is_virtual = function Real -> false | Virtual _ -> true

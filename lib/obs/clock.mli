@@ -1,0 +1,33 @@
+(** Wall-clock abstraction for every timing the telemetry layer takes.
+
+    Production code reads {!real} (a thin wrapper over
+    [Unix.gettimeofday]); tests substitute a {e virtual} clock whose
+    reads are a pure function of how often it has been read and how far
+    it has been advanced, so stage timings, batch durations and log
+    timestamps can be pinned to exact, reproducible values.  The
+    distinction mirrors {!Resilience.Vclock} (which virtualizes {e
+    waiting}); this module virtualizes {e observation}. *)
+
+type t
+
+val real : t
+(** [now] reads [Unix.gettimeofday]. *)
+
+val virtual_ : ?start:float -> ?auto_step:float -> unit -> t
+(** A deterministic clock starting at [start] (default 0).  Every {!now}
+    read returns the current value and then advances it by [auto_step]
+    (default 0) — with a non-zero step, consecutive reads are strictly
+    increasing and any start/stop bracket measures exactly [auto_step]
+    seconds per intervening read.  Reads and advances are serialized
+    under a mutex, so a virtual clock is safe to share across worker
+    domains (though cross-domain read interleavings are scheduling
+    dependent; deterministic tests read from one domain). *)
+
+val now : t -> float
+(** Current time in seconds. *)
+
+val advance : t -> float -> unit
+(** Move a virtual clock forward by a non-negative delta (negative
+    deltas are ignored).  No-op on {!real}. *)
+
+val is_virtual : t -> bool

@@ -1,0 +1,78 @@
+module Json = Report.Json
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | other -> Error (Printf.sprintf "unknown log level %S" other)
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type t = {
+  clock : Clock.t;
+  min_level : level;
+  json : bool;
+  oc : out_channel;
+  lock : Mutex.t;
+}
+
+let create ?(clock = Clock.real) ?(level = Info) ?(json = false) oc =
+  { clock; min_level = level; json; oc; lock = Mutex.create () }
+
+let enabled t level = severity level >= severity t.min_level
+
+let text_line ~ts ~level ~component ~subject ~fields msg =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf (Printf.sprintf "%10.3f %-5s" ts (level_to_string level));
+  (match component with
+  | Some c -> Buffer.add_string buf (Printf.sprintf " [%s]" c)
+  | None -> ());
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf msg;
+  (match subject with
+  | Some s -> Buffer.add_string buf (Printf.sprintf " subject=%s" s)
+  | None -> ());
+  List.iter
+    (fun (k, v) ->
+      let v_str =
+        match v with
+        | Json.String s -> s
+        | other -> Json.to_string ~pretty:false other
+      in
+      Buffer.add_string buf (Printf.sprintf " %s=%s" k v_str))
+    fields;
+  Buffer.contents buf
+
+let json_line ~ts ~level ~component ~subject ~fields msg =
+  let opt name = function Some v -> [ (name, Json.String v) ] | None -> [] in
+  Json.to_string ~pretty:false
+    (Json.Obj
+       ([ ("ts", Json.Float ts); ("level", Json.String (level_to_string level)) ]
+       @ opt "component" component
+       @ opt "subject" subject
+       @ [ ("msg", Json.String msg) ]
+       @ match fields with [] -> [] | fs -> [ ("fields", Json.Obj fs) ]))
+
+let log t ?component ?subject ?(fields = []) level msg =
+  if enabled t level then begin
+    let ts = Clock.now t.clock in
+    let line =
+      if t.json then json_line ~ts ~level ~component ~subject ~fields msg
+      else text_line ~ts ~level ~component ~subject ~fields msg
+    in
+    Mutex.lock t.lock;
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    Mutex.unlock t.lock
+  end

@@ -1,0 +1,45 @@
+(** Structured log sink: leveled records with component/subject fields,
+    written either as human-readable text lines or as JSONL (one JSON
+    object per line) — the machine-readable backend behind the CLI's
+    [--progress], [--log-json] and [--log-level] flags.
+
+    Records below the sink's level are dropped before formatting, so
+    hot paths can log at [Debug] freely.  Writes are serialized under a
+    mutex and flushed per record, so lines from worker domains never
+    interleave mid-record and survive a crash. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> (level, string) result
+(** Case-insensitive parse of the above (also accepts ["warning"]). *)
+
+type t
+
+val create : ?clock:Clock.t -> ?level:level -> ?json:bool -> out_channel -> t
+(** A sink writing to [out_channel].  [level] (default [Info]) is the
+    minimum level emitted; [json] (default false) selects JSONL output;
+    [clock] (default {!Clock.real}) stamps records — under a virtual
+    clock timestamps are deterministic, which is how tests pin JSONL
+    bytes. *)
+
+val enabled : t -> level -> bool
+(** Whether a record at [level] would be emitted — guard expensive
+    field construction with this. *)
+
+val log :
+  t ->
+  ?component:string ->
+  ?subject:string ->
+  ?fields:(string * Report.Json.t) list ->
+  level ->
+  string ->
+  unit
+(** Emit one record.  [component] names the subsystem (["engine"],
+    ["transport"], ["evm"], ...), [subject] the work item (an address),
+    [fields] carry structured extras.  In JSONL mode the record is
+    [{"ts":..,"level":..,"component":..,"subject":..,"msg":..,
+    "fields":{..}}] with absent options omitted; in text mode a single
+    aligned line. *)

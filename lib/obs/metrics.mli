@@ -1,0 +1,132 @@
+(** A metrics registry: counters, gauges and fixed-bucket histograms with
+    labels, exposed as Prometheus text exposition or as a JSON snapshot.
+
+    The registry is the machine-readable substrate behind the engine's
+    per-stage cost accounting (the paper's §6 evaluation numbers): API
+    calls per method, emulation steps per contract, retry volume, breaker
+    flaps, dead-letter classes, stage latency distributions.
+
+    {b Determinism.}  Exposition output is fully sorted (families by
+    name, series by label set), values are formatted canonically, and
+    counter/histogram merges are pure additions — so two runs that make
+    the same observations produce byte-identical output regardless of
+    registration or observation interleaving, {e except} for
+    wall-clock-derived values.  Families carry a [volatile] flag for
+    those; writers can suppress volatile families (and the snapshot
+    timestamp), which is how the CI diff job asserts a [DOMAINS=4] scan
+    snapshots byte-identically to the sequential one.
+
+    {b Sharding.}  Worker domains record into private {!shard}s (same
+    family specs, private series) which the coordinator {!absorb}s in
+    input order at the engine's deterministic-merge barrier.  Counter and
+    histogram merges commute over integers; float sums (backoff seconds)
+    are replayed in input order, so even their rounding is
+    order-identical to a sequential run. *)
+
+type t
+(** A registry (or a shard of one).  All operations are thread-safe. *)
+
+type family
+(** A handle to one metric family (name, kind, buckets, volatility).
+    Handles are registry-independent: the same handle records into
+    whichever registry or shard it is applied to. *)
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> ?volatile:bool -> string -> family
+(** Register (or look up) a monotonically increasing counter.  Raises
+    [Invalid_argument] if [name] is already registered with a different
+    kind, or is not a valid Prometheus metric name. *)
+
+val gauge : t -> ?help:string -> ?volatile:bool -> string -> family
+(** Register a gauge (a settable value). *)
+
+val histogram :
+  t -> ?help:string -> ?volatile:bool -> buckets:float list -> string -> family
+(** Register a fixed-bucket histogram.  [buckets] are the finite upper
+    bounds, strictly increasing; a [+Inf] bucket is implicit.  Raises
+    [Invalid_argument] on an empty or non-monotonic bucket list, or on a
+    kind/bucket mismatch with an existing registration. *)
+
+val inc : ?labels:(string * string) list -> ?by:float -> t -> family -> unit
+(** Add [by] (default 1, must be >= 0) to a counter series. *)
+
+val set : ?labels:(string * string) list -> t -> family -> float -> unit
+(** Set a gauge series. *)
+
+val observe : ?labels:(string * string) list -> t -> family -> float -> unit
+(** Record one observation into a histogram series. *)
+
+val find : t -> string -> family option
+(** Look up an already-registered family by name — for reading metrics
+    recorded by another component without knowing its bucket layout. *)
+
+(** {1 Pre-resolved handles}
+
+    A {!handle} pins one (family, label set) series so hot paths pay a
+    mutex and an array update per observation instead of label
+    canonicalization plus a hash lookup.  Handles must only target
+    long-lived registries — {!absorb} resets a shard's series table,
+    orphaning any handle into the shard. *)
+
+type handle
+
+val handle : ?labels:(string * string) list -> t -> family -> handle
+(** Resolve (and create if absent) the series for [labels]. *)
+
+val hinc : ?by:float -> handle -> unit
+(** {!inc} through a pre-resolved counter handle. *)
+
+val hset : handle -> float -> unit
+(** {!set} through a pre-resolved gauge handle. *)
+
+val hobserve : handle -> float -> unit
+(** {!observe} through a pre-resolved histogram handle. *)
+
+(** {1 Shards} *)
+
+val shard : t -> t
+(** A private shard: shares the parent's family registrations, starts
+    with no series.  Observations through any family handle land in the
+    shard; {!absorb} folds them into the parent. *)
+
+val absorb : into:t -> t -> unit
+(** Merge a shard's series into [into]: counters and histogram
+    bucket/sum/count pairs add; gauges overwrite.  The shard is left
+    empty and reusable. *)
+
+(** {1 Reading} *)
+
+val value : ?labels:(string * string) list -> t -> family -> float option
+(** Current value of a counter/gauge series ([None] if never touched).
+    For histograms, returns the observation count. *)
+
+type summary = { s_count : int; s_p50 : float; s_p90 : float; s_p99 : float }
+
+val summarize : ?labels:(string * string) list -> t -> family -> summary option
+(** Percentile estimates of a histogram series, linearly interpolated
+    within buckets the way Prometheus' [histogram_quantile] does
+    (observations in the [+Inf] bucket clamp to the largest finite
+    bound).  [None] when the series has no observations. *)
+
+(** {1 Writers} *)
+
+val to_prometheus : ?suppress_volatile:bool -> t -> string
+(** Prometheus text exposition (format version 0.0.4): [# HELP]/[# TYPE]
+    headers, histogram [_bucket]/[_sum]/[_count] expansion, families and
+    series in sorted order.  [suppress_volatile] (default false) omits
+    families registered as volatile. *)
+
+val to_json : ?suppress_volatile:bool -> ?timestamp:float -> t -> Report.Json.t
+(** JSON snapshot: [{"timestamp": ...?, "metrics": [...]}].  The
+    timestamp field is present only when [timestamp] is given — omit it
+    (and suppress volatile families) for byte-comparable snapshots. *)
+
+(** {1 Exposition linting} *)
+
+val lint : string -> (unit, string list) result
+(** Validate a Prometheus text exposition: metric/label name syntax,
+    float-parsable values, every sample covered by a [# TYPE] header,
+    no duplicate series, histogram buckets monotonic with a [+Inf]
+    bucket matching [_count], and [_sum]/[_count] present.  Returns all
+    violations found. *)

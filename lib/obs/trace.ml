@@ -1,0 +1,103 @@
+module Json = Report.Json
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_phase : string; (* "X" complete, "i" instant *)
+  ev_ts : float; (* seconds *)
+  ev_dur : float; (* seconds; 0 for instants *)
+  ev_pid : int;
+  ev_tid : int;
+  ev_args : (string * Json.t) list;
+  ev_seq : int;
+}
+
+type t = {
+  clock : Clock.t;
+  lock : Mutex.t;
+  mutable events : event list; (* reverse arrival order *)
+  mutable next_seq : int;
+}
+
+let create ?(clock = Clock.real) () =
+  { clock; lock = Mutex.create (); events = []; next_seq = 0 }
+
+let now t = Clock.now t.clock
+
+let record t ~name ~cat ~phase ~ts ~dur ~pid ~tid ~args =
+  Mutex.lock t.lock;
+  t.events <-
+    {
+      ev_name = name;
+      ev_cat = cat;
+      ev_phase = phase;
+      ev_ts = ts;
+      ev_dur = dur;
+      ev_pid = pid;
+      ev_tid = tid;
+      ev_args = args;
+      ev_seq = t.next_seq;
+    }
+    :: t.events;
+  t.next_seq <- t.next_seq + 1;
+  Mutex.unlock t.lock
+
+let complete ?(pid = 1) ?(tid = 0) ?(cat = "proxion") ?(args = []) t ~name ~ts
+    ~dur =
+  record t ~name ~cat ~phase:"X" ~ts ~dur:(Float.max 0.0 dur) ~pid ~tid ~args
+
+let instant ?(pid = 1) ?(tid = 0) ?(cat = "proxion") ?(args = []) t ~name ~ts =
+  record t ~name ~cat ~phase:"i" ~ts ~dur:0.0 ~pid ~tid ~args
+
+let with_span ?tid ?cat ?args t name f =
+  let t0 = Clock.now t.clock in
+  let finish () = complete ?tid ?cat ?args t ~name ~ts:t0 ~dur:(Clock.now t.clock -. t0) in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let count t =
+  Mutex.lock t.lock;
+  let n = t.next_seq in
+  Mutex.unlock t.lock;
+  n
+
+let micros s =
+  (* Timestamps are whole microseconds where possible so the JSON stays
+     integer-valued and byte-stable; fractional values are kept exact —
+     Perfetto accepts them, and the nesting invariants (span end inside
+     parent) would break under rounding. *)
+  let us = s *. 1e6 in
+  if Float.is_integer us && Float.abs us < 1e15 then Json.Int (int_of_float us)
+  else Json.Float us
+
+let event_json ev =
+  Json.Obj
+    ([
+       ("name", Json.String ev.ev_name);
+       ("cat", Json.String ev.ev_cat);
+       ("ph", Json.String ev.ev_phase);
+       ("ts", micros ev.ev_ts);
+     ]
+    @ (if ev.ev_phase = "X" then [ ("dur", micros ev.ev_dur) ] else [])
+    @ [ ("pid", Json.Int ev.ev_pid); ("tid", Json.Int ev.ev_tid) ]
+    @ (if ev.ev_phase = "i" then [ ("s", Json.String "t") ] else [])
+    @ match ev.ev_args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let to_json t =
+  Mutex.lock t.lock;
+  let events = List.rev t.events in
+  Mutex.unlock t.lock;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write t oc =
+  output_string oc (Json.to_string (to_json t));
+  output_char oc '\n'

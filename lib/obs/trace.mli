@@ -1,0 +1,69 @@
+(** Span tracer exporting Chrome trace-event JSON.
+
+    Collects nested spans (run → batch → item → stage → RPC call / EVM
+    emulation frame) and writes them in the Chrome [traceEvents] format,
+    loadable in [about:tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+
+    Timestamps are supplied by callers in {e seconds} (the writer
+    converts to the microseconds the format wants).  The engine's
+    telemetry layer drives a {e synthetic} timeline from event-payload
+    durations so the coordinator lanes are deterministic; sampled
+    worker-lane detail (RPC dispatches, EVM frames) uses real clock
+    reads on per-worker tracks.  All recording is thread-safe; events
+    are kept in arrival order with a sequence number so output is stable
+    for a given recording order. *)
+
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+(** A fresh collector.  [clock] (default {!Clock.real}) serves
+    {!with_span} and {!now}. *)
+
+val now : t -> float
+(** Read the collector's clock, in seconds. *)
+
+val complete :
+  ?pid:int ->
+  ?tid:int ->
+  ?cat:string ->
+  ?args:(string * Report.Json.t) list ->
+  t ->
+  name:string ->
+  ts:float ->
+  dur:float ->
+  unit
+(** Record a complete ("X") span: [ts] start and [dur] duration in
+    seconds.  [tid] (default 0) selects the track; [cat] (default
+    ["proxion"]) the category; [args] become the span's argument
+    object. *)
+
+val instant :
+  ?pid:int ->
+  ?tid:int ->
+  ?cat:string ->
+  ?args:(string * Report.Json.t) list ->
+  t ->
+  name:string ->
+  ts:float ->
+  unit
+(** Record an instant ("i") event. *)
+
+val with_span :
+  ?tid:int ->
+  ?cat:string ->
+  ?args:(string * Report.Json.t) list ->
+  t ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** Run a thunk inside a span timed with the collector's clock.  The
+    span is recorded even if the thunk raises. *)
+
+val count : t -> int
+(** Number of events recorded so far. *)
+
+val to_json : t -> Report.Json.t
+(** The full [{"traceEvents": [...], "displayTimeUnit": "ms"}] object. *)
+
+val write : t -> out_channel -> unit
+(** [to_json] serialized to a channel, with a trailing newline. *)

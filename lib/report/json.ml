@@ -34,7 +34,13 @@ let to_string ?(pretty = true) value =
     | Float f ->
         if Float.is_integer f && Float.abs f < 1e15 then
           Buffer.add_string buf (Printf.sprintf "%.1f" f)
-        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+        else
+          (* Shortest decimal form that parses back to the same float, so
+             machine-readable artifacts (checkpoints, metrics snapshots,
+             trace timestamps) survive a round-trip bit-exactly. *)
+          let short = Printf.sprintf "%.15g" f in
+          if float_of_string short = f then Buffer.add_string buf short
+          else Buffer.add_string buf (Printf.sprintf "%.17g" f)
     | String s ->
         Buffer.add_char buf '"';
         Buffer.add_string buf (escape s);

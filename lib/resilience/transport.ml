@@ -23,6 +23,7 @@ type event =
   | Retry of { attempt : int; reason : string; delay : float }
   | Circuit_opened of { endpoint : string; failures : int }
   | Circuit_closed of { endpoint : string }
+  | Dispatched of { meth : string; fault : string option; latency : float }
 
 type stats = {
   dispatched : int;
@@ -134,11 +135,19 @@ let check_step_budget t ~steps =
    asserts). *)
 let attempt_one t (meth, params) =
   let decision = decide t in
-  Vclock.sleep t.clock decision.Fault_plan.d_latency;
+  let latency = decision.Fault_plan.d_latency in
+  Vclock.sleep t.clock latency;
   match decision.Fault_plan.d_fault with
   | Some f ->
       t.faults_seen <- t.faults_seen + 1;
       Breaker.record_failure t.breaker;
+      t.on_event
+        (Dispatched
+           {
+             meth;
+             fault = Some (Chain_rpc.transient_kind_name f.Fault_plan.f_kind);
+             latency;
+           });
       Error (Chain_rpc.Transient (f.Fault_plan.f_kind, f.Fault_plan.f_detail))
   | None ->
       check_call_budget t;
@@ -148,6 +157,7 @@ let attempt_one t (meth, params) =
          round-trip: only transport-level faults count against the
          breaker. *)
       Breaker.record_success t.breaker;
+      t.on_event (Dispatched { meth; fault = None; latency });
       r
 
 let backoff t ~attempt ~reason =

@@ -47,6 +47,11 @@ type event =
   | Retry of { attempt : int; reason : string; delay : float }
   | Circuit_opened of { endpoint : string; failures : int }
   | Circuit_closed of { endpoint : string }
+  | Dispatched of { meth : string; fault : string option; latency : float }
+      (** One node round-trip attempt completed: [fault] carries the
+          injected fault kind when the attempt was swallowed before
+          reaching the node, [latency] the injected virtual latency.
+          Telemetry counts RPC attempts per method from this. *)
 
 type stats = {
   dispatched : int;  (** Requests actually served by the node. *)

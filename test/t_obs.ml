@@ -1,0 +1,452 @@
+(* Telemetry subsystem: the metrics registry (exposition validity, bucket
+   determinism, shard absorption, percentile interpolation), the span
+   tracer (Chrome trace JSON round-trip, coordinator-lane nesting), the
+   structured log sink (JSONL well-formedness, level filtering) and the
+   clock abstraction — plus the end-to-end contract: a fully
+   instrumented chaos run snapshots byte-identically at every worker
+   count once volatile families are suppressed. *)
+
+module Generate = Dataset.Generate
+module Json = Report.Json
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+let checkf msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || at (i + 1)
+  in
+  at 0
+
+(* --- clock ------------------------------------------------------------- *)
+
+let test_clock () =
+  check_b "real clock is not virtual" false (Obs.Clock.is_virtual Obs.Clock.real);
+  let c = Obs.Clock.virtual_ ~start:10.0 () in
+  check_b "virtual clock is virtual" true (Obs.Clock.is_virtual c);
+  checkf "virtual reads the start value" 10.0 (Obs.Clock.now c);
+  checkf "no auto step: reads are stable" 10.0 (Obs.Clock.now c);
+  Obs.Clock.advance c 2.5;
+  checkf "advance moves the clock" 12.5 (Obs.Clock.now c);
+  Obs.Clock.advance c (-5.0);
+  checkf "negative advance ignored" 12.5 (Obs.Clock.now c);
+  let c = Obs.Clock.virtual_ ~auto_step:0.25 () in
+  checkf "auto-step first read" 0.0 (Obs.Clock.now c);
+  checkf "auto-step second read" 0.25 (Obs.Clock.now c);
+  checkf "auto-step third read" 0.5 (Obs.Clock.now c);
+  let real_now = Obs.Clock.now Obs.Clock.real in
+  check_b "real clock reads a plausible epoch" true (real_now > 1.0e9)
+
+(* --- metrics: recording, exposition, lint ------------------------------ *)
+
+let sample_registry () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m ~help:"Requests served" "test_requests_total" in
+  let g = Obs.Metrics.gauge m ~help:"Queue depth" "test_queue_depth" in
+  let h =
+    Obs.Metrics.histogram m ~help:"Latency" ~buckets:[ 0.1; 1.0; 10.0 ]
+      "test_latency_seconds"
+  in
+  Obs.Metrics.inc m c ~labels:[ ("method", "eth_getCode") ] ~by:2.0;
+  Obs.Metrics.inc m c ~labels:[ ("method", "eth_getStorageAt") ];
+  Obs.Metrics.set m g 7.0;
+  List.iter (Obs.Metrics.observe m h) [ 0.05; 0.5; 5.0; 50.0 ];
+  m
+
+let test_exposition_lints () =
+  let m = sample_registry () in
+  let text = Obs.Metrics.to_prometheus m in
+  (match Obs.Metrics.lint text with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail ("lint rejected own exposition: " ^ String.concat "; " es));
+  check_b "counter sample present" true
+    (contains ~needle:"test_requests_total{method=\"eth_getCode\"} 2" text);
+  check_b "gauge sample present" true
+    (contains ~needle:"test_queue_depth 7" text);
+  check_b "+Inf bucket present" true
+    (contains ~needle:"test_latency_seconds_bucket{le=\"+Inf\"} 4" text);
+  check_b "histogram count present" true
+    (contains ~needle:"test_latency_seconds_count 4" text);
+  check_b "help header present" true
+    (contains ~needle:"# HELP test_requests_total Requests served" text);
+  (* JSON snapshot parses back. *)
+  (match Json.parse (Json.to_string (Obs.Metrics.to_json m)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("JSON snapshot does not parse: " ^ e));
+  (* Registration sanity. *)
+  check_b "find sees a registered family" true
+    (Obs.Metrics.find m "test_requests_total" <> None);
+  check_b "find misses unknown families" true
+    (Obs.Metrics.find m "nope_total" = None);
+  (match Obs.Metrics.counter m "test_queue_depth" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted");
+  match Obs.Metrics.counter m "bad name!" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid metric name accepted"
+
+let test_lint_catches_breakage () =
+  let expect_errors what text =
+    match Obs.Metrics.lint text with
+    | Ok () -> Alcotest.fail (what ^ ": lint accepted a broken exposition")
+    | Error _ -> ()
+  in
+  expect_errors "orphan sample" "orphan_total 1\n";
+  expect_errors "unparsable value" "# TYPE x counter\nx one\n";
+  expect_errors "duplicate series"
+    "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n";
+  expect_errors "decreasing cumulative buckets"
+    "# TYPE h histogram\n\
+     h_bucket{le=\"1\"} 5\n\
+     h_bucket{le=\"+Inf\"} 3\n\
+     h_sum 2\n\
+     h_count 3\n";
+  expect_errors "missing +Inf bucket"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 2\nh_count 5\n";
+  expect_errors "+Inf disagrees with count"
+    "# TYPE h histogram\n\
+     h_bucket{le=\"1\"} 2\n\
+     h_bucket{le=\"+Inf\"} 5\n\
+     h_sum 2\n\
+     h_count 6\n"
+
+let test_bucket_determinism () =
+  (* The same multiset of observations, in different interleavings and
+     through different shard topologies, must render byte-identically. *)
+  let values = [ 0.05; 0.5; 0.5; 5.0; 50.0; 0.25 ] in
+  let build order shards =
+    let m = Obs.Metrics.create () in
+    let h =
+      Obs.Metrics.histogram m ~help:"Latency" ~buckets:[ 0.1; 1.0; 10.0 ]
+        "d_latency_seconds"
+    in
+    let c = Obs.Metrics.counter m ~help:"Hits" "d_hits_total" in
+    (match shards with
+    | [] -> List.iter (fun v -> Obs.Metrics.observe m h v; Obs.Metrics.inc m c) order
+    | shard_sizes ->
+        let rec split vs = function
+          | [] -> []
+          | n :: rest ->
+              let taken = List.filteri (fun i _ -> i < n) vs in
+              let left = List.filteri (fun i _ -> i >= n) vs in
+              taken :: split left rest
+        in
+        List.iter
+          (fun chunk ->
+            let sh = Obs.Metrics.shard m in
+            List.iter
+              (fun v ->
+                Obs.Metrics.observe sh h v;
+                Obs.Metrics.inc sh c)
+              chunk;
+            Obs.Metrics.absorb ~into:m sh)
+          (split order shard_sizes));
+    Obs.Metrics.to_prometheus m
+  in
+  let base = build values [] in
+  check_s "reversed observation order" base (build (List.rev values) []);
+  check_s "sharded 2+4" base (build values [ 2; 4 ]);
+  check_s "sharded 3+3, reversed" base (build (List.rev values) [ 3; 3 ])
+
+let test_shard_semantics () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "s_total" in
+  let g = Obs.Metrics.gauge m "s_gauge" in
+  Obs.Metrics.inc m c ~by:3.0;
+  Obs.Metrics.set m g 5.0;
+  let sh = Obs.Metrics.shard m in
+  Obs.Metrics.inc sh c ~by:4.0;
+  Obs.Metrics.set sh g 9.0;
+  checkf "shard records privately" 3.0
+    (Option.get (Obs.Metrics.value m c));
+  Obs.Metrics.absorb ~into:m sh;
+  checkf "counters add on absorb" 7.0 (Option.get (Obs.Metrics.value m c));
+  checkf "gauges overwrite on absorb" 9.0 (Option.get (Obs.Metrics.value m g));
+  Obs.Metrics.absorb ~into:m sh;
+  checkf "absorb empties the shard" 7.0 (Option.get (Obs.Metrics.value m c));
+  check_b "untouched series read as None" true
+    (Obs.Metrics.value sh c = None)
+
+let test_summarize () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m ~buckets:[ 1.0; 2.0; 4.0 ] "p_hist" in
+  for _ = 1 to 50 do Obs.Metrics.observe m h 0.5 done;
+  for _ = 1 to 40 do Obs.Metrics.observe m h 1.5 done;
+  for _ = 1 to 10 do Obs.Metrics.observe m h 3.0 done;
+  match Obs.Metrics.summarize m h with
+  | None -> Alcotest.fail "summarize returned None on a populated histogram"
+  | Some s ->
+      check_i "count" 100 s.Obs.Metrics.s_count;
+      checkf "p50 interpolates to the first bound" 1.0 s.Obs.Metrics.s_p50;
+      checkf "p90 interpolates to the second bound" 2.0 s.Obs.Metrics.s_p90;
+      checkf "p99 interpolates inside the third bucket" 3.8 s.Obs.Metrics.s_p99;
+      (* +Inf observations clamp to the largest finite bound. *)
+      let m2 = Obs.Metrics.create () in
+      let h2 = Obs.Metrics.histogram m2 ~buckets:[ 1.0 ] "p_hist2" in
+      Obs.Metrics.observe m2 h2 100.0;
+      let s2 = Option.get (Obs.Metrics.summarize m2 h2) in
+      checkf "overflow clamps to the last finite bound" 1.0 s2.Obs.Metrics.s_p99
+
+(* --- the end-to-end contract: instrumented chaos runs ------------------ *)
+
+let small_config = { Generate.quick_config with Generate.total = 220; seed = 31 }
+
+let instrumented_run ?(fault_rate = 0.0) ?trace ~domains () =
+  let land_ = Generate.generate small_config in
+  let config =
+    Proxion.Pipeline.Config.(
+      default |> with_batch_size 16 |> with_domains domains)
+  in
+  let resilience =
+    if fault_rate > 0.0 then
+      Resilience.Transport.config
+        ~plan:(Resilience.Fault_plan.spec ~seed:7 ~fault_rate ())
+        ()
+    else Resilience.Transport.default_config
+  in
+  let t =
+    Proxion.Analyzer.create ~config ~resilience ~chain:land_.Generate.chain
+      ~source:land_.Generate.source_of ()
+  in
+  let registry = Obs.Metrics.create () in
+  Proxion.Analyzer.instrument ?trace registry t;
+  Proxion.Analyzer.submit_all t;
+  Proxion.Analyzer.run t;
+  (registry, t)
+
+let test_snapshot_identical_across_domains () =
+  let expo registry =
+    Obs.Metrics.to_prometheus ~suppress_volatile:true registry
+  in
+  let r1, _ = instrumented_run ~fault_rate:0.05 ~domains:1 () in
+  let r4, _ = instrumented_run ~fault_rate:0.05 ~domains:4 () in
+  let e1 = expo r1 and e4 = expo r4 in
+  (match Obs.Metrics.lint e1 with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.fail ("chaos exposition invalid: " ^ String.concat "; " es));
+  check_b "chaos run recorded retries" true
+    (contains ~needle:"proxion_retries_total" e1);
+  check_b "per-method RPC attempts recorded" true
+    (contains ~needle:"proxion_rpc_attempts_total{method=" e1);
+  check_s "DOMAINS=4 snapshot is byte-identical to DOMAINS=1" e1 e4;
+  (* JSON snapshots too, with the timestamp suppressed. *)
+  let js r = Json.to_string (Obs.Metrics.to_json ~suppress_volatile:true r) in
+  check_s "JSON snapshots byte-identical" (js r1) (js r4);
+  (* The volatile families exist but are dropped from the diffable view. *)
+  let full = Obs.Metrics.to_prometheus r1 in
+  check_b "volatile stage timings exist unsuppressed" true
+    (contains ~needle:"proxion_stage_seconds_bucket" full);
+  check_b "volatile families suppressed in the diffable view" false
+    (contains ~needle:"proxion_stage_seconds_bucket" e1)
+
+(* --- span tracer ------------------------------------------------------- *)
+
+let jget key = function
+  | Json.Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let jstr key obj =
+  match jget key obj with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.fail (Printf.sprintf "missing string field %S" key)
+
+let jnum key obj =
+  match jget key obj with
+  | Some (Json.Int i) -> float_of_int i
+  | Some (Json.Float f) -> f
+  | _ -> Alcotest.fail (Printf.sprintf "missing numeric field %S" key)
+
+let test_trace_roundtrip_and_nesting () =
+  let trace = Obs.Trace.create () in
+  let _, _ = instrumented_run ~trace ~domains:1 () in
+  check_b "trace recorded events" true (Obs.Trace.count trace > 0);
+  (* Chrome trace JSON round-trips the repo's own parser. *)
+  let text = Json.to_string (Obs.Trace.to_json trace) in
+  let parsed =
+    match Json.parse text with
+    | Ok v -> v
+    | Error e -> Alcotest.fail ("trace JSON does not parse: " ^ e)
+  in
+  check_s "display unit" "ms" (jstr "displayTimeUnit" parsed);
+  let events =
+    match jget "traceEvents" parsed with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  check_b "events survived serialization" true (List.length events > 0);
+  List.iter
+    (fun ev ->
+      let ph = jstr "ph" ev in
+      check_b "known phase" true (ph = "X" || ph = "i");
+      ignore (jnum "ts" ev);
+      ignore (jnum "pid" ev);
+      ignore (jnum "tid" ev);
+      if ph = "X" then check_b "complete spans have dur" true (jnum "dur" ev >= 0.0))
+    events;
+  (* Coordinator-lane nesting on tid 0: run > batch > item > stage. *)
+  let spans cat =
+    List.filter
+      (fun ev ->
+        jstr "ph" ev = "X" && jstr "cat" ev = cat && jnum "tid" ev = 0.0)
+      events
+  in
+  let within ~outer ev =
+    let eps = 1e-3 (* microseconds *) in
+    List.exists
+      (fun o ->
+        jnum "ts" o -. eps <= jnum "ts" ev
+        && jnum "ts" ev +. jnum "dur" ev <= jnum "ts" o +. jnum "dur" o +. eps)
+      outer
+  in
+  let runs = spans "run" and batches = spans "batch" in
+  let items = spans "item" and stages = spans "stage" in
+  check_i "exactly one run span" 1 (List.length runs);
+  check_b "several batch spans" true (List.length batches > 1);
+  check_b "item spans present" true (List.length items > 0);
+  check_b "stage spans present" true (List.length stages > 0);
+  List.iter
+    (fun b -> check_b "batch nests in run" true (within ~outer:runs b))
+    batches;
+  List.iter
+    (fun i -> check_b "item nests in a batch" true (within ~outer:batches i))
+    items;
+  List.iter
+    (fun s -> check_b "stage nests in an item" true (within ~outer:items s))
+    stages;
+  (* Batch spans are emitted in index order along the synthetic timeline. *)
+  let batch_ts = List.map (jnum "ts") batches in
+  check_b "batch timeline is non-decreasing" true
+    (List.for_all2 ( <= ) batch_ts (List.tl batch_ts @ [ infinity ]))
+
+let test_trace_with_span () =
+  let clock = Obs.Clock.virtual_ ~auto_step:1.0 () in
+  let tr = Obs.Trace.create ~clock () in
+  let v = Obs.Trace.with_span tr "outer" (fun () -> 42) in
+  check_i "with_span returns the thunk's value" 42 v;
+  (match Obs.Trace.with_span tr "raises" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  check_i "both spans recorded" 2 (Obs.Trace.count tr);
+  let parsed =
+    match Json.parse (Json.to_string (Obs.Trace.to_json tr)) with
+    | Ok v -> v
+    | Error e -> Alcotest.fail e
+  in
+  match jget "traceEvents" parsed with
+  | Some (Json.List [ a; b ]) ->
+      check_s "first span name" "outer" (jstr "name" a);
+      checkf "virtual-clock duration is exact" 1e6 (jnum "dur" a);
+      check_s "second span name" "raises" (jstr "name" b)
+  | _ -> Alcotest.fail "expected exactly two trace events"
+
+(* --- structured log sink ----------------------------------------------- *)
+
+let with_log_lines ?(level = Obs.Log.Info) ?(json = false) f =
+  let path = Filename.temp_file "proxion_obs" ".log" in
+  let oc = open_out path in
+  let clock = Obs.Clock.virtual_ ~auto_step:0.5 () in
+  let log = Obs.Log.create ~clock ~level ~json oc in
+  f log;
+  close_out oc;
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Sys.remove path;
+  lines
+
+let test_log_jsonl () =
+  let lines =
+    with_log_lines ~level:Obs.Log.Warn ~json:true (fun log ->
+        check_b "debug disabled at warn" false (Obs.Log.enabled log Obs.Log.Debug);
+        check_b "error enabled at warn" true (Obs.Log.enabled log Obs.Log.Error);
+        Obs.Log.log log Obs.Log.Debug "dropped";
+        Obs.Log.log log Obs.Log.Info "dropped too";
+        Obs.Log.log log ~component:"engine" ~subject:"0xabc"
+          ~fields:[ ("attempt", Json.Int 3) ]
+          Obs.Log.Warn "slow item";
+        Obs.Log.log log Obs.Log.Error "broken")
+  in
+  check_i "level filter keeps two of four records" 2 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Ok v -> v
+        | Error e -> Alcotest.fail (Printf.sprintf "bad JSONL %S: %s" line e))
+      lines
+  in
+  (match parsed with
+  | [ warn; err ] ->
+      check_s "first record level" "warn" (jstr "level" warn);
+      check_s "component field" "engine" (jstr "component" warn);
+      check_s "subject field" "0xabc" (jstr "subject" warn);
+      check_s "message field" "slow item" (jstr "msg" warn);
+      (match jget "fields" warn with
+      | Some (Json.Obj [ ("attempt", Json.Int 3) ]) -> ()
+      | _ -> Alcotest.fail "fields object mangled");
+      checkf "virtual timestamp of the first emitted record" 0.0
+        (jnum "ts" warn);
+      check_s "second record level" "error" (jstr "level" err);
+      checkf "auto-stepped timestamp" 0.5 (jnum "ts" err)
+  | _ -> Alcotest.fail "expected two parsed records");
+  (* Text mode: aligned single lines carrying the same information. *)
+  let text_lines =
+    with_log_lines (fun log ->
+        Obs.Log.log log ~component:"engine" ~subject:"0xabc" Obs.Log.Info "hello";
+        Obs.Log.log log Obs.Log.Debug "dropped")
+  in
+  check_i "text mode: one line" 1 (List.length text_lines);
+  let line = List.hd text_lines in
+  check_b "text line carries component" true (contains ~needle:"[engine]" line);
+  check_b "text line carries subject" true (contains ~needle:"subject=0xabc" line);
+  check_b "text line carries message" true (contains ~needle:"hello" line)
+
+let test_level_parsing () =
+  List.iter
+    (fun (s, expect) ->
+      match Obs.Log.level_of_string s with
+      | Ok l -> check_s ("parse " ^ s) expect (Obs.Log.level_to_string l)
+      | Error e -> Alcotest.fail e)
+    [
+      ("debug", "debug");
+      ("Info", "info");
+      ("WARNING", "warn");
+      ("warn", "warn");
+      ("error", "error");
+    ];
+  match Obs.Log.level_of_string "loud" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus level accepted"
+
+let suite =
+  [
+    Alcotest.test_case "clock: real and virtual" `Quick test_clock;
+    Alcotest.test_case "metrics: exposition is valid and lints" `Quick
+      test_exposition_lints;
+    Alcotest.test_case "metrics: lint catches broken expositions" `Quick
+      test_lint_catches_breakage;
+    Alcotest.test_case "metrics: histogram rendering is order-independent"
+      `Quick test_bucket_determinism;
+    Alcotest.test_case "metrics: shard absorb semantics" `Quick
+      test_shard_semantics;
+    Alcotest.test_case "metrics: percentile interpolation" `Quick
+      test_summarize;
+    Alcotest.test_case "instrumented chaos snapshot identical across domains"
+      `Slow test_snapshot_identical_across_domains;
+    Alcotest.test_case "trace: JSON round-trip and span nesting" `Slow
+      test_trace_roundtrip_and_nesting;
+    Alcotest.test_case "trace: with_span on a virtual clock" `Quick
+      test_trace_with_span;
+    Alcotest.test_case "log: JSONL well-formedness and level filtering" `Quick
+      test_log_jsonl;
+    Alcotest.test_case "log: level parsing" `Quick test_level_parsing;
+  ]

@@ -18,6 +18,7 @@ let () =
       ("dataset", T_dataset.suite);
       ("experiments", T_experiments.suite);
       ("engine", T_engine.suite);
+      ("obs", T_obs.suite);
       ("parallel", T_parallel.suite);
       ("chaos", T_chaos.suite);
       ("crash", T_crash.suite);

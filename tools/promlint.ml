@@ -1,0 +1,39 @@
+(* Validate a Prometheus text exposition file (as written by
+   `proxion landscape --metrics-out`): name syntax, TYPE coverage,
+   duplicate series, histogram bucket consistency.
+
+   Usage: promlint FILE...   (or `-` for stdin)
+   Exit 0 when every file is clean, 1 otherwise. *)
+
+let lint_one path =
+  let text =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text path In_channel.input_all
+  in
+  match Obs.Metrics.lint text with
+  | Ok () ->
+      Printf.printf "%s: OK\n" path;
+      true
+  | Error problems ->
+      List.iter (fun p -> Printf.printf "%s: %s\n" path p) problems;
+      false
+
+let () =
+  let files =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ ->
+        prerr_endline "usage: promlint FILE... (use - for stdin)";
+        exit 2
+  in
+  let ok =
+    List.fold_left
+      (fun acc path ->
+        match lint_one path with
+        | clean -> acc && clean
+        | exception Sys_error e ->
+            Printf.eprintf "promlint: %s\n" e;
+            false)
+      true files
+  in
+  exit (if ok then 0 else 1)
