@@ -1,0 +1,164 @@
+(* Daemon benchmark: load-generator sweeps (requests/sec and latency
+   percentiles under concurrent clients) plus incremental-vs-full
+   re-analysis timing over scripted chain advances.  Writes
+   BENCH_serve.json.
+
+   Usage: dune exec bench/bench_serve.exe *)
+
+module Generate = Dataset.Generate
+module Json = Report.Json
+
+let clock = Obs.Clock.real
+
+let time f =
+  let t0 = Obs.Clock.now clock in
+  let result = f () in
+  (result, Obs.Clock.now clock -. t0)
+
+(* Current git revision, read straight from .git (no subprocess). *)
+let git_rev () =
+  let read_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | s -> Some (String.trim s)
+    | exception Sys_error _ -> None
+  in
+  match read_file ".git/HEAD" with
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " -> (
+      let ref_path = String.sub head 5 (String.length head - 5) in
+      match read_file (Filename.concat ".git" ref_path) with
+      | Some rev -> rev
+      | None -> "unknown")
+  | Some rev -> rev
+  | None -> "unknown"
+
+let out_path = "BENCH_serve.json"
+
+let bench_config =
+  { Generate.quick_config with Generate.total = 600; seed = 42 }
+
+let client_sweep = [ 1; 2; 4; 8 ]
+let requests_per_client = 150
+let advances = 3
+
+let analysis_config = Proxion.Pipeline.Config.(default |> with_batch_size 32)
+
+let cold_report (land_ : Generate.t) =
+  let t =
+    Proxion.Analyzer.create ~config:analysis_config
+      ~chain:land_.Generate.chain ~source:land_.Generate.source_of ()
+  in
+  Proxion.Analyzer.submit_all t;
+  Proxion.Analyzer.run t;
+  Proxion.Analyzer.report t
+
+let () =
+  let land_ = Generate.generate bench_config in
+  let config =
+    Serve.Config.(default |> with_workers 4 |> with_analysis analysis_config)
+  in
+  let daemon, startup_s =
+    time (fun () ->
+        match Serve.Daemon.create ~config land_ with
+        | Ok d -> d
+        | Error e -> failwith ("daemon create: " ^ e))
+  in
+  (match Serve.Daemon.start daemon with
+  | Ok () -> ()
+  | Error e -> failwith ("daemon start: " ^ e));
+  let port = Serve.Daemon.port daemon in
+  Printf.eprintf "daemon up on port %d (%.2fs startup), sweeping...\n%!" port
+    startup_s;
+  let addresses =
+    List.map (fun l -> l.Generate.l_address) land_.Generate.labels
+  in
+  (* 1. Concurrent-client throughput/latency sweep. *)
+  let sweep =
+    List.map
+      (fun clients ->
+        match
+          Serve.Loadgen.run ~port ~clients ~requests:requests_per_client
+            ~addresses ()
+        with
+        | Error e -> failwith ("loadgen: " ^ e)
+        | Ok stats ->
+            Printf.eprintf
+              "  %d clients: %.0f req/s  p50 %.3f ms  p99 %.3f ms\n%!" clients
+              stats.Serve.Loadgen.lg_rps stats.Serve.Loadgen.lg_p50_ms
+              stats.Serve.Loadgen.lg_p99_ms;
+            Serve.Loadgen.to_json stats)
+      client_sweep
+  in
+  (* 2. Incremental-vs-full: apply scripted advances on the resident
+     daemon and compare each increment's wall clock against a cold full
+     re-analysis of the advanced chain (which also witnesses the
+     byte-identity contract). *)
+  let report_string r = Json.to_string (Proxion.Serialize.report_to_json r) in
+  let incremental =
+    List.init advances (fun i ->
+        let result, inc_s = time (fun () -> Serve.Daemon.advance daemon) in
+        let cold, full_s = time (fun () -> cold_report land_) in
+        let warm =
+          Serve.Store.report
+            (Serve.Daemon.store daemon)
+            ~unique_codes:(Serve.Daemon.unique_codes daemon)
+        in
+        let identical = report_string cold = report_string warm in
+        let speedup = if inc_s > 0.0 then full_s /. inc_s else 0.0 in
+        Printf.eprintf
+          "  advance %d: %d dirty + %d new in %.3fs vs full %.3fs (%.1fx, \
+           identical=%b)\n\
+           %!"
+          (i + 1) result.Serve.Daemon.adv_dirty result.Serve.Daemon.adv_new
+          inc_s full_s speedup identical;
+        Json.Obj
+          [
+            ("advance", Json.Int (i + 1));
+            ("dirty_subjects", Json.Int result.Serve.Daemon.adv_dirty);
+            ("new_subjects", Json.Int result.Serve.Daemon.adv_new);
+            ( "store_size",
+              Json.Int (Serve.Store.size (Serve.Daemon.store daemon)) );
+            ("incremental_seconds", Json.Float inc_s);
+            ("full_seconds", Json.Float full_s);
+            ("speedup", Json.Float speedup);
+            ("identical_report", Json.Bool identical);
+          ])
+  in
+  Serve.Daemon.stop daemon;
+  let mean_speedup =
+    let total, n =
+      List.fold_left
+        (fun (acc, n) -> function
+          | Json.Obj kvs -> (
+              match List.assoc_opt "speedup" kvs with
+              | Some (Json.Float s) -> (acc +. s, n + 1)
+              | _ -> (acc, n))
+          | _ -> (acc, n))
+        (0.0, 0) incremental
+    in
+    if n = 0 then 0.0 else total /. float_of_int n
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema_version", Json.Int 1);
+        ("git_rev", Json.String (git_rev ()));
+        ("cores", Json.Int (Domain.recommended_domain_count ()));
+        ( "config",
+          Json.Obj
+            [
+              ("total", Json.Int bench_config.Generate.total);
+              ("seed", Json.Int bench_config.Generate.seed);
+              ("workers", Json.Int 4);
+              ("requests_per_client", Json.Int requests_per_client);
+            ] );
+        ("startup_seconds", Json.Float startup_s);
+        ("sweep", Json.List sweep);
+        ("incremental", Json.List incremental);
+        ("incremental_speedup_mean", Json.Float mean_speedup);
+      ]
+  in
+  Out_channel.with_open_text out_path (fun oc ->
+      Out_channel.output_string oc (Json.to_string ~pretty:true json);
+      Out_channel.output_char oc '\n');
+  Printf.eprintf "wrote %s (mean incremental speedup %.1fx)\n%!" out_path
+    mean_speedup

@@ -1,0 +1,238 @@
+(* Shared command-line flag groups.  Every subcommand that touches a
+   synthetic chain, fault injection, telemetry or the durable journal
+   assembles its interface from these four specs, so flags spell and
+   behave identically across `proxion scan`, `serve`, `query` and
+   `bench`. *)
+
+open Cmdliner
+
+(* --- chain: the synthetic landscape -------------------------------------- *)
+
+module Chain_spec = struct
+  type t = { total : int; seed : int }
+
+  let term ?(default_total = 36_000) () =
+    let total =
+      Arg.(
+        value & opt int default_total
+        & info [ "n"; "total" ] ~docv:"N"
+            ~doc:
+              (Printf.sprintf "Population size (default %d)." default_total))
+    in
+    let seed =
+      Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+    in
+    Term.(const (fun total seed -> { total; seed }) $ total $ seed)
+
+  let config t =
+    {
+      Dataset.Generate.default_config with
+      Dataset.Generate.total = t.total;
+      seed = t.seed;
+    }
+
+  let generate t = Dataset.Generate.generate (config t)
+end
+
+(* --- faults: injected archive faults and the emulation watchdog ---------- *)
+
+module Faults_spec = struct
+  type t = {
+    rate : float;
+    seed : int;
+    latency : float;
+    watchdog_steps : int option;
+  }
+
+  let term =
+    let rate =
+      Arg.(
+        value & opt float 0.0
+        & info [ "fault-rate" ] ~docv:"P"
+            ~doc:
+              "Inject transient archive faults (rate limits, timeouts, node \
+               errors) on fraction $(docv) of RPC attempts.  Deterministic: \
+               the figures are identical to a fault-free run, faults only \
+               exercise the retry/breaker path.")
+    in
+    let seed =
+      Arg.(
+        value & opt int 0
+        & info [ "fault-seed" ] ~docv:"SEED"
+            ~doc:"Seed of the injected fault plan (with --fault-rate).")
+    in
+    let latency =
+      Arg.(
+        value & opt float 0.0
+        & info [ "fault-latency" ] ~docv:"S"
+            ~doc:
+              "Mean injected per-call latency in virtual seconds (never \
+               sleeps the wall clock).")
+    in
+    let watchdog =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "watchdog-steps" ] ~docv:"N"
+            ~doc:
+              "Per-contract EVM-step budget, enforced live inside emulation: \
+               a contract looping in the probe is dead-lettered as \
+               budget-exhausted after $(docv) steps instead of stalling its \
+               worker.")
+    in
+    Term.(
+      const (fun rate seed latency watchdog_steps ->
+          { rate; seed; latency; watchdog_steps })
+      $ rate $ seed $ latency $ watchdog)
+
+  let validate t =
+    if t.rate < 0.0 || t.rate >= 1.0 then
+      Error "--fault-rate must be in [0, 1)"
+    else
+      match t.watchdog_steps with
+      | Some w when w <= 0 -> Error "--watchdog-steps must be positive"
+      | _ -> Ok t
+
+  let resilience t =
+    let plan =
+      if t.rate > 0.0 || t.latency > 0.0 then
+        Some
+          (Resilience.Fault_plan.spec ~seed:t.seed ~fault_rate:t.rate
+             ~mean_latency:t.latency ())
+      else None
+    in
+    Resilience.Transport.config ?plan ?step_budget:t.watchdog_steps ()
+end
+
+(* --- telemetry: progress logging, metrics and trace outputs -------------- *)
+
+module Telemetry_spec = struct
+  type t = {
+    progress : bool;
+    log_json : bool;
+    log_level : Obs.Log.level;
+    metrics_out : string option;
+    metrics_det : bool;
+    trace_out : string option;
+  }
+
+  let term =
+    let progress =
+      Arg.(
+        value & flag
+        & info [ "progress" ]
+            ~doc:"Print per-batch progress and stage totals on stderr.")
+    in
+    let log_json =
+      Arg.(
+        value & flag
+        & info [ "log-json" ]
+            ~doc:
+              "Emit progress as JSONL structured-log records on stderr \
+               (implies --progress).")
+    in
+    let log_level =
+      Arg.(
+        value
+        & opt
+            (enum
+               [
+                 ("debug", Obs.Log.Debug);
+                 ("info", Obs.Log.Info);
+                 ("warn", Obs.Log.Warn);
+                 ("warning", Obs.Log.Warn);
+                 ("error", Obs.Log.Error);
+               ])
+            Obs.Log.Info
+        & info [ "log-level" ] ~docv:"LEVEL"
+            ~doc:
+              "Minimum progress-log level (debug|info|warn|error).  Debug \
+               adds per-attempt retry and breaker detail that info \
+               summarizes per batch.")
+    in
+    let metrics_out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "metrics-out" ] ~docv:"FILE"
+            ~doc:
+              "Write the telemetry registry to $(docv) when the run stops: \
+               Prometheus text exposition, or a JSON snapshot when $(docv) \
+               ends in .json.")
+    in
+    let metrics_det =
+      Arg.(
+        value & flag
+        & info [ "metrics-deterministic" ]
+            ~doc:
+              "Suppress wall-clock-derived (volatile) metric families and \
+               the snapshot timestamp, making --metrics-out byte-identical \
+               across --domains values.")
+    in
+    let trace_out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace-out" ] ~docv:"FILE"
+            ~doc:
+              "Write a Chrome trace-event JSON span timeline (run > batch > \
+               item > stage, plus sampled RPC/EVM worker lanes) to $(docv) — \
+               loadable at ui.perfetto.dev.")
+    in
+    Term.(
+      const (fun progress log_json log_level metrics_out metrics_det trace_out ->
+          { progress; log_json; log_level; metrics_out; metrics_det; trace_out })
+      $ progress $ log_json $ log_level $ metrics_out $ metrics_det $ trace_out)
+
+  let log t =
+    if t.progress || t.log_json then
+      Some (Obs.Log.create ~level:t.log_level ~json:t.log_json stderr)
+    else None
+
+  let trace t = Option.map (fun _ -> Obs.Trace.create ()) t.trace_out
+
+  let write_file path f =
+    match Out_channel.with_open_text path f with
+    | () -> true
+    | exception Sys_error e ->
+        Printf.eprintf "error: cannot write %s: %s\n%!" path e;
+        false
+
+  (* Flush --metrics-out / --trace-out; returns false when any write
+     failed (after reporting it on stderr). *)
+  let write_outputs t ~registry ~trace =
+    let metrics_ok =
+      match t.metrics_out with
+      | None -> true
+      | Some path ->
+          write_file path (fun oc ->
+              if Filename.check_suffix path ".json" then begin
+                Out_channel.output_string oc
+                  (Report.Json.to_string ~pretty:true
+                     (Obs.Metrics.to_json ~suppress_volatile:t.metrics_det
+                        ?timestamp:
+                          (if t.metrics_det then None
+                           else Some (Obs.Clock.now Obs.Clock.real))
+                        registry));
+                Out_channel.output_char oc '\n'
+              end
+              else
+                Out_channel.output_string oc
+                  (Obs.Metrics.to_prometheus ~suppress_volatile:t.metrics_det
+                     registry))
+    in
+    let trace_ok =
+      match (t.trace_out, trace) with
+      | Some path, Some tr -> write_file path (fun oc -> Obs.Trace.write tr oc)
+      | _ -> true
+    in
+    metrics_ok && trace_ok
+end
+
+(* --- journal: the durable checkpoint journal ----------------------------- *)
+
+module Journal_spec = struct
+  let term ~doc =
+    Arg.(
+      value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+end

@@ -1,7 +1,12 @@
-(* The proxion command-line tool: run the paper's experiments, analyze raw
-   bytecode, or mine selector collisions. *)
+(* The proxion command-line tool: scan synthetic landscapes, serve the
+   analysis as a resident daemon, query it over the wire, benchmark it,
+   analyze raw bytecode, or mine selector collisions. *)
 
 open Cmdliner
+module Chain_spec = Cli_spec.Chain_spec
+module Faults_spec = Cli_spec.Faults_spec
+module Telemetry_spec = Cli_spec.Telemetry_spec
+module Journal_spec = Cli_spec.Journal_spec
 
 let print_and_exit s =
   print_string s;
@@ -63,19 +68,13 @@ let analyze_cmd =
   let doc = "Analyze raw EVM bytecode: proxy detection and selector recovery." in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze_bytecode $ hex $ disasm_flag)
 
-(* --- landscape: section 7 ------------------------------------------------ *)
-
-let total_arg =
-  Arg.(
-    value & opt int 36_000
-    & info [ "n"; "total" ] ~docv:"N"
-        ~doc:"Population size (default 36000 = 1/1000 of mainnet).")
+(* --- scan: the batch landscape run (section 7) --------------------------- *)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
 let landscape_config total seed =
-  { Dataset.Generate.default_config with Dataset.Generate.total; seed }
+  Chain_spec.config { Chain_spec.total; seed }
 
 (* Progress reporting goes through the structured log sink
    (Engine.Telemetry.attach_log): per-batch summary lines with retry and
@@ -129,22 +128,20 @@ let print_landscape t findings =
 
 exception Journal_write_error of string
 
-let run_landscape total seed findings batch_size domains progress
-    checkpoint_path resume_path max_batches fault_rate fault_seed fault_latency
-    retry_skipped journal_path watchdog_steps metrics_out metrics_det trace_out
-    log_json log_level =
-  match (batch_size, domains) with
-  | Some b, _ when b <= 0 ->
+let run_scan ~deprecated chain faults telemetry journal_path findings
+    batch_size domains checkpoint_path resume_path max_batches retry_skipped =
+  if deprecated then
+    prerr_endline
+      "warning: `proxion landscape` is a deprecated alias; use `proxion scan`";
+  match (batch_size, domains, Faults_spec.validate faults) with
+  | Some b, _, _ when b <= 0 ->
       prerr_endline "error: --batch-size must be positive";
       1
-  | _, Some d when d <= 0 ->
+  | _, Some d, _ when d <= 0 ->
       prerr_endline "error: --domains must be positive";
       1
-  | _ when fault_rate < 0.0 || fault_rate >= 1.0 ->
-      prerr_endline "error: --fault-rate must be in [0, 1)";
-      1
-  | _ when (match watchdog_steps with Some w -> w <= 0 | None -> false) ->
-      prerr_endline "error: --watchdog-steps must be positive";
+  | _, _, Error e ->
+      prerr_endline ("error: " ^ e);
       1
   | _ when journal_path <> None && resume_path <> None ->
       prerr_endline
@@ -152,10 +149,10 @@ let run_landscape total seed findings batch_size domains progress
          --resume, not both";
       1
   | _ ->
-  let land_ = Dataset.Generate.generate (landscape_config total seed) in
-  let chain = land_.Dataset.Generate.chain in
+  let land_ = Chain_spec.generate chain in
+  let chain_ = land_.Dataset.Generate.chain in
   let source = land_.Dataset.Generate.source_of in
-  Chain.reset_api_call_count chain;
+  Chain.reset_api_call_count chain_;
   (* Telemetry: the registry always exists (recording into it is cheap
      and instrument wires the engine recorders); the trace collector and
      log sink only when requested. *)
@@ -165,26 +162,13 @@ let run_landscape total seed findings batch_size domains progress
       ~help:"Checkpoint frames committed to the durable journal"
       "proxion_journal_commits_total"
   in
-  let trace = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
-  let log =
-    if progress || log_json then
-      Some (Obs.Log.create ~level:log_level ~json:log_json stderr)
-    else None
-  in
+  let trace = Telemetry_spec.trace telemetry in
+  let log = Telemetry_spec.log telemetry in
   (* Like --domains, the fault plan and the watchdog budget are execution
      parameters: any combination of knobs produces the same figures,
      faults only exercise the retry path and the watchdog only decides
      how fast a pathological item dies. *)
-  let resilience =
-    let plan =
-      if fault_rate > 0.0 || fault_latency > 0.0 then
-        Some
-          (Resilience.Fault_plan.spec ~seed:fault_seed ~fault_rate
-             ~mean_latency:fault_latency ())
-      else None
-    in
-    Resilience.Transport.config ?plan ?step_budget:watchdog_steps ()
-  in
+  let resilience = Faults_spec.resilience faults in
   let journal =
     match journal_path with
     | None -> Ok None
@@ -201,8 +185,8 @@ let run_landscape total seed findings batch_size domains progress
   let restore_from what text =
     match
       Result.bind (Report.Json.parse text)
-        (Proxion.Analyzer.restore ?batch_size ?domains ~resilience ~chain
-           ~source)
+        (Proxion.Analyzer.restore ?batch_size ?domains ~resilience
+           ~chain:chain_ ~source)
     with
     | Ok t -> Ok t
     | Error e -> Error (Printf.sprintf "cannot resume from %s: %s" what e)
@@ -217,7 +201,9 @@ let run_landscape total seed findings batch_size domains progress
          | Some d -> Proxion.Pipeline.Config.with_domains d
          | None -> Fun.id)
     in
-    let t = Proxion.Analyzer.create ~config ~resilience ~chain ~source () in
+    let t =
+      Proxion.Analyzer.create ~config ~resilience ~chain:chain_ ~source ()
+    in
     Proxion.Analyzer.submit_all t;
     Ok t
   in
@@ -266,8 +252,8 @@ let run_landscape total seed findings batch_size domains progress
     | None, Some path ->
         Result.bind (read_checkpoint path) (fun json ->
             match
-              Proxion.Analyzer.restore ?batch_size ?domains ~resilience ~chain
-                ~source json
+              Proxion.Analyzer.restore ?batch_size ?domains ~resilience
+                ~chain:chain_ ~source json
             with
             | Ok t -> Ok t
             | Error e ->
@@ -323,44 +309,9 @@ let run_landscape total seed findings batch_size domains progress
           1
       | () ->
           Option.iter (fun (j, _) -> Resilience.Journal.close j) journal;
-          let write_file path f =
-            match Out_channel.with_open_text path f with
-            | () -> true
-            | exception Sys_error e ->
-                Printf.eprintf "error: cannot write %s: %s\n%!" path e;
-                false
+          let outputs_failed =
+            not (Telemetry_spec.write_outputs telemetry ~registry ~trace)
           in
-          (* [--metrics-out foo.json] snapshots as JSON, anything else as
-             Prometheus text exposition.  [--metrics-deterministic] drops
-             the timestamp and the volatile (wall-clock-derived) families
-             so snapshots diff byte-identically across --domains. *)
-          let metrics_ok =
-            match metrics_out with
-            | None -> true
-            | Some path ->
-                write_file path (fun oc ->
-                    if Filename.check_suffix path ".json" then begin
-                      Out_channel.output_string oc
-                        (Report.Json.to_string ~pretty:true
-                           (Obs.Metrics.to_json ~suppress_volatile:metrics_det
-                              ?timestamp:
-                                (if metrics_det then None
-                                 else Some (Obs.Clock.now Obs.Clock.real))
-                              registry));
-                      Out_channel.output_char oc '\n'
-                    end
-                    else
-                      Out_channel.output_string oc
-                        (Obs.Metrics.to_prometheus
-                           ~suppress_volatile:metrics_det registry))
-          in
-          let trace_ok =
-            match (trace_out, trace) with
-            | Some path, Some tr ->
-                write_file path (fun oc -> Obs.Trace.write tr oc)
-            | _ -> true
-          in
-          let outputs_failed = not (metrics_ok && trace_ok) in
           let checkpoint_failed =
             match checkpoint_path with
             | None -> false
@@ -385,7 +336,7 @@ let run_landscape total seed findings batch_size domains progress
             0
           end
           else begin
-            if progress then
+            if telemetry.Telemetry_spec.progress then
               prerr_string (Proxion.Analyzer.stage_totals_table analyzer);
             let t =
               Experiments.Landscape.of_parts land_
@@ -394,11 +345,7 @@ let run_landscape total seed findings batch_size domains progress
             print_landscape t findings
           end)
 
-let landscape_cmd =
-  let doc =
-    "Generate a synthetic landscape, run the full pipeline through the \
-     staged engine, and print the section-7 figures and tables."
-  in
+let scan_term ~deprecated =
   let findings_arg =
     Arg.(
       value & opt int 0
@@ -423,12 +370,6 @@ let landscape_cmd =
             "Worker domains per batch (default 1 = sequential; on \
              --resume, overrides the checkpointed value).  Output is \
              byte-identical for every value.")
-  in
-  let progress_arg =
-    Arg.(
-      value & flag
-      & info [ "progress" ]
-          ~doc:"Print per-batch progress and stage totals on stderr.")
   in
   let checkpoint_arg =
     Arg.(
@@ -455,30 +396,6 @@ let landscape_cmd =
             "Stop after $(docv) batches, leaving the rest queued (pair \
              with --checkpoint).")
   in
-  let fault_rate_arg =
-    Arg.(
-      value & opt float 0.0
-      & info [ "fault-rate" ] ~docv:"P"
-          ~doc:
-            "Inject transient archive faults (rate limits, timeouts, node \
-             errors) on fraction $(docv) of RPC attempts.  Deterministic: \
-             the figures are identical to a fault-free run, faults only \
-             exercise the retry/breaker path.")
-  in
-  let fault_seed_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "fault-seed" ] ~docv:"SEED"
-          ~doc:"Seed of the injected fault plan (with --fault-rate).")
-  in
-  let fault_latency_arg =
-    Arg.(
-      value & opt float 0.0
-      & info [ "fault-latency" ] ~docv:"S"
-          ~doc:
-            "Mean injected per-call latency in virtual seconds (never \
-             sleeps the wall clock).")
-  in
   let retry_skipped_arg =
     Arg.(
       value & flag
@@ -488,65 +405,143 @@ let landscape_cmd =
              classes) and run once more.")
   in
   let journal_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "journal" ] ~docv:"FILE"
-          ~doc:
-            "Keep a durable CRC-framed checkpoint journal at $(docv), \
-             committed at every batch boundary.  If $(docv) already holds \
-             committed state (e.g. after a kill -9), the run recovers it — \
-             truncating any torn tail — and resumes; at most one batch is \
-             re-executed.  Use the same --total and --seed so the landscape \
-             regenerates identically.")
+    Journal_spec.term
+      ~doc:
+        "Keep a durable CRC-framed checkpoint journal at $(docv), \
+         committed at every batch boundary.  If $(docv) already holds \
+         committed state (e.g. after a kill -9), the run recovers it — \
+         truncating any torn tail — and resumes; at most one batch is \
+         re-executed.  Use the same --total and --seed so the landscape \
+         regenerates identically."
   in
-  let watchdog_arg =
+  Term.(
+    const (run_scan ~deprecated)
+    $ Chain_spec.term () $ Faults_spec.term $ Telemetry_spec.term
+    $ journal_arg $ findings_arg $ batch_size_arg $ domains_arg
+    $ checkpoint_arg $ resume_arg $ max_batches_arg $ retry_skipped_arg)
+
+let scan_cmd =
+  let doc =
+    "Generate a synthetic landscape, run the full pipeline through the \
+     staged engine, and print the section-7 figures and tables."
+  in
+  Cmd.v (Cmd.info "scan" ~doc) (scan_term ~deprecated:false)
+
+let landscape_cmd =
+  let doc = "Deprecated alias of $(b,scan)." in
+  Cmd.v (Cmd.info "landscape" ~doc) (scan_term ~deprecated:true)
+
+(* --- serve: the resident analysis daemon --------------------------------- *)
+
+let run_serve chain host port workers backlog journal_path advance_seed
+    deployments upgrades batch_size domains log_json log_level =
+  let analysis =
+    Proxion.Pipeline.Config.default
+    |> (match batch_size with
+       | Some b -> Proxion.Pipeline.Config.with_batch_size b
+       | None -> Fun.id)
+    |> (match domains with
+       | Some d -> Proxion.Pipeline.Config.with_domains d
+       | None -> Fun.id)
+  in
+  let config =
+    Serve.Config.(
+      default |> with_host host |> with_port port |> with_workers workers
+      |> with_backlog backlog |> with_journal journal_path
+      |> with_advance_seed advance_seed
+      |> with_advance_spec { Serve.Advance.deployments; upgrades }
+      |> with_analysis analysis)
+  in
+  let registry = Obs.Metrics.create () in
+  let log = Obs.Log.create ~level:log_level ~json:log_json stderr in
+  let land_ = Chain_spec.generate chain in
+  match Serve.Daemon.create ~config ~registry ~log land_ with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok d -> (
+      match Serve.Daemon.start d with
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          1
+      | Ok () ->
+          Printf.printf "proxion daemon listening on %s:%d (%s, %d contracts)\n%!"
+            host (Serve.Daemon.port d)
+            (if Serve.Daemon.recovered d then "recovered warm from journal"
+             else "analyzed cold")
+            (Serve.Store.size (Serve.Daemon.store d));
+          let stop_signal _ = Serve.Daemon.request_stop d in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+          Serve.Daemon.wait d;
+          0)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Bind/connect address.")
+
+let serve_cmd =
+  let doc =
+    "Run the resident analysis daemon: analyze a landscape once (or \
+     recover it warm from --journal), hold the results hot, and answer \
+     wire-protocol queries (see doc/API.md) until shutdown."
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen port (default 0 = pick an ephemeral port).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Connection-serving worker domains.")
+  in
+  let backlog_arg =
+    Arg.(value & opt int 16 & info [ "backlog" ] ~docv:"N" ~doc:"Listen backlog.")
+  in
+  let journal_arg =
+    Journal_spec.term
+      ~doc:
+        "Snapshot every increment to a durable journal at $(docv); a \
+         killed daemon restarted with the same landscape flags recovers \
+         warm without re-analyzing."
+  in
+  let advance_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "advance-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the scripted chain advances (watch mode).")
+  in
+  let deployments_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "advance-deployments" ] ~docv:"N"
+          ~doc:"New contracts deployed per advance.")
+  in
+  let upgrades_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "advance-upgrades" ] ~docv:"N"
+          ~doc:"Proxy upgrade events per advance.")
+  in
+  let batch_size_arg =
     Arg.(
       value
       & opt (some int) None
-      & info [ "watchdog-steps" ] ~docv:"N"
-          ~doc:
-            "Per-contract EVM-step budget, enforced live inside emulation: \
-             a contract looping in the probe is dead-lettered as \
-             budget-exhausted after $(docv) steps instead of stalling its \
-             worker.")
+      & info [ "batch-size" ] ~docv:"N" ~doc:"Analyzer batch size.")
   in
-  let metrics_out_arg =
+  let domains_arg =
     Arg.(
       value
-      & opt (some string) None
-      & info [ "metrics-out" ] ~docv:"FILE"
-          ~doc:
-            "Write the telemetry registry to $(docv) when the run stops: \
-             Prometheus text exposition, or a JSON snapshot when $(docv) \
-             ends in .json.")
-  in
-  let metrics_det_arg =
-    Arg.(
-      value & flag
-      & info [ "metrics-deterministic" ]
-          ~doc:
-            "Suppress wall-clock-derived (volatile) metric families and \
-             the snapshot timestamp, making --metrics-out byte-identical \
-             across --domains values.")
-  in
-  let trace_out_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:
-            "Write a Chrome trace-event JSON span timeline (run > batch > \
-             item > stage, plus sampled RPC/EVM worker lanes) to $(docv) — \
-             loadable at ui.perfetto.dev.")
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~doc:"Analyzer worker domains.")
   in
   let log_json_arg =
     Arg.(
       value & flag
-      & info [ "log-json" ]
-          ~doc:
-            "Emit progress as JSONL structured-log records on stderr \
-             (implies --progress).")
+      & info [ "log-json" ] ~doc:"JSONL structured access log on stderr.")
   in
   let log_level_arg =
     Arg.(
@@ -561,20 +556,179 @@ let landscape_cmd =
                ("error", Obs.Log.Error);
              ])
           Obs.Log.Info
-      & info [ "log-level" ] ~docv:"LEVEL"
-          ~doc:
-            "Minimum progress-log level (debug|info|warn|error).  Debug \
-             adds per-attempt retry and breaker detail that info \
-             summarizes per batch.")
+      & info [ "log-level" ] ~docv:"LEVEL" ~doc:"Minimum access-log level.")
   in
-  Cmd.v (Cmd.info "landscape" ~doc)
+  Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run_landscape $ total_arg $ seed_arg $ findings_arg
-      $ batch_size_arg $ domains_arg $ progress_arg $ checkpoint_arg
-      $ resume_arg $ max_batches_arg $ fault_rate_arg $ fault_seed_arg
-      $ fault_latency_arg $ retry_skipped_arg $ journal_arg $ watchdog_arg
-      $ metrics_out_arg $ metrics_det_arg $ trace_out_arg $ log_json_arg
-      $ log_level_arg)
+      const run_serve
+      $ Chain_spec.term ~default_total:2_000 ()
+      $ host_arg $ port_arg $ workers_arg $ backlog_arg $ journal_arg
+      $ advance_seed_arg $ deployments_arg $ upgrades_arg $ batch_size_arg
+      $ domains_arg $ log_json_arg $ log_level_arg)
+
+(* --- query: the thin wire client ----------------------------------------- *)
+
+let parse_param kv =
+  match String.index_opt kv '=' with
+  | None -> Error (Printf.sprintf "%S: expected KEY=VALUE" kv)
+  | Some i ->
+      let key = String.sub kv 0 i in
+      let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+      let json =
+        match int_of_string_opt v with
+        | Some n -> Report.Json.Int n
+        | None -> (
+            match v with
+            | "true" -> Report.Json.Bool true
+            | "false" -> Report.Json.Bool false
+            | _ -> Report.Json.String v)
+      in
+      Ok (key, json)
+
+let run_query host port meth raw_params =
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | kv :: rest -> (
+        match parse_param kv with
+        | Ok p -> parse (p :: acc) rest
+        | Error e -> Error e)
+  in
+  match parse [] raw_params with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok params -> (
+      match Serve.Client.connect ~host ~port () with
+      | Error e ->
+          Printf.eprintf "error: cannot connect to %s:%d: %s\n%!" host port e;
+          1
+      | Ok c ->
+          let code =
+            match Serve.Client.call c ~meth ~params with
+            | Ok result ->
+                print_endline (Report.Json.to_string ~pretty:true result);
+                0
+            | Error e ->
+                prerr_endline ("error: " ^ e);
+                1
+          in
+          Serve.Client.close c;
+          code)
+
+let port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port (printed by serve).")
+
+let query_cmd =
+  let doc =
+    "Send one request to a running daemon and print the JSON result: \
+     $(b,proxion query --port 7000 is_proxy address=0xabc...)."
+  in
+  let meth_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"METHOD"
+          ~doc:
+            "Wire method: get_status, is_proxy, logic_history, collisions, \
+             list_findings, report, metrics, advance, shutdown.")
+  in
+  let params_arg =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"KEY=VALUE" ~doc:"Request parameters.")
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run_query $ host_arg $ port_arg $ meth_arg $ params_arg)
+
+(* --- bench: load-generate against a self-hosted daemon ------------------- *)
+
+let run_bench chain clients requests workers out =
+  if clients <= 0 || requests <= 0 then begin
+    prerr_endline "error: --clients and --requests must be positive";
+    1
+  end
+  else
+    let land_ = Chain_spec.generate chain in
+    let config = Serve.Config.(default |> with_workers workers) in
+    match Serve.Daemon.create ~config land_ with
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        1
+    | Ok d -> (
+        match Serve.Daemon.start d with
+        | Error e ->
+            prerr_endline ("error: " ^ e);
+            1
+        | Ok () ->
+            let addresses =
+              List.map
+                (fun l -> l.Dataset.Generate.l_address)
+                land_.Dataset.Generate.labels
+            in
+            let outcome =
+              Serve.Loadgen.run ~port:(Serve.Daemon.port d) ~clients ~requests
+                ~addresses ()
+            in
+            Serve.Daemon.stop d;
+            (match outcome with
+            | Error e ->
+                prerr_endline ("error: " ^ e);
+                1
+            | Ok stats ->
+                Printf.printf
+                  "%d clients x %d requests: %.0f req/s  p50 %.3f ms  p90 \
+                   %.3f ms  p99 %.3f ms  (%d errors)\n"
+                  stats.Serve.Loadgen.lg_clients requests
+                  stats.Serve.Loadgen.lg_rps stats.Serve.Loadgen.lg_p50_ms
+                  stats.Serve.Loadgen.lg_p90_ms stats.Serve.Loadgen.lg_p99_ms
+                  stats.Serve.Loadgen.lg_errors;
+                (match out with
+                | None -> 0
+                | Some path ->
+                    if
+                      Telemetry_spec.write_file path (fun oc ->
+                          Out_channel.output_string oc
+                            (Report.Json.to_string ~pretty:true
+                               (Serve.Loadgen.to_json stats));
+                          Out_channel.output_char oc '\n')
+                    then 0
+                    else 1)))
+
+let bench_cmd =
+  let doc =
+    "Self-host a daemon over a synthetic landscape and drive it with \
+     concurrent load-generator clients (see bench/ for the full \
+     BENCH_serve.json sweeps)."
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client domains.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Daemon worker domains.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the stats as JSON.")
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const run_bench
+      $ Chain_spec.term ~default_total:1_000 ()
+      $ clients_arg $ requests_arg $ workers_arg $ out_arg)
 
 (* --- coverage / accuracy / perf / effectiveness ------------------------- *)
 
@@ -810,7 +964,11 @@ let () =
        (Cmd.group ~default:default_cmd info
           [
             analyze_cmd;
+            scan_cmd;
             landscape_cmd;
+            serve_cmd;
+            query_cmd;
+            bench_cmd;
             coverage_cmd;
             accuracy_cmd;
             perf_cmd;

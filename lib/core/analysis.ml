@@ -102,6 +102,18 @@ module Config = struct
   let with_batch_size batch_size t = { t with batch_size }
   let with_domains domains t = { t with domains }
 
+  let validate t =
+    let module V = Report.Validate in
+    match
+      V.all
+        [
+          V.positive ~field:"batch_size" t.batch_size;
+          V.positive ~field:"domains" t.domains;
+        ]
+    with
+    | Ok () -> Ok t
+    | Error e -> Error e
+
   module Json = Report.Json
 
   let to_json t =

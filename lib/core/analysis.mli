@@ -95,6 +95,10 @@ module Config : sig
   val with_batch_size : int -> t -> t
   val with_domains : int -> t -> t
 
+  val validate : t -> (t, Report.Validate.error) result
+  (** The shared config gate ({!Report.Validate}): positive
+      [batch_size] and [domains]. *)
+
   val to_json : t -> Report.Json.t
   val of_json : Report.Json.t -> (t, string) result
 end

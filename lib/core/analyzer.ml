@@ -75,7 +75,7 @@ type t = {
   source : Analysis.source_lookup;
   cfg : Config.t;
   resilience : Resilience.Transport.config;
-  host : Evm.Host.t;
+  mutable host : Evm.Host.t;
   par : bool; (* domains > 1: shared state needs locking *)
   cache_lock : Mutex.t;
   merge_lock : Mutex.t;
@@ -728,6 +728,16 @@ let report t =
       ~api_calls:!(t.api_calls) ~emulation_steps:!(t.steps_total) contracts
   in
   { Analysis.contracts; stats }
+
+let drain_results t = Engine.drain_results t.engine
+let unique_codes t = Hashtbl.length t.detection_cache
+
+let invalidate_code_hash t code_hash =
+  Mutex.lock t.cache_lock;
+  Hashtbl.remove t.detection_cache code_hash;
+  Mutex.unlock t.cache_lock
+
+let refresh_head t = t.host <- Chain.host_at_head t.chain
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing                                                       *)

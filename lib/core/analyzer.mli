@@ -113,6 +113,30 @@ val report : t -> Analysis.report
     drains, this equals what {!Pipeline.analyze} returns for the same
     addresses and configuration. *)
 
+val drain_results : t -> Analysis.contract_report list
+(** Completed per-contract reports since the previous drain, in
+    completion (= submission) order; clears the underlying engine's
+    result buffer so a long-lived analyzer — the query daemon reuses one
+    across increments — stays bounded and its {!checkpoint}s stay small.
+    {!report} called after a drain covers only undrained results. *)
+
+val unique_codes : t -> int
+(** Distinct code hashes the dedup cache currently holds (the
+    [s_unique_codes] statistic). *)
+
+val invalidate_code_hash : t -> string -> unit
+(** Drop the dedup cache's detection entry for a (raw, 32-byte) code
+    hash, forcing the next submitted subject with that hash to re-probe
+    fresh.  The daemon's incremental mode calls this for every hash
+    whose cache {e owner} (the earliest deployed holder) is dirty, so
+    re-analysis repopulates the cache exactly as a cold run would. *)
+
+val refresh_head : t -> unit
+(** Re-snapshot the sequential-path emulation host at the chain's
+    current head, so probes observe the post-advance block number and
+    timestamp exactly as a fresh analyzer would.  Call after the chain
+    advances under a live analyzer. *)
+
 (** {1 Checkpointing} *)
 
 val checkpoint : t -> Report.Json.t

@@ -383,10 +383,50 @@ let stats_to_json (s : Analysis.stats) =
       ("emulation_steps", Json.Int s.Analysis.s_emulation_steps);
     ]
 
+let stats_of_json json =
+  let* s_analyzed = get_int json "analyzed" in
+  let* s_proxies = get_int json "proxies" in
+  let* s_emulation_errors = get_int json "emulation_errors" in
+  let* s_pairs = get_int json "pairs" in
+  let* s_func_colliding_pairs = get_int json "func_colliding_pairs" in
+  let* s_storage_colliding_pairs = get_int json "storage_colliding_pairs" in
+  let* s_verified_storage_pairs = get_int json "verified_storage_pairs" in
+  let* s_honeypot_pairs = get_int json "honeypot_pairs" in
+  let* s_dedup_hits = get_int json "dedup_hits" in
+  let* s_unique_codes = get_int json "unique_codes" in
+  let* s_api_calls = get_int json "api_calls" in
+  let* s_emulation_steps = get_int json "emulation_steps" in
+  Ok
+    {
+      Analysis.s_analyzed;
+      s_proxies;
+      s_emulation_errors;
+      s_pairs;
+      s_func_colliding_pairs;
+      s_storage_colliding_pairs;
+      s_verified_storage_pairs;
+      s_honeypot_pairs;
+      s_dedup_hits;
+      s_unique_codes;
+      s_api_calls;
+      s_emulation_steps;
+    }
+
+let report_kind = "proxion.report"
+
 let report_to_json (r : Analysis.report) =
-  Json.Obj
-    [
-      ( "contracts",
-        Json.List (List.map contract_report_to_json r.Analysis.contracts) );
-      ("stats", stats_to_json r.Analysis.stats);
-    ]
+  Report.Schema.stamp ~kind:report_kind
+    (Json.Obj
+       [
+         ( "contracts",
+           Json.List (List.map contract_report_to_json r.Analysis.contracts) );
+         ("stats", stats_to_json r.Analysis.stats);
+       ])
+
+let report_of_json json =
+  let* json = Report.Schema.check ~kind:report_kind json in
+  let* contracts =
+    Result.bind (get_list json "contracts") (map_result contract_report_of_json)
+  in
+  let* stats = Result.bind (field "stats" json) stats_of_json in
+  Ok { Analysis.contracts; stats }

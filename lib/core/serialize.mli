@@ -39,8 +39,19 @@ val contract_report_of_json :
   Report.Json.t -> (Analysis.contract_report, string) result
 
 val stats_to_json : Analysis.stats -> Report.Json.t
+val stats_of_json : Report.Json.t -> (Analysis.stats, string) result
+
+val report_kind : string
+(** The [kind] tag stamped on full-report documents,
+    ["proxion.report"]. *)
 
 val report_to_json : Analysis.report -> Report.Json.t
 (** The full pipeline report (contracts + stats) — the machine-readable
-    output the CLI's [--json] consumers read, and the equality witness
-    the resume tests compare. *)
+    output the CLI's [--json] consumers read, the payload the daemon's
+    store snapshots and query responses embed, and the equality witness
+    the resume tests compare.  The document is stamped with
+    [Report.Schema.version] and {!report_kind}. *)
+
+val report_of_json : Report.Json.t -> (Analysis.report, string) result
+(** Inverse of {!report_to_json}; rejects documents whose
+    [schema_version] or [kind] differs from the current one. *)

@@ -346,6 +346,12 @@ let batch_size t = t.bsize
 let domains t = t.n_domains
 let batches_done t = t.batches
 let results t = List.rev t.results_rev
+
+let drain_results t =
+  let r = List.rev t.results_rev in
+  t.results_rev <- [];
+  r
+
 let processed_count t = t.processed
 let skipped t = List.rev t.skipped_rev
 
@@ -514,7 +520,21 @@ module Chan = struct
     let r = await () in
     Mutex.unlock t.mutex;
     r
+
+  let pop_opt t =
+    Mutex.lock t.mutex;
+    let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.mutex;
+    r
+
+  let length t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.q in
+    Mutex.unlock t.mutex;
+    n
 end
+
+module Task_channel = Chan
 
 (* Partition the batch's item indices into ordered chains.  Items sharing a
    group key form one chain, processed sequentially by a single worker in

@@ -312,6 +312,14 @@ val run : ?max_batches:int -> ('item, 'res) t -> unit
 val results : ('item, 'res) t -> 'res list
 (** Completed results in completion order (= submission order). *)
 
+val drain_results : ('item, 'res) t -> 'res list
+(** Like {!results}, but also clears the engine's result buffer: each
+    completed result is returned exactly once across successive drains.
+    Long-lived callers (the query daemon) drain after every [run] so
+    the engine — and the checkpoints {!checkpoint} serializes — stay
+    bounded regardless of how many increments have been processed.
+    [processed_count] is unaffected. *)
+
 val processed_count : ('item, 'res) t -> int
 
 (** {1 Dead letters} *)
@@ -419,6 +427,31 @@ val of_json :
     versions — comes back as [Error _]; no input makes it raise.
     (Caller-supplied [item_of_json]/[res_of_json] must uphold the same
     contract for their fragments.) *)
+
+(** {1 Task channel}
+
+    The multi-producer/multi-consumer closeable channel the engine's
+    worker pool runs on, exposed for other domain-parallel accept loops
+    (the query daemon feeds client connections to worker domains through
+    one).  [pop] blocks until an element arrives or the channel has been
+    closed {e and} drained. *)
+module Task_channel : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+
+  val close : 'a t -> unit
+  (** Idempotent; wakes every blocked [pop]. *)
+
+  val pop : 'a t -> 'a option
+  (** Block for the next element; [None] once closed and empty. *)
+
+  val pop_opt : 'a t -> 'a option
+  (** Non-blocking variant: [None] when currently empty. *)
+
+  val length : 'a t -> int
+end
 
 (** {1 Telemetry}
 

@@ -1,4 +1,6 @@
 module Json = Json
+module Schema = Schema
+module Validate = Validate
 
 let widths header rows =
   let n = List.length header in

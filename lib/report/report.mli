@@ -8,6 +8,12 @@
 module Json = Json
 (** JSON emission for machine-readable output. *)
 
+module Schema = Schema
+(** Versioned envelopes for machine-readable documents. *)
+
+module Validate = Validate
+(** Shared configuration-validation error type and checks. *)
+
 val table : title:string -> header:string list -> string list list -> string
 (** Render an aligned table.  Column widths fit the widest cell. *)
 

@@ -1,0 +1,46 @@
+let version = 1
+let version_key = "schema_version"
+let kind_key = "kind"
+
+let strip kvs =
+  List.filter (fun (k, _) -> k <> version_key && k <> kind_key) kvs
+
+let stamp ?kind json =
+  let tag =
+    (version_key, Json.Int version)
+    ::
+    (match kind with None -> [] | Some k -> [ (kind_key, Json.String k) ])
+  in
+  match json with
+  | Json.Obj kvs -> Json.Obj (tag @ strip kvs)
+  | other -> Json.Obj (tag @ [ ("payload", other) ])
+
+let version_of = function
+  | Json.Obj kvs -> (
+      match List.assoc_opt version_key kvs with
+      | Some (Json.Int v) -> Some v
+      | _ -> None)
+  | _ -> None
+
+let kind_of = function
+  | Json.Obj kvs -> (
+      match List.assoc_opt kind_key kvs with
+      | Some (Json.String k) -> Some k
+      | _ -> None)
+  | _ -> None
+
+let check ?kind json =
+  match version_of json with
+  | None -> Error (Printf.sprintf "missing %s (expected %d)" version_key version)
+  | Some v when v <> version ->
+      Error
+        (Printf.sprintf "unsupported %s %d (expected %d)" version_key v version)
+  | Some _ -> (
+      match kind with
+      | None -> Ok json
+      | Some want -> (
+          match kind_of json with
+          | Some got when got = want -> Ok json
+          | Some got ->
+              Error (Printf.sprintf "wrong kind %S (expected %S)" got want)
+          | None -> Error (Printf.sprintf "missing kind (expected %S)" want)))

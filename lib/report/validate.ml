@@ -1,0 +1,38 @@
+type error = { e_field : string; e_value : string; e_reason : string }
+
+let error ~field ~value ~reason =
+  { e_field = field; e_value = value; e_reason = reason }
+
+let to_string e = Printf.sprintf "%s = %s: %s" e.e_field e.e_value e.e_reason
+
+let positive ~field v =
+  if v > 0 then Ok ()
+  else Error (error ~field ~value:(string_of_int v) ~reason:"must be positive")
+
+let non_negative ~field v =
+  if v >= 0 then Ok ()
+  else
+    Error (error ~field ~value:(string_of_int v) ~reason:"must be non-negative")
+
+let at_least ~field ~min v =
+  if v >= min then Ok ()
+  else
+    Error
+      (error ~field ~value:(string_of_int v)
+         ~reason:(Printf.sprintf "must be at least %d" min))
+
+let unit_interval ~field v =
+  if v >= 0.0 && v <= 1.0 then Ok ()
+  else
+    Error
+      (error ~field ~value:(string_of_float v)
+         ~reason:"must be within [0.0, 1.0]")
+
+let non_empty ~field v =
+  if String.length v > 0 then Ok ()
+  else Error (error ~field ~value:"\"\"" ~reason:"must be non-empty")
+
+let all checks =
+  List.fold_left
+    (fun acc check -> match acc with Error _ -> acc | Ok () -> check)
+    (Ok ()) checks

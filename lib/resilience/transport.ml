@@ -19,6 +19,31 @@ let config ?plan ?(policy = Retry.default) ?(breaker = Breaker.default_config)
     ?call_budget ?step_budget () =
   { plan; policy; breaker; call_budget; step_budget }
 
+let with_plan plan cfg = { cfg with plan }
+let with_policy policy cfg = { cfg with policy }
+let with_breaker breaker cfg = { cfg with breaker }
+let with_call_budget call_budget cfg = { cfg with call_budget }
+let with_step_budget step_budget cfg = { cfg with step_budget }
+
+let validate_config cfg =
+  let module V = Report.Validate in
+  let budget field = function
+    | None -> Ok ()
+    | Some b -> V.positive ~field b
+  in
+  match
+    V.all
+      [
+        V.positive ~field:"policy.max_attempts" cfg.policy.Retry.max_attempts;
+        V.positive ~field:"breaker.failure_threshold"
+          cfg.breaker.Breaker.failure_threshold;
+        budget "call_budget" cfg.call_budget;
+        budget "step_budget" cfg.step_budget;
+      ]
+  with
+  | Ok () -> Ok cfg
+  | Error e -> Error e
+
 type event =
   | Retry of { attempt : int; reason : string; delay : float }
   | Circuit_opened of { endpoint : string; failures : int }

@@ -1,0 +1,162 @@
+module Address = Evm.Address
+module Ast = Minisol.Ast
+module Patterns = Minisol.Patterns
+module Prng = Dataset.Prng
+module Generate = Dataset.Generate
+
+type spec = { deployments : int; upgrades : int }
+
+let default_spec = { deployments = 3; upgrades = 2 }
+
+type summary = {
+  a_index : int;
+  a_new_contracts : Address.t list;
+  a_writes : Address.t list;
+  a_height : int;
+}
+
+type t = {
+  seed : int;
+  spec : spec;
+  landscape : Generate.t;
+  upgradeable : (Address.t * U256.t) array;
+      (* label-order slot proxies and their logic slots *)
+  clone_source : string option;  (* runtime bytes of the first plain label *)
+  mutable applied : int;
+  mutable last_plain : Address.t option;
+      (* most recent plain logic deployed by an advance *)
+}
+
+let create ?(seed = 7) ?(spec = default_spec) (landscape : Generate.t) =
+  let upgradeable =
+    List.filter_map
+      (fun (l : Generate.label) ->
+        match l.Generate.l_kind with
+        | Generate.K_slot_proxy -> Some (l.Generate.l_address, U256.one)
+        | Generate.K_eip1967_proxy ->
+            Some (l.Generate.l_address, Patterns.eip1967_implementation_slot)
+        | _ -> None)
+      landscape.Generate.labels
+    |> Array.of_list
+  in
+  let clone_source =
+    List.find_map
+      (fun (l : Generate.label) ->
+        match l.Generate.l_kind with
+        | Generate.K_plain ->
+            let code =
+              Chain.code_at landscape.Generate.chain l.Generate.l_address
+            in
+            if code = "" then None else Some code
+        | _ -> None)
+      landscape.Generate.labels
+  in
+  { seed; spec; landscape; upgradeable; clone_source; applied = 0; last_plain = None }
+
+let applied t = t.applied
+
+(* A fresh logic contract whose bytecode is unique to (index, tag). *)
+let logic_variant index tag =
+  let base = Patterns.counter_logic () in
+  {
+    base with
+    Ast.c_funcs =
+      base.Ast.c_funcs
+      @ [ Ast.func (Printf.sprintf "adv%d_%d" index tag) [ Ast.Stop ] ];
+  }
+
+let proxy_variant index tag =
+  let base = Patterns.eip1967_proxy () in
+  {
+    base with
+    Ast.c_funcs =
+      base.Ast.c_funcs
+      @ [ Ast.func (Printf.sprintf "mark%d_%d" index tag) [ Ast.Stop ] ];
+  }
+
+let install t ast =
+  Chain.install_contract t.landscape.Generate.chain
+    ~runtime:(Minisol.Codegen.runtime ast) ()
+
+let apply t =
+  let chain = t.landscape.Generate.chain in
+  let index = t.applied + 1 in
+  (* Seed each advance independently of its predecessors so recovery can
+     replay advance i without re-deriving i-1's stream. *)
+  let rng = Prng.create (t.seed + (0x9e3779b9 * index)) in
+  let new_rev = ref [] in
+  let writes_rev = ref [] in
+  let deployed addr = new_rev := addr :: !new_rev in
+  (* Deployments: cycle through shapes. *)
+  for j = 0 to t.spec.deployments - 1 do
+    match j mod 4 with
+    | 0 ->
+        let addr = install t (logic_variant index j) in
+        t.last_plain <- Some addr;
+        deployed addr
+    | 1 ->
+        (* A fresh EIP-1967 proxy pointed at the newest advance logic
+           (or a scripted fresh one when none exists yet). *)
+        let target =
+          match t.last_plain with
+          | Some a -> a
+          | None ->
+              let a = install t (logic_variant index (100 + j)) in
+              t.last_plain <- Some a;
+              deployed a;
+              a
+        in
+        let addr = install t (proxy_variant index j) in
+        Chain.set_storage_direct chain addr
+          Patterns.eip1967_implementation_slot
+          (Address.to_u256 target);
+        deployed addr
+    | 2 -> (
+        (* A byte-identical clone of an existing plain contract — a
+           guaranteed dedup hit for the incremental analyzer. *)
+        match t.clone_source with
+        | Some runtime ->
+            deployed (Chain.install_contract chain ~runtime ())
+        | None ->
+            let addr = install t (logic_variant index j) in
+            t.last_plain <- Some addr;
+            deployed addr)
+    | _ ->
+        (* A canonical EIP-1167 minimal proxy to the newest logic. *)
+        let target =
+          match t.last_plain with
+          | Some a -> a
+          | None ->
+              let a = install t (logic_variant index (200 + j)) in
+              t.last_plain <- Some a;
+              deployed a;
+              a
+        in
+        deployed
+          (Chain.install_contract chain
+             ~runtime:(Patterns.eip1167_runtime target)
+             ())
+  done;
+  (* Upgrade events: point scripted slot proxies at fresh logic. *)
+  let n_up = Array.length t.upgradeable in
+  if n_up > 0 then
+    for j = 0 to t.spec.upgrades - 1 do
+      let proxy, slot = t.upgradeable.(Prng.int rng n_up) in
+      let logic = install t (logic_variant index (1000 + j)) in
+      deployed logic;
+      Chain.advance_blocks chain (1 + Prng.int rng 8);
+      Chain.set_storage_direct chain proxy slot (Address.to_u256 logic);
+      writes_rev := proxy :: !writes_rev
+    done;
+  t.applied <- index;
+  {
+    a_index = index;
+    a_new_contracts = List.rev !new_rev;
+    a_writes = List.rev !writes_rev;
+    a_height = Chain.height chain;
+  }
+
+let replay t n =
+  for _ = 1 to n do
+    ignore (apply t)
+  done

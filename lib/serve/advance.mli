@@ -1,0 +1,45 @@
+(** Scripted chain advances — the daemon's synthetic "watch mode" feed.
+
+    Models the paper's longitudinal observation (Fig. 6): the chain
+    keeps moving under the analysis — new contracts are deployed (plain
+    logic, fresh EIP-1967 proxies, byte-identical clones, minimal
+    proxies) and existing slot-based proxies are upgraded to freshly
+    deployed logic.
+
+    Every advance is a pure function of [(seed, index)] and the
+    landscape's ground-truth labels — {e never} of analysis results —
+    so replaying [k] advances over a regenerated landscape reproduces
+    the chain state bit-for-bit.  That is what lets a recovering daemon
+    rebuild its chain deterministically, and what makes "incremental
+    result = cold full re-run" a testable identity. *)
+
+type spec = {
+  deployments : int;  (** New contracts per advance (shape cycles). *)
+  upgrades : int;  (** Upgrade events per advance. *)
+}
+
+val default_spec : spec
+(** 3 deployments, 2 upgrades. *)
+
+type summary = {
+  a_index : int;  (** 1-based advance number. *)
+  a_new_contracts : Evm.Address.t list;  (** Deployment order. *)
+  a_writes : Evm.Address.t list;
+      (** Existing subjects whose storage an upgrade wrote. *)
+  a_height : int;  (** Chain head after the advance. *)
+}
+
+type t
+
+val create : ?seed:int -> ?spec:spec -> Dataset.Generate.t -> t
+(** Default seed 7. *)
+
+val applied : t -> int
+
+val apply : t -> summary
+(** Mutate the landscape's chain with the next scripted advance. *)
+
+val replay : t -> int -> unit
+(** Apply the next [n] advances, discarding summaries — journal
+    recovery uses this to bring a regenerated chain back to the state
+    the snapshot was taken at. *)

@@ -1,0 +1,42 @@
+module Json = Report.Json
+
+type t = { fd : Unix.file_descr; mutable next_id : int }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> Error (Printf.sprintf "bad host %S" host)
+  | addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        Ok { fd; next_id = 1 }
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let call_result t ~meth ~params =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match Wire.write_frame t.fd (Wire.request_to_string ~id ~meth ~params) with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () -> (
+      match Wire.read_frame t.fd with
+      | Error e -> Error (Wire.read_error_to_string e)
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | Ok payload -> (
+          match Wire.response_of_string payload with
+          | Error e -> Error e
+          | Ok resp -> (
+              match resp.Wire.rs_id with
+              | Json.Int got when got <> id ->
+                  Error (Printf.sprintf "response id %d for request %d" got id)
+              | _ -> Ok resp.Wire.rs_result)))
+
+let call t ~meth ~params =
+  match call_result t ~meth ~params with
+  | Error e -> Error e
+  | Ok (Ok result) -> Ok result
+  | Ok (Error { Wire.code; message }) ->
+      Error (Printf.sprintf "error %d: %s" code message)

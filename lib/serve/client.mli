@@ -1,0 +1,25 @@
+(** A thin wire-protocol client — the [proxion query] command, the load
+    generator, and the server tests all speak through this. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, string) result
+(** Open one TCP connection (default host 127.0.0.1). *)
+
+val close : t -> unit
+
+val call :
+  t ->
+  meth:string ->
+  params:(string * Report.Json.t) list ->
+  (Report.Json.t, string) result
+(** One request/response round-trip.  Error responses are rendered as
+    ["error <code>: <message>"]; wire failures as their own message. *)
+
+val call_result :
+  t ->
+  meth:string ->
+  params:(string * Report.Json.t) list ->
+  ((Report.Json.t, Wire.error) result, string) result
+(** Like {!call} but keeps server-side errors structured (outer [Error]
+    is a transport/protocol failure). *)

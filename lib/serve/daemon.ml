@@ -1,0 +1,841 @@
+module Json = Report.Json
+module Address = Evm.Address
+module Analysis = Proxion.Analysis
+module Analyzer = Proxion.Analyzer
+module Serialize = Proxion.Serialize
+module Findings = Proxion.Findings
+module Generate = Dataset.Generate
+module Journal = Resilience.Journal
+module Metrics = Obs.Metrics
+
+let snapshot_kind = "proxion.serve.snapshot"
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Config = struct
+  type t = {
+    host : string;
+    port : int;
+    backlog : int;
+    workers : int;
+    max_frame : int;
+    journal : string option;
+    advance_seed : int;
+    advance_spec : Advance.spec;
+    analysis : Proxion.Pipeline.Config.t;
+  }
+
+  let default =
+    {
+      host = "127.0.0.1";
+      port = 0;
+      backlog = 16;
+      workers = 2;
+      max_frame = Wire.default_max_frame;
+      journal = None;
+      advance_seed = 7;
+      advance_spec = Advance.default_spec;
+      analysis = Proxion.Pipeline.Config.default;
+    }
+
+  let with_host host t = { t with host }
+  let with_port port t = { t with port }
+  let with_backlog backlog t = { t with backlog }
+  let with_workers workers t = { t with workers }
+  let with_max_frame max_frame t = { t with max_frame }
+  let with_journal journal t = { t with journal }
+  let with_advance_seed advance_seed t = { t with advance_seed }
+  let with_advance_spec advance_spec t = { t with advance_spec }
+  let with_analysis analysis t = { t with analysis }
+
+  let validate t =
+    let module V = Report.Validate in
+    match
+      V.all
+        [
+          V.non_empty ~field:"host" t.host;
+          V.non_negative ~field:"port" t.port;
+          V.positive ~field:"backlog" t.backlog;
+          V.positive ~field:"workers" t.workers;
+          V.at_least ~field:"max_frame" ~min:1024 t.max_frame;
+          V.non_negative ~field:"advance_spec.deployments"
+            t.advance_spec.Advance.deployments;
+          V.non_negative ~field:"advance_spec.upgrades"
+            t.advance_spec.Advance.upgrades;
+        ]
+    with
+    | Ok () -> (
+        match Proxion.Pipeline.Config.validate t.analysis with
+        | Ok _ -> Ok t
+        | Error e -> Error e)
+    | Error e -> Error e
+end
+
+(* ------------------------------------------------------------------ *)
+(* State                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  cfg : Config.t;
+  landscape : Generate.t;
+  analyzer : Analyzer.t;
+  store : Store.t;
+  advancer : Advance.t;
+  journal : Journal.t option;
+  registry : Metrics.t;
+  log : Obs.Log.t option;
+  m_requests : Metrics.family;
+  m_errors : Metrics.family;
+  m_latency : Metrics.family;
+  m_inflight : Metrics.family;
+  m_connections : Metrics.family;
+  m_increments : Metrics.family;
+  m_dirty : Metrics.family;
+  obs_lock : Mutex.t;
+  advance_lock : Mutex.t;
+  counters : (string, int * int) Hashtbl.t;  (* subject hex -> api, steps *)
+  uc : int Atomic.t;  (* cached Analyzer.unique_codes *)
+  inflight : int Atomic.t;
+  mutable was_recovered : bool;
+  (* server *)
+  mutable listen_fd : Unix.file_descr option;
+  mutable bound_port : int;
+  chan : Unix.file_descr Engine.Task_channel.t;
+  mutable listener : unit Domain.t option;
+  mutable workers : unit Domain.t list;
+  stop_requested : bool Atomic.t;
+  mutable stopped : bool;
+  lifecycle : Mutex.t;
+  lifecycle_cond : Condition.t;
+}
+
+let store t = t.store
+let registry t = t.registry
+let recovered t = t.was_recovered
+let advances_applied t = Advance.applied t.advancer
+let unique_codes t = Atomic.get t.uc
+
+let logf t level msg =
+  match t.log with
+  | None -> ()
+  | Some log ->
+      Mutex.lock t.obs_lock;
+      Obs.Log.log log ~component:"serve" level msg;
+      Mutex.unlock t.obs_lock
+
+(* ------------------------------------------------------------------ *)
+(* Per-subject cost attribution                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Stage subjects are either "0xaddr" or "0xproxy->0xlogic"; costs of a
+   pair stage belong to the proxy. *)
+let subject_address s =
+  match String.index_opt s '-' with
+  | Some i when i + 1 < String.length s && s.[i + 1] = '>' -> String.sub s 0 i
+  | _ -> s
+
+let subscribe_counters daemon_counters analyzer =
+  Analyzer.subscribe analyzer (function
+    | Engine.Stage_finished { subject; timing; _ } ->
+        let key = subject_address subject in
+        let api0, steps0 =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt daemon_counters key)
+        in
+        Hashtbl.replace daemon_counters key
+          ( api0 + timing.Engine.t_api_calls,
+            steps0 + timing.Engine.t_steps )
+    | _ -> ())
+
+let drain_into_store t =
+  let results = Analyzer.drain_results t.analyzer in
+  List.iter
+    (fun (r : Analysis.contract_report) ->
+      let key = Address.to_hex r.Analysis.r_address in
+      let api, steps =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt t.counters key)
+      in
+      Store.upsert t.store
+        { Store.e_report = r; e_api_calls = api; e_steps = steps })
+    results;
+  Hashtbl.reset t.counters;
+  List.length results
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_json t =
+  Report.Schema.stamp ~kind:snapshot_kind
+    (Json.Obj
+       [
+         ("advances", Json.Int (Advance.applied t.advancer));
+         ("height", Json.Int (Chain.height t.landscape.Generate.chain));
+         ("analyzer", Analyzer.checkpoint t.analyzer);
+         ( "entries",
+           Json.List (List.map Store.entry_to_json (Store.entries t.store)) );
+       ])
+
+let commit_snapshot t =
+  match t.journal with
+  | None -> ()
+  | Some j -> (
+      let payload = Json.to_string ~pretty:false (snapshot_json t) in
+      match Journal.checkpoint j payload with
+      | Ok () -> ()
+      | Error e -> failwith ("journal checkpoint failed: " ^ e))
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let make_metrics registry =
+  ( Metrics.counter registry ~help:"Requests served, by method"
+      "proxion_serve_requests_total",
+    Metrics.counter registry ~help:"Error responses, by method"
+      "proxion_serve_errors_total",
+    Metrics.histogram registry ~volatile:true
+      ~help:"Request handling latency (seconds), by method"
+      ~buckets:[ 0.0001; 0.0005; 0.001; 0.005; 0.025; 0.1; 0.5; 2.0 ]
+      "proxion_serve_request_seconds",
+    Metrics.gauge registry ~volatile:true ~help:"Requests currently in flight"
+      "proxion_serve_inflight_requests",
+    Metrics.counter registry ~help:"Connections accepted"
+      "proxion_serve_connections_total",
+    Metrics.counter registry ~help:"Incremental advances applied"
+      "proxion_serve_increments_total",
+    Metrics.counter registry ~help:"Subjects re-analyzed by increments"
+      "proxion_serve_dirty_subjects_total" )
+
+let ( let* ) = Result.bind
+
+let parse_snapshot payload =
+  let* json = Json.parse payload in
+  let* json = Report.Schema.check ~kind:snapshot_kind json in
+  let get name =
+    match json with
+    | Json.Obj kvs -> (
+        match List.assoc_opt name kvs with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "snapshot: missing %S" name))
+    | _ -> Error "snapshot: expected an object"
+  in
+  let int name =
+    match get name with
+    | Ok (Json.Int n) -> Ok n
+    | Ok _ -> Error (Printf.sprintf "snapshot: bad %S" name)
+    | Error e -> Error e
+  in
+  let* advances = int "advances" in
+  let* height = int "height" in
+  let* analyzer = get "analyzer" in
+  let* entries =
+    match get "entries" with
+    | Ok (Json.List l) ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | e :: rest ->
+              let* entry = Store.entry_of_json e in
+              go (entry :: acc) rest
+        in
+        go [] l
+    | Ok _ -> Error "snapshot: bad \"entries\""
+    | Error e -> Error e
+  in
+  Ok (advances, height, analyzer, entries)
+
+let create ?(config = Config.default) ?registry ?log landscape =
+  let* config =
+    Result.map_error Report.Validate.to_string (Config.validate config)
+  in
+  let registry = match registry with Some r -> r | None -> Metrics.create () in
+  let chain = landscape.Generate.chain in
+  let source = landscape.Generate.source_of in
+  let advancer =
+    Advance.create ~seed:config.Config.advance_seed
+      ~spec:config.Config.advance_spec landscape
+  in
+  let* journal_and_state =
+    match config.Config.journal with
+    | None -> Ok (None, None)
+    | Some path ->
+        let* j, recovery = Journal.open_journal path in
+        Ok (Some j, recovery.Journal.rec_state)
+  in
+  let journal, rec_state = journal_and_state in
+  let m_requests, m_errors, m_latency, m_inflight, m_connections, m_increments,
+      m_dirty =
+    make_metrics registry
+  in
+  let finish analyzer store was_recovered =
+    let t =
+      {
+        cfg = config;
+        landscape;
+        analyzer;
+        store;
+        advancer;
+        journal;
+        registry;
+        log;
+        m_requests;
+        m_errors;
+        m_latency;
+        m_inflight;
+        m_connections;
+        m_increments;
+        m_dirty;
+        obs_lock = Mutex.create ();
+        advance_lock = Mutex.create ();
+        counters = Hashtbl.create 1024;
+        uc = Atomic.make 0;
+        inflight = Atomic.make 0;
+        was_recovered;
+        listen_fd = None;
+        bound_port = 0;
+        chan = Engine.Task_channel.create ();
+        listener = None;
+        workers = [];
+        stop_requested = Atomic.make false;
+        stopped = false;
+        lifecycle = Mutex.create ();
+        lifecycle_cond = Condition.create ();
+      }
+    in
+    Atomic.set t.uc (Analyzer.unique_codes analyzer);
+    t
+  in
+  match rec_state with
+  | Some payload ->
+      (* Warm start: replay the scripted advances onto the regenerated
+         landscape, then restore analyzer and store from the snapshot —
+         no re-analysis. *)
+      let* advances, height, analyzer_json, entries = parse_snapshot payload in
+      Advance.replay advancer advances;
+      if Chain.height chain <> height then
+        Error
+          (Printf.sprintf
+             "journal snapshot height %d does not match replayed chain \
+              height %d (different landscape?)"
+             height (Chain.height chain))
+      else
+        let* analyzer = Analyzer.restore ~chain ~source analyzer_json in
+        let store = Store.create () in
+        List.iter (Store.upsert store) entries;
+        Store.set_generation store advances;
+        let t = finish analyzer store true in
+        subscribe_counters t.counters analyzer;
+        Analyzer.refresh_head analyzer;
+        ignore (Analyzer.drain_results analyzer);
+        logf t Obs.Log.Info
+          (Printf.sprintf "recovered warm: %d subjects, %d advances"
+             (Store.size store) advances);
+        Ok t
+  | None ->
+      (* Cold start: full landscape analysis on the resident analyzer. *)
+      let analyzer =
+        Analyzer.create ~config:config.Config.analysis ~chain ~source ()
+      in
+      let store = Store.create () in
+      let t = finish analyzer store false in
+      subscribe_counters t.counters analyzer;
+      Analyzer.submit_all analyzer;
+      Analyzer.run analyzer;
+      let n = drain_into_store t in
+      Atomic.set t.uc (Analyzer.unique_codes analyzer);
+      logf t Obs.Log.Info
+        (Printf.sprintf "initial analysis complete: %d subjects" n);
+      commit_snapshot t;
+      Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Incremental advances                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type advance_result = {
+  adv_summary : Advance.summary;
+  adv_dirty : int;
+  adv_new : int;
+}
+
+let advance t =
+  Mutex.lock t.advance_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.advance_lock)
+    (fun () ->
+      let summary = Advance.apply t.advancer in
+      Analyzer.refresh_head t.analyzer;
+      let reports = Store.reports t.store in
+      let dirty =
+        Tracker.dirty ~reports ~writes:summary.Advance.a_writes
+      in
+      List.iter
+        (Analyzer.invalidate_code_hash t.analyzer)
+        (Tracker.invalidation_hashes ~dirty);
+      let dirty_addrs =
+        List.map (fun (r : Analysis.contract_report) -> r.Analysis.r_address) dirty
+      in
+      Analyzer.submit t.analyzer
+        (dirty_addrs @ summary.Advance.a_new_contracts);
+      Analyzer.run t.analyzer;
+      ignore (drain_into_store t);
+      Atomic.set t.uc (Analyzer.unique_codes t.analyzer);
+      Store.bump_generation t.store;
+      commit_snapshot t;
+      Metrics.inc t.registry t.m_increments;
+      Metrics.inc
+        ~by:(float_of_int (List.length dirty_addrs))
+        t.registry t.m_dirty;
+      logf t Obs.Log.Info
+        (Printf.sprintf "advance %d: %d dirty, %d new, height %d"
+           summary.Advance.a_index (List.length dirty_addrs)
+           (List.length summary.Advance.a_new_contracts)
+           summary.Advance.a_height);
+      {
+        adv_summary = summary;
+        adv_dirty = List.length dirty_addrs;
+        adv_new = List.length summary.Advance.a_new_contracts;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Query dispatch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let param params name =
+  match params with
+  | Json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let int_param ?default params name =
+  match param params name with
+  | Some (Json.Int n) -> Ok (Some n)
+  | Some _ ->
+      Error
+        {
+          Wire.code = Wire.err_invalid_params;
+          message = Printf.sprintf "%s must be an integer" name;
+        }
+  | None -> Ok default
+
+let address_param params =
+  match param params "address" with
+  | Some (Json.String s) -> (
+      match Hexutil.of_hex_opt s with
+      | Some b when String.length b = 20 -> Ok (Address.of_hex s)
+      | _ ->
+          Error
+            {
+              Wire.code = Wire.err_invalid_params;
+              message = "address must be 20 bytes of 0x-hex";
+            })
+  | Some _ | None ->
+      Error
+        {
+          Wire.code = Wire.err_invalid_params;
+          message = "missing string parameter \"address\"";
+        }
+
+let entry_for t params =
+  let* addr = address_param params in
+  match Store.find t.store addr with
+  | Some e -> Ok (addr, e)
+  | None ->
+      Error
+        {
+          Wire.code = Wire.err_unknown_address;
+          message = "address not in the analyzed population";
+        }
+
+let severity_of_string s =
+  let open Findings in
+  match String.lowercase_ascii s with
+  | "critical" -> Some Critical
+  | "high" -> Some High
+  | "medium" -> Some Medium
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function
+  | Findings.Critical -> 3
+  | Findings.High -> 2
+  | Findings.Medium -> 1
+  | Findings.Info -> 0
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n = function
+  | l when n <= 0 -> l
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+let handle_get_status t =
+  let report = Store.report t.store ~unique_codes:(unique_codes t) in
+  let stats = report.Analysis.stats in
+  Ok
+    (Json.Obj
+       [
+         ("contracts", Json.Int stats.Analysis.s_analyzed);
+         ("proxies", Json.Int stats.Analysis.s_proxies);
+         ("unique_codes", Json.Int stats.Analysis.s_unique_codes);
+         ("height", Json.Int (Chain.height t.landscape.Generate.chain));
+         ("advances", Json.Int (advances_applied t));
+         ("generation", Json.Int (Store.generation t.store));
+         ("recovered", Json.Bool t.was_recovered);
+       ])
+
+let handle_is_proxy t params =
+  let* addr, e = entry_for t params in
+  let r = e.Store.e_report in
+  Ok
+    (Json.Obj
+       [
+         ("address", Json.String (Address.to_hex addr));
+         ( "is_proxy",
+           Json.Bool (Proxion.Proxy_detect.is_proxy r.Analysis.r_detection) );
+         ("detection", Serialize.detection_to_json r.Analysis.r_detection);
+         ( "standard",
+           match r.Analysis.r_standard with
+           | Some s ->
+               Json.String (Proxion.Standard_classify.to_string s)
+           | None -> Json.Null );
+         ("dedup_hit", Json.Bool r.Analysis.r_dedup_hit);
+       ])
+
+let handle_logic_history t params =
+  let* addr, e = entry_for t params in
+  let r = e.Store.e_report in
+  Ok
+    (Json.Obj
+       [
+         ("address", Json.String (Address.to_hex addr));
+         ( "resolution",
+           match r.Analysis.r_resolution with
+           | Some res -> Serialize.resolution_to_json res
+           | None -> Json.Null );
+       ])
+
+let handle_collisions t params =
+  let* addr, e = entry_for t params in
+  let r = e.Store.e_report in
+  Ok
+    (Json.Obj
+       [
+         ("address", Json.String (Address.to_hex addr));
+         ( "pairs",
+           Json.List
+             (List.map Serialize.pair_report_to_json r.Analysis.r_pairs) );
+       ])
+
+let handle_list_findings t params =
+  let* offset = int_param ~default:0 params "offset" in
+  let* limit = int_param ~default:50 params "limit" in
+  let offset = max 0 (Option.value ~default:0 offset) in
+  let limit = min 500 (max 0 (Option.value ~default:50 limit)) in
+  let* sev_filter =
+    match param params "severity" with
+    | Some (Json.String s) -> (
+        match severity_of_string s with
+        | Some sev -> Ok (Some (`Exact sev))
+        | None ->
+            Error
+              {
+                Wire.code = Wire.err_invalid_params;
+                message = "severity must be critical|high|medium|info";
+              })
+    | Some _ ->
+        Error
+          {
+            Wire.code = Wire.err_invalid_params;
+            message = "severity must be a string";
+          }
+    | None -> (
+        match param params "min_severity" with
+        | Some (Json.String s) -> (
+            match severity_of_string s with
+            | Some sev -> Ok (Some (`Min sev))
+            | None ->
+                Error
+                  {
+                    Wire.code = Wire.err_invalid_params;
+                    message = "min_severity must be critical|high|medium|info";
+                  })
+        | Some _ ->
+            Error
+              {
+                Wire.code = Wire.err_invalid_params;
+                message = "min_severity must be a string";
+              }
+        | None -> Ok None)
+  in
+  let all = Store.findings t.store ~unique_codes:(unique_codes t) in
+  let filtered =
+    match sev_filter with
+    | None -> all
+    | Some (`Exact sev) ->
+        List.filter (fun f -> f.Findings.f_severity = sev) all
+    | Some (`Min sev) ->
+        List.filter
+          (fun f -> severity_rank f.Findings.f_severity >= severity_rank sev)
+          all
+  in
+  let page = take limit (drop offset filtered) in
+  Ok
+    (Json.Obj
+       [
+         ("total", Json.Int (List.length filtered));
+         ("offset", Json.Int offset);
+         ("count", Json.Int (List.length page));
+         ("findings", Findings.to_json page);
+       ])
+
+let handle_report t =
+  Ok (Serialize.report_to_json (Store.report t.store ~unique_codes:(unique_codes t)))
+
+let handle_metrics t params =
+  match param params "format" with
+  | None | Some (Json.String "prometheus") ->
+      Ok (Json.String (Metrics.to_prometheus t.registry))
+  | Some (Json.String "json") -> Ok (Metrics.to_json t.registry)
+  | Some _ ->
+      Error
+        {
+          Wire.code = Wire.err_invalid_params;
+          message = "format must be \"prometheus\" or \"json\"";
+        }
+
+let request_stop t =
+  Atomic.set t.stop_requested true;
+  Mutex.lock t.lifecycle;
+  (* shutdown, not close: close(2) does not wake a thread blocked in
+     accept(2), shutdown(2) does.  The listener closes the descriptor
+     itself when its loop exits. *)
+  (match t.listen_fd with
+  | Some fd -> (
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ());
+  Condition.broadcast t.lifecycle_cond;
+  Mutex.unlock t.lifecycle
+
+let handle_advance t params =
+  let* count = int_param ~default:1 params "count" in
+  let count = min 64 (max 1 (Option.value ~default:1 count)) in
+  let dirty = ref 0 and fresh = ref 0 and last = ref None in
+  for _ = 1 to count do
+    let r = advance t in
+    dirty := !dirty + r.adv_dirty;
+    fresh := !fresh + r.adv_new;
+    last := Some r
+  done;
+  let height =
+    match !last with
+    | Some r -> r.adv_summary.Advance.a_height
+    | None -> Chain.height t.landscape.Generate.chain
+  in
+  Ok
+    (Json.Obj
+       [
+         ("applied", Json.Int count);
+         ("advances", Json.Int (advances_applied t));
+         ("height", Json.Int height);
+         ("dirty", Json.Int !dirty);
+         ("new_contracts", Json.Int !fresh);
+       ])
+
+let dispatch t meth params =
+  match meth with
+  | "get_status" -> handle_get_status t
+  | "is_proxy" -> handle_is_proxy t params
+  | "logic_history" -> handle_logic_history t params
+  | "collisions" -> handle_collisions t params
+  | "list_findings" -> handle_list_findings t params
+  | "report" -> handle_report t
+  | "metrics" -> handle_metrics t params
+  | "advance" -> handle_advance t params
+  | "shutdown" ->
+      request_stop t;
+      Ok (Json.Obj [ ("stopping", Json.Bool true) ])
+  | _ ->
+      Error
+        {
+          Wire.code = Wire.err_method_not_found;
+          message = Printf.sprintf "unknown method %S" meth;
+        }
+
+let handle t payload =
+  match Wire.request_of_string payload with
+  | Error err -> (None, Wire.response_error ~id:Json.Null err)
+  | Ok req -> (
+      let id = req.Wire.rq_id in
+      match dispatch t req.Wire.rq_method req.Wire.rq_params with
+      | Ok result -> (Some req.Wire.rq_method, Wire.response_ok ~id result)
+      | Error err -> (Some req.Wire.rq_method, Wire.response_error ~id err)
+      | exception e ->
+          ( Some req.Wire.rq_method,
+            Wire.response_error ~id
+              {
+                Wire.code = Wire.err_internal;
+                message = Printexc.to_string e;
+              } ))
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let access_log t meth ~ok ~bytes_in ~bytes_out ~elapsed =
+  match t.log with
+  | None -> ()
+  | Some log ->
+      Mutex.lock t.obs_lock;
+      Obs.Log.log log ~component:"serve"
+        ~fields:
+          [
+            ("method", Json.String (Option.value ~default:"?" meth));
+            ("ok", Json.Bool ok);
+            ("bytes_in", Json.Int bytes_in);
+            ("bytes_out", Json.Int bytes_out);
+            ("seconds", Json.Float elapsed);
+          ]
+        Obs.Log.Info "request";
+      Mutex.unlock t.obs_lock
+
+let observe_request t meth ~ok ~bytes_in ~bytes_out ~elapsed =
+  let labels = [ ("method", Option.value ~default:"invalid" meth) ] in
+  Metrics.inc ~labels t.registry t.m_requests;
+  if not ok then Metrics.inc ~labels t.registry t.m_errors;
+  Metrics.observe ~labels t.registry t.m_latency elapsed;
+  access_log t meth ~ok ~bytes_in ~bytes_out ~elapsed
+
+let response_is_error payload =
+  match Wire.response_of_string payload with
+  | Ok { Wire.rs_result = Error _; _ } -> true
+  | _ -> false
+
+let serve_connection t fd =
+  Metrics.inc t.registry t.m_connections;
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+   with Unix.Unix_error _ -> ());
+  let closed = ref false in
+  while not !closed do
+    match Wire.read_frame ~max_frame:t.cfg.Config.max_frame fd with
+    | Ok payload -> (
+        try
+          let up = Atomic.fetch_and_add t.inflight 1 + 1 in
+          Metrics.set t.registry t.m_inflight (float_of_int up);
+          let t0 = Unix.gettimeofday () in
+          let meth, response = handle t payload in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let down = Atomic.fetch_and_add t.inflight (-1) - 1 in
+          Metrics.set t.registry t.m_inflight (float_of_int down);
+          (try Wire.write_frame fd response
+           with Unix.Unix_error _ -> closed := true);
+          observe_request t meth
+            ~ok:(not (response_is_error response))
+            ~bytes_in:(String.length payload)
+            ~bytes_out:(String.length response) ~elapsed
+        with _ ->
+          (* A crash in the observability path must not kill the worker
+             domain; drop the connection instead. *)
+          closed := true)
+    | Error Wire.Closed -> closed := true
+    | Error (Wire.Oversized n) ->
+        (try
+           Wire.write_frame fd
+             (Wire.response_error ~id:Json.Null
+                {
+                  Wire.code = Wire.err_oversized;
+                  message =
+                    Printf.sprintf "frame of %d bytes exceeds limit %d" n
+                      t.cfg.Config.max_frame;
+                })
+         with Unix.Unix_error _ -> ());
+        closed := true
+    | Error (Wire.Torn _) -> closed := true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* Receive timeout: poll the stop flag, then keep waiting. *)
+        if Atomic.get t.stop_requested then closed := true
+    | exception Unix.Unix_error _ -> closed := true
+  done;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker_loop t =
+  let rec go () =
+    match Engine.Task_channel.pop t.chan with
+    | None -> ()
+    | Some fd ->
+        serve_connection t fd;
+        go ()
+  in
+  go ()
+
+let accept_loop t fd =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept fd with
+    | client, _ -> Engine.Task_channel.push t.chan client
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Engine.Task_channel.close t.chan
+
+let port t = t.bound_port
+
+let start t =
+  match t.listen_fd with
+  | Some _ -> Error "already started"
+  | None -> (
+      match Unix.inet_addr_of_string t.cfg.Config.host with
+      | exception Failure _ ->
+          Error (Printf.sprintf "bad host %S" t.cfg.Config.host)
+      | addr -> (
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          try
+            Unix.setsockopt fd Unix.SO_REUSEADDR true;
+            Unix.bind fd (Unix.ADDR_INET (addr, t.cfg.Config.port));
+            Unix.listen fd t.cfg.Config.backlog;
+            (match Unix.getsockname fd with
+            | Unix.ADDR_INET (_, p) -> t.bound_port <- p
+            | _ -> ());
+            t.listen_fd <- Some fd;
+            t.workers <-
+              List.init t.cfg.Config.workers (fun _ ->
+                  Domain.spawn (fun () -> worker_loop t));
+            t.listener <- Some (Domain.spawn (fun () -> accept_loop t fd));
+            logf t Obs.Log.Info
+              (Printf.sprintf "listening on %s:%d (%d workers)"
+                 t.cfg.Config.host t.bound_port t.cfg.Config.workers);
+            Ok ()
+          with Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Error (Unix.error_message e)))
+
+let stop t =
+  request_stop t;
+  Mutex.lock t.lifecycle;
+  let already = t.stopped in
+  if not already then t.stopped <- true;
+  Mutex.unlock t.lifecycle;
+  if not already then begin
+    (match t.listener with
+    | Some d ->
+        Domain.join d;
+        t.listener <- None;
+        t.listen_fd <- None
+    | None -> Engine.Task_channel.close t.chan);
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    (match t.journal with Some j -> Journal.close j | None -> ());
+    logf t Obs.Log.Info "stopped"
+  end
+
+let wait t =
+  Mutex.lock t.lifecycle;
+  while not (Atomic.get t.stop_requested) do
+    Condition.wait t.lifecycle_cond t.lifecycle
+  done;
+  Mutex.unlock t.lifecycle;
+  stop t

@@ -1,0 +1,114 @@
+(** The resident analysis daemon.
+
+    Performs (or recovers) a full landscape analysis at startup, holds
+    the results hot in a {!Store}, and answers wire-protocol queries
+    ({!Wire}, doc/API.md) over TCP at interactive latency: a listener
+    domain accepts connections and feeds them through an
+    {!Engine.Task_channel} to a pool of worker domains, each serving
+    its connection request-by-request.
+
+    {b Incremental watch mode.}  {!advance} applies the next scripted
+    chain advance ({!Advance}), computes the dirty set ({!Tracker}),
+    invalidates the affected dedup-cache entries, re-analyzes only the
+    dirty + new subjects on the resident analyzer, and patches the
+    store — producing a store byte-identical to a cold full re-run over
+    the advanced chain.  Each increment is checkpointed to the
+    journal (when configured), so a SIGKILL'd daemon restarts warm:
+    the landscape and advances are replayed deterministically, the
+    analyzer and store are restored from the snapshot, and no
+    re-analysis runs.
+
+    {b Observability.}  Per-method request counters and latency
+    histograms, an in-flight gauge, and a structured access log are
+    maintained on the supplied registry/log ({!Obs}). *)
+
+module Config : sig
+  type t = {
+    host : string;  (** Bind address (default 127.0.0.1). *)
+    port : int;  (** 0 picks an ephemeral port (see {!val-port}). *)
+    backlog : int;
+    workers : int;  (** Worker domains serving connections. *)
+    max_frame : int;  (** Per-frame byte ceiling. *)
+    journal : string option;  (** Snapshot journal path. *)
+    advance_seed : int;
+    advance_spec : Advance.spec;
+    analysis : Proxion.Pipeline.Config.t;  (** Resident analyzer config. *)
+  }
+
+  val default : t
+  val with_host : string -> t -> t
+  val with_port : int -> t -> t
+  val with_backlog : int -> t -> t
+  val with_workers : int -> t -> t
+  val with_max_frame : int -> t -> t
+  val with_journal : string option -> t -> t
+  val with_advance_seed : int -> t -> t
+  val with_advance_spec : Advance.spec -> t -> t
+  val with_analysis : Proxion.Pipeline.Config.t -> t -> t
+
+  val validate : t -> (t, Report.Validate.error) result
+  (** The shared config gate ({!Report.Validate}). *)
+end
+
+type t
+
+val create :
+  ?config:Config.t ->
+  ?registry:Obs.Metrics.t ->
+  ?log:Obs.Log.t ->
+  Dataset.Generate.t ->
+  (t, string) result
+(** Load the daemon: validate the config, open the journal (when
+    configured), then either recover warm from the last committed
+    snapshot or run the initial full analysis and commit it.  The
+    landscape must be freshly generated from the same generation config
+    across restarts — recovery replays the snapshot's advances onto it
+    to reproduce the chain state. *)
+
+val recovered : t -> bool
+(** Whether {!create} restored from a journal snapshot instead of
+    analyzing cold. *)
+
+val store : t -> Store.t
+val registry : t -> Obs.Metrics.t
+val advances_applied : t -> int
+
+val unique_codes : t -> int
+(** Dedup-cache size of the resident analyzer (serialized against
+    concurrent increments). *)
+
+type advance_result = {
+  adv_summary : Advance.summary;
+  adv_dirty : int;  (** Existing subjects re-analyzed. *)
+  adv_new : int;  (** New subjects analyzed. *)
+}
+
+val advance : t -> advance_result
+(** Apply one scripted advance and incrementally patch the store;
+    commits a snapshot to the journal when configured. *)
+
+val handle : t -> string -> string option * string
+(** [handle t request_payload] is [(method, response_payload)] — the
+    full dispatch path minus the socket, exposed for in-process tests
+    and for instrumentation ([method] is [None] when the request did
+    not parse far enough to name one). *)
+
+(** {1 Serving} *)
+
+val start : t -> (unit, string) result
+(** Bind, listen, and spawn the listener + worker domains. *)
+
+val port : t -> int
+(** The bound port (after {!start}); useful with [port = 0]. *)
+
+val request_stop : t -> unit
+(** Ask the daemon to stop without blocking: wakes the listener and
+    {!wait}.  Safe from a signal handler or an RPC worker. *)
+
+val stop : t -> unit
+(** Close the listening socket, drain the task channel, join all
+    domains, and close the journal.  Idempotent. *)
+
+val wait : t -> unit
+(** Block until {!stop} is called (from a [shutdown] request or another
+    thread). *)

@@ -1,0 +1,114 @@
+module Json = Report.Json
+module Address = Evm.Address
+
+type stats = {
+  lg_clients : int;
+  lg_requests : int;
+  lg_errors : int;
+  lg_elapsed : float;
+  lg_rps : float;
+  lg_p50_ms : float;
+  lg_p90_ms : float;
+  lg_p99_ms : float;
+}
+
+(* One client's work: a deterministic query mix keyed by (client, i). *)
+let request_for ~addresses ~client i =
+  let n_addr = Array.length addresses in
+  match (client + i) mod 5 with
+  | 0 -> ("get_status", [])
+  | 1 ->
+      ( "list_findings",
+        [ ("offset", Json.Int (i mod 97)); ("limit", Json.Int 20) ] )
+  | k ->
+      let addr = addresses.((client + (31 * i)) mod n_addr) in
+      let meth =
+        match k with
+        | 2 -> "is_proxy"
+        | 3 -> "logic_history"
+        | _ -> "collisions"
+      in
+      (meth, [ ("address", Json.String (Address.to_hex addr)) ])
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let run ?(host = "127.0.0.1") ~port ~clients ~requests ~addresses () =
+  if clients <= 0 || requests <= 0 then Error "clients and requests must be positive"
+  else if addresses = [] then Error "no addresses to query"
+  else begin
+    let addresses = Array.of_list addresses in
+    let t0 = Unix.gettimeofday () in
+    let worker client () =
+      match Client.connect ~host ~port () with
+      | Error e -> Error e
+      | Ok c ->
+          let latencies = Array.make requests 0.0 in
+          let errors = ref 0 in
+          for i = 0 to requests - 1 do
+            let meth, params = request_for ~addresses ~client i in
+            let q0 = Unix.gettimeofday () in
+            (match Client.call c ~meth ~params with
+            | Ok _ -> ()
+            | Error _ -> incr errors);
+            latencies.(i) <- Unix.gettimeofday () -. q0
+          done;
+          Client.close c;
+          Ok (latencies, !errors)
+    in
+    let domains =
+      List.init clients (fun client -> Domain.spawn (worker client))
+    in
+    let outcomes = List.map Domain.join domains in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    match
+      List.find_map (function Error e -> Some e | Ok _ -> None) outcomes
+    with
+    | Some e -> Error ("client failed: " ^ e)
+    | None ->
+        let all =
+          List.concat_map
+            (function
+              | Ok (lat, _) -> Array.to_list lat
+              | Error _ -> [])
+            outcomes
+        in
+        let errors =
+          List.fold_left
+            (fun acc -> function Ok (_, e) -> acc + e | Error _ -> acc)
+            0 outcomes
+        in
+        let sorted = Array.of_list all in
+        Array.sort compare sorted;
+        let total = Array.length sorted in
+        let ms p = 1000.0 *. percentile sorted p in
+        Ok
+          {
+            lg_clients = clients;
+            lg_requests = total;
+            lg_errors = errors;
+            lg_elapsed = elapsed;
+            lg_rps =
+              (if elapsed > 0.0 then float_of_int total /. elapsed else 0.0);
+            lg_p50_ms = ms 0.50;
+            lg_p90_ms = ms 0.90;
+            lg_p99_ms = ms 0.99;
+          }
+  end
+
+let to_json s =
+  Json.Obj
+    [
+      ("clients", Json.Int s.lg_clients);
+      ("requests", Json.Int s.lg_requests);
+      ("errors", Json.Int s.lg_errors);
+      ("elapsed_seconds", Json.Float s.lg_elapsed);
+      ("requests_per_second", Json.Float s.lg_rps);
+      ("p50_ms", Json.Float s.lg_p50_ms);
+      ("p90_ms", Json.Float s.lg_p90_ms);
+      ("p99_ms", Json.Float s.lg_p99_ms);
+    ]

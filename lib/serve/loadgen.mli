@@ -1,0 +1,29 @@
+(** The concurrent-client load generator behind [proxion bench] and the
+    BENCH_serve.json sweeps: N client domains each fire a deterministic
+    mix of queries over their own connection and record per-request
+    wall-clock latency. *)
+
+type stats = {
+  lg_clients : int;
+  lg_requests : int;  (** Completed round-trips. *)
+  lg_errors : int;  (** Transport failures or error responses. *)
+  lg_elapsed : float;  (** Wall-clock seconds for the whole sweep. *)
+  lg_rps : float;  (** Completed requests per second. *)
+  lg_p50_ms : float;
+  lg_p90_ms : float;
+  lg_p99_ms : float;
+}
+
+val run :
+  ?host:string ->
+  port:int ->
+  clients:int ->
+  requests:int ->
+  addresses:Evm.Address.t list ->
+  unit ->
+  (stats, string) result
+(** [requests] per client; [addresses] seeds the per-address query mix
+    (is_proxy / logic_history / collisions interleaved with get_status
+    and list_findings pages). *)
+
+val to_json : stats -> Report.Json.t

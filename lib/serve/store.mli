@@ -1,0 +1,56 @@
+(** The daemon's hot result store.
+
+    Holds one {!entry} per analyzed subject — the per-contract report
+    plus the per-subject cost counters the analyzer's stage events
+    attributed to it — indexed by address, while preserving deployment
+    order so {!report} reconstructs exactly the document a cold batch
+    run would produce.  Incremental re-analysis {!upsert}s patched
+    entries in place; aggregates (the full report, the findings list)
+    are cached and recomputed lazily after any patch.
+
+    All operations are serialized by an internal lock, so server worker
+    domains may query while the coordinator patches. *)
+
+type entry = {
+  e_report : Proxion.Analysis.contract_report;
+  e_api_calls : int;  (** getStorageAt calls attributed to this subject. *)
+  e_steps : int;  (** EVM steps attributed to this subject. *)
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val generation : t -> int
+(** Number of increments applied ({!bump_generation}); 0 after the
+    initial load. *)
+
+val bump_generation : t -> unit
+val set_generation : t -> int -> unit
+val find : t -> Evm.Address.t -> entry option
+val mem : t -> Evm.Address.t -> bool
+
+val upsert : t -> entry -> unit
+(** Insert (appending to deployment order) or replace in place. *)
+
+val reports : t -> Proxion.Analysis.contract_report list
+(** Per-contract reports in deployment order. *)
+
+val entries : t -> entry list
+(** Entries in deployment order (snapshot serialization). *)
+
+val report : t -> unique_codes:int -> Proxion.Analysis.report
+(** The full report: contracts in deployment order, statistics
+    recomputed from the stored counters ([unique_codes] comes from the
+    live analyzer's dedup cache).  Byte-identical to a cold full run
+    over the same chain state. *)
+
+val findings : t -> unique_codes:int -> Proxion.Findings.finding list
+(** Severity-ordered findings over {!report}, cached per generation. *)
+
+(** {1 Snapshots} *)
+
+val entry_to_json : entry -> Report.Json.t
+val entry_of_json : Report.Json.t -> (entry, string) result
+(** Round-trip for journal snapshots. *)

@@ -1,0 +1,55 @@
+module Analysis = Proxion.Analysis
+module Proxy_detect = Proxion.Proxy_detect
+module Address = Evm.Address
+
+let height_sensitive (r : Analysis.contract_report) =
+  match r.Analysis.r_detection.Proxy_detect.verdict with
+  | Proxy_detect.Proxy { source = Proxy_detect.Storage_slot _; _ }
+  | Proxy_detect.Proxy { source = Proxy_detect.Computed; _ } ->
+      true
+  | Proxy_detect.Proxy { source = Proxy_detect.Hardcoded; _ }
+  | Proxy_detect.Not_proxy_no_delegatecall | Proxy_detect.Not_proxy_no_forward
+  | Proxy_detect.Emulation_error _ ->
+      false
+
+let partner_addresses (r : Analysis.contract_report) =
+  List.map (fun (p : Analysis.pair_report) -> p.Analysis.p_logic) r.Analysis.r_pairs
+
+module Addr_set = Set.Make (struct
+  type t = Address.t
+
+  let compare = Address.compare
+end)
+
+let dirty ~reports ~writes =
+  let written = Addr_set.of_list writes in
+  let touched (r : Analysis.contract_report) =
+    Addr_set.mem r.Analysis.r_address written
+    || List.exists (fun a -> Addr_set.mem a written) (partner_addresses r)
+  in
+  (* Pass 1: directly dirty subjects. *)
+  let direct = List.filter (fun r -> height_sensitive r || touched r) reports in
+  (* Pass 2: a write-touched subject invalidates its shared probe
+     verdict, so every holder of the same code hash follows it. *)
+  let dirty_hashes = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Analysis.contract_report) ->
+      if touched r then Hashtbl.replace dirty_hashes r.Analysis.r_code_hash ())
+    direct;
+  List.filter
+    (fun (r : Analysis.contract_report) ->
+      height_sensitive r || touched r
+      || Hashtbl.mem dirty_hashes r.Analysis.r_code_hash)
+    reports
+
+let invalidation_hashes ~dirty =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun (r : Analysis.contract_report) ->
+      let h = r.Analysis.r_code_hash in
+      if Hashtbl.mem seen h then None
+      else begin
+        Hashtbl.add seen h ();
+        Some h
+      end)
+    dirty

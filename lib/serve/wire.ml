@@ -1,0 +1,171 @@
+module Json = Report.Json
+
+let protocol_version = 1
+let default_max_frame = 4 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let encode_frame ?(max_frame = default_max_frame) payload =
+  let n = String.length payload in
+  if n > max_frame then
+    invalid_arg (Printf.sprintf "Wire.encode_frame: %d bytes > max %d" n max_frame);
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+type read_error =
+  | Closed
+  | Torn of { wanted : int; got : int }
+  | Oversized of int
+
+let read_error_to_string = function
+  | Closed -> "connection closed"
+  | Torn { wanted; got } ->
+      Printf.sprintf "torn frame: wanted %d bytes, got %d" wanted got
+  | Oversized n -> Printf.sprintf "oversized frame: %d bytes" n
+
+let write_frame fd payload =
+  let s = encode_frame payload in
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+(* Read exactly [n] bytes; [got] counts what arrived before EOF. *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Ok (Bytes.to_string b)
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> Error off
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  match read_exact fd 4 with
+  | Error 0 -> Error Closed
+  | Error got -> Error (Torn { wanted = 4; got })
+  | Ok header ->
+      let n =
+        (Char.code header.[0] lsl 24)
+        lor (Char.code header.[1] lsl 16)
+        lor (Char.code header.[2] lsl 8)
+        lor Char.code header.[3]
+      in
+      if n > max_frame then Error (Oversized n)
+      else if n = 0 then Ok ""
+      else (
+        match read_exact fd n with
+        | Ok payload -> Ok payload
+        | Error got -> Error (Torn { wanted = n; got }))
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type error = { code : int; message : string }
+
+let err_parse = -32700
+let err_invalid_request = -32600
+let err_method_not_found = -32601
+let err_invalid_params = -32602
+let err_internal = -32000
+let err_unknown_address = 1000
+let err_oversized = 1001
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  rq_id : Json.t;
+  rq_method : string;
+  rq_params : Json.t;
+}
+
+let request_to_string ~id ~meth ~params =
+  Json.to_string ~pretty:false
+    (Json.Obj
+       [
+         ("proxion_rpc", Json.Int protocol_version);
+         ("id", Json.Int id);
+         ("method", Json.String meth);
+         ("params", Json.Obj params);
+       ])
+
+let request_of_string payload =
+  match Json.parse payload with
+  | Error e -> Error { code = err_parse; message = "parse error: " ^ e }
+  | Ok (Json.Obj kvs) -> (
+      let bad message = Error { code = err_invalid_request; message } in
+      match List.assoc_opt "proxion_rpc" kvs with
+      | Some (Json.Int v) when v = protocol_version -> (
+          match List.assoc_opt "method" kvs with
+          | Some (Json.String m) ->
+              let rq_id = Option.value ~default:Json.Null (List.assoc_opt "id" kvs) in
+              let rq_params =
+                Option.value ~default:Json.Null (List.assoc_opt "params" kvs)
+              in
+              Ok { rq_id; rq_method = m; rq_params }
+          | _ -> bad "missing method")
+      | Some _ -> bad "unsupported proxion_rpc version"
+      | None -> bad "missing proxion_rpc marker")
+  | Ok _ -> Error { code = err_invalid_request; message = "request must be an object" }
+
+let envelope ~id rest =
+  Json.Obj
+    ([
+       ("proxion_rpc", Json.Int protocol_version);
+       ("schema_version", Json.Int Report.Schema.version);
+       ("id", id);
+     ]
+    @ rest)
+
+let response_ok ~id result =
+  Json.to_string ~pretty:false (envelope ~id [ ("result", result) ])
+
+let response_error ~id { code; message } =
+  Json.to_string ~pretty:false
+    (envelope ~id
+       [
+         ( "error",
+           Json.Obj
+             [ ("code", Json.Int code); ("message", Json.String message) ] );
+       ])
+
+type response = {
+  rs_id : Json.t;
+  rs_schema_version : int option;
+  rs_result : (Json.t, error) result;
+}
+
+let response_of_string payload =
+  match Json.parse payload with
+  | Error e -> Error ("response parse error: " ^ e)
+  | Ok (Json.Obj kvs) -> (
+      let rs_id = Option.value ~default:Json.Null (List.assoc_opt "id" kvs) in
+      let rs_schema_version =
+        match List.assoc_opt "schema_version" kvs with
+        | Some (Json.Int v) -> Some v
+        | _ -> None
+      in
+      match (List.assoc_opt "result" kvs, List.assoc_opt "error" kvs) with
+      | Some r, None -> Ok { rs_id; rs_schema_version; rs_result = Ok r }
+      | None, Some (Json.Obj e) -> (
+          match (List.assoc_opt "code" e, List.assoc_opt "message" e) with
+          | Some (Json.Int code), Some (Json.String message) ->
+              Ok { rs_id; rs_schema_version; rs_result = Error { code; message } }
+          | _ -> Error "malformed error object")
+      | None, Some _ -> Error "malformed error object"
+      | Some _, Some _ -> Error "response carries both result and error"
+      | None, None -> Error "response carries neither result nor error")
+  | Ok _ -> Error "response must be an object"

@@ -1,0 +1,95 @@
+(** The daemon's wire protocol: length-prefixed JSON-RPC over TCP.
+
+    Framing: each message is a 4-byte big-endian payload length followed
+    by that many bytes of UTF-8 JSON.  A frame longer than the
+    negotiated maximum ({!default_max_frame} unless the server was
+    configured otherwise) is a protocol violation — the server answers
+    with {!err_oversized} and closes the connection.
+
+    Requests: [{"proxion_rpc": 1, "id": <int>, "method": <string>,
+    "params": <object>}].  Responses echo the [id] and carry either
+    [result] or [error {code, message}], plus the report
+    [schema_version] so clients can reject documents they do not
+    understand.  One request is answered per frame, in order; clients
+    may pipeline.  See doc/API.md for the method catalogue. *)
+
+val protocol_version : int
+(** The [proxion_rpc] marker value, 1. *)
+
+val default_max_frame : int
+(** 4 MiB. *)
+
+(** {1 Framing} *)
+
+val encode_frame : ?max_frame:int -> string -> string
+(** Prefix a payload with its 4-byte big-endian length.  Raises
+    [Invalid_argument] when the payload exceeds [max_frame]. *)
+
+type read_error =
+  | Closed  (** Clean EOF at a frame boundary. *)
+  | Torn of { wanted : int; got : int }
+      (** EOF mid-header or mid-payload. *)
+  | Oversized of int  (** Declared length above the maximum. *)
+
+val read_error_to_string : read_error -> string
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame, handling short writes.  Raises [Unix.Unix_error]
+    on I/O failure and [Invalid_argument] on oversized payloads. *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> (string, read_error) result
+(** Read one frame, handling short reads.  Raises [Unix.Unix_error] on
+    I/O failure; returns [Error _] for EOF and protocol violations. *)
+
+(** {1 Errors} *)
+
+type error = { code : int; message : string }
+
+val err_parse : int
+(** -32700: payload is not valid JSON. *)
+
+val err_invalid_request : int
+(** -32600: not a well-formed request. *)
+
+val err_method_not_found : int
+(** -32601. *)
+
+val err_invalid_params : int
+(** -32602. *)
+
+val err_internal : int
+(** -32000. *)
+
+val err_unknown_address : int
+(** 1000: address not in the store. *)
+
+val err_oversized : int
+(** 1001: frame above the size limit. *)
+
+(** {1 Messages} *)
+
+type request = {
+  rq_id : Report.Json.t;  (** Echoed verbatim; conventionally an int. *)
+  rq_method : string;
+  rq_params : Report.Json.t;  (** [Obj]; [Null] when omitted. *)
+}
+
+val request_to_string : id:int -> meth:string -> params:(string * Report.Json.t) list -> string
+(** Serialize a request payload (the client side). *)
+
+val request_of_string : string -> (request, error) result
+(** Parse and validate a request payload (the server side). *)
+
+val response_ok : id:Report.Json.t -> Report.Json.t -> string
+(** A [result] response payload, stamped with the schema version. *)
+
+val response_error : id:Report.Json.t -> error -> string
+
+type response = {
+  rs_id : Report.Json.t;
+  rs_schema_version : int option;
+  rs_result : (Report.Json.t, error) result;
+}
+
+val response_of_string : string -> (response, string) result
+(** Parse a response payload (the client side). *)

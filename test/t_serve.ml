@@ -1,0 +1,494 @@
+(* Analysis-as-a-service: wire framing (including torn and oversized
+   frames), the versioned report schema, query dispatch, incremental
+   re-analysis byte-identity against cold full runs, warm recovery from
+   the journal, and concurrent-client determinism over real sockets. *)
+
+module Generate = Dataset.Generate
+module Json = Report.Json
+module Wire = Serve.Wire
+module Daemon = Serve.Daemon
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+let small_config =
+  { Generate.quick_config with Generate.total = 240; seed = 31 }
+
+let report_string r = Json.to_string (Proxion.Serialize.report_to_json r)
+
+let analysis_config =
+  Proxion.Pipeline.Config.(default |> with_batch_size 16)
+
+let cold_report (land_ : Generate.t) =
+  let t =
+    Proxion.Analyzer.create ~config:analysis_config
+      ~chain:land_.Generate.chain ~source:land_.Generate.source_of ()
+  in
+  Proxion.Analyzer.submit_all t;
+  Proxion.Analyzer.run t;
+  Proxion.Analyzer.report t
+
+let daemon_config =
+  Serve.Config.(default |> with_analysis analysis_config |> with_workers 2)
+
+let make_daemon ?(config = daemon_config) () =
+  let land_ = Generate.generate small_config in
+  match Daemon.create ~config land_ with
+  | Ok d -> (d, land_)
+  | Error e -> Alcotest.failf "daemon create failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payloads =
+        [ ""; "x"; String.make 70_000 'q'; "{\"k\":\"v\"}" ]
+      in
+      List.iter (fun p -> Wire.write_frame a p) payloads;
+      List.iter
+        (fun expect ->
+          match Wire.read_frame b with
+          | Ok got -> check_s "frame payload" expect got
+          | Error e -> Alcotest.failf "read: %s" (Wire.read_error_to_string e))
+        payloads;
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error Wire.Closed -> ()
+      | _ -> Alcotest.fail "expected clean EOF")
+
+let test_frame_torn () =
+  (* EOF mid-payload. *)
+  with_socketpair (fun a b ->
+      let frame = Wire.encode_frame "hello world" in
+      let partial = String.sub frame 0 (String.length frame - 4) in
+      let n = Unix.write_substring a partial 0 (String.length partial) in
+      check_i "partial write" (String.length partial) n;
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error (Wire.Torn { wanted = 11; got = 7 }) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Wire.read_error_to_string e)
+      | Ok _ -> Alcotest.fail "expected a torn frame");
+  (* EOF mid-header. *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "\000\000" 0 2);
+      Unix.close a;
+      match Wire.read_frame b with
+      | Error (Wire.Torn { wanted = 4; got = 2 }) -> ()
+      | _ -> Alcotest.fail "expected a torn header")
+
+let test_frame_oversized () =
+  (match Wire.encode_frame ~max_frame:8 "123456789" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode_frame accepted an oversized payload");
+  with_socketpair (fun a b ->
+      (* A header declaring 16 MiB. *)
+      ignore (Unix.write_substring a "\001\000\000\000" 0 4);
+      match Wire.read_frame ~max_frame:Wire.default_max_frame b with
+      | Error (Wire.Oversized n) -> check_i "declared size" 0x01000000 n
+      | _ -> Alcotest.fail "expected oversized")
+
+let test_request_parse () =
+  let ok =
+    Wire.request_to_string ~id:3 ~meth:"is_proxy"
+      ~params:[ ("address", Json.String "0xabc") ]
+  in
+  (match Wire.request_of_string ok with
+  | Ok r ->
+      check_s "method" "is_proxy" r.Wire.rq_method;
+      check_b "id" true (r.Wire.rq_id = Json.Int 3)
+  | Error e -> Alcotest.failf "parse: %s" e.Wire.message);
+  let expect_code want payload =
+    match Wire.request_of_string payload with
+    | Error e -> check_i "error code" want e.Wire.code
+    | Ok _ -> Alcotest.fail "expected a parse failure"
+  in
+  expect_code Wire.err_parse "{not json";
+  expect_code Wire.err_invalid_request "[1,2]";
+  expect_code Wire.err_invalid_request "{\"proxion_rpc\":99,\"method\":\"x\"}";
+  expect_code Wire.err_invalid_request "{\"proxion_rpc\":1}";
+  expect_code Wire.err_invalid_request "{\"method\":\"x\"}"
+
+let test_response_parse () =
+  let okp = Wire.response_ok ~id:(Json.Int 7) (Json.Obj [ ("a", Json.Int 1) ]) in
+  (match Wire.response_of_string okp with
+  | Ok { Wire.rs_id = Json.Int 7; rs_schema_version = Some v; rs_result = Ok _ }
+    ->
+      check_i "schema version" Report.Schema.version v
+  | _ -> Alcotest.fail "bad ok response");
+  let errp =
+    Wire.response_error ~id:(Json.Int 8)
+      { Wire.code = Wire.err_unknown_address; message = "nope" }
+  in
+  match Wire.response_of_string errp with
+  | Ok { Wire.rs_result = Error e; _ } ->
+      check_i "code" Wire.err_unknown_address e.Wire.code
+  | _ -> Alcotest.fail "bad error response"
+
+(* ------------------------------------------------------------------ *)
+(* Versioned report schema                                             *)
+(* ------------------------------------------------------------------ *)
+
+let stats_gen =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        match l with
+        | [ a; b; c; d; e; f; g; h; i; j; k; m ] ->
+            {
+              Proxion.Analysis.s_analyzed = a;
+              s_proxies = b;
+              s_emulation_errors = c;
+              s_pairs = d;
+              s_func_colliding_pairs = e;
+              s_storage_colliding_pairs = f;
+              s_verified_storage_pairs = g;
+              s_honeypot_pairs = h;
+              s_dedup_hits = i;
+              s_unique_codes = j;
+              s_api_calls = k;
+              s_emulation_steps = m;
+            }
+        | _ -> assert false)
+      (list_repeat 12 (int_bound 1_000_000)))
+
+let stats_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"stats JSON round-trip"
+    (QCheck.make stats_gen) (fun stats ->
+      match Proxion.Serialize.stats_of_json (Proxion.Serialize.stats_to_json stats)
+      with
+      | Ok back -> back = stats
+      | Error _ -> false)
+
+let test_report_roundtrip () =
+  let land_ = Generate.generate { small_config with Generate.total = 120 } in
+  let report = cold_report land_ in
+  let json = Proxion.Serialize.report_to_json report in
+  (match Report.Schema.version_of json with
+  | Some v -> check_i "stamped version" Report.Schema.version v
+  | None -> Alcotest.fail "report not stamped");
+  check_b "stamped kind" true
+    (Report.Schema.kind_of json = Some Proxion.Serialize.report_kind);
+  (* Through text and back: byte-identical re-serialization. *)
+  let text = Json.to_string json in
+  (match Json.parse text with
+  | Error e -> Alcotest.failf "reparse: %s" e
+  | Ok parsed -> (
+      match Proxion.Serialize.report_of_json parsed with
+      | Error e -> Alcotest.failf "of_json: %s" e
+      | Ok back -> check_s "round-trip bytes" text (report_string back)));
+  (* Version and kind gates. *)
+  let tampered = Report.Schema.stamp ~kind:"proxion.other" json in
+  check_b "kind gate" true
+    (Result.is_error (Proxion.Serialize.report_of_json tampered));
+  match json with
+  | Json.Obj kvs ->
+      let wrong =
+        Json.Obj
+          (List.map
+             (function
+               | "schema_version", _ -> ("schema_version", Json.Int 999)
+               | kv -> kv)
+             kvs)
+      in
+      check_b "version gate" true
+        (Result.is_error (Proxion.Serialize.report_of_json wrong))
+  | _ -> Alcotest.fail "report json not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Query dispatch (in-process)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let call_daemon d meth params =
+  let payload =
+    Wire.request_to_string ~id:1 ~meth ~params
+  in
+  let _, response = Daemon.handle d payload in
+  match Wire.response_of_string response with
+  | Ok r -> r.Wire.rs_result
+  | Error e -> Alcotest.failf "unparsable response: %s" e
+
+let get_ok = function
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unexpected error %d: %s" e.Wire.code e.Wire.message
+
+let field name = function
+  | Json.Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> Alcotest.failf "missing field %s" name)
+  | _ -> Alcotest.fail "expected an object"
+
+let int_field name j =
+  match field name j with
+  | Json.Int n -> n
+  | _ -> Alcotest.failf "field %s not an int" name
+
+let test_queries () =
+  let d, land_ = make_daemon () in
+  let cold = cold_report land_ in
+  (* get_status *)
+  let status = get_ok (call_daemon d "get_status" []) in
+  check_i "contracts" cold.Proxion.Analysis.stats.Proxion.Analysis.s_analyzed
+    (int_field "contracts" status);
+  check_i "proxies" cold.Proxion.Analysis.stats.Proxion.Analysis.s_proxies
+    (int_field "proxies" status);
+  check_i "advances" 0 (int_field "advances" status);
+  (* report: byte-identical to the cold run. *)
+  let report_json = get_ok (call_daemon d "report" []) in
+  check_s "report bytes" (report_string cold) (Json.to_string report_json);
+  (* is_proxy on a ground-truth proxy and a non-proxy. *)
+  let some_proxy =
+    List.find (fun l -> l.Generate.l_is_proxy) land_.Generate.labels
+  in
+  let some_plain =
+    List.find
+      (fun l -> l.Generate.l_kind = Generate.K_plain)
+      land_.Generate.labels
+  in
+  let addr_param l =
+    [ ("address", Json.String (Evm.Address.to_hex l.Generate.l_address)) ]
+  in
+  let p = get_ok (call_daemon d "is_proxy" (addr_param some_proxy)) in
+  check_b "proxy detected" true (field "is_proxy" p = Json.Bool true);
+  let q = get_ok (call_daemon d "is_proxy" (addr_param some_plain)) in
+  check_b "plain rejected" true (field "is_proxy" q = Json.Bool false);
+  (* logic_history agrees with the stored report. *)
+  let h = get_ok (call_daemon d "logic_history" (addr_param some_proxy)) in
+  check_b "resolution present" true (field "resolution" h <> Json.Null);
+  (* collisions returns the stored pairs. *)
+  let c = get_ok (call_daemon d "collisions" (addr_param some_proxy)) in
+  (match field "pairs" c with
+  | Json.List _ -> ()
+  | _ -> Alcotest.fail "pairs not a list");
+  (* unknown address *)
+  (match
+     call_daemon d "is_proxy"
+       [ ("address", Json.String "0x00000000000000000000000000000000000000ff") ]
+   with
+  | Error e -> check_i "unknown address" Wire.err_unknown_address e.Wire.code
+  | Ok _ -> Alcotest.fail "expected unknown-address error");
+  (* invalid params / unknown method *)
+  (match call_daemon d "is_proxy" [ ("address", Json.String "zz") ] with
+  | Error e -> check_i "invalid params" Wire.err_invalid_params e.Wire.code
+  | Ok _ -> Alcotest.fail "expected invalid-params");
+  (match call_daemon d "no_such_method" [] with
+  | Error e -> check_i "unknown method" Wire.err_method_not_found e.Wire.code
+  | Ok _ -> Alcotest.fail "expected method-not-found");
+  (* list_findings pagination covers the corpus exactly once. *)
+  let total = int_field "total" (get_ok (call_daemon d "list_findings" [])) in
+  let page_size = 7 in
+  let rec collect offset acc =
+    let page =
+      get_ok
+        (call_daemon d "list_findings"
+           [ ("offset", Json.Int offset); ("limit", Json.Int page_size) ])
+    in
+    let count = int_field "count" page in
+    check_i "total stable" total (int_field "total" page);
+    if count = 0 then acc
+    else collect (offset + count) (acc + count)
+  in
+  check_i "paged total" total (collect 0 0);
+  let crit =
+    get_ok
+      (call_daemon d "list_findings"
+         [ ("severity", Json.String "critical"); ("limit", Json.Int 500) ])
+  in
+  check_b "filtered <= total" true (int_field "total" crit <= total);
+  (* metrics: prometheus output passes the linter. *)
+  (match get_ok (call_daemon d "metrics" []) with
+  | Json.String text -> (
+      match Obs.Metrics.lint text with
+      | Ok () -> ()
+      | Error msgs -> Alcotest.failf "promlint: %s" (String.concat "; " msgs))
+  | _ -> Alcotest.fail "metrics not a string")
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-analysis                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_incremental_identity () =
+  let d, land_ = make_daemon () in
+  for i = 1 to 3 do
+    let r = Daemon.advance d in
+    let store_size = Serve.Store.size (Daemon.store d) in
+    (* It is actually incremental: the dirty set is a strict subset. *)
+    check_b
+      (Printf.sprintf "advance %d re-analyzes a strict subset" i)
+      true
+      (r.Daemon.adv_dirty > 0 && r.Daemon.adv_dirty + r.Daemon.adv_new < store_size);
+    (* Byte-identity with a cold full run over the advanced chain. *)
+    let cold = cold_report land_ in
+    let warm =
+      Serve.Store.report (Daemon.store d)
+        ~unique_codes:(Daemon.unique_codes d)
+    in
+    check_s
+      (Printf.sprintf "advance %d: incremental = cold" i)
+      (report_string cold) (report_string warm)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Warm recovery                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let temp_journal () =
+  let path = Filename.temp_file "proxion_serve" ".journal" in
+  Sys.remove path;
+  path
+
+let test_warm_recovery () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let config = Serve.Config.(daemon_config |> with_journal (Some path)) in
+      let d1, _ = make_daemon ~config () in
+      ignore (Daemon.advance d1);
+      ignore (Daemon.advance d1);
+      let bytes1 =
+        report_string
+          (Serve.Store.report (Daemon.store d1)
+             ~unique_codes:(Daemon.unique_codes d1))
+      in
+      (* Simulate SIGKILL: drop d1 without stopping it, re-create from a
+         freshly generated landscape + the journal. *)
+      let land2 = Generate.generate small_config in
+      match Daemon.create ~config land2 with
+      | Error e -> Alcotest.failf "recovery failed: %s" e
+      | Ok d2 ->
+          check_b "recovered warm" true (Daemon.recovered d2);
+          check_i "advances restored" 2 (Daemon.advances_applied d2);
+          let bytes2 =
+            report_string
+              (Serve.Store.report (Daemon.store d2)
+                 ~unique_codes:(Daemon.unique_codes d2))
+          in
+          check_s "store identical after recovery" bytes1 bytes2;
+          (* The recovered daemon keeps advancing correctly. *)
+          ignore (Daemon.advance d2);
+          let cold = cold_report land2 in
+          check_s "post-recovery advance = cold" (report_string cold)
+            (report_string
+               (Serve.Store.report (Daemon.store d2)
+                  ~unique_codes:(Daemon.unique_codes d2))))
+
+(* ------------------------------------------------------------------ *)
+(* Sockets: concurrent clients, oversized frames, shutdown             *)
+(* ------------------------------------------------------------------ *)
+
+let query_script (land_ : Generate.t) =
+  let proxies =
+    List.filter (fun l -> l.Generate.l_is_proxy) land_.Generate.labels
+  in
+  let pick n = List.nth proxies (n mod List.length proxies) in
+  [ ("get_status", []) ]
+  @ List.concat_map
+      (fun n ->
+        let addr =
+          Json.String (Evm.Address.to_hex (pick n).Generate.l_address)
+        in
+        [
+          ("is_proxy", [ ("address", addr) ]);
+          ("logic_history", [ ("address", addr) ]);
+          ("collisions", [ ("address", addr) ]);
+        ])
+      [ 0; 3; 7; 11 ]
+  @ [ ("list_findings", [ ("limit", Json.Int 25) ]) ]
+
+let test_concurrent_clients () =
+  let d, land_ = make_daemon () in
+  (match Daemon.start d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start: %s" e);
+  let port = Daemon.port d in
+  let script = query_script land_ in
+  let run_client () =
+    match Serve.Client.connect ~port () with
+    | Error e -> Error e
+    | Ok c ->
+        let out =
+          List.map
+            (fun (meth, params) ->
+              match Serve.Client.call c ~meth ~params with
+              | Ok j -> Json.to_string ~pretty:false j
+              | Error e -> "ERR " ^ e)
+            script
+        in
+        Serve.Client.close c;
+        Ok out
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn run_client) in
+  let outs = List.map Domain.join domains in
+  let first =
+    match List.hd outs with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "client: %s" e
+  in
+  List.iteri
+    (fun i out ->
+      match out with
+      | Ok o ->
+          check_s
+            (Printf.sprintf "client %d sees identical responses" i)
+            (String.concat "\n" first) (String.concat "\n" o)
+      | Error e -> Alcotest.failf "client %d: %s" i e)
+    outs;
+  check_b "all responses succeeded" true
+    (List.for_all
+       (fun line -> not (String.length line >= 3 && String.sub line 0 3 = "ERR"))
+       first);
+  (* Oversized frame: the server answers with err_oversized and closes. *)
+  (let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+   Unix.connect fd
+     (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+   ignore (Unix.write_substring fd "\x7f\x00\x00\x00" 0 4);
+   (match Wire.read_frame fd with
+   | Ok payload -> (
+       match Wire.response_of_string payload with
+       | Ok { Wire.rs_result = Error e; _ } ->
+           check_i "oversized code" Wire.err_oversized e.Wire.code
+       | _ -> Alcotest.fail "expected an error response")
+   | Error e ->
+       Alcotest.failf "no oversized reply: %s" (Wire.read_error_to_string e));
+   (match Wire.read_frame fd with
+   | Error Wire.Closed -> ()
+   | _ -> Alcotest.fail "connection not closed after oversized frame");
+   Unix.close fd);
+  (* Shutdown over the wire stops the daemon. *)
+  (match Serve.Client.connect ~port () with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c ->
+      (match Serve.Client.call c ~meth:"shutdown" ~params:[] with
+      | Ok j -> check_b "stopping" true (field "stopping" j = Json.Bool true)
+      | Error e -> Alcotest.failf "shutdown: %s" e);
+      Serve.Client.close c);
+  Daemon.wait d
+
+let suite =
+  [
+    Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "torn frames" `Quick test_frame_torn;
+    Alcotest.test_case "oversized frames" `Quick test_frame_oversized;
+    Alcotest.test_case "request parsing" `Quick test_request_parse;
+    Alcotest.test_case "response parsing" `Quick test_response_parse;
+    QCheck_alcotest.to_alcotest stats_roundtrip_prop;
+    Alcotest.test_case "report schema round-trip" `Quick test_report_roundtrip;
+    Alcotest.test_case "query dispatch" `Quick test_queries;
+    Alcotest.test_case "incremental = cold re-run" `Quick
+      test_incremental_identity;
+    Alcotest.test_case "warm recovery from journal" `Quick test_warm_recovery;
+    Alcotest.test_case "concurrent clients over TCP" `Quick
+      test_concurrent_clients;
+  ]

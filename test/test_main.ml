@@ -22,4 +22,5 @@ let () =
       ("parallel", T_parallel.suite);
       ("chaos", T_chaos.suite);
       ("crash", T_crash.suite);
+      ("serve", T_serve.suite);
     ]
