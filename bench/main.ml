@@ -357,6 +357,88 @@ let git_rev () =
 
 let bench_engine_json_path = "BENCH_engine.json"
 
+(* Streamed-RSS probe.  VmHWM is a process-lifetime high-water mark, so
+   each total gets its own subprocess: the bench re-execs itself with
+   BENCH_STREAM_TOTAL set, the child runs a full streamed scan (open_stream
+   / analyze / evict, same loop as the CLI's --stream path) and prints one
+   machine-readable line.  The bounded-RSS claim is the ratio between the
+   totals' peaks staying near 1. *)
+
+let run_stream_child total =
+  let config =
+    { Dataset.Generate.quick_config with Dataset.Generate.total }
+  in
+  let stream = Dataset.Generate.open_stream config in
+  let chain = Dataset.Generate.stream_chain stream in
+  let source = Dataset.Generate.stream_source_of stream in
+  let analyzer = Proxion.Analyzer.create ~chain ~source () in
+  let t0 = Obs.Clock.now clock in
+  let rec loop () =
+    match Dataset.Generate.next_batch stream ~batch:4096 with
+    | None -> ()
+    | Some specs ->
+        Proxion.Analyzer.submit analyzer
+          (Array.to_list
+             (Array.map
+                (fun sp ->
+                  sp.Dataset.Generate.sp_label.Dataset.Generate.l_address)
+                specs));
+        Proxion.Analyzer.refresh_head analyzer;
+        Proxion.Analyzer.run analyzer;
+        ignore (Proxion.Analyzer.drain_results analyzer);
+        Array.iter
+          (fun sp ->
+            if not sp.Dataset.Generate.sp_pinned then
+              Dataset.Generate.evict stream sp)
+          specs;
+        loop ()
+  in
+  loop ();
+  Chain.compact chain;
+  let elapsed = Obs.Clock.now clock -. t0 in
+  let rss =
+    Option.value ~default:(-1) (Experiments.Stream_scan.peak_rss_kb ())
+  in
+  Printf.printf "total=%d contracts=%d rss_kb=%d elapsed_s=%.3f\n" total
+    (Dataset.Generate.stream_emitted stream)
+    rss elapsed
+
+type stream_row = {
+  sr_total : int;
+  sr_contracts : int;
+  sr_rss_kb : int;
+  sr_elapsed : float;
+}
+
+let stream_rss_rows () =
+  let totals =
+    [ 20_000; 100_000 ]
+    @ (if Sys.getenv_opt "BENCH_STREAM_M1" <> None then [ 1_000_000 ] else [])
+    @
+    (* The full-mainnet soak (36M contracts, hours of wall-clock) only on
+       explicit request. *)
+    if Sys.getenv_opt "BENCH_STREAM_SOAK" <> None then [ 36_000_000 ] else []
+  in
+  List.filter_map
+    (fun total ->
+      Unix.putenv "BENCH_STREAM_TOTAL" (string_of_int total);
+      let ic =
+        Unix.open_process_args_in Sys.executable_name
+          [| Sys.executable_name |]
+      in
+      let line = try Some (input_line ic) with End_of_file -> None in
+      let status = Unix.close_process_in ic in
+      Unix.putenv "BENCH_STREAM_TOTAL" "";
+      match (line, status) with
+      | Some line, Unix.WEXITED 0 -> (
+          try
+            Scanf.sscanf line "total=%d contracts=%d rss_kb=%d elapsed_s=%f"
+              (fun sr_total sr_contracts sr_rss_kb sr_elapsed ->
+                Some { sr_total; sr_contracts; sr_rss_kb; sr_elapsed })
+          with Scanf.Scan_failure _ | Failure _ -> None)
+      | _ -> None)
+    totals
+
 let run_engine fx =
   let chain = fx.fx_land.Dataset.Generate.chain in
   let source = fx.fx_land.Dataset.Generate.source_of in
@@ -454,19 +536,47 @@ let run_engine fx =
                     replay_elapsed )))
   in
   (try Sys.remove journal_path with Sys_error _ -> ());
-  (* Domain-parallel sweep: same landscape fanned across 1/2/4/8 worker
+  (* Domain-parallel sweep: one landscape fanned across 1/2/4/8 worker
      domains; the report must stay byte-identical to the sequential run.
-     The keccak selector memo is reset before the reference run so its
-     hit rate covers exactly one full landscape analysis. *)
+     The sweep runs over a dedicated 10k-contract landscape rather than
+     the small shared fixture: worker domains are spawned once per run,
+     and that fixed cost (plus cold per-domain selector/jumpdest memos)
+     would dominate a ~50 ms run and misreport scheduler overhead that
+     amortizes to nothing at realistic scan sizes.  The keccak selector
+     memo is reset before the reference run so its hit rate covers
+     exactly the sweep's analyses. *)
   let report_string t =
     Report.Json.to_string
       (Proxion.Serialize.report_to_json (Proxion.Analyzer.report t))
+  in
+  let sweep_land =
+    Dataset.Generate.generate
+      { Dataset.Generate.quick_config with Dataset.Generate.total = 10_000 }
+  in
+  (* Batch 128 for the sweep: each batch barrier wakes the parked helpers
+     and collects their done-signals, which on an oversubscribed core
+     costs a context-switch round trip per helper.  128-contract batches
+     amortize that fixed cost the way a real scan would; batch 32 spends
+     ~0.6 ms/barrier x 312 barriers on wake-ups alone at DOMAINS=4. *)
+  let analyze_domains d =
+    let chain = sweep_land.Dataset.Generate.chain in
+    Chain.reset_api_call_count chain;
+    let config =
+      Proxion.Pipeline.Config.(default |> with_batch_size 128 |> with_domains d)
+    in
+    let t =
+      Proxion.Analyzer.create ~config ~chain
+        ~source:sweep_land.Dataset.Generate.source_of ()
+    in
+    Proxion.Analyzer.submit_all t;
+    Proxion.Analyzer.run t;
+    t
   in
   Keccak.Memo.reset ();
   let domain_runs =
     List.map
       (fun d ->
-        let t, elapsed = time (fun () -> analyze_with ~domains:d 32) in
+        let t, elapsed = time (fun () -> analyze_domains d) in
         (d, t, elapsed))
       [ 1; 2; 4; 8 ]
   in
@@ -504,6 +614,26 @@ let run_engine fx =
     if memo_total = 0 then 0.0
     else float_of_int memo.Keccak.Memo.hits /. float_of_int memo_total
   in
+  (* Allocation audit: GC word deltas across one full sequential analysis.
+     The jumpdest-table memo and the scheduler's slot buffers show up here
+     as fewer minor words per contract. *)
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let gc_run, fixture_elapsed = time (fun () -> analyze_with 32) in
+  let g1 = Gc.quick_stat () in
+  let gc_minor = g1.Gc.minor_words -. g0.Gc.minor_words in
+  let gc_major = g1.Gc.major_words -. g0.Gc.major_words in
+  let gc_promoted = g1.Gc.promoted_words -. g0.Gc.promoted_words in
+  (* Fixture-landscape baseline: the resilience sweep below runs over the
+     shared fixture, so its identity check and overhead ratio must be
+     anchored here, not on the (larger) domain-sweep landscape. *)
+  let fixture_report = report_string gc_run in
+  let fixture_processed =
+    List.length (Proxion.Analyzer.report gc_run).Proxion.Pipeline.contracts
+  in
+  let gc_minor_per_contract =
+    gc_minor /. float_of_int (max 1 fixture_processed)
+  in
   (* Resilience sweep: the same landscape under seeded fault injection.
      Every run must stay report-identical to the fault-free baseline
      (transients are retried on the virtual clock), so what this measures
@@ -537,7 +667,7 @@ let run_engine fx =
               Proxion.Analyzer.run t;
               t)
         in
-        let identical = String.equal (report_string t) base_report in
+        let identical = String.equal (report_string t) fixture_report in
         let dead = List.length (Proxion.Analyzer.skipped t) in
         (fault_rate, elapsed, !retries, !opens, !closes, dead, identical))
       [ 0.0; 0.02; 0.08 ]
@@ -603,6 +733,19 @@ let run_engine fx =
               (Obs.Metrics.summarize ~labels:[ ("stage", name) ] registry fam))
           (Engine.stage_totals (Proxion.Analyzer.engine inst_t))
   in
+  (* Streamed bounded-RSS rows (subprocess per total; see above). *)
+  let stream_rows = stream_rss_rows () in
+  let stream_summary =
+    if stream_rows = [] then "n/a (subprocess probe failed)"
+    else
+      String.concat "; "
+        (List.map
+           (fun r ->
+             Printf.sprintf "%d: %.1f MiB, %.1fs" r.sr_total
+               (float_of_int r.sr_rss_kb /. 1024.0)
+               r.sr_elapsed)
+           stream_rows)
+  in
   (* Machine-readable trajectory artifact. *)
   let stage_json t =
     Report.Json.List
@@ -619,13 +762,13 @@ let run_engine fx =
              ])
          (Engine.stage_totals (Proxion.Analyzer.engine t)))
   in
+  let cores = Domain.recommended_domain_count () in
   let bench_json =
     Report.Json.Obj
       [
-        ("schema_version", Report.Json.Int 4);
+        ("schema_version", Report.Json.Int 5);
         ("git_rev", Report.Json.String (git_rev ()));
-        ( "cores",
-          Report.Json.Int (Domain.recommended_domain_count ()) );
+        ("cores", Report.Json.Int cores);
         ( "config",
           Report.Json.Obj
             [
@@ -634,7 +777,22 @@ let run_engine fx =
               ("seed", Report.Json.Int bench_config.Dataset.Generate.seed);
               ("batch_size", Report.Json.Int 32);
             ] );
-        ("contracts_processed", Report.Json.Int processed);
+        ("contracts_processed", Report.Json.Int fixture_processed);
+        ( "sweep_config",
+          Report.Json.Obj
+            [
+              ("total", Report.Json.Int 10_000);
+              ("batch_size", Report.Json.Int 128);
+              ("contracts_processed", Report.Json.Int processed);
+            ] );
+        ( "oversubscription_note",
+          Report.Json.String
+            "Rows with domains > cores measure the multi-domain runtime's \
+             stop-the-world rendezvous cost on a shared core, not scheduler \
+             overhead: per-stage step and API-call counts are identical \
+             across all rows (work is conserved), and the gap is unchanged \
+             when helpers are parked without being dispatched any work. \
+             Speedup is only meaningful where cores >= domains." );
         ( "sweep",
           Report.Json.List
             (List.map
@@ -645,6 +803,10 @@ let run_engine fx =
                      ("elapsed_s", Report.Json.Float elapsed);
                      ("contracts_per_sec", Report.Json.Float cps);
                      ("speedup_vs_1", Report.Json.Float speedup);
+                     (* Honesty flag: with more worker domains than cores
+                        the row measures oversubscription overhead, not
+                        scaling — do not read speedup off such rows. *)
+                     ("oversubscribed", Report.Json.Bool (d > cores));
                      ("identical_report", Report.Json.Bool identical);
                      ("stages", stage_json t);
                    ])
@@ -665,8 +827,8 @@ let run_engine fx =
                      ("fault_rate", Report.Json.Float rate);
                      ("elapsed_s", Report.Json.Float elapsed);
                      ( "overhead_vs_baseline",
-                       Report.Json.Float (elapsed /. Float.max 1e-9 base_elapsed)
-                     );
+                       Report.Json.Float
+                         (elapsed /. Float.max 1e-9 fixture_elapsed) );
                      ("retries", Report.Json.Int retries);
                      ("breaker_opens", Report.Json.Int opens);
                      ("breaker_closes", Report.Json.Int closes);
@@ -697,6 +859,28 @@ let run_engine fx =
                          ])
                      stage_latency) );
             ] );
+        ( "gc",
+          Report.Json.Obj
+            [
+              ("minor_words_per_run", Report.Json.Float gc_minor);
+              ("major_words_per_run", Report.Json.Float gc_major);
+              ("promoted_words_per_run", Report.Json.Float gc_promoted);
+              ( "minor_words_per_contract",
+                Report.Json.Float gc_minor_per_contract );
+              ("top_heap_words", Report.Json.Int g1.Gc.top_heap_words);
+            ] );
+        ( "stream_rss",
+          Report.Json.List
+            (List.map
+               (fun r ->
+                 Report.Json.Obj
+                   [
+                     ("total", Report.Json.Int r.sr_total);
+                     ("contracts", Report.Json.Int r.sr_contracts);
+                     ("peak_rss_kb", Report.Json.Int r.sr_rss_kb);
+                     ("elapsed_s", Report.Json.Float r.sr_elapsed);
+                   ])
+               stream_rows) );
         ( "recovery",
           match journal_stats with
           | Error e -> Report.Json.Obj [ ("error", Report.Json.String e) ]
@@ -721,6 +905,16 @@ let run_engine fx =
     [
       [ "full run by batch size"; String.concat "; " sweep ];
       [ "full run by domains"; domain_summary ];
+      [
+        "cores (recommended_domain_count)";
+        Printf.sprintf "%d (sweep rows beyond this are oversubscribed)" cores;
+      ];
+      [
+        "gc per sequential run";
+        Printf.sprintf "%.1fM minor words (%.0f/contract), %.1fM major"
+          (gc_minor /. 1e6) gc_minor_per_contract (gc_major /. 1e6);
+      ];
+      [ "streamed scan peak RSS"; stream_summary ];
       [ "fault-injection sweep"; resilience_summary ];
       [
         "keccak selector memo";
@@ -835,6 +1029,12 @@ let run_all_landscape () =
   print_string (Experiments.Landscape.upgrade_authority (Lazy.force landscape))
 
 let () =
+  (* Subprocess mode: streamed-RSS probe child (see run_stream_child). *)
+  match
+    Option.bind (Sys.getenv_opt "BENCH_STREAM_TOTAL") int_of_string_opt
+  with
+  | Some total when total > 0 -> run_stream_child total
+  | _ -> (
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match arg with
   | "micro" ->
@@ -877,4 +1077,4 @@ let () =
          table4 fig2 fig4 fig5 fig6 perf effectiveness multichain landscape \
          all)\n"
         other;
-      exit 1
+      exit 1)

@@ -128,8 +128,83 @@ let print_landscape t findings =
 
 exception Journal_write_error of string
 
+(* The bounded-RSS path: drain the dataset stream batch-by-batch, analyze
+   each batch against the chain as of its boundary, fold commutative
+   aggregates, and evict every non-pinned subject before generating the
+   next batch — so peak RSS tracks the batch size and the pinned logic
+   pools, not --total.  Output is byte-identical at any --domains (the
+   engine merge is input-ordered and the aggregates commutative); the peak
+   RSS self-report goes to stderr so stdout stays diffable. *)
+let run_stream_scan chain faults telemetry stream_batch batch_size domains =
+  let gen_config = Chain_spec.config chain in
+  let stream = Dataset.Generate.open_stream gen_config in
+  let chain_ = Dataset.Generate.stream_chain stream in
+  let source = Dataset.Generate.stream_source_of stream in
+  Chain.reset_api_call_count chain_;
+  let registry = Obs.Metrics.create () in
+  let trace = Telemetry_spec.trace telemetry in
+  let log = Telemetry_spec.log telemetry in
+  let resilience = Faults_spec.resilience faults in
+  let config =
+    Proxion.Pipeline.Config.default
+    |> (match batch_size with
+       | Some b -> Proxion.Pipeline.Config.with_batch_size b
+       | None -> Fun.id)
+    |> (match domains with
+       | Some d -> Proxion.Pipeline.Config.with_domains d
+       | None -> Fun.id)
+  in
+  let analyzer =
+    Proxion.Analyzer.create ~config ~resilience ~chain:chain_ ~source ()
+  in
+  Proxion.Analyzer.instrument ?trace ?log registry analyzer;
+  let agg = Experiments.Stream_scan.create () in
+  let rec loop () =
+    match Dataset.Generate.next_batch stream ~batch:stream_batch with
+    | None -> ()
+    | Some specs ->
+        Proxion.Analyzer.submit analyzer
+          (Array.to_list
+             (Array.map
+                (fun sp ->
+                  sp.Dataset.Generate.sp_label.Dataset.Generate.l_address)
+                specs));
+        (* Generation advanced the chain; re-snapshot the emulation host so
+           probes see the batch-boundary head. *)
+        Proxion.Analyzer.refresh_head analyzer;
+        Proxion.Analyzer.run analyzer;
+        let reports = Proxion.Analyzer.drain_results analyzer in
+        Experiments.Stream_scan.absorb agg specs reports;
+        let evicted = ref 0 in
+        Array.iter
+          (fun sp ->
+            if not sp.Dataset.Generate.sp_pinned then begin
+              Dataset.Generate.evict stream sp;
+              incr evicted
+            end)
+          specs;
+        Experiments.Stream_scan.note_evicted agg !evicted;
+        loop ()
+  in
+  loop ();
+  Chain.compact chain_;
+  Experiments.Stream_scan.note_skipped agg
+    (List.length (Proxion.Analyzer.skipped analyzer));
+  let outputs_failed =
+    not (Telemetry_spec.write_outputs telemetry ~registry ~trace)
+  in
+  print_string (Experiments.Stream_scan.summary agg);
+  (match Experiments.Stream_scan.peak_rss_kb () with
+  | Some kb ->
+      Printf.eprintf "stream-scan: %d contracts, peak RSS %d KiB\n%!"
+        (Dataset.Generate.stream_emitted stream)
+        kb
+  | None -> ());
+  if outputs_failed then 1 else 0
+
 let run_scan ~deprecated chain faults telemetry journal_path findings
-    batch_size domains checkpoint_path resume_path max_batches retry_skipped =
+    batch_size domains checkpoint_path resume_path max_batches retry_skipped
+    stream =
   if deprecated then
     prerr_endline
       "warning: `proxion landscape` is a deprecated alias; use `proxion scan`";
@@ -148,6 +223,25 @@ let run_scan ~deprecated chain faults telemetry journal_path findings
         "error: --journal recovers its own state; pass either --journal or \
          --resume, not both";
       1
+  | _ when (match stream with Some s -> s <= 0 | None -> false) ->
+      prerr_endline "error: --stream must be positive";
+      1
+  | _
+    when stream <> None
+         && (journal_path <> None || resume_path <> None
+           || checkpoint_path <> None || max_batches <> None) ->
+      prerr_endline
+        "error: --stream is not checkpointable; drop \
+         --journal/--resume/--checkpoint/--max-batches";
+      1
+  | _ when stream <> None && (findings > 0 || retry_skipped) ->
+      prerr_endline
+        "error: --stream folds results incrementally; --findings and \
+         --retry-skipped need the materialized scan";
+      1
+  | _ when stream <> None ->
+      run_stream_scan chain faults telemetry (Option.get stream) batch_size
+        domains
   | _ ->
   let land_ = Chain_spec.generate chain in
   let chain_ = land_.Dataset.Generate.chain in
@@ -414,11 +508,24 @@ let scan_term ~deprecated =
          re-executed.  Use the same --total and --seed so the landscape \
          regenerates identically."
   in
+  let stream_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 4096) (some int) None
+      & info [ "stream" ] ~docv:"N"
+          ~doc:
+            "Bounded-RSS mode: generate, analyze and evict the landscape \
+             in batches of $(docv) contracts (default 4096) instead of \
+             materializing it, so peak memory tracks the batch size — not \
+             --total.  Prints an incremental summary; byte-identical at \
+             any --domains.")
+  in
   Term.(
     const (run_scan ~deprecated)
     $ Chain_spec.term () $ Faults_spec.term $ Telemetry_spec.term
     $ journal_arg $ findings_arg $ batch_size_arg $ domains_arg
-    $ checkpoint_arg $ resume_arg $ max_batches_arg $ retry_skipped_arg)
+    $ checkpoint_arg $ resume_arg $ max_batches_arg $ retry_skipped_arg
+    $ stream_arg)
 
 let scan_cmd =
   let doc =

@@ -49,6 +49,8 @@ end)
 
 type t = {
   state : Host.t;  (* head state; block info replaced per access *)
+  admin : Host.admin;  (* owner-side journal/eviction control of [state] *)
+  dropped : (Address.t, unit) Hashtbl.t;  (* evicted, awaiting index sweep *)
   mutable head : int;
   base_block : Host.block_info;
   (* (height, value) change lists per slot, most recent first. *)
@@ -63,8 +65,11 @@ type t = {
 }
 
 let create ?(block = Host.default_block) () =
+  let state, admin = Host.in_memory_admin ~block () in
   {
-    state = Host.in_memory ~block ();
+    state;
+    admin;
+    dropped = Hashtbl.create 64;
     head = 0;
     base_block = block;
     history = Slot_tbl.create 1024;
@@ -79,7 +84,9 @@ let create ?(block = Host.default_block) () =
 
 let height t = t.head
 let advance_blocks t n = if n > 0 then t.head <- t.head + n
-let fund t addr amount = t.state.Host.set_balance addr amount
+let fund t addr amount =
+  t.state.Host.set_balance addr amount;
+  t.admin.Host.commit ()
 
 let worker_view t =
   (* Shallow copy sharing the (read-only during analysis) history, contract
@@ -175,7 +182,12 @@ let commit_tx t ~touched_slots ~record =
   List.iter
     (fun a -> index_tx t a record)
     (List.sort_uniq Address.compare participants);
-  t.head <- t.head + 1
+  t.head <- t.head + 1;
+  (* The transaction is final: its undo entries can never be replayed, so
+     truncate the journal rather than let it pin every touched account for
+     the lifetime of the chain.  No interpreter frame is live here, hence
+     no outstanding snapshot marks. *)
+  t.admin.Host.commit ()
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                         *)
@@ -305,12 +317,69 @@ let install_contract t ?(creator = installer) ~runtime () =
   t.state.Host.create_account address ~code:runtime;
   register_contract t ~address ~creator;
   t.head <- t.head + 1;
+  t.admin.Host.commit ();
   address
 
 let set_storage_direct t addr slot value =
   t.state.Host.set_storage addr slot value;
   record_slot t { sk_addr = addr; sk_slot = slot } value;
-  t.head <- t.head + 1
+  t.head <- t.head + 1;
+  t.admin.Host.commit ()
+
+(* ------------------------------------------------------------------ *)
+(* Eviction                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Streamed scans analyze a batch of freshly deployed contracts and then
+   evict them so RSS stays bounded by the batch, not the total.  The
+   account itself (code + storage — the dominant weight) is freed
+   immediately; the secondary indexes (slot history, contract metadata,
+   transaction lists) are swept in amortized bulk passes so eviction stays
+   O(1) per contract.
+
+   Eviction is an owner-side operation: it must not run concurrently with
+   worker views (call it only between analysis batches), and evicting a
+   contract that later deployments still delegate to is the caller's bug —
+   the dataset stream marks such addresses as pinned. *)
+
+let sweep_threshold = 8192
+
+let compact t =
+  if Hashtbl.length t.dropped > 0 then begin
+    let dead a = Hashtbl.mem t.dropped a in
+    let doomed =
+      Slot_tbl.fold
+        (fun k _ acc -> if dead k.sk_addr then k :: acc else acc)
+        t.history []
+    in
+    List.iter (Slot_tbl.remove t.history) doomed;
+    Hashtbl.iter (fun a () -> Hashtbl.remove t.contracts a) t.dropped;
+    t.contract_order <-
+      List.filter (fun m -> not (dead m.cm_address)) t.contract_order;
+    let tx_dead r =
+      (match r.tx_to with Some a -> dead a | None -> false)
+      || match r.tx_created with Some a -> dead a | None -> false
+    in
+    t.txs <- List.filter (fun r -> not (tx_dead r)) t.txs;
+    let dead_buckets =
+      Hashtbl.fold
+        (fun a _ acc -> if dead a then a :: acc else acc)
+        t.tx_index []
+    in
+    List.iter (Hashtbl.remove t.tx_index) dead_buckets;
+    Hashtbl.iter
+      (fun _ r -> r := List.filter (fun tx -> not (tx_dead tx)) !r)
+      t.tx_index;
+    Hashtbl.reset t.dropped
+  end
+
+let forget_contract t addr =
+  if Hashtbl.mem t.contracts addr && not (Hashtbl.mem t.dropped addr) then begin
+    t.admin.Host.commit ();
+    t.admin.Host.drop_account addr;
+    Hashtbl.replace t.dropped addr ();
+    if Hashtbl.length t.dropped >= sweep_threshold then compact t
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Archive queries                                                      *)

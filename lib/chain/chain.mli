@@ -101,6 +101,24 @@ val set_storage_direct : t -> Evm.Address.t -> U256.t -> U256.t -> unit
 (** Write a storage slot at the head height with history recording; mines a
     block.  Used to replay upgrade events (logic-address changes). *)
 
+(** {1 Eviction}
+
+    Streamed bounded-RSS scans deploy a batch, analyze it, and evict it.
+    Both operations are owner-side: never call them while worker views are
+    live, and never evict an address later deployments still delegate to
+    (the dataset stream marks those as pinned). *)
+
+val forget_contract : t -> Evm.Address.t -> unit
+(** Free a contract's account (code + storage) immediately and queue its
+    secondary-index entries (slot history, metadata, transaction lists) for
+    an amortized bulk sweep.  Until the sweep runs, {!contract_meta} and
+    {!all_contracts} may still list the address while {!code_at} already
+    returns [""].  No-op for unknown or already-evicted addresses. *)
+
+val compact : t -> unit
+(** Run the index sweep now instead of waiting for the eviction threshold —
+    useful at end of run and in tests asserting post-eviction state. *)
+
 (** {1 Archive queries} *)
 
 val get_storage_at : t -> Evm.Address.t -> U256.t -> height:int -> U256.t

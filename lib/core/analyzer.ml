@@ -77,6 +77,15 @@ type t = {
   resilience : Resilience.Transport.config;
   mutable host : Evm.Host.t;
   par : bool; (* domains > 1: shared state needs locking *)
+  views : (Chain.t * Evm.Host.t) option array;
+      (* Per-worker chain view + head host, created lazily on the worker's
+         first item and reused for the rest of the run — building an
+         overlay per item was the dominant per-item parallel overhead.
+         Safe to reuse because the sequential path already runs every item
+         against one shared head host (probe effects are fully reverted);
+         per-item API/method accounting samples deltas against the view's
+         running counters.  Cleared at run boundaries ([run],
+         [refresh_head]) so a mutated chain never leaks a stale view. *)
   cache_lock : Mutex.t;
   merge_lock : Mutex.t;
   detection_cache : (string, cached_detection) Hashtbl.t;
@@ -560,14 +569,29 @@ let process_item t ctx addr =
         Error (skip_of_exn ctx env e)
   end
   else begin
-    (* Parallel: a private chain view whose API-call counter starts at
-       zero, so stage deltas and the Algorithm 1 accounting serialized
-       into the report are identical to the sequential run. *)
-    let view = Chain.worker_view t.chain in
+    (* Parallel: the worker's private chain view (API-call counter and
+       copy-on-write host of its own), so stage deltas and the Algorithm 1
+       accounting serialized into the report are identical to the
+       sequential run.  The view is per worker per run, so counters are
+       sampled before the item exactly as the sequential branch does. *)
+    let view, host =
+      let wid = Engine.worker_id ctx in
+      match t.views.(wid) with
+      | Some vh -> vh
+      | None ->
+          let v = Chain.worker_view t.chain in
+          let vh = (v, Chain.host_at_head v) in
+          t.views.(wid) <- Some vh;
+          vh
+    in
+    let api0 = Chain.api_call_count view in
+    let meth0 =
+      if obs = None then [] else Chain.method_call_counts view
+    in
     let env =
       {
         e_chain = view;
-        e_host = Chain.host_at_head view;
+        e_host = host;
         e_steps = ref 0;
         e_dedup = ref 0;
         e_transport = make_transport t ctx addr view obs;
@@ -581,14 +605,14 @@ let process_item t ctx addr =
     match analyze_contract t env ctx addr with
     | report ->
         Mutex.lock t.merge_lock;
-        t.api_calls := !(t.api_calls) + Chain.api_call_count view;
+        t.api_calls := !(t.api_calls) + (Chain.api_call_count view - api0);
         t.steps_total := !(t.steps_total) + !(env.e_steps);
         t.dedup_hits := !(t.dedup_hits) + !(env.e_dedup);
         Mutex.unlock t.merge_lock;
-        finish_item_obs t ctx env ~meth0:[] ~ok:true obs;
+        finish_item_obs t ctx env ~meth0 ~ok:true obs;
         Ok report
     | exception e ->
-        finish_item_obs t ctx env ~meth0:[] ~ok:false obs;
+        finish_item_obs t ctx env ~meth0 ~ok:false obs;
         Error (skip_of_exn ctx env e)
   end
 
@@ -609,6 +633,7 @@ let make_with_engine ~config ~resilience ~chain ~source build_engine =
       resilience;
       host = Chain.host_at_head chain;
       par = config.Config.domains > 1;
+      views = Array.make (max 1 config.Config.domains) None;
       cache_lock = Mutex.create ();
       merge_lock = Mutex.create ();
       detection_cache = Hashtbl.create 256;
@@ -711,7 +736,9 @@ let instrument ?trace ?log ?(trace_sample = 16) registry t =
     | _ -> ());
   t.telemetry <- Some tm
 
-let run ?max_batches t = Engine.run ?max_batches t.engine
+let run ?max_batches t =
+  Array.fill t.views 0 (Array.length t.views) None;
+  Engine.run ?max_batches t.engine
 let pending t = Engine.pending t.engine
 let subscribe t f = Engine.subscribe t.engine f
 let stage_totals_table t = Engine.stage_totals_table t.engine
@@ -737,7 +764,9 @@ let invalidate_code_hash t code_hash =
   Hashtbl.remove t.detection_cache code_hash;
   Mutex.unlock t.cache_lock
 
-let refresh_head t = t.host <- Chain.host_at_head t.chain
+let refresh_head t =
+  t.host <- Chain.host_at_head t.chain;
+  Array.fill t.views 0 (Array.length t.views) None
 
 (* ------------------------------------------------------------------ *)
 (* Checkpointing                                                       *)
@@ -922,6 +951,7 @@ let restore ?batch_size ?domains
       resilience;
       host = Chain.host_at_head chain;
       par = config.Config.domains > 1;
+      views = Array.make (max 1 config.Config.domains) None;
       cache_lock = Mutex.create ();
       merge_lock = Mutex.create ();
       detection_cache = Hashtbl.create 256;

@@ -240,14 +240,17 @@ type gen_state = {
   g_chain : Chain.t;
   g_rng : Prng.t;
   g_sources : (Address.t, Ast.contract) Hashtbl.t;
-  mutable g_labels : label list;
+  mutable g_labels : label list; (* since the last drain, reverse order *)
+  mutable g_recorded : int; (* List.length g_labels, kept incrementally *)
   g_caller_pool : Address.t array;
 }
 
 let mk_caller i =
   Address.of_u256 (U256.of_bytes_be (Keccak.digest (Printf.sprintf "eoa-%d" i)))
 
-let record st label = st.g_labels <- label :: st.g_labels
+let record st label =
+  st.g_labels <- label :: st.g_labels;
+  st.g_recorded <- st.g_recorded + 1
 
 let register_source st addr ast = Hashtbl.replace st.g_sources addr ast
 
@@ -283,7 +286,30 @@ let is_proxy_kind = function
       true
   | K_library_caller | K_plain | K_broken -> false
 
-let generate (config : config) =
+(* A streamed landscape: the generator is a resumable cursor over the same
+   deployment sequence [generate] used to run eagerly, so specs can be
+   drained batch-by-batch (and evicted after analysis) without the whole
+   36M-contract landscape ever being resident.  [generate] below is a thin
+   drain wrapper, which makes stream/materialized byte-identity hold by
+   construction: both paths issue the identical PRNG and chain-call
+   sequence. *)
+
+type spec = { sp_label : label; sp_code : string; sp_pinned : bool }
+
+type stream = {
+  str_chain : Chain.t;
+  str_config : config;
+  str_state : gen_state;
+  (* Addresses later deployments (or later analyses) still reference as
+     delegate targets: shared logic pools, mega-clone targets, injected
+     honeypot/audius logics.  Never evicted. *)
+  str_pinned : (Address.t, unit) Hashtbl.t;
+  str_step : unit -> bool; (* deploy one subject; false once exhausted *)
+  mutable str_done : bool;
+  mutable str_emitted : int;
+}
+
+let open_stream (config : config) =
   let block =
     {
       Evm.Host.default_block with
@@ -298,9 +324,11 @@ let generate (config : config) =
       g_rng = rng;
       g_sources = Hashtbl.create 1024;
       g_labels = [];
+      g_recorded = 0;
       g_caller_pool = Array.init 64 mk_caller;
     }
   in
+  let pinned = Hashtbl.create 256 in
   let host = Chain.host_at_head chain in
   (* A token stands in for USDT at the honeypots' hard-coded address. *)
   Evm.Host.with_code host Patterns.usdt_address
@@ -310,6 +338,7 @@ let generate (config : config) =
   let year_ref = ref 2015 in
   let deploy_logic ?(with_source = false) ast =
     let addr = install_ast st ~with_source ast in
+    Hashtbl.replace pinned addr ();
     record st
       {
         l_address = addr;
@@ -508,118 +537,214 @@ let generate (config : config) =
         install_ast st ~with_source:(Prng.bool rng Spec.source_rate_non_proxy) ast
   in
 
-  (* --- main loop ------------------------------------------------------ *)
-  Array.iter
-    (fun year ->
-      year_ref := year;
-      let quota = year_quota year in
-      let storage_injections =
-        scaled_per_year Spec.storage_collisions_by_year year config.storage_boost
-      in
-      let func_injections =
-        scaled_per_year Spec.function_collisions_by_year year
-          (config.function_injection_share *. 1.0)
-      in
-      let injections =
-        List.init storage_injections (fun _ -> K_audius_proxy)
-        @ List.init func_injections (fun _ -> K_honeypot_proxy)
-      in
-      let n_injected = List.length injections in
-      let remaining = max 0 (quota - (2 * n_injected)) in
-      let deploy_one kind =
+  (* --- deployment steps ----------------------------------------------- *)
+  let deploy_one year kind =
+    let has_tx = Prng.bool rng Spec.tx_rate in
+    if is_proxy_kind kind then begin
+      let addr, logics, func_c, storage_c, upgrades = deploy_proxy kind in
+      if has_tx then give_tx st addr;
+      record st
+        {
+          l_address = addr;
+          l_year = year;
+          l_kind = kind;
+          l_is_proxy = true;
+          l_standard = standard_of_kind kind;
+          l_has_source = Hashtbl.mem st.g_sources addr;
+          l_has_tx = has_tx;
+          l_logics = logics;
+          l_func_collision = func_c;
+          l_storage_collision = storage_c;
+          l_upgrades = upgrades;
+        }
+    end
+    else begin
+      let addr = deploy_non_proxy kind (Prng.int rng 1_000_000) in
+      if has_tx then
+        if kind = K_library_caller then library_tx addr else give_tx st addr;
+      record st
+        {
+          l_address = addr;
+          l_year = year;
+          l_kind = kind;
+          l_is_proxy = false;
+          l_standard = None;
+          l_has_source = Hashtbl.mem st.g_sources addr;
+          l_has_tx = has_tx;
+          l_logics = [];
+          l_func_collision = false;
+          l_storage_collision = false;
+          l_upgrades = 0;
+        }
+    end
+  in
+  let deploy_tail year =
+    let kind =
+      if Prng.bool rng config.broken_rate then K_broken
+      else if Prng.bool rng (Spec.proxy_rate_by_year year) then begin
+        (* Ownable clones (the function-colliding mega-clone) follow
+           Table 3's year shape; CoinTool/XEN minimal mega-clones and
+           the tail split the rest; diamonds are a trace. *)
+        if Prng.bool rng (Spec.ownable_clone_rate year) then K_ownable_clone
+        else if Prng.bool rng 0.0004 then K_diamond_proxy
+        else if Prng.bool rng 0.341 then K_minimal_proxy (* mega 1167 *)
+        else
+          Prng.pick_weighted rng
+            [
+              (K_minimal_proxy, 0.5495);
+              (K_eip1967_proxy, 0.0100);
+              (K_eip1822_proxy, 0.0012);
+              (K_slot_proxy, 0.0163);
+              (K_beacon_proxy, 0.0030);
+            ]
+      end
+      else if Prng.bool rng 0.05 then K_library_caller
+      else K_plain
+    in
+    (* Mega minimal clones must reuse the two fixed byte strings. *)
+    match kind with
+    | K_minimal_proxy when Prng.bool rng 0.383 ->
+        (* Route a share of minimal proxies into the two mega groups. *)
+        let bytes = if Prng.bool rng 0.52 then cointool_bytes else xen_bytes in
+        let target = if bytes == cointool_bytes then cointool_logic else xen_logic in
+        let addr = install st bytes in
         let has_tx = Prng.bool rng Spec.tx_rate in
-        if is_proxy_kind kind then begin
-          let addr, logics, func_c, storage_c, upgrades = deploy_proxy kind in
-          if has_tx then give_tx st addr;
-          record st
-            {
-              l_address = addr;
-              l_year = year;
-              l_kind = kind;
-              l_is_proxy = true;
-              l_standard = standard_of_kind kind;
-              l_has_source = Hashtbl.mem st.g_sources addr;
-              l_has_tx = has_tx;
-              l_logics = logics;
-              l_func_collision = func_c;
-              l_storage_collision = storage_c;
-              l_upgrades = upgrades;
-            }
-        end
-        else begin
-          let addr = deploy_non_proxy kind (Prng.int rng 1_000_000) in
-          if has_tx then
-            if kind = K_library_caller then library_tx addr else give_tx st addr;
-          record st
-            {
-              l_address = addr;
-              l_year = year;
-              l_kind = kind;
-              l_is_proxy = false;
-              l_standard = None;
-              l_has_source = Hashtbl.mem st.g_sources addr;
-              l_has_tx = has_tx;
-              l_logics = [];
-              l_func_collision = false;
-              l_storage_collision = false;
-              l_upgrades = 0;
-            }
-        end
-      in
-      List.iter deploy_one injections;
-      for _ = 1 to remaining do
-        let kind =
-          if Prng.bool rng config.broken_rate then K_broken
-          else if Prng.bool rng (Spec.proxy_rate_by_year year) then begin
-            (* Ownable clones (the function-colliding mega-clone) follow
-               Table 3's year shape; CoinTool/XEN minimal mega-clones and
-               the tail split the rest; diamonds are a trace. *)
-            if Prng.bool rng (Spec.ownable_clone_rate year) then K_ownable_clone
-            else if Prng.bool rng 0.0004 then K_diamond_proxy
-            else if Prng.bool rng 0.341 then K_minimal_proxy (* mega 1167 *)
-            else
-              Prng.pick_weighted rng
-                [
-                  (K_minimal_proxy, 0.5495);
-                  (K_eip1967_proxy, 0.0100);
-                  (K_eip1822_proxy, 0.0012);
-                  (K_slot_proxy, 0.0163);
-                  (K_beacon_proxy, 0.0030);
-                ]
-          end
-          else if Prng.bool rng 0.05 then K_library_caller
-          else K_plain
+        if has_tx then give_tx st addr;
+        record st
+          {
+            l_address = addr;
+            l_year = year;
+            l_kind = K_minimal_proxy;
+            l_is_proxy = true;
+            l_standard = Some Standard.Eip1167;
+            l_has_source = false;
+            l_has_tx = has_tx;
+            l_logics = [ target ];
+            l_func_collision = false;
+            l_storage_collision = false;
+            l_upgrades = 0;
+          }
+    | _ -> deploy_one year kind
+  in
+
+  (* --- the cursor over the per-year quota loop ------------------------- *)
+  (* Per-year quotas and the injection list involve no PRNG draws, so
+     computing them lazily on the first step of each year leaves the random
+     sequence identical to the eager loop. *)
+  let n_years = Array.length Spec.years in
+  let year_idx = ref 0 in
+  let year_open = ref false in
+  let pending_inj = ref [] in
+  let pending_tail = ref 0 in
+  let rec step () =
+    if !year_idx >= n_years then false
+    else begin
+      let year = Spec.years.(!year_idx) in
+      if not !year_open then begin
+        year_ref := year;
+        let quota = year_quota year in
+        let storage_injections =
+          scaled_per_year Spec.storage_collisions_by_year year
+            config.storage_boost
         in
-        (* Mega minimal clones must reuse the two fixed byte strings. *)
-        match kind with
-        | K_minimal_proxy when Prng.bool rng 0.383 ->
-            (* Route a share of minimal proxies into the two mega groups. *)
-            let bytes = if Prng.bool rng 0.52 then cointool_bytes else xen_bytes in
-            let target = if bytes == cointool_bytes then cointool_logic else xen_logic in
-            let addr = install st bytes in
-            let has_tx = Prng.bool rng Spec.tx_rate in
-            if has_tx then give_tx st addr;
-            record st
-              {
-                l_address = addr;
-                l_year = year;
-                l_kind = K_minimal_proxy;
-                l_is_proxy = true;
-                l_standard = Some Standard.Eip1167;
-                l_has_source = false;
-                l_has_tx = has_tx;
-                l_logics = [ target ];
-                l_func_collision = false;
-                l_storage_collision = false;
-                l_upgrades = 0;
-              }
-        | _ -> deploy_one kind
-      done)
-    Spec.years;
+        let func_injections =
+          scaled_per_year Spec.function_collisions_by_year year
+            (config.function_injection_share *. 1.0)
+        in
+        let injections =
+          List.init storage_injections (fun _ -> K_audius_proxy)
+          @ List.init func_injections (fun _ -> K_honeypot_proxy)
+        in
+        pending_inj := injections;
+        pending_tail := max 0 (quota - (2 * List.length injections));
+        year_open := true
+      end;
+      match !pending_inj with
+      | kind :: rest ->
+          pending_inj := rest;
+          deploy_one year kind;
+          true
+      | [] ->
+          if !pending_tail > 0 then begin
+            decr pending_tail;
+            deploy_tail year;
+            true
+          end
+          else begin
+            year_open := false;
+            incr year_idx;
+            step ()
+          end
+    end
+  in
   {
-    chain;
-    labels = List.rev st.g_labels;
-    source_of = (fun addr -> Hashtbl.find_opt st.g_sources addr);
+    str_chain = chain;
+    str_config = config;
+    str_state = st;
+    str_pinned = pinned;
+    str_step = step;
+    str_done = false;
+    str_emitted = 0;
+  }
+
+let next_batch stream ~batch =
+  let st = stream.str_state in
+  if stream.str_done && st.g_labels = [] then None
+  else begin
+    let exhausted = ref stream.str_done in
+    while (not !exhausted) && st.g_recorded < batch do
+      if not (stream.str_step ()) then exhausted := true
+    done;
+    stream.str_done <- !exhausted;
+    let labels = List.rev st.g_labels in
+    st.g_labels <- [];
+    st.g_recorded <- 0;
+    match labels with
+    | [] -> None
+    | _ ->
+        let specs =
+          List.map
+            (fun l ->
+              {
+                sp_label = l;
+                sp_code = Chain.code_at stream.str_chain l.l_address;
+                sp_pinned = Hashtbl.mem stream.str_pinned l.l_address;
+              })
+            labels
+          |> Array.of_list
+        in
+        stream.str_emitted <- stream.str_emitted + Array.length specs;
+        Some specs
+  end
+
+let stream_chain stream = stream.str_chain
+let stream_config stream = stream.str_config
+let stream_emitted stream = stream.str_emitted
+
+let stream_source_of stream =
+  fun addr -> Hashtbl.find_opt stream.str_state.g_sources addr
+
+let evict stream spec =
+  if not spec.sp_pinned then begin
+    Hashtbl.remove stream.str_state.g_sources spec.sp_label.l_address;
+    Chain.forget_contract stream.str_chain spec.sp_label.l_address
+  end
+
+let generate (config : config) =
+  let s = open_stream config in
+  let acc = ref [] in
+  let rec drain () =
+    match next_batch s ~batch:8192 with
+    | None -> ()
+    | Some specs ->
+        Array.iter (fun sp -> acc := sp.sp_label :: !acc) specs;
+        drain ()
+  in
+  drain ();
+  {
+    chain = s.str_chain;
+    labels = List.rev !acc;
+    source_of = stream_source_of s;
     config;
   }
 

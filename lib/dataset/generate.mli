@@ -75,6 +75,49 @@ type t = {
 
 val generate : config -> t
 
+(** {1 Streaming generation}
+
+    The generator is internally a resumable cursor over the deployment
+    sequence; the streaming API drains it batch-by-batch so the landscape
+    never has to be resident in full.  [generate] is a drain wrapper over
+    the same cursor, so a fully drained stream is byte-identical —
+    same labels in the same order, same addresses, same code, same chain
+    state — to the materialized output for the same config, at any batch
+    size (the random sequence is consumed per deployment step, never per
+    batch).
+
+    After analyzing a batch, callers scanning at bounded RSS hand each spec
+    back to {!evict}, which frees the contract's account and index entries
+    unless the spec is pinned ([sp_pinned]): shared logic pools, mega-clone
+    targets, and injected collision logics stay resident because later
+    deployments delegate to them. *)
+
+type spec = {
+  sp_label : label;
+  sp_code : string;  (** Runtime bytecode, captured at the batch boundary. *)
+  sp_pinned : bool;  (** Still referenced by later generation; never evict. *)
+}
+
+type stream
+
+val open_stream : config -> stream
+val next_batch : stream -> batch:int -> spec array option
+(** Deploy until at least [batch] more labels exist (a step can record more
+    than one label — e.g. a honeypot deploys its logic too), then return
+    them.  [None] once the population is exhausted. *)
+
+val stream_chain : stream -> Chain.t
+val stream_config : stream -> config
+val stream_source_of : stream -> Proxion.Pipeline.source_lookup
+val stream_emitted : stream -> int
+(** Specs returned so far — monotonically approaches roughly
+    [config.total]. *)
+
+val evict : stream -> spec -> unit
+(** Free a drained, analyzed spec's footprint (account, source entry,
+    index entries).  No-op on pinned specs.  Owner-side: only call between
+    analysis batches, never while worker views are live. *)
+
 val label_of : t -> Evm.Address.t -> label option
 val proxies : t -> label list
 val by_year : t -> (int * label list) list

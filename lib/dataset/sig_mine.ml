@@ -1,24 +1,88 @@
 type pair = { sig_a : string; sig_b : string; selector : string }
 
+(* The birthday search retains ~65536*sqrt(2*count) probes before it finds
+   [count] collisions.  Keeping them as boxed (selector, name) strings in a
+   Hashtbl made peak RSS scale with the injection count — the dominant
+   transient of large streamed scans.  Instead each live probe is one
+   unboxed int in an open-addressed table: selector in the high 32 bits,
+   probe index in the low 30 (indexes stay far below 2^30), linear probing
+   with tombstone deletion.  Output is unchanged: same pairs, same order. *)
+
 let mine ?(prefix = "fn") ~count () =
   if count <= 0 then []
   else begin
-    let buckets : (string, string) Hashtbl.t = Hashtbl.create (1 lsl 17) in
+    let name_of k = Printf.sprintf "%s_%d()" prefix k in
+    let empty = -1 and tomb = -2 in
+    let k_mask = (1 lsl 30) - 1 in
+    let mix sel = (sel * 0x2545F4914F6CDD1) land max_int in
+    (* Presize near the expected probe count so the search rarely rehashes;
+       the table still doubles if the estimate falls short. *)
+    let init_size =
+      let est =
+        int_of_float (1.9 *. 65536. *. sqrt (2.0 *. float_of_int count))
+      in
+      let rec pow2 s = if s >= est || s >= 1 lsl 28 then s else pow2 (s * 2) in
+      pow2 (1 lsl 12)
+    in
+    let table = ref (Array.make init_size empty) in
+    let occupied = ref 0 (* live + tombstones *) in
+    let live = ref 0 in
+    (* Returns the slot holding [sel], or [lnot insertion_slot] if absent. *)
+    let locate tbl sel =
+      let mask = Array.length tbl - 1 in
+      let rec go i free =
+        let v = tbl.(i) in
+        if v = empty then lnot (if free >= 0 then free else i)
+        else if v = tomb then
+          go ((i + 1) land mask) (if free >= 0 then free else i)
+        else if v asr 30 = sel then i
+        else go ((i + 1) land mask) free
+      in
+      go (mix sel land mask) (-1)
+    in
+    let rehash () =
+      let old = !table in
+      table := Array.make (2 * Array.length old) empty;
+      occupied := !live;
+      Array.iter
+        (fun v ->
+          if v >= 0 then
+            let slot = lnot (locate !table (v asr 30)) in
+            !table.(slot) <- v)
+        old
+    in
     let found = ref [] in
     let n = ref 0 in
     let k = ref 0 in
     while !n < count do
-      let name = Printf.sprintf "%s_%d()" prefix !k in
-      incr k;
-      let sel = Keccak.selector name in
-      (match Hashtbl.find_opt buckets sel with
-      | Some other when other <> name ->
-          found := { sig_a = other; sig_b = name; selector = sel } :: !found;
+      let name = name_of !k in
+      let sel_str = Keccak.selector name in
+      let sel =
+        (Char.code sel_str.[0] lsl 24)
+        lor (Char.code sel_str.[1] lsl 16)
+        lor (Char.code sel_str.[2] lsl 8)
+        lor Char.code sel_str.[3]
+      in
+      (match locate !table sel with
+      | slot when slot >= 0 ->
+          found :=
+            {
+              sig_a = name_of (!table.(slot) land k_mask);
+              sig_b = name;
+              selector = sel_str;
+            }
+            :: !found;
           incr n;
-          (* Retire the bucket so each selector yields one pair. *)
-          Hashtbl.remove buckets sel
-      | Some _ -> ()
-      | None -> Hashtbl.replace buckets sel name)
+          (* Retire the slot so each selector yields one pair. *)
+          !table.(slot) <- tomb;
+          decr live
+      | slot ->
+          let slot = lnot slot in
+          if !table.(slot) = empty then incr occupied;
+          !table.(slot) <- (sel lsl 30) lor !k;
+          incr live;
+          if 10 * !occupied >= 7 * Array.length !table then rehash ());
+      incr k
     done;
     List.rev !found
   end

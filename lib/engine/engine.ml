@@ -189,16 +189,21 @@ type agg = {
   mutable a_retries : int;
 }
 
-(* Per-item buffer a worker fills while processing off the coordinator
-   thread: stage events and aggregate contributions are recorded here and
-   replayed by the coordinator in input order at the batch barrier, so
-   subscribers and totals observe exactly the sequential interleaving. *)
-type 'res cell = {
-  mutable c_events : event list; (* reverse order *)
-  mutable c_aggs : (stage * timing) list; (* reverse order *)
-  mutable c_thunks : (unit -> unit) list; (* reverse order *)
-  mutable c_outcome : ('res, skip_reason) result option;
-  mutable c_worker : int;
+(* Shard-local result slot.  A worker allocates one as it picks an item
+   up, appends it to its private buffer, and fills it while processing
+   off the coordinator thread: stage events, aggregate contributions,
+   merge thunks and the outcome all land here.  Nothing is shared while
+   the batch runs — the coordinator reassembles the slots into input
+   order at the batch barrier (the [Domain.join] provides the
+   happens-before edge) and replays them, so subscribers and totals
+   observe exactly the sequential interleaving. *)
+type 'res slot = {
+  s_index : int; (* input position within the batch *)
+  s_worker : int;
+  mutable s_events : event list; (* reverse order *)
+  mutable s_aggs : (stage * timing) list; (* reverse order *)
+  mutable s_thunks : (unit -> unit) list; (* reverse order *)
+  mutable s_outcome : ('res, skip_reason) result option;
 }
 
 type ('item, 'res) t = {
@@ -232,7 +237,7 @@ type ('item, 'res) t = {
 and ('item, 'res) ctx = {
   eng : ('item, 'res) t;
   worker : int;
-  sink : 'res cell option; (* [None]: deliver directly (sequential path) *)
+  sink : 'res slot option; (* [None]: deliver directly (sequential path) *)
   mutable last_stage : stage option;
 }
 
@@ -272,19 +277,19 @@ let current_stage ctx = ctx.last_stage
 let clock t = t.clk
 
 (* Run [f] at the deterministic-merge point for this item: immediately on
-   the sequential path, buffered in the item's cell — and replayed in
+   the sequential path, buffered in the item's slot — and replayed in
    input order at the batch barrier — on a worker domain.  This is how
    per-item telemetry shards are absorbed into the root registry in the
    same order a sequential run would have produced. *)
 let on_merged ctx f =
   match ctx.sink with
   | None -> f ()
-  | Some cell -> cell.c_thunks <- f :: cell.c_thunks
+  | Some slot -> slot.s_thunks <- f :: slot.s_thunks
 
 let emit_from ctx ev =
   match ctx.sink with
   | None -> emit ctx.eng ev
-  | Some cell -> cell.c_events <- ev :: cell.c_events
+  | Some slot -> slot.s_events <- ev :: slot.s_events
 
 let agg_of t stage =
   match Hashtbl.find_opt t.totals stage with
@@ -331,7 +336,7 @@ let timed_stage ctx ~stage ~subject ?api_calls ?steps ?retries f =
       in
       (match ctx.sink with
       | None -> apply_agg ctx.eng stage timing
-      | Some cell -> cell.c_aggs <- (stage, timing) :: cell.c_aggs);
+      | Some slot -> slot.s_aggs <- (stage, timing) :: slot.s_aggs);
       emit_from ctx (Stage_finished { stage; subject; timing; worker });
       ctx.last_stage <- None;
       v
@@ -474,11 +479,21 @@ let sequential_batch t n =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Parallel batch: closeable task channel + per-batch domain pool       *)
+(* The closeable task channel (service work queues, e.g. the daemon)    *)
 (* ------------------------------------------------------------------ *)
 
 (* A multi-producer/multi-consumer closeable channel.  [pop] blocks until
-   an element is available or the channel is closed and drained. *)
+   an element is available or the channel is closed and drained.  The
+   batch scheduler below no longer consumes this — its handoff is a
+   lock-free chunk dispenser — but long-lived consumer pools (the serve
+   daemon's connection workers) still do.
+
+   Waking strategy: [push] wakes exactly one sleeper ([Condition.signal]
+   — one new element can satisfy at most one consumer, and a broadcast
+   would stampede every idle worker through the mutex for a single
+   element); [push_many] wakes one sleeper per element, coalesced into a
+   broadcast when several arrive at once; only [close] broadcasts, since
+   every blocked consumer must observe the close and give up. *)
 module Chan = struct
   type 'a t = {
     mutex : Mutex.t;
@@ -500,6 +515,16 @@ module Chan = struct
     Queue.add x t.q;
     Condition.signal t.nonempty;
     Mutex.unlock t.mutex
+
+  let push_many t xs =
+    match xs with
+    | [] -> ()
+    | [ x ] -> push t x
+    | _ ->
+        Mutex.lock t.mutex;
+        List.iter (fun x -> Queue.add x t.q) xs;
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.mutex
 
   let close t =
     Mutex.lock t.mutex;
@@ -559,156 +584,305 @@ let group_indices t items n =
       done;
       List.rev_map (fun r -> List.rev !r) !order
 
-let run_item t wid item cell =
-  cell.c_worker <- wid;
-  let ctx = { eng = t; worker = wid; sink = Some cell; last_stage = None } in
+let run_item t slot item =
+  let ctx =
+    { eng = t; worker = slot.s_worker; sink = Some slot; last_stage = None }
+  in
   match
     maybe_kill t (t.subject_of item);
     t.process ctx item
   with
-  | r -> cell.c_outcome <- Some r
+  | r -> slot.s_outcome <- Some r
   | exception e when is_fatal e ->
       (* The dying worker files its own death certificate: outcome and
-         stage attribution land in the cell before the exception tears the
+         stage attribution land in the slot before the exception tears the
          domain down, so the supervisor only has to respawn a domain and
          reschedule the rest of the chain. *)
-      cell.c_outcome <- Some (Error (crash_reason ctx e));
+      slot.s_outcome <- Some (Error (crash_reason ctx e));
       raise e
-  | exception e -> cell.c_outcome <- Some (Error (reason_of_exn ctx e))
+  | exception e -> slot.s_outcome <- Some (Error (reason_of_exn ctx e))
 
-let parallel_batch t n =
-  let items = Array.init n (fun _ -> Queue.pop t.queue) in
-  let cells =
-    Array.init n (fun _ ->
-        {
-          c_events = [];
-          c_aggs = [];
-          c_thunks = [];
-          c_outcome = None;
-          c_worker = 0;
-        })
+(* ------------------------------------------------------------------ *)
+(* Parallel batch: chunked dispenser + per-worker stealing deques       *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-worker deque of chain ids, guarded by a tiny mutex.  The owner
+   pops single chains from the front; thieves take the back half in one
+   operation.  A deque holds at most one dispenser chunk (plus stolen
+   spillover), so every critical section is a handful of cons cells and
+   the lock is effectively uncontended — the expensive sleeping handoff
+   of the old condvar channel is gone entirely: workers never block
+   while a batch runs, they either hold work or exit. *)
+module Deque = struct
+  type t = { m : Mutex.t; mutable chains : int list (* front first *) }
+
+  let create () = { m = Mutex.create (); chains = [] }
+
+  let pop_front d =
+    Mutex.lock d.m;
+    let r =
+      match d.chains with
+      | [] -> None
+      | c :: rest ->
+          d.chains <- rest;
+          Some c
+    in
+    Mutex.unlock d.m;
+    r
+
+  let push_list d cs =
+    Mutex.lock d.m;
+    d.chains <- cs @ d.chains;
+    Mutex.unlock d.m
+
+  (* Thief side: take the back half (at least one when nonempty),
+     leaving the front — the owner's end — in place. *)
+  let steal_back d =
+    Mutex.lock d.m;
+    let stolen =
+      match d.chains with
+      | [] -> []
+      | l ->
+          let keep = List.length l / 2 in
+          let rec split i acc rest =
+            if i = 0 then (List.rev acc, rest)
+            else
+              match rest with
+              | [] -> (List.rev acc, [])
+              | x :: tl -> split (i - 1) (x :: acc) tl
+          in
+          let kept, taken = split keep [] l in
+          d.chains <- kept;
+          taken
+    in
+    Mutex.unlock d.m;
+    stolen
+end
+
+(* Per-run helper pool.  Spawning a domain costs on the order of a
+   millisecond — per batch that dwarfs the work at small batch sizes — so
+   [run] spawns the helpers once and parks them on a channel of batch
+   thunks between barriers.  Thunks are self-supervising (a fatal
+   exception never reaches the pool loop: the "crashed" worker resumes
+   its chain suffix in place, exactly what a respawned domain would have
+   done), so pool domains live for the whole run. *)
+type pool = {
+  pl_work : (unit -> unit) Chan.t;
+  pl_done : unit Chan.t;
+  pl_domains : unit Domain.t list;
+}
+
+let create_pool k =
+  let pl_work = Chan.create () in
+  let pl_done = Chan.create () in
+  let rec worker () =
+    match Chan.pop pl_work with
+    | None -> ()
+    | Some thunk ->
+        thunk ();
+        Chan.push pl_done ();
+        worker ()
   in
-  let chains = group_indices t items n in
-  let chan = Chan.create () in
-  (* [inflight.(w)] is the suffix of the chain worker [w] is currently
-     running, crashed/current item at the head.  Only worker [w] writes its
-     own slot; the supervisor reads it after [Domain.join], which provides
-     the happens-before edge. *)
+  { pl_work; pl_done; pl_domains = List.init k (fun _ -> Domain.spawn worker) }
+
+let destroy_pool pool =
+  Chan.close pool.pl_work;
+  List.iter Domain.join pool.pl_domains
+
+let parallel_batch t pool n =
+  let items = Array.init n (fun _ -> Queue.pop t.queue) in
+  let chains = Array.of_list (group_indices t items n) in
+  let nchains = Array.length chains in
+  (* Chunked handoff: a lock-free fetch-and-add cursor over the chains
+     array.  One claim hands a worker a contiguous run of chains, so the
+     per-item synchronization of the old channel (one mutex/condvar
+     round trip per chain) amortizes to a few atomic adds per worker per
+     batch.  Chunks are sized so each worker claims a handful of times,
+     leaving enough unclaimed tail for late stealing to balance. *)
+  let cursor = Atomic.make 0 in
+  let chunk = max 1 ((nchains + (t.n_domains * 4) - 1) / (t.n_domains * 4)) in
+  let claim () =
+    let lo = Atomic.fetch_and_add cursor chunk in
+    if lo >= nchains then None else Some (lo, min nchains (lo + chunk))
+  in
+  (* Shard-local state, one slot per worker, written only by that worker
+     while the batch runs and read by the coordinator after the joins:
+     [buffers.(w)] accumulates the result slots worker [w] produced;
+     [inflight.(w)] is the suffix of the chain worker [w] is currently
+     running, crashed/current item at the head. *)
+  let buffers = Array.make t.n_domains [] in
+  let deques = Array.init t.n_domains (fun _ -> Deque.create ()) in
   let inflight = Array.make t.n_domains [] in
   let run_chain wid idxs =
     let rec go = function
       | [] -> inflight.(wid) <- []
       | i :: rest ->
           inflight.(wid) <- i :: rest;
-          run_item t wid items.(i) cells.(i);
+          let slot =
+            {
+              s_index = i;
+              s_worker = wid;
+              s_events = [];
+              s_aggs = [];
+              s_thunks = [];
+              s_outcome = None;
+            }
+          in
+          (* Published before the item runs, so a crash mid-item leaves
+             the death certificate reachable from the worker's buffer. *)
+          buffers.(wid) <- slot :: buffers.(wid);
+          run_item t slot items.(i);
           go rest
     in
     go idxs
   in
-  let worker_loop wid =
-    let rec drain () =
-      match Chan.pop chan with
-      | None -> ()
-      | Some idxs ->
-          run_chain wid idxs;
-          drain ()
+  (* Steal scan: visit the other deques round-robin starting after our
+     own id, taking the first nonempty victim's back half. *)
+  let try_steal wid =
+    let rec scan k =
+      if k >= t.n_domains - 1 then None
+      else
+        let v = (wid + 1 + k) mod t.n_domains in
+        match Deque.steal_back deques.(v) with
+        | [] -> scan (k + 1)
+        | stolen -> Some stolen
     in
-    drain ()
+    scan 0
   in
-  (* The coordinator is worker 0 and drains alongside the helpers, so a
-     pool of N domains needs only N-1 spawns; never spawn more helpers
-     than there are chains beyond the coordinator's first.  A respawned
-     helper first finishes the orphaned chain suffix, then falls back to
-     draining the (by then closed) channel. *)
-  let helper_count = min (t.n_domains - 1) (max 0 (List.length chains - 1)) in
-  let spawn wid first =
-    (wid, Domain.spawn (fun () -> run_chain wid first; worker_loop wid))
+  (* A worker drains its own deque, claims a fresh chunk from the
+     dispenser when the deque runs dry, and turns thief once the
+     dispenser is exhausted.  It exits only when every deque it can see
+     is empty — any chains still in flight at that point belong to live
+     workers that will finish them. *)
+  let worker_loop wid =
+    let d = deques.(wid) in
+    let rec loop () =
+      match Deque.pop_front d with
+      | Some c ->
+          run_chain wid chains.(c);
+          loop ()
+      | None -> (
+          match claim () with
+          | Some (lo, hi) ->
+              Deque.push_list d (List.init (hi - lo) (fun k -> lo + k));
+              loop ()
+          | None -> (
+              match try_steal wid with
+              | Some stolen ->
+                  Deque.push_list d stolen;
+                  loop ()
+              | None -> ()))
+    in
+    loop ()
   in
-  let helpers = List.init helper_count (fun k -> spawn (k + 1) []) in
-  List.iter (fun chain -> Chan.push chan chain) chains;
-  Chan.close chan;
-  (* The coordinator supervises itself: a fatal exception has already been
-     recorded in the crashed item's cell by [run_item], so resume with the
-     rest of the chain in place. *)
-  let rec coordinator_drain () =
-    match Chan.pop chan with
-    | None -> ()
-    | Some idxs ->
-        coordinator_chain idxs;
-        coordinator_drain ()
-  and coordinator_chain idxs =
-    match run_chain 0 idxs with
-    | () -> ()
-    | exception e when is_fatal e -> (
-        t.crashes <- t.crashes + 1;
-        match inflight.(0) with
-        | _crashed :: rest -> coordinator_chain rest
-        | [] -> ())
+  (* The coordinator is worker 0 and works alongside the helpers, so a
+     batch of [nchains] chains dispatches at most [nchains - 1] thunks to
+     the parked pool.  Every worker supervises itself: a fatal exception
+     has already been recorded in the crashed item's slot by [run_item],
+     so resume with the rest of the chain — the crashed worker's own
+     deque is still intact — then fall back into the loop.  Crash counts
+     are shard-local while the batch runs and folded in at the barrier so
+     no two workers ever race on [t.crashes]. *)
+  let helper_count = min (t.n_domains - 1) (max 0 (nchains - 1)) in
+  let crash_counts = Array.make t.n_domains 0 in
+  let self_supervised wid =
+    let rec attempt suffix =
+      match
+        (match suffix with [] -> () | s -> run_chain wid s);
+        worker_loop wid
+      with
+      | () -> ()
+      | exception e when is_fatal e ->
+          crash_counts.(wid) <- crash_counts.(wid) + 1;
+          let rest =
+            match inflight.(wid) with [] -> [] | _crashed :: s -> s
+          in
+          inflight.(wid) <- [];
+          attempt rest
+    in
+    attempt []
   in
-  coordinator_drain ();
-  (* Supervision barrier: join every helper.  A helper that died to a
-     fatal exception already dead-lettered its in-flight item, so respawn
-     a fresh domain on the orphaned chain suffix and join that instead;
-     loop until every slot joined cleanly. *)
-  let rec join_all = function
-    | [] -> ()
-    | (wid, d) :: rest -> (
-        match Domain.join d with
-        | () -> join_all rest
-        | exception e when is_fatal e ->
-            t.crashes <- t.crashes + 1;
-            let suffix =
-              match inflight.(wid) with [] -> [] | _crashed :: s -> s
-            in
-            inflight.(wid) <- [];
-            join_all (spawn wid suffix :: rest))
-  in
-  join_all helpers;
-  (* Deterministic merge: replay every item's buffered events and
-     aggregate contributions in input order, then apply its outcome —
-     byte-for-byte the order the sequential path would have produced. *)
+  Chan.push_many pool.pl_work
+    (List.init helper_count (fun k () -> self_supervised (k + 1)));
+  self_supervised 0;
+  (* Batch barrier: every dispatched thunk acknowledges completion, so
+     once the loop exits no worker can still be touching the shard-local
+     buffers. *)
+  for _ = 1 to helper_count do
+    ignore (Chan.pop pool.pl_done)
+  done;
+  t.crashes <- t.crashes + Array.fold_left ( + ) 0 crash_counts;
+  (* Single deterministic merge at the batch barrier: reassemble the
+     input-order slot table from the shard-local buffers, then replay
+     every item's buffered events, aggregate contributions and merge
+     thunks, and apply its outcome — byte-for-byte the order the
+     sequential path would have produced.  Stage aggregates are applied
+     here rather than summed shard-side because float accumulation is
+     order-sensitive; replaying in input order keeps totals bit-equal. *)
+  let slots = Array.make n None in
+  Array.iter
+    (fun buf -> List.iter (fun s -> slots.(s.s_index) <- Some s) buf)
+    buffers;
   Array.iteri
-    (fun i cell ->
-      List.iter (emit t) (List.rev cell.c_events);
-      List.iter (fun (stage, tm) -> apply_agg t stage tm) (List.rev cell.c_aggs);
-      List.iter (fun f -> f ()) (List.rev cell.c_thunks);
-      match cell.c_outcome with
-      | Some (Ok res) ->
-          t.results_rev <- res :: t.results_rev;
-          t.processed <- t.processed + 1
-      | Some (Error reason) ->
-          let subject = t.subject_of items.(i) in
-          t.skipped_rev <-
-            record_of ~subject reason items.(i) :: t.skipped_rev;
-          note_failure t subject;
-          emit t
-            (Item_skipped
-               {
-                 subject;
-                 message = reason.sr_message;
-                 fault_class = reason.sr_class;
-                 attempts = reason.sr_attempts;
-                 worker = cell.c_worker;
-               })
+    (fun i entry ->
+      match entry with
       | None ->
-          (* Unreachable: every chain was pushed before [close] and every
-             popped chain fills its cells. *)
-          assert false)
-    cells
+          (* Unreachable: every chain is claimed exactly once and every
+             claimed chain fills a slot per item before the joins. *)
+          assert false
+      | Some slot -> (
+          List.iter (emit t) (List.rev slot.s_events);
+          List.iter
+            (fun (stage, tm) -> apply_agg t stage tm)
+            (List.rev slot.s_aggs);
+          List.iter (fun f -> f ()) (List.rev slot.s_thunks);
+          match slot.s_outcome with
+          | Some (Ok res) ->
+              t.results_rev <- res :: t.results_rev;
+              t.processed <- t.processed + 1
+          | Some (Error reason) ->
+              let subject = t.subject_of items.(i) in
+              t.skipped_rev <-
+                record_of ~subject reason items.(i) :: t.skipped_rev;
+              note_failure t subject;
+              emit t
+                (Item_skipped
+                   {
+                     subject;
+                     message = reason.sr_message;
+                     fault_class = reason.sr_class;
+                     attempts = reason.sr_attempts;
+                     worker = slot.s_worker;
+                   })
+          | None -> assert false))
+    slots
 
-let step_batch t =
+let step_batch_with ?pool t =
   if Queue.is_empty t.queue then false
   else begin
     let n = min t.bsize (Queue.length t.queue) in
     let index = t.batches in
     emit t (Batch_started { index; size = n });
     let t0 = Obs.Clock.now t.clk in
-    if t.n_domains <= 1 then sequential_batch t n else parallel_batch t n;
+    (if t.n_domains <= 1 then sequential_batch t n
+     else
+       match pool with
+       | Some p -> parallel_batch t p n
+       | None ->
+           (* Standalone single-batch step: a short-lived pool of our
+              own.  [run] amortizes this spawn cost across the whole
+              run by passing a persistent pool instead. *)
+           let p = create_pool (t.n_domains - 1) in
+           Fun.protect
+             ~finally:(fun () -> destroy_pool p)
+             (fun () -> parallel_batch t p n));
     t.batches <- t.batches + 1;
     emit t
       (Batch_finished { index; size = n; elapsed = Obs.Clock.now t.clk -. t0 });
     true
   end
+
+let step_batch t = step_batch_with t
 
 let run ?max_batches t =
   emit t
@@ -716,11 +890,17 @@ let run ?max_batches t =
        { pending = pending t; batch_size = t.bsize; domains = t.n_domains });
   let t0 = Obs.Clock.now t.clk in
   let continue = function None -> true | Some n -> n > 0 in
-  let rec loop budget =
-    if continue budget && step_batch t then
-      loop (Option.map (fun n -> n - 1) budget)
+  let pool =
+    if t.n_domains > 1 then Some (create_pool (t.n_domains - 1)) else None
   in
-  loop max_batches;
+  Fun.protect
+    ~finally:(fun () -> Option.iter destroy_pool pool)
+    (fun () ->
+      let rec loop budget =
+        if continue budget && step_batch_with ?pool t then
+          loop (Option.map (fun n -> n - 1) budget)
+      in
+      loop max_batches);
   emit t
     (Run_finished
        {

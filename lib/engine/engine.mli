@@ -9,11 +9,17 @@
     substrate and can drive any per-item analysis.
 
     With [~domains:n] (n > 1) each batch is fanned out across a pool of
-    OCaml domains (a from-scratch [Mutex]/[Condition] task channel — no
-    dependency on domainslib) and merged back {e in input order}: results,
-    skip records, per-stage aggregates, and every subscriber-visible event
-    reproduce the sequential interleaving exactly, so reports and
-    checkpoints are byte-identical whatever the worker count.
+    OCaml domains through a chunked work-stealing scheduler — no
+    dependency on domainslib: a lock-free fetch-and-add cursor hands each
+    worker a contiguous chunk of chains (amortizing one synchronization
+    over many items), per-worker deques let idle workers steal the back
+    half of a busy worker's remaining chunk to balance the tail, and each
+    worker buffers its events, aggregates and outcomes in shard-local
+    slots.  The coordinator performs a single input-order merge at the
+    batch barrier: results, skip records, per-stage aggregates, and every
+    subscriber-visible event reproduce the sequential interleaving
+    exactly, so reports and checkpoints are byte-identical whatever the
+    worker count.
     [~domains:1] (the default) takes the plain sequential code path with
     no domain machinery at all.  An optional [~key] groups items of a
     batch into chains that are processed sequentially on one worker —
@@ -430,16 +436,28 @@ val of_json :
 
 (** {1 Task channel}
 
-    The multi-producer/multi-consumer closeable channel the engine's
-    worker pool runs on, exposed for other domain-parallel accept loops
-    (the query daemon feeds client connections to worker domains through
-    one).  [pop] blocks until an element arrives or the channel has been
-    closed {e and} drained. *)
+    A multi-producer/multi-consumer closeable channel for long-lived
+    domain-parallel accept loops (the query daemon feeds client
+    connections to worker domains through one; the batch scheduler
+    itself now dispatches through a lock-free chunk cursor instead).
+    [pop] blocks until an element arrives or the channel has been closed
+    {e and} drained: a close never drops queued elements — consumers
+    drain everything in flight before their [pop] returns [None].
+
+    Waking is deliberately minimal: [push] signals exactly one sleeping
+    consumer (one element can satisfy at most one of them — a broadcast
+    would stampede the whole idle pool through the mutex), [push_many]
+    coalesces the wakeups for a burst, and only [close] broadcasts,
+    because every blocked consumer must observe it. *)
 module Task_channel : sig
   type 'a t
 
   val create : unit -> 'a t
   val push : 'a t -> 'a -> unit
+
+  val push_many : 'a t -> 'a list -> unit
+  (** Enqueue a burst under one lock acquisition; wakes one sleeper per
+      element, coalesced into a single broadcast when several arrive. *)
 
   val close : 'a t -> unit
   (** Idempotent; wakes every blocked [pop]. *)

@@ -21,6 +21,32 @@ let jumpdests code =
     (fun i -> if Opcode.equal i.opcode Opcode.JUMPDEST then Some i.offset else None)
     (disassemble code)
 
+(* The interpreter validates every JUMP/JUMPI target against the JUMPDEST
+   set, and used to rebuild that table with a fresh linear sweep on every
+   call frame — the dominant per-frame allocation once a scan is hot
+   (proxies re-enter the same logic code thousands of times).  Memoize the
+   table per domain (Domain.DLS, same pattern as [Keccak.Memo]): lookups
+   never contend, and the tables are read-only after construction so
+   sharing one across frames is safe.  The memo is flushed past a bounded
+   number of distinct codes so streamed scans cannot grow it without
+   bound. *)
+let jumpdest_table =
+  let max_entries = 1024 in
+  let slot =
+    Domain.DLS.new_key (fun () ->
+        (Hashtbl.create 256 : (string, (int, unit) Hashtbl.t) Hashtbl.t))
+  in
+  fun code ->
+    let memo = Domain.DLS.get slot in
+    match Hashtbl.find_opt memo code with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 16 in
+        List.iter (fun off -> Hashtbl.replace t off ()) (jumpdests code);
+        if Hashtbl.length memo >= max_entries then Hashtbl.reset memo;
+        Hashtbl.replace memo code t;
+        t
+
 let push_operands n code =
   List.filter_map
     (fun i ->

@@ -23,6 +23,13 @@ val has_opcode : string -> Opcode.t -> bool
 val jumpdests : string -> int list
 (** Sorted offsets of JUMPDEST instructions (valid jump targets). *)
 
+val jumpdest_table : string -> (int, unit) Hashtbl.t
+(** Memoized JUMPDEST offset set for [code], shared across call frames
+    within a domain ([Domain.DLS], as in [Keccak.Memo]).  The returned
+    table must be treated as read-only.  The per-domain memo is flushed
+    once it holds a bounded number of distinct codes, so long streamed
+    scans keep it resident-size-bounded. *)
+
 val push_operands : int -> string -> string list
 (** [push_operands n code] collects the operand of every [PUSH n], in code
     order, with duplicates preserved.  [push_operands 4] yields the

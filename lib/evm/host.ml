@@ -57,7 +57,9 @@ type undo =
   | Set_alive of account * bool
   | Added_account of Address.t
 
-let in_memory ?(block = default_block) () =
+type admin = { commit : unit -> unit; drop_account : Address.t -> unit }
+
+let in_memory_admin ?(block = default_block) () =
   let accounts : (Address.t, account) Hashtbl.t = Hashtbl.create 64 in
   let journal : undo list ref = ref [] in
   let journal_len = ref 0 in
@@ -161,22 +163,38 @@ let in_memory ?(block = default_block) () =
           | Added_account addr -> Hashtbl.remove accounts addr))
     done
   in
-  {
-    get_code;
-    get_storage;
-    set_storage;
-    get_balance;
-    set_balance;
-    get_nonce;
-    set_nonce;
-    account_exists;
-    create_account;
-    selfdestruct;
-    snapshot;
-    revert_to;
-    block;
-  }
+  let host =
+    {
+      get_code;
+      get_storage;
+      set_storage;
+      get_balance;
+      set_balance;
+      get_nonce;
+      set_nonce;
+      account_exists;
+      create_account;
+      selfdestruct;
+      snapshot;
+      revert_to;
+      block;
+    }
+  in
+  (* The undo journal exists only to serve in-flight snapshots; once a
+     transaction has committed, its entries are dead weight (they pin every
+     account record ever touched).  [commit] truncates it — invalidating any
+     outstanding snapshot marks, so callers must only commit at quiescent
+     points.  [drop_account] frees an account's code and storage outright;
+     the journal must be empty (committed) when it runs, or a later revert
+     could resurrect the record. *)
+  let commit () =
+    journal := [];
+    journal_len := 0
+  in
+  let drop_account addr = Hashtbl.remove accounts addr in
+  (host, { commit; drop_account })
 
+let in_memory ?(block = default_block) () = fst (in_memory_admin ~block ())
 let with_code host addr code = host.create_account addr ~code
 
 (* Copy-on-write view: reads fall through to [base], writes land in private

@@ -44,6 +44,26 @@ val in_memory : ?block:block_info -> unit -> t
     Snapshots use an undo journal, so nesting is cheap.  This is the host
     behind the paper's EVM emulation of contracts under test. *)
 
+type admin = {
+  commit : unit -> unit;
+      (** Truncate the undo journal.  Without periodic commits the journal
+          grows without bound (it pins every account record ever written),
+          which is what capped landscape generation at small totals.  A
+          commit invalidates any snapshot mark taken before it, so it may
+          only run at quiescent points — between transactions, never while
+          an interpreter frame holds a mark. *)
+  drop_account : Address.t -> unit;
+      (** Remove an account (code, storage, balance, nonce) from the world
+          outright.  Requires an empty (committed) journal, or a later
+          revert could resurrect the dropped record.  This is the eviction
+          primitive behind streamed bounded-RSS scans. *)
+}
+
+val in_memory_admin : ?block:block_info -> unit -> t * admin
+(** [in_memory] plus the owner-side control handle.  The admin operations
+    are deliberately kept out of {!t}: overlays and other host implementors
+    never see them, and only the state's owner (the chain) may compact. *)
+
 val with_code : t -> Address.t -> string -> unit
 (** [with_code host addr code] installs [code] at [addr] (convenience over
     [create_account]; overwrites any existing code). *)

@@ -194,8 +194,7 @@ let rec exec_frame ctx (params : call_params) : result =
     let returndata = ref "" in
     let pc = ref 0 in
     let code_len = String.length code in
-    let jumpdests = Hashtbl.create 16 in
-    List.iter (fun off -> Hashtbl.replace jumpdests off ()) (Disasm.jumpdests code);
+    let jumpdests = Disasm.jumpdest_table code in
     let charge g = if !gas_left < g then raise (Abort Out_of_gas) else gas_left := !gas_left - g in
     let charge_memory ~offset ~len =
       charge (Machine.Memory.expansion_cost memory ~offset ~len);

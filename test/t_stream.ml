@@ -1,0 +1,129 @@
+(* Streamed generation: a fully drained stream must be byte-identical to
+   the materialized landscape — same labels in the same order, same
+   addresses, same runtime code — for the same config at any batch size
+   (the generator consumes randomness per deployment step, never per
+   batch).  Eviction must free exactly the non-pinned accounts, and
+   [Chain.compact] must trim the evicted addresses out of the contract
+   index while leaving pinned contracts resident. *)
+
+module Generate = Dataset.Generate
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+
+let config total = { Generate.quick_config with Generate.total }
+
+let drain ?(evict = false) config batch =
+  let stream = Generate.open_stream config in
+  let acc = ref [] in
+  let rec go () =
+    match Generate.next_batch stream ~batch with
+    | None -> ()
+    | Some specs ->
+        acc := specs :: !acc;
+        if evict then
+          Array.iter
+            (fun sp ->
+              if not sp.Generate.sp_pinned then Generate.evict stream sp)
+            specs;
+        go ()
+  in
+  go ();
+  (stream, List.concat_map Array.to_list (List.rev !acc))
+
+(* The property, exercised across population sizes and batch sizes that
+   do not divide them: stream == materialized, element by element. *)
+let test_stream_matches_materialized () =
+  List.iter
+    (fun total ->
+      let cfg = config total in
+      let land_ = Generate.generate cfg in
+      let mat_chain = land_.Generate.chain in
+      List.iter
+        (fun batch ->
+          let ctx = Printf.sprintf "total=%d batch=%d" total batch in
+          let stream, specs = drain cfg batch in
+          check_i (ctx ^ ": label count")
+            (List.length land_.Generate.labels)
+            (List.length specs);
+          check_i (ctx ^ ": emitted counter")
+            (List.length specs)
+            (Generate.stream_emitted stream);
+          List.iter2
+            (fun l sp ->
+              check_b (ctx ^ ": label identical") true
+                (l = sp.Generate.sp_label);
+              check_b (ctx ^ ": code identical") true
+                (String.equal
+                   (Chain.code_at mat_chain l.Generate.l_address)
+                   sp.Generate.sp_code))
+            land_.Generate.labels specs;
+          check_b (ctx ^ ": chain height identical") true
+            (Chain.height mat_chain
+            = Chain.height (Generate.stream_chain stream)))
+        [ 7; 64; 1_000 ])
+    [ 500; 2_000 ]
+
+let test_exhausted_stream_returns_none () =
+  let stream, _ = drain (config 500) 64 in
+  check_b "next_batch after exhaustion is None" true
+    (Generate.next_batch stream ~batch:1 = None)
+
+let test_eviction_frees_non_pinned () =
+  let stream, specs = drain ~evict:true (config 1_000) 128 in
+  let chain = Generate.stream_chain stream in
+  Chain.compact chain;
+  let evicted, pinned =
+    List.partition (fun sp -> not sp.Generate.sp_pinned) specs
+  in
+  check_b "population splits into evicted and pinned" true
+    (List.length evicted > 0 && List.length pinned > 0);
+  List.iter
+    (fun sp ->
+      check_b "evicted account code is freed" true
+        (String.equal ""
+           (Chain.code_at chain sp.Generate.sp_label.Generate.l_address)))
+    evicted;
+  List.iter
+    (fun sp ->
+      check_b "pinned contract stays resident" true
+        (not
+           (String.equal ""
+              (Chain.code_at chain sp.Generate.sp_label.Generate.l_address))))
+    pinned;
+  let resident = Chain.all_contracts chain in
+  let is_resident a =
+    List.exists (fun m -> m.Chain.cm_address = a) resident
+  in
+  List.iter
+    (fun sp ->
+      check_b "compact removed the evicted address from the index" false
+        (is_resident sp.Generate.sp_label.Generate.l_address))
+    evicted;
+  List.iter
+    (fun sp ->
+      check_b "pinned address still indexed" true
+        (is_resident sp.Generate.sp_label.Generate.l_address))
+    pinned;
+  (* Evicting a pinned spec is a no-op; so is double eviction. *)
+  let p = List.hd pinned in
+  Generate.evict stream p;
+  check_b "evict is a no-op on pinned specs" true
+    (not
+       (String.equal ""
+          (Chain.code_at chain p.Generate.sp_label.Generate.l_address)));
+  let e = List.hd evicted in
+  Generate.evict stream e;
+  Chain.compact chain;
+  check_b "double eviction is harmless" false
+    (is_resident e.Generate.sp_label.Generate.l_address)
+
+let suite =
+  [
+    Alcotest.test_case "stream equals materialized at any batch size" `Quick
+      test_stream_matches_materialized;
+    Alcotest.test_case "exhausted stream returns None" `Quick
+      test_exhausted_stream_returns_none;
+    Alcotest.test_case "eviction frees non-pinned, compact trims index"
+      `Quick test_eviction_frees_non_pinned;
+  ]

@@ -16,6 +16,7 @@ let () =
       ("proxion", T_proxion.suite);
       ("baselines", T_baselines.suite);
       ("dataset", T_dataset.suite);
+      ("stream", T_stream.suite);
       ("experiments", T_experiments.suite);
       ("engine", T_engine.suite);
       ("obs", T_obs.suite);
