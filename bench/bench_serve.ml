@@ -40,6 +40,29 @@ let client_sweep = [ 1; 2; 4; 8 ]
 let requests_per_client = 150
 let advances = 3
 
+(* Overload sweep: fixed well-behaved load, rising hostile-client count,
+   against a deliberately small admission gate so shedding engages. *)
+let attacker_sweep = [ 0; 2; 4; 8 ]
+let overload_clients = 4
+let overload_requests = 100
+let hostile_seed = 1
+let overload_max_conns = 8
+let overload_queue_limit = 4
+let overload_idle_ms = 500
+
+let shed_reasons = [ "draining"; "max_conns"; "queue_full" ]
+
+let shed_counts registry =
+  match Obs.Metrics.find registry "proxion_serve_shed_connections_total" with
+  | None -> List.map (fun r -> (r, 0.0)) shed_reasons
+  | Some fam ->
+      List.map
+        (fun r ->
+          ( r,
+            Option.value ~default:0.0
+              (Obs.Metrics.value ~labels:[ ("reason", r) ] registry fam) ))
+        shed_reasons
+
 let analysis_config = Proxion.Pipeline.Config.(default |> with_batch_size 32)
 
 let cold_report (land_ : Generate.t) =
@@ -124,6 +147,78 @@ let () =
           ])
   in
   Serve.Daemon.stop daemon;
+  (* 3. Overload sweep on a fresh daemon with a small admission gate:
+     goodput and tail latency for well-behaved clients as hostile
+     personas pile on, with the daemon's own shed counters. *)
+  let overload_config =
+    Serve.Config.(
+      default |> with_workers 2
+      |> with_max_conns overload_max_conns
+      |> with_queue_limit overload_queue_limit
+      |> with_idle_timeout_ms overload_idle_ms
+      |> with_analysis analysis_config)
+  in
+  let overload_registry = Obs.Metrics.create () in
+  let overload_daemon =
+    match
+      Serve.Daemon.create ~config:overload_config ~registry:overload_registry
+        land_
+    with
+    | Ok d -> d
+    | Error e -> failwith ("overload daemon create: " ^ e)
+  in
+  (match Serve.Daemon.start overload_daemon with
+  | Ok () -> ()
+  | Error e -> failwith ("overload daemon start: " ^ e));
+  let overload_port = Serve.Daemon.port overload_daemon in
+  let prev_shed = ref (shed_counts overload_registry) in
+  let overload =
+    List.map
+      (fun attackers ->
+        let stats, hostile =
+          if attackers = 0 then
+            match
+              Serve.Loadgen.run ~port:overload_port ~clients:overload_clients
+                ~requests:overload_requests ~addresses ()
+            with
+            | Error e -> failwith ("overload loadgen: " ^ e)
+            | Ok s -> (s, None)
+          else
+            match
+              Serve.Loadgen.run_hostile ~port:overload_port
+                ~clients:overload_clients ~requests:overload_requests
+                ~attackers ~seed:hostile_seed ~addresses ()
+            with
+            | Error e -> failwith ("hostile loadgen: " ^ e)
+            | Ok (s, h) -> (s, Some h)
+        in
+        let now_shed = shed_counts overload_registry in
+        let delta =
+          List.map2
+            (fun (r, now) (_, before) -> (r, now -. before))
+            now_shed !prev_shed
+        in
+        prev_shed := now_shed;
+        Printf.eprintf
+          "  %d attackers: goodput %.0f req/s  p99 %.3f ms  (%d shed seen, \
+           %d errors)\n\
+           %!"
+          attackers stats.Serve.Loadgen.lg_rps stats.Serve.Loadgen.lg_p99_ms
+          stats.Serve.Loadgen.lg_shed stats.Serve.Loadgen.lg_errors;
+        Json.Obj
+          ([
+             ("attackers", Json.Int attackers);
+             ("well_behaved", Serve.Loadgen.to_json stats);
+             ( "daemon_shed_connections",
+               Json.Obj (List.map (fun (r, v) -> (r, Json.Float v)) delta) );
+           ]
+          @
+          match hostile with
+          | None -> []
+          | Some h -> [ ("hostile", Serve.Loadgen.hostile_to_json h) ]))
+      attacker_sweep
+  in
+  Serve.Daemon.stop overload_daemon;
   let mean_speedup =
     let total, n =
       List.fold_left
@@ -140,7 +235,7 @@ let () =
   let json =
     Json.Obj
       [
-        ("schema_version", Json.Int 1);
+        ("schema_version", Json.Int 2);
         ("git_rev", Json.String (git_rev ()));
         ("cores", Json.Int (Domain.recommended_domain_count ()));
         ( "config",
@@ -150,9 +245,20 @@ let () =
               ("seed", Json.Int bench_config.Generate.seed);
               ("workers", Json.Int 4);
               ("requests_per_client", Json.Int requests_per_client);
+              ( "overload",
+                Json.Obj
+                  [
+                    ("clients", Json.Int overload_clients);
+                    ("requests_per_client", Json.Int overload_requests);
+                    ("hostile_seed", Json.Int hostile_seed);
+                    ("max_conns", Json.Int overload_max_conns);
+                    ("queue_limit", Json.Int overload_queue_limit);
+                    ("idle_timeout_ms", Json.Int overload_idle_ms);
+                  ] );
             ] );
         ("startup_seconds", Json.Float startup_s);
         ("sweep", Json.List sweep);
+        ("overload", Json.List overload);
         ("incremental", Json.List incremental);
         ("incremental_speedup_mean", Json.Float mean_speedup);
       ]

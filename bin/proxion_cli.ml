@@ -540,8 +540,9 @@ let landscape_cmd =
 
 (* --- serve: the resident analysis daemon --------------------------------- *)
 
-let run_serve chain host port workers backlog journal_path advance_seed
-    deployments upgrades batch_size domains log_json log_level =
+let run_serve chain host port workers backlog max_conns queue_limit
+    idle_timeout_ms request_deadline_ms drain_grace_ms journal_path
+    advance_seed deployments upgrades batch_size domains log_json log_level =
   let analysis =
     Proxion.Pipeline.Config.default
     |> (match batch_size with
@@ -554,7 +555,12 @@ let run_serve chain host port workers backlog journal_path advance_seed
   let config =
     Serve.Config.(
       default |> with_host host |> with_port port |> with_workers workers
-      |> with_backlog backlog |> with_journal journal_path
+      |> with_backlog backlog |> with_max_conns max_conns
+      |> with_queue_limit queue_limit
+      |> with_idle_timeout_ms idle_timeout_ms
+      |> with_request_deadline_ms request_deadline_ms
+      |> with_drain_grace_ms drain_grace_ms
+      |> with_journal journal_path
       |> with_advance_seed advance_seed
       |> with_advance_spec { Serve.Advance.deployments; upgrades }
       |> with_analysis analysis)
@@ -577,7 +583,15 @@ let run_serve chain host port workers backlog journal_path advance_seed
             (if Serve.Daemon.recovered d then "recovered warm from journal"
              else "analyzed cold")
             (Serve.Store.size (Serve.Daemon.store d));
-          let stop_signal _ = Serve.Daemon.request_stop d in
+          (* First signal: graceful drain — finish in-flight requests,
+             flush the journal, exit.  Second signal: hard stop — cut
+             in-flight reads at the next poll wakeup. *)
+          let signals = Atomic.make 0 in
+          let stop_signal _ =
+            if Atomic.fetch_and_add signals 1 = 0 then
+              Serve.Daemon.request_drain d
+            else Serve.Daemon.request_stop d
+          in
           Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
           Serve.Daemon.wait d;
@@ -607,6 +621,46 @@ let serve_cmd =
   in
   let backlog_arg =
     Arg.(value & opt int 16 & info [ "backlog" ] ~docv:"N" ~doc:"Listen backlog.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Open-connection cap; excess connections are shed at accept \
+             with a structured overloaded error.")
+  in
+  let queue_limit_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Accepted-but-unclaimed connection cap (reject-newest \
+             load-shedding).")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Close a connection whose next request frame does not complete \
+             within $(docv) (slowloris defense).")
+  in
+  let request_deadline_arg =
+    Arg.(
+      value & opt int 5_000
+      & info [ "request-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request handler budget; exceeding it answers a structured \
+             deadline_exceeded error.")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value & opt int 5_000
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "How long a drain (SIGTERM or shutdown RPC) waits for in-flight \
+             requests before cutting connections.")
   in
   let journal_arg =
     Journal_spec.term
@@ -669,9 +723,11 @@ let serve_cmd =
     Term.(
       const run_serve
       $ Chain_spec.term ~default_total:2_000 ()
-      $ host_arg $ port_arg $ workers_arg $ backlog_arg $ journal_arg
-      $ advance_seed_arg $ deployments_arg $ upgrades_arg $ batch_size_arg
-      $ domains_arg $ log_json_arg $ log_level_arg)
+      $ host_arg $ port_arg $ workers_arg $ backlog_arg $ max_conns_arg
+      $ queue_limit_arg $ idle_timeout_arg $ request_deadline_arg
+      $ drain_grace_arg $ journal_arg $ advance_seed_arg $ deployments_arg
+      $ upgrades_arg $ batch_size_arg $ domains_arg $ log_json_arg
+      $ log_level_arg)
 
 (* --- query: the thin wire client ----------------------------------------- *)
 
@@ -692,7 +748,7 @@ let parse_param kv =
       in
       Ok (key, json)
 
-let run_query host port meth raw_params =
+let run_query host port timeout_ms meth raw_params =
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | kv :: rest -> (
@@ -700,12 +756,13 @@ let run_query host port meth raw_params =
         | Ok p -> parse (p :: acc) rest
         | Error e -> Error e)
   in
+  let timeout_ms = if timeout_ms <= 0 then None else Some timeout_ms in
   match parse [] raw_params with
   | Error e ->
       prerr_endline ("error: " ^ e);
       1
   | Ok params -> (
-      match Serve.Client.connect ~host ~port () with
+      match Serve.Client.connect ~host ?timeout_ms ~port () with
       | Error e ->
           Printf.eprintf "error: cannot connect to %s:%d: %s\n%!" host port e;
           1
@@ -747,62 +804,112 @@ let query_cmd =
       value & pos_right 0 string []
       & info [] ~docv:"KEY=VALUE" ~doc:"Request parameters.")
   in
+  let timeout_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Connect/send/receive timeout so the query cannot hang on a \
+             wedged daemon (0 disables).")
+  in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run_query $ host_arg $ port_arg $ meth_arg $ params_arg)
+    Term.(
+      const run_query $ host_arg $ port_arg $ timeout_arg $ meth_arg
+      $ params_arg)
 
 (* --- bench: load-generate against a self-hosted daemon ------------------- *)
 
-let run_bench chain clients requests workers out =
+let run_bench chain host clients requests workers attackers hostile_seed
+    target out =
   if clients <= 0 || requests <= 0 then begin
     prerr_endline "error: --clients and --requests must be positive";
     1
   end
+  else if attackers < 0 then begin
+    prerr_endline "error: --attackers must be non-negative";
+    1
+  end
   else
+    (* The landscape regenerates from the chain flags even when targeting
+       an existing daemon: the query mix needs its addresses, and the
+       daemon must have been started with the same flags. *)
     let land_ = Chain_spec.generate chain in
-    let config = Serve.Config.(default |> with_workers workers) in
-    match Serve.Daemon.create ~config land_ with
+    let addresses =
+      List.map
+        (fun l -> l.Dataset.Generate.l_address)
+        land_.Dataset.Generate.labels
+    in
+    let daemon =
+      match target with
+      | Some port -> Ok (port, fun () -> ())
+      | None -> (
+          let config = Serve.Config.(default |> with_workers workers) in
+          match Serve.Daemon.create ~config land_ with
+          | Error e -> Error e
+          | Ok d -> (
+              match Serve.Daemon.start d with
+              | Error e -> Error e
+              | Ok () -> Ok (Serve.Daemon.port d, fun () -> Serve.Daemon.stop d)
+              ))
+    in
+    match daemon with
     | Error e ->
         prerr_endline ("error: " ^ e);
         1
-    | Ok d -> (
-        match Serve.Daemon.start d with
+    | Ok (port, teardown) -> (
+        let outcome =
+          if attackers = 0 then
+            Result.map
+              (fun s -> (s, None))
+              (Serve.Loadgen.run ~host ~port ~clients ~requests ~addresses ())
+          else
+            Result.map
+              (fun (s, h) -> (s, Some h))
+              (Serve.Loadgen.run_hostile ~host ~port ~clients ~requests
+                 ~attackers ~seed:hostile_seed ~addresses ())
+        in
+        teardown ();
+        match outcome with
         | Error e ->
             prerr_endline ("error: " ^ e);
             1
-        | Ok () ->
-            let addresses =
-              List.map
-                (fun l -> l.Dataset.Generate.l_address)
-                land_.Dataset.Generate.labels
-            in
-            let outcome =
-              Serve.Loadgen.run ~port:(Serve.Daemon.port d) ~clients ~requests
-                ~addresses ()
-            in
-            Serve.Daemon.stop d;
-            (match outcome with
-            | Error e ->
-                prerr_endline ("error: " ^ e);
-                1
-            | Ok stats ->
+        | Ok (stats, hostile) ->
+            Printf.printf
+              "%d clients x %d requests: %.0f req/s  p50 %.3f ms  p90 %.3f \
+               ms  p99 %.3f ms  (%d errors, %d shed, %d deadline)\n"
+              stats.Serve.Loadgen.lg_clients requests
+              stats.Serve.Loadgen.lg_rps stats.Serve.Loadgen.lg_p50_ms
+              stats.Serve.Loadgen.lg_p90_ms stats.Serve.Loadgen.lg_p99_ms
+              stats.Serve.Loadgen.lg_errors stats.Serve.Loadgen.lg_shed
+              stats.Serve.Loadgen.lg_deadline;
+            (match hostile with
+            | None -> ()
+            | Some h ->
                 Printf.printf
-                  "%d clients x %d requests: %.0f req/s  p50 %.3f ms  p90 \
-                   %.3f ms  p99 %.3f ms  (%d errors)\n"
-                  stats.Serve.Loadgen.lg_clients requests
-                  stats.Serve.Loadgen.lg_rps stats.Serve.Loadgen.lg_p50_ms
-                  stats.Serve.Loadgen.lg_p90_ms stats.Serve.Loadgen.lg_p99_ms
-                  stats.Serve.Loadgen.lg_errors;
-                (match out with
-                | None -> 0
-                | Some path ->
-                    if
-                      Telemetry_spec.write_file path (fun oc ->
-                          Out_channel.output_string oc
-                            (Report.Json.to_string ~pretty:true
-                               (Serve.Loadgen.to_json stats));
-                          Out_channel.output_char oc '\n')
-                    then 0
-                    else 1)))
+                  "hostile: %d attackers, %d rounds (%d shed, %d answered, \
+                   %d cut, %d connect failures)\n"
+                  h.Serve.Loadgen.hs_attackers h.Serve.Loadgen.hs_rounds
+                  h.Serve.Loadgen.hs_shed h.Serve.Loadgen.hs_answered
+                  h.Serve.Loadgen.hs_cut h.Serve.Loadgen.hs_connect_failures);
+            (match out with
+            | None -> 0
+            | Some path ->
+                let json =
+                  Report.Json.Obj
+                    ([ ("well_behaved", Serve.Loadgen.to_json stats) ]
+                    @
+                    match hostile with
+                    | None -> []
+                    | Some h ->
+                        [ ("hostile", Serve.Loadgen.hostile_to_json h) ])
+                in
+                if
+                  Telemetry_spec.write_file path (fun oc ->
+                      Out_channel.output_string oc
+                        (Report.Json.to_string ~pretty:true json);
+                      Out_channel.output_char oc '\n')
+                then 0
+                else 1))
 
 let bench_cmd =
   let doc =
@@ -825,6 +932,30 @@ let bench_cmd =
       value & opt int 4
       & info [ "workers" ] ~docv:"N" ~doc:"Daemon worker domains.")
   in
+  let attackers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "attackers" ] ~docv:"N"
+          ~doc:
+            "Also run $(docv) hostile clients (slowloris, half-open, \
+             never-reads, oversized-flooder, connect-idle personas, \
+             round-robin) while measuring well-behaved goodput.")
+  in
+  let hostile_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "hostile-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the hostile clients' splitmix64 streams.")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "target-port" ] ~docv:"PORT"
+          ~doc:
+            "Drive an already-running daemon on $(docv) instead of \
+             self-hosting one (start it with the same landscape flags).")
+  in
   let out_arg =
     Arg.(
       value
@@ -835,7 +966,8 @@ let bench_cmd =
     Term.(
       const run_bench
       $ Chain_spec.term ~default_total:1_000 ()
-      $ clients_arg $ requests_arg $ workers_arg $ out_arg)
+      $ host_arg $ clients_arg $ requests_arg $ workers_arg $ attackers_arg
+      $ hostile_seed_arg $ target_arg $ out_arg)
 
 (* --- coverage / accuracy / perf / effectiveness ------------------------- *)
 

@@ -2,17 +2,64 @@ module Json = Report.Json
 
 type t = { fd : Unix.file_descr; mutable next_id : int }
 
-let connect ?(host = "127.0.0.1") ~port () =
+(* Connect with a bound: non-blocking connect(2) + select(2) + SO_ERROR.
+   A plain blocking connect against a wedged host can hang for the
+   kernel's SYN-retry budget (minutes). *)
+let connect_bounded fd addr timeout_ms =
+  let timeout_s = float_of_int timeout_ms /. 1000.0 in
+  Unix.set_nonblock fd;
+  let finish () = Unix.clear_nonblock fd in
+  match Unix.connect fd addr with
+  | () ->
+      finish ();
+      Ok ()
+  | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+      match Unix.select [] [ fd ] [] timeout_s with
+      | [], [], [] ->
+          finish ();
+          Error "connect timed out"
+      | _ -> (
+          match Unix.getsockopt_error fd with
+          | None ->
+              finish ();
+              Ok ()
+          | Some e ->
+              finish ();
+              Error (Unix.error_message e)))
+  | exception Unix.Unix_error (e, _, _) ->
+      finish ();
+      Error (Unix.error_message e)
+
+let connect ?(host = "127.0.0.1") ?timeout_ms ~port () =
   match Unix.inet_addr_of_string host with
   | exception Failure _ -> Error (Printf.sprintf "bad host %S" host)
   | addr -> (
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      try
-        Unix.connect fd (Unix.ADDR_INET (addr, port));
-        Ok { fd; next_id = 1 }
-      with Unix.Unix_error (e, _, _) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        Error (Unix.error_message e))
+      let sockaddr = Unix.ADDR_INET (addr, port) in
+      let connected =
+        match timeout_ms with
+        | None -> (
+            match Unix.connect fd sockaddr with
+            | () -> Ok ()
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Unix.error_message e))
+        | Some ms when ms <= 0 -> Error "timeout_ms must be positive"
+        | Some ms -> connect_bounded fd sockaddr ms
+      in
+      match connected with
+      | Error e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error e
+      | Ok () ->
+          (match timeout_ms with
+          | None -> ()
+          | Some ms -> (
+              let s = float_of_int ms /. 1000.0 in
+              try
+                Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+                Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+              with Unix.Unix_error _ -> ()));
+          Ok { fd; next_id = 1 })
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -20,10 +67,14 @@ let call_result t ~meth ~params =
   let id = t.next_id in
   t.next_id <- id + 1;
   match Wire.write_frame t.fd (Wire.request_to_string ~id ~meth ~params) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "send timed out"
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | () -> (
       match Wire.read_frame t.fd with
       | Error e -> Error (Wire.read_error_to_string e)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Error "receive timed out"
       | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
       | Ok payload -> (
           match Wire.response_of_string payload with

@@ -3,8 +3,12 @@
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> (t, string) result
-(** Open one TCP connection (default host 127.0.0.1). *)
+val connect : ?host:string -> ?timeout_ms:int -> port:int -> unit -> (t, string) result
+(** Open one TCP connection (default host 127.0.0.1).  [timeout_ms]
+    bounds the connect itself {e and} every subsequent send/receive on
+    the connection ([SO_RCVTIMEO]/[SO_SNDTIMEO]); without it both block
+    indefinitely against a wedged server.  A timed-out {!call} returns
+    ["connect timed out" | "send timed out" | "receive timed out"]. *)
 
 val close : t -> unit
 

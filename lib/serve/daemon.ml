@@ -21,6 +21,12 @@ module Config = struct
     backlog : int;
     workers : int;
     max_frame : int;
+    max_conns : int;
+    queue_limit : int;
+    idle_timeout_ms : int;
+    request_deadline_ms : int;
+    drain_grace_ms : int;
+    clock : Obs.Clock.t;
     journal : string option;
     advance_seed : int;
     advance_spec : Advance.spec;
@@ -34,6 +40,12 @@ module Config = struct
       backlog = 16;
       workers = 2;
       max_frame = Wire.default_max_frame;
+      max_conns = 64;
+      queue_limit = 32;
+      idle_timeout_ms = 10_000;
+      request_deadline_ms = 5_000;
+      drain_grace_ms = 5_000;
+      clock = Obs.Clock.real;
       journal = None;
       advance_seed = 7;
       advance_spec = Advance.default_spec;
@@ -45,6 +57,15 @@ module Config = struct
   let with_backlog backlog t = { t with backlog }
   let with_workers workers t = { t with workers }
   let with_max_frame max_frame t = { t with max_frame }
+  let with_max_conns max_conns t = { t with max_conns }
+  let with_queue_limit queue_limit t = { t with queue_limit }
+  let with_idle_timeout_ms idle_timeout_ms t = { t with idle_timeout_ms }
+
+  let with_request_deadline_ms request_deadline_ms t =
+    { t with request_deadline_ms }
+
+  let with_drain_grace_ms drain_grace_ms t = { t with drain_grace_ms }
+  let with_clock clock t = { t with clock }
   let with_journal journal t = { t with journal }
   let with_advance_seed advance_seed t = { t with advance_seed }
   let with_advance_spec advance_spec t = { t with advance_spec }
@@ -60,6 +81,11 @@ module Config = struct
           V.positive ~field:"backlog" t.backlog;
           V.positive ~field:"workers" t.workers;
           V.at_least ~field:"max_frame" ~min:1024 t.max_frame;
+          V.positive ~field:"max_conns" t.max_conns;
+          V.positive ~field:"queue_limit" t.queue_limit;
+          V.positive ~field:"idle_timeout_ms" t.idle_timeout_ms;
+          V.positive ~field:"request_deadline_ms" t.request_deadline_ms;
+          V.non_negative ~field:"drain_grace_ms" t.drain_grace_ms;
           V.non_negative ~field:"advance_spec.deployments"
             t.advance_spec.Advance.deployments;
           V.non_negative ~field:"advance_spec.upgrades"
@@ -77,6 +103,22 @@ end
 (* State                                                                *)
 (* ------------------------------------------------------------------ *)
 
+type families = {
+  m_requests : Metrics.family;
+  m_errors : Metrics.family;
+  m_latency : Metrics.family;
+  m_inflight : Metrics.family;
+  m_connections : Metrics.family;
+  m_increments : Metrics.family;
+  m_dirty : Metrics.family;
+  m_open : Metrics.family;
+  m_shed_conns : Metrics.family;
+  m_shed_reqs : Metrics.family;
+  m_deadline : Metrics.family;
+  m_ready : Metrics.family;
+  m_draining : Metrics.family;
+}
+
 type t = {
   cfg : Config.t;
   landscape : Generate.t;
@@ -86,18 +128,14 @@ type t = {
   journal : Journal.t option;
   registry : Metrics.t;
   log : Obs.Log.t option;
-  m_requests : Metrics.family;
-  m_errors : Metrics.family;
-  m_latency : Metrics.family;
-  m_inflight : Metrics.family;
-  m_connections : Metrics.family;
-  m_increments : Metrics.family;
-  m_dirty : Metrics.family;
+  fams : families;
   obs_lock : Mutex.t;
   advance_lock : Mutex.t;
   counters : (string, int * int) Hashtbl.t;  (* subject hex -> api, steps *)
   uc : int Atomic.t;  (* cached Analyzer.unique_codes *)
   inflight : int Atomic.t;
+  open_conns : int Atomic.t;
+  workers_done : int Atomic.t;
   mutable was_recovered : bool;
   (* server *)
   mutable listen_fd : Unix.file_descr option;
@@ -106,9 +144,9 @@ type t = {
   mutable listener : unit Domain.t option;
   mutable workers : unit Domain.t list;
   stop_requested : bool Atomic.t;
+  draining : bool Atomic.t;
   mutable stopped : bool;
   lifecycle : Mutex.t;
-  lifecycle_cond : Condition.t;
 }
 
 let store t = t.store
@@ -116,6 +154,8 @@ let registry t = t.registry
 let recovered t = t.was_recovered
 let advances_applied t = Advance.applied t.advancer
 let unique_codes t = Atomic.get t.uc
+let is_draining t = Atomic.get t.draining
+let open_connections t = Atomic.get t.open_conns
 
 let logf t level msg =
   match t.log with
@@ -191,22 +231,54 @@ let commit_snapshot t =
 (* ------------------------------------------------------------------ *)
 
 let make_metrics registry =
-  ( Metrics.counter registry ~help:"Requests served, by method"
-      "proxion_serve_requests_total",
-    Metrics.counter registry ~help:"Error responses, by method"
-      "proxion_serve_errors_total",
-    Metrics.histogram registry ~volatile:true
-      ~help:"Request handling latency (seconds), by method"
-      ~buckets:[ 0.0001; 0.0005; 0.001; 0.005; 0.025; 0.1; 0.5; 2.0 ]
-      "proxion_serve_request_seconds",
-    Metrics.gauge registry ~volatile:true ~help:"Requests currently in flight"
-      "proxion_serve_inflight_requests",
-    Metrics.counter registry ~help:"Connections accepted"
-      "proxion_serve_connections_total",
-    Metrics.counter registry ~help:"Incremental advances applied"
-      "proxion_serve_increments_total",
-    Metrics.counter registry ~help:"Subjects re-analyzed by increments"
-      "proxion_serve_dirty_subjects_total" )
+  {
+    m_requests =
+      Metrics.counter registry ~help:"Requests served, by method"
+        "proxion_serve_requests_total";
+    m_errors =
+      Metrics.counter registry ~help:"Error responses, by method"
+        "proxion_serve_errors_total";
+    m_latency =
+      Metrics.histogram registry ~volatile:true
+        ~help:"Request handling latency (seconds), by method"
+        ~buckets:[ 0.0001; 0.0005; 0.001; 0.005; 0.025; 0.1; 0.5; 2.0 ]
+        "proxion_serve_request_seconds";
+    m_inflight =
+      Metrics.gauge registry ~volatile:true
+        ~help:"Requests currently in flight" "proxion_serve_inflight_requests";
+    m_connections =
+      Metrics.counter registry ~help:"Connections accepted"
+        "proxion_serve_connections_total";
+    m_increments =
+      Metrics.counter registry ~help:"Incremental advances applied"
+        "proxion_serve_increments_total";
+    m_dirty =
+      Metrics.counter registry ~help:"Subjects re-analyzed by increments"
+        "proxion_serve_dirty_subjects_total";
+    m_open =
+      Metrics.gauge registry ~volatile:true
+        ~help:"Client connections currently open"
+        "proxion_serve_open_connections";
+    m_shed_conns =
+      Metrics.counter registry
+        ~help:"Connections shed by the admission gate, by reason"
+        "proxion_serve_shed_connections_total";
+    m_shed_reqs =
+      Metrics.counter registry
+        ~help:"Requests shed after parse, by method and reason"
+        "proxion_serve_shed_requests_total";
+    m_deadline =
+      Metrics.counter registry
+        ~help:"Requests that exceeded their deadline budget, by method"
+        "proxion_serve_deadline_exceeded_total";
+    m_ready =
+      Metrics.gauge registry
+        ~help:"Readiness: 1 when the store is loaded and not draining"
+        "proxion_serve_ready";
+    m_draining =
+      Metrics.gauge registry ~help:"1 while the daemon is draining"
+        "proxion_serve_draining";
+  }
 
 let ( let* ) = Result.bind
 
@@ -264,10 +336,7 @@ let create ?(config = Config.default) ?registry ?log landscape =
         Ok (Some j, recovery.Journal.rec_state)
   in
   let journal, rec_state = journal_and_state in
-  let m_requests, m_errors, m_latency, m_inflight, m_connections, m_increments,
-      m_dirty =
-    make_metrics registry
-  in
+  let fams = make_metrics registry in
   let finish analyzer store was_recovered =
     let t =
       {
@@ -279,18 +348,14 @@ let create ?(config = Config.default) ?registry ?log landscape =
         journal;
         registry;
         log;
-        m_requests;
-        m_errors;
-        m_latency;
-        m_inflight;
-        m_connections;
-        m_increments;
-        m_dirty;
+        fams;
         obs_lock = Mutex.create ();
         advance_lock = Mutex.create ();
         counters = Hashtbl.create 1024;
         uc = Atomic.make 0;
         inflight = Atomic.make 0;
+        open_conns = Atomic.make 0;
+        workers_done = Atomic.make 0;
         was_recovered;
         listen_fd = None;
         bound_port = 0;
@@ -298,12 +363,14 @@ let create ?(config = Config.default) ?registry ?log landscape =
         listener = None;
         workers = [];
         stop_requested = Atomic.make false;
+        draining = Atomic.make false;
         stopped = false;
         lifecycle = Mutex.create ();
-        lifecycle_cond = Condition.create ();
       }
     in
     Atomic.set t.uc (Analyzer.unique_codes analyzer);
+    Metrics.set registry fams.m_ready 1.0;
+    Metrics.set registry fams.m_draining 0.0;
     t
   in
   match rec_state with
@@ -383,10 +450,10 @@ let advance t =
       Atomic.set t.uc (Analyzer.unique_codes t.analyzer);
       Store.bump_generation t.store;
       commit_snapshot t;
-      Metrics.inc t.registry t.m_increments;
+      Metrics.inc t.registry t.fams.m_increments;
       Metrics.inc
         ~by:(float_of_int (List.length dirty_addrs))
-        t.registry t.m_dirty;
+        t.registry t.fams.m_dirty;
       logf t Obs.Log.Info
         (Printf.sprintf "advance %d: %d dirty, %d new, height %d"
            summary.Advance.a_index (List.length dirty_addrs)
@@ -472,6 +539,18 @@ let rec drop n = function
   | [] -> []
   | _ :: rest -> drop (n - 1) rest
 
+(* Deadline budgets: [deadline] is an absolute time on the config clock;
+   [None] (direct library calls) means no budget. *)
+let deadline_passed t = function
+  | None -> false
+  | Some d -> Obs.Clock.now t.cfg.Config.clock >= d
+
+let deadline_error =
+  {
+    Wire.code = Wire.err_deadline_exceeded;
+    message = "request deadline exceeded";
+  }
+
 let handle_get_status t =
   let report = Store.report t.store ~unique_codes:(unique_codes t) in
   let stats = report.Analysis.stats in
@@ -485,6 +564,26 @@ let handle_get_status t =
          ("advances", Json.Int (advances_applied t));
          ("generation", Json.Int (Store.generation t.store));
          ("recovered", Json.Bool t.was_recovered);
+       ])
+
+let handle_health t =
+  Ok
+    (Json.Obj
+       [
+         ("status", Json.String "ok");
+         ("draining", Json.Bool (Atomic.get t.draining));
+       ])
+
+let handle_ready t =
+  let loaded = Store.size t.store > 0 in
+  let ready = loaded && not (Atomic.get t.draining) in
+  Ok
+    (Json.Obj
+       [
+         ("ready", Json.Bool ready);
+         ("store_loaded", Json.Bool loaded);
+         ("draining", Json.Bool (Atomic.get t.draining));
+         ("subjects", Json.Int (Store.size t.store));
        ])
 
 let handle_is_proxy t params =
@@ -607,70 +706,118 @@ let handle_metrics t params =
           message = "format must be \"prometheus\" or \"json\"";
         }
 
-let request_stop t =
-  Atomic.set t.stop_requested true;
-  Mutex.lock t.lifecycle;
-  (* shutdown, not close: close(2) does not wake a thread blocked in
-     accept(2), shutdown(2) does.  The listener closes the descriptor
-     itself when its loop exits. *)
-  (match t.listen_fd with
+(* shutdown, not close: close(2) does not wake a thread blocked in
+   accept(2), shutdown(2) does.  The listener closes the descriptor
+   itself when its loop exits. *)
+let wake_listener t =
+  match t.listen_fd with
   | Some fd -> (
       try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-  | None -> ());
-  Condition.broadcast t.lifecycle_cond;
-  Mutex.unlock t.lifecycle
+  | None -> ()
 
-let handle_advance t params =
+(* Drain: readiness flips before anything else, so an orchestrator
+   watching [ready] reroutes traffic before connections start bouncing.
+   The listener keeps accepting but sheds every connection with the
+   structured overloaded error until {!stop} tears it down.  Idempotent
+   and safe from a signal handler. *)
+let request_drain t =
+  if not (Atomic.exchange t.draining true) then begin
+    Metrics.set t.registry t.fams.m_ready 0.0;
+    Metrics.set t.registry t.fams.m_draining 1.0;
+    logf t Obs.Log.Info "draining: refusing new work, finishing in-flight"
+  end
+
+let request_stop t =
+  Atomic.set t.stop_requested true;
+  request_drain t;
+  wake_listener t
+
+let handle_advance t ~deadline params =
   let* count = int_param ~default:1 params "count" in
   let count = min 64 (max 1 (Option.value ~default:1 count)) in
   let dirty = ref 0 and fresh = ref 0 and last = ref None in
-  for _ = 1 to count do
-    let r = advance t in
-    dirty := !dirty + r.adv_dirty;
-    fresh := !fresh + r.adv_new;
-    last := Some r
-  done;
-  let height =
-    match !last with
-    | Some r -> r.adv_summary.Advance.a_height
-    | None -> Chain.height t.landscape.Generate.chain
-  in
-  Ok
-    (Json.Obj
-       [
-         ("applied", Json.Int count);
-         ("advances", Json.Int (advances_applied t));
-         ("height", Json.Int height);
-         ("dirty", Json.Int !dirty);
-         ("new_contracts", Json.Int !fresh);
-       ])
+  let applied = ref 0 in
+  (try
+     for _ = 1 to count do
+       if deadline_passed t deadline then raise Exit;
+       let r = advance t in
+       incr applied;
+       dirty := !dirty + r.adv_dirty;
+       fresh := !fresh + r.adv_new;
+       last := Some r
+     done
+   with Exit -> ());
+  if !applied < count then
+    Error
+      {
+        Wire.code = Wire.err_deadline_exceeded;
+        message =
+          Printf.sprintf
+            "deadline exceeded after %d of %d advances (the %d applied are \
+             committed)"
+            !applied count !applied;
+      }
+  else
+    let height =
+      match !last with
+      | Some r -> r.adv_summary.Advance.a_height
+      | None -> Chain.height t.landscape.Generate.chain
+    in
+    Ok
+      (Json.Obj
+         [
+           ("applied", Json.Int count);
+           ("advances", Json.Int (advances_applied t));
+           ("height", Json.Int height);
+           ("dirty", Json.Int !dirty);
+           ("new_contracts", Json.Int !fresh);
+         ])
 
-let dispatch t meth params =
-  match meth with
-  | "get_status" -> handle_get_status t
-  | "is_proxy" -> handle_is_proxy t params
-  | "logic_history" -> handle_logic_history t params
-  | "collisions" -> handle_collisions t params
-  | "list_findings" -> handle_list_findings t params
-  | "report" -> handle_report t
-  | "metrics" -> handle_metrics t params
-  | "advance" -> handle_advance t params
-  | "shutdown" ->
-      request_stop t;
-      Ok (Json.Obj [ ("stopping", Json.Bool true) ])
-  | _ ->
-      Error
-        {
-          Wire.code = Wire.err_method_not_found;
-          message = Printf.sprintf "unknown method %S" meth;
-        }
+(* Methods a draining daemon still answers: the health surface (so
+   orchestrators can watch the drain), metrics scrapes, and a repeated
+   shutdown.  Everything else is shed with a structured error. *)
+let allowed_while_draining = function
+  | "health" | "ready" | "metrics" | "shutdown" -> true
+  | _ -> false
 
-let handle t payload =
+let dispatch t ~deadline meth params =
+  if Atomic.get t.draining && not (allowed_while_draining meth) then
+    Error
+      {
+        Wire.code = Wire.err_overloaded;
+        message = "daemon is draining; request shed";
+      }
+  else if deadline_passed t deadline then Error deadline_error
+  else
+    match meth with
+    | "get_status" -> handle_get_status t
+    | "health" -> handle_health t
+    | "ready" -> handle_ready t
+    | "is_proxy" -> handle_is_proxy t params
+    | "logic_history" -> handle_logic_history t params
+    | "collisions" -> handle_collisions t params
+    | "list_findings" -> handle_list_findings t params
+    | "report" -> handle_report t
+    | "metrics" -> handle_metrics t params
+    | "advance" -> handle_advance t ~deadline params
+    | "shutdown" ->
+        request_drain t;
+        Ok
+          (Json.Obj
+             [ ("stopping", Json.Bool true); ("draining", Json.Bool true) ])
+    | _ ->
+        Error
+          {
+            Wire.code = Wire.err_method_not_found;
+            message = Printf.sprintf "unknown method %S" meth;
+          }
+
+let handle ?deadline t payload =
   match Wire.request_of_string payload with
   | Error err -> (None, Wire.response_error ~id:Json.Null err)
   | Ok req -> (
       let id = req.Wire.rq_id in
-      match dispatch t req.Wire.rq_method req.Wire.rq_params with
+      match dispatch t ~deadline req.Wire.rq_method req.Wire.rq_params with
       | Ok result -> (Some req.Wire.rq_method, Wire.response_ok ~id result)
       | Error err -> (Some req.Wire.rq_method, Wire.response_error ~id err)
       | exception e ->
@@ -702,44 +849,85 @@ let access_log t meth ~ok ~bytes_in ~bytes_out ~elapsed =
         Obs.Log.Info "request";
       Mutex.unlock t.obs_lock
 
-let observe_request t meth ~ok ~bytes_in ~bytes_out ~elapsed =
-  let labels = [ ("method", Option.value ~default:"invalid" meth) ] in
-  Metrics.inc ~labels t.registry t.m_requests;
-  if not ok then Metrics.inc ~labels t.registry t.m_errors;
-  Metrics.observe ~labels t.registry t.m_latency elapsed;
-  access_log t meth ~ok ~bytes_in ~bytes_out ~elapsed
-
-let response_is_error payload =
+let response_error_code payload =
   match Wire.response_of_string payload with
-  | Ok { Wire.rs_result = Error _; _ } -> true
-  | _ -> false
+  | Ok { Wire.rs_result = Error e; _ } -> Some e.Wire.code
+  | _ -> None
+
+let observe_request t meth ~err ~bytes_in ~bytes_out ~elapsed =
+  let name = Option.value ~default:"invalid" meth in
+  let labels = [ ("method", name) ] in
+  Metrics.inc ~labels t.registry t.fams.m_requests;
+  (match err with
+  | None -> ()
+  | Some code ->
+      Metrics.inc ~labels t.registry t.fams.m_errors;
+      if code = Wire.err_deadline_exceeded then
+        Metrics.inc ~labels t.registry t.fams.m_deadline
+      else if code = Wire.err_overloaded then
+        Metrics.inc
+          ~labels:[ ("method", name); ("reason", "draining") ]
+          t.registry t.fams.m_shed_reqs);
+  Metrics.observe ~labels t.registry t.fams.m_latency elapsed;
+  access_log t meth ~ok:(err = None) ~bytes_in ~bytes_out ~elapsed
+
+let close_connection t fd =
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let n = Atomic.fetch_and_add t.open_conns (-1) - 1 in
+  Metrics.set t.registry t.fams.m_open (float_of_int n)
 
 let serve_connection t fd =
-  Metrics.inc t.registry t.m_connections;
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.5
+  Metrics.inc t.registry t.fams.m_connections;
+  let clock = t.cfg.Config.clock in
+  let idle_s = float_of_int t.cfg.Config.idle_timeout_ms /. 1000.0 in
+  (* SO_RCVTIMEO is the poll granularity of the idle sweep, the drain
+     abort and the stop flag — not the deadline itself.  SO_SNDTIMEO is
+     the write deadline: a client that never reads its responses blocks
+     our write in the kernel; the timeout turns that into a dropped
+     connection instead of a wedged worker. *)
+  let poll_s = Float.max 0.02 (Float.min 0.25 (idle_s /. 4.0)) in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO poll_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO idle_s
    with Unix.Unix_error _ -> ());
+  let should_abort () =
+    Atomic.get t.stop_requested || Atomic.get t.draining
+  in
   let closed = ref false in
   while not !closed do
-    match Wire.read_frame ~max_frame:t.cfg.Config.max_frame fd with
+    (* The whole next frame — first byte to last — must arrive within
+       the idle window: a slowloris trickling one byte per poll cannot
+       hold the worker past it. *)
+    let idle_deadline = Obs.Clock.now clock +. idle_s in
+    match
+      Wire.read_frame ~max_frame:t.cfg.Config.max_frame ~clock
+        ~deadline:idle_deadline ~should_abort fd
+    with
     | Ok payload -> (
-        try
-          let up = Atomic.fetch_and_add t.inflight 1 + 1 in
-          Metrics.set t.registry t.m_inflight (float_of_int up);
-          let t0 = Unix.gettimeofday () in
-          let meth, response = handle t payload in
-          let elapsed = Unix.gettimeofday () -. t0 in
-          let down = Atomic.fetch_and_add t.inflight (-1) - 1 in
-          Metrics.set t.registry t.m_inflight (float_of_int down);
-          (try Wire.write_frame fd response
-           with Unix.Unix_error _ -> closed := true);
-          observe_request t meth
-            ~ok:(not (response_is_error response))
-            ~bytes_in:(String.length payload)
-            ~bytes_out:(String.length response) ~elapsed
-        with _ ->
-          (* A crash in the observability path must not kill the worker
-             domain; drop the connection instead. *)
-          closed := true)
+        let up = Atomic.fetch_and_add t.inflight 1 + 1 in
+        Metrics.set t.registry t.fams.m_inflight (float_of_int up);
+        let t0 = Unix.gettimeofday () in
+        let req_deadline =
+          Obs.Clock.now clock
+          +. (float_of_int t.cfg.Config.request_deadline_ms /. 1000.0)
+        in
+        let meth, response = handle ~deadline:req_deadline t payload in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let down = Atomic.fetch_and_add t.inflight (-1) - 1 in
+        Metrics.set t.registry t.fams.m_inflight (float_of_int down);
+        (try Wire.write_frame fd response
+         with Unix.Unix_error _ -> closed := true);
+        (try
+           observe_request t meth
+             ~err:(response_error_code response)
+             ~bytes_in:(String.length payload)
+             ~bytes_out:(String.length response) ~elapsed
+         with _ ->
+           (* A crash in the observability path must not kill the worker
+              domain; drop the connection instead. *)
+           closed := true);
+        (* Draining: that response was the last on this connection. *)
+        if Atomic.get t.draining then closed := true)
     | Error Wire.Closed -> closed := true
     | Error (Wire.Oversized n) ->
         (try
@@ -754,28 +942,79 @@ let serve_connection t fd =
          with Unix.Unix_error _ -> ());
         closed := true
     | Error (Wire.Torn _) -> closed := true
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        (* Receive timeout: poll the stop flag, then keep waiting. *)
-        if Atomic.get t.stop_requested then closed := true
+    | Error Wire.Timed_out ->
+        (* Idle sweep, slowloris cut, or drain/stop abort. *)
+        closed := true
     | exception Unix.Unix_error _ -> closed := true
   done;
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  close_connection t fd
 
 let worker_loop t =
   let rec go () =
     match Engine.Task_channel.pop t.chan with
     | None -> ()
     | Some fd ->
-        serve_connection t fd;
+        (if Atomic.get t.draining then begin
+           (* Admitted before the drain flipped but never claimed by a
+              worker: shed with the structured error, never silently. *)
+           Metrics.inc
+             ~labels:[ ("reason", "draining") ]
+             t.registry t.fams.m_shed_conns;
+           (try
+              Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.1;
+              Wire.write_frame fd
+                (Wire.response_error ~id:Json.Null
+                   {
+                     Wire.code = Wire.err_overloaded;
+                     message = "overloaded: draining";
+                   })
+            with Unix.Unix_error _ -> ());
+           close_connection t fd
+         end
+         else serve_connection t fd);
         go ()
   in
-  go ()
+  go ();
+  Atomic.incr t.workers_done
+
+(* The admission gate: every shed is counted and answered with a
+   structured [overloaded] error — never a silent drop.  The policy is
+   reject-newest: connections already accepted keep their place; the
+   arriving one is turned away, which is deterministic in arrival
+   order. *)
+let shed_connection t fd ~reason =
+  Metrics.inc ~labels:[ ("reason", reason) ] t.registry t.fams.m_shed_conns;
+  (try
+     (* Best effort, and never blocking the listener: the reply is a few
+        hundred bytes (fits any socket buffer) and the send timeout
+        bounds a pathological peer. *)
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.1;
+     Wire.write_frame fd
+       (Wire.response_error ~id:Json.Null
+          {
+            Wire.code = Wire.err_overloaded;
+            message = "overloaded: " ^ reason;
+          })
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t fd =
   let continue = ref true in
   while !continue do
     match Unix.accept fd with
-    | client, _ -> Engine.Task_channel.push t.chan client
+    | client, _ ->
+        if Atomic.get t.draining then
+          shed_connection t client ~reason:"draining"
+        else if Atomic.get t.open_conns >= t.cfg.Config.max_conns then
+          shed_connection t client ~reason:"max_conns"
+        else if
+          Engine.Task_channel.length t.chan >= t.cfg.Config.queue_limit
+        then shed_connection t client ~reason:"queue_full"
+        else begin
+          let n = Atomic.fetch_and_add t.open_conns 1 + 1 in
+          Metrics.set t.registry t.fams.m_open (float_of_int n);
+          Engine.Task_channel.push t.chan client
+        end
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error _ -> continue := false
   done;
@@ -792,6 +1031,11 @@ let start t =
       | exception Failure _ ->
           Error (Printf.sprintf "bad host %S" t.cfg.Config.host)
       | addr -> (
+          (* A client closing mid-response turns the write into EPIPE —
+             an error we catch — only if SIGPIPE cannot kill the process
+             first. *)
+          (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+           with Invalid_argument _ | Sys_error _ -> ());
           let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
           try
             Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -814,7 +1058,8 @@ let start t =
             Error (Unix.error_message e)))
 
 let stop t =
-  request_stop t;
+  request_drain t;
+  wake_listener t;
   Mutex.lock t.lifecycle;
   let already = t.stopped in
   if not already then t.stopped <- true;
@@ -826,16 +1071,36 @@ let stop t =
         t.listener <- None;
         t.listen_fd <- None
     | None -> Engine.Task_channel.close t.chan);
+    (* Grace window: workers finish (or deadline-out) their in-flight
+       requests and drain any queued connections, each answered with a
+       structured shed error.  Past the grace, the hard stop flag cuts
+       even a half-read frame at the next poll wakeup, so the joins
+       below are bounded. *)
+    let nworkers = List.length t.workers in
+    let grace_s = float_of_int t.cfg.Config.drain_grace_ms /. 1000.0 in
+    let t0 = Unix.gettimeofday () in
+    while
+      Atomic.get t.workers_done < nworkers
+      && Unix.gettimeofday () -. t0 < grace_s
+      && not (Atomic.get t.stop_requested)
+    do
+      ignore (Unix.select [] [] [] 0.02)
+    done;
+    Atomic.set t.stop_requested true;
     List.iter Domain.join t.workers;
     t.workers <- [];
     (match t.journal with Some j -> Journal.close j | None -> ());
     logf t Obs.Log.Info "stopped"
   end
 
+(* Polling, not a condition wait: signal handlers only run at safepoints
+   on this domain, and a thread parked in [Condition.wait] never reaches
+   one — a SIGTERM handler calling {!request_drain} on the main thread
+   would deadlock against its own wait.  Short interruptible sleeps let
+   the handler run; worker-path drains (the [shutdown] method) are
+   picked up within one tick. *)
 let wait t =
-  Mutex.lock t.lifecycle;
-  while not (Atomic.get t.stop_requested) do
-    Condition.wait t.lifecycle_cond t.lifecycle
+  while not (Atomic.get t.stop_requested || Atomic.get t.draining) do
+    try ignore (Unix.select [] [] [] 0.05) with Unix.Unix_error _ -> ()
   done;
-  Mutex.unlock t.lifecycle;
   stop t

@@ -18,9 +18,25 @@
     analyzer and store are restored from the snapshot, and no
     re-analysis runs.
 
+    {b Overload robustness.}  An admission gate at the listener sheds
+    connections beyond [max_conns] (or beyond [queue_limit] waiting in
+    the work queue, reject-newest) with a structured
+    {!Wire.err_overloaded} reply instead of queueing unbounded.  Every
+    connection carries an idle deadline (the whole next frame must
+    arrive within [idle_timeout_ms] — slowloris defense) and every
+    request a deadline budget ([request_deadline_ms], reported as
+    {!Wire.err_deadline_exceeded}).  SIGTERM/[shutdown] flips the
+    daemon to {e draining}: readiness drops first, the listener sheds,
+    in-flight requests finish (or deadline out) within
+    [drain_grace_ms], the journal is flushed, and {!wait} returns.
+    All deadline decisions read the injectable [clock], so tests can
+    drive them deterministically.
+
     {b Observability.}  Per-method request counters and latency
-    histograms, an in-flight gauge, and a structured access log are
-    maintained on the supplied registry/log ({!Obs}). *)
+    histograms, in-flight/open-connection gauges, shed and
+    deadline-exceeded counters, readiness/draining gauges, and a
+    structured access log are maintained on the supplied registry/log
+    ({!Obs}). *)
 
 module Config : sig
   type t = {
@@ -29,6 +45,25 @@ module Config : sig
     backlog : int;
     workers : int;  (** Worker domains serving connections. *)
     max_frame : int;  (** Per-frame byte ceiling. *)
+    max_conns : int;
+        (** Open-connection cap; excess connections are shed at accept
+            with {!Wire.err_overloaded} (default 64). *)
+    queue_limit : int;
+        (** Accepted-but-unclaimed connection cap (reject-newest,
+            default 32). *)
+    idle_timeout_ms : int;
+        (** A connection whose next frame does not complete within this
+            window is closed (default 10000). *)
+    request_deadline_ms : int;
+        (** Per-request handler budget; exceeding it answers
+            {!Wire.err_deadline_exceeded} (default 5000). *)
+    drain_grace_ms : int;
+        (** How long {!stop} waits for in-flight work before cutting
+            connections (default 5000). *)
+    clock : Obs.Clock.t;
+        (** Clock for idle/deadline decisions (default
+            {!Obs.Clock.real}); inject a virtual clock for
+            deterministic tests. *)
     journal : string option;  (** Snapshot journal path. *)
     advance_seed : int;
     advance_spec : Advance.spec;
@@ -41,6 +76,12 @@ module Config : sig
   val with_backlog : int -> t -> t
   val with_workers : int -> t -> t
   val with_max_frame : int -> t -> t
+  val with_max_conns : int -> t -> t
+  val with_queue_limit : int -> t -> t
+  val with_idle_timeout_ms : int -> t -> t
+  val with_request_deadline_ms : int -> t -> t
+  val with_drain_grace_ms : int -> t -> t
+  val with_clock : Obs.Clock.t -> t -> t
   val with_journal : string option -> t -> t
   val with_advance_seed : int -> t -> t
   val with_advance_spec : Advance.spec -> t -> t
@@ -77,6 +118,12 @@ val unique_codes : t -> int
 (** Dedup-cache size of the resident analyzer (serialized against
     concurrent increments). *)
 
+val is_draining : t -> bool
+(** Whether the daemon has entered its drain phase. *)
+
+val open_connections : t -> int
+(** Client connections currently open (admission-gate view). *)
+
 type advance_result = {
   adv_summary : Advance.summary;
   adv_dirty : int;  (** Existing subjects re-analyzed. *)
@@ -87,28 +134,43 @@ val advance : t -> advance_result
 (** Apply one scripted advance and incrementally patch the store;
     commits a snapshot to the journal when configured. *)
 
-val handle : t -> string -> string option * string
+val handle : ?deadline:float -> t -> string -> string option * string
 (** [handle t request_payload] is [(method, response_payload)] — the
     full dispatch path minus the socket, exposed for in-process tests
     and for instrumentation ([method] is [None] when the request did
-    not parse far enough to name one). *)
+    not parse far enough to name one).  [deadline] is an absolute time
+    on the config clock bounding the handler; past it the response is
+    {!Wire.err_deadline_exceeded} (multi-step [advance] requests check
+    between steps — completed steps stay committed). *)
 
 (** {1 Serving} *)
 
 val start : t -> (unit, string) result
-(** Bind, listen, and spawn the listener + worker domains. *)
+(** Bind, listen, spawn the listener + worker domains, and ignore
+    [SIGPIPE] (a client closing mid-response must surface as [EPIPE],
+    not kill the process). *)
 
 val port : t -> int
 (** The bound port (after {!start}); useful with [port = 0]. *)
 
+val request_drain : t -> unit
+(** Flip to draining without blocking: readiness drops {e first}, then
+    the listener sheds every new connection with
+    {!Wire.err_overloaded}; in-flight requests finish normally and
+    non-health requests are refused.  Idempotent; safe from a signal
+    handler.  {!wait} then performs the actual shutdown. *)
+
 val request_stop : t -> unit
-(** Ask the daemon to stop without blocking: wakes the listener and
-    {!wait}.  Safe from a signal handler or an RPC worker. *)
+(** {!request_drain} plus the hard stop flag: in-flight reads abort at
+    the next poll wakeup instead of waiting out the grace.  Safe from a
+    signal handler or an RPC worker. *)
 
 val stop : t -> unit
-(** Close the listening socket, drain the task channel, join all
-    domains, and close the journal.  Idempotent. *)
+(** Drain and stop: close the listening socket, give in-flight work
+    [drain_grace_ms] to finish, then cut remaining connections, join
+    all domains, and close the journal.  Idempotent. *)
 
 val wait : t -> unit
-(** Block until {!stop} is called (from a [shutdown] request or another
-    thread). *)
+(** Block until a drain or stop is requested (by a [shutdown] request,
+    a signal handler calling {!request_drain}/{!request_stop}, or
+    another thread), then run {!stop} to completion. *)

@@ -23,37 +23,61 @@ type read_error =
   | Closed
   | Torn of { wanted : int; got : int }
   | Oversized of int
+  | Timed_out
 
 let read_error_to_string = function
   | Closed -> "connection closed"
   | Torn { wanted; got } ->
       Printf.sprintf "torn frame: wanted %d bytes, got %d" wanted got
   | Oversized n -> Printf.sprintf "oversized frame: %d bytes" n
+  | Timed_out -> "receive deadline exceeded"
+
+(* A signal interrupting a blocking read/write (e.g. SIGTERM arriving on
+   the serving thread) must never tear a frame: retry the syscall. *)
+let rec write_all fd s sent n =
+  if sent < n then
+    match Unix.write_substring fd s sent (n - sent) with
+    | k -> write_all fd s (sent + k) n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s sent n
 
 let write_frame fd payload =
   let s = encode_frame payload in
-  let n = String.length s in
-  let sent = ref 0 in
-  while !sent < n do
-    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
-  done
+  write_all fd s 0 (String.length s)
 
-(* Read exactly [n] bytes; [got] counts what arrived before EOF. *)
-let read_exact fd n =
+(* Read exactly [n] bytes; [got] counts what arrived before EOF.
+   [deadline] is an absolute time on [clock]: a read that would block
+   past it fails with `Timeout instead of waiting forever (the fd needs
+   SO_RCVTIMEO set for the poll granularity).  [should_abort] is checked
+   at every poll wakeup so a draining server can cut a half-written
+   frame without waiting out the deadline. *)
+let read_exact ?clock ?deadline ?should_abort fd n =
+  let clock = Option.value ~default:Obs.Clock.real clock in
+  let expired () =
+    match deadline with Some d -> Obs.Clock.now clock >= d | None -> false
+  in
+  let aborted () =
+    match should_abort with Some f -> f () | None -> false
+  in
   let b = Bytes.create n in
   let rec go off =
     if off = n then Ok (Bytes.to_string b)
     else
       match Unix.read fd b off (n - off) with
-      | 0 -> Error off
-      | k -> go (off + k)
+      | 0 -> Error (`Eof off)
+      | k -> if aborted () || expired () then Error `Timeout else go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        when deadline <> None || should_abort <> None ->
+          if aborted () || expired () then Error `Timeout else go off
   in
   go 0
 
-let read_frame ?(max_frame = default_max_frame) fd =
-  match read_exact fd 4 with
-  | Error 0 -> Error Closed
-  | Error got -> Error (Torn { wanted = 4; got })
+let read_frame ?(max_frame = default_max_frame) ?clock ?deadline ?should_abort
+    fd =
+  match read_exact ?clock ?deadline ?should_abort fd 4 with
+  | Error (`Eof 0) -> Error Closed
+  | Error (`Eof got) -> Error (Torn { wanted = 4; got })
+  | Error `Timeout -> Error Timed_out
   | Ok header ->
       let n =
         (Char.code header.[0] lsl 24)
@@ -64,9 +88,10 @@ let read_frame ?(max_frame = default_max_frame) fd =
       if n > max_frame then Error (Oversized n)
       else if n = 0 then Ok ""
       else (
-        match read_exact fd n with
+        match read_exact ?clock ?deadline ?should_abort fd n with
         | Ok payload -> Ok payload
-        | Error got -> Error (Torn { wanted = n; got }))
+        | Error (`Eof got) -> Error (Torn { wanted = n; got })
+        | Error `Timeout -> Error Timed_out)
 
 (* ------------------------------------------------------------------ *)
 (* Errors                                                               *)
@@ -81,6 +106,8 @@ let err_invalid_params = -32602
 let err_internal = -32000
 let err_unknown_address = 1000
 let err_oversized = 1001
+let err_overloaded = 1002
+let err_deadline_exceeded = 1003
 
 (* ------------------------------------------------------------------ *)
 (* Messages                                                             *)

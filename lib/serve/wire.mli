@@ -30,16 +30,37 @@ type read_error =
   | Torn of { wanted : int; got : int }
       (** EOF mid-header or mid-payload. *)
   | Oversized of int  (** Declared length above the maximum. *)
+  | Timed_out
+      (** The receive deadline expired (or the caller's abort check
+          fired) before the frame completed — the slowloris defense. *)
 
 val read_error_to_string : read_error -> string
 
 val write_frame : Unix.file_descr -> string -> unit
-(** Write one frame, handling short writes.  Raises [Unix.Unix_error]
-    on I/O failure and [Invalid_argument] on oversized payloads. *)
+(** Write one frame, handling short writes and retrying [EINTR].
+    Raises [Unix.Unix_error] on I/O failure and [Invalid_argument] on
+    oversized payloads. *)
 
-val read_frame : ?max_frame:int -> Unix.file_descr -> (string, read_error) result
-(** Read one frame, handling short reads.  Raises [Unix.Unix_error] on
-    I/O failure; returns [Error _] for EOF and protocol violations. *)
+val read_frame :
+  ?max_frame:int ->
+  ?clock:Obs.Clock.t ->
+  ?deadline:float ->
+  ?should_abort:(unit -> bool) ->
+  Unix.file_descr ->
+  (string, read_error) result
+(** Read one frame, handling short reads and retrying [EINTR].  Raises
+    [Unix.Unix_error] on I/O failure; returns [Error _] for EOF and
+    protocol violations.
+
+    [deadline] is an {e absolute} time on [clock] (default
+    {!Obs.Clock.real}) by which the whole frame — header and payload —
+    must have arrived; a trickling writer cannot hold the reader past
+    it.  [should_abort] is consulted at every poll wakeup and after
+    every partial read, so a draining server can cut a half-received
+    frame immediately.  Both are only effective when the descriptor has
+    [SO_RCVTIMEO] set (the poll granularity); both report as
+    {!Timed_out}.  Without either option, a blocking read behaves as
+    before and [EAGAIN] propagates as [Unix.Unix_error]. *)
 
 (** {1 Errors} *)
 
@@ -65,6 +86,15 @@ val err_unknown_address : int
 
 val err_oversized : int
 (** 1001: frame above the size limit. *)
+
+val err_overloaded : int
+(** 1002: the daemon shed this connection or request — admission cap,
+    full work queue, or draining for shutdown.  Retry against another
+    replica or after backoff. *)
+
+val err_deadline_exceeded : int
+(** 1003: the per-request deadline budget expired before the handler
+    finished. *)
 
 (** {1 Messages} *)
 

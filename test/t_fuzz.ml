@@ -51,6 +51,10 @@ let suite =
           Proxion.Honeypot.classify
             ~proxy:(Proxion.Func_collision.Bytecode c)
             ~logic:(Proxion.Func_collision.Bytecode c));
+      (* The wire parsers face the same byte soup over TCP: any input
+         must come back as a structured error, never an exception. *)
+      total "wire request parse total" Serve.Wire.request_of_string;
+      total "wire response parse total" Serve.Wire.response_of_string;
       total "raw interpretation total" (fun c ->
           let host = Evm.Host.in_memory () in
           let addr = Evm.Address.of_hex "0x00000000000000000000000000000000000fe221" in

@@ -209,11 +209,11 @@ let test_report_roundtrip () =
 (* Query dispatch (in-process)                                         *)
 (* ------------------------------------------------------------------ *)
 
-let call_daemon d meth params =
+let call_daemon ?deadline d meth params =
   let payload =
     Wire.request_to_string ~id:1 ~meth ~params
   in
-  let _, response = Daemon.handle d payload in
+  let _, response = Daemon.handle ?deadline d payload in
   match Wire.response_of_string response with
   | Ok r -> r.Wire.rs_result
   | Error e -> Alcotest.failf "unparsable response: %s" e
@@ -476,6 +476,311 @@ let test_concurrent_clients () =
       Serve.Client.close c);
   Daemon.wait d
 
+(* ------------------------------------------------------------------ *)
+(* Overload robustness: shedding, deadlines, drain, hostile input       *)
+(* ------------------------------------------------------------------ *)
+
+let connect_raw port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let start_daemon d =
+  match Daemon.start d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start: %s" e
+
+let expect_wire_error ~what want fd =
+  match Wire.read_frame fd with
+  | Ok payload -> (
+      match Wire.response_of_string payload with
+      | Ok { Wire.rs_result = Error e; _ } ->
+          check_i (what ^ " code") want e.Wire.code
+      | _ -> Alcotest.failf "expected a structured %s error" what)
+  | Error e ->
+      Alcotest.failf "no %s reply: %s" what (Wire.read_error_to_string e)
+
+(* A client writing a request and vanishing before the reply lands must
+   surface as EPIPE on the worker, not kill the whole process. *)
+let test_sigpipe_mid_reply () =
+  let d, _ = make_daemon () in
+  start_daemon d;
+  let port = Daemon.port d in
+  for _ = 1 to 5 do
+    let fd = connect_raw port in
+    Wire.write_frame fd (Wire.request_to_string ~id:1 ~meth:"report" ~params:[]);
+    Unix.close fd
+  done;
+  (* The daemon is still alive and answers a well-formed request. *)
+  (match Serve.Client.connect ~timeout_ms:5_000 ~port () with
+  | Error e -> Alcotest.failf "connect after EPIPE: %s" e
+  | Ok c ->
+      (match Serve.Client.call c ~meth:"get_status" ~params:[] with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "call after EPIPE: %s" e);
+      Serve.Client.close c);
+  Daemon.stop d
+
+let test_admission_shed () =
+  let config =
+    Serve.Config.(
+      daemon_config |> with_workers 1 |> with_max_conns 1 |> with_queue_limit 1)
+  in
+  let d, _ = make_daemon ~config () in
+  start_daemon d;
+  let port = Daemon.port d in
+  (* c1 occupies the only slot; a completed call proves it was admitted
+     and claimed by the single worker. *)
+  let c1 =
+    match Serve.Client.connect ~timeout_ms:5_000 ~port () with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "c1 connect: %s" e
+  in
+  (match Serve.Client.call c1 ~meth:"get_status" ~params:[] with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "c1 call: %s" e);
+  (* c2 is shed at accept with the structured overloaded error, counted,
+     and closed — never silently dropped, never queued unbounded. *)
+  let fd = connect_raw port in
+  expect_wire_error ~what:"shed" Wire.err_overloaded fd;
+  (match Wire.read_frame fd with
+  | Error Wire.Closed -> ()
+  | _ -> Alcotest.fail "shed connection not closed");
+  Unix.close fd;
+  let reg = Daemon.registry d in
+  (match Obs.Metrics.find reg "proxion_serve_shed_connections_total" with
+  | None -> Alcotest.fail "shed counter family missing"
+  | Some fam ->
+      check_b "shed counted" true
+        (match Obs.Metrics.value ~labels:[ ("reason", "max_conns") ] reg fam with
+        | Some v -> v >= 1.0
+        | None -> false));
+  (* Releasing c1 frees the slot (the worker notices the EOF at its next
+     poll wakeup) and a fresh client gets in. *)
+  Serve.Client.close c1;
+  let rec retry n =
+    if n = 0 then Alcotest.fail "slot never freed after client close"
+    else
+      let again () =
+        Unix.sleepf 0.05;
+        retry (n - 1)
+      in
+      match Serve.Client.connect ~timeout_ms:5_000 ~port () with
+      | Error _ -> again ()
+      | Ok c -> (
+          match Serve.Client.call c ~meth:"get_status" ~params:[] with
+          | Ok _ -> Serve.Client.close c
+          | Error _ ->
+              Serve.Client.close c;
+              again ())
+  in
+  retry 100;
+  Daemon.stop d
+
+(* Slowloris: a connection that trickles (or stalls) its frame is cut at
+   the idle deadline instead of holding a worker hostage forever. *)
+let test_idle_timeout () =
+  let config =
+    Serve.Config.(daemon_config |> with_workers 1 |> with_idle_timeout_ms 300)
+  in
+  let d, _ = make_daemon ~config () in
+  start_daemon d;
+  let port = Daemon.port d in
+  let fd = connect_raw port in
+  Wire.write_frame fd
+    (Wire.request_to_string ~id:1 ~meth:"get_status" ~params:[]);
+  (match Wire.read_frame fd with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "healthy call: %s" (Wire.read_error_to_string e));
+  (* Two header bytes, then silence. *)
+  let t0 = Unix.gettimeofday () in
+  ignore (Unix.write_substring fd "\000\000" 0 2);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  (match Wire.read_frame fd with
+  | Error (Wire.Closed | Wire.Torn _) -> ()
+  | Error e ->
+      Alcotest.failf "expected the server to cut the connection, got %s"
+        (Wire.read_error_to_string e)
+  | Ok _ -> Alcotest.fail "server answered a half frame");
+  let waited = Unix.gettimeofday () -. t0 in
+  check_b "cut within bounds (idle sweep, not the 5s client timeout)" true
+    (waited < 4.0);
+  Unix.close fd;
+  Daemon.stop d
+
+(* Deadline decisions read the injected clock, so a virtual clock that
+   advances a fixed step per read makes them a pure function of the
+   request — same daemon, same request, same verdict. *)
+let test_deadline_virtual_clock () =
+  let run_scenario () =
+    let clock = Obs.Clock.virtual_ ~start:0.0 ~auto_step:1.0 () in
+    let config = Serve.Config.(daemon_config |> with_clock clock) in
+    let d, _ = make_daemon ~config () in
+    (* Already-expired deadline: refused at entry, nothing applied. *)
+    let expired = Obs.Clock.now clock in
+    (match call_daemon ~deadline:expired d "get_status" [] with
+    | Error e ->
+        check_i "entry deadline code" Wire.err_deadline_exceeded e.Wire.code
+    | Ok _ -> Alcotest.fail "expected deadline_exceeded at entry");
+    check_i "nothing applied" 0 (Daemon.advances_applied d);
+    (* Multi-step advance: the budget expires between steps; committed
+       steps stay committed and the error says how far it got. *)
+    let deadline = Obs.Clock.now clock +. 2.5 in
+    (match call_daemon ~deadline d "advance" [ ("count", Json.Int 5) ] with
+    | Error e ->
+        check_i "mid-advance deadline code" Wire.err_deadline_exceeded
+          e.Wire.code
+    | Ok _ -> Alcotest.fail "expected deadline_exceeded mid-advance");
+    let applied = Daemon.advances_applied d in
+    check_b "partial progress committed" true (applied > 0 && applied < 5);
+    applied
+  in
+  let first = run_scenario () in
+  (* Determinism: an identical daemon under an identical virtual clock
+     makes the identical shedding decision. *)
+  check_i "identical deadline decision on replay" first (run_scenario ())
+
+let test_drain_lifecycle () =
+  let path = temp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let config = Serve.Config.(daemon_config |> with_journal (Some path)) in
+      let d, _ = make_daemon ~config () in
+      ignore (Daemon.advance d);
+      start_daemon d;
+      let port = Daemon.port d in
+      let pre =
+        report_string
+          (Serve.Store.report (Daemon.store d)
+             ~unique_codes:(Daemon.unique_codes d))
+      in
+      (* Health surface before the drain. *)
+      let health = get_ok (call_daemon d "health" []) in
+      check_b "healthy" true (field "status" health = Json.String "ok");
+      check_b "not draining" true (field "draining" health = Json.Bool false);
+      let ready = get_ok (call_daemon d "ready" []) in
+      check_b "ready" true (field "ready" ready = Json.Bool true);
+      Daemon.request_drain d;
+      check_b "draining flag" true (Daemon.is_draining d);
+      (* Readiness flipped first and the gauges agree. *)
+      let reg = Daemon.registry d in
+      let gauge name =
+        match Obs.Metrics.find reg name with
+        | Some fam -> Obs.Metrics.value reg fam
+        | None -> Alcotest.failf "gauge %s missing" name
+      in
+      check_b "ready gauge dropped" true
+        (gauge "proxion_serve_ready" = Some 0.0);
+      check_b "draining gauge raised" true
+        (gauge "proxion_serve_draining" = Some 1.0);
+      (* While draining: health answers, readiness says no, queries are
+         refused with the structured overloaded error... *)
+      let health = get_ok (call_daemon d "health" []) in
+      check_b "still alive" true (field "draining" health = Json.Bool true);
+      let ready = get_ok (call_daemon d "ready" []) in
+      check_b "no longer ready" true (field "ready" ready = Json.Bool false);
+      (match call_daemon d "get_status" [] with
+      | Error e -> check_i "drain gate" Wire.err_overloaded e.Wire.code
+      | Ok _ -> Alcotest.fail "expected queries to be refused while draining");
+      (* ...and the listener sheds fresh connections the same way. *)
+      let fd = connect_raw port in
+      expect_wire_error ~what:"drain shed" Wire.err_overloaded fd;
+      Unix.close fd;
+      (* wait completes the drain: domains joined, journal flushed. *)
+      Daemon.wait d;
+      (* Warm restart over the intact journal serves byte-identical
+         answers — the drain lost nothing. *)
+      let land2 = Generate.generate small_config in
+      match Daemon.create ~config land2 with
+      | Error e -> Alcotest.failf "warm restart after drain: %s" e
+      | Ok d2 ->
+          check_b "recovered warm" true (Daemon.recovered d2);
+          let post =
+            report_string
+              (Serve.Store.report (Daemon.store d2)
+                 ~unique_codes:(Daemon.unique_codes d2))
+          in
+          check_s "byte-identical after drain + warm restart" pre post)
+
+(* Seeded garbage frames: whatever one connection throws at the daemon,
+   the next well-formed request on a fresh connection is answered. *)
+let test_frame_fuzzer () =
+  let d, _ = make_daemon () in
+  start_daemon d;
+  let port = Daemon.port d in
+  let prng = Dataset.Prng.create 0xF0CC1A in
+  let raw_header n =
+    let b = Bytes.create 4 in
+    Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+    Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+    Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+    Bytes.set_uint8 b 3 (n land 0xff);
+    Bytes.to_string b
+  in
+  let garbage () =
+    match Dataset.Prng.int prng 4 with
+    | 0 ->
+        (* Raw byte soup, length prefix included. *)
+        String.init
+          (1 + Dataset.Prng.int prng 64)
+          (fun _ -> Char.chr (Dataset.Prng.int prng 256))
+    | 1 ->
+        (* Header that lies: declares more than it sends. *)
+        raw_header (32 + Dataset.Prng.int prng 64) ^ "{\"proxion_rpc\":1,\"met"
+    | 2 ->
+        (* Oversized declaration. *)
+        raw_header (Wire.default_max_frame + 1 + Dataset.Prng.int prng 100_000)
+    | _ ->
+        (* Well-framed non-JSON. *)
+        Wire.encode_frame "}{ not json !!"
+  in
+  for round = 1 to 25 do
+    let fd = connect_raw port in
+    let s = garbage () in
+    (try ignore (Unix.write_substring fd s 0 (String.length s))
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match Serve.Client.connect ~timeout_ms:5_000 ~port () with
+    | Error e -> Alcotest.failf "round %d: connect: %s" round e
+    | Ok c ->
+        (match Serve.Client.call c ~meth:"get_status" ~params:[] with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "round %d: call: %s" round e);
+        Serve.Client.close c
+  done;
+  Daemon.stop d
+
+(* The client-side receive timeout: a server that accepts the handshake
+   but never answers cannot hang the caller. *)
+let test_client_timeout () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", 0));
+      Unix.listen fd 4;
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> Alcotest.fail "no port"
+      in
+      (* The kernel completes the handshake via the backlog; nothing
+         ever accepts or replies. *)
+      match Serve.Client.connect ~timeout_ms:300 ~port () with
+      | Error e -> Alcotest.failf "connect: %s" e
+      | Ok c ->
+          let t0 = Unix.gettimeofday () in
+          (match Serve.Client.call c ~meth:"get_status" ~params:[] with
+          | Error e ->
+              check_b "receive timeout surfaced" true
+                (e = "receive timed out")
+          | Ok _ -> Alcotest.fail "got an answer from a mute server");
+          let waited = Unix.gettimeofday () -. t0 in
+          check_b "timed out promptly" true (waited < 3.0);
+          Serve.Client.close c)
+
 let suite =
   [
     Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
@@ -491,4 +796,17 @@ let suite =
     Alcotest.test_case "warm recovery from journal" `Quick test_warm_recovery;
     Alcotest.test_case "concurrent clients over TCP" `Quick
       test_concurrent_clients;
+    Alcotest.test_case "EPIPE mid-reply does not kill the daemon" `Quick
+      test_sigpipe_mid_reply;
+    Alcotest.test_case "admission control sheds past max_conns" `Quick
+      test_admission_shed;
+    Alcotest.test_case "idle deadline cuts a slowloris writer" `Quick
+      test_idle_timeout;
+    Alcotest.test_case "request deadlines under a virtual clock" `Quick
+      test_deadline_virtual_clock;
+    Alcotest.test_case "graceful drain with warm-restart identity" `Quick
+      test_drain_lifecycle;
+    Alcotest.test_case "frame fuzzer leaves the daemon serving" `Quick
+      test_frame_fuzzer;
+    Alcotest.test_case "client receive timeout" `Quick test_client_timeout;
   ]
