@@ -50,6 +50,27 @@ let overload_max_conns = 8
 let overload_queue_limit = 4
 let overload_idle_ms = 500
 
+(* Reorg/failover sweep (schema 3): reorg depth x endpoint-pool size,
+   measuring incremental re-analysis cost and finding retractions under
+   seeded rollbacks, plus a transport-level failover microbench (wall
+   cost of losing the primary as the pool grows). *)
+let reorg_depth_sweep = [ 0; 3 ]
+let reorg_endpoint_sweep = [ 1; 3 ]
+let reorg_advances = 10
+
+(* Advance seed pinned so depth-3 reorgs actually orphan deployments
+   within [reorg_advances] (upgrades pad the chain with empty blocks,
+   making deep-enough rollbacks rare under most seeds). *)
+let reorg_advance_seed = 28
+
+let reorg_config =
+  { Generate.quick_config with Generate.total = 400; seed = 42 }
+
+let failover_endpoint_sweep = [ 1; 2; 3 ]
+let failover_calls = 200
+let failover_fault_rate = 0.9
+let failover_fault_seed = 9
+
 let shed_reasons = [ "draining"; "max_conns"; "queue_full" ]
 
 let shed_counts registry =
@@ -73,6 +94,150 @@ let cold_report (land_ : Generate.t) =
   Proxion.Analyzer.submit_all t;
   Proxion.Analyzer.run t;
   Proxion.Analyzer.report t
+
+let report_string r =
+  Report.Json.to_string (Proxion.Serialize.report_to_json r)
+
+(* Endpoint pool for the reorg sweep: [n] archive endpoints, the third
+   one Byzantine at 25% so quorum voting has real work to do. *)
+let reorg_pool n =
+  let endpoints =
+    List.init n (fun i ->
+        let name = Printf.sprintf "archive-%d" (i + 1) in
+        if i = 2 then
+          Resilience.Transport.endpoint ~byzantine:0.25 ~byz_seed:1 name
+        else Resilience.Transport.endpoint name)
+  in
+  Resilience.Transport.config ~endpoints ~quorum:(min 2 n) ()
+
+(* One (depth, endpoints) cell: fresh landscape, resident daemon with a
+   scripted reorg-capable advancer, [reorg_advances] increments, then
+   the byte-identity witness against a cold re-run. *)
+let reorg_cell ~depth ~endpoints:n =
+  let land_ = Generate.generate reorg_config in
+  (* Deployment-only advances with the full 5-shape cycle: the last
+     shape is the finding-bearing honeypot pair, and with no upgrade
+     events padding the tail with empty blocks it sits at the chain tip
+     where a depth-2+ rollback can orphan it — making the sweep's
+     retraction counts a real signal rather than structurally zero. *)
+  let spec =
+    { Serve.Advance.deployments = 5; upgrades = 0; reorg_depth = depth }
+  in
+  let config =
+    Serve.Config.(
+      default |> with_workers 2
+      |> with_analysis analysis_config
+      |> with_advance_seed reorg_advance_seed
+      |> with_advance_spec spec
+      |> with_resilience (reorg_pool n))
+  in
+  let daemon, analyze_s =
+    time (fun () ->
+        match Serve.Daemon.create ~config land_ with
+        | Ok d -> d
+        | Error e -> failwith ("reorg daemon create: " ^ e))
+  in
+  let dirty = ref 0 and fresh = ref 0 and retracted = ref 0 in
+  let _, adv_s =
+    time (fun () ->
+        for _ = 1 to reorg_advances do
+          let r = Serve.Daemon.advance daemon in
+          dirty := !dirty + r.Serve.Daemon.adv_dirty;
+          fresh := !fresh + r.Serve.Daemon.adv_new;
+          retracted := !retracted + r.Serve.Daemon.adv_retracted
+        done)
+  in
+  let reorgs = List.length (Serve.Daemon.reorgs daemon) in
+  let warm =
+    Serve.Store.report
+      (Serve.Daemon.store daemon)
+      ~unique_codes:(Serve.Daemon.unique_codes daemon)
+  in
+  let identical = report_string (cold_report land_) = report_string warm in
+  Serve.Daemon.stop daemon;
+  Printf.eprintf
+    "  depth %d x %d endpoints: %d reorgs, %d retracted, %d dirty + %d new \
+     in %.3fs (identical=%b)\n\
+     %!"
+    depth n reorgs !retracted !dirty !fresh adv_s identical;
+  Json.Obj
+    [
+      ("reorg_depth", Json.Int depth);
+      ("endpoints", Json.Int n);
+      ("advances", Json.Int reorg_advances);
+      ("reorgs", Json.Int reorgs);
+      ("retracted_findings", Json.Int !retracted);
+      ("dirty_subjects", Json.Int !dirty);
+      ("new_subjects", Json.Int !fresh);
+      ("store_size", Json.Int (Serve.Store.size (Serve.Daemon.store daemon)));
+      ("initial_analysis_seconds", Json.Float analyze_s);
+      ("advance_seconds_total", Json.Float adv_s);
+      ( "advance_seconds_mean",
+        Json.Float (adv_s /. float_of_int reorg_advances) );
+      ("identical_to_cold", Json.Bool identical);
+    ]
+
+(* Failover microbench: the primary endpoint drops [failover_fault_rate]
+   of its calls; measure the wall cost per canonical answer as healthy
+   fallbacks are added to the pool (quorum 1 = health-ranked failover). *)
+let failover_row n =
+  let chain = Chain.create () in
+  let subject = Chain.install_contract chain ~runtime:"\x00" () in
+  for slot = 0 to 7 do
+    Chain.set_storage_direct chain subject (U256.of_int slot)
+      (U256.of_int (100 + slot))
+  done;
+  Chain.advance_blocks chain 12;
+  let endpoints =
+    List.init n (fun i ->
+        let name = Printf.sprintf "archive-%d" (i + 1) in
+        if i = 0 then
+          Resilience.Transport.endpoint
+            ~plan:
+              (Resilience.Fault_plan.spec ~seed:failover_fault_seed
+                 ~fault_rate:failover_fault_rate ())
+            name
+        else Resilience.Transport.endpoint name)
+  in
+  let cfg = Resilience.Transport.config ~endpoints ~quorum:1 () in
+  let t = Resilience.Transport.create ~config:cfg ~chain () in
+  let ok = ref 0 in
+  let (), wall_s =
+    time (fun () ->
+        for i = 1 to failover_calls do
+          let params =
+            [
+              Evm.Address.to_hex subject;
+              Printf.sprintf "0x%x" (i mod 8);
+              "latest";
+            ]
+          in
+          match Resilience.Transport.call t ~meth:"eth_getStorageAt" ~params with
+          | Ok _ -> incr ok
+          | Error _ -> ()
+        done)
+  in
+  let st = Resilience.Transport.stats t in
+  Printf.eprintf
+    "  failover %d endpoints: %d/%d ok, %d retries, %d breaker opens, \
+     %.2f virtual s, %.3fs wall\n\
+     %!"
+    n !ok failover_calls st.Resilience.Transport.retries
+    st.Resilience.Transport.breaker_opens
+    st.Resilience.Transport.virtual_elapsed wall_s;
+  Json.Obj
+    [
+      ("endpoints", Json.Int n);
+      ("calls", Json.Int failover_calls);
+      ("ok", Json.Int !ok);
+      ("retries", Json.Int st.Resilience.Transport.retries);
+      ("gave_up", Json.Int st.Resilience.Transport.gave_up);
+      ("breaker_opens", Json.Int st.Resilience.Transport.breaker_opens);
+      ("virtual_seconds", Json.Float st.Resilience.Transport.virtual_elapsed);
+      ("wall_seconds", Json.Float wall_s);
+      ( "mean_call_ms",
+        Json.Float (wall_s *. 1000.0 /. float_of_int failover_calls) );
+    ]
 
 let () =
   let land_ = Generate.generate bench_config in
@@ -115,7 +280,6 @@ let () =
      daemon and compare each increment's wall clock against a cold full
      re-analysis of the advanced chain (which also witnesses the
      byte-identity contract). *)
-  let report_string r = Json.to_string (Proxion.Serialize.report_to_json r) in
   let incremental =
     List.init advances (fun i ->
         let result, inc_s = time (fun () -> Serve.Daemon.advance daemon) in
@@ -219,6 +383,20 @@ let () =
       attacker_sweep
   in
   Serve.Daemon.stop overload_daemon;
+  (* 4. Reorg sweep: re-analysis cost and retraction volume under seeded
+     rollbacks, across reorg depth and endpoint-pool size. *)
+  Printf.eprintf "reorg sweep...\n%!";
+  let reorg_sweep =
+    List.concat_map
+      (fun depth ->
+        List.map
+          (fun n -> reorg_cell ~depth ~endpoints:n)
+          reorg_endpoint_sweep)
+      reorg_depth_sweep
+  in
+  (* 5. Failover microbench: cost of a flaky primary vs pool size. *)
+  Printf.eprintf "failover sweep...\n%!";
+  let failover = List.map failover_row failover_endpoint_sweep in
   let mean_speedup =
     let total, n =
       List.fold_left
@@ -235,7 +413,7 @@ let () =
   let json =
     Json.Obj
       [
-        ("schema_version", Json.Int 2);
+        ("schema_version", Json.Int 3);
         ("git_rev", Json.String (git_rev ()));
         ("cores", Json.Int (Domain.recommended_domain_count ()));
         ( "config",
@@ -255,12 +433,35 @@ let () =
                     ("queue_limit", Json.Int overload_queue_limit);
                     ("idle_timeout_ms", Json.Int overload_idle_ms);
                   ] );
+              ( "reorg",
+                Json.Obj
+                  [
+                    ("total", Json.Int reorg_config.Generate.total);
+                    ( "depth_sweep",
+                      Json.List
+                        (List.map (fun d -> Json.Int d) reorg_depth_sweep) );
+                    ( "endpoint_sweep",
+                      Json.List
+                        (List.map (fun n -> Json.Int n) reorg_endpoint_sweep)
+                    );
+                    ("advances", Json.Int reorg_advances);
+                    ("advance_seed", Json.Int reorg_advance_seed);
+                  ] );
+              ( "failover",
+                Json.Obj
+                  [
+                    ("calls", Json.Int failover_calls);
+                    ("fault_rate", Json.Float failover_fault_rate);
+                    ("fault_seed", Json.Int failover_fault_seed);
+                  ] );
             ] );
         ("startup_seconds", Json.Float startup_s);
         ("sweep", Json.List sweep);
         ("overload", Json.List overload);
         ("incremental", Json.List incremental);
         ("incremental_speedup_mean", Json.Float mean_speedup);
+        ("reorg_sweep", Json.List reorg_sweep);
+        ("failover", Json.List failover);
       ]
   in
   Out_channel.with_open_text out_path (fun oc ->

@@ -42,6 +42,8 @@ module Faults_spec = struct
     seed : int;
     latency : float;
     watchdog_steps : int option;
+    endpoints : int;
+    quorum : int;
   }
 
   let term =
@@ -80,28 +82,66 @@ module Faults_spec = struct
                budget-exhausted after $(docv) steps instead of stalling its \
                worker.")
     in
+    let endpoints =
+      Arg.(
+        value & opt int 1
+        & info [ "endpoints" ] ~docv:"N"
+            ~doc:
+              "Size of the simulated archive endpoint pool (default 1).  \
+               With N > 1 the transport fails over between endpoints and \
+               can cross-validate answers (see --quorum); each endpoint \
+               gets its own fault stream derived from --fault-seed.")
+    in
+    let quorum =
+      Arg.(
+        value & opt int 1
+        & info [ "quorum" ] ~docv:"K"
+            ~doc:
+              "Require $(docv)-of-N identical answers before an RPC result \
+               is consumed (default 1 = first healthy endpoint wins).  A \
+               disagreeing endpoint is quarantined via its circuit \
+               breaker.  Requires --endpoints >= $(docv).")
+    in
     Term.(
-      const (fun rate seed latency watchdog_steps ->
-          { rate; seed; latency; watchdog_steps })
-      $ rate $ seed $ latency $ watchdog)
+      const (fun rate seed latency watchdog_steps endpoints quorum ->
+          { rate; seed; latency; watchdog_steps; endpoints; quorum })
+      $ rate $ seed $ latency $ watchdog $ endpoints $ quorum)
 
   let validate t =
     if t.rate < 0.0 || t.rate >= 1.0 then
       Error "--fault-rate must be in [0, 1)"
+    else if t.endpoints < 1 then Error "--endpoints must be at least 1"
+    else if t.quorum < 1 || t.quorum > t.endpoints then
+      Error "--quorum must be in [1, --endpoints]"
     else
       match t.watchdog_steps with
       | Some w when w <= 0 -> Error "--watchdog-steps must be positive"
       | _ -> Ok t
 
   let resilience t =
-    let plan =
+    (* Each endpoint draws from its own fault stream; endpoint 0's seed
+       is --fault-seed itself, so a single-endpoint pool reproduces the
+       legacy injection stream exactly. *)
+    let plan_for i =
       if t.rate > 0.0 || t.latency > 0.0 then
         Some
-          (Resilience.Fault_plan.spec ~seed:t.seed ~fault_rate:t.rate
-             ~mean_latency:t.latency ())
+          (Resilience.Fault_plan.spec
+             ~seed:(t.seed lxor (0x9e3779b9 * i))
+             ~fault_rate:t.rate ~mean_latency:t.latency ())
       else None
     in
-    Resilience.Transport.config ?plan ?step_budget:t.watchdog_steps ()
+    if t.endpoints <= 1 then
+      Resilience.Transport.config ?plan:(plan_for 0)
+        ?step_budget:t.watchdog_steps ()
+    else
+      let eps =
+        List.init t.endpoints (fun i ->
+            Resilience.Transport.endpoint ?plan:(plan_for i)
+              (Printf.sprintf "archive-%d" (i + 1)))
+      in
+      Resilience.Transport.config ?step_budget:t.watchdog_steps ()
+      |> Resilience.Transport.with_endpoints eps
+      |> Resilience.Transport.with_quorum t.quorum
 end
 
 (* --- telemetry: progress logging, metrics and trace outputs -------------- *)
@@ -235,4 +275,14 @@ module Journal_spec = struct
   let term ~doc =
     Arg.(
       value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+  let fsync_term =
+    Arg.(
+      value & opt bool true
+      & info [ "journal-fsync" ] ~docv:"BOOL"
+          ~doc:
+            "Fsync journal commits to stable storage (default true).  \
+             $(b,--journal-fsync=false) trades crash-durability of the \
+             last batch for speed — tests and benchmarks only.  The mode \
+             is recorded in the journal header.")
 end

@@ -202,9 +202,9 @@ let run_stream_scan chain faults telemetry stream_batch batch_size domains =
   | None -> ());
   if outputs_failed then 1 else 0
 
-let run_scan ~deprecated chain faults telemetry journal_path findings
-    batch_size domains checkpoint_path resume_path max_batches retry_skipped
-    stream =
+let run_scan ~deprecated chain faults telemetry journal_path journal_fsync
+    findings batch_size domains checkpoint_path resume_path max_batches
+    retry_skipped stream =
   if deprecated then
     prerr_endline
       "warning: `proxion landscape` is a deprecated alias; use `proxion scan`";
@@ -267,7 +267,7 @@ let run_scan ~deprecated chain faults telemetry journal_path findings
     match journal_path with
     | None -> Ok None
     | Some path -> (
-        match Resilience.Journal.open_journal path with
+        match Resilience.Journal.open_journal ~fsync:journal_fsync path with
         | Ok (j, recovery) -> Ok (Some (j, recovery))
         | Error e -> Error e)
   in
@@ -523,9 +523,9 @@ let scan_term ~deprecated =
   Term.(
     const (run_scan ~deprecated)
     $ Chain_spec.term () $ Faults_spec.term $ Telemetry_spec.term
-    $ journal_arg $ findings_arg $ batch_size_arg $ domains_arg
-    $ checkpoint_arg $ resume_arg $ max_batches_arg $ retry_skipped_arg
-    $ stream_arg)
+    $ journal_arg $ Journal_spec.fsync_term $ findings_arg $ batch_size_arg
+    $ domains_arg $ checkpoint_arg $ resume_arg $ max_batches_arg
+    $ retry_skipped_arg $ stream_arg)
 
 let scan_cmd =
   let doc =
@@ -540,9 +540,15 @@ let landscape_cmd =
 
 (* --- serve: the resident analysis daemon --------------------------------- *)
 
-let run_serve chain host port workers backlog max_conns queue_limit
+let run_serve chain faults host port workers backlog max_conns queue_limit
     idle_timeout_ms request_deadline_ms drain_grace_ms journal_path
-    advance_seed deployments upgrades batch_size domains log_json log_level =
+    journal_fsync advance_seed deployments upgrades reorg_depth batch_size
+    domains log_json log_level =
+  match Faults_spec.validate faults with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      1
+  | Ok faults ->
   let analysis =
     Proxion.Pipeline.Config.default
     |> (match batch_size with
@@ -561,9 +567,11 @@ let run_serve chain host port workers backlog max_conns queue_limit
       |> with_request_deadline_ms request_deadline_ms
       |> with_drain_grace_ms drain_grace_ms
       |> with_journal journal_path
+      |> with_journal_fsync journal_fsync
       |> with_advance_seed advance_seed
-      |> with_advance_spec { Serve.Advance.deployments; upgrades }
-      |> with_analysis analysis)
+      |> with_advance_spec { Serve.Advance.deployments; upgrades; reorg_depth }
+      |> with_analysis analysis
+      |> with_resilience (Faults_spec.resilience faults))
   in
   let registry = Obs.Metrics.create () in
   let log = Obs.Log.create ~level:log_level ~json:log_json stderr in
@@ -687,6 +695,17 @@ let serve_cmd =
       & info [ "advance-upgrades" ] ~docv:"N"
           ~doc:"Proxy upgrade events per advance.")
   in
+  let reorg_depth_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "reorg-depth" ] ~docv:"K"
+          ~doc:
+            "Maximum blocks a seeded chain reorganization may roll back \
+             before an advance (default 0 = no reorgs).  Orphaned \
+             subjects are retracted from the store and the divergent \
+             suffix re-analyzed; the store stays byte-identical to a \
+             cold re-run over the post-reorg chain.")
+  in
   let batch_size_arg =
     Arg.(
       value
@@ -723,11 +742,12 @@ let serve_cmd =
     Term.(
       const run_serve
       $ Chain_spec.term ~default_total:2_000 ()
-      $ host_arg $ port_arg $ workers_arg $ backlog_arg $ max_conns_arg
-      $ queue_limit_arg $ idle_timeout_arg $ request_deadline_arg
-      $ drain_grace_arg $ journal_arg $ advance_seed_arg $ deployments_arg
-      $ upgrades_arg $ batch_size_arg $ domains_arg $ log_json_arg
-      $ log_level_arg)
+      $ Faults_spec.term $ host_arg $ port_arg $ workers_arg $ backlog_arg
+      $ max_conns_arg $ queue_limit_arg $ idle_timeout_arg
+      $ request_deadline_arg $ drain_grace_arg $ journal_arg
+      $ Journal_spec.fsync_term $ advance_seed_arg $ deployments_arg
+      $ upgrades_arg $ reorg_depth_arg $ batch_size_arg $ domains_arg
+      $ log_json_arg $ log_level_arg)
 
 (* --- query: the thin wire client ----------------------------------------- *)
 
@@ -797,7 +817,7 @@ let query_cmd =
       & info [] ~docv:"METHOD"
           ~doc:
             "Wire method: get_status, is_proxy, logic_history, collisions, \
-             list_findings, report, metrics, advance, shutdown.")
+             list_findings, report, metrics, advance, reorgs, shutdown.")
   in
   let params_arg =
     Arg.(

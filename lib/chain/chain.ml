@@ -62,6 +62,10 @@ type t = {
   mutable api_calls : int;
   method_calls : (string, int) Hashtbl.t;
   mutable install_nonce : int;
+  (* (deploy height, nonce after the install), newest first — the undo
+     log that lets a reorg rewind the installer nonce so re-mined
+     deployments reuse the orphaned fork's addresses, as CREATE does. *)
+  mutable nonce_marks : (int * int) list;
 }
 
 let create ?(block = Host.default_block) () =
@@ -80,6 +84,7 @@ let create ?(block = Host.default_block) () =
     api_calls = 0;
     method_calls = Hashtbl.create 8;
     install_nonce = 0;
+    nonce_marks = [];
   }
 
 let height t = t.head
@@ -314,6 +319,7 @@ let install_contract t ?(creator = installer) ~runtime () =
     Rlp.contract_address ~sender:creator ~nonce:t.install_nonce
   in
   t.install_nonce <- t.install_nonce + 1;
+  t.nonce_marks <- (t.head, t.install_nonce) :: t.nonce_marks;
   t.state.Host.create_account address ~code:runtime;
   register_contract t ~address ~creator;
   t.head <- t.head + 1;
@@ -379,6 +385,87 @@ let forget_contract t addr =
     t.admin.Host.drop_account addr;
     Hashtbl.replace t.dropped addr ();
     if Hashtbl.length t.dropped >= sweep_threshold then compact t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reorg rewind                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type rewind_summary = {
+  rw_orphaned : Address.t list;
+  rw_reverted_writes : Address.t list;
+}
+
+(* Roll the head back to [height], dropping every block above it: the
+   inverse of the recording paths, reconstructed entirely from the
+   height-tagged indexes (slot history, deploy heights, tx heights,
+   nonce marks), so a rewind followed by re-mining the same blocks is
+   byte-identical to never having rewound.  Like eviction, this is an
+   owner-side operation — never run it concurrently with worker
+   views. *)
+let rewind_to t ~height =
+  if height >= t.head then { rw_orphaned = []; rw_reverted_writes = [] }
+  else begin
+    (* An event in block [h] leaves the head at [h + 1], so a head of
+       [height] retains exactly the events with [h < height] — the
+       orphaned region is [h >= height]. *)
+    (* Contracts deployed on orphaned blocks disappear outright,
+       account and all (deployment order, for deterministic consumers). *)
+    let orphaned_meta =
+      List.filter (fun m -> m.cm_deploy_height >= height) t.contract_order
+    in
+    let orphaned = List.rev_map (fun m -> m.cm_address) orphaned_meta in
+    t.admin.Host.commit ();
+    List.iter
+      (fun a ->
+        t.admin.Host.drop_account a;
+        Hashtbl.remove t.contracts a;
+        Hashtbl.remove t.dropped a)
+      orphaned;
+    t.contract_order <-
+      List.filter (fun m -> m.cm_deploy_height < height) t.contract_order;
+    let orphan_tbl = Hashtbl.create 16 in
+    List.iter (fun a -> Hashtbl.replace orphan_tbl a ()) orphaned;
+    (* Truncate slot histories past [height] and restore the surviving
+       accounts' head-state values to what the canonical chain held. *)
+    let reverted = ref [] in
+    let doomed = ref [] in
+    Slot_tbl.iter
+      (fun key entries ->
+        match !entries with
+        | (h, _) :: _ when h >= height ->
+            let keep = List.filter (fun (h, _) -> h < height) !entries in
+            entries := keep;
+            if keep = [] then doomed := key :: !doomed;
+            if not (Hashtbl.mem orphan_tbl key.sk_addr) then begin
+              let v = match keep with (_, v) :: _ -> v | [] -> U256.zero in
+              t.state.Host.set_storage key.sk_addr key.sk_slot v;
+              reverted := key.sk_addr :: !reverted
+            end
+        | _ -> ())
+      t.history;
+    List.iter (Slot_tbl.remove t.history) !doomed;
+    (* Transactions mined on orphaned blocks never happened. *)
+    t.txs <- List.filter (fun r -> r.tx_height < height) t.txs;
+    let empty_buckets =
+      Hashtbl.fold
+        (fun a r acc ->
+          r := List.filter (fun tx -> tx.tx_height < height) !r;
+          if !r = [] then a :: acc else acc)
+        t.tx_index []
+    in
+    List.iter (Hashtbl.remove t.tx_index) empty_buckets;
+    (* Rewind the installer nonce so re-mined deployments reuse the
+       fork's addresses, exactly as CREATE would on a real chain. *)
+    t.nonce_marks <- List.filter (fun (h, _) -> h < height) t.nonce_marks;
+    t.install_nonce <-
+      (match t.nonce_marks with (_, n) :: _ -> n | [] -> 0);
+    t.head <- height;
+    t.admin.Host.commit ();
+    {
+      rw_orphaned = orphaned;
+      rw_reverted_writes = List.sort_uniq Address.compare !reverted;
+    }
   end
 
 (* ------------------------------------------------------------------ *)

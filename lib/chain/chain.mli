@@ -119,6 +119,29 @@ val compact : t -> unit
 (** Run the index sweep now instead of waiting for the eviction threshold —
     useful at end of run and in tests asserting post-eviction state. *)
 
+(** {1 Reorg rewind} *)
+
+(** What a rewind undid, for the incremental-analysis layer. *)
+type rewind_summary = {
+  rw_orphaned : Evm.Address.t list;
+      (** Contracts whose deployment was orphaned (deployment order);
+          their accounts and index entries are gone. *)
+  rw_reverted_writes : Evm.Address.t list;
+      (** Surviving contracts whose storage was rolled back (sorted,
+          deduplicated). *)
+}
+
+val rewind_to : t -> height:int -> rewind_summary
+(** Roll the head back to [height], dropping every block above it: the
+    inverse of the recording paths.  Orphaned deployments lose their
+    accounts, slot histories truncate (and surviving accounts' head
+    values restore to the canonical state at [height]), orphaned
+    transactions vanish from the indexes, and the installer nonce
+    rewinds so re-mined deployments reuse the fork's addresses — a
+    rewind followed by re-mining the same blocks is byte-identical to
+    never having rewound.  Owner-side: never call while worker views
+    are live.  No-op when [height >= height t]. *)
+
 (** {1 Archive queries} *)
 
 val get_storage_at : t -> Evm.Address.t -> U256.t -> height:int -> U256.t

@@ -19,6 +19,9 @@ type telemetry = {
   tm_sample : int;
   tm_rpc_attempts : Obs.Metrics.family;
   tm_api_methods : Obs.Metrics.family;
+  tm_endpoint_attempts : Obs.Metrics.family;
+  tm_endpoint_disagreements : Obs.Metrics.family;
+  tm_endpoint_hedges : Obs.Metrics.family;
   tm_item_steps : Obs.Metrics.family;
   tm_fuel_used : Obs.Metrics.family;
   tm_evm_frames : Obs.Metrics.family;
@@ -376,7 +379,21 @@ let make_transport t ctx addr chain obs =
           (Engine.Circuit_opened { endpoint; subject; failures; worker })
     | Resilience.Transport.Circuit_closed { endpoint } ->
         Engine.emit_from ctx (Engine.Circuit_closed { endpoint; subject; worker })
-    | Resilience.Transport.Dispatched { meth; fault; latency } -> (
+    | Resilience.Transport.Quorum_disagreement { meth = _; endpoint } -> (
+        match (t.telemetry, obs) with
+        | Some tm, Some io ->
+            Obs.Metrics.inc
+              ~labels:[ ("endpoint", endpoint) ]
+              io.io_shard tm.tm_endpoint_disagreements
+        | _ -> ())
+    | Resilience.Transport.Hedged { meth = _; primary = _; secondary } -> (
+        match (t.telemetry, obs) with
+        | Some tm, Some io ->
+            Obs.Metrics.inc
+              ~labels:[ ("endpoint", secondary) ]
+              io.io_shard tm.tm_endpoint_hedges
+        | _ -> ())
+    | Resilience.Transport.Dispatched { endpoint; meth; fault; latency } -> (
         match (t.telemetry, obs) with
         | Some tm, Some io -> (
             let outcome = Option.value ~default:"ok" fault in
@@ -386,6 +403,9 @@ let make_transport t ctx addr chain obs =
                Obs.Metrics.inc
                  ~labels:[ ("method", meth); ("outcome", outcome) ]
                  io.io_shard tm.tm_rpc_attempts);
+            Obs.Metrics.inc
+              ~labels:[ ("endpoint", endpoint); ("outcome", outcome) ]
+              io.io_shard tm.tm_endpoint_attempts;
             match tm.tm_trace with
             | Some tr when io.io_sampled ->
                 (* Worker-lane RPC detail on track worker+1, real-time
@@ -696,6 +716,18 @@ let instrument ?trace ?log ?(trace_sample = 16) registry t =
   and dedup_hits =
     Obs.Metrics.counter registry ~help:"Bytecode-dedup cache hits"
       "proxion_dedup_hits_total"
+  and endpoint_attempts =
+    Obs.Metrics.counter registry
+      ~help:"RPC round-trip attempts per chain endpoint and outcome"
+      "proxion_chain_endpoint_attempts_total"
+  and endpoint_disagreements =
+    Obs.Metrics.counter registry
+      ~help:"Quorum votes lost per chain endpoint (each quarantines it)"
+      "proxion_chain_endpoint_disagreements_total"
+  and endpoint_hedges =
+    Obs.Metrics.counter registry
+      ~help:"Hedged requests raced per secondary chain endpoint"
+      "proxion_chain_endpoint_hedges_total"
   in
   let tm =
     {
@@ -704,6 +736,9 @@ let instrument ?trace ?log ?(trace_sample = 16) registry t =
       tm_sample = trace_sample;
       tm_rpc_attempts = rpc_attempts;
       tm_api_methods = api_methods;
+      tm_endpoint_attempts = endpoint_attempts;
+      tm_endpoint_disagreements = endpoint_disagreements;
+      tm_endpoint_hedges = endpoint_hedges;
       tm_item_steps = item_steps;
       tm_fuel_used = fuel_used;
       tm_evm_frames = evm_frames;

@@ -74,3 +74,10 @@ let record_failure t =
   | Half_open -> trip t
   | Closed when t.consecutive_failures >= t.cfg.failure_threshold -> trip t
   | Closed | Open -> ()
+
+let quarantine t =
+  (* A quorum disagreement is stronger evidence than any failure streak:
+     trip immediately regardless of state so the endpoint sits out a full
+     cooldown before its next probe. *)
+  t.consecutive_failures <- max t.consecutive_failures t.cfg.failure_threshold;
+  match t.st with Open -> () | Closed | Half_open -> trip t

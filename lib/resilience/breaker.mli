@@ -46,3 +46,9 @@ val await_ready : t -> unit
 
 val record_success : t -> unit
 val record_failure : t -> unit
+
+val quarantine : t -> unit
+(** Trip the circuit immediately, regardless of the failure streak —
+    used when an endpoint is caught disagreeing with the quorum, which
+    is stronger evidence of a bad node than any transient failure.
+    No-op when already open. *)

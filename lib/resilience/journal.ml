@@ -5,8 +5,16 @@
      [j_size] or an atomic whole-file replacement (compaction), so a kill
      at any instant leaves a file recovery can truncate back to a commit. *)
 
-let magic = "PXJRNL01"
-let header_len = String.length magic
+let magic = "PXJRNL02"
+let legacy_magic = "PXJRNL01"
+let magic_len = String.length magic
+
+(* The v2 header records the durability mode the journal was written
+   under: magic, then one byte — 'S' when commits fsync to stable
+   storage, 'U' when they do not.  v1 files (bare magic) still open. *)
+let header_len = magic_len + 1
+let durability_byte fsync = if fsync then 'S' else 'U'
+let header fsync = magic ^ String.make 1 (durability_byte fsync)
 let frame_header_len = 9 (* kind byte + 4-byte length + 4-byte CRC32 *)
 
 (* ------------------------------------------------------------------ *)
@@ -50,7 +58,7 @@ let u32 s off = Int32.to_int (String.get_int32_be s off) land 0xFFFFFFFF
    mismatch, or a non-empty commit.  Returns the last payload a commit
    covers, the offset just past that commit, and how many record frames
    the commit retains. *)
-let scan data =
+let scan ~start data =
   let file_len = String.length data in
   let rec go pos last_record state end_ok count_ok records =
     if pos + frame_header_len > file_len then (state, end_ok, count_ok)
@@ -70,7 +78,7 @@ let scan data =
             else go next last_record last_record next records records
           else go next (Some payload) state end_ok count_ok (records + 1)
   in
-  go header_len None None header_len 0 0
+  go start None None start 0 0
 
 (* ------------------------------------------------------------------ *)
 (* The store                                                           *)
@@ -90,6 +98,7 @@ type recovery = {
   rec_state : string option;
   rec_committed : int;
   rec_dropped_bytes : int;
+  rec_durable : bool option;
 }
 
 let path t = t.j_path
@@ -120,7 +129,7 @@ let open_journal ?(fsync = true) ?(compact_bytes = 64 * 1024 * 1024) path =
         let fd =
           Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
         in
-        write_all fd (Bytes.of_string magic);
+        write_all fd (Bytes.of_string (header fsync));
         let t =
           {
             j_path = path;
@@ -133,14 +142,30 @@ let open_journal ?(fsync = true) ?(compact_bytes = 64 * 1024 * 1024) path =
           }
         in
         sync t;
-        (t, { rec_state = None; rec_committed = 0; rec_dropped_bytes = 0 })
+        ( t,
+          {
+            rec_state = None;
+            rec_committed = 0;
+            rec_dropped_bytes = 0;
+            rec_durable = Some fsync;
+          } )
       end
       else begin
         let data = In_channel.with_open_bin path In_channel.input_all in
         let file_len = String.length data in
-        if file_len < header_len || String.sub data 0 header_len <> magic then
-          fail (path ^ ": not a journal (bad magic)");
-        let state, valid_end, committed = scan data in
+        let start, durable =
+          if file_len >= header_len && String.sub data 0 magic_len = magic then
+            match data.[magic_len] with
+            | 'S' -> (header_len, Some true)
+            | 'U' -> (header_len, Some false)
+            | _ -> fail (path ^ ": not a journal (bad durability byte)")
+          else if
+            file_len >= String.length legacy_magic
+            && String.sub data 0 (String.length legacy_magic) = legacy_magic
+          then (String.length legacy_magic, None)
+          else fail (path ^ ": not a journal (bad magic)")
+        in
+        let state, valid_end, committed = scan ~start data in
         let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
         if valid_end < file_len then Unix.ftruncate fd valid_end;
         ignore (Unix.lseek fd valid_end Unix.SEEK_SET);
@@ -161,6 +186,7 @@ let open_journal ?(fsync = true) ?(compact_bytes = 64 * 1024 * 1024) path =
             rec_state = state;
             rec_committed = committed;
             rec_dropped_bytes = file_len - valid_end;
+            rec_durable = durable;
           } )
       end)
 
@@ -181,12 +207,14 @@ let compact t =
       let fd =
         Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
       in
+      (* Compaction rewrites the header too, so a legacy v1 journal is
+         upgraded (and the recorded durability refreshed) in place. *)
+      let hdr = Bytes.of_string (header t.j_fsync) in
       let body =
         match t.j_committed with
-        | None -> Bytes.of_string magic
+        | None -> hdr
         | Some s ->
-            Bytes.concat Bytes.empty
-              [ Bytes.of_string magic; frame 'R' s; frame 'C' "" ]
+            Bytes.concat Bytes.empty [ hdr; frame 'R' s; frame 'C' "" ]
       in
       write_all fd body;
       if t.j_fsync then Unix.fsync fd;

@@ -8,7 +8,12 @@
     truncates the torn or uncommitted tail, and hands back the last
     payload a commit covered.
 
-    On-disk layout: an 8-byte magic header, then frames.  Each frame is a
+    On-disk layout: an 8-byte magic (["PXJRNL02"]) followed by one
+    durability byte — ['S'] when commits are [fsync]ed to stable
+    storage, ['U'] when they are not, so an operator inspecting a
+    recovered file knows what crash-safety the writer promised — then
+    frames.  Legacy v1 files (["PXJRNL01"], no durability byte) still
+    open, and compaction upgrades them in place.  Each frame is a
     1-byte kind (['R'] record, ['C'] commit), a 4-byte big-endian payload
     length, a 4-byte big-endian CRC32 (IEEE 802.3 polynomial) of the
     payload, and the payload bytes; commit frames have an empty payload.
@@ -36,6 +41,12 @@ type recovery = {
   rec_dropped_bytes : int;
       (** Torn or uncommitted tail bytes truncated away — the work the
           crash cost, bounded by one batch when commits follow batches. *)
+  rec_durable : bool option;
+      (** The durability mode recorded in the file's header: [Some true]
+          when the writer [fsync]ed commits, [Some false] when it did
+          not, [None] for a legacy v1 file that predates the record.
+          Informational — the [fsync] argument of {!open_journal}
+          governs this handle regardless. *)
 }
 
 val open_journal :

@@ -4,21 +4,30 @@ module Patterns = Minisol.Patterns
 module Prng = Dataset.Prng
 module Generate = Dataset.Generate
 
-type spec = { deployments : int; upgrades : int }
+type spec = { deployments : int; upgrades : int; reorg_depth : int }
 
-let default_spec = { deployments = 3; upgrades = 2 }
+let default_spec = { deployments = 3; upgrades = 2; reorg_depth = 0 }
+
+type reorg = {
+  rg_depth : int;
+  rg_rollback_to : int;
+  rg_orphaned : Address.t list;
+  rg_reverted_writes : Address.t list;
+}
 
 type summary = {
   a_index : int;
   a_new_contracts : Address.t list;
   a_writes : Address.t list;
   a_height : int;
+  a_reorg : reorg option;
 }
 
 type t = {
   seed : int;
   spec : spec;
   landscape : Generate.t;
+  base_height : int;  (* reorg floor: the initial landscape is canonical *)
   upgradeable : (Address.t * U256.t) array;
       (* label-order slot proxies and their logic slots *)
   clone_source : string option;  (* runtime bytes of the first plain label *)
@@ -51,7 +60,16 @@ let create ?(seed = 7) ?(spec = default_spec) (landscape : Generate.t) =
         | _ -> None)
       landscape.Generate.labels
   in
-  { seed; spec; landscape; upgradeable; clone_source; applied = 0; last_plain = None }
+  {
+    seed;
+    spec;
+    landscape;
+    base_height = Chain.height landscape.Generate.chain;
+    upgradeable;
+    clone_source;
+    applied = 0;
+    last_plain = None;
+  }
 
 let applied t = t.applied
 
@@ -74,6 +92,23 @@ let proxy_variant index tag =
       @ [ Ast.func (Printf.sprintf "mark%d_%d" index tag) [ Ast.Stop ] ];
   }
 
+(* A honeypot pair: the proxy's mangled selector collides with the
+   logic's withdrawal function (the paper's Listing-1 shape), so this is
+   the one scripted deployment that carries *findings* — a reorg that
+   orphans it exercises the store's finding-retraction path, not just
+   subject removal. *)
+let honeypot_pair_variant index tag =
+  let proxy =
+    let base = Patterns.honeypot_proxy () in
+    {
+      base with
+      Ast.c_funcs =
+        base.Ast.c_funcs
+        @ [ Ast.func (Printf.sprintf "hp%d_%d" index tag) [ Ast.Stop ] ];
+    }
+  in
+  (proxy, Patterns.honeypot_logic ())
+
 let install t ast =
   Chain.install_contract t.landscape.Generate.chain
     ~runtime:(Minisol.Codegen.runtime ast) ()
@@ -84,12 +119,46 @@ let apply t =
   (* Seed each advance independently of its predecessors so recovery can
      replay advance i without re-deriving i-1's stream. *)
   let rng = Prng.create (t.seed + (0x9e3779b9 * index)) in
+  (* Seeded reorg: with a positive depth, a seeded coin decides whether
+     this advance begins by orphaning the chain's newest blocks; the
+     rollback never reaches below the initial landscape (the base is
+     canonical by construction), and the advance's own deployments then
+     re-mine a divergent suffix — the rewound installer nonce makes the
+     fork reuse the orphaned addresses with different bytecode, exactly
+     the hard case for a verdict store.  With [reorg_depth = 0] not even
+     the coin is drawn, so legacy advance streams replay untouched. *)
+  let reorg =
+    if t.spec.reorg_depth <= 0 then None
+    else if Prng.int rng 2 = 0 then None
+    else begin
+      let head = Chain.height chain in
+      let k = 1 + Prng.int rng t.spec.reorg_depth in
+      let target = max t.base_height (head - k) in
+      if target >= head then None
+      else begin
+        let rw = Chain.rewind_to chain ~height:target in
+        (match t.last_plain with
+        | Some a when List.exists (Address.equal a) rw.Chain.rw_orphaned ->
+            t.last_plain <- None
+        | _ -> ());
+        Some
+          {
+            rg_depth = head - target;
+            rg_rollback_to = target;
+            rg_orphaned = rw.Chain.rw_orphaned;
+            rg_reverted_writes = rw.Chain.rw_reverted_writes;
+          }
+      end
+    end
+  in
   let new_rev = ref [] in
   let writes_rev = ref [] in
   let deployed addr = new_rev := addr :: !new_rev in
-  (* Deployments: cycle through shapes. *)
+  (* Deployments: cycle through shapes.  Specs with [deployments <= 4]
+     (including the default) never reach the honeypot shape, so legacy
+     advance streams are byte-identical to before it existed. *)
   for j = 0 to t.spec.deployments - 1 do
-    match j mod 4 with
+    match j mod 5 with
     | 0 ->
         let addr = install t (logic_variant index j) in
         t.last_plain <- Some addr;
@@ -121,7 +190,7 @@ let apply t =
             let addr = install t (logic_variant index j) in
             t.last_plain <- Some addr;
             deployed addr)
-    | _ ->
+    | 3 ->
         (* A canonical EIP-1167 minimal proxy to the newest logic. *)
         let target =
           match t.last_plain with
@@ -136,6 +205,15 @@ let apply t =
           (Chain.install_contract chain
              ~runtime:(Patterns.eip1167_runtime target)
              ())
+    | _ ->
+        (* The finding-bearing honeypot pair: logic, proxy, then the
+           hidden-slot wiring (slot 1 is the proxy's [logic] variable). *)
+        let proxy_ast, logic_ast = honeypot_pair_variant index j in
+        let logic = install t logic_ast in
+        deployed logic;
+        let addr = install t proxy_ast in
+        Chain.set_storage_direct chain addr U256.one (Address.to_u256 logic);
+        deployed addr
   done;
   (* Upgrade events: point scripted slot proxies at fresh logic. *)
   let n_up = Array.length t.upgradeable in
@@ -154,6 +232,7 @@ let apply t =
     a_new_contracts = List.rev !new_rev;
     a_writes = List.rev !writes_rev;
     a_height = Chain.height chain;
+    a_reorg = reorg;
   }
 
 let replay t n =

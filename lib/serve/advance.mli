@@ -16,10 +16,24 @@
 type spec = {
   deployments : int;  (** New contracts per advance (shape cycles). *)
   upgrades : int;  (** Upgrade events per advance. *)
+  reorg_depth : int;
+      (** Max blocks a seeded reorg may roll back before an advance
+          (0 = the chain only moves forward; legacy streams replay
+          unchanged). *)
 }
 
 val default_spec : spec
-(** 3 deployments, 2 upgrades. *)
+(** 3 deployments, 2 upgrades, no reorgs. *)
+
+(** A reorg that preceded an advance's new blocks. *)
+type reorg = {
+  rg_depth : int;  (** Blocks actually rolled back. *)
+  rg_rollback_to : int;  (** Head height after the rollback. *)
+  rg_orphaned : Evm.Address.t list;
+      (** Contracts whose deployment was orphaned (deployment order). *)
+  rg_reverted_writes : Evm.Address.t list;
+      (** Surviving contracts whose storage rolled back (sorted). *)
+}
 
 type summary = {
   a_index : int;  (** 1-based advance number. *)
@@ -27,6 +41,8 @@ type summary = {
   a_writes : Evm.Address.t list;
       (** Existing subjects whose storage an upgrade wrote. *)
   a_height : int;  (** Chain head after the advance. *)
+  a_reorg : reorg option;
+      (** The reorg that opened this advance, when one fired. *)
 }
 
 type t

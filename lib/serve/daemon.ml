@@ -28,9 +28,11 @@ module Config = struct
     drain_grace_ms : int;
     clock : Obs.Clock.t;
     journal : string option;
+    journal_fsync : bool;
     advance_seed : int;
     advance_spec : Advance.spec;
     analysis : Proxion.Pipeline.Config.t;
+    resilience : Resilience.Transport.config;
   }
 
   let default =
@@ -47,9 +49,11 @@ module Config = struct
       drain_grace_ms = 5_000;
       clock = Obs.Clock.real;
       journal = None;
+      journal_fsync = true;
       advance_seed = 7;
       advance_spec = Advance.default_spec;
       analysis = Proxion.Pipeline.Config.default;
+      resilience = Resilience.Transport.default_config;
     }
 
   let with_host host t = { t with host }
@@ -67,9 +71,11 @@ module Config = struct
   let with_drain_grace_ms drain_grace_ms t = { t with drain_grace_ms }
   let with_clock clock t = { t with clock }
   let with_journal journal t = { t with journal }
+  let with_journal_fsync journal_fsync t = { t with journal_fsync }
   let with_advance_seed advance_seed t = { t with advance_seed }
   let with_advance_spec advance_spec t = { t with advance_spec }
   let with_analysis analysis t = { t with analysis }
+  let with_resilience resilience t = { t with resilience }
 
   let validate t =
     let module V = Report.Validate in
@@ -90,12 +96,17 @@ module Config = struct
             t.advance_spec.Advance.deployments;
           V.non_negative ~field:"advance_spec.upgrades"
             t.advance_spec.Advance.upgrades;
+          V.non_negative ~field:"advance_spec.reorg_depth"
+            t.advance_spec.Advance.reorg_depth;
         ]
     with
     | Ok () -> (
-        match Proxion.Pipeline.Config.validate t.analysis with
-        | Ok _ -> Ok t
-        | Error e -> Error e)
+        match Resilience.Transport.validate_config t.resilience with
+        | Error e -> Error e
+        | Ok _ -> (
+            match Proxion.Pipeline.Config.validate t.analysis with
+            | Ok _ -> Ok t
+            | Error e -> Error e))
     | Error e -> Error e
 end
 
@@ -111,6 +122,8 @@ type families = {
   m_connections : Metrics.family;
   m_increments : Metrics.family;
   m_dirty : Metrics.family;
+  m_reorgs : Metrics.family;
+  m_retracted : Metrics.family;
   m_open : Metrics.family;
   m_shed_conns : Metrics.family;
   m_shed_reqs : Metrics.family;
@@ -132,6 +145,8 @@ type t = {
   obs_lock : Mutex.t;
   advance_lock : Mutex.t;
   counters : (string, int * int) Hashtbl.t;  (* subject hex -> api, steps *)
+  mutable reorg_log : (int * Advance.reorg) list;
+      (* newest first, guarded by advance_lock; rebuilt on warm start *)
   uc : int Atomic.t;  (* cached Analyzer.unique_codes *)
   inflight : int Atomic.t;
   open_conns : int Atomic.t;
@@ -153,6 +168,12 @@ let store t = t.store
 let registry t = t.registry
 let recovered t = t.was_recovered
 let advances_applied t = Advance.applied t.advancer
+
+let reorgs t =
+  Mutex.lock t.advance_lock;
+  let log = t.reorg_log in
+  Mutex.unlock t.advance_lock;
+  List.rev log
 let unique_codes t = Atomic.get t.uc
 let is_draining t = Atomic.get t.draining
 let open_connections t = Atomic.get t.open_conns
@@ -255,6 +276,13 @@ let make_metrics registry =
     m_dirty =
       Metrics.counter registry ~help:"Subjects re-analyzed by increments"
         "proxion_serve_dirty_subjects_total";
+    m_reorgs =
+      Metrics.counter registry ~help:"Chain reorganizations rolled back"
+        "proxion_serve_reorgs_total";
+    m_retracted =
+      Metrics.counter registry
+        ~help:"Findings retracted because their deployment was orphaned"
+        "proxion_serve_retracted_findings_total";
     m_open =
       Metrics.gauge registry ~volatile:true
         ~help:"Client connections currently open"
@@ -332,7 +360,9 @@ let create ?(config = Config.default) ?registry ?log landscape =
     match config.Config.journal with
     | None -> Ok (None, None)
     | Some path ->
-        let* j, recovery = Journal.open_journal path in
+        let* j, recovery =
+          Journal.open_journal ~fsync:config.Config.journal_fsync path
+        in
         Ok (Some j, recovery.Journal.rec_state)
   in
   let journal, rec_state = journal_and_state in
@@ -352,6 +382,7 @@ let create ?(config = Config.default) ?registry ?log landscape =
         obs_lock = Mutex.create ();
         advance_lock = Mutex.create ();
         counters = Hashtbl.create 1024;
+        reorg_log = [];
         uc = Atomic.make 0;
         inflight = Atomic.make 0;
         open_conns = Atomic.make 0;
@@ -376,10 +407,17 @@ let create ?(config = Config.default) ?registry ?log landscape =
   match rec_state with
   | Some payload ->
       (* Warm start: replay the scripted advances onto the regenerated
-         landscape, then restore analyzer and store from the snapshot —
-         no re-analysis. *)
+         landscape — capturing any seeded reorgs they carry, so the
+         rollback history survives a crash — then restore analyzer and
+         store from the snapshot, no re-analysis. *)
       let* advances, height, analyzer_json, entries = parse_snapshot payload in
-      Advance.replay advancer advances;
+      let replayed_reorgs = ref [] in
+      for _ = 1 to advances do
+        let s = Advance.apply advancer in
+        match s.Advance.a_reorg with
+        | Some rg -> replayed_reorgs := (s.Advance.a_index, rg) :: !replayed_reorgs
+        | None -> ()
+      done;
       if Chain.height chain <> height then
         Error
           (Printf.sprintf
@@ -387,12 +425,17 @@ let create ?(config = Config.default) ?registry ?log landscape =
               height %d (different landscape?)"
              height (Chain.height chain))
       else
-        let* analyzer = Analyzer.restore ~chain ~source analyzer_json in
+        let* analyzer =
+          Analyzer.restore ~resilience:config.Config.resilience ~chain ~source
+            analyzer_json
+        in
         let store = Store.create () in
         List.iter (Store.upsert store) entries;
         Store.set_generation store advances;
         let t = finish analyzer store true in
+        t.reorg_log <- !replayed_reorgs;
         subscribe_counters t.counters analyzer;
+        Analyzer.instrument t.registry analyzer;
         Analyzer.refresh_head analyzer;
         ignore (Analyzer.drain_results analyzer);
         logf t Obs.Log.Info
@@ -402,11 +445,13 @@ let create ?(config = Config.default) ?registry ?log landscape =
   | None ->
       (* Cold start: full landscape analysis on the resident analyzer. *)
       let analyzer =
-        Analyzer.create ~config:config.Config.analysis ~chain ~source ()
+        Analyzer.create ~config:config.Config.analysis
+          ~resilience:config.Config.resilience ~chain ~source ()
       in
       let store = Store.create () in
       let t = finish analyzer store false in
       subscribe_counters t.counters analyzer;
+      Analyzer.instrument t.registry analyzer;
       Analyzer.submit_all analyzer;
       Analyzer.run analyzer;
       let n = drain_into_store t in
@@ -424,6 +469,7 @@ type advance_result = {
   adv_summary : Advance.summary;
   adv_dirty : int;
   adv_new : int;
+  adv_retracted : int;
 }
 
 let advance t =
@@ -434,14 +480,39 @@ let advance t =
       let summary = Advance.apply t.advancer in
       Analyzer.refresh_head t.analyzer;
       let reports = Store.reports t.store in
-      let dirty =
-        Tracker.dirty ~reports ~writes:summary.Advance.a_writes
+      let orphaned, reverted =
+        match summary.Advance.a_reorg with
+        | None -> ([], [])
+        | Some rg -> (rg.Advance.rg_orphaned, rg.Advance.rg_reverted_writes)
       in
+      (* Dirtiness is computed over the PRE-retraction report set: an
+         orphaned deployment may have been the dedup owner of a code
+         hash shared with surviving twins, and only its still-stored
+         report can propagate that hash into the dirty set. *)
+      let writes = summary.Advance.a_writes @ reverted @ orphaned in
+      let dirty = Tracker.dirty ~reports ~writes in
       List.iter
         (Analyzer.invalidate_code_hash t.analyzer)
         (Tracker.invalidation_hashes ~dirty);
+      (* Retract orphans: their deployments are no longer canonical.
+         Findings retracted = the verdict-count delta of the removals. *)
+      let retracted =
+        if orphaned = [] then 0
+        else begin
+          let uc = unique_codes t in
+          let before = List.length (Store.findings t.store ~unique_codes:uc) in
+          List.iter (fun a -> ignore (Store.remove t.store a)) orphaned;
+          let after = List.length (Store.findings t.store ~unique_codes:uc) in
+          max 0 (before - after)
+        end
+      in
+      let is_orphan a = List.exists (Address.equal a) orphaned in
       let dirty_addrs =
-        List.map (fun (r : Analysis.contract_report) -> r.Analysis.r_address) dirty
+        List.filter_map
+          (fun (r : Analysis.contract_report) ->
+            if is_orphan r.Analysis.r_address then None
+            else Some r.Analysis.r_address)
+          dirty
       in
       Analyzer.submit t.analyzer
         (dirty_addrs @ summary.Advance.a_new_contracts);
@@ -454,6 +525,22 @@ let advance t =
       Metrics.inc
         ~by:(float_of_int (List.length dirty_addrs))
         t.registry t.fams.m_dirty;
+      (match summary.Advance.a_reorg with
+      | None -> ()
+      | Some rg ->
+          t.reorg_log <- (summary.Advance.a_index, rg) :: t.reorg_log;
+          Metrics.inc t.registry t.fams.m_reorgs;
+          Metrics.inc
+            ~by:(float_of_int retracted)
+            t.registry t.fams.m_retracted;
+          logf t Obs.Log.Warn
+            (Printf.sprintf
+               "reorg at advance %d: depth %d, rolled back to height %d, %d \
+                orphaned, %d findings retracted"
+               summary.Advance.a_index rg.Advance.rg_depth
+               rg.Advance.rg_rollback_to
+               (List.length rg.Advance.rg_orphaned)
+               retracted));
       logf t Obs.Log.Info
         (Printf.sprintf "advance %d: %d dirty, %d new, height %d"
            summary.Advance.a_index (List.length dirty_addrs)
@@ -463,6 +550,7 @@ let advance t =
         adv_summary = summary;
         adv_dirty = List.length dirty_addrs;
         adv_new = List.length summary.Advance.a_new_contracts;
+        adv_retracted = retracted;
       })
 
 (* ------------------------------------------------------------------ *)
@@ -732,10 +820,33 @@ let request_stop t =
   request_drain t;
   wake_listener t
 
+let reorg_to_json (index, rg) =
+  let addrs l = Json.List (List.map (fun a -> Json.String (Address.to_hex a)) l) in
+  Json.Obj
+    [
+      ("advance", Json.Int index);
+      ("depth", Json.Int rg.Advance.rg_depth);
+      ("rollback_to", Json.Int rg.Advance.rg_rollback_to);
+      ("orphaned", addrs rg.Advance.rg_orphaned);
+      ("reverted_writes", addrs rg.Advance.rg_reverted_writes);
+    ]
+
+let handle_reorgs t =
+  Mutex.lock t.advance_lock;
+  let log = t.reorg_log in
+  Mutex.unlock t.advance_lock;
+  Ok
+    (Json.Obj
+       [
+         ("count", Json.Int (List.length log));
+         ("reorgs", Json.List (List.rev_map reorg_to_json log));
+       ])
+
 let handle_advance t ~deadline params =
   let* count = int_param ~default:1 params "count" in
   let count = min 64 (max 1 (Option.value ~default:1 count)) in
   let dirty = ref 0 and fresh = ref 0 and last = ref None in
+  let reorgs = ref 0 and retracted = ref 0 in
   let applied = ref 0 in
   (try
      for _ = 1 to count do
@@ -744,6 +855,10 @@ let handle_advance t ~deadline params =
        incr applied;
        dirty := !dirty + r.adv_dirty;
        fresh := !fresh + r.adv_new;
+       retracted := !retracted + r.adv_retracted;
+       (match r.adv_summary.Advance.a_reorg with
+       | Some _ -> incr reorgs
+       | None -> ());
        last := Some r
      done
    with Exit -> ());
@@ -771,6 +886,8 @@ let handle_advance t ~deadline params =
            ("height", Json.Int height);
            ("dirty", Json.Int !dirty);
            ("new_contracts", Json.Int !fresh);
+           ("reorgs", Json.Int !reorgs);
+           ("retracted_findings", Json.Int !retracted);
          ])
 
 (* Methods a draining daemon still answers: the health surface (so
@@ -800,6 +917,7 @@ let dispatch t ~deadline meth params =
     | "report" -> handle_report t
     | "metrics" -> handle_metrics t params
     | "advance" -> handle_advance t ~deadline params
+    | "reorgs" -> handle_reorgs t
     | "shutdown" ->
         request_drain t;
         Ok

@@ -65,9 +65,18 @@ module Config : sig
             {!Obs.Clock.real}); inject a virtual clock for
             deterministic tests. *)
     journal : string option;  (** Snapshot journal path. *)
+    journal_fsync : bool;
+        (** Fsync journal commits to stable storage (default [true]);
+            turn off only for tests and benchmarks.  The mode is
+            recorded in the journal header. *)
     advance_seed : int;
     advance_spec : Advance.spec;
     analysis : Proxion.Pipeline.Config.t;  (** Resident analyzer config. *)
+    resilience : Resilience.Transport.config;
+        (** Chain-transport config for the resident analyzer: endpoint
+            pool, quorum, fault plans, budgets (default
+            {!Resilience.Transport.default_config} — single implicit
+            endpoint, no injection). *)
   }
 
   val default : t
@@ -83,9 +92,11 @@ module Config : sig
   val with_drain_grace_ms : int -> t -> t
   val with_clock : Obs.Clock.t -> t -> t
   val with_journal : string option -> t -> t
+  val with_journal_fsync : bool -> t -> t
   val with_advance_seed : int -> t -> t
   val with_advance_spec : Advance.spec -> t -> t
   val with_analysis : Proxion.Pipeline.Config.t -> t -> t
+  val with_resilience : Resilience.Transport.config -> t -> t
 
   val validate : t -> (t, Report.Validate.error) result
   (** The shared config gate ({!Report.Validate}). *)
@@ -114,6 +125,11 @@ val store : t -> Store.t
 val registry : t -> Obs.Metrics.t
 val advances_applied : t -> int
 
+val reorgs : t -> (int * Advance.reorg) list
+(** Reorgs rolled back so far, oldest first, each tagged with the
+    1-based advance number that carried it.  Rebuilt deterministically
+    on warm recovery (the [reorgs] wire method serves this list). *)
+
 val unique_codes : t -> int
 (** Dedup-cache size of the resident analyzer (serialized against
     concurrent increments). *)
@@ -128,11 +144,26 @@ type advance_result = {
   adv_summary : Advance.summary;
   adv_dirty : int;  (** Existing subjects re-analyzed. *)
   adv_new : int;  (** New subjects analyzed. *)
+  adv_retracted : int;
+      (** Findings retracted because a reorg orphaned their subject. *)
 }
 
 val advance : t -> advance_result
 (** Apply one scripted advance and incrementally patch the store;
-    commits a snapshot to the journal when configured. *)
+    commits a snapshot to the journal when configured.
+
+    When the advance opens with a seeded reorg
+    ({!Advance.spec.reorg_depth} > 0), the rollback path runs first:
+    the dirty set is computed over the pre-retraction store (so a
+    retracted dedup owner still propagates its code hash to surviving
+    twins), orphaned subjects are removed from the store and their
+    findings counted as retracted, reverted and orphaned addresses are
+    treated as writes for invalidation, and only surviving dirty
+    subjects plus the re-mined contracts are re-analyzed.  The
+    resulting store is byte-identical to a cold full re-run over the
+    post-reorg chain, and the reorg is committed to the journal as part
+    of the snapshot's advance count — a SIGKILL mid-rollback recovers
+    warm to the same bytes. *)
 
 val handle : ?deadline:float -> t -> string -> string option * string
 (** [handle t request_payload] is [(method, response_payload)] — the

@@ -47,6 +47,18 @@ let upsert t entry =
       t.report_cache <- None;
       t.findings_cache <- None)
 
+let remove t addr =
+  locked t (fun () ->
+      if Hashtbl.mem t.tbl addr then begin
+        Hashtbl.remove t.tbl addr;
+        t.order_rev <-
+          List.filter (fun a -> not (Address.equal a addr)) t.order_rev;
+        t.report_cache <- None;
+        t.findings_cache <- None;
+        true
+      end
+      else false)
+
 let entries_locked t =
   List.rev_map (fun addr -> Hashtbl.find t.tbl addr) t.order_rev
 

@@ -34,6 +34,11 @@ val mem : t -> Evm.Address.t -> bool
 val upsert : t -> entry -> unit
 (** Insert (appending to deployment order) or replace in place. *)
 
+val remove : t -> Evm.Address.t -> bool
+(** Retract a subject's entry (reorg rollback: its deployment was
+    orphaned).  Drops it from the deployment order and invalidates the
+    aggregate caches; [false] when the address was not stored. *)
+
 val reports : t -> Proxion.Analysis.contract_report list
 (** Per-contract reports in deployment order. *)
 

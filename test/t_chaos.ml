@@ -238,7 +238,9 @@ let test_transport_breaker_cycle () =
         | Transport.Circuit_closed { endpoint } ->
             check_s "closed on the archive endpoint" "archive" endpoint;
             incr closed
-        | Transport.Retry _ | Transport.Dispatched _ -> ())
+        | Transport.Retry _ | Transport.Dispatched _ | Transport.Hedged _
+        | Transport.Quorum_disagreement _ ->
+            ())
       ~chain ()
   in
   let meth, params = storage_req a 0 in

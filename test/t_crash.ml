@@ -94,6 +94,47 @@ let test_journal_create_and_reopen () =
   check_i "clean file drops nothing" 0 r2.Journal.rec_dropped_bytes;
   remove path
 
+let test_journal_header_records_durability () =
+  let path = fresh_path () in
+  (* A fresh journal stamps its durability mode into the header. *)
+  let j, r = ok (Journal.open_journal ~fsync:false path) in
+  check_b "fresh unsynced journal reports its mode" true
+    (r.Journal.rec_durable = Some false);
+  ok (Journal.checkpoint j "state");
+  Journal.close j;
+  let data = read_file path in
+  check_s "v2 magic" "PXJRNL02" (String.sub data 0 8);
+  check_b "durability byte says unsynced" true (data.[8] = 'U');
+  (* The recorded mode is what the writer promised, not what the reader
+     asks for: reopening with fsync on still reports the file's mode. *)
+  let j2, r2 = ok (Journal.open_journal ~fsync:true path) in
+  check_b "recorded mode survives reopen" true
+    (r2.Journal.rec_durable = Some false);
+  check_b "state recovered under the v2 header" true
+    (r2.Journal.rec_state = Some "state");
+  Journal.close j2;
+  (* Legacy v1 files (bare magic, no durability byte) still open, and
+     report no recorded mode. *)
+  let v1 = "PXJRNL01" ^ String.sub data 9 (String.length data - 9) in
+  write_file path v1;
+  let j3, r3 = ok (Journal.open_journal ~fsync:false path) in
+  check_b "legacy v1 journal accepted" true (r3.Journal.rec_state = Some "state");
+  check_b "legacy v1 journal has no recorded mode" true
+    (r3.Journal.rec_durable = None);
+  (* Compaction upgrades the header in place. *)
+  ok (Journal.compact j3);
+  Journal.close j3;
+  let upgraded = read_file path in
+  check_s "compaction upgrades legacy files to v2" "PXJRNL02"
+    (String.sub upgraded 0 8);
+  let j4, r4 = ok (Journal.open_journal ~fsync:false path) in
+  Journal.close j4;
+  check_b "upgraded journal keeps its state" true
+    (r4.Journal.rec_state = Some "state");
+  check_b "upgraded journal records the compactor's mode" true
+    (r4.Journal.rec_durable = Some false);
+  remove path
+
 let test_journal_uncommitted_tail_dropped () =
   let path = fresh_path () in
   let j, _ = ok (Journal.open_journal ~fsync:false path) in
@@ -128,10 +169,11 @@ let test_journal_torn_tail_sweep () =
   List.iter (fun p -> ok (Journal.checkpoint j p)) payloads;
   Journal.close j;
   let data = read_file path in
-  (* magic is 8 bytes; each frame is a 9-byte header + payload; a
-     checkpoint is one record frame plus one empty commit frame *)
+  (* header is 9 bytes (8-byte magic + durability byte); each frame is a
+     9-byte header + payload; a checkpoint is one record frame plus one
+     empty commit frame *)
   let commit_ends =
-    let off = ref 8 in
+    let off = ref 9 in
     List.map
       (fun p ->
         off := !off + 9 + String.length p + 9;
@@ -151,8 +193,8 @@ let test_journal_torn_tail_sweep () =
         Alcotest.failf "open raised at prefix %d: %s" len (Printexc.to_string e)
     | Error _ ->
         check_b
-          (Printf.sprintf "prefix %d: only sub-magic prefixes error" len)
-          true (len < 8)
+          (Printf.sprintf "prefix %d: only sub-header prefixes error" len)
+          true (len < 9)
     | Ok (j2, r) ->
         check_b
           (Printf.sprintf "prefix %d: recovers the last whole commit" len)
@@ -161,7 +203,7 @@ let test_journal_torn_tail_sweep () =
         let valid_end =
           List.fold_left
             (fun acc (e, _) -> if e <= len then e else acc)
-            8 commit_ends
+            9 commit_ends
         in
         check_i
           (Printf.sprintf "prefix %d: file truncated back to the commit" len)
@@ -202,11 +244,11 @@ let test_journal_corruption_sweep () =
         Alcotest.failf "open raised on flip at %d: %s" i (Printexc.to_string e)
     | Error _ ->
         check_b
-          (Printf.sprintf "flip at %d: only magic corruption errors" i)
-          true (i < 8)
+          (Printf.sprintf "flip at %d: only header corruption errors" i)
+          true (i < 9)
     | Ok (j2, r) ->
         Journal.close j2;
-        check_b (Printf.sprintf "flip at %d: magic intact opens" i) true (i >= 8);
+        check_b (Printf.sprintf "flip at %d: header intact opens" i) true (i >= 9);
         check_b
           (Printf.sprintf "flip at %d: lands on a committed state" i)
           true
@@ -824,6 +866,8 @@ let suite =
   [
     Alcotest.test_case "journal creates, commits and reopens" `Quick
       test_journal_create_and_reopen;
+    Alcotest.test_case "journal header records the durability mode" `Quick
+      test_journal_header_records_durability;
     Alcotest.test_case "journal drops uncommitted and torn tails" `Quick
       test_journal_uncommitted_tail_dropped;
     Alcotest.test_case "journal recovers every torn prefix to a commit" `Quick

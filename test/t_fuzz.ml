@@ -25,9 +25,78 @@ let total name f =
   QCheck.Test.make ~name ~count:150 arb_bytecode (fun code ->
       match f code with _ -> true | exception _ -> false)
 
+(* Quorum canonicality: whatever per-endpoint fault, lag and Byzantine
+   plan a hostile pool draws, a transport with quorum >= 2 either
+   returns the node's canonical answer or a structured error — it never
+   hands the analysis a fabricated one.  (Quorum >= 2 is the contract:
+   a single liar cannot reach agreement because Byzantine corruption is
+   a function of the endpoint's identity, so two liars lie apart.) *)
+let quorum_canonicality =
+  let chain, subject =
+    let chain = Chain.create () in
+    let a = Chain.install_contract chain ~runtime:"\x00" () in
+    for slot = 0 to 7 do
+      Chain.set_storage_direct chain a (U256.of_int slot)
+        (U256.of_int (100 + slot))
+    done;
+    Chain.advance_blocks chain 12;
+    (chain, a)
+  in
+  let arb_pool =
+    let open QCheck.Gen in
+    (* Per endpoint: fault rate in {0, .1 .. .6}, lag in 0..4, and a
+       coin for an always-lying Byzantine data plane. *)
+    let endpoint_gen = triple (int_bound 6) (int_bound 4) bool in
+    let gen = pair nat (list_size (int_range 2 4) endpoint_gen) in
+    let print (seed, eps) =
+      Printf.sprintf "seed %d, pool [%s]" seed
+        (String.concat "; "
+           (List.map
+              (fun (r, l, b) ->
+                Printf.sprintf "rate .%d lag %d byz %b" r l b)
+              eps))
+    in
+    QCheck.make ~print gen
+  in
+  QCheck.Test.make ~name:"hostile pools never yield a non-canonical answer"
+    ~count:60 arb_pool (fun (seed, eps) ->
+      let n = List.length eps in
+      let quorum = max 2 ((n / 2) + 1) in
+      let endpoints =
+        List.mapi
+          (fun i (rate, lag, byz) ->
+            Resilience.Transport.endpoint
+              ?plan:
+                (if rate > 0 then
+                   Some
+                     (Resilience.Fault_plan.spec ~seed:(seed + i)
+                        ~fault_rate:(float_of_int rate /. 10.0)
+                        ())
+                 else None)
+              ~lag
+              ~byzantine:(if byz then 1.0 else 0.0)
+              ~byz_seed:(seed lxor i)
+              (Printf.sprintf "ep-%d" i))
+          eps
+      in
+      let cfg = Resilience.Transport.config ~endpoints ~quorum () in
+      let t = Resilience.Transport.create ~config:cfg ~chain () in
+      List.for_all
+        (fun slot ->
+          let meth = "eth_getStorageAt" in
+          let params =
+            [ Evm.Address.to_hex subject; Printf.sprintf "0x%x" slot; "latest" ]
+          in
+          let canonical = Chain_rpc.call chain ~meth ~params in
+          match Resilience.Transport.call t ~meth ~params with
+          | Ok _ as got -> got = canonical
+          | Error _ -> true)
+        [ 0; 1; 2; 3 ])
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
+      quorum_canonicality;
       total "disassembler total" Evm.Disasm.disassemble;
       total "basic blocks total" Evm.Disasm.basic_blocks;
       total "cfg build total" (fun c -> Evm.Cfg.build c);

@@ -24,4 +24,5 @@ let () =
       ("chaos", T_chaos.suite);
       ("crash", T_crash.suite);
       ("serve", T_serve.suite);
+      ("reorg", T_reorg.suite);
     ]
