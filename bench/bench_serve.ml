@@ -71,6 +71,21 @@ let failover_calls = 200
 let failover_fault_rate = 0.9
 let failover_fault_seed = 9
 
+(* Tracing-overhead sweep (schema 4): the same loadgen mix against the
+   same landscape, once with no trace recorder and once with a recorder
+   attached and a trace context on every request.  The always-on flight
+   ring and metrics run in both modes, so the delta isolates the cost of
+   span recording + context propagation.  Target: < 5% on throughput. *)
+let tracing_clients = 4
+let tracing_requests = 150
+let tracing_trace_seed = 7
+
+(* Flight-ring microbench: record cost vs ring capacity.  The ring is
+   always on in the daemon, so its per-event cost bounds the floor of
+   observability overhead. *)
+let flight_capacity_sweep = [ 64; 256; 1024; 4096 ]
+let flight_events = 200_000
+
 let shed_reasons = [ "draining"; "max_conns"; "queue_full" ]
 
 let shed_counts registry =
@@ -239,6 +254,66 @@ let failover_row n =
         Json.Float (wall_s *. 1000.0 /. float_of_int failover_calls) );
     ]
 
+(* One tracing mode: a fresh daemon over the given landscape, the fixed
+   loadgen mix, and (when tracing) the recorder's own span count as a
+   volume witness. *)
+let tracing_row ~land_ ~addresses traced =
+  let config =
+    Serve.Config.(default |> with_workers 2 |> with_analysis analysis_config)
+  in
+  let trace = if traced then Some (Obs.Trace.create ()) else None in
+  let daemon =
+    match Serve.Daemon.create ~config ?trace land_ with
+    | Ok d -> d
+    | Error e -> failwith ("tracing daemon create: " ^ e)
+  in
+  (match Serve.Daemon.start daemon with
+  | Ok () -> ()
+  | Error e -> failwith ("tracing daemon start: " ^ e));
+  let port = Serve.Daemon.port daemon in
+  let stats =
+    match
+      Serve.Loadgen.run
+        ?trace_seed:(if traced then Some tracing_trace_seed else None)
+        ~port ~clients:tracing_clients ~requests:tracing_requests ~addresses ()
+    with
+    | Error e -> failwith ("tracing loadgen: " ^ e)
+    | Ok s -> s
+  in
+  Serve.Daemon.stop daemon;
+  let spans =
+    match trace with Some tr -> Obs.Trace.count tr | None -> 0
+  in
+  Printf.eprintf "  tracing %s: %.0f req/s  p50 %.3f ms  p99 %.3f ms%s\n%!"
+    (if traced then "on " else "off")
+    stats.Serve.Loadgen.lg_rps stats.Serve.Loadgen.lg_p50_ms
+    stats.Serve.Loadgen.lg_p99_ms
+    (if traced then Printf.sprintf "  (%d spans)" spans else "");
+  (stats, spans)
+
+(* Flight-ring record cost at one capacity: alternate bare and
+   field-carrying events, report the per-event wall cost. *)
+let flight_row capacity =
+  let fl = Obs.Flight.create ~capacity () in
+  let fields = [ ("conn", Json.Int 7); ("reason", Json.String "bench") ] in
+  let (), wall_s =
+    time (fun () ->
+        for i = 1 to flight_events do
+          if i land 1 = 0 then Obs.Flight.record ~fields fl "tick"
+          else Obs.Flight.record fl "tick"
+        done)
+  in
+  let ns = wall_s *. 1e9 /. float_of_int flight_events in
+  Printf.eprintf "  flight capacity %4d: %.0f ns/event (%d events, %.3fs)\n%!"
+    capacity ns flight_events wall_s;
+  Json.Obj
+    [
+      ("capacity", Json.Int capacity);
+      ("events", Json.Int flight_events);
+      ("wall_seconds", Json.Float wall_s);
+      ("ns_per_event", Json.Float ns);
+    ]
+
 let () =
   let land_ = Generate.generate bench_config in
   let config =
@@ -397,6 +472,37 @@ let () =
   (* 5. Failover microbench: cost of a flaky primary vs pool size. *)
   Printf.eprintf "failover sweep...\n%!";
   let failover = List.map failover_row failover_endpoint_sweep in
+  (* 6. Tracing overhead: identical loadgen mixes with the recorder off
+     and on; the throughput delta is the headline number (< 5%). *)
+  Printf.eprintf "tracing overhead...\n%!";
+  let off_stats, _ = tracing_row ~land_ ~addresses false in
+  let on_stats, spans = tracing_row ~land_ ~addresses true in
+  (* Positive = tracing costs something: throughput lost, latency added. *)
+  let pct base v = if base > 0.0 then (v -. base) /. base *. 100.0 else 0.0 in
+  let rps_overhead_pct =
+    -.pct off_stats.Serve.Loadgen.lg_rps on_stats.Serve.Loadgen.lg_rps
+  in
+  let p99_overhead_pct =
+    pct off_stats.Serve.Loadgen.lg_p99_ms on_stats.Serve.Loadgen.lg_p99_ms
+  in
+  Printf.eprintf "  overhead: rps %+.2f%%  p99 %+.2f%%\n%!" rps_overhead_pct
+    p99_overhead_pct;
+  let tracing =
+    Json.Obj
+      [
+        ("clients", Json.Int tracing_clients);
+        ("requests_per_client", Json.Int tracing_requests);
+        ("trace_seed", Json.Int tracing_trace_seed);
+        ("off", Serve.Loadgen.to_json off_stats);
+        ("on", Serve.Loadgen.to_json on_stats);
+        ("spans_recorded", Json.Int spans);
+        ("rps_overhead_pct", Json.Float rps_overhead_pct);
+        ("p99_overhead_pct", Json.Float p99_overhead_pct);
+      ]
+  in
+  (* 7. Flight-ring record cost vs capacity. *)
+  Printf.eprintf "flight ring sweep...\n%!";
+  let flight = List.map flight_row flight_capacity_sweep in
   let mean_speedup =
     let total, n =
       List.fold_left
@@ -413,7 +519,7 @@ let () =
   let json =
     Json.Obj
       [
-        ("schema_version", Json.Int 3);
+        ("schema_version", Json.Int 4);
         ("git_rev", Json.String (git_rev ()));
         ("cores", Json.Int (Domain.recommended_domain_count ()));
         ( "config",
@@ -462,6 +568,8 @@ let () =
         ("incremental_speedup_mean", Json.Float mean_speedup);
         ("reorg_sweep", Json.List reorg_sweep);
         ("failover", Json.List failover);
+        ("tracing", tracing);
+        ("flight", Json.List flight);
       ]
   in
   Out_channel.with_open_text out_path (fun oc ->

@@ -543,7 +543,8 @@ let landscape_cmd =
 let run_serve chain faults host port workers backlog max_conns queue_limit
     idle_timeout_ms request_deadline_ms drain_grace_ms journal_path
     journal_fsync advance_seed deployments upgrades reorg_depth batch_size
-    domains log_json log_level =
+    domains log_json log_level slow_ms trace_out flight_capacity flight_dump
+    trace_seed =
   match Faults_spec.validate faults with
   | Error e ->
       prerr_endline ("error: " ^ e);
@@ -571,12 +572,17 @@ let run_serve chain faults host port workers backlog max_conns queue_limit
       |> with_advance_seed advance_seed
       |> with_advance_spec { Serve.Advance.deployments; upgrades; reorg_depth }
       |> with_analysis analysis
-      |> with_resilience (Faults_spec.resilience faults))
+      |> with_resilience (Faults_spec.resilience faults)
+      |> with_slow_ms slow_ms
+      |> with_flight_capacity flight_capacity
+      |> with_flight_dump flight_dump
+      |> with_trace_seed trace_seed)
   in
   let registry = Obs.Metrics.create () in
   let log = Obs.Log.create ~level:log_level ~json:log_json stderr in
+  let trace = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
   let land_ = Chain_spec.generate chain in
-  match Serve.Daemon.create ~config ~registry ~log land_ with
+  match Serve.Daemon.create ~config ~registry ~log ?trace land_ with
   | Error e ->
       prerr_endline ("error: " ^ e);
       1
@@ -603,6 +609,16 @@ let run_serve chain faults host port workers backlog max_conns queue_limit
           Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
           Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
           Serve.Daemon.wait d;
+          (match (trace, trace_out) with
+          | Some tr, Some path -> (
+              try
+                let oc = open_out path in
+                Obs.Trace.write tr oc;
+                close_out oc;
+                Printf.eprintf "trace: %d events -> %s\n%!" (Obs.Trace.count tr)
+                  path
+              with Sys_error e -> Printf.eprintf "trace: %s\n%!" e)
+          | _ -> ());
           0)
 
 let host_arg =
@@ -738,6 +754,47 @@ let serve_cmd =
           Obs.Log.Info
       & info [ "log-level" ] ~docv:"LEVEL" ~doc:"Minimum access-log level.")
   in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log requests slower than $(docv) at warn level with their \
+             full span tree inline.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Collect request/RPC/EVM spans and write them as Chrome \
+             trace-event JSON to $(docv) on shutdown.")
+  in
+  let flight_capacity_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Flight-recorder ring size (most recent $(docv) events).")
+  in
+  let flight_dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Dump the flight-recorder ring to $(docv) on drain, stop and \
+             worker crash.")
+  in
+  let trace_seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "trace-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the daemon's trace-id generator for requests that \
+             carry no client trace context.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run_serve
@@ -747,7 +804,8 @@ let serve_cmd =
       $ request_deadline_arg $ drain_grace_arg $ journal_arg
       $ Journal_spec.fsync_term $ advance_seed_arg $ deployments_arg
       $ upgrades_arg $ reorg_depth_arg $ batch_size_arg $ domains_arg
-      $ log_json_arg $ log_level_arg)
+      $ log_json_arg $ log_level_arg $ slow_ms_arg $ trace_out_arg
+      $ flight_capacity_arg $ flight_dump_arg $ trace_seed_arg)
 
 (* --- query: the thin wire client ----------------------------------------- *)
 
@@ -768,7 +826,7 @@ let parse_param kv =
       in
       Ok (key, json)
 
-let run_query host port timeout_ms meth raw_params =
+let run_query host port timeout_ms trace_seed meth raw_params =
   let rec parse acc = function
     | [] -> Ok (List.rev acc)
     | kv :: rest -> (
@@ -777,6 +835,19 @@ let run_query host port timeout_ms meth raw_params =
         | Error e -> Error e)
   in
   let timeout_ms = if timeout_ms <= 0 then None else Some timeout_ms in
+  (* Only attach a trace context when asked: an untraced request is
+     byte-identical to previous releases, keeping golden transcripts
+     stable. *)
+  let trace =
+    Option.map
+      (fun seed ->
+        let ctx = Obs.Trace.next_ctx (Obs.Trace.gen ~seed) in
+        {
+          Serve.Wire.tc_trace_id = Obs.Trace.id_to_hex ctx.Obs.Trace.trace_id;
+          tc_span_id = Obs.Trace.id_to_hex ctx.Obs.Trace.span_id;
+        })
+      trace_seed
+  in
   match parse [] raw_params with
   | Error e ->
       prerr_endline ("error: " ^ e);
@@ -787,8 +858,12 @@ let run_query host port timeout_ms meth raw_params =
           Printf.eprintf "error: cannot connect to %s:%d: %s\n%!" host port e;
           1
       | Ok c ->
+          (match trace with
+          | Some tc ->
+              Printf.eprintf "trace_id=%s\n%!" tc.Serve.Wire.tc_trace_id
+          | None -> ());
           let code =
-            match Serve.Client.call c ~meth ~params with
+            match Serve.Client.call ?trace c ~meth ~params with
             | Ok result ->
                 print_endline (Report.Json.to_string ~pretty:true result);
                 0
@@ -817,7 +892,8 @@ let query_cmd =
       & info [] ~docv:"METHOD"
           ~doc:
             "Wire method: get_status, is_proxy, logic_history, collisions, \
-             list_findings, report, metrics, advance, reorgs, shutdown.")
+             list_findings, report, metrics, advance, query, flight, \
+             reorgs, shutdown.")
   in
   let params_arg =
     Arg.(
@@ -832,10 +908,118 @@ let query_cmd =
             "Connect/send/receive timeout so the query cannot hang on a \
              wedged daemon (0 disables).")
   in
+  let trace_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-seed" ] ~docv:"SEED"
+          ~doc:
+            "Attach a deterministic trace context derived from $(docv); \
+             the trace_id is printed to stderr so it can be joined \
+             against the daemon's trace file.")
+  in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
-      const run_query $ host_arg $ port_arg $ timeout_arg $ meth_arg
-      $ params_arg)
+      const run_query $ host_arg $ port_arg $ timeout_arg $ trace_seed_arg
+      $ meth_arg $ params_arg)
+
+(* --- top: the live ops console ------------------------------------------- *)
+
+let run_top host port timeout_ms interval_ms iterations no_clear =
+  let timeout_ms = if timeout_ms <= 0 then None else Some timeout_ms in
+  let poll () =
+    match Serve.Client.connect ~host ?timeout_ms ~port () with
+    | Error e ->
+        Error (Printf.sprintf "cannot connect to %s:%d: %s" host port e)
+    | Ok c ->
+        let r =
+          match
+            Serve.Client.call c ~meth:"metrics"
+              ~params:[ ("format", Report.Json.String "json") ]
+          with
+          | Error e -> Error e
+          | Ok metrics -> (
+              match Serve.Ops.of_metrics_json metrics with
+              | Error e -> Error e
+              | Ok view ->
+                  (* Health and flight are best-effort garnish: a daemon
+                     mid-drain still renders from metrics alone. *)
+                  let view =
+                    match Serve.Client.call c ~meth:"health" ~params:[] with
+                    | Ok h -> Serve.Ops.with_health view h
+                    | Error _ -> view
+                  in
+                  let view =
+                    match
+                      Serve.Client.call c ~meth:"flight"
+                        ~params:[ ("limit", Report.Json.Int 64) ]
+                    with
+                    | Ok f -> Serve.Ops.with_flight view f
+                    | Error _ -> view
+                  in
+                  Ok view)
+        in
+        Serve.Client.close c;
+        r
+  in
+  let prev = ref None in
+  let code = ref 0 in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue && (iterations <= 0 || !i < iterations) do
+    (match poll () with
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        code := 1;
+        continue := false
+    | Ok view ->
+        let dt =
+          if !i = 0 then 0.0 else float_of_int interval_ms /. 1000.0
+        in
+        if not no_clear then print_string "\027[2J\027[H";
+        print_string (Serve.Ops.render ?prev:!prev ~dt view);
+        flush stdout;
+        prev := Some view);
+    incr i;
+    if !continue && (iterations <= 0 || !i < iterations) then
+      Unix.sleepf (float_of_int interval_ms /. 1000.0)
+  done;
+  !code
+
+let top_cmd =
+  let doc =
+    "Live ops console for a running daemon: polls metrics/health/flight \
+     and renders request rates, per-method latency quantiles with their \
+     max-latency trace exemplars, shed/drain state, endpoint health and \
+     the flight-recorder tail."
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 1_000
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Poll interval.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Stop after $(docv) polls (default 0 = until interrupted).")
+  in
+  let no_clear_arg =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:"Append frames instead of clearing the screen (for logs).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 5_000
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-poll connect/send/receive timeout (0 disables).")
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const run_top $ host_arg $ port_arg $ timeout_arg $ interval_arg
+      $ iterations_arg $ no_clear_arg)
 
 (* --- bench: load-generate against a self-hosted daemon ------------------- *)
 
@@ -1227,6 +1411,7 @@ let () =
             landscape_cmd;
             serve_cmd;
             query_cmd;
+            top_cmd;
             bench_cmd;
             coverage_cmd;
             accuracy_cmd;

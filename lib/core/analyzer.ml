@@ -100,6 +100,16 @@ type t = {
   steps_total : int ref;
   api_calls : int ref;
   mutable telemetry : telemetry option;
+  req_ctx : Obs.Trace.ctx option Atomic.t;
+      (* Request-scoped trace context (daemon [query]/[advance]): while
+         set, every item is treated as sampled and its RPC/EVM spans
+         carry the context's trace/span ids.  Only one request-scoped
+         analysis runs at a time (the daemon serializes them under its
+         advance lock), so a plain atomic slot suffices. *)
+  transport_obs : (Resilience.Transport.event -> unit) option Atomic.t;
+      (* External observer of raw transport events (the daemon's flight
+         recorder); called from worker domains, so it must be
+         thread-safe. *)
 }
 
 (* Per-item execution environment.  Sequentially it aliases the analyzer's
@@ -370,7 +380,21 @@ let group_key chain addr = Keccak.digest (Chain.code_at chain addr)
 let make_transport t ctx addr chain obs =
   let subject = Address.to_hex addr in
   let worker = Engine.worker_id ctx in
-  let on_event = function
+  (* Args joining a worker-lane span to the active request trace, when
+     one is set; leaf spans carry the request span as their parent. *)
+  let req_trace_args () =
+    match Atomic.get t.req_ctx with
+    | None -> []
+    | Some c ->
+        [
+          ("trace_id", Json.String (Obs.Trace.id_to_hex c.Obs.Trace.trace_id));
+          ( "parent_span_id",
+            Json.String (Obs.Trace.id_to_hex c.Obs.Trace.span_id) );
+        ]
+  in
+  let on_event ev =
+    (match Atomic.get t.transport_obs with Some f -> f ev | None -> ());
+    match ev with
     | Resilience.Transport.Retry { attempt; reason; delay } ->
         Engine.emit_from ctx
           (Engine.Retry_attempted { subject; attempt; reason; delay; worker })
@@ -414,10 +438,12 @@ let make_transport t ctx addr chain obs =
                 Obs.Trace.complete tr ~tid:(worker + 1) ~cat:"rpc" ~name:meth
                   ~ts:(Obs.Trace.now tr) ~dur:latency
                   ~args:
-                    [
-                      ("subject", Json.String subject);
-                      ("outcome", Json.String outcome);
-                    ]
+                    ([
+                       ("subject", Json.String subject);
+                       ("outcome", Json.String outcome);
+                       ("endpoint", Json.String endpoint);
+                     ]
+                    @ req_trace_args ())
             | _ -> ())
         | _ -> ())
   in
@@ -439,8 +465,9 @@ let item_obs_for t addr =
             (if t.par then Obs.Metrics.shard tm.tm_registry
              else tm.tm_registry);
           io_sampled =
-            (tm.tm_sample > 0
-            && Hashtbl.hash (Address.to_hex addr) mod tm.tm_sample = 0);
+            (Atomic.get t.req_ctx <> None
+            || tm.tm_sample > 0
+               && Hashtbl.hash (Address.to_hex addr) mod tm.tm_sample = 0);
           io_frames = ref 0;
         }
 
@@ -462,12 +489,26 @@ let item_tracer t ctx obs =
             match (tm.tm_trace, !stack) with
             | Some tr, (kind, ts) :: rest when io.io_sampled ->
                 stack := rest;
+                let args =
+                  match Atomic.get t.req_ctx with
+                  | None -> []
+                  | Some c ->
+                      [
+                        ( "trace_id",
+                          Json.String
+                            (Obs.Trace.id_to_hex c.Obs.Trace.trace_id) );
+                        ( "parent_span_id",
+                          Json.String (Obs.Trace.id_to_hex c.Obs.Trace.span_id)
+                        );
+                      ]
+                in
                 Obs.Trace.complete tr
                   ~tid:(Engine.worker_id ctx + 1)
                   ~cat:"evm"
                   ~name:(Evm.Interp.call_kind_to_string kind)
                   ~ts
                   ~dur:(Obs.Trace.now tr -. ts)
+                  ~args
             | _ -> ());
       }
   | _ -> Evm.Interp.no_tracer
@@ -662,6 +703,8 @@ let make_with_engine ~config ~resilience ~chain ~source build_engine =
       steps_total = ref 0;
       api_calls = ref 0;
       telemetry = None;
+      req_ctx = Atomic.make None;
+      transport_obs = Atomic.make None;
     }
   in
   self := Some t;
@@ -770,6 +813,10 @@ let instrument ?trace ?log ?(trace_sample = 16) registry t =
           (float_of_int s.Keccak.Memo.misses)
     | _ -> ());
   t.telemetry <- Some tm
+
+let set_request_ctx t ctx = Atomic.set t.req_ctx ctx
+let request_ctx t = Atomic.get t.req_ctx
+let set_transport_observer t obs = Atomic.set t.transport_obs obs
 
 let run ?max_batches t =
   Array.fill t.views 0 (Array.length t.views) None;
@@ -995,6 +1042,8 @@ let restore ?batch_size ?domains
       steps_total = ref steps;
       api_calls = ref api_calls;
       telemetry = None;
+      req_ctx = Atomic.make None;
+      transport_obs = Atomic.make None;
     }
   in
   List.iter (fun (k, v) -> Hashtbl.replace t.detection_cache k v) detection_entries;

@@ -72,6 +72,25 @@ val instrument :
     attaches the structured progress backend.  Call once, before
     {!run}. *)
 
+val set_request_ctx : t -> Obs.Trace.ctx option -> unit
+(** Set (or clear, with [None]) the request-scoped trace context.
+    While set, {e every} item is treated as trace-sampled and its
+    worker-lane RPC and EVM-frame spans carry the context's [trace_id]
+    with the context's span as [parent_span_id] — the daemon sets it
+    around a traced [query]/[advance] so endpoint attempts (including
+    quorum votes and hedges) and probe frames land inside the request
+    span.  Callers must serialize: one request-scoped analysis at a
+    time (the daemon's advance lock does this). *)
+
+val request_ctx : t -> Obs.Trace.ctx option
+
+val set_transport_observer :
+  t -> (Resilience.Transport.event -> unit) option -> unit
+(** Observe every raw transport event (dispatches, retries, breaker
+    flips, quorum disagreements, hedges) from whatever worker domain
+    produced it — the daemon's flight recorder taps this.  The callback
+    must be thread-safe and cheap. *)
+
 (** {1 Scheduling} *)
 
 val submit : t -> Evm.Address.t list -> unit

@@ -1401,6 +1401,7 @@ module Telemetry = struct
                   ("api_calls", Json.Int timing.t_api_calls);
                   ("steps", Json.Int timing.t_steps);
                 ]
+          else Obs.Log.note_suppressed log
       | Stage_errored { stage; subject; message; _ } ->
           lg Obs.Log.Warn "stage errored" ~subject
             ~fields:
@@ -1419,6 +1420,7 @@ module Telemetry = struct
                   ("reason", Json.String reason);
                   ("delay_s", Json.Float delay);
                 ]
+          else Obs.Log.note_suppressed log
       | Circuit_opened { endpoint; subject; failures; _ } ->
           incr opened;
           if Obs.Log.enabled log Obs.Log.Debug then
@@ -1428,11 +1430,13 @@ module Telemetry = struct
                   ("endpoint", Json.String endpoint);
                   ("failures", Json.Int failures);
                 ]
+          else Obs.Log.note_suppressed log
       | Circuit_closed { endpoint; subject; _ } ->
           incr closed;
           if Obs.Log.enabled log Obs.Log.Debug then
             lg Obs.Log.Debug "circuit closed" ~subject
               ~fields:[ ("endpoint", Json.String endpoint) ]
+          else Obs.Log.note_suppressed log
       | Item_skipped { subject; message; fault_class; attempts; _ } ->
           lg Obs.Log.Warn "item skipped" ~subject
             ~fields:

@@ -1,0 +1,87 @@
+module Json = Report.Json
+
+type event = {
+  fl_seq : int;
+  fl_ts : float;
+  fl_kind : string;
+  fl_fields : (string * Json.t) list;
+}
+
+type t = {
+  clock : Clock.t;
+  capacity : int;
+  buf : event option array;
+  lock : Mutex.t;
+  mutable total : int;
+}
+
+let create ?(clock = Clock.real) ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Obs.Flight.create: capacity must be > 0";
+  {
+    clock;
+    capacity;
+    buf = Array.make capacity None;
+    lock = Mutex.create ();
+    total = 0;
+  }
+
+let capacity t = t.capacity
+
+let record ?(fields = []) t kind =
+  Mutex.lock t.lock;
+  (* Clock read under the lock: with an auto-stepping virtual clock the
+     (seq, ts) pairing stays deterministic for a given recording order. *)
+  let ts = Clock.now t.clock in
+  let seq = t.total in
+  t.buf.(seq mod t.capacity) <-
+    Some { fl_seq = seq; fl_ts = ts; fl_kind = kind; fl_fields = fields };
+  t.total <- seq + 1;
+  Mutex.unlock t.lock
+
+let recorded t =
+  Mutex.lock t.lock;
+  let n = t.total in
+  Mutex.unlock t.lock;
+  n
+
+let events t =
+  Mutex.lock t.lock;
+  let n = min t.total t.capacity in
+  let first = t.total - n in
+  let out =
+    List.init n (fun i ->
+        match t.buf.((first + i) mod t.capacity) with
+        | Some ev -> ev
+        | None -> assert false)
+  in
+  Mutex.unlock t.lock;
+  out
+
+let event_json ev =
+  Json.Obj
+    ([
+       ("seq", Json.Int ev.fl_seq);
+       ("ts", Trace.micros ev.fl_ts);
+       ("kind", Json.String ev.fl_kind);
+     ]
+    @ match ev.fl_fields with [] -> [] | fields -> [ ("fields", Json.Obj fields) ])
+
+let to_json ?limit t =
+  let evs = events t in
+  let evs =
+    match limit with
+    | Some n when n >= 0 ->
+        let len = List.length evs in
+        if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs
+    | _ -> evs
+  in
+  Json.Obj
+    [
+      ("capacity", Json.Int t.capacity);
+      ("recorded", Json.Int (recorded t));
+      ("events", Json.List (List.map event_json evs));
+    ]
+
+let write ?limit t oc =
+  output_string oc (Json.to_string (to_json ?limit t));
+  output_char oc '\n'

@@ -1,0 +1,36 @@
+(** Flight recorder: an always-on bounded ring of recent structured
+    events.
+
+    The daemon records every notable occurrence — requests (with
+    latency and trace_id), chain advances, reorg rollbacks, breaker
+    flips, quorum quarantines, connection sheds, journal commits —
+    into a fixed-capacity ring.  When something goes wrong (drain,
+    fatal signal, worker crash) the ring is dumped to disk, giving the
+    operator the last N events before the incident.  Timestamps come
+    from the injectable {!Clock}, so ring contents are deterministic
+    under a virtual clock.  All operations are thread-safe. *)
+
+type t
+
+val create : ?clock:Clock.t -> ?capacity:int -> unit -> t
+(** A fresh ring holding the most recent [capacity] (default 256)
+    events.  Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val record : ?fields:(string * Report.Json.t) list -> t -> string -> unit
+(** [record t kind] appends an event, evicting the oldest when full.
+    The clock is read under the ring's lock, so with an auto-stepping
+    virtual clock the (seq, ts) pairing is a pure function of the
+    recording order. *)
+
+val recorded : t -> int
+(** Total events ever recorded (≥ the number retained). *)
+
+val to_json : ?limit:int -> t -> Report.Json.t
+(** [{"capacity": _, "recorded": _, "events": [...]}], events oldest
+    first; [limit] keeps only the newest [limit] of the retained
+    events.  Each event is [{"seq", "ts" (µs), "kind", "fields"?}]. *)
+
+val write : ?limit:int -> t -> out_channel -> unit
+(** {!to_json} serialized to a channel with a trailing newline. *)

@@ -20,16 +20,30 @@ let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
 
 type t = {
   clock : Clock.t;
-  min_level : level;
+  mutable min_level : level;
   json : bool;
   oc : out_channel;
   lock : Mutex.t;
+  mutable suppressed : int;
 }
 
 let create ?(clock = Clock.real) ?(level = Info) ?(json = false) oc =
-  { clock; min_level = level; json; oc; lock = Mutex.create () }
+  { clock; min_level = level; json; oc; lock = Mutex.create (); suppressed = 0 }
 
 let enabled t level = severity level >= severity t.min_level
+
+let level t = t.min_level
+
+let suppressed t =
+  Mutex.lock t.lock;
+  let n = t.suppressed in
+  Mutex.unlock t.lock;
+  n
+
+let note_suppressed t =
+  Mutex.lock t.lock;
+  t.suppressed <- t.suppressed + 1;
+  Mutex.unlock t.lock
 
 let text_line ~ts ~level ~component ~subject ~fields msg =
   let buf = Buffer.create 96 in
@@ -63,8 +77,20 @@ let json_line ~ts ~level ~component ~subject ~fields msg =
        @ [ ("msg", Json.String msg) ]
        @ match fields with [] -> [] | fs -> [ ("fields", Json.Obj fs) ]))
 
+let emit t ~level ~component ~subject ~fields msg =
+  let ts = Clock.now t.clock in
+  let line =
+    if t.json then json_line ~ts ~level ~component ~subject ~fields msg
+    else text_line ~ts ~level ~component ~subject ~fields msg
+  in
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
 let log t ?component ?subject ?(fields = []) level msg =
   if enabled t level then begin
+    (* Format outside the lock (clock reads are thread-safe), write
+       under it, matching the pre-suppression behavior. *)
     let ts = Clock.now t.clock in
     let line =
       if t.json then json_line ~ts ~level ~component ~subject ~fields msg
@@ -76,3 +102,23 @@ let log t ?component ?subject ?(fields = []) level msg =
     flush t.oc;
     Mutex.unlock t.lock
   end
+  else note_suppressed t
+
+let set_level t new_level =
+  Mutex.lock t.lock;
+  if new_level <> t.min_level then begin
+    (* Flush the suppression tally before the boundary moves: once the
+       level changes, "N records fell below the old threshold" can no
+       longer be reconstructed, so it must not be silently lost. *)
+    if t.suppressed > 0 then
+      emit t ~level:Info ~component:(Some "log") ~subject:None
+        ~fields:
+          [
+            ("suppressed", Json.Int t.suppressed);
+            ("below", Json.String (level_to_string t.min_level));
+          ]
+        "suppressed records";
+    t.suppressed <- 0;
+    t.min_level <- new_level
+  end;
+  Mutex.unlock t.lock

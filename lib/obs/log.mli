@@ -27,7 +27,27 @@ val create : ?clock:Clock.t -> ?level:level -> ?json:bool -> out_channel -> t
 
 val enabled : t -> level -> bool
 (** Whether a record at [level] would be emitted — guard expensive
-    field construction with this. *)
+    field construction with this, and pair the guard with
+    {!note_suppressed} so dropped records stay countable. *)
+
+val level : t -> level
+(** The sink's current minimum level. *)
+
+val set_level : t -> level -> unit
+(** Change the minimum level.  Before the boundary moves, any pending
+    suppression tally is flushed as an [Info] record
+    ([msg="suppressed records"], fields [suppressed]/[below]) and the
+    counter resets — no dropped records are silently lost across a
+    mid-run level change.  No-op when the level is unchanged. *)
+
+val suppressed : t -> int
+(** Records dropped below the current level since the last
+    {!set_level} flush (counting both filtered {!log} calls and
+    explicit {!note_suppressed} notes). *)
+
+val note_suppressed : t -> unit
+(** Count one record that a caller's [enabled] guard elided without
+    formatting.  Cheap; safe from any domain. *)
 
 val log :
   t ->
@@ -42,4 +62,5 @@ val log :
     [fields] carry structured extras.  In JSONL mode the record is
     [{"ts":..,"level":..,"component":..,"subject":..,"msg":..,
     "fields":{..}}] with absent options omitted; in text mode a single
-    aligned line. *)
+    aligned line.  Records below the sink's level are counted toward
+    {!suppressed} instead of being emitted. *)

@@ -11,11 +11,15 @@ type family = {
 
 (* One series: [sr_value] is the counter total, the gauge value, or the
    histogram sum; [sr_count] and [sr_buckets] (finite buckets plus one
-   +Inf slot) are histogram-only. *)
+   +Inf slot) are histogram-only.  [sr_ex_*] hold the exemplar — the
+   identity (a trace_id) of the max-value observation so far; [sr_ex_id]
+   empty means none recorded. *)
 type series = {
   mutable sr_value : float;
   mutable sr_count : float;
   sr_buckets : float array;
+  mutable sr_ex_value : float;
+  mutable sr_ex_id : string;
 }
 
 type key = string * (string * string) list
@@ -141,7 +145,15 @@ let find_series t fam labels =
         | Histogram bounds -> Array.make (Array.length bounds + 1) 0.0
         | Counter | Gauge -> [||]
       in
-      let s = { sr_value = 0.0; sr_count = 0.0; sr_buckets = buckets } in
+      let s =
+        {
+          sr_value = 0.0;
+          sr_count = 0.0;
+          sr_buckets = buckets;
+          sr_ex_value = 0.0;
+          sr_ex_id = "";
+        }
+      in
       Hashtbl.replace t.series key s;
       s
 
@@ -165,7 +177,19 @@ let set ?(labels = []) t fam v =
   | _ -> invalid_arg (Printf.sprintf "Metrics.set: %S is not a gauge" fam.f_name));
   with_series t fam labels (fun s -> s.sr_value <- v)
 
-let observe ?(labels = []) t fam v =
+(* The exemplar tracks the max-value observation: first observation
+   always wins an empty slot, later ones only on a strictly greater
+   value, so ties keep the earliest id and merges stay deterministic. *)
+let note_exemplar s v id =
+  match id with
+  | None -> ()
+  | Some id ->
+      if s.sr_ex_id = "" || v > s.sr_ex_value then begin
+        s.sr_ex_value <- v;
+        s.sr_ex_id <- id
+      end
+
+let observe ?(labels = []) ?exemplar t fam v =
   match fam.f_kind with
   | Histogram bounds ->
       with_series t fam labels (fun s ->
@@ -174,7 +198,8 @@ let observe ?(labels = []) t fam v =
           let n = Array.length bounds in
           let rec slot i = if i >= n || v <= bounds.(i) then i else slot (i + 1) in
           let i = slot 0 in
-          s.sr_buckets.(i) <- s.sr_buckets.(i) +. 1.0)
+          s.sr_buckets.(i) <- s.sr_buckets.(i) +. 1.0;
+          note_exemplar s v exemplar)
   | _ ->
       invalid_arg (Printf.sprintf "Metrics.observe: %S is not a histogram" fam.f_name)
 
@@ -212,7 +237,7 @@ let hset h v =
   h.h_series.sr_value <- v;
   Mutex.unlock h.h_lock
 
-let hobserve h v =
+let hobserve ?exemplar h v =
   match h.h_kind with
   | Histogram bounds ->
       Mutex.lock h.h_lock;
@@ -222,6 +247,7 @@ let hobserve h v =
       let n = Array.length bounds in
       let rec slot i = if i >= n || v <= bounds.(i) then i else slot (i + 1) in
       s.sr_buckets.(slot 0) <- s.sr_buckets.(slot 0) +. 1.0;
+      note_exemplar s v exemplar;
       Mutex.unlock h.h_lock
   | _ -> invalid_arg "Metrics.hobserve: not a histogram"
 
@@ -246,7 +272,9 @@ let absorb ~into sh =
               dst.sr_count <- dst.sr_count +. src.sr_count;
               Array.iteri
                 (fun i c -> dst.sr_buckets.(i) <- dst.sr_buckets.(i) +. c)
-                src.sr_buckets))
+                src.sr_buckets;
+              if src.sr_ex_id <> "" then
+                note_exemplar dst src.sr_ex_value (Some src.sr_ex_id)))
     sh.series;
   Hashtbl.reset sh.series;
   Mutex.unlock sh.lock;
@@ -268,6 +296,11 @@ let value ?(labels = []) t fam =
     (fun s ->
       match fam.f_kind with Histogram _ -> s.sr_count | _ -> s.sr_value)
     (read t fam labels)
+
+let exemplar ?(labels = []) t fam =
+  match read t fam labels with
+  | Some s when s.sr_ex_id <> "" -> Some (s.sr_ex_id, s.sr_ex_value)
+  | _ -> None
 
 type summary = { s_count : int; s_p50 : float; s_p90 : float; s_p99 : float }
 
@@ -365,6 +398,8 @@ let snapshot ?(suppress_volatile = false) t =
           sr_value = s.sr_value;
           sr_count = s.sr_count;
           sr_buckets = Array.copy s.sr_buckets;
+          sr_ex_value = s.sr_ex_value;
+          sr_ex_id = s.sr_ex_id;
         }
       in
       match Hashtbl.find_opt by_family name with
@@ -429,7 +464,14 @@ let to_prometheus ?suppress_volatile t =
                    (fmt s.sr_value));
               Buffer.add_string buf
                 (Printf.sprintf "%s_count%s %s\n" fam.f_name
-                   (label_string labels) (fmt s.sr_count)))
+                   (label_string labels) (fmt s.sr_count));
+              (* The 0.0.4 text format has no native exemplars, so the
+                 max-latency trace_id rides in a comment scrapers ignore
+                 but [lint] validates. *)
+              if s.sr_ex_id <> "" then
+                Buffer.add_string buf
+                  (Printf.sprintf "# EXEMPLAR %s%s %s %s\n" fam.f_name
+                     (label_string labels) s.sr_ex_id (fmt s.sr_ex_value)))
         series)
     (snapshot ?suppress_volatile t);
   Buffer.contents buf
@@ -453,34 +495,51 @@ let to_json ?suppress_volatile ?timestamp t =
                   Json.Obj
                     [ ("labels", labels_json); ("value", json_number s.sr_value) ]
               | Histogram bounds ->
+                  (* Cumulative counts, like the text exposition — the
+                     slots store per-bucket increments.  Built with
+                     explicit sequencing: [@]'s operand order is
+                     unspecified, so the +Inf total must not read the
+                     running sum via a side effect. *)
+                  let cum = ref 0.0 in
+                  let finite =
+                    List.mapi
+                      (fun i bound ->
+                        cum := !cum +. s.sr_buckets.(i);
+                        Json.Obj
+                          [
+                            ("le", Json.Float bound);
+                            ("count", json_number !cum);
+                          ])
+                      (Array.to_list bounds)
+                  in
+                  let total = !cum +. s.sr_buckets.(Array.length bounds) in
                   Json.Obj
-                    [
-                      ("labels", labels_json);
+                    ([
+                       ("labels", labels_json);
                       ( "buckets",
                         Json.List
-                          (List.concat
-                             (List.mapi
-                                (fun i bound ->
-                                  [
-                                    Json.Obj
-                                      [
-                                        ("le", Json.Float bound);
-                                        ("count", json_number s.sr_buckets.(i));
-                                      ];
-                                  ])
-                                (Array.to_list bounds))
+                          (finite
                           @ [
                               Json.Obj
                                 [
                                   ("le", Json.String "+Inf");
-                                  ( "count",
-                                    json_number
-                                      s.sr_buckets.(Array.length bounds) );
+                                  ("count", json_number total);
                                 ];
                             ]) );
                       ("sum", json_number s.sr_value);
                       ("count", json_number s.sr_count);
-                    ])
+                    ]
+                    @
+                    if s.sr_ex_id = "" then []
+                    else
+                      [
+                        ( "exemplar",
+                          Json.Obj
+                            [
+                              ("trace_id", Json.String s.sr_ex_id);
+                              ("value", json_number s.sr_ex_value);
+                            ] );
+                      ]))
             series
         in
         Json.Obj
@@ -610,6 +669,7 @@ let lint text =
   in
   let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
   let samples = ref [] in
+  let exemplars = ref [] in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i line ->
@@ -631,6 +691,10 @@ let lint text =
             Hashtbl.replace types name kind
         | _ -> err line_no "malformed TYPE line"
       end
+      else if String.length line >= 11 && String.sub line 0 11 = "# EXEMPLAR "
+      then
+        exemplars :=
+          (line_no, String.sub line 11 (String.length line - 11)) :: !exemplars
       else if String.length line >= 1 && line.[0] = '#' then ()
       else
         match parse_sample ~line_no line with
@@ -733,4 +797,49 @@ let lint text =
       if not (Hashtbl.mem sums (base, labels)) then
         err 0 (Printf.sprintf "histogram %s: missing _sum" base))
     hist;
+  (* Exemplar comments: [# EXEMPLAR name{labels} trace_id value] —
+     the series part must parse, the family must be a declared
+     histogram, the id must be 16 hex chars and the value a float. *)
+  let is_trace_id s =
+    String.length s = 16
+    && String.for_all
+         (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+         s
+  in
+  let rsplit s =
+    match String.rindex_opt s ' ' with
+    | None -> None
+    | Some i ->
+        Some
+          ( String.trim (String.sub s 0 i),
+            String.sub s (i + 1) (String.length s - i - 1) )
+  in
+  List.iter
+    (fun (line_no, body) ->
+      match rsplit (String.trim body) with
+      | None -> err line_no "malformed EXEMPLAR line (missing value)"
+      | Some (head1, value_str) -> (
+          match rsplit head1 with
+          | None -> err line_no "malformed EXEMPLAR line (missing trace_id)"
+          | Some (head, id) -> (
+              if float_of_string_opt value_str = None then
+                err line_no
+                  (Printf.sprintf "EXEMPLAR value %S is not a float" value_str);
+              if not (is_trace_id id) then
+                err line_no
+                  (Printf.sprintf "EXEMPLAR trace_id %S is not 16 hex chars" id);
+              match parse_sample ~line_no (head ^ " 0") with
+              | Error e -> errors := e :: !errors
+              | Ok s -> (
+                  match Hashtbl.find_opt types s.sm_name with
+                  | Some "histogram" -> ()
+                  | Some k ->
+                      err line_no
+                        (Printf.sprintf
+                           "EXEMPLAR for %S, a %s (histograms only)" s.sm_name k)
+                  | None ->
+                      err line_no
+                        (Printf.sprintf "EXEMPLAR for undeclared family %S"
+                           s.sm_name)))))
+    (List.rev !exemplars);
   match List.rev !errors with [] -> Ok () | es -> Error es

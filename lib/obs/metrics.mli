@@ -54,8 +54,19 @@ val inc : ?labels:(string * string) list -> ?by:float -> t -> family -> unit
 val set : ?labels:(string * string) list -> t -> family -> float -> unit
 (** Set a gauge series. *)
 
-val observe : ?labels:(string * string) list -> t -> family -> float -> unit
-(** Record one observation into a histogram series. *)
+val observe :
+  ?labels:(string * string) list ->
+  ?exemplar:string ->
+  t ->
+  family ->
+  float ->
+  unit
+(** Record one observation into a histogram series.  [exemplar]
+    attaches an identity (a trace_id) to the observation: the series
+    keeps the exemplar of its maximum-valued observation — first
+    observation wins an empty slot, later ones only on a strictly
+    greater value, so ties keep the earliest id and the result is
+    deterministic for a given observation order. *)
 
 val find : t -> string -> family option
 (** Look up an already-registered family by name — for reading metrics
@@ -80,7 +91,7 @@ val hinc : ?by:float -> handle -> unit
 val hset : handle -> float -> unit
 (** {!set} through a pre-resolved gauge handle. *)
 
-val hobserve : handle -> float -> unit
+val hobserve : ?exemplar:string -> handle -> float -> unit
 (** {!observe} through a pre-resolved histogram handle. *)
 
 (** {1 Shards} *)
@@ -92,7 +103,8 @@ val shard : t -> t
 
 val absorb : into:t -> t -> unit
 (** Merge a shard's series into [into]: counters and histogram
-    bucket/sum/count pairs add; gauges overwrite.  The shard is left
+    bucket/sum/count pairs add; gauges overwrite; exemplars keep the
+    max-valued one (the destination wins ties).  The shard is left
     empty and reusable. *)
 
 (** {1 Reading} *)
@@ -100,6 +112,11 @@ val absorb : into:t -> t -> unit
 val value : ?labels:(string * string) list -> t -> family -> float option
 (** Current value of a counter/gauge series ([None] if never touched).
     For histograms, returns the observation count. *)
+
+val exemplar :
+  ?labels:(string * string) list -> t -> family -> (string * float) option
+(** The (trace_id, value) exemplar of a histogram series's max-valued
+    observation, when one was recorded. *)
 
 type summary = { s_count : int; s_p50 : float; s_p90 : float; s_p99 : float }
 
@@ -115,12 +132,18 @@ val to_prometheus : ?suppress_volatile:bool -> t -> string
 (** Prometheus text exposition (format version 0.0.4): [# HELP]/[# TYPE]
     headers, histogram [_bucket]/[_sum]/[_count] expansion, families and
     series in sorted order.  [suppress_volatile] (default false) omits
-    families registered as volatile. *)
+    families registered as volatile.  Histogram series carrying an
+    exemplar additionally emit a
+    [# EXEMPLAR name{labels} trace_id value] comment line after their
+    [_count] — 0.0.4 scrapers ignore it, {!lint} validates it. *)
 
 val to_json : ?suppress_volatile:bool -> ?timestamp:float -> t -> Report.Json.t
 (** JSON snapshot: [{"timestamp": ...?, "metrics": [...]}].  The
     timestamp field is present only when [timestamp] is given — omit it
-    (and suppress volatile families) for byte-comparable snapshots. *)
+    (and suppress volatile families) for byte-comparable snapshots.
+    Histogram bucket counts are cumulative (Prometheus semantics, same
+    as the text exposition).  Histogram series with an exemplar carry
+    an [{"exemplar": {"trace_id", "value"}}] field. *)
 
 (** {1 Exposition linting} *)
 
@@ -128,5 +151,7 @@ val lint : string -> (unit, string list) result
 (** Validate a Prometheus text exposition: metric/label name syntax,
     float-parsable values, every sample covered by a [# TYPE] header,
     no duplicate series, histogram buckets monotonic with a [+Inf]
-    bucket matching [_count], and [_sum]/[_count] present.  Returns all
+    bucket matching [_count], and [_sum]/[_count] present.
+    [# EXEMPLAR] comment lines must name a declared histogram family
+    with a 16-hex-char trace_id and a float value.  Returns all
     violations found. *)

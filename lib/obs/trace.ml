@@ -66,6 +66,116 @@ let count t =
   Mutex.unlock t.lock;
   n
 
+(* ------------------------------------------------------------------ *)
+(* Span contexts.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64, inlined: lib/obs sits below lib/dataset in the build, so
+   it cannot reuse Dataset.Prng.  Same constants, same stream. *)
+let splitmix64 (x : int64) : int64 =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+type ctx = { trace_id : int64; span_id : int64 }
+
+let id_to_hex (id : int64) = Printf.sprintf "%016Lx" id
+
+let is_hex_id s =
+  String.length s = 16
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) s
+
+let id_of_hex s = if is_hex_id s then Some (Int64.of_string ("0x" ^ s)) else None
+
+type gen = { mutable g_state : int64; g_lock : Mutex.t }
+
+let gen ~seed = { g_state = Int64.of_int seed; g_lock = Mutex.create () }
+
+let next_ctx g =
+  Mutex.lock g.g_lock;
+  let s1 = Int64.add g.g_state 1L in
+  let s2 = Int64.add s1 1L in
+  g.g_state <- s2;
+  Mutex.unlock g.g_lock;
+  { trace_id = splitmix64 s1; span_id = splitmix64 s2 }
+
+let child ctx ~index =
+  {
+    ctx with
+    span_id = splitmix64 (Int64.logxor ctx.span_id (Int64.of_int (index + 1)));
+  }
+
+let ctx_args ?parent ctx =
+  [
+    ("trace_id", Json.String (id_to_hex ctx.trace_id));
+    ("span_id", Json.String (id_to_hex ctx.span_id));
+  ]
+  @
+  match parent with
+  | Some p -> [ ("parent_span_id", Json.String (id_to_hex p.span_id)) ]
+  | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Live spans.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  sp_trace : t;
+  sp_ctx : ctx;
+  sp_parent : ctx option;
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_ts : float;
+  mutable sp_children : int;
+  mutable sp_finished : bool;
+}
+
+let start_span ?(tid = 0) ?(cat = "request") ?parent ?parent_ctx ?ctx t name =
+  let parent_ctx, ctx =
+    match (ctx, parent) with
+    | Some c, Some p -> (Some p.sp_ctx, c)
+    | Some c, None -> (parent_ctx, c)
+    | None, Some p ->
+        let index = p.sp_children in
+        p.sp_children <- index + 1;
+        (Some p.sp_ctx, child p.sp_ctx ~index)
+    | None, None ->
+        (* Root span with no supplied context: derive one from the clock
+           so virtual-clock runs stay deterministic. *)
+        let s = Int64.bits_of_float (Clock.now t.clock) in
+        (None, { trace_id = splitmix64 s; span_id = splitmix64 (splitmix64 s) })
+  in
+  {
+    sp_trace = t;
+    sp_ctx = ctx;
+    sp_parent = parent_ctx;
+    sp_name = name;
+    sp_cat = cat;
+    sp_tid = tid;
+    sp_ts = Clock.now t.clock;
+    sp_children = 0;
+    sp_finished = false;
+  }
+
+let span_ctx sp = sp.sp_ctx
+let next_child_index sp =
+  let index = sp.sp_children in
+  sp.sp_children <- index + 1;
+  index
+
+let finish_span ?(args = []) sp =
+  if not sp.sp_finished then begin
+    sp.sp_finished <- true;
+    let t = sp.sp_trace in
+    complete ~tid:sp.sp_tid ~cat:sp.sp_cat
+      ~args:(ctx_args ?parent:sp.sp_parent sp.sp_ctx @ args)
+      t ~name:sp.sp_name ~ts:sp.sp_ts
+      ~dur:(Clock.now t.clock -. sp.sp_ts)
+  end
+
 let micros s =
   (* Timestamps are whole microseconds where possible so the JSON stays
      integer-valued and byte-stable; fractional values are kept exact —
@@ -101,3 +211,19 @@ let to_json t =
 let write t oc =
   output_string oc (Json.to_string (to_json t));
   output_char oc '\n'
+
+let events_for t ~trace_id =
+  Mutex.lock t.lock;
+  let events = List.rev t.events in
+  Mutex.unlock t.lock;
+  List.filter
+    (fun ev ->
+      List.exists
+        (fun (k, v) -> k = "trace_id" && v = Json.String trace_id)
+        ev.ev_args)
+    events
+
+let span_tree_json t ~trace_id =
+  (* Flat list in arrival order; parent_span_id args encode the tree.
+     Used by the slow-request log, so the shape must be line-friendly. *)
+  Json.List (List.map event_json (events_for t ~trace_id))

@@ -62,6 +62,83 @@ val with_span :
 val count : t -> int
 (** Number of events recorded so far. *)
 
+(** {1 Span contexts}
+
+    Request-scoped correlation ids, splitmix64-derived so they are
+    deterministic for a given seed.  A context is a
+    [(trace_id, span_id)] pair of 64-bit ids rendered as 16 lowercase
+    hex characters on the wire; child spans derive their [span_id] from
+    the parent's, keeping the whole tree reproducible. *)
+
+type ctx = { trace_id : int64; span_id : int64 }
+
+type gen
+(** A seeded generator of root contexts (thread-safe). *)
+
+val gen : seed:int -> gen
+val next_ctx : gen -> ctx
+(** The next root context in the generator's splitmix64 stream. *)
+
+val child : ctx -> index:int -> ctx
+(** Deterministic child context: same [trace_id], [span_id] derived
+    from the parent's span id and the 0-based child [index]. *)
+
+val id_to_hex : int64 -> string
+(** 16 lowercase hex characters, zero-padded. *)
+
+val id_of_hex : string -> int64 option
+(** Inverse of {!id_to_hex}; [None] unless exactly 16 lowercase hex
+    characters. *)
+
+val ctx_args : ?parent:ctx -> ctx -> (string * Report.Json.t) list
+(** The [trace_id]/[span_id] (and [parent_span_id], when [parent] is
+    given) argument fields identifying a span. *)
+
+(** {1 Live spans}
+
+    Unlike the engine's post-hoc synthetic timeline, live spans are
+    opened and closed around real work with the collector's clock and
+    carry their context in the span args, so a request's child spans
+    can be joined across processes by [trace_id]. *)
+
+type span
+
+val start_span :
+  ?tid:int ->
+  ?cat:string ->
+  ?parent:span ->
+  ?parent_ctx:ctx ->
+  ?ctx:ctx ->
+  t ->
+  string ->
+  span
+(** Open a live span.  [ctx] pins the context explicitly; otherwise a
+    child context is derived from [parent], or (neither given) a root
+    context is derived from the clock.  [parent_ctx] records a
+    cross-process parent (a client's context carried on the wire) when
+    [ctx] is explicit and no local parent span exists.  [cat] defaults
+    to ["request"]. *)
+
+val span_ctx : span -> ctx
+
+val next_child_index : span -> int
+(** Reserve the next 0-based child slot (for deriving child contexts
+    handed to other subsystems). *)
+
+val finish_span : ?args:(string * Report.Json.t) list -> span -> unit
+(** Record the span as a complete event with its context args ([args]
+    appended).  Idempotent: only the first call records. *)
+
+val span_tree_json : t -> trace_id:string -> Report.Json.t
+(** All recorded events whose args carry the given [trace_id] (16 hex
+    chars), in arrival order, as a JSON list.  The flat list plus the
+    [parent_span_id] links encode the span tree; used by the daemon's
+    slow-request log. *)
+
+val micros : float -> Report.Json.t
+(** Seconds as trace-format microseconds: an integer JSON value when
+    the microsecond count is whole (byte-stable), a float otherwise. *)
+
 val to_json : t -> Report.Json.t
 (** The full [{"traceEvents": [...], "displayTimeUnit": "ms"}] object. *)
 

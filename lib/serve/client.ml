@@ -63,10 +63,12 @@ let connect ?(host = "127.0.0.1") ?timeout_ms ~port () =
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let call_result t ~meth ~params =
+let call_result ?trace t ~meth ~params =
   let id = t.next_id in
   t.next_id <- id + 1;
-  match Wire.write_frame t.fd (Wire.request_to_string ~id ~meth ~params) with
+  match
+    Wire.write_frame t.fd (Wire.request_to_string ?trace ~id ~meth ~params ())
+  with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       Error "send timed out"
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
@@ -85,8 +87,8 @@ let call_result t ~meth ~params =
                   Error (Printf.sprintf "response id %d for request %d" got id)
               | _ -> Ok resp.Wire.rs_result)))
 
-let call t ~meth ~params =
-  match call_result t ~meth ~params with
+let call ?trace t ~meth ~params =
+  match call_result ?trace t ~meth ~params with
   | Error e -> Error e
   | Ok (Ok result) -> Ok result
   | Ok (Error { Wire.code; message }) ->

@@ -13,14 +13,18 @@ val connect : ?host:string -> ?timeout_ms:int -> port:int -> unit -> (t, string)
 val close : t -> unit
 
 val call :
+  ?trace:Wire.trace_ctx ->
   t ->
   meth:string ->
   params:(string * Report.Json.t) list ->
   (Report.Json.t, string) result
 (** One request/response round-trip.  Error responses are rendered as
-    ["error <code>: <message>"]; wire failures as their own message. *)
+    ["error <code>: <message>"]; wire failures as their own message.
+    [trace] attaches a trace context the daemon adopts, so its spans
+    join the client's trace. *)
 
 val call_result :
+  ?trace:Wire.trace_ctx ->
   t ->
   meth:string ->
   params:(string * Report.Json.t) list ->

@@ -33,6 +33,10 @@ module Config = struct
     advance_spec : Advance.spec;
     analysis : Proxion.Pipeline.Config.t;
     resilience : Resilience.Transport.config;
+    slow_ms : int option;
+    flight_capacity : int;
+    flight_dump : string option;
+    trace_seed : int;
   }
 
   let default =
@@ -54,6 +58,10 @@ module Config = struct
       advance_spec = Advance.default_spec;
       analysis = Proxion.Pipeline.Config.default;
       resilience = Resilience.Transport.default_config;
+      slow_ms = None;
+      flight_capacity = 256;
+      flight_dump = None;
+      trace_seed = 11;
     }
 
   let with_host host t = { t with host }
@@ -76,6 +84,10 @@ module Config = struct
   let with_advance_spec advance_spec t = { t with advance_spec }
   let with_analysis analysis t = { t with analysis }
   let with_resilience resilience t = { t with resilience }
+  let with_slow_ms slow_ms t = { t with slow_ms }
+  let with_flight_capacity flight_capacity t = { t with flight_capacity }
+  let with_flight_dump flight_dump t = { t with flight_dump }
+  let with_trace_seed trace_seed t = { t with trace_seed }
 
   let validate t =
     let module V = Report.Validate in
@@ -98,6 +110,10 @@ module Config = struct
             t.advance_spec.Advance.upgrades;
           V.non_negative ~field:"advance_spec.reorg_depth"
             t.advance_spec.Advance.reorg_depth;
+          V.positive ~field:"flight_capacity" t.flight_capacity;
+          (match t.slow_ms with
+          | None -> Ok ()
+          | Some n -> V.positive ~field:"slow_ms" n);
         ]
     with
     | Ok () -> (
@@ -141,6 +157,9 @@ type t = {
   journal : Journal.t option;
   registry : Metrics.t;
   log : Obs.Log.t option;
+  trace : Obs.Trace.t option;
+  flight : Obs.Flight.t;
+  trace_gen : Obs.Trace.gen;
   fams : families;
   obs_lock : Mutex.t;
   advance_lock : Mutex.t;
@@ -184,6 +203,42 @@ let logf t level msg =
   | Some log ->
       Mutex.lock t.obs_lock;
       Obs.Log.log log ~component:"serve" level msg;
+      Mutex.unlock t.obs_lock
+
+let flight t = t.flight
+
+(* Atomic (tmp + rename) so a dump racing a reader — or a crash mid
+   write — never leaves a truncated file at the published path. *)
+let dump_flight t =
+  match t.cfg.Config.flight_dump with
+  | None -> ()
+  | Some path -> (
+      try
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Obs.Flight.write t.flight oc;
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ -> ())
+
+(* Every admission-gate shed leaves three agreeing records: the
+   [reason]-labelled counter, a flight-recorder event, and a structured
+   access-log line — a connection turned away with 1002 is never
+   invisible to any one of the three surfaces. *)
+let note_shed t ~reason =
+  Metrics.inc ~labels:[ ("reason", reason) ] t.registry t.fams.m_shed_conns;
+  Obs.Flight.record t.flight "shed" ~fields:[ ("reason", Json.String reason) ];
+  match t.log with
+  | None -> ()
+  | Some log ->
+      Mutex.lock t.obs_lock;
+      Obs.Log.log log ~component:"serve"
+        ~fields:
+          [
+            ("reason", Json.String reason);
+            ("code", Json.Int Wire.err_overloaded);
+          ]
+        Obs.Log.Warn "connection shed";
       Mutex.unlock t.obs_lock
 
 (* ------------------------------------------------------------------ *)
@@ -244,7 +299,13 @@ let commit_snapshot t =
   | Some j -> (
       let payload = Json.to_string ~pretty:false (snapshot_json t) in
       match Journal.checkpoint j payload with
-      | Ok () -> ()
+      | Ok () ->
+          Obs.Flight.record t.flight "journal_commit"
+            ~fields:
+              [
+                ("advances", Json.Int (Advance.applied t.advancer));
+                ("bytes", Json.Int (String.length payload));
+              ]
       | Error e -> failwith ("journal checkpoint failed: " ^ e))
 
 (* ------------------------------------------------------------------ *)
@@ -345,7 +406,36 @@ let parse_snapshot payload =
   in
   Ok (advances, height, analyzer, entries)
 
-let create ?(config = Config.default) ?registry ?log landscape =
+(* Breaker flips and quorum quarantines reach the flight recorder
+   straight from the transport layer, whatever worker domain produced
+   them — the ring's lock is the only synchronization needed. *)
+let transport_flight flight (ev : Resilience.Transport.event) =
+  match ev with
+  | Resilience.Transport.Circuit_opened { endpoint; failures } ->
+      Obs.Flight.record flight "breaker_open"
+        ~fields:
+          [
+            ("endpoint", Json.String endpoint);
+            ("failures", Json.Int failures);
+          ]
+  | Resilience.Transport.Circuit_closed { endpoint } ->
+      Obs.Flight.record flight "breaker_close"
+        ~fields:[ ("endpoint", Json.String endpoint) ]
+  | Resilience.Transport.Quorum_disagreement { meth; endpoint } ->
+      Obs.Flight.record flight "quorum_quarantine"
+        ~fields:
+          [ ("method", Json.String meth); ("endpoint", Json.String endpoint) ]
+  | Resilience.Transport.Hedged { meth; primary; secondary } ->
+      Obs.Flight.record flight "hedge"
+        ~fields:
+          [
+            ("method", Json.String meth);
+            ("primary", Json.String primary);
+            ("secondary", Json.String secondary);
+          ]
+  | Resilience.Transport.Retry _ | Resilience.Transport.Dispatched _ -> ()
+
+let create ?(config = Config.default) ?registry ?log ?trace landscape =
   let* config =
     Result.map_error Report.Validate.to_string (Config.validate config)
   in
@@ -378,6 +468,11 @@ let create ?(config = Config.default) ?registry ?log landscape =
         journal;
         registry;
         log;
+        trace;
+        flight =
+          Obs.Flight.create ~clock:config.Config.clock
+            ~capacity:config.Config.flight_capacity ();
+        trace_gen = Obs.Trace.gen ~seed:config.Config.trace_seed;
         fams;
         obs_lock = Mutex.create ();
         advance_lock = Mutex.create ();
@@ -400,6 +495,7 @@ let create ?(config = Config.default) ?registry ?log landscape =
       }
     in
     Atomic.set t.uc (Analyzer.unique_codes analyzer);
+    Analyzer.set_transport_observer analyzer (Some (transport_flight t.flight));
     Metrics.set registry fams.m_ready 1.0;
     Metrics.set registry fams.m_draining 0.0;
     t
@@ -435,7 +531,7 @@ let create ?(config = Config.default) ?registry ?log landscape =
         let t = finish analyzer store true in
         t.reorg_log <- !replayed_reorgs;
         subscribe_counters t.counters analyzer;
-        Analyzer.instrument t.registry analyzer;
+        Analyzer.instrument ?trace t.registry analyzer;
         Analyzer.refresh_head analyzer;
         ignore (Analyzer.drain_results analyzer);
         logf t Obs.Log.Info
@@ -451,7 +547,7 @@ let create ?(config = Config.default) ?registry ?log landscape =
       let store = Store.create () in
       let t = finish analyzer store false in
       subscribe_counters t.counters analyzer;
-      Analyzer.instrument t.registry analyzer;
+      Analyzer.instrument ?trace t.registry analyzer;
       Analyzer.submit_all analyzer;
       Analyzer.run analyzer;
       let n = drain_into_store t in
@@ -472,10 +568,13 @@ type advance_result = {
   adv_retracted : int;
 }
 
-let advance t =
+let advance ?ctx t =
   Mutex.lock t.advance_lock;
+  Analyzer.set_request_ctx t.analyzer ctx;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.advance_lock)
+    ~finally:(fun () ->
+      Analyzer.set_request_ctx t.analyzer None;
+      Mutex.unlock t.advance_lock)
     (fun () ->
       let summary = Advance.apply t.advancer in
       Analyzer.refresh_head t.analyzer;
@@ -529,6 +628,15 @@ let advance t =
       | None -> ()
       | Some rg ->
           t.reorg_log <- (summary.Advance.a_index, rg) :: t.reorg_log;
+          Obs.Flight.record t.flight "reorg"
+            ~fields:
+              [
+                ("advance", Json.Int summary.Advance.a_index);
+                ("depth", Json.Int rg.Advance.rg_depth);
+                ("rollback_to", Json.Int rg.Advance.rg_rollback_to);
+                ("orphaned", Json.Int (List.length rg.Advance.rg_orphaned));
+                ("retracted", Json.Int retracted);
+              ];
           Metrics.inc t.registry t.fams.m_reorgs;
           Metrics.inc
             ~by:(float_of_int retracted)
@@ -541,6 +649,14 @@ let advance t =
                rg.Advance.rg_rollback_to
                (List.length rg.Advance.rg_orphaned)
                retracted));
+      Obs.Flight.record t.flight "advance"
+        ~fields:
+          [
+            ("index", Json.Int summary.Advance.a_index);
+            ("height", Json.Int summary.Advance.a_height);
+            ("dirty", Json.Int (List.length dirty_addrs));
+            ("new", Json.Int (List.length summary.Advance.a_new_contracts));
+          ];
       logf t Obs.Log.Info
         (Printf.sprintf "advance %d: %d dirty, %d new, height %d"
            summary.Advance.a_index (List.length dirty_addrs)
@@ -812,7 +928,9 @@ let request_drain t =
   if not (Atomic.exchange t.draining true) then begin
     Metrics.set t.registry t.fams.m_ready 0.0;
     Metrics.set t.registry t.fams.m_draining 1.0;
-    logf t Obs.Log.Info "draining: refusing new work, finishing in-flight"
+    Obs.Flight.record t.flight "drain";
+    logf t Obs.Log.Info "draining: refusing new work, finishing in-flight";
+    dump_flight t
   end
 
 let request_stop t =
@@ -842,7 +960,7 @@ let handle_reorgs t =
          ("reorgs", Json.List (List.rev_map reorg_to_json log));
        ])
 
-let handle_advance t ~deadline params =
+let handle_advance t ~deadline ?ctx params =
   let* count = int_param ~default:1 params "count" in
   let count = min 64 (max 1 (Option.value ~default:1 count)) in
   let dirty = ref 0 and fresh = ref 0 and last = ref None in
@@ -851,7 +969,7 @@ let handle_advance t ~deadline params =
   (try
      for _ = 1 to count do
        if deadline_passed t deadline then raise Exit;
-       let r = advance t in
+       let r = advance ?ctx t in
        incr applied;
        dirty := !dirty + r.adv_dirty;
        fresh := !fresh + r.adv_new;
@@ -890,14 +1008,78 @@ let handle_advance t ~deadline params =
            ("retracted_findings", Json.Int !retracted);
          ])
 
+(* Live re-analysis of one subject under the request's trace context.
+   The subject's dedup entry is dropped first so detection actually
+   re-runs — archive endpoint attempts (quorum votes, hedges) and EVM
+   frames all execute inside the request span instead of short-circuiting
+   on the cache.  The fresh report is returned to the caller and then
+   DISCARDED: the resident store must stay byte-identical to a daemon
+   that never saw this query (a dedup twin's fresh report would
+   otherwise flip its [r_dedup_hit]), so queries are observably
+   side-effect-free. *)
+let handle_query t ~deadline ?ctx params =
+  let* addr, e = entry_for t params in
+  if deadline_passed t deadline then Error deadline_error
+  else begin
+    Mutex.lock t.advance_lock;
+    Analyzer.set_request_ctx t.analyzer ctx;
+    Fun.protect
+      ~finally:(fun () ->
+        Analyzer.set_request_ctx t.analyzer None;
+        Mutex.unlock t.advance_lock)
+      (fun () ->
+        Analyzer.invalidate_code_hash t.analyzer
+          e.Store.e_report.Analysis.r_code_hash;
+        Analyzer.submit t.analyzer [ addr ];
+        Analyzer.run t.analyzer;
+        let fresh =
+          List.find_opt
+            (fun (r : Analysis.contract_report) ->
+              Address.equal r.Analysis.r_address addr)
+            (Analyzer.drain_results t.analyzer)
+        in
+        Hashtbl.reset t.counters;
+        Atomic.set t.uc (Analyzer.unique_codes t.analyzer);
+        match fresh with
+        | None ->
+            Error
+              {
+                Wire.code = Wire.err_internal;
+                message = "live re-analysis produced no report";
+              }
+        | Some r ->
+            Ok
+              (Json.Obj
+                 ([
+                    ("address", Json.String (Address.to_hex addr));
+                    ("live", Json.Bool true);
+                    ("report", Serialize.contract_report_to_json r);
+                  ]
+                 @
+                 match ctx with
+                 | None -> []
+                 | Some c ->
+                     [
+                       ( "trace_id",
+                         Json.String (Obs.Trace.id_to_hex c.Obs.Trace.trace_id)
+                       );
+                     ])))
+  end
+
+let handle_flight t params =
+  let* limit = int_param params "limit" in
+  Ok (Obs.Flight.to_json ?limit t.flight)
+
 (* Methods a draining daemon still answers: the health surface (so
-   orchestrators can watch the drain), metrics scrapes, and a repeated
-   shutdown.  Everything else is shed with a structured error. *)
+   orchestrators can watch the drain), metrics scrapes, the flight
+   recorder (post-incident triage is exactly when it is wanted), and a
+   repeated shutdown.  Everything else is shed with a structured
+   error. *)
 let allowed_while_draining = function
-  | "health" | "ready" | "metrics" | "shutdown" -> true
+  | "health" | "ready" | "metrics" | "flight" | "shutdown" -> true
   | _ -> false
 
-let dispatch t ~deadline meth params =
+let dispatch t ~deadline ?ctx meth params =
   if Atomic.get t.draining && not (allowed_while_draining meth) then
     Error
       {
@@ -916,7 +1098,9 @@ let dispatch t ~deadline meth params =
     | "list_findings" -> handle_list_findings t params
     | "report" -> handle_report t
     | "metrics" -> handle_metrics t params
-    | "advance" -> handle_advance t ~deadline params
+    | "advance" -> handle_advance t ~deadline ?ctx params
+    | "query" -> handle_query t ~deadline ?ctx params
+    | "flight" -> handle_flight t params
     | "reorgs" -> handle_reorgs t
     | "shutdown" ->
         request_drain t;
@@ -930,40 +1114,86 @@ let dispatch t ~deadline meth params =
             message = Printf.sprintf "unknown method %S" meth;
           }
 
-let handle ?deadline t payload =
+(* Every request gets a trace context: either adopted from the wire
+   (the server span becomes a child of the client's, so cross-process
+   traces join on trace_id) or drawn from the daemon's seeded
+   generator.  The context exists even when no trace collector is
+   attached — it still names the request in the flight recorder, the
+   access log and the latency exemplars. *)
+let request_span_ctx t (req : Wire.request) =
+  match req.Wire.rq_trace with
+  | Some tc -> (
+      match
+        ( Obs.Trace.id_of_hex tc.Wire.tc_trace_id,
+          Obs.Trace.id_of_hex tc.Wire.tc_span_id )
+      with
+      | Some trace_id, Some span_id ->
+          let client = { Obs.Trace.trace_id; span_id } in
+          (Obs.Trace.child client ~index:0, Some client)
+      | _ -> (Obs.Trace.next_ctx t.trace_gen, None))
+  | None -> (Obs.Trace.next_ctx t.trace_gen, None)
+
+let handle_traced ?deadline t payload =
   match Wire.request_of_string payload with
-  | Error err -> (None, Wire.response_error ~id:Json.Null err)
+  | Error err -> (None, None, Wire.response_error ~id:Json.Null err)
   | Ok req -> (
       let id = req.Wire.rq_id in
-      match dispatch t ~deadline req.Wire.rq_method req.Wire.rq_params with
-      | Ok result -> (Some req.Wire.rq_method, Wire.response_ok ~id result)
-      | Error err -> (Some req.Wire.rq_method, Wire.response_error ~id err)
+      let meth = req.Wire.rq_method in
+      let ctx, parent_ctx = request_span_ctx t req in
+      let sp =
+        match t.trace with
+        | None -> None
+        | Some tr ->
+            Some (Obs.Trace.start_span ~cat:"request" ?parent_ctx ~ctx tr meth)
+      in
+      let finish ~ok response =
+        (match sp with
+        | None -> ()
+        | Some sp ->
+            Obs.Trace.finish_span
+              ~args:[ ("method", Json.String meth); ("ok", Json.Bool ok) ]
+              sp);
+        ( Some meth,
+          Some (Obs.Trace.id_to_hex ctx.Obs.Trace.trace_id),
+          response )
+      in
+      match dispatch t ~deadline ~ctx meth req.Wire.rq_params with
+      | Ok result -> finish ~ok:true (Wire.response_ok ~id result)
+      | Error err -> finish ~ok:false (Wire.response_error ~id err)
       | exception e ->
-          ( Some req.Wire.rq_method,
-            Wire.response_error ~id
-              {
-                Wire.code = Wire.err_internal;
-                message = Printexc.to_string e;
-              } ))
+          finish ~ok:false
+            (Wire.response_error ~id
+               {
+                 Wire.code = Wire.err_internal;
+                 message = Printexc.to_string e;
+               }))
+
+let handle ?deadline t payload =
+  let meth, _trace_id, response = handle_traced ?deadline t payload in
+  (meth, response)
 
 (* ------------------------------------------------------------------ *)
 (* Serving                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let access_log t meth ~ok ~bytes_in ~bytes_out ~elapsed =
+let access_log t meth ?trace_id ~ok ~bytes_in ~bytes_out ~elapsed () =
   match t.log with
   | None -> ()
   | Some log ->
       Mutex.lock t.obs_lock;
       Obs.Log.log log ~component:"serve"
         ~fields:
-          [
-            ("method", Json.String (Option.value ~default:"?" meth));
-            ("ok", Json.Bool ok);
-            ("bytes_in", Json.Int bytes_in);
-            ("bytes_out", Json.Int bytes_out);
-            ("seconds", Json.Float elapsed);
-          ]
+          ([
+             ("method", Json.String (Option.value ~default:"?" meth));
+             ("ok", Json.Bool ok);
+             ("bytes_in", Json.Int bytes_in);
+             ("bytes_out", Json.Int bytes_out);
+             ("seconds", Json.Float elapsed);
+           ]
+          @
+          match trace_id with
+          | None -> []
+          | Some id -> [ ("trace_id", Json.String id) ])
         Obs.Log.Info "request";
       Mutex.unlock t.obs_lock
 
@@ -972,7 +1202,7 @@ let response_error_code payload =
   | Ok { Wire.rs_result = Error e; _ } -> Some e.Wire.code
   | _ -> None
 
-let observe_request t meth ~err ~bytes_in ~bytes_out ~elapsed =
+let observe_request t meth ~trace_id ~err ~bytes_in ~bytes_out ~elapsed =
   let name = Option.value ~default:"invalid" meth in
   let labels = [ ("method", name) ] in
   Metrics.inc ~labels t.registry t.fams.m_requests;
@@ -986,8 +1216,48 @@ let observe_request t meth ~err ~bytes_in ~bytes_out ~elapsed =
         Metrics.inc
           ~labels:[ ("method", name); ("reason", "draining") ]
           t.registry t.fams.m_shed_reqs);
-  Metrics.observe ~labels t.registry t.fams.m_latency elapsed;
-  access_log t meth ~ok:(err = None) ~bytes_in ~bytes_out ~elapsed
+  (* The exemplar: the max-latency observation per method keeps its
+     trace_id, so the p99 spike in a dashboard names the exact trace to
+     pull from the daemon's trace file. *)
+  Metrics.observe ~labels ?exemplar:trace_id t.registry t.fams.m_latency
+    elapsed;
+  Obs.Flight.record t.flight "request"
+    ~fields:
+      ([
+         ("method", Json.String name);
+         ("ok", Json.Bool (err = None));
+         ("seconds", Json.Float elapsed);
+       ]
+      @
+      match trace_id with
+      | None -> []
+      | Some id -> [ ("trace_id", Json.String id) ]);
+  (match (t.cfg.Config.slow_ms, t.log) with
+  | Some slow_ms, Some log when elapsed *. 1000.0 >= float_of_int slow_ms ->
+      (* Slow request: emit the full span tree inline, so the log line
+         alone is enough to see where the time went. *)
+      let spans =
+        match (t.trace, trace_id) with
+        | Some tr, Some tid ->
+            [ ("spans", Obs.Trace.span_tree_json tr ~trace_id:tid) ]
+        | _ -> []
+      in
+      Mutex.lock t.obs_lock;
+      Obs.Log.log log ~component:"serve"
+        ~fields:
+          ([
+             ("method", Json.String name);
+             ("seconds", Json.Float elapsed);
+             ("slow_ms", Json.Int slow_ms);
+           ]
+          @ (match trace_id with
+            | None -> []
+            | Some id -> [ ("trace_id", Json.String id) ])
+          @ spans)
+        Obs.Log.Warn "slow request";
+      Mutex.unlock t.obs_lock
+  | _ -> ());
+  access_log t meth ?trace_id ~ok:(err = None) ~bytes_in ~bytes_out ~elapsed ()
 
 let close_connection t fd =
   (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -1024,19 +1294,23 @@ let serve_connection t fd =
     | Ok payload -> (
         let up = Atomic.fetch_and_add t.inflight 1 + 1 in
         Metrics.set t.registry t.fams.m_inflight (float_of_int up);
-        let t0 = Unix.gettimeofday () in
+        (* The config clock, not gettimeofday: under a virtual clock the
+           measured latency — and with it the flight recorder and the
+           exemplars — is deterministic. *)
+        let t0 = Obs.Clock.now clock in
         let req_deadline =
-          Obs.Clock.now clock
-          +. (float_of_int t.cfg.Config.request_deadline_ms /. 1000.0)
+          t0 +. (float_of_int t.cfg.Config.request_deadline_ms /. 1000.0)
         in
-        let meth, response = handle ~deadline:req_deadline t payload in
-        let elapsed = Unix.gettimeofday () -. t0 in
+        let meth, trace_id, response =
+          handle_traced ~deadline:req_deadline t payload
+        in
+        let elapsed = Obs.Clock.now clock -. t0 in
         let down = Atomic.fetch_and_add t.inflight (-1) - 1 in
         Metrics.set t.registry t.fams.m_inflight (float_of_int down);
         (try Wire.write_frame fd response
          with Unix.Unix_error _ -> closed := true);
         (try
-           observe_request t meth
+           observe_request t meth ~trace_id
              ~err:(response_error_code response)
              ~bytes_in:(String.length payload)
              ~bytes_out:(String.length response) ~elapsed
@@ -1075,9 +1349,7 @@ let worker_loop t =
         (if Atomic.get t.draining then begin
            (* Admitted before the drain flipped but never claimed by a
               worker: shed with the structured error, never silently. *)
-           Metrics.inc
-             ~labels:[ ("reason", "draining") ]
-             t.registry t.fams.m_shed_conns;
+           note_shed t ~reason:"draining";
            (try
               Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.1;
               Wire.write_frame fd
@@ -1089,7 +1361,16 @@ let worker_loop t =
             with Unix.Unix_error _ -> ());
            close_connection t fd
          end
-         else serve_connection t fd);
+         else
+           try serve_connection t fd
+           with e ->
+             (* A worker domain must survive anything a connection
+                throws at it; the flight dump preserves the events
+                leading up to the crash. *)
+             Obs.Flight.record t.flight "worker_crash"
+               ~fields:[ ("exn", Json.String (Printexc.to_string e)) ];
+             dump_flight t;
+             close_connection t fd);
         go ()
   in
   go ();
@@ -1101,7 +1382,7 @@ let worker_loop t =
    arriving one is turned away, which is deterministic in arrival
    order. *)
 let shed_connection t fd ~reason =
-  Metrics.inc ~labels:[ ("reason", reason) ] t.registry t.fams.m_shed_conns;
+  note_shed t ~reason;
   (try
      (* Best effort, and never blocking the listener: the reply is a few
         hundred bytes (fits any socket buffer) and the send timeout
@@ -1208,6 +1489,9 @@ let stop t =
     List.iter Domain.join t.workers;
     t.workers <- [];
     (match t.journal with Some j -> Journal.close j | None -> ());
+    (* Final dump: includes everything the drain-window dump missed —
+       in-flight requests finishing, queued connections shed. *)
+    dump_flight t;
     logf t Obs.Log.Info "stopped"
   end
 

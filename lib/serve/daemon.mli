@@ -36,7 +36,22 @@
     histograms, in-flight/open-connection gauges, shed and
     deadline-exceeded counters, readiness/draining gauges, and a
     structured access log are maintained on the supplied registry/log
-    ({!Obs}). *)
+    ({!Obs}).
+
+    {b Request-scoped tracing.}  Every request is handled under a trace
+    context ({!Obs.Trace.ctx}): adopted from the wire [trace] field
+    when the client sent one (the daemon's request span joins the
+    client's trace), otherwise drawn from a seeded deterministic
+    generator ([trace_seed]).  With a trace collector attached
+    ({!create}'s [?trace]) the request span, the archive endpoint
+    attempts it caused (quorum votes, hedges) and the EVM emulation
+    frames all carry the same [trace_id]; the max-latency exemplar on
+    the request histogram names that id, and requests slower than
+    [slow_ms] log their full span tree.  An always-on flight recorder
+    ({!Obs.Flight}) keeps the last [flight_capacity] notable events
+    (requests, advances, reorgs, breaker flips, quorum quarantines,
+    sheds, journal commits) and dumps them to [flight_dump] on drain,
+    stop and worker crash — see doc/OBSERVABILITY.md. *)
 
 module Config : sig
   type t = {
@@ -77,6 +92,18 @@ module Config : sig
             pool, quorum, fault plans, budgets (default
             {!Resilience.Transport.default_config} — single implicit
             endpoint, no injection). *)
+    slow_ms : int option;
+        (** Requests slower than this log their full span tree at
+            [Warn] (default [None]: disabled). *)
+    flight_capacity : int;
+        (** Flight-recorder ring size (default 256). *)
+    flight_dump : string option;
+        (** Dump the flight ring to this path (atomically, tmp+rename)
+            on drain, stop and worker crash (default [None]). *)
+    trace_seed : int;
+        (** Seed for the daemon's root trace-context generator; requests
+            that carry no wire context draw from this stream (default
+            11). *)
   }
 
   val default : t
@@ -97,6 +124,10 @@ module Config : sig
   val with_advance_spec : Advance.spec -> t -> t
   val with_analysis : Proxion.Pipeline.Config.t -> t -> t
   val with_resilience : Resilience.Transport.config -> t -> t
+  val with_slow_ms : int option -> t -> t
+  val with_flight_capacity : int -> t -> t
+  val with_flight_dump : string option -> t -> t
+  val with_trace_seed : int -> t -> t
 
   val validate : t -> (t, Report.Validate.error) result
   (** The shared config gate ({!Report.Validate}). *)
@@ -108,6 +139,7 @@ val create :
   ?config:Config.t ->
   ?registry:Obs.Metrics.t ->
   ?log:Obs.Log.t ->
+  ?trace:Obs.Trace.t ->
   Dataset.Generate.t ->
   (t, string) result
 (** Load the daemon: validate the config, open the journal (when
@@ -115,7 +147,9 @@ val create :
     snapshot or run the initial full analysis and commit it.  The
     landscape must be freshly generated from the same generation config
     across restarts — recovery replays the snapshot's advances onto it
-    to reproduce the chain state. *)
+    to reproduce the chain state.  [trace] attaches a span collector:
+    request spans plus the RPC/EVM worker-lane detail of traced
+    analyses land in it (write it out with {!Obs.Trace.write}). *)
 
 val recovered : t -> bool
 (** Whether {!create} restored from a journal snapshot instead of
@@ -140,6 +174,10 @@ val is_draining : t -> bool
 val open_connections : t -> int
 (** Client connections currently open (admission-gate view). *)
 
+val flight : t -> Obs.Flight.t
+(** The always-on flight recorder (the [flight] wire method serves its
+    contents). *)
+
 type advance_result = {
   adv_summary : Advance.summary;
   adv_dirty : int;  (** Existing subjects re-analyzed. *)
@@ -148,9 +186,12 @@ type advance_result = {
       (** Findings retracted because a reorg orphaned their subject. *)
 }
 
-val advance : t -> advance_result
+val advance : ?ctx:Obs.Trace.ctx -> t -> advance_result
 (** Apply one scripted advance and incrementally patch the store;
-    commits a snapshot to the journal when configured.
+    commits a snapshot to the journal when configured.  [ctx] is the
+    request-scoped trace context of the [advance] wire request driving
+    this increment: while set, every re-analyzed item's RPC and EVM
+    spans carry its [trace_id].
 
     When the advance opens with a seeded reorg
     ({!Advance.spec.reorg_depth} > 0), the rollback path runs first:
@@ -173,6 +214,14 @@ val handle : ?deadline:float -> t -> string -> string option * string
     on the config clock bounding the handler; past it the response is
     {!Wire.err_deadline_exceeded} (multi-step [advance] requests check
     between steps — completed steps stay committed). *)
+
+val handle_traced :
+  ?deadline:float -> t -> string -> string option * string option * string
+(** {!handle} plus the trace id: [(method, trace_id, response)].
+    [trace_id] (16 lowercase hex) is the request's context — adopted
+    from the wire [trace] field or generated — and is [None] only when
+    the payload did not parse.  The socket path uses this to feed the
+    latency exemplar, the flight recorder and the slow-request log. *)
 
 (** {1 Serving} *)
 

@@ -51,8 +51,8 @@ let percentile sorted p =
    briefly and retry on a fresh one, up to a bounded attempt budget. *)
 let max_attempts = 64
 
-let well_behaved_worker ~host ~port ~timeout_ms ~addresses ~requests ~client ()
-    =
+let well_behaved_worker ~host ~port ~timeout_ms ~addresses ~requests ~client
+    ~trace_gen () =
   let latencies = ref [] in
   let errors = ref 0 and sheds = ref 0 and deadlines = ref 0 in
   let conn = ref None in
@@ -72,6 +72,20 @@ let well_behaved_worker ~host ~port ~timeout_ms ~addresses ~requests ~client ()
   in
   for i = 0 to requests - 1 do
     let meth, params = request_for ~addresses ~client i in
+    (* One context per logical request, drawn before any attempt: shed
+       retries reuse it, so the daemon's trace shows every server-side
+       span of the same request under one trace_id. *)
+    let trace =
+      match trace_gen with
+      | None -> None
+      | Some g ->
+          let c = Obs.Trace.next_ctx g in
+          Some
+            {
+              Wire.tc_trace_id = Obs.Trace.id_to_hex c.Obs.Trace.trace_id;
+              tc_span_id = Obs.Trace.id_to_hex c.Obs.Trace.span_id;
+            }
+    in
     let rec attempt tries =
       if tries >= max_attempts then incr errors
       else
@@ -81,7 +95,7 @@ let well_behaved_worker ~host ~port ~timeout_ms ~addresses ~requests ~client ()
             attempt (tries + 1)
         | Some c -> (
             let q0 = Unix.gettimeofday () in
-            match Client.call_result c ~meth ~params with
+            match Client.call_result ?trace c ~meth ~params with
             | Ok (Ok _) ->
                 latencies := (Unix.gettimeofday () -. q0) :: !latencies
             | Ok (Error { Wire.code; _ }) when code = Wire.err_overloaded ->
@@ -104,8 +118,8 @@ let well_behaved_worker ~host ~port ~timeout_ms ~addresses ~requests ~client ()
   drop_conn ();
   (Array.of_list !latencies, !errors, !sheds, !deadlines)
 
-let run ?(host = "127.0.0.1") ?(timeout_ms = 10_000) ~port ~clients ~requests
-    ~addresses () =
+let run ?(host = "127.0.0.1") ?(timeout_ms = 10_000) ?trace_seed ~port ~clients
+    ~requests ~addresses () =
   if clients <= 0 || requests <= 0 then
     Error "clients and requests must be positive"
   else if addresses = [] then Error "no addresses to query"
@@ -115,9 +129,17 @@ let run ?(host = "127.0.0.1") ?(timeout_ms = 10_000) ~port ~clients ~requests
     let t0 = Unix.gettimeofday () in
     let domains =
       List.init clients (fun client ->
+          (* Per-client generator, offset by client index: the full set
+             of trace_ids a sweep sends is a pure function of
+             (trace_seed, clients, requests). *)
+          let trace_gen =
+            Option.map
+              (fun seed -> Obs.Trace.gen ~seed:(seed + (1009 * client)))
+              trace_seed
+          in
           Domain.spawn
             (well_behaved_worker ~host ~port ~timeout_ms ~addresses ~requests
-               ~client))
+               ~client ~trace_gen))
     in
     let outcomes = List.map Domain.join domains in
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -257,7 +279,7 @@ let attack_round ~host ~port prng persona =
                   Wire.encode_frame
                     (Wire.request_to_string
                        ~id:(1 + Prng.int prng 1000)
-                       ~meth:"get_status" ~params:[])
+                       ~meth:"get_status" ~params:[] ())
                 in
                 let n = String.length s in
                 let rec drip i =
@@ -288,7 +310,7 @@ let attack_round ~host ~port prng persona =
                    deadline must cut us, not wedge the worker. *)
                 let s =
                   Wire.encode_frame
-                    (Wire.request_to_string ~id:1 ~meth:"report" ~params:[])
+                    (Wire.request_to_string ~id:1 ~meth:"report" ~params:[] ())
                 in
                 let n = String.length s in
                 let rec flood k off =

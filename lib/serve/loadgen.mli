@@ -30,6 +30,7 @@ type stats = {
 val run :
   ?host:string ->
   ?timeout_ms:int ->
+  ?trace_seed:int ->
   port:int ->
   clients:int ->
   requests:int ->
@@ -42,7 +43,10 @@ val run :
     every connect/send/receive so the generator cannot hang on a
     wedged server; a shed or transport failure is retried on a fresh
     connection up to a bounded attempt budget, then counted in
-    [lg_errors]. *)
+    [lg_errors].  [trace_seed] attaches a deterministic trace context
+    to every request (one per logical request, stable across shed
+    retries; per-client splitmix64 streams offset by client index), so
+    a traced daemon's spans join the sweep's ids. *)
 
 val to_json : stats -> Report.Json.t
 

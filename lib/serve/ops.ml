@@ -1,0 +1,323 @@
+module Json = Report.Json
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot model                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type histo = {
+  h_labels : (string * string) list;
+  h_buckets : (float * float) list;  (* upper bound (infinity = +Inf), cumulative count *)
+  h_sum : float;
+  h_count : float;
+  h_exemplar : (string * float) option;
+}
+
+type view = {
+  v_scalars : (string * ((string * string) list * float) list) list;
+      (* family -> series, counters and gauges alike *)
+  v_histos : (string * histo list) list;
+  v_draining : bool;
+  v_flight : (string * int) list;  (* flight event kind -> count in ring *)
+  v_flight_tail : string list;  (* newest-last one-line renderings *)
+}
+
+let number = function
+  | Json.Int n -> Some (float_of_int n)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let obj_field kvs name = List.assoc_opt name kvs
+
+let labels_of = function
+  | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> match v with Json.String s -> Some (k, s) | _ -> None)
+        kvs
+  | _ -> []
+
+let bucket_of = function
+  | Json.Obj kvs -> (
+      let le =
+        match obj_field kvs "le" with
+        | Some (Json.String "+Inf") -> Some infinity
+        | Some v -> number v
+        | None -> None
+      in
+      match (le, Option.bind (obj_field kvs "count") number) with
+      | Some le, Some count -> Some (le, count)
+      | _ -> None)
+  | _ -> None
+
+let series_of_json kind json =
+  match json with
+  | Json.Obj kvs -> (
+      let labels = labels_of (obj_field kvs "labels") in
+      match kind with
+      | "histogram" ->
+          let buckets =
+            match obj_field kvs "buckets" with
+            | Some (Json.List l) -> List.filter_map bucket_of l
+            | _ -> []
+          in
+          let num name =
+            Option.value ~default:0.0
+              (Option.bind (obj_field kvs name) number)
+          in
+          let exemplar =
+            match obj_field kvs "exemplar" with
+            | Some (Json.Obj ex) -> (
+                match
+                  (obj_field ex "trace_id", Option.bind (obj_field ex "value") number)
+                with
+                | Some (Json.String id), Some v -> Some (id, v)
+                | _ -> None)
+            | _ -> None
+          in
+          `Histo
+            {
+              h_labels = labels;
+              h_buckets = buckets;
+              h_sum = num "sum";
+              h_count = num "count";
+              h_exemplar = exemplar;
+            }
+      | _ ->
+          let value =
+            Option.value ~default:0.0
+              (Option.bind (obj_field kvs "value") number)
+          in
+          `Scalar (labels, value))
+  | _ -> `Skip
+
+let of_metrics_json json =
+  match json with
+  | Json.Obj top -> (
+      match obj_field top "metrics" with
+      | Some (Json.List fams) ->
+          let scalars = ref [] and histos = ref [] in
+          List.iter
+            (fun fam ->
+              match fam with
+              | Json.Obj kvs -> (
+                  match (obj_field kvs "name", obj_field kvs "kind") with
+                  | Some (Json.String name), Some (Json.String kind) ->
+                      let series =
+                        match obj_field kvs "series" with
+                        | Some (Json.List l) -> l
+                        | _ -> []
+                      in
+                      let parsed = List.map (series_of_json kind) series in
+                      let ss =
+                        List.filter_map
+                          (function `Scalar s -> Some s | _ -> None)
+                          parsed
+                      in
+                      let hs =
+                        List.filter_map
+                          (function `Histo h -> Some h | _ -> None)
+                          parsed
+                      in
+                      if ss <> [] then scalars := (name, ss) :: !scalars;
+                      if hs <> [] then histos := (name, hs) :: !histos
+                  | _ -> ())
+              | _ -> ())
+            fams;
+          Ok
+            {
+              v_scalars = List.rev !scalars;
+              v_histos = List.rev !histos;
+              v_draining = false;
+              v_flight = [];
+              v_flight_tail = [];
+            }
+      | _ -> Error "metrics snapshot: missing \"metrics\" list")
+  | _ -> Error "metrics snapshot: expected an object"
+
+let with_health view json =
+  match json with
+  | Json.Obj kvs -> (
+      match obj_field kvs "draining" with
+      | Some (Json.Bool d) -> { view with v_draining = d }
+      | _ -> view)
+  | _ -> view
+
+let flight_line = function
+  | Json.Obj kvs ->
+      let kind =
+        match obj_field kvs "kind" with Some (Json.String k) -> k | _ -> "?"
+      in
+      let fields =
+        match obj_field kvs "fields" with
+        | Some (Json.Obj fs) ->
+            String.concat " "
+              (List.map
+                 (fun (k, v) -> k ^ "=" ^ Json.to_string ~pretty:false v)
+                 fs)
+        | _ -> ""
+      in
+      Some (kind, Printf.sprintf "%-18s %s" kind fields)
+  | _ -> None
+
+let with_flight ?(tail = 8) view json =
+  match json with
+  | Json.Obj kvs -> (
+      match obj_field kvs "events" with
+      | Some (Json.List evs) ->
+          let lines = List.filter_map flight_line evs in
+          let counts = Hashtbl.create 16 in
+          List.iter
+            (fun (kind, _) ->
+              Hashtbl.replace counts kind
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind)))
+            lines;
+          let n = List.length lines in
+          let tail_lines =
+            List.filteri (fun i _ -> i >= n - tail) (List.map snd lines)
+          in
+          {
+            view with
+            v_flight =
+              List.sort compare
+                (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []);
+            v_flight_tail = tail_lines;
+          }
+      | _ -> view)
+  | _ -> view
+
+(* ------------------------------------------------------------------ *)
+(* Derived quantities                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_series view name =
+  Option.value ~default:[] (List.assoc_opt name view.v_scalars)
+
+let histo_series view name =
+  Option.value ~default:[] (List.assoc_opt name view.v_histos)
+
+let scalar_total view name =
+  List.fold_left (fun acc (_, v) -> acc +. v) 0.0 (scalar_series view name)
+
+let label_value labels key = List.assoc_opt key labels
+
+(* Standard Prometheus-style quantile estimation: find the bucket the
+   target rank falls in, interpolate linearly inside it. *)
+let quantile h q =
+  if h.h_count <= 0.0 then 0.0
+  else
+    let rank = q *. h.h_count in
+    let rec go prev_le prev_cum = function
+      | [] -> prev_le
+      | (le, cum) :: rest ->
+          if cum >= rank then
+            if le = infinity then prev_le
+            else
+              let in_bucket = cum -. prev_cum in
+              if in_bucket <= 0.0 then le
+              else
+                prev_le
+                +. ((le -. prev_le) *. ((rank -. prev_cum) /. in_bucket))
+          else go le cum rest
+    in
+    go 0.0 0.0 h.h_buckets
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_rate = function
+  | r when r >= 100.0 -> Printf.sprintf "%.0f" r
+  | r when r >= 1.0 -> Printf.sprintf "%.1f" r
+  | r -> Printf.sprintf "%.2f" r
+
+(* Rate of a counter between two polls; zero without a previous poll. *)
+let rate ~prev ~dt view name =
+  match prev with
+  | Some p when dt > 0.0 ->
+      Float.max 0.0 ((scalar_total view name -. scalar_total p name) /. dt)
+  | _ -> 0.0
+
+let render ?prev ?(dt = 0.0) view =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let req_rate = rate ~prev ~dt view "proxion_serve_requests_total" in
+  line "proxion top — daemon %s"
+    (if view.v_draining then "DRAINING" else "serving");
+  line "  requests  total %.0f  rate %s/s  inflight %.0f  open conns %.0f"
+    (scalar_total view "proxion_serve_requests_total")
+    (fmt_rate req_rate)
+    (scalar_total view "proxion_serve_inflight_requests")
+    (scalar_total view "proxion_serve_open_connections");
+  line "  increments %.0f  dirty %.0f  reorgs %.0f  retracted %.0f"
+    (scalar_total view "proxion_serve_increments_total")
+    (scalar_total view "proxion_serve_dirty_subjects_total")
+    (scalar_total view "proxion_serve_reorgs_total")
+    (scalar_total view "proxion_serve_retracted_findings_total");
+  let sheds = scalar_series view "proxion_serve_shed_connections_total" in
+  if sheds <> [] then
+    line "  sheds     %s"
+      (String.concat "  "
+         (List.map
+            (fun (labels, v) ->
+              Printf.sprintf "%s=%.0f"
+                (Option.value ~default:"?" (label_value labels "reason"))
+                v)
+            sheds));
+  (* Per-method table from the latency histogram. *)
+  let latency = histo_series view "proxion_serve_request_seconds" in
+  if latency <> [] then begin
+    line "";
+    line "  %-16s %10s %9s %9s %9s  %s" "method" "count" "p50 ms" "p99 ms"
+      "err" "max-latency trace";
+    let errors = scalar_series view "proxion_serve_errors_total" in
+    List.iter
+      (fun h ->
+        let meth = Option.value ~default:"?" (label_value h.h_labels "method") in
+        let errs =
+          List.fold_left
+            (fun acc (labels, v) ->
+              if label_value labels "method" = Some meth then acc +. v else acc)
+            0.0 errors
+        in
+        line "  %-16s %10.0f %9.2f %9.2f %9.0f  %s" meth h.h_count
+          (1000.0 *. quantile h 0.50)
+          (1000.0 *. quantile h 0.99)
+          errs
+          (match h.h_exemplar with
+          | Some (id, v) -> Printf.sprintf "%s (%.1f ms)" id (1000.0 *. v)
+          | None -> "-"))
+      latency
+  end;
+  (* Endpoint health from the transport counters. *)
+  let attempts = scalar_series view "proxion_chain_endpoint_attempts_total" in
+  if attempts <> [] then begin
+    line "";
+    line "  endpoints:";
+    let endpoints =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (labels, _) -> label_value labels "endpoint")
+           attempts)
+    in
+    let sum_for name ep =
+      List.fold_left
+        (fun acc (labels, v) ->
+          if label_value labels "endpoint" = Some ep then acc +. v else acc)
+        0.0
+        (scalar_series view name)
+    in
+    List.iter
+      (fun ep ->
+        line "    %-14s attempts %.0f  disagreements %.0f  hedges %.0f" ep
+          (sum_for "proxion_chain_endpoint_attempts_total" ep)
+          (sum_for "proxion_chain_endpoint_disagreements_total" ep)
+          (sum_for "proxion_chain_endpoint_hedges_total" ep))
+      endpoints
+  end;
+  if view.v_flight <> [] then begin
+    line "";
+    line "  flight ring: %s"
+      (String.concat "  "
+         (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) view.v_flight));
+    List.iter (fun l -> line "    %s" l) view.v_flight_tail
+  end;
+  Buffer.contents buf

@@ -19,6 +19,7 @@ module Advance = Advance
 module Daemon = Daemon
 module Client = Client
 module Loadgen = Loadgen
+module Ops = Ops
 
 module Config = Daemon.Config
 (** Re-export: [Serve.Config] is the daemon's builder-style config. *)

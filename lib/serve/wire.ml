@@ -113,21 +113,55 @@ let err_deadline_exceeded = 1003
 (* Messages                                                             *)
 (* ------------------------------------------------------------------ *)
 
+type trace_ctx = { tc_trace_id : string; tc_span_id : string }
+
 type request = {
   rq_id : Json.t;
   rq_method : string;
   rq_params : Json.t;
+  rq_trace : trace_ctx option;
 }
 
-let request_to_string ~id ~meth ~params =
+let is_trace_id s =
+  String.length s = 16
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let request_to_string ?trace ~id ~meth ~params () =
   Json.to_string ~pretty:false
     (Json.Obj
-       [
-         ("proxion_rpc", Json.Int protocol_version);
-         ("id", Json.Int id);
-         ("method", Json.String meth);
-         ("params", Json.Obj params);
-       ])
+       ([
+          ("proxion_rpc", Json.Int protocol_version);
+          ("id", Json.Int id);
+          ("method", Json.String meth);
+          ("params", Json.Obj params);
+        ]
+       @
+       match trace with
+       | None -> []
+       | Some tc ->
+           [
+             ( "trace",
+               Json.Obj
+                 [
+                   ("trace_id", Json.String tc.tc_trace_id);
+                   ("span_id", Json.String tc.tc_span_id);
+                 ] );
+           ]))
+
+(* The trace field is strictly optional but, when present, strictly
+   validated: a malformed context is an invalid request, never a crash
+   and never a silently dropped correlation id. *)
+let trace_of_json = function
+  | None -> Ok None
+  | Some (Json.Obj kvs) -> (
+      match (List.assoc_opt "trace_id" kvs, List.assoc_opt "span_id" kvs) with
+      | Some (Json.String t), Some (Json.String s)
+        when is_trace_id t && is_trace_id s ->
+          Ok (Some { tc_trace_id = t; tc_span_id = s })
+      | _ -> Error "malformed trace context (want 16-hex trace_id/span_id)")
+  | Some _ -> Error "trace must be an object"
 
 let request_of_string payload =
   match Json.parse payload with
@@ -137,12 +171,14 @@ let request_of_string payload =
       match List.assoc_opt "proxion_rpc" kvs with
       | Some (Json.Int v) when v = protocol_version -> (
           match List.assoc_opt "method" kvs with
-          | Some (Json.String m) ->
+          | Some (Json.String m) -> (
               let rq_id = Option.value ~default:Json.Null (List.assoc_opt "id" kvs) in
               let rq_params =
                 Option.value ~default:Json.Null (List.assoc_opt "params" kvs)
               in
-              Ok { rq_id; rq_method = m; rq_params }
+              match trace_of_json (List.assoc_opt "trace" kvs) with
+              | Ok rq_trace -> Ok { rq_id; rq_method = m; rq_params; rq_trace }
+              | Error e -> bad e)
           | _ -> bad "missing method")
       | Some _ -> bad "unsupported proxion_rpc version"
       | None -> bad "missing proxion_rpc marker")

@@ -98,17 +98,37 @@ val err_deadline_exceeded : int
 
 (** {1 Messages} *)
 
+type trace_ctx = { tc_trace_id : string; tc_span_id : string }
+(** A request's trace context: 16-lowercase-hex-char splitmix64 ids
+    ({!Obs.Trace.id_to_hex}).  Optional on the wire; the daemon adopts
+    it so its spans join the client's trace. *)
+
 type request = {
   rq_id : Report.Json.t;  (** Echoed verbatim; conventionally an int. *)
   rq_method : string;
   rq_params : Report.Json.t;  (** [Obj]; [Null] when omitted. *)
+  rq_trace : trace_ctx option;  (** [trace] field, when present. *)
 }
 
-val request_to_string : id:int -> meth:string -> params:(string * Report.Json.t) list -> string
-(** Serialize a request payload (the client side). *)
+val is_trace_id : string -> bool
+(** Exactly 16 lowercase hex characters. *)
+
+val request_to_string :
+  ?trace:trace_ctx ->
+  id:int ->
+  meth:string ->
+  params:(string * Report.Json.t) list ->
+  unit ->
+  string
+(** Serialize a request payload (the client side).  [trace] attaches a
+    trace context as the [trace] field. *)
 
 val request_of_string : string -> (request, error) result
-(** Parse and validate a request payload (the server side). *)
+(** Parse and validate a request payload (the server side).  A [trace]
+    field, when present, must be an object with 16-hex-char
+    [trace_id]/[span_id] strings — anything else is
+    {!err_invalid_request} (totality: arbitrary trace payloads parse
+    or reject, never crash). *)
 
 val response_ok : id:Report.Json.t -> Report.Json.t -> string
 (** A [result] response payload, stamped with the schema version. *)

@@ -93,10 +93,108 @@ let quorum_canonicality =
           | Error _ -> true)
         [ 0; 1; 2; 3 ])
 
+(* Trace-field totality: whatever JSON rides in a request's [trace]
+   field, the wire parser either adopts a well-formed context (both ids
+   16 lowercase hex) or rejects the request with a structured
+   invalid-request error — and in-process dispatch of the same payload
+   never raises.  The daemon is built once, lazily: the property only
+   exercises the parse/dispatch envelope, not the analysis. *)
+let fuzz_daemon =
+  lazy
+    (let land_ =
+       Dataset.Generate.generate
+         { Dataset.Generate.quick_config with Dataset.Generate.total = 60; seed = 5 }
+     in
+     match Serve.Daemon.create land_ with
+     | Ok d -> d
+     | Error e -> failwith ("fuzz daemon: " ^ e))
+
+let trace_field_totality =
+  let module Json = Report.Json in
+  let open QCheck.Gen in
+  let hex_char =
+    oneofl
+      [ '0'; '1'; '2'; '3'; '4'; '5'; '6'; '7'; '8'; '9'; 'a'; 'b'; 'c'; 'd'; 'e'; 'f' ]
+  in
+  let id_gen =
+    oneof
+      [
+        string_size ~gen:hex_char (return 16);
+        string_size ~gen:hex_char (int_bound 20);
+        string_size ~gen:printable (int_bound 20);
+      ]
+  in
+  let rec value_gen n =
+    if n <= 0 then
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.Int i) small_signed_int;
+          map (fun s -> Json.String s) id_gen;
+        ]
+    else
+      oneof
+        [
+          value_gen 0;
+          map (fun l -> Json.List l) (list_size (int_bound 3) (value_gen (n - 1)));
+          map
+            (fun kvs -> Json.Obj kvs)
+            (list_size (int_bound 3)
+               (pair
+                  (oneofl [ "trace_id"; "span_id"; "other" ])
+                  (value_gen (n - 1))));
+        ]
+  in
+  let trace_gen =
+    oneof
+      [
+        value_gen 2;
+        map2
+          (fun a b ->
+            Json.Obj
+              [ ("trace_id", Json.String a); ("span_id", Json.String b) ])
+          id_gen id_gen;
+      ]
+  in
+  let arb = QCheck.make ~print:Json.to_string trace_gen in
+  QCheck.Test.make
+    ~name:"trace-field totality: parse-or-reject, dispatch never raises"
+    ~count:200 arb (fun trace_json ->
+      let payload =
+        Json.to_string
+          (Json.Obj
+             [
+               ("proxion_rpc", Json.Int Serve.Wire.protocol_version);
+               ("id", Json.Int 1);
+               ("method", Json.String "get_status");
+               ("params", Json.Obj []);
+               ("trace", trace_json);
+             ])
+      in
+      let parse_ok =
+        match Serve.Wire.request_of_string payload with
+        | Ok r -> (
+            match r.Serve.Wire.rq_trace with
+            | None -> true
+            | Some tc ->
+                Serve.Wire.is_trace_id tc.Serve.Wire.tc_trace_id
+                && Serve.Wire.is_trace_id tc.Serve.Wire.tc_span_id)
+        | Error e -> e.Serve.Wire.code = Serve.Wire.err_invalid_request
+        | exception _ -> false
+      in
+      let dispatch_ok =
+        match Serve.Daemon.handle (Lazy.force fuzz_daemon) payload with
+        | _meth, _response -> true
+        | exception _ -> false
+      in
+      parse_ok && dispatch_ok)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       quorum_canonicality;
+      trace_field_totality;
       total "disassembler total" Evm.Disasm.disassemble;
       total "basic blocks total" Evm.Disasm.basic_blocks;
       total "cfg build total" (fun c -> Evm.Cfg.build c);

@@ -191,7 +191,36 @@ let test_summarize () =
       let h2 = Obs.Metrics.histogram m2 ~buckets:[ 1.0 ] "p_hist2" in
       Obs.Metrics.observe m2 h2 100.0;
       let s2 = Option.get (Obs.Metrics.summarize m2 h2) in
-      checkf "overflow clamps to the last finite bound" 1.0 s2.Obs.Metrics.s_p99
+      checkf "overflow clamps to the last finite bound" 1.0 s2.Obs.Metrics.s_p99;
+      (* The JSON snapshot exposes cumulative bucket counts, like the
+         text exposition — a consumer's quantile walk must find the
+         rank inside a finite bucket, not fall off the +Inf end. *)
+      let counts =
+        match Obs.Metrics.to_json m with
+        | Json.Obj top -> (
+            match List.assoc "metrics" top with
+            | Json.List [ Json.Obj fam ] -> (
+                match List.assoc "series" fam with
+                | Json.List [ Json.Obj series ] -> (
+                    match List.assoc "buckets" series with
+                    | Json.List bs ->
+                        List.map
+                          (fun b ->
+                            match b with
+                            | Json.Obj kvs -> (
+                                match List.assoc "count" kvs with
+                                | Json.Int n -> float_of_int n
+                                | Json.Float f -> f
+                                | _ -> nan)
+                            | _ -> nan)
+                          bs
+                    | _ -> [])
+                | _ -> [])
+            | _ -> [])
+        | _ -> []
+      in
+      check_b "JSON buckets are cumulative" true
+        (counts = [ 50.0; 90.0; 100.0; 100.0 ])
 
 (* --- the end-to-end contract: instrumented chaos runs ------------------ *)
 
@@ -346,6 +375,263 @@ let test_trace_with_span () =
       check_s "second span name" "raises" (jstr "name" b)
   | _ -> Alcotest.fail "expected exactly two trace events"
 
+(* --- span contexts and live spans -------------------------------------- *)
+
+let hex16 s =
+  String.length s = 16
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let test_trace_ctx_ids () =
+  let g1 = Obs.Trace.gen ~seed:42 and g2 = Obs.Trace.gen ~seed:42 in
+  let a = Obs.Trace.next_ctx g1 and b = Obs.Trace.next_ctx g2 in
+  check_b "same seed, same first ctx" true (a = b);
+  let a2 = Obs.Trace.next_ctx g1 and b2 = Obs.Trace.next_ctx g2 in
+  check_b "streams advance in lockstep" true (a2 = b2);
+  check_b "the stream moves" true (a <> a2);
+  check_b "different seed, different ctx" true
+    (a <> Obs.Trace.next_ctx (Obs.Trace.gen ~seed:43));
+  (* Wire encoding round-trips and rejects everything else. *)
+  let hex = Obs.Trace.id_to_hex a.Obs.Trace.trace_id in
+  check_b "16 lowercase hex chars" true (hex16 hex);
+  (match Obs.Trace.id_of_hex hex with
+  | Some back -> check_b "hex round-trips" true (back = a.Obs.Trace.trace_id)
+  | None -> Alcotest.fail "own hex encoding rejected");
+  check_s "zero pads" "0000000000000001" (Obs.Trace.id_to_hex 1L);
+  List.iter
+    (fun bad ->
+      check_b
+        (Printf.sprintf "id_of_hex rejects %S" bad)
+        true
+        (Obs.Trace.id_of_hex bad = None))
+    [
+      "";
+      "abc";
+      String.uppercase_ascii hex;
+      hex ^ "0";
+      String.make 16 'x';
+      String.make 16 ' ';
+    ];
+  (* Child derivation: deterministic, same trace, index-distinct. *)
+  let c0 = Obs.Trace.child a ~index:0 in
+  check_b "child is deterministic" true (c0 = Obs.Trace.child a ~index:0);
+  check_b "child keeps the trace id" true
+    (c0.Obs.Trace.trace_id = a.Obs.Trace.trace_id);
+  check_b "indexes derive distinct span ids" true
+    (c0.Obs.Trace.span_id <> (Obs.Trace.child a ~index:1).Obs.Trace.span_id);
+  check_b "child differs from the parent span" true
+    (c0.Obs.Trace.span_id <> a.Obs.Trace.span_id)
+
+let test_live_span_tree () =
+  let clock = Obs.Clock.virtual_ ~auto_step:1.0 () in
+  let tr = Obs.Trace.create ~clock () in
+  let g = Obs.Trace.gen ~seed:7 in
+  let client = Obs.Trace.next_ctx g in
+  let ctx = Obs.Trace.child client ~index:0 in
+  let root =
+    Obs.Trace.start_span ~cat:"request" ~parent_ctx:client ~ctx tr "query"
+  in
+  let rpc = Obs.Trace.start_span ~cat:"rpc" ~parent:root tr "eth_getCode" in
+  check_b "child span joins the trace" true
+    ((Obs.Trace.span_ctx rpc).Obs.Trace.trace_id = ctx.Obs.Trace.trace_id);
+  check_b "child span gets its own span id" true
+    ((Obs.Trace.span_ctx rpc).Obs.Trace.span_id <> ctx.Obs.Trace.span_id);
+  Obs.Trace.finish_span rpc;
+  Obs.Trace.finish_span root;
+  let before = Obs.Trace.count tr in
+  Obs.Trace.finish_span root;
+  check_i "finish_span is idempotent" before (Obs.Trace.count tr);
+  (* An unrelated trace in the same collector stays out of the tree. *)
+  let stray = Obs.Trace.start_span ~ctx:(Obs.Trace.next_ctx g) tr "other" in
+  Obs.Trace.finish_span stray;
+  let tid_hex = Obs.Trace.id_to_hex ctx.Obs.Trace.trace_id in
+  match Obs.Trace.span_tree_json tr ~trace_id:tid_hex with
+  | Json.List [ rpc_ev; root_ev ] ->
+      (* Arrival order: the leaf finished first. *)
+      check_s "leaf name" "eth_getCode" (jstr "name" rpc_ev);
+      check_s "root name" "query" (jstr "name" root_ev);
+      let args ev =
+        match jget "args" ev with
+        | Some o -> o
+        | None -> Alcotest.fail "span carries no args"
+      in
+      check_s "root carries the trace id" tid_hex (jstr "trace_id" (args root_ev));
+      check_s "cross-process parent recorded"
+        (Obs.Trace.id_to_hex client.Obs.Trace.span_id)
+        (jstr "parent_span_id" (args root_ev));
+      check_s "leaf's parent is the request span"
+        (Obs.Trace.id_to_hex ctx.Obs.Trace.span_id)
+        (jstr "parent_span_id" (args rpc_ev))
+  | _ -> Alcotest.fail "expected exactly the two spans of this trace"
+
+(* The worker-lane detail (RPC dispatches, EVM frames) rides real-time
+   tracks, so its bytes vary run to run — but its *content* must not
+   depend on the worker count: same names, cats and args at DOMAINS=1
+   and DOMAINS=4, only the lane tids and timestamps differ.  The
+   coordinator lane (tid 0) rides the synthetic timeline, so its event
+   sequence is order-identical too (modulo wall-clock arg fields). *)
+let test_span_tree_across_domains () =
+  let events domains =
+    let trace = Obs.Trace.create () in
+    let _ = instrumented_run ~trace ~domains () in
+    match Json.parse (Json.to_string (Obs.Trace.to_json trace)) with
+    | Error e -> Alcotest.fail e
+    | Ok parsed -> (
+        match jget "traceEvents" parsed with
+        | Some (Json.List l) -> l
+        | _ -> Alcotest.fail "traceEvents missing")
+  in
+  let e1 = events 1 and e4 = events 4 in
+  let tid ev = int_of_float (jnum "tid" ev) in
+  let args_key ~strip ev =
+    match jget "args" ev with
+    | Some (Json.Obj kvs) ->
+        Json.to_string
+          (Json.Obj (List.filter (fun (k, _) -> not (List.mem k strip)) kvs))
+    | _ -> ""
+  in
+  let shape ~strip ev =
+    Printf.sprintf "%s|%s|%s|%s" (jstr "name" ev) (jstr "cat" ev)
+      (jstr "ph" ev) (args_key ~strip ev)
+  in
+  (* Coordinator lane: same event sequence, in order. *)
+  let coord evs =
+    List.filter (fun ev -> tid ev = 0) evs
+    |> List.map (shape ~strip:[ "wall_elapsed"; "worker"; "delay"; "domains" ])
+  in
+  check_i "coordinator lanes have equal length" (List.length (coord e1))
+    (List.length (coord e4));
+  List.iter2 (check_s "coordinator event sequence identical") (coord e1)
+    (coord e4);
+  (* Worker lanes: same multiset, lanes aside. *)
+  let lanes evs =
+    List.filter (fun ev -> tid ev > 0) evs
+    |> List.map (shape ~strip:[])
+    |> List.sort compare
+  in
+  let l1 = lanes e1 and l4 = lanes e4 in
+  check_b "worker-lane detail present" true (l1 <> []);
+  check_i "worker lanes have equal volume" (List.length l1) (List.length l4);
+  List.iter2 (check_s "worker-lane multiset identical") l1 l4
+
+(* --- exemplars ---------------------------------------------------------- *)
+
+let test_exemplars () =
+  let m = Obs.Metrics.create () in
+  let h =
+    Obs.Metrics.histogram m ~help:"Latency" ~buckets:[ 0.1; 1.0 ] "ex_seconds"
+  in
+  let id c = String.make 16 c in
+  check_b "no exemplar before any observation" true
+    (Obs.Metrics.exemplar m h = None);
+  Obs.Metrics.observe ~exemplar:(id 'a') m h 0.2;
+  check_b "first observation wins the empty slot" true
+    (Obs.Metrics.exemplar m h = Some (id 'a', 0.2));
+  Obs.Metrics.observe ~exemplar:(id 'b') m h 0.2;
+  check_b "ties keep the earliest id" true
+    (Obs.Metrics.exemplar m h = Some (id 'a', 0.2));
+  Obs.Metrics.observe ~exemplar:(id 'c') m h 0.9;
+  check_b "a strictly greater value replaces" true
+    (Obs.Metrics.exemplar m h = Some (id 'c', 0.9));
+  Obs.Metrics.observe m h 5.0;
+  check_b "exemplar-less observations leave the slot" true
+    (Obs.Metrics.exemplar m h = Some (id 'c', 0.9));
+  (* Absorb keeps the max-valued exemplar; the destination wins ties. *)
+  let sh = Obs.Metrics.shard m in
+  Obs.Metrics.observe ~exemplar:(id 'd') sh h 2.0;
+  Obs.Metrics.absorb ~into:m sh;
+  check_b "absorb keeps the max" true
+    (Obs.Metrics.exemplar m h = Some (id 'd', 2.0));
+  let sh2 = Obs.Metrics.shard m in
+  Obs.Metrics.observe ~exemplar:(id 'e') sh2 h 2.0;
+  Obs.Metrics.absorb ~into:m sh2;
+  check_b "destination wins absorb ties" true
+    (Obs.Metrics.exemplar m h = Some (id 'd', 2.0));
+  (* The exposition carries the EXEMPLAR comment and still lints. *)
+  let text = Obs.Metrics.to_prometheus m in
+  check_b "EXEMPLAR comment present" true
+    (contains ~needle:("# EXEMPLAR ex_seconds " ^ id 'd') text);
+  (match Obs.Metrics.lint text with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.fail ("exemplar exposition rejected: " ^ String.concat "; " es));
+  (* ...and the linter rejects broken exemplar lines. *)
+  let expect_bad what line =
+    match Obs.Metrics.lint (text ^ line ^ "\n") with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail (what ^ ": lint accepted a broken exemplar")
+  in
+  expect_bad "short id" "# EXEMPLAR ex_seconds abc 2";
+  expect_bad "uppercase id" ("# EXEMPLAR ex_seconds " ^ String.make 16 'A' ^ " 2");
+  expect_bad "undeclared family" ("# EXEMPLAR nope_seconds " ^ id 'f' ^ " 2");
+  expect_bad "unparsable value" ("# EXEMPLAR ex_seconds " ^ id 'f' ^ " zz");
+  (* The JSON snapshot carries the exemplar object. *)
+  match Obs.Metrics.to_json m with
+  | Json.Obj _ as js ->
+      check_b "JSON snapshot names the exemplar id" true
+        (contains ~needle:(id 'd') (Json.to_string js))
+  | _ -> Alcotest.fail "metrics JSON not an object"
+
+(* --- flight recorder ---------------------------------------------------- *)
+
+let test_flight_ring () =
+  (match Obs.Flight.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted");
+  let run () =
+    let clock = Obs.Clock.virtual_ ~start:5.0 ~auto_step:0.5 () in
+    let f = Obs.Flight.create ~clock ~capacity:4 () in
+    for i = 1 to 6 do
+      Obs.Flight.record f "tick" ~fields:[ ("i", Json.Int i) ]
+    done;
+    f
+  in
+  let f = run () in
+  check_i "capacity" 4 (Obs.Flight.capacity f);
+  check_i "recorded counts evictions" 6 (Obs.Flight.recorded f);
+  let js = Json.to_string (Obs.Flight.to_json f) in
+  (match Json.parse js with
+  | Error e -> Alcotest.fail ("flight JSON does not parse: " ^ e)
+  | Ok parsed -> (
+      checkf "capacity field" 4.0 (jnum "capacity" parsed);
+      checkf "recorded field" 6.0 (jnum "recorded" parsed);
+      match jget "events" parsed with
+      | Some (Json.List evs) ->
+          check_i "ring holds capacity events" 4 (List.length evs);
+          let payloads =
+            List.map
+              (fun ev ->
+                match jget "fields" ev with
+                | Some fl -> int_of_float (jnum "i" fl)
+                | None -> -1)
+              evs
+          in
+          check_b "oldest evicted, order kept" true (payloads = [ 3; 4; 5; 6 ]);
+          (* ts is read under the ring's lock: with the auto-stepping
+             clock the retained events carry consecutive stamps. *)
+          let ts = List.map (jnum "ts") evs in
+          check_b "timestamps strictly increase" true
+            (List.for_all2 ( < ) ts (List.tl ts @ [ infinity ]))
+      | _ -> Alcotest.fail "events list missing"));
+  (* limit keeps only the newest events. *)
+  (match Obs.Flight.to_json ~limit:2 f with
+  | Json.Obj kvs -> (
+      match List.assoc_opt "events" kvs with
+      | Some (Json.List evs) ->
+          check_i "limit trims to the newest" 2 (List.length evs);
+          let last =
+            match List.rev evs with
+            | ev :: _ -> int_of_float (jnum "i" (Option.get (jget "fields" ev)))
+            | [] -> -1
+          in
+          check_i "newest survives the limit" 6 last
+      | _ -> Alcotest.fail "limited events missing")
+  | _ -> Alcotest.fail "flight JSON not an object");
+  (* Deterministic under the virtual clock: a replay is byte-identical. *)
+  check_s "replayed ring byte-identical" js
+    (Json.to_string (Obs.Flight.to_json (run ())))
+
 (* --- structured log sink ----------------------------------------------- *)
 
 let with_log_lines ?(level = Obs.Log.Info) ?(json = false) f =
@@ -410,6 +696,39 @@ let test_log_jsonl () =
   check_b "text line carries subject" true (contains ~needle:"subject=0xabc" line);
   check_b "text line carries message" true (contains ~needle:"hello" line)
 
+(* Records dropped below the sink's level are tallied, and the tally is
+   flushed as a visible record before a mid-run level change moves the
+   boundary — no silent loss across the transition. *)
+let test_suppression_flush () =
+  let lines =
+    with_log_lines ~level:Obs.Log.Warn ~json:true (fun log ->
+        Obs.Log.log log Obs.Log.Debug "dropped";
+        Obs.Log.log log Obs.Log.Info "dropped too";
+        check_b "guard reports debug disabled" false
+          (Obs.Log.enabled log Obs.Log.Debug);
+        Obs.Log.note_suppressed log;
+        check_i "filtered calls and explicit notes both count" 3
+          (Obs.Log.suppressed log);
+        Obs.Log.set_level log Obs.Log.Debug;
+        check_i "flush resets the tally" 0 (Obs.Log.suppressed log);
+        Obs.Log.set_level log Obs.Log.Debug;
+        (* no-op: unchanged level *)
+        Obs.Log.log log Obs.Log.Debug "now visible")
+  in
+  check_i "flush record plus the now-visible record" 2 (List.length lines);
+  match List.map (fun l -> Result.get_ok (Json.parse l)) lines with
+  | [ flush; visible ] ->
+      check_s "flush message" "suppressed records" (jstr "msg" flush);
+      check_s "flush component" "log" (jstr "component" flush);
+      (match jget "fields" flush with
+      | Some f ->
+          checkf "suppressed count" 3.0 (jnum "suppressed" f);
+          check_s "old threshold recorded" "warn" (jstr "below" f)
+      | None -> Alcotest.fail "flush record carries no fields");
+      check_s "debug records flow after the change" "now visible"
+        (jstr "msg" visible)
+  | _ -> Alcotest.fail "expected two parsed records"
+
 let test_level_parsing () =
   List.iter
     (fun (s, expect) ->
@@ -446,7 +765,18 @@ let suite =
       test_trace_roundtrip_and_nesting;
     Alcotest.test_case "trace: with_span on a virtual clock" `Quick
       test_trace_with_span;
+    Alcotest.test_case "trace: span contexts and hex ids" `Quick
+      test_trace_ctx_ids;
+    Alcotest.test_case "trace: live span trees join on trace_id" `Quick
+      test_live_span_tree;
+    Alcotest.test_case "trace: span tree identical across domains" `Slow
+      test_span_tree_across_domains;
+    Alcotest.test_case "metrics: max-latency exemplars" `Quick test_exemplars;
+    Alcotest.test_case "flight: bounded ring is deterministic" `Quick
+      test_flight_ring;
     Alcotest.test_case "log: JSONL well-formedness and level filtering" `Quick
       test_log_jsonl;
+    Alcotest.test_case "log: suppression tally flushes on level change" `Quick
+      test_suppression_flush;
     Alcotest.test_case "log: level parsing" `Quick test_level_parsing;
   ]

@@ -364,7 +364,7 @@ let warm_report d =
     (Serve.Store.report (Daemon.store d) ~unique_codes:(Daemon.unique_codes d))
 
 let call_daemon d meth params =
-  let payload = Wire.request_to_string ~id:1 ~meth ~params in
+  let payload = Wire.request_to_string ~id:1 ~meth ~params () in
   let _, response = Daemon.handle d payload in
   match Wire.response_of_string response with
   | Ok r -> r.Wire.rs_result

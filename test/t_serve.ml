@@ -32,11 +32,34 @@ let cold_report (land_ : Generate.t) =
 let daemon_config =
   Serve.Config.(default |> with_analysis analysis_config |> with_workers 2)
 
-let make_daemon ?(config = daemon_config) () =
+let make_daemon ?(config = daemon_config) ?registry ?log ?trace () =
   let land_ = Generate.generate small_config in
-  match Daemon.create ~config land_ with
+  match Daemon.create ~config ?registry ?log ?trace land_ with
   | Ok d -> (d, land_)
   | Error e -> Alcotest.failf "daemon create failed: %s" e
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || at (i + 1)
+  in
+  at 0
+
+(* A JSONL log sink over a temp file; [f] gets the sink and a reader
+   returning everything written so far. *)
+let with_json_log f =
+  let path = Filename.temp_file "proxion_serve" ".log" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try close_out oc with Sys_error _ -> ());
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let log = Obs.Log.create ~json:true oc in
+      f log (fun () ->
+          flush oc;
+          In_channel.with_open_text path In_channel.input_all))
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
@@ -102,6 +125,7 @@ let test_request_parse () =
   let ok =
     Wire.request_to_string ~id:3 ~meth:"is_proxy"
       ~params:[ ("address", Json.String "0xabc") ]
+      ()
   in
   (match Wire.request_of_string ok with
   | Ok r ->
@@ -134,6 +158,56 @@ let test_response_parse () =
   | Ok { Wire.rs_result = Error e; _ } ->
       check_i "code" Wire.err_unknown_address e.Wire.code
   | _ -> Alcotest.fail "bad error response"
+
+let test_trace_field () =
+  check_b "is_trace_id accepts 16 lowercase hex" true
+    (Wire.is_trace_id (String.make 16 'a') && Wire.is_trace_id (String.make 16 '0'));
+  List.iter
+    (fun bad ->
+      check_b
+        (Printf.sprintf "is_trace_id rejects %S" bad)
+        false (Wire.is_trace_id bad))
+    [ ""; "abc"; String.make 16 'A'; String.make 17 'a'; String.make 16 'g' ];
+  (* A well-formed context rides the wire and comes back intact. *)
+  let tc =
+    { Wire.tc_trace_id = String.make 16 'a'; tc_span_id = String.make 16 'b' }
+  in
+  let payload =
+    Wire.request_to_string ~trace:tc ~id:9 ~meth:"get_status" ~params:[] ()
+  in
+  (match Wire.request_of_string payload with
+  | Ok r -> check_b "trace context round-trips" true (r.Wire.rq_trace = Some tc)
+  | Error e -> Alcotest.failf "traced request rejected: %s" e.Wire.message);
+  (* Untraced payloads stay byte-identical to previous releases. *)
+  check_b "no trace field when unset" false
+    (contains ~needle:"trace"
+       (Wire.request_to_string ~id:9 ~meth:"get_status" ~params:[] ()));
+  (* Malformed trace values reject with the structured error. *)
+  let reject what trace_json =
+    let payload =
+      Json.to_string
+        (Json.Obj
+           [
+             ("proxion_rpc", Json.Int Wire.protocol_version);
+             ("id", Json.Int 1);
+             ("method", Json.String "get_status");
+             ("params", Json.Obj []);
+             ("trace", trace_json);
+           ])
+    in
+    match Wire.request_of_string payload with
+    | Error e ->
+        check_i (what ^ " code") Wire.err_invalid_request e.Wire.code
+    | Ok _ -> Alcotest.fail (what ^ ": malformed trace accepted")
+  in
+  let good = Json.String (String.make 16 'a') in
+  reject "non-object trace" (Json.Int 3);
+  reject "short id" (Json.Obj [ ("trace_id", Json.String "abc"); ("span_id", good) ]);
+  reject "uppercase id"
+    (Json.Obj [ ("trace_id", Json.String (String.make 16 'A')); ("span_id", good) ]);
+  reject "missing span_id" (Json.Obj [ ("trace_id", good) ]);
+  reject "non-string ids"
+    (Json.Obj [ ("trace_id", Json.Int 7); ("span_id", good) ])
 
 (* ------------------------------------------------------------------ *)
 (* Versioned report schema                                             *)
@@ -211,7 +285,7 @@ let test_report_roundtrip () =
 
 let call_daemon ?deadline d meth params =
   let payload =
-    Wire.request_to_string ~id:1 ~meth ~params
+    Wire.request_to_string ~id:1 ~meth ~params ()
   in
   let _, response = Daemon.handle ?deadline d payload in
   match Wire.response_of_string response with
@@ -312,7 +386,16 @@ let test_queries () =
       match Obs.Metrics.lint text with
       | Ok () -> ()
       | Error msgs -> Alcotest.failf "promlint: %s" (String.concat "; " msgs))
-  | _ -> Alcotest.fail "metrics not a string")
+  | _ -> Alcotest.fail "metrics not a string");
+  (* flight: the ring is served over the wire; limit keeps the newest. *)
+  let fl = get_ok (call_daemon d "flight" []) in
+  check_i "flight ring capacity" 256 (int_field "capacity" fl);
+  (match field "events" fl with
+  | Json.List _ -> ()
+  | _ -> Alcotest.fail "flight events not a list");
+  match field "events" (get_ok (call_daemon d "flight" [ ("limit", Json.Int 1) ])) with
+  | Json.List l -> check_b "flight limit trims" true (List.length l <= 1)
+  | _ -> Alcotest.fail "limited flight events not a list"
 
 (* ------------------------------------------------------------------ *)
 (* Incremental re-analysis                                             *)
@@ -508,7 +591,7 @@ let test_sigpipe_mid_reply () =
   let port = Daemon.port d in
   for _ = 1 to 5 do
     let fd = connect_raw port in
-    Wire.write_frame fd (Wire.request_to_string ~id:1 ~meth:"report" ~params:[]);
+    Wire.write_frame fd (Wire.request_to_string ~id:1 ~meth:"report" ~params:[] ());
     Unix.close fd
   done;
   (* The daemon is still alive and answers a well-formed request. *)
@@ -522,11 +605,12 @@ let test_sigpipe_mid_reply () =
   Daemon.stop d
 
 let test_admission_shed () =
+  with_json_log @@ fun log read_log ->
   let config =
     Serve.Config.(
       daemon_config |> with_workers 1 |> with_max_conns 1 |> with_queue_limit 1)
   in
-  let d, _ = make_daemon ~config () in
+  let d, _ = make_daemon ~config ~log () in
   start_daemon d;
   let port = Daemon.port d in
   (* c1 occupies the only slot; a completed call proves it was admitted
@@ -555,6 +639,35 @@ let test_admission_shed () =
         (match Obs.Metrics.value ~labels:[ ("reason", "max_conns") ] reg fam with
         | Some v -> v >= 1.0
         | None -> false));
+  (* The shed is never invisible: beyond the counter, the flight
+     recorder holds a [shed] event and the access log a structured
+     line, all three naming the same reason and the 1002 code. *)
+  (match Obs.Flight.to_json (Daemon.flight d) with
+  | Json.Obj kvs -> (
+      match List.assoc_opt "events" kvs with
+      | Some (Json.List evs) ->
+          check_b "flight recorded the shed with its reason" true
+            (List.exists
+               (fun ev ->
+                 match ev with
+                 | Json.Obj e ->
+                     List.assoc_opt "kind" e = Some (Json.String "shed")
+                     && (match List.assoc_opt "fields" e with
+                        | Some (Json.Obj fs) ->
+                            List.assoc_opt "reason" fs
+                            = Some (Json.String "max_conns")
+                        | _ -> false)
+                 | _ -> false)
+               evs)
+      | _ -> Alcotest.fail "flight events missing")
+  | _ -> Alcotest.fail "flight json not an object");
+  let log_text = read_log () in
+  check_b "shed hit the access log" true
+    (contains ~needle:"connection shed" log_text);
+  check_b "shed log names the reason" true
+    (contains ~needle:"max_conns" log_text);
+  check_b "shed log carries the 1002 code" true
+    (contains ~needle:"1002" log_text);
   (* Releasing c1 frees the slot (the worker notices the EOF at its next
      poll wakeup) and a fresh client gets in. *)
   Serve.Client.close c1;
@@ -588,7 +701,7 @@ let test_idle_timeout () =
   let port = Daemon.port d in
   let fd = connect_raw port in
   Wire.write_frame fd
-    (Wire.request_to_string ~id:1 ~meth:"get_status" ~params:[]);
+    (Wire.request_to_string ~id:1 ~meth:"get_status" ~params:[] ());
   (match Wire.read_frame fd with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "healthy call: %s" (Wire.read_error_to_string e));
@@ -781,6 +894,245 @@ let test_client_timeout () =
           check_b "timed out promptly" true (waited < 3.0);
           Serve.Client.close c)
 
+(* ------------------------------------------------------------------ *)
+(* Request-scoped tracing, the flight recorder, the ops console         *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance scenario: one traced [query] against a 3-endpoint
+   quorum-2 daemon.  The daemon adopts the client's context; its
+   request span, the quorum-vote endpoint attempts and the EVM frames
+   all carry the client's trace_id; the max-latency exemplar names it;
+   the access log and the slow-request log (with the span tree) name
+   it; and the store is left byte-identical — live queries are
+   side-effect-free. *)
+let test_traced_query () =
+  with_json_log @@ fun log read_log ->
+  let trace = Obs.Trace.create () in
+  let endpoints =
+    List.init 3 (fun i ->
+        Resilience.Transport.endpoint (Printf.sprintf "archive-%d" i))
+  in
+  let resilience = Resilience.Transport.config ~endpoints ~quorum:2 () in
+  (* An auto-stepping virtual clock makes the query's elapsed time
+     deterministic (every clock read advances 2ms), so the slow-request
+     path fires reliably; the deadlines are widened so the stepping
+     cannot expire them. *)
+  let config =
+    Serve.Config.(
+      daemon_config |> with_resilience resilience |> with_slow_ms (Some 1)
+      |> with_clock (Obs.Clock.virtual_ ~start:1000.0 ~auto_step:0.002 ())
+      |> with_request_deadline_ms 600_000
+      |> with_idle_timeout_ms 600_000)
+  in
+  let d, land_ = make_daemon ~config ~log ~trace () in
+  start_daemon d;
+  let port = Daemon.port d in
+  let some_proxy =
+    List.find (fun l -> l.Generate.l_is_proxy) land_.Generate.labels
+  in
+  let addr_hex = Evm.Address.to_hex some_proxy.Generate.l_address in
+  let before =
+    report_string
+      (Serve.Store.report (Daemon.store d) ~unique_codes:(Daemon.unique_codes d))
+  in
+  (* The client draws its own root context and carries it on the wire. *)
+  let cctx = Obs.Trace.next_ctx (Obs.Trace.gen ~seed:99) in
+  let tc =
+    {
+      Wire.tc_trace_id = Obs.Trace.id_to_hex cctx.Obs.Trace.trace_id;
+      tc_span_id = Obs.Trace.id_to_hex cctx.Obs.Trace.span_id;
+    }
+  in
+  (match Serve.Client.connect ~timeout_ms:30_000 ~port () with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c ->
+      (match
+         Serve.Client.call ~trace:tc c ~meth:"query"
+           ~params:[ ("address", Json.String addr_hex) ]
+       with
+      | Ok j ->
+          check_b "live re-analysis ran" true (field "live" j = Json.Bool true);
+          check_b "response echoes the address" true
+            (field "address" j = Json.String addr_hex);
+          check_b "response names the client's trace id" true
+            (field "trace_id" j = Json.String tc.Wire.tc_trace_id)
+      | Error e -> Alcotest.failf "query: %s" e);
+      Serve.Client.close c);
+  Daemon.stop d;
+  let after =
+    report_string
+      (Serve.Store.report (Daemon.store d) ~unique_codes:(Daemon.unique_codes d))
+  in
+  check_s "store byte-identical after the live query" before after;
+  (* One joined trace: request span, endpoint votes, EVM frames. *)
+  let str key ev =
+    match ev with
+    | Json.Obj kvs -> (
+        match List.assoc_opt key kvs with
+        | Some (Json.String s) -> Some s
+        | _ -> None)
+    | _ -> None
+  in
+  let arg key ev =
+    match ev with
+    | Json.Obj kvs -> (
+        match List.assoc_opt "args" kvs with
+        | Some (Json.Obj args) -> (
+            match List.assoc_opt key args with
+            | Some (Json.String s) -> Some s
+            | _ -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  (match Obs.Trace.span_tree_json trace ~trace_id:tc.Wire.tc_trace_id with
+  | Json.List (_ :: _ as evs) ->
+      let cats = List.filter_map (str "cat") evs in
+      let requests =
+        List.filter (fun ev -> str "cat" ev = Some "request") evs
+      in
+      check_i "exactly one request span" 1 (List.length requests);
+      let req = List.hd requests in
+      check_b "request span is the query" true (str "name" req = Some "query");
+      check_b "request span's parent is the client's span" true
+        (arg "parent_span_id" req = Some tc.Wire.tc_span_id);
+      check_b "endpoint attempt spans joined the trace" true
+        (List.mem "rpc" cats);
+      check_b "EVM frame spans joined the trace" true (List.mem "evm" cats);
+      let endpoints_seen =
+        List.sort_uniq compare (List.filter_map (arg "endpoint") evs)
+      in
+      check_b "quorum votes span distinct endpoints" true
+        (List.length endpoints_seen >= 2)
+  | _ -> Alcotest.fail "no spans recorded for the request trace");
+  (* The max-latency exemplar on the request histogram names the id. *)
+  let registry = Daemon.registry d in
+  (match Obs.Metrics.find registry "proxion_serve_request_seconds" with
+  | None -> Alcotest.fail "request histogram missing"
+  | Some fam -> (
+      match
+        Obs.Metrics.exemplar ~labels:[ ("method", "query") ] registry fam
+      with
+      | Some (id, v) ->
+          check_s "exemplar names the trace id" tc.Wire.tc_trace_id id;
+          check_b "exemplar value is the observed latency" true (v > 0.0)
+      | None -> Alcotest.fail "no exemplar on the query series"));
+  (* The same id joins the daemon's logs: the access line, and the
+     slow-request line carrying the full span tree. *)
+  let log_text = read_log () in
+  check_b "access log names the trace id" true
+    (contains ~needle:tc.Wire.tc_trace_id log_text);
+  check_b "slow request logged" true (contains ~needle:"slow request" log_text);
+  check_b "slow log carries the span tree" true
+    (contains ~needle:"\"spans\"" log_text)
+
+(* The flight ring dumped at drain is a pure function of the recording
+   order and the (virtual) clock: two identical daemons produce
+   byte-identical dumps. *)
+let test_flight_dump_determinism () =
+  let run () =
+    let path = Filename.temp_file "proxion_flight" ".json" in
+    let clock = Obs.Clock.virtual_ ~start:100.0 ~auto_step:0.25 () in
+    let config =
+      Serve.Config.(
+        daemon_config |> with_clock clock |> with_flight_capacity 32
+        |> with_flight_dump (Some path))
+    in
+    let d, _ = make_daemon ~config () in
+    ignore (Daemon.advance d);
+    ignore (Daemon.advance d);
+    Daemon.request_drain d;
+    let text = In_channel.with_open_text path In_channel.input_all in
+    Sys.remove path;
+    text
+  in
+  let a = run () in
+  check_b "dump written" true (String.length a > 0);
+  (match Json.parse a with
+  | Error e -> Alcotest.failf "flight dump does not parse: %s" e
+  | Ok parsed ->
+      check_i "dump capacity" 32 (int_field "capacity" parsed);
+      let kinds =
+        match field "events" parsed with
+        | Json.List evs ->
+            List.filter_map
+              (fun ev ->
+                match ev with
+                | Json.Obj kvs -> (
+                    match List.assoc_opt "kind" kvs with
+                    | Some (Json.String k) -> Some k
+                    | _ -> None)
+                | _ -> None)
+              evs
+        | _ -> Alcotest.fail "dump events missing"
+      in
+      check_b "advances recorded" true (List.mem "advance" kinds);
+      check_b "the drain recorded" true (List.mem "drain" kinds));
+  check_s "drain dump byte-identical across identical runs" a (run ())
+
+(* The ops console: Prometheus-style quantile math, snapshot digestion
+   and the rendered dashboard. *)
+let test_ops_console () =
+  let checkf msg e a = Alcotest.(check (float 1e-9)) msg e a in
+  let h buckets count =
+    {
+      Serve.Ops.h_labels = [];
+      h_buckets = buckets;
+      h_sum = 0.0;
+      h_count = count;
+      h_exemplar = None;
+    }
+  in
+  let hist =
+    h [ (1.0, 50.0); (2.0, 90.0); (4.0, 100.0); (infinity, 100.0) ] 100.0
+  in
+  checkf "p50 lands on the first bound" 1.0 (Serve.Ops.quantile hist 0.50);
+  checkf "p90 lands on the second bound" 2.0 (Serve.Ops.quantile hist 0.90);
+  checkf "p99 interpolates inside the third" 3.8 (Serve.Ops.quantile hist 0.99);
+  checkf "overflow clamps to the last finite bound" 1.0
+    (Serve.Ops.quantile (h [ (1.0, 2.0); (infinity, 5.0) ] 5.0) 0.99);
+  checkf "empty histogram reads zero" 0.0 (Serve.Ops.quantile (h [] 0.0) 0.5);
+  (* A live daemon's snapshot digests into the dashboard. *)
+  let d, _ = make_daemon () in
+  start_daemon d;
+  let port = Daemon.port d in
+  (match Serve.Client.connect ~timeout_ms:5_000 ~port () with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok c ->
+      for i = 1 to 3 do
+        match Serve.Client.call c ~meth:"get_status" ~params:[] with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "call %d: %s" i e
+      done;
+      Serve.Client.close c);
+  let mjson =
+    get_ok (call_daemon d "metrics" [ ("format", Json.String "json") ])
+  in
+  let health = get_ok (call_daemon d "health" []) in
+  let fl = get_ok (call_daemon d "flight" []) in
+  Daemon.stop d;
+  let view =
+    match Serve.Ops.of_metrics_json mjson with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "ops snapshot parse: %s" e
+  in
+  check_b "requests counted" true
+    (Serve.Ops.scalar_total view "proxion_serve_requests_total" >= 2.0);
+  let view = Serve.Ops.with_health view health in
+  check_b "health folds the draining flag" false view.Serve.Ops.v_draining;
+  let view = Serve.Ops.with_flight ~tail:4 view fl in
+  check_b "flight kinds counted" true (view.Serve.Ops.v_flight <> []);
+  check_b "flight tail bounded" true
+    (List.length view.Serve.Ops.v_flight_tail <= 4);
+  checkf "no rate without a previous poll" 0.0
+    (Serve.Ops.rate ~prev:None ~dt:1.0 view "proxion_serve_requests_total");
+  checkf "flat between identical polls" 0.0
+    (Serve.Ops.rate ~prev:(Some view) ~dt:1.0 view
+       "proxion_serve_requests_total");
+  let text = Serve.Ops.render ~prev:view ~dt:1.0 view in
+  check_b "dashboard reports serving" true (contains ~needle:"serving" text);
+  check_b "per-method table present" true (contains ~needle:"get_status" text);
+  check_b "flight ring rendered" true (contains ~needle:"flight ring" text)
+
 let suite =
   [
     Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
@@ -788,6 +1140,7 @@ let suite =
     Alcotest.test_case "oversized frames" `Quick test_frame_oversized;
     Alcotest.test_case "request parsing" `Quick test_request_parse;
     Alcotest.test_case "response parsing" `Quick test_response_parse;
+    Alcotest.test_case "trace context on the wire" `Quick test_trace_field;
     QCheck_alcotest.to_alcotest stats_roundtrip_prop;
     Alcotest.test_case "report schema round-trip" `Quick test_report_roundtrip;
     Alcotest.test_case "query dispatch" `Quick test_queries;
@@ -809,4 +1162,10 @@ let suite =
     Alcotest.test_case "frame fuzzer leaves the daemon serving" `Quick
       test_frame_fuzzer;
     Alcotest.test_case "client receive timeout" `Quick test_client_timeout;
+    Alcotest.test_case "traced query joins client and daemon spans" `Quick
+      test_traced_query;
+    Alcotest.test_case "flight dump determinism under a virtual clock" `Quick
+      test_flight_dump_determinism;
+    Alcotest.test_case "ops console digest and quantiles" `Quick
+      test_ops_console;
   ]
